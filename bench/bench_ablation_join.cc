@@ -1,0 +1,109 @@
+// Ablation: nested-loop vs merge (stack-tree) structural join.
+//
+// The paper's SQL translation evaluates ancestor-descendant steps as
+// per-row predicates (a nested loop over the tag-index scan). XML query
+// processors of the same era introduced merge-based structural joins that
+// exploit document order; this bench quantifies how much of Figure 15's
+// join cost is the join algorithm rather than the labeling scheme.
+
+#include <iostream>
+
+#include "bench/report.h"
+#include "core/ordered_prime_scheme.h"
+#include "labeling/interval.h"
+#include "labeling/prefix.h"
+#include "store/label_table.h"
+#include "store/plan.h"
+#include "store/range_index.h"
+#include "xml/shakespeare.h"
+#include "xml/stats.h"
+
+int main() {
+  using namespace primelabel;
+  XmlTree corpus = GenerateShakespeareCorpus(10);
+  std::cout << "Corpus: " << ComputeStats(corpus).ToString() << "\n";
+  LabelTable table(corpus);
+
+  IntervalScheme interval;
+  interval.LabelTree(corpus);
+  OrderedPrimeScheme prime;
+  prime.LabelTree(corpus);
+  PrefixScheme prefix2(PrefixVariant::kBinary);
+  prefix2.LabelTree(corpus);
+  std::vector<std::uint64_t> rank(corpus.arena_size(), 0);
+  {
+    std::uint64_t counter = 0;
+    corpus.Preorder([&](NodeId id, int) {
+      rank[static_cast<std::size_t>(id)] = counter++;
+    });
+  }
+
+  struct Entry {
+    const char* name;
+    QueryContext ctx;
+  };
+  std::vector<Entry> entries(3);
+  entries[0].name = "interval";
+  entries[0].ctx.order_of = [&interval](NodeId id) { return interval.low(id); };
+  entries[0].ctx.scheme = &interval;
+  entries[1].name = "prime";
+  entries[1].ctx.order_of = [&prime](NodeId id) { return prime.OrderOf(id); };
+  entries[1].ctx.scheme = &prime;
+  entries[2].name = "prefix-2";
+  entries[2].ctx.order_of = [&rank](NodeId id) {
+    return rank[static_cast<std::size_t>(id)];
+  };
+  entries[2].ctx.scheme = &prefix2;
+  for (Entry& entry : entries) entry.ctx.table = &table;
+
+  bench::Report report(
+      "Ablation: structural join algorithm (act//line over 10 plays)",
+      {"Scheme", "Nested ms", "Nested tests", "Merge ms", "Merge tests",
+       "Speedup"});
+  const std::vector<NodeId>& anchors = table.Rows("act");
+  const std::vector<NodeId>& candidates = table.Rows("line");
+  for (Entry& entry : entries) {
+    entry.ctx.stats = EvalStats{};
+    bench::Stopwatch nested_timer;
+    std::vector<NodeId> nested =
+        JoinDescendants(entry.ctx, anchors, candidates);
+    double nested_ms = nested_timer.ElapsedMs();
+    std::uint64_t nested_tests = entry.ctx.stats.label_tests;
+
+    entry.ctx.stats = EvalStats{};
+    bench::Stopwatch merge_timer;
+    std::vector<NodeId> merged =
+        JoinDescendantsMerge(entry.ctx, anchors, candidates);
+    double merge_ms = merge_timer.ElapsedMs();
+    std::uint64_t merge_tests = entry.ctx.stats.label_tests;
+    if (merged != nested) {
+      std::cerr << "join results differ for " << entry.name << "!\n";
+      return 1;
+    }
+    report.AddRow(entry.name, nested_ms, nested_tests, merge_ms, merge_tests,
+                  std::to_string(nested_ms / merge_ms) + "x");
+  }
+  report.Print();
+
+  // Third strategy, interval only: the XISS-style B+-tree element index —
+  // descendants come from one range scan per anchor, no per-row tests.
+  RangeIndex range_index(corpus, interval);
+  bench::Stopwatch index_timer;
+  std::vector<NodeId> via_index;
+  for (NodeId anchor : anchors) {
+    std::vector<NodeId> part = range_index.DescendantsWithTag(anchor, "line");
+    via_index.insert(via_index.end(), part.begin(), part.end());
+  }
+  double index_ms = index_timer.ElapsedMs();
+  std::cout << "\nInterval + B+-tree range index (XISS element index): "
+            << index_ms << " ms, " << via_index.size()
+            << " rows via range scans, 0 label tests.\n";
+
+  std::cout << "\nThe merge join does O(1) label tests per row instead of\n"
+               "O(|context|), compressing the gap between schemes — the\n"
+               "per-test cost matters most under the nested loop the\n"
+               "paper's SQL translation implies. The range index removes\n"
+               "the per-row predicate entirely, which only the interval\n"
+               "scheme's containment encoding supports.\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Figure 13: Effect of Optimizations on Space Requirement.
+//
+// Maximum label size (bits) of the prime number labeling scheme on datasets
+// D1-D9 under: Original (plain top-down), Opt1 (reserved small primes for
+// top-level nodes), Opt2 (powers of two for leaves, cumulative with Opt1),
+// and Opt3 (repeated-path combining, cumulative). Expected shape: Opt1
+// limited improvement, Opt2 up to ~63% reduction, Opt3 up to ~83%.
+
+#include <iostream>
+
+#include "bench/report.h"
+#include "core/path_combine.h"
+#include "labeling/prime_optimized.h"
+#include "labeling/prime_top_down.h"
+#include "xml/datasets.h"
+
+int main() {
+  using namespace primelabel;
+  bench::Report report(
+      "Figure 13: prime label size under optimizations (max bits)",
+      {"Dataset", "Original", "Opt1", "Opt2", "Opt3", "Opt2 vs Original",
+       "Opt3 vs Original"});
+  double best_opt2 = 0.0;
+  double best_opt3 = 0.0;
+  for (const DatasetSpec& spec : NiagaraCorpusSpecs()) {
+    XmlTree tree = GenerateDataset(spec);
+
+    PrimeTopDownScheme original;
+    original.LabelTree(tree);
+    int original_bits = original.MaxLabelBits();
+
+    PrimeOptimizedOptions opt1_config;
+    opt1_config.reserved_primes = 16;
+    opt1_config.power_of_two_leaves = false;
+    PrimeOptimizedScheme opt1(opt1_config);
+    opt1.LabelTree(tree);
+
+    PrimeOptimizedOptions opt2_config;  // defaults: Opt1 + Opt2
+    PrimeOptimizedScheme opt2(opt2_config);
+    opt2.LabelTree(tree);
+
+    CombineResult combined = CombineRepeatedPaths(tree);
+    PrimeOptimizedScheme opt3(opt2_config);
+    opt3.LabelTree(combined.tree);
+
+    double opt2_reduction =
+        100.0 * (original_bits - opt2.MaxLabelBits()) / original_bits;
+    double opt3_reduction =
+        100.0 * (original_bits - opt3.MaxLabelBits()) / original_bits;
+    best_opt2 = std::max(best_opt2, opt2_reduction);
+    best_opt3 = std::max(best_opt3, opt3_reduction);
+    report.AddRow(spec.id, original_bits, opt1.MaxLabelBits(),
+                  opt2.MaxLabelBits(), opt3.MaxLabelBits(),
+                  std::to_string(static_cast<int>(opt2_reduction)) + "%",
+                  std::to_string(static_cast<int>(opt3_reduction)) + "%");
+  }
+  report.Print();
+  std::cout << "\nBest Opt2 reduction: " << static_cast<int>(best_opt2)
+            << "% (paper: up to 63%).  Best Opt3 reduction: "
+            << static_cast<int>(best_opt3) << "% (paper: up to 83%).\n";
+  return 0;
+}

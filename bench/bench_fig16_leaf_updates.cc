@@ -1,0 +1,85 @@
+// Figure 16: Update on Leaf Nodes.
+//
+// For XML files of 1,000 to 10,000 nodes, insert a new node under the node
+// on the deepest level and count how many nodes must be relabeled per
+// scheme. Expected shape (paper): interval grows with document size
+// (everything after the insertion point renumbers); prefix relabels 1 (the
+// new node); the optimized prime scheme relabels 2 (the new node and its
+// previously-leaf parent, whose power-of-two self-label becomes a prime);
+// the original top-down prime scheme relabels only the new node.
+
+#include <cmath>
+#include <memory>
+#include <iostream>
+
+#include "bench/report.h"
+#include "labeling/interval.h"
+#include "labeling/prefix.h"
+#include "labeling/prime_optimized.h"
+#include "labeling/prime_top_down.h"
+#include "xml/datasets.h"
+
+namespace {
+
+// The attached node at maximal depth (first such in document order).
+primelabel::NodeId DeepestNode(const primelabel::XmlTree& tree) {
+  primelabel::NodeId deepest = tree.root();
+  int best = -1;
+  tree.Preorder([&](primelabel::NodeId id, int depth) {
+    if (depth > best) {
+      best = depth;
+      deepest = id;
+    }
+  });
+  return deepest;
+}
+
+}  // namespace
+
+int main() {
+  using namespace primelabel;
+  bench::Report report(
+      "Figure 16: nodes relabeled on a leaf update (insert under the "
+      "deepest node)",
+      {"Doc nodes", "interval", "log10(interval)", "prime (opt)",
+       "prime (original)", "prefix-2"});
+  for (std::size_t n = 1000; n <= 10000; n += 1000) {
+    RandomTreeOptions options;
+    options.node_count = n;
+    options.max_depth = 8;
+    options.max_fanout = 12;
+    options.seed = n;
+
+    // Each scheme gets its own copy of the tree so insertions don't stack.
+    int relabels[4];
+    for (int s = 0; s < 4; ++s) {
+      XmlTree tree = GenerateRandomTree(options);
+      NodeId deepest = DeepestNode(tree);
+      std::unique_ptr<LabelingScheme> scheme;
+      switch (s) {
+        case 0:
+          scheme = std::make_unique<IntervalScheme>();
+          break;
+        case 1:
+          scheme = std::make_unique<PrimeOptimizedScheme>();
+          break;
+        case 2:
+          scheme = std::make_unique<PrimeTopDownScheme>();
+          break;
+        default:
+          scheme = std::make_unique<PrefixScheme>(PrefixVariant::kBinary);
+      }
+      scheme->LabelTree(tree);
+      NodeId fresh = tree.AppendChild(deepest, "new");
+      relabels[s] = scheme->HandleInsert(fresh);
+    }
+    report.AddRow(n, relabels[0],
+                  std::log10(static_cast<double>(relabels[0])), relabels[1],
+                  relabels[2], relabels[3]);
+  }
+  report.Print();
+  std::cout << "\nShape check: interval grows with document size; dynamic\n"
+               "schemes are flat — prefix 1 node, optimized prime 2 nodes\n"
+               "(new node + its previously-leaf parent), original prime 1.\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Related-work demonstration: the floating-point interval scheme (QRS [2])
+// "solves" dynamic updates only until the mantissa runs out.
+//
+// Section 2: "in practice, the representation of a floating point number
+// is constrained by the number of bits in the mantissa. Once again, when
+// the number of insertions exceeds certain limits, re-labeling is
+// necessary." This bench inserts repeatedly at a single position and
+// reports how many insertions fit before each forced full relabel, and
+// contrasts the prime scheme under the identical workload.
+
+#include <iostream>
+
+#include "bench/report.h"
+#include "labeling/float_interval.h"
+#include "labeling/gapped_interval.h"
+#include "labeling/prime_optimized.h"
+#include "xml/datasets.h"
+
+int main() {
+  using namespace primelabel;
+
+  constexpr int kInsertions = 500;
+  RandomTreeOptions options;
+  options.node_count = 1000;
+  options.max_depth = 5;
+  options.max_fanout = 8;
+  options.seed = 3;
+
+  // Hostile-but-realistic workload: always insert before the first child
+  // of the root (e.g. prepending newest entries to a feed).
+  XmlTree float_tree = GenerateRandomTree(options);
+  FloatIntervalScheme float_scheme;
+  float_scheme.LabelTree(float_tree);
+  XmlTree gapped_tree = GenerateRandomTree(options);
+  GappedIntervalScheme gapped_scheme(/*gap=*/1024);
+  gapped_scheme.LabelTree(gapped_tree);
+  XmlTree prime_tree = GenerateRandomTree(options);
+  PrimeOptimizedScheme prime_scheme;
+  prime_scheme.LabelTree(prime_tree);
+
+  bench::Report report(
+      "Float-interval breakdown: prepend-to-first-child workload",
+      {"Insertions so far", "Float relabel events", "Float nodes relabeled",
+       "Gapped relabel events", "Gapped nodes relabeled",
+       "Prime nodes relabeled"});
+  long long float_total = 0, gapped_total = 0, prime_total = 0;
+  int checkpoints[] = {25, 50, 75, 100, 200, 300, 400, 500};
+  int next_checkpoint = 0;
+  for (int i = 1; i <= kInsertions; ++i) {
+    NodeId f = float_tree.InsertBefore(float_tree.first_child(
+                                           float_tree.root()),
+                                       "new");
+    float_total += float_scheme.HandleInsert(f);
+    NodeId g = gapped_tree.InsertBefore(gapped_tree.first_child(
+                                            gapped_tree.root()),
+                                        "new");
+    gapped_total += gapped_scheme.HandleInsert(g);
+    NodeId p = prime_tree.InsertBefore(prime_tree.first_child(
+                                           prime_tree.root()),
+                                       "new");
+    prime_total += prime_scheme.HandleInsert(p);
+    if (next_checkpoint < 8 && i == checkpoints[next_checkpoint]) {
+      report.AddRow(i, float_scheme.relabel_events(), float_total,
+                    gapped_scheme.relabel_events(), gapped_total,
+                    prime_total);
+      ++next_checkpoint;
+    }
+  }
+  report.Print();
+  std::cout << "\nEach forced relabel renumbers the whole document (~"
+            << float_tree.node_count()
+            << " nodes); the prime scheme labels exactly one node per\n"
+               "insertion under the identical workload. The first float\n"
+               "breakdown arrives after ~50 insertions (one mantissa bit\n"
+               "per midpoint split); the gapped integer interval breaks\n"
+               "down after ~log2(gap) insertions — reserving space only\n"
+               "postpones the inevitable relabeling (Section 2).\n";
+  return 0;
+}

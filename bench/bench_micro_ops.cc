@@ -1,0 +1,177 @@
+// Microbenchmarks (google-benchmark) for the primitive operations whose
+// costs drive the response-time experiment: per-scheme ancestor tests,
+// order lookups, labeling throughput, CRT solving and BigInt arithmetic.
+
+#include <memory>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bigint/bigint.h"
+#include "core/crt.h"
+#include "core/ordered_prime_scheme.h"
+#include "core/sc_table.h"
+#include "labeling/dewey.h"
+#include "labeling/interval.h"
+#include "labeling/prefix.h"
+#include "labeling/prime_optimized.h"
+#include "labeling/prime_top_down.h"
+#include "primes/prime_source.h"
+#include "util/rng.h"
+#include "xml/datasets.h"
+
+namespace primelabel {
+namespace {
+
+std::unique_ptr<LabelingScheme> MakeScheme(const std::string& name) {
+  if (name == "interval") return std::make_unique<IntervalScheme>();
+  if (name == "prefix2") {
+    return std::make_unique<PrefixScheme>(PrefixVariant::kBinary);
+  }
+  if (name == "dewey") return std::make_unique<DeweyScheme>();
+  if (name == "prime") return std::make_unique<PrimeOptimizedScheme>();
+  return std::make_unique<PrimeTopDownScheme>();
+}
+
+const XmlTree& BenchTree() {
+  static const XmlTree* tree = [] {
+    RandomTreeOptions options;
+    options.node_count = 5000;
+    options.max_depth = 6;
+    options.max_fanout = 12;
+    options.seed = 1234;
+    return new XmlTree(GenerateRandomTree(options));
+  }();
+  return *tree;
+}
+
+void BM_IsAncestor(benchmark::State& state, const std::string& which) {
+  const XmlTree& tree = BenchTree();
+  std::unique_ptr<LabelingScheme> scheme = MakeScheme(which);
+  scheme->LabelTree(tree);
+  std::vector<NodeId> nodes = tree.PreorderNodes();
+  Rng rng(1);
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  for (int i = 0; i < 1024; ++i) {
+    pairs.emplace_back(nodes[rng.Below(nodes.size())],
+                       nodes[rng.Below(nodes.size())]);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto [x, y] = pairs[i++ & 1023];
+    benchmark::DoNotOptimize(scheme->IsAncestor(x, y));
+  }
+}
+BENCHMARK_CAPTURE(BM_IsAncestor, interval, "interval");
+BENCHMARK_CAPTURE(BM_IsAncestor, prefix2, "prefix2");
+BENCHMARK_CAPTURE(BM_IsAncestor, dewey, "dewey");
+BENCHMARK_CAPTURE(BM_IsAncestor, prime, "prime");
+BENCHMARK_CAPTURE(BM_IsAncestor, prime_topdown, "prime-topdown");
+
+void BM_LabelTree(benchmark::State& state, const std::string& which) {
+  const XmlTree& tree = BenchTree();
+  std::unique_ptr<LabelingScheme> scheme = MakeScheme(which);
+  for (auto _ : state) {
+    scheme->LabelTree(tree);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(tree.node_count()));
+}
+BENCHMARK_CAPTURE(BM_LabelTree, interval, "interval");
+BENCHMARK_CAPTURE(BM_LabelTree, prefix2, "prefix2");
+BENCHMARK_CAPTURE(BM_LabelTree, dewey, "dewey");
+BENCHMARK_CAPTURE(BM_LabelTree, prime, "prime");
+
+void BM_OrderedLabelTree(benchmark::State& state) {
+  const XmlTree& tree = BenchTree();
+  OrderedPrimeScheme scheme(/*sc_group_size=*/5);
+  for (auto _ : state) {
+    scheme.LabelTree(tree);  // includes the SC table build
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(tree.node_count()));
+}
+BENCHMARK(BM_OrderedLabelTree);
+
+void BM_ScOrderLookup(benchmark::State& state) {
+  const int group_size = static_cast<int>(state.range(0));
+  PrimeSource primes;
+  std::vector<std::uint64_t> selves;
+  for (std::size_t i = 0; i < 5000; ++i) selves.push_back(primes.PrimeAt(i));
+  ScTable table(group_size);
+  table.Build(selves);
+  Rng rng(3);
+  std::size_t i = 0;
+  std::vector<std::uint64_t> probe;
+  for (int k = 0; k < 1024; ++k) probe.push_back(selves[rng.Below(5000)]);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.OrderOf(probe[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_ScOrderLookup)->Arg(1)->Arg(5)->Arg(20)->Arg(100);
+
+void BM_ScInsertFront(benchmark::State& state) {
+  const int group_size = static_cast<int>(state.range(0));
+  PrimeSource primes;
+  std::vector<std::uint64_t> selves;
+  for (std::size_t i = 0; i < 2000; ++i) selves.push_back(primes.PrimeAt(i));
+  std::size_t next = 2000;
+  ScTable table(group_size);
+  table.Build(selves);
+  for (auto _ : state) {
+    // Insert near the front: almost every record shifts.
+    table.InsertAt(primes.PrimeAt(next++), 100,
+                   [&](std::uint64_t) { return primes.PrimeAt(next++); });
+  }
+}
+BENCHMARK(BM_ScInsertFront)->Arg(1)->Arg(5)->Arg(20);
+
+void BM_CrtSolve(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  PrimeSource primes;
+  std::vector<Congruence> system;
+  for (int i = 0; i < k; ++i) {
+    std::uint64_t m = primes.PrimeAt(static_cast<std::size_t>(i) + 100);
+    system.push_back({m, static_cast<std::uint64_t>(i)});
+  }
+  for (auto _ : state) {
+    Result<BigInt> solution = SolveCrt(system);
+    benchmark::DoNotOptimize(solution.ok());
+  }
+}
+BENCHMARK(BM_CrtSolve)->Arg(2)->Arg(5)->Arg(10)->Arg(50);
+
+void BM_BigIntMul(benchmark::State& state) {
+  const int limbs = static_cast<int>(state.range(0));
+  Rng rng(9);
+  BigInt a(1), b(1);
+  for (int i = 0; i < limbs; ++i) {
+    a = (a << 32) + BigInt::FromUint64(rng.Next() >> 32);
+    b = (b << 32) + BigInt::FromUint64(rng.Next() >> 32);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a * b);
+  }
+}
+BENCHMARK(BM_BigIntMul)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_BigIntDivisibility(benchmark::State& state) {
+  // The exact shape of the scheme's hot path: ~100-bit label mod ~40-bit
+  // ancestor label.
+  PrimeSource primes;
+  BigInt descendant(1);
+  for (int i = 0; i < 5; ++i) {
+    descendant *= BigInt::FromUint64(primes.PrimeAt(1000 + static_cast<std::size_t>(i)));
+  }
+  BigInt ancestor = BigInt::FromUint64(primes.PrimeAt(1000)) *
+                    BigInt::FromUint64(primes.PrimeAt(1001));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(descendant.IsDivisibleBy(ancestor));
+  }
+}
+BENCHMARK(BM_BigIntDivisibility);
+
+}  // namespace
+}  // namespace primelabel
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+#ifndef PRIMELABEL_BENCH_REPORT_H_
+#define PRIMELABEL_BENCH_REPORT_H_
+
+#include <chrono>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace primelabel::bench {
+
+/// Plain-text table printer: every bench binary prints the rows/series of
+/// its paper table or figure in this format so EXPERIMENTS.md can quote
+/// them directly.
+class Report {
+ public:
+  Report(std::string title, std::vector<std::string> headers)
+      : title_(std::move(title)), headers_(std::move(headers)) {}
+
+  template <typename... Cells>
+  void AddRow(Cells&&... cells) {
+    std::vector<std::string> row;
+    (row.push_back(Format(std::forward<Cells>(cells))), ...);
+    rows_.push_back(std::move(row));
+  }
+
+  void Print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      widths[c] = headers_[c].size();
+      for (const auto& row : rows_) {
+        if (c < row.size()) widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    os << "\n=== " << title_ << " ===\n";
+    PrintRow(os, headers_, widths);
+    std::string rule;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      rule += std::string(widths[c] + 2, '-');
+      if (c + 1 < widths.size()) rule += "+";
+    }
+    os << rule << "\n";
+    for (const auto& row : rows_) PrintRow(os, row, widths);
+    os.flush();
+  }
+
+ private:
+  template <typename T>
+  static std::string Format(const T& value) {
+    if constexpr (std::is_same_v<T, std::string> ||
+                  std::is_convertible_v<T, const char*>) {
+      return std::string(value);
+    } else if constexpr (std::is_floating_point_v<T>) {
+      std::ostringstream os;
+      os << std::fixed << std::setprecision(2) << value;
+      return os.str();
+    } else {
+      return std::to_string(value);
+    }
+  }
+
+  static void PrintRow(std::ostream& os, const std::vector<std::string>& row,
+                       const std::vector<std::size_t>& widths) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << " " << std::setw(static_cast<int>(widths[c])) << row[c] << " ";
+      if (c + 1 < row.size()) os << "|";
+    }
+    os << "\n";
+  }
+
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Wall-clock stopwatch for the response-time experiments.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  /// Elapsed milliseconds since construction or the last Reset.
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace primelabel::bench
+
+#endif  // PRIMELABEL_BENCH_REPORT_H_

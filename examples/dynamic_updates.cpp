@@ -1,0 +1,78 @@
+// Dynamic updates across labeling schemes.
+//
+// Grows one document through a mixed insertion workload and reports, per
+// scheme, how many nodes had to be relabeled in total — the property that
+// motivates the prime number labeling scheme (static interval labels decay
+// under churn, dynamic labels do not).
+//
+// Build & run:   ./build/examples/dynamic_updates
+
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "labeling/interval.h"
+#include "labeling/prefix.h"
+#include "labeling/prime_optimized.h"
+#include "labeling/scheme.h"
+#include "util/rng.h"
+#include "xml/datasets.h"
+
+int main() {
+  using namespace primelabel;
+
+  constexpr int kInsertions = 200;
+  struct Entry {
+    const char* description;
+    std::unique_ptr<LabelingScheme> scheme;
+    XmlTree tree;
+    long long total_relabeled = 0;
+  };
+  RandomTreeOptions options;
+  options.node_count = 2000;
+  options.max_depth = 7;
+  options.max_fanout = 10;
+  options.seed = 99;
+
+  std::vector<Entry> entries;
+  entries.push_back({"interval (static)", std::make_unique<IntervalScheme>(),
+                     GenerateRandomTree(options)});
+  entries.push_back({"prefix-2 (dynamic)",
+                     std::make_unique<PrefixScheme>(PrefixVariant::kBinary),
+                     GenerateRandomTree(options)});
+  entries.push_back({"prime (dynamic)",
+                     std::make_unique<PrimeOptimizedScheme>(),
+                     GenerateRandomTree(options)});
+
+  for (Entry& entry : entries) {
+    entry.scheme->LabelTree(entry.tree);
+    Rng rng(7);  // identical workload for every scheme
+    for (int i = 0; i < kInsertions; ++i) {
+      std::vector<NodeId> nodes = entry.tree.PreorderNodes();
+      NodeId target = nodes[rng.Below(nodes.size())];
+      NodeId fresh;
+      if (target == entry.tree.root() || rng.Chance(60)) {
+        fresh = entry.tree.AppendChild(target, "new");
+      } else if (rng.Chance(50)) {
+        fresh = entry.tree.InsertBefore(target, "new");
+      } else {
+        fresh = entry.tree.InsertAfter(target, "new");
+      }
+      entry.total_relabeled += entry.scheme->HandleInsert(fresh);
+    }
+  }
+
+  std::cout << "Workload: " << kInsertions
+            << " random insertions into a 2000-node document\n\n";
+  for (const Entry& entry : entries) {
+    std::cout << "  " << entry.description << ": "
+              << entry.total_relabeled << " nodes relabeled ("
+              << static_cast<double>(entry.total_relabeled) / kInsertions
+              << " per insertion), final max label "
+              << entry.scheme->MaxLabelBits() << " bits\n";
+  }
+  std::cout << "\nThe static interval scheme renumbers everything after\n"
+               "each insertion point; the dynamic schemes touch only the\n"
+               "inserted node (plus, for prime, a previously-leaf parent).\n";
+  return 0;
+}

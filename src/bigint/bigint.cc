@@ -1,0 +1,627 @@
+#include "bigint/bigint.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace primelabel {
+
+namespace {
+
+// Bit width of a nonzero 32-bit value.
+int BitWidth32(std::uint32_t v) {
+  int w = 0;
+  while (v != 0) {
+    ++w;
+    v >>= 1;
+  }
+  return w;
+}
+
+}  // namespace
+
+BigInt::BigInt(std::int64_t value) {
+  negative_ = value < 0;
+  // Avoid overflow on INT64_MIN by working in unsigned space.
+  std::uint64_t magnitude =
+      negative_ ? ~static_cast<std::uint64_t>(value) + 1
+                : static_cast<std::uint64_t>(value);
+  if (magnitude != 0) limbs_.push_back(static_cast<Limb>(magnitude));
+  if (magnitude >> 32) limbs_.push_back(static_cast<Limb>(magnitude >> 32));
+  Canonicalize();
+}
+
+BigInt BigInt::FromUint64(std::uint64_t value) {
+  BigInt result;
+  if (value != 0) result.limbs_.push_back(static_cast<Limb>(value));
+  if (value >> 32) result.limbs_.push_back(static_cast<Limb>(value >> 32));
+  return result;
+}
+
+Result<BigInt> BigInt::FromDecimalString(std::string_view text) {
+  if (text.empty()) {
+    return Status::ParseError("empty string is not a number");
+  }
+  bool negative = false;
+  std::size_t i = 0;
+  if (text[0] == '-') {
+    negative = true;
+    i = 1;
+    if (text.size() == 1) return Status::ParseError("'-' is not a number");
+  }
+  BigInt result;
+  const BigInt ten(10);
+  for (; i < text.size(); ++i) {
+    char c = text[i];
+    if (c < '0' || c > '9') {
+      return Status::ParseError(std::string("invalid digit '") + c + "'");
+    }
+    result = result * ten + BigInt(c - '0');
+  }
+  result.negative_ = negative;
+  result.Canonicalize();
+  return result;
+}
+
+int BigInt::Sign() const {
+  if (limbs_.empty()) return 0;
+  return negative_ ? -1 : 1;
+}
+
+int BigInt::BitLength() const {
+  if (limbs_.empty()) return 0;
+  return static_cast<int>(limbs_.size() - 1) * kLimbBits +
+         BitWidth32(limbs_.back());
+}
+
+std::uint64_t BigInt::ToUint64() const {
+  std::uint64_t value = 0;
+  if (!limbs_.empty()) value = limbs_[0];
+  if (limbs_.size() > 1) value |= static_cast<std::uint64_t>(limbs_[1]) << 32;
+  return value;
+}
+
+std::vector<std::uint8_t> BigInt::ToMagnitudeBytes() const {
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(limbs_.size() * 4);
+  for (Limb limb : limbs_) {
+    bytes.push_back(static_cast<std::uint8_t>(limb));
+    bytes.push_back(static_cast<std::uint8_t>(limb >> 8));
+    bytes.push_back(static_cast<std::uint8_t>(limb >> 16));
+    bytes.push_back(static_cast<std::uint8_t>(limb >> 24));
+  }
+  while (!bytes.empty() && bytes.back() == 0) bytes.pop_back();
+  return bytes;
+}
+
+BigInt BigInt::FromMagnitudeBytes(const std::vector<std::uint8_t>& bytes) {
+  BigInt out;
+  out.limbs_.assign((bytes.size() + 3) / 4, 0);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    out.limbs_[i / 4] |= static_cast<Limb>(bytes[i]) << (8 * (i % 4));
+  }
+  out.Canonicalize();
+  return out;
+}
+
+std::string BigInt::ToDecimalString() const {
+  if (limbs_.empty()) return "0";
+  // Repeatedly divide the magnitude by 10^9 and emit 9 digits per step.
+  std::vector<Limb> work = limbs_;
+  constexpr Limb kChunk = 1000000000u;
+  std::string digits;
+  while (!work.empty()) {
+    Wide remainder = 0;
+    for (std::size_t i = work.size(); i-- > 0;) {
+      Wide cur = (remainder << kLimbBits) | work[i];
+      work[i] = static_cast<Limb>(cur / kChunk);
+      remainder = cur % kChunk;
+    }
+    Normalize(&work);
+    for (int d = 0; d < 9; ++d) {
+      digits.push_back(static_cast<char>('0' + remainder % 10));
+      remainder /= 10;
+    }
+  }
+  while (digits.size() > 1 && digits.back() == '0') digits.pop_back();
+  if (negative_) digits.push_back('-');
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+std::string BigInt::ToHexString() const {
+  if (limbs_.empty()) return "0";
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    for (int shift = kLimbBits - 4; shift >= 0; shift -= 4) {
+      out.push_back(kHex[(limbs_[i] >> shift) & 0xF]);
+    }
+  }
+  std::size_t first = out.find_first_not_of('0');
+  out = out.substr(first);
+  if (negative_) out.insert(out.begin(), '-');
+  return out;
+}
+
+// --- Magnitude helpers -------------------------------------------------------
+
+void BigInt::Normalize(std::vector<Limb>* limbs) {
+  while (!limbs->empty() && limbs->back() == 0) limbs->pop_back();
+}
+
+void BigInt::Canonicalize() {
+  Normalize(&limbs_);
+  if (limbs_.empty()) negative_ = false;
+}
+
+int BigInt::CompareMagnitude(const std::vector<Limb>& a,
+                             const std::vector<Limb>& b) {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  for (std::size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+std::vector<BigInt::Limb> BigInt::AddMagnitude(const std::vector<Limb>& a,
+                                               const std::vector<Limb>& b) {
+  const std::vector<Limb>& longer = a.size() >= b.size() ? a : b;
+  const std::vector<Limb>& shorter = a.size() >= b.size() ? b : a;
+  std::vector<Limb> out;
+  out.reserve(longer.size() + 1);
+  Wide carry = 0;
+  for (std::size_t i = 0; i < longer.size(); ++i) {
+    Wide sum = carry + longer[i] + (i < shorter.size() ? shorter[i] : 0);
+    out.push_back(static_cast<Limb>(sum));
+    carry = sum >> kLimbBits;
+  }
+  if (carry != 0) out.push_back(static_cast<Limb>(carry));
+  return out;
+}
+
+std::vector<BigInt::Limb> BigInt::SubMagnitude(const std::vector<Limb>& a,
+                                               const std::vector<Limb>& b) {
+  PL_CHECK(CompareMagnitude(a, b) >= 0);
+  std::vector<Limb> out;
+  out.reserve(a.size());
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(a[i]) - borrow -
+                        (i < b.size() ? static_cast<std::int64_t>(b[i]) : 0);
+    if (diff < 0) {
+      diff += (std::int64_t{1} << kLimbBits);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.push_back(static_cast<Limb>(diff));
+  }
+  Normalize(&out);
+  return out;
+}
+
+std::vector<BigInt::Limb> BigInt::MulSchoolbook(const std::vector<Limb>& a,
+                                                const std::vector<Limb>& b) {
+  if (a.empty() || b.empty()) return {};
+  std::vector<Limb> out(a.size() + b.size(), 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    Wide carry = 0;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      Wide cur = static_cast<Wide>(a[i]) * b[j] + out[i + j] + carry;
+      out[i + j] = static_cast<Limb>(cur);
+      carry = cur >> kLimbBits;
+    }
+    std::size_t k = i + b.size();
+    while (carry != 0) {
+      Wide cur = static_cast<Wide>(out[k]) + carry;
+      out[k] = static_cast<Limb>(cur);
+      carry = cur >> kLimbBits;
+      ++k;
+    }
+  }
+  Normalize(&out);
+  return out;
+}
+
+std::vector<BigInt::Limb> BigInt::MulKaratsuba(const std::vector<Limb>& a,
+                                               const std::vector<Limb>& b) {
+  if (a.size() < kKaratsubaThreshold || b.size() < kKaratsubaThreshold) {
+    return MulSchoolbook(a, b);
+  }
+  const std::size_t half = std::max(a.size(), b.size()) / 2;
+  auto split = [half](const std::vector<Limb>& v) {
+    std::vector<Limb> low(v.begin(),
+                          v.begin() + std::min(half, v.size()));
+    std::vector<Limb> high;
+    if (v.size() > half) high.assign(v.begin() + half, v.end());
+    Normalize(&low);
+    return std::make_pair(std::move(low), std::move(high));
+  };
+  auto [a0, a1] = split(a);
+  auto [b0, b1] = split(b);
+
+  std::vector<Limb> z0 = MulKaratsuba(a0, b0);
+  std::vector<Limb> z2 = MulKaratsuba(a1, b1);
+  std::vector<Limb> sum_a = AddMagnitude(a0, a1);
+  std::vector<Limb> sum_b = AddMagnitude(b0, b1);
+  std::vector<Limb> z1 = MulKaratsuba(sum_a, sum_b);
+  z1 = SubMagnitude(z1, z0);
+  z1 = SubMagnitude(z1, z2);
+
+  // result = z0 + (z1 << half*32) + (z2 << 2*half*32)
+  auto shifted = [](const std::vector<Limb>& v, std::size_t limbs) {
+    if (v.empty()) return v;
+    std::vector<Limb> out(limbs, 0);
+    out.insert(out.end(), v.begin(), v.end());
+    return out;
+  };
+  std::vector<Limb> result = AddMagnitude(z0, shifted(z1, half));
+  result = AddMagnitude(result, shifted(z2, 2 * half));
+  Normalize(&result);
+  return result;
+}
+
+std::vector<BigInt::Limb> BigInt::MulMagnitude(const std::vector<Limb>& a,
+                                               const std::vector<Limb>& b) {
+  if (a.size() >= kKaratsubaThreshold && b.size() >= kKaratsubaThreshold) {
+    return MulKaratsuba(a, b);
+  }
+  return MulSchoolbook(a, b);
+}
+
+std::pair<std::vector<BigInt::Limb>, std::vector<BigInt::Limb>>
+BigInt::DivModMagnitude(const std::vector<Limb>& a,
+                        const std::vector<Limb>& b) {
+  PL_CHECK(!b.empty());
+  if (CompareMagnitude(a, b) < 0) return {{}, a};
+
+  // Fast path: single-limb divisor.
+  if (b.size() == 1) {
+    std::vector<Limb> quotient(a.size(), 0);
+    Wide remainder = 0;
+    for (std::size_t i = a.size(); i-- > 0;) {
+      Wide cur = (remainder << kLimbBits) | a[i];
+      quotient[i] = static_cast<Limb>(cur / b[0]);
+      remainder = cur % b[0];
+    }
+    Normalize(&quotient);
+    std::vector<Limb> rem;
+    if (remainder != 0) rem.push_back(static_cast<Limb>(remainder));
+    return {std::move(quotient), std::move(rem)};
+  }
+
+  // Knuth Algorithm D. Normalize so the top limb of the divisor has its high
+  // bit set, which bounds the trial-quotient error to 2.
+  const int shift = kLimbBits - BitWidth32(b.back());
+  auto shift_left = [](const std::vector<Limb>& v, int s) {
+    std::vector<Limb> out(v.size() + 1, 0);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      out[i] |= static_cast<Limb>(static_cast<Wide>(v[i]) << s);
+      if (s != 0) out[i + 1] = static_cast<Limb>(v[i] >> (kLimbBits - s));
+    }
+    return out;
+  };
+  std::vector<Limb> u = shift_left(a, shift);  // keeps the extra top limb
+  std::vector<Limb> v = shift_left(b, shift);
+  Normalize(&v);
+  const std::size_t n = v.size();
+  const std::size_t m = u.size() - n;  // quotient has at most m limbs
+
+  std::vector<Limb> quotient(m, 0);
+  const Wide kBase = Wide{1} << kLimbBits;
+  for (std::size_t j = m; j-- > 0;) {
+    Wide numerator = (static_cast<Wide>(u[j + n]) << kLimbBits) | u[j + n - 1];
+    Wide qhat = numerator / v[n - 1];
+    Wide rhat = numerator % v[n - 1];
+    while (qhat >= kBase ||
+           qhat * v[n - 2] > ((rhat << kLimbBits) | u[j + n - 2])) {
+      --qhat;
+      rhat += v[n - 1];
+      if (rhat >= kBase) break;
+    }
+    // Multiply-and-subtract u[j..j+n] -= qhat * v.
+    std::int64_t borrow = 0;
+    Wide carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      Wide product = qhat * v[i] + carry;
+      carry = product >> kLimbBits;
+      std::int64_t diff = static_cast<std::int64_t>(u[i + j]) -
+                          static_cast<std::int64_t>(product & 0xFFFFFFFFu) -
+                          borrow;
+      if (diff < 0) {
+        diff += static_cast<std::int64_t>(kBase);
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      u[i + j] = static_cast<Limb>(diff);
+    }
+    std::int64_t top = static_cast<std::int64_t>(u[j + n]) -
+                       static_cast<std::int64_t>(carry) - borrow;
+    if (top < 0) {
+      // qhat was one too large: add back.
+      top += static_cast<std::int64_t>(kBase);
+      --qhat;
+      Wide add_carry = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        Wide sum = static_cast<Wide>(u[i + j]) + v[i] + add_carry;
+        u[i + j] = static_cast<Limb>(sum);
+        add_carry = sum >> kLimbBits;
+      }
+      top += static_cast<std::int64_t>(add_carry);
+      top &= static_cast<std::int64_t>(kBase - 1);
+    }
+    u[j + n] = static_cast<Limb>(top);
+    quotient[j] = static_cast<Limb>(qhat);
+  }
+  Normalize(&quotient);
+
+  // Denormalize the remainder (low n limbs of u, shifted back).
+  std::vector<Limb> remainder(u.begin(), u.begin() + n);
+  if (shift != 0) {
+    for (std::size_t i = 0; i + 1 < remainder.size(); ++i) {
+      remainder[i] = static_cast<Limb>(
+          (remainder[i] >> shift) |
+          (static_cast<Wide>(remainder[i + 1]) << (kLimbBits - shift)));
+    }
+    remainder.back() >>= shift;
+  }
+  Normalize(&remainder);
+  return {std::move(quotient), std::move(remainder)};
+}
+
+// --- Signed operations -------------------------------------------------------
+
+BigInt BigInt::operator-() const {
+  BigInt out = *this;
+  if (!out.limbs_.empty()) out.negative_ = !out.negative_;
+  return out;
+}
+
+BigInt BigInt::operator+(const BigInt& other) const {
+  BigInt out;
+  if (negative_ == other.negative_) {
+    out.limbs_ = AddMagnitude(limbs_, other.limbs_);
+    out.negative_ = negative_;
+  } else {
+    int cmp = CompareMagnitude(limbs_, other.limbs_);
+    if (cmp >= 0) {
+      out.limbs_ = SubMagnitude(limbs_, other.limbs_);
+      out.negative_ = negative_;
+    } else {
+      out.limbs_ = SubMagnitude(other.limbs_, limbs_);
+      out.negative_ = other.negative_;
+    }
+  }
+  out.Canonicalize();
+  return out;
+}
+
+BigInt BigInt::operator-(const BigInt& other) const { return *this + (-other); }
+
+BigInt BigInt::operator*(const BigInt& other) const {
+  BigInt out;
+  out.limbs_ = MulMagnitude(limbs_, other.limbs_);
+  out.negative_ = negative_ != other.negative_;
+  out.Canonicalize();
+  return out;
+}
+
+std::pair<BigInt, BigInt> BigInt::DivMod(const BigInt& dividend,
+                                         const BigInt& divisor) {
+  PL_CHECK(!divisor.IsZero());
+  auto [q_mag, r_mag] = DivModMagnitude(dividend.limbs_, divisor.limbs_);
+  BigInt quotient;
+  quotient.limbs_ = std::move(q_mag);
+  quotient.negative_ = dividend.negative_ != divisor.negative_;
+  quotient.Canonicalize();
+  BigInt remainder;
+  remainder.limbs_ = std::move(r_mag);
+  remainder.negative_ = dividend.negative_;
+  remainder.Canonicalize();
+  return {std::move(quotient), std::move(remainder)};
+}
+
+BigInt BigInt::operator/(const BigInt& other) const {
+  return DivMod(*this, other).first;
+}
+
+namespace {
+
+unsigned __int128 MagnitudeToU128(const std::vector<std::uint32_t>& limbs) {
+  unsigned __int128 value = 0;
+  for (std::size_t i = limbs.size(); i-- > 0;) {
+    value = (value << 32) | limbs[i];
+  }
+  return value;
+}
+
+}  // namespace
+
+BigInt BigInt::operator%(const BigInt& other) const {
+  PL_CHECK(!other.IsZero());
+  // Non-allocating fast paths. Node labels are typically at most a few
+  // limbs (depth * ~20 bits), and the ancestor test of the prime scheme is
+  // one mod per candidate row, so these paths carry the query benchmarks.
+  if (other.limbs_.size() <= 2) {
+    const std::uint64_t divisor = other.ToUint64();
+    std::uint64_t remainder = 0;
+    for (std::size_t i = limbs_.size(); i-- > 0;) {
+      unsigned __int128 cur =
+          (static_cast<unsigned __int128>(remainder) << 32) | limbs_[i];
+      remainder = static_cast<std::uint64_t>(cur % divisor);
+    }
+    BigInt out = FromUint64(remainder);
+    out.negative_ = negative_;
+    out.Canonicalize();
+    return out;
+  }
+  if (limbs_.size() <= 4 && other.limbs_.size() <= 4) {
+    unsigned __int128 remainder =
+        MagnitudeToU128(limbs_) % MagnitudeToU128(other.limbs_);
+    BigInt out = FromUint64(static_cast<std::uint64_t>(remainder));
+    if (remainder >> 64) {
+      out += FromUint64(static_cast<std::uint64_t>(remainder >> 64)) << 64;
+    }
+    out.negative_ = negative_;
+    out.Canonicalize();
+    return out;
+  }
+  return DivMod(*this, other).second;
+}
+
+BigInt BigInt::operator<<(int bits) const {
+  PL_CHECK(bits >= 0);
+  if (IsZero() || bits == 0) return *this;
+  const int limb_shift = bits / kLimbBits;
+  const int bit_shift = bits % kLimbBits;
+  BigInt out;
+  out.negative_ = negative_;
+  out.limbs_.assign(limb_shift, 0);
+  Limb carry = 0;
+  for (Limb limb : limbs_) {
+    out.limbs_.push_back(
+        static_cast<Limb>((static_cast<Wide>(limb) << bit_shift) | carry));
+    carry = bit_shift == 0 ? 0
+                           : static_cast<Limb>(limb >> (kLimbBits - bit_shift));
+  }
+  if (carry != 0) out.limbs_.push_back(carry);
+  out.Canonicalize();
+  return out;
+}
+
+BigInt BigInt::operator>>(int bits) const {
+  PL_CHECK(bits >= 0);
+  if (IsZero() || bits == 0) return *this;
+  const int limb_shift = bits / kLimbBits;
+  const int bit_shift = bits % kLimbBits;
+  if (static_cast<std::size_t>(limb_shift) >= limbs_.size()) return BigInt();
+  BigInt out;
+  out.negative_ = negative_;
+  out.limbs_.assign(limbs_.begin() + limb_shift, limbs_.end());
+  if (bit_shift != 0) {
+    for (std::size_t i = 0; i + 1 < out.limbs_.size(); ++i) {
+      out.limbs_[i] = static_cast<Limb>(
+          (out.limbs_[i] >> bit_shift) |
+          (static_cast<Wide>(out.limbs_[i + 1]) << (kLimbBits - bit_shift)));
+    }
+    out.limbs_.back() >>= bit_shift;
+  }
+  out.Canonicalize();
+  return out;
+}
+
+std::uint64_t BigInt::ModU64(std::uint64_t divisor) const {
+  PL_CHECK(divisor != 0);
+  std::uint64_t remainder = 0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    unsigned __int128 cur =
+        (static_cast<unsigned __int128>(remainder) << 32) | limbs_[i];
+    remainder = static_cast<std::uint64_t>(cur % divisor);
+  }
+  return remainder;
+}
+
+bool BigInt::IsDivisibleBy(const BigInt& divisor) const {
+  PL_CHECK(!divisor.IsZero());
+  if (divisor.limbs_.size() <= 2) {
+    return ModU64(divisor.ToUint64()) == 0;
+  }
+  if (limbs_.size() <= 4 && divisor.limbs_.size() <= 4) {
+    return MagnitudeToU128(limbs_) % MagnitudeToU128(divisor.limbs_) == 0;
+  }
+  return (*this % divisor).IsZero();
+}
+
+BigInt BigInt::EuclideanMod(const BigInt& modulus) const {
+  PL_CHECK(modulus.Sign() > 0);
+  BigInt r = *this % modulus;
+  if (r.Sign() < 0) r += modulus;
+  return r;
+}
+
+BigInt BigInt::Pow(unsigned exponent) const {
+  BigInt result(1);
+  BigInt base = *this;
+  while (exponent != 0) {
+    if (exponent & 1u) result *= base;
+    base *= base;
+    exponent >>= 1;
+  }
+  return result;
+}
+
+BigInt BigInt::Gcd(const BigInt& a, const BigInt& b) {
+  BigInt x = a.Sign() < 0 ? -a : a;
+  BigInt y = b.Sign() < 0 ? -b : b;
+  while (!y.IsZero()) {
+    BigInt r = x % y;
+    x = std::move(y);
+    y = std::move(r);
+  }
+  return x;
+}
+
+EgcdResult BigInt::ExtendedGcd(const BigInt& a, const BigInt& b) {
+  // Iterative extended Euclid on the signed values.
+  BigInt old_r = a, r = b;
+  BigInt old_x(1), x(0);
+  BigInt old_y(0), y(1);
+  while (!r.IsZero()) {
+    auto [q, rem] = DivMod(old_r, r);
+    old_r = std::move(r);
+    r = std::move(rem);
+    BigInt next_x = old_x - q * x;
+    old_x = std::move(x);
+    x = std::move(next_x);
+    BigInt next_y = old_y - q * y;
+    old_y = std::move(y);
+    y = std::move(next_y);
+  }
+  if (old_r.Sign() < 0) {
+    old_r = -old_r;
+    old_x = -old_x;
+    old_y = -old_y;
+  }
+  return {std::move(old_r), std::move(old_x), std::move(old_y)};
+}
+
+Result<BigInt> BigInt::ModInverse(const BigInt& value, const BigInt& modulus) {
+  PL_CHECK(modulus > BigInt(1));
+  EgcdResult e = ExtendedGcd(value, modulus);
+  if (e.g != BigInt(1)) {
+    return Status::InvalidArgument("value and modulus are not coprime");
+  }
+  return e.x.EuclideanMod(modulus);
+}
+
+BigInt BigInt::PowMod(const BigInt& base, const BigInt& exponent,
+                      const BigInt& modulus) {
+  PL_CHECK(exponent.Sign() >= 0);
+  PL_CHECK(modulus.Sign() > 0);
+  if (modulus == BigInt(1)) return BigInt(0);
+  BigInt result(1);
+  BigInt b = base.EuclideanMod(modulus);
+  BigInt e = exponent;
+  const BigInt two(2);
+  while (!e.IsZero()) {
+    if (e.IsOdd()) result = (result * b) % modulus;
+    b = (b * b) % modulus;
+    e = e >> 1;
+  }
+  return result;
+}
+
+std::strong_ordering operator<=>(const BigInt& a, const BigInt& b) {
+  if (a.negative_ != b.negative_) {
+    return a.negative_ ? std::strong_ordering::less
+                       : std::strong_ordering::greater;
+  }
+  int cmp = BigInt::CompareMagnitude(a.limbs_, b.limbs_);
+  if (a.negative_) cmp = -cmp;
+  if (cmp < 0) return std::strong_ordering::less;
+  if (cmp > 0) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+}  // namespace primelabel

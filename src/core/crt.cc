@@ -1,0 +1,86 @@
+#include "core/crt.h"
+
+#include <numeric>
+
+namespace primelabel {
+
+namespace {
+
+Status ValidateSystem(const std::vector<Congruence>& congruences) {
+  if (congruences.empty()) {
+    return Status::InvalidArgument("empty congruence system");
+  }
+  for (const Congruence& c : congruences) {
+    if (c.modulus < 2) {
+      return Status::InvalidArgument("modulus must be >= 2");
+    }
+    if (c.remainder >= c.modulus) {
+      return Status::InvalidArgument("remainder must be below its modulus");
+    }
+  }
+  for (std::size_t i = 0; i < congruences.size(); ++i) {
+    for (std::size_t j = i + 1; j < congruences.size(); ++j) {
+      if (std::gcd(congruences[i].modulus, congruences[j].modulus) != 1) {
+        return Status::InvalidArgument("moduli are not pairwise coprime");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+BigInt ProductOfModuli(const std::vector<Congruence>& congruences) {
+  BigInt product(1);
+  for (const Congruence& c : congruences) {
+    product *= BigInt::FromUint64(c.modulus);
+  }
+  return product;
+}
+
+}  // namespace
+
+Result<BigInt> SolveCrt(const std::vector<Congruence>& congruences) {
+  Status valid = ValidateSystem(congruences);
+  if (!valid.ok()) return valid;
+  const BigInt product = ProductOfModuli(congruences);
+  BigInt solution(0);
+  for (const Congruence& c : congruences) {
+    const BigInt modulus = BigInt::FromUint64(c.modulus);
+    const BigInt partial = product / modulus;  // C / m_i
+    Result<BigInt> inverse = BigInt::ModInverse(partial % modulus, modulus);
+    PL_CHECK(inverse.ok());  // guaranteed by pairwise coprimality
+    solution += partial * inverse.value() * BigInt::FromUint64(c.remainder);
+  }
+  return solution.EuclideanMod(product);
+}
+
+Result<BigInt> SolveCrtEuler(const std::vector<Congruence>& congruences) {
+  Status valid = ValidateSystem(congruences);
+  if (!valid.ok()) return valid;
+  const BigInt product = ProductOfModuli(congruences);
+  BigInt solution(0);
+  for (const Congruence& c : congruences) {
+    const BigInt modulus = BigInt::FromUint64(c.modulus);
+    const BigInt partial = product / modulus;  // C / m_i
+    // (C/m_i)^phi(m_i) = 1 (mod m_i) and = 0 (mod m_j), j != i.
+    const BigInt phi =
+        BigInt::FromUint64(EulerTotientU64(c.modulus));
+    solution += BigInt::PowMod(partial, phi, product) *
+                BigInt::FromUint64(c.remainder);
+  }
+  return solution.EuclideanMod(product);
+}
+
+std::uint64_t EulerTotientU64(std::uint64_t n) {
+  PL_CHECK(n >= 1);
+  std::uint64_t result = n;
+  std::uint64_t remaining = n;
+  for (std::uint64_t p = 2; p * p <= remaining; ++p) {
+    if (remaining % p != 0) continue;
+    while (remaining % p == 0) remaining /= p;
+    result -= result / p;
+  }
+  if (remaining > 1) result -= result / remaining;
+  return result;
+}
+
+}  // namespace primelabel

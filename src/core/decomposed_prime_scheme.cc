@@ -1,0 +1,170 @@
+#include "core/decomposed_prime_scheme.h"
+
+#include "util/status.h"
+
+namespace primelabel {
+
+DecomposedPrimeScheme::DecomposedPrimeScheme(int component_depth)
+    : component_depth_(component_depth) {
+  PL_CHECK(component_depth_ >= 1);
+}
+
+std::string_view DecomposedPrimeScheme::name() const {
+  return "prime-decomposed";
+}
+
+void DecomposedPrimeScheme::EnsureCapacity() {
+  std::size_t need = tree()->arena_size();
+  if (component_of_.size() < need) {
+    component_of_.resize(need, -1);
+    local_labels_.resize(need);
+    local_selves_.resize(need, 0);
+  }
+}
+
+void DecomposedPrimeScheme::AssignLocal(NodeId node, int comp,
+                                        bool is_component_root) {
+  auto index = static_cast<size_t>(node);
+  component_of_[index] = comp;
+  if (is_component_root) {
+    local_selves_[index] = 1;
+    local_labels_[index] = BigInt(1);
+  } else {
+    NodeId parent = tree()->parent(node);
+    std::uint64_t p = components_[static_cast<size_t>(comp)].primes.Next();
+    local_selves_[index] = p;
+    local_labels_[index] =
+        local_labels_[static_cast<size_t>(parent)] * BigInt::FromUint64(p);
+  }
+}
+
+void DecomposedPrimeScheme::LabelTree(const XmlTree& tree) {
+  set_tree(tree);
+  components_.clear();
+  component_primes_.Reset();
+  component_of_.assign(tree.arena_size(), -1);
+  local_labels_.assign(tree.arena_size(), BigInt());
+  local_selves_.assign(tree.arena_size(), 0);
+
+  tree.Preorder([&](NodeId id, int depth) {
+    if (depth == 0) {
+      Component top;
+      top.root = id;
+      top.label = BigInt(1);
+      components_.push_back(std::move(top));
+      AssignLocal(id, 0, /*is_component_root=*/true);
+    } else if (depth % component_depth_ == 0) {
+      // Cut: this node roots a new component hanging off its parent's.
+      NodeId parent = tree.parent(id);
+      int parent_comp = component_of_[static_cast<size_t>(parent)];
+      Component comp;
+      comp.root = id;
+      comp.parent_component = parent_comp;
+      comp.attachment = parent;
+      comp.label = components_[static_cast<size_t>(parent_comp)].label *
+                   BigInt::FromUint64(component_primes_.Next());
+      components_.push_back(std::move(comp));
+      AssignLocal(id, static_cast<int>(components_.size() - 1),
+                  /*is_component_root=*/true);
+    } else {
+      NodeId parent = tree.parent(id);
+      AssignLocal(id, component_of_[static_cast<size_t>(parent)],
+                  /*is_component_root=*/false);
+    }
+  });
+}
+
+bool DecomposedPrimeScheme::IsAncestor(NodeId ancestor,
+                                       NodeId descendant) const {
+  if (ancestor == descendant) return false;
+  int ca = component_of(ancestor);
+  int cd = component_of(descendant);
+  if (ca == cd) {
+    return local_labels_[static_cast<size_t>(descendant)].IsDivisibleBy(
+               local_labels_[static_cast<size_t>(ancestor)]) &&
+           local_labels_[static_cast<size_t>(descendant)] !=
+               local_labels_[static_cast<size_t>(ancestor)];
+  }
+  // The component of the ancestor must properly contain the descendant's
+  // in the global component tree (divisibility of component labels).
+  const Component& comp_a = components_[static_cast<size_t>(ca)];
+  const Component& comp_d = components_[static_cast<size_t>(cd)];
+  if (!comp_d.label.IsDivisibleBy(comp_a.label)) return false;
+  // Walk the descendant's component chain to the child of `ca` on the
+  // path; its attachment point lives in `ca`.
+  int cursor = cd;
+  while (components_[static_cast<size_t>(cursor)].parent_component != ca) {
+    cursor = components_[static_cast<size_t>(cursor)].parent_component;
+    if (cursor < 0) return false;
+  }
+  NodeId attachment = components_[static_cast<size_t>(cursor)].attachment;
+  if (attachment == ancestor) return true;
+  return local_labels_[static_cast<size_t>(attachment)].IsDivisibleBy(
+             local_labels_[static_cast<size_t>(ancestor)]) &&
+         local_labels_[static_cast<size_t>(attachment)] !=
+             local_labels_[static_cast<size_t>(ancestor)];
+}
+
+bool DecomposedPrimeScheme::IsParent(NodeId parent, NodeId child) const {
+  if (parent == child) return false;
+  int cp = component_of(parent);
+  int cc = component_of(child);
+  if (cp == cc) {
+    return local_labels_[static_cast<size_t>(parent)] *
+               BigInt::FromUint64(
+                   local_selves_[static_cast<size_t>(child)]) ==
+               local_labels_[static_cast<size_t>(child)] &&
+           local_selves_[static_cast<size_t>(child)] != 1;
+  }
+  // Across components only a component root has its parent outside.
+  const Component& comp_c = components_[static_cast<size_t>(cc)];
+  return comp_c.root == child && comp_c.attachment == parent;
+}
+
+int DecomposedPrimeScheme::LabelBits(NodeId id) const {
+  int comp = component_of(id);
+  return components_[static_cast<size_t>(comp)].label.BitLength() +
+         local_labels_[static_cast<size_t>(id)].BitLength();
+}
+
+std::string DecomposedPrimeScheme::LabelString(NodeId id) const {
+  int comp = component_of(id);
+  return "(" +
+         components_[static_cast<size_t>(comp)].label.ToDecimalString() +
+         ", " + local_labels_[static_cast<size_t>(id)].ToDecimalString() +
+         ")";
+}
+
+int DecomposedPrimeScheme::HandleInsert(NodeId new_node) {
+  PL_CHECK(tree() != nullptr);
+  EnsureCapacity();
+  // Relabel the inserted node and (for WrapNode) its subtree: depths below
+  // a wrapper shift by one, which can move nodes across component cuts, so
+  // the whole subtree is reassigned.
+  int count = 0;
+  int base_depth = tree()->Depth(new_node);
+  tree()->PreorderFrom(new_node, base_depth, [&](NodeId id, int depth) {
+    ++count;
+    if (depth % component_depth_ == 0) {
+      NodeId parent = tree()->parent(id);
+      PL_CHECK(parent != kInvalidNodeId);
+      int parent_comp = component_of_[static_cast<size_t>(parent)];
+      Component comp;
+      comp.root = id;
+      comp.parent_component = parent_comp;
+      comp.attachment = parent;
+      comp.label = components_[static_cast<size_t>(parent_comp)].label *
+                   BigInt::FromUint64(component_primes_.Next());
+      components_.push_back(std::move(comp));
+      AssignLocal(id, static_cast<int>(components_.size() - 1),
+                  /*is_component_root=*/true);
+    } else {
+      NodeId parent = tree()->parent(id);
+      AssignLocal(id, component_of_[static_cast<size_t>(parent)],
+                  /*is_component_root=*/false);
+    }
+  });
+  return count;
+}
+
+}  // namespace primelabel

@@ -1,0 +1,74 @@
+#ifndef PRIMELABEL_CORE_ORDERED_PRIME_SCHEME_H_
+#define PRIMELABEL_CORE_ORDERED_PRIME_SCHEME_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/sc_table.h"
+#include "labeling/prime_top_down.h"
+#include "labeling/scheme.h"
+
+namespace primelabel {
+
+/// The paper's full contribution: top-down prime labeling plus a
+/// simultaneous-congruence table that captures global document order
+/// (Section 4).
+///
+/// Structure queries (ancestor/parent) come from divisibility of the prime
+/// labels; order queries (preceding/following, sibling position) come from
+/// order numbers recovered as `sc mod self-label`. Order-sensitive
+/// insertion labels only the new node and rewrites the affected SC records
+/// — the cheap update path Figure 18 demonstrates against interval and
+/// prefix relabeling.
+///
+/// The relabel counts returned by HandleOrderedInsert follow the paper's
+/// accounting: one per (re)labeled node plus one per SC record update.
+class OrderedPrimeScheme : public LabelingScheme {
+ public:
+  /// `sc_group_size`: nodes per SC value (the paper's Fig 18 uses 5).
+  explicit OrderedPrimeScheme(int sc_group_size = 5);
+
+  std::string_view name() const override;
+  void LabelTree(const XmlTree& tree) override;
+  bool IsAncestor(NodeId ancestor, NodeId descendant) const override;
+  bool IsParent(NodeId parent, NodeId child) const override;
+  int LabelBits(NodeId id) const override;
+  std::string LabelString(NodeId id) const override;
+  int HandleInsert(NodeId new_node) override;
+  int HandleOrderedInsert(NodeId new_node) override;
+
+  /// Releases the SC congruences of a detached subtree. Remaining order
+  /// numbers keep their (gapped) values, so order comparisons stay valid
+  /// without any relabeling — the paper's "deletion does not affect any
+  /// node ordering". Returns 0 (nothing is relabeled).
+  int HandleDelete(NodeId node) override;
+
+  // --- Order queries (Section 4.3) ---------------------------------------
+
+  /// Global order number of a node (root = 0), recovered from the SC table.
+  std::uint64_t OrderOf(NodeId id) const;
+
+  /// True iff `x` precedes `y` in document order and is not its ancestor —
+  /// the XPath `preceding` axis relation.
+  bool Precedes(NodeId x, NodeId y) const;
+
+  /// True iff `x` follows `y` in document order and is not its descendant —
+  /// the XPath `following` axis relation.
+  bool Follows(NodeId x, NodeId y) const;
+
+  /// Access to the underlying structural scheme and the SC table.
+  const PrimeTopDownScheme& structure() const { return structure_; }
+  const ScTable& sc_table() const { return sc_table_; }
+
+ private:
+  /// Registers the new node's order number: document-order position of the
+  /// node at insertion time, shifting followers. Returns SC accounting.
+  ScUpdateStats RegisterOrder(NodeId new_node);
+
+  PrimeTopDownScheme structure_;
+  ScTable sc_table_;
+};
+
+}  // namespace primelabel
+
+#endif  // PRIMELABEL_CORE_ORDERED_PRIME_SCHEME_H_

@@ -1,0 +1,114 @@
+#include "core/path_combine.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace primelabel {
+
+namespace {
+
+/// Computes a structural signature per node: equal signatures mean equal
+/// tag and recursively equal child structure. Signatures are interned ids
+/// so comparison is O(1).
+class SignatureIndex {
+ public:
+  explicit SignatureIndex(const XmlTree& tree)
+      : tree_(tree), signatures_(tree.arena_size(), 0) {}
+
+  void Compute() { Visit(tree_.root()); }
+
+  int signature(NodeId id) const {
+    return signatures_[static_cast<size_t>(id)];
+  }
+
+ private:
+  int Visit(NodeId id) {
+    std::string key = tree_.IsElement(id) ? tree_.name(id) : "#text";
+    key.push_back('(');
+    for (NodeId c = tree_.first_child(id); c != kInvalidNodeId;
+         c = tree_.next_sibling(c)) {
+      key += std::to_string(Visit(c));
+      key.push_back(',');
+    }
+    key.push_back(')');
+    auto [it, inserted] = interned_.emplace(key, next_id_);
+    if (inserted) ++next_id_;
+    signatures_[static_cast<size_t>(id)] = it->second;
+    return it->second;
+  }
+
+  const XmlTree& tree_;
+  std::vector<int> signatures_;
+  std::unordered_map<std::string, int> interned_;
+  int next_id_ = 1;
+};
+
+/// Emits the children of `source` under `target`, merging runs of siblings
+/// that share a structural signature.
+void EmitCombinedChildren(const XmlTree& from, const SignatureIndex& index,
+                          NodeId source, XmlTree* to, NodeId target,
+                          std::size_t* removed);
+
+NodeId EmitCombinedNode(const XmlTree& from, const SignatureIndex& index,
+                        NodeId source, XmlTree* to, NodeId target_parent,
+                        std::size_t* removed) {
+  NodeId copy = from.IsElement(source)
+                    ? to->AppendChild(target_parent, from.name(source))
+                    : to->AppendText(target_parent, from.name(source));
+  for (const auto& [key, value] : from.node(source).attributes) {
+    to->AddAttribute(copy, key, value);
+  }
+  EmitCombinedChildren(from, index, source, to, copy, removed);
+  return copy;
+}
+
+void EmitCombinedChildren(const XmlTree& from, const SignatureIndex& index,
+                          NodeId source, XmlTree* to, NodeId target,
+                          std::size_t* removed) {
+  // Group the children by signature, keeping first-occurrence order.
+  std::vector<NodeId> children = from.Children(source);
+  std::unordered_map<int, int> occurrence_count;
+  std::unordered_map<int, bool> emitted;
+  for (NodeId c : children) {
+    ++occurrence_count[index.signature(c)];
+  }
+  std::size_t subtree_size_cache = 0;
+  for (NodeId c : children) {
+    int sig = index.signature(c);
+    if (emitted[sig]) {
+      // Merged away: count the nodes of this duplicate subtree.
+      subtree_size_cache = 0;
+      from.PreorderFrom(c, 0,
+                        [&](NodeId, int) { ++subtree_size_cache; });
+      *removed += subtree_size_cache;
+      continue;
+    }
+    emitted[sig] = true;
+    NodeId copy = EmitCombinedNode(from, index, c, to, target, removed);
+    if (occurrence_count[sig] > 1 && to->IsElement(copy)) {
+      to->AddAttribute(copy, "count",
+                       std::to_string(occurrence_count[sig]));
+    }
+  }
+}
+
+}  // namespace
+
+CombineResult CombineRepeatedPaths(const XmlTree& input) {
+  CombineResult result;
+  if (input.root() == kInvalidNodeId) return result;
+  SignatureIndex index(input);
+  index.Compute();
+  NodeId root = result.tree.CreateRoot(input.name(input.root()));
+  for (const auto& [key, value] : input.node(input.root()).attributes) {
+    result.tree.AddAttribute(root, key, value);
+  }
+  EmitCombinedChildren(input, index, input.root(), &result.tree, root,
+                       &result.nodes_removed);
+  return result;
+}
+
+}  // namespace primelabel

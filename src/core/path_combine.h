@@ -1,0 +1,31 @@
+#ifndef PRIMELABEL_CORE_PATH_COMBINE_H_
+#define PRIMELABEL_CORE_PATH_COMBINE_H_
+
+#include <cstddef>
+
+#include "xml/tree.h"
+
+namespace primelabel {
+
+/// Result of the Opt3 transformation.
+struct CombineResult {
+  XmlTree tree;                 ///< the collapsed tree
+  std::size_t nodes_removed = 0;  ///< how many nodes were merged away
+};
+
+/// Opt3 (Section 3.2, Figure 6): collapses repeated sibling paths.
+///
+/// Sibling subtrees with identical structure (same element tag and
+/// recursively identical child structure, e.g. the three `book/author`
+/// paths of Figure 6a) are merged into a single representative subtree.
+/// The representative carries a `count` attribute, standing in for the
+/// paper's "position information at the leaf nodes" that preserves sibling
+/// order among the merged occurrences.
+///
+/// Only the label-size effect matters for Figure 13, so the transformation
+/// returns a new tree to be labeled rather than rewriting in place.
+CombineResult CombineRepeatedPaths(const XmlTree& input);
+
+}  // namespace primelabel
+
+#endif  // PRIMELABEL_CORE_PATH_COMBINE_H_

@@ -1,0 +1,189 @@
+#include "core/sc_table.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace primelabel {
+
+ScTable::ScTable(int group_size) : group_size_(group_size) {
+  PL_CHECK(group_size_ >= 1);
+}
+
+ScTable ScTable::FromRecords(int group_size, std::vector<ScRecord> records) {
+  ScTable table(group_size);
+  table.records_ = std::move(records);
+  for (std::size_t r = 0; r < table.records_.size(); ++r) {
+    ScRecord& record = table.records_[r];
+    PL_CHECK(record.moduli.size() == record.orders.size());
+    for (std::size_t i = 0; i < record.moduli.size(); ++i) {
+      table.index_[record.moduli[i]] = {r, i};
+      table.max_order_ = std::max(table.max_order_, record.orders[i]);
+    }
+    if (!record.moduli.empty()) table.Recompute(r);
+  }
+  return table;
+}
+
+void ScTable::Recompute(std::size_t record_index) {
+  ScRecord& record = records_[record_index];
+  std::vector<Congruence> system;
+  system.reserve(record.moduli.size());
+  for (std::size_t i = 0; i < record.moduli.size(); ++i) {
+    system.push_back({record.moduli[i], record.orders[i]});
+  }
+  Result<BigInt> solution = SolveCrt(system);
+  PL_CHECK(solution.ok());
+  record.sc = std::move(solution.value());
+  record.max_modulus =
+      *std::max_element(record.moduli.begin(), record.moduli.end());
+}
+
+std::size_t ScTable::Add(std::uint64_t self, std::uint64_t order) {
+  PL_CHECK(order < self);
+  PL_CHECK(index_.find(self) == index_.end());
+  if (records_.empty() ||
+      records_.back().moduli.size() >=
+          static_cast<std::size_t>(group_size_)) {
+    records_.emplace_back();
+  }
+  std::size_t record_index = records_.size() - 1;
+  ScRecord& record = records_[record_index];
+  record.moduli.push_back(self);
+  record.orders.push_back(order);
+  index_[self] = {record_index, record.moduli.size() - 1};
+  max_order_ = std::max(max_order_, order);
+  return record_index;
+}
+
+void ScTable::Build(const std::vector<std::uint64_t>& selves) {
+  records_.clear();
+  index_.clear();
+  max_order_ = 0;
+  std::size_t previous_record = static_cast<std::size_t>(-1);
+  for (std::size_t k = 0; k < selves.size(); ++k) {
+    std::size_t touched = Add(selves[k], k + 1);
+    if (previous_record != touched && previous_record != static_cast<std::size_t>(-1)) {
+      Recompute(previous_record);
+    }
+    previous_record = touched;
+  }
+  if (previous_record != static_cast<std::size_t>(-1)) {
+    Recompute(previous_record);
+  }
+}
+
+std::uint64_t ScTable::OrderOf(std::uint64_t self) const {
+  auto it = index_.find(self);
+  PL_CHECK(it != index_.end());
+  const ScRecord& record = records_[it->second.first];
+  // The paper's recovery: order = SC mod self-label.
+  return record.sc.ModU64(self);
+}
+
+bool ScTable::Contains(std::uint64_t self) const {
+  return index_.find(self) != index_.end();
+}
+
+ScUpdateStats ScTable::InsertAt(
+    std::uint64_t self, std::uint64_t position,
+    const std::function<std::uint64_t(std::uint64_t)>& relabel) {
+  ScUpdateStats stats;
+  PL_CHECK(index_.find(self) == index_.end());
+
+  // Shift every order number >= position up by one, relabeling nodes whose
+  // order number would reach their modulus.
+  std::vector<std::size_t> dirty;
+  for (std::size_t r = 0; r < records_.size(); ++r) {
+    ScRecord& record = records_[r];
+    bool touched = false;
+    for (std::size_t i = 0; i < record.orders.size(); ++i) {
+      if (record.orders[i] < position) continue;
+      ++record.orders[i];
+      touched = true;
+      if (record.orders[i] >= record.moduli[i]) {
+        std::uint64_t old_self = record.moduli[i];
+        std::uint64_t new_self = relabel(old_self);
+        PL_CHECK(new_self > record.orders[i]);
+        index_.erase(old_self);
+        record.moduli[i] = new_self;
+        index_[new_self] = {r, i};
+        ++stats.nodes_relabeled;
+      }
+      max_order_ = std::max(max_order_, record.orders[i]);
+    }
+    if (touched) dirty.push_back(r);
+  }
+
+  // Insert the new congruence; the record it lands in is recomputed either
+  // way, so only count it once.
+  PL_CHECK(position < self);
+  std::size_t landed = Add(self, position);
+  if (std::find(dirty.begin(), dirty.end(), landed) == dirty.end()) {
+    dirty.push_back(landed);
+  }
+  for (std::size_t r : dirty) Recompute(r);
+  stats.records_updated = static_cast<int>(dirty.size());
+  return stats;
+}
+
+ScUpdateStats ScTable::Append(std::uint64_t self) {
+  ScUpdateStats stats;
+  std::size_t landed = Add(self, max_order_ + 1);
+  Recompute(landed);
+  stats.records_updated = 1;
+  return stats;
+}
+
+bool ScTable::VerifyIntegrity() const {
+  std::size_t indexed = 0;
+  for (std::size_t r = 0; r < records_.size(); ++r) {
+    const ScRecord& record = records_[r];
+    if (record.moduli.size() != record.orders.size()) return false;
+    for (std::size_t i = 0; i < record.moduli.size(); ++i) {
+      if (record.orders[i] >= record.moduli[i]) return false;
+      if (record.sc.ModU64(record.moduli[i]) != record.orders[i]) {
+        return false;
+      }
+      auto it = index_.find(record.moduli[i]);
+      if (it == index_.end() || it->second != std::make_pair(r, i)) {
+        return false;
+      }
+      ++indexed;
+    }
+    if (!record.moduli.empty() &&
+        record.max_modulus !=
+            *std::max_element(record.moduli.begin(), record.moduli.end())) {
+      return false;
+    }
+  }
+  return indexed == index_.size();
+}
+
+bool ScTable::Remove(std::uint64_t self) {
+  auto it = index_.find(self);
+  if (it == index_.end()) return false;
+  auto [record_index, slot] = it->second;
+  ScRecord& record = records_[record_index];
+  // Swap-erase within the record and fix the displaced node's slot.
+  std::size_t last = record.moduli.size() - 1;
+  if (slot != last) {
+    record.moduli[slot] = record.moduli[last];
+    record.orders[slot] = record.orders[last];
+    index_[record.moduli[slot]] = {record_index, slot};
+  }
+  record.moduli.pop_back();
+  record.orders.pop_back();
+  index_.erase(it);
+  if (record.moduli.empty()) {
+    // Keep empty records out of Recompute; leave the hole in place so other
+    // records' indexes stay valid.
+    record.sc = BigInt(0);
+    record.max_modulus = 0;
+  } else {
+    Recompute(record_index);
+  }
+  return true;
+}
+
+}  // namespace primelabel

@@ -1,0 +1,48 @@
+#include "core/streaming_labeler.h"
+
+#include <algorithm>
+
+namespace primelabel {
+
+StreamingPrimeLabeler::StreamingPrimeLabeler(Emit emit)
+    : emit_(std::move(emit)) {}
+
+void StreamingPrimeLabeler::StartElement(
+    std::string_view tag,
+    const std::vector<std::pair<std::string_view, std::string_view>>&
+        attributes) {
+  (void)attributes;
+  std::uint64_t self;
+  if (label_stack_.empty()) {
+    self = 1;
+    label_stack_.push_back(BigInt(1));
+  } else {
+    self = primes_.Next();
+    label_stack_.push_back(label_stack_.back() * BigInt::FromUint64(self));
+  }
+  ++elements_labeled_;
+  max_label_bits_ = std::max(max_label_bits_, label_stack_.back().BitLength());
+  if (emit_) {
+    LabeledElement element;
+    element.tag = tag;
+    element.depth = static_cast<int>(label_stack_.size()) - 1;
+    element.label = &label_stack_.back();
+    element.self = self;
+    emit_(element);
+  }
+}
+
+void StreamingPrimeLabeler::EndElement(std::string_view tag) {
+  (void)tag;
+  label_stack_.pop_back();
+}
+
+void StreamingPrimeLabeler::Text(std::string_view text) { (void)text; }
+
+Status LabelXmlStreaming(std::string_view xml,
+                         const StreamingPrimeLabeler::Emit& emit) {
+  StreamingPrimeLabeler labeler(emit);
+  return ParseXmlSax(xml, &labeler);
+}
+
+}  // namespace primelabel

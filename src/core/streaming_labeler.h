@@ -1,0 +1,68 @@
+#ifndef PRIMELABEL_CORE_STREAMING_LABELER_H_
+#define PRIMELABEL_CORE_STREAMING_LABELER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bigint/bigint.h"
+#include "primes/prime_source.h"
+#include "util/status.h"
+#include "xml/sax.h"
+
+namespace primelabel {
+
+/// One-pass, O(depth)-memory prime labeling over a SAX stream.
+///
+/// The top-down scheme only ever needs the current root path's label
+/// product to label the next element, so labels can be assigned *during*
+/// the parse ("SAX parse order", Section 5.3) without materializing the
+/// document — the property that lets the scheme label documents larger
+/// than memory. Each element is emitted with its label the moment its
+/// start tag arrives.
+class StreamingPrimeLabeler : public SaxHandler {
+ public:
+  /// One labeled element, emitted at its start tag.
+  struct LabeledElement {
+    std::string_view tag;     ///< valid only during the emit call
+    int depth = 0;            ///< root = 0
+    const BigInt* label;      ///< product of root-path self-labels
+    std::uint64_t self = 1;   ///< this element's prime (1 for the root)
+  };
+  using Emit = std::function<void(const LabeledElement&)>;
+
+  explicit StreamingPrimeLabeler(Emit emit);
+
+  // SaxHandler:
+  void StartElement(
+      std::string_view tag,
+      const std::vector<std::pair<std::string_view, std::string_view>>&
+          attributes) override;
+  void EndElement(std::string_view tag) override;
+  void Text(std::string_view text) override;
+
+  /// Elements labeled so far.
+  std::size_t elements_labeled() const { return elements_labeled_; }
+  /// Largest label seen, in bits.
+  int max_label_bits() const { return max_label_bits_; }
+  /// Current stack depth (0 between documents) — the whole memory
+  /// footprint is proportional to this.
+  std::size_t stack_depth() const { return label_stack_.size(); }
+
+ private:
+  Emit emit_;
+  PrimeSource primes_;
+  /// Root-path label products; back() is the current element's label.
+  std::vector<BigInt> label_stack_;
+  std::size_t elements_labeled_ = 0;
+  int max_label_bits_ = 0;
+};
+
+/// Convenience: parse `xml` and stream labels to `emit`.
+Status LabelXmlStreaming(std::string_view xml,
+                         const StreamingPrimeLabeler::Emit& emit);
+
+}  // namespace primelabel
+
+#endif  // PRIMELABEL_CORE_STREAMING_LABELER_H_

@@ -1,0 +1,80 @@
+#include "corpus/document_store.h"
+
+#include <algorithm>
+
+#include "xpath/evaluator.h"
+#include "xpath/parser.h"
+
+namespace primelabel {
+
+DocumentStore::DocumentStore(int sc_group_size)
+    : sc_group_size_(sc_group_size) {}
+
+DocumentStore::DocId DocumentStore::AddDocument(std::string name,
+                                                XmlTree tree) {
+  Document doc;
+  doc.name = std::move(name);
+  doc.tree = std::make_unique<XmlTree>(std::move(tree));
+  doc.scheme = std::make_unique<OrderedPrimeScheme>(sc_group_size_);
+  doc.scheme->LabelTree(*doc.tree);
+  doc.table = std::make_unique<LabelTable>(*doc.tree);
+  documents_.push_back(std::move(doc));
+  return static_cast<DocId>(documents_.size() - 1);
+}
+
+const std::string& DocumentStore::document_name(DocId doc) const {
+  PL_CHECK(doc >= 0 && static_cast<std::size_t>(doc) < documents_.size());
+  return documents_[static_cast<std::size_t>(doc)].name;
+}
+
+const XmlTree& DocumentStore::document(DocId doc) const {
+  PL_CHECK(doc >= 0 && static_cast<std::size_t>(doc) < documents_.size());
+  return *documents_[static_cast<std::size_t>(doc)].tree;
+}
+
+const OrderedPrimeScheme& DocumentStore::scheme(DocId doc) const {
+  PL_CHECK(doc >= 0 && static_cast<std::size_t>(doc) < documents_.size());
+  return *documents_[static_cast<std::size_t>(doc)].scheme;
+}
+
+Result<DocumentStore::QueryResult> DocumentStore::Query(
+    std::string_view xpath) const {
+  Result<XPathQuery> parsed = ParseXPath(xpath);
+  if (!parsed.ok()) return parsed.status();
+  return Query(parsed.value());
+}
+
+DocumentStore::QueryResult DocumentStore::Query(
+    const XPathQuery& query) const {
+  QueryResult result;
+  for (std::size_t d = 0; d < documents_.size(); ++d) {
+    const Document& doc = documents_[d];
+    QueryContext ctx;
+    ctx.table = doc.table.get();
+    ctx.scheme = doc.scheme.get();
+    OrderedPrimeScheme* scheme = doc.scheme.get();
+    ctx.order_of = [scheme](NodeId id) { return scheme->OrderOf(id); };
+    XPathEvaluator evaluator(&ctx);
+    for (NodeId node : evaluator.Evaluate(query)) {
+      result.hits.push_back({static_cast<DocId>(d), node});
+    }
+    result.stats += ctx.stats;
+  }
+  return result;
+}
+
+int DocumentStore::MaxLabelBits() const {
+  int bits = 0;
+  for (const Document& doc : documents_) {
+    bits = std::max(bits, doc.scheme->MaxLabelBits());
+  }
+  return bits;
+}
+
+std::size_t DocumentStore::total_nodes() const {
+  std::size_t total = 0;
+  for (const Document& doc : documents_) total += doc.tree->node_count();
+  return total;
+}
+
+}  // namespace primelabel

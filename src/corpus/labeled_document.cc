@@ -1,0 +1,77 @@
+#include "corpus/labeled_document.h"
+
+#include "store/catalog.h"
+#include "xml/parser.h"
+#include "xpath/evaluator.h"
+
+namespace primelabel {
+
+LabeledDocument::LabeledDocument(XmlTree tree, int sc_group_size)
+    : tree_(std::make_unique<XmlTree>(std::move(tree))),
+      scheme_(std::make_unique<OrderedPrimeScheme>(sc_group_size)) {
+  scheme_->LabelTree(*tree_);
+}
+
+Result<LabeledDocument> LabeledDocument::FromXml(std::string_view xml,
+                                                 int sc_group_size) {
+  Result<XmlTree> parsed = ParseXml(xml);
+  if (!parsed.ok()) return parsed.status();
+  return LabeledDocument(std::move(parsed.value()), sc_group_size);
+}
+
+LabeledDocument LabeledDocument::FromTree(XmlTree tree, int sc_group_size) {
+  return LabeledDocument(std::move(tree), sc_group_size);
+}
+
+const LabelTable& LabeledDocument::table() const {
+  if (table_dirty_) {
+    table_ = std::make_unique<LabelTable>(*tree_);
+    table_dirty_ = false;
+  }
+  return *table_;
+}
+
+Result<std::vector<NodeId>> LabeledDocument::Query(
+    std::string_view xpath) const {
+  QueryContext ctx;
+  ctx.table = &table();
+  ctx.scheme = scheme_.get();
+  OrderedPrimeScheme* scheme = scheme_.get();
+  ctx.order_of = [scheme](NodeId id) { return scheme->OrderOf(id); };
+  XPathEvaluator evaluator(&ctx);
+  return evaluator.Evaluate(xpath);
+}
+
+NodeId LabeledDocument::Finish(NodeId fresh) {
+  last_update_cost_ = scheme_->HandleOrderedInsert(fresh);
+  table_dirty_ = true;
+  return fresh;
+}
+
+NodeId LabeledDocument::InsertBefore(NodeId sibling, std::string_view tag) {
+  return Finish(tree_->InsertBefore(sibling, tag));
+}
+
+NodeId LabeledDocument::InsertAfter(NodeId sibling, std::string_view tag) {
+  return Finish(tree_->InsertAfter(sibling, tag));
+}
+
+NodeId LabeledDocument::AppendChild(NodeId parent, std::string_view tag) {
+  return Finish(tree_->AppendChild(parent, tag));
+}
+
+NodeId LabeledDocument::Wrap(NodeId node, std::string_view tag) {
+  return Finish(tree_->WrapNode(node, tag));
+}
+
+void LabeledDocument::Delete(NodeId node) {
+  tree_->Detach(node);
+  last_update_cost_ = scheme_->HandleDelete(node);
+  table_dirty_ = true;
+}
+
+Status LabeledDocument::Save(const std::string& path) const {
+  return SaveCatalog(path, *tree_, *scheme_);
+}
+
+}  // namespace primelabel

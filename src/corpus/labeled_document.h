@@ -1,0 +1,73 @@
+#ifndef PRIMELABEL_CORPUS_LABELED_DOCUMENT_H_
+#define PRIMELABEL_CORPUS_LABELED_DOCUMENT_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/ordered_prime_scheme.h"
+#include "store/label_table.h"
+#include "util/status.h"
+#include "xml/tree.h"
+
+namespace primelabel {
+
+/// One-stop facade over the full pipeline: parse -> prime-label -> index ->
+/// query -> update -> persist. The individual pieces (XmlTree,
+/// OrderedPrimeScheme, LabelTable, XPathEvaluator, catalog) stay available
+/// for callers who need control; this class wires them correctly for the
+/// common case and keeps the label bookkeeping in sync with mutations.
+class LabeledDocument {
+ public:
+  /// Parses and labels a document (kParseError on malformed XML).
+  static Result<LabeledDocument> FromXml(std::string_view xml,
+                                         int sc_group_size = 5);
+  /// Adopts an existing tree and labels it.
+  static LabeledDocument FromTree(XmlTree tree, int sc_group_size = 5);
+
+  LabeledDocument(LabeledDocument&&) = default;
+  LabeledDocument& operator=(LabeledDocument&&) = default;
+
+  const XmlTree& tree() const { return *tree_; }
+  const OrderedPrimeScheme& scheme() const { return *scheme_; }
+
+  /// Evaluates an XPath (Table 2 subset + attribute predicates + reverse
+  /// axes) against the current labels. Results in document order.
+  Result<std::vector<NodeId>> Query(std::string_view xpath) const;
+
+  // --- Updates (labels maintained incrementally) -------------------------
+
+  /// Inserts a new element before/after `sibling` or as the last child of
+  /// `parent`; labels it and updates the SC table.
+  NodeId InsertBefore(NodeId sibling, std::string_view tag);
+  NodeId InsertAfter(NodeId sibling, std::string_view tag);
+  NodeId AppendChild(NodeId parent, std::string_view tag);
+  /// Wraps `node` with a new parent element.
+  NodeId Wrap(NodeId node, std::string_view tag);
+  /// Detaches `node`'s subtree and releases its order bookkeeping.
+  void Delete(NodeId node);
+
+  /// Relabel cost (nodes + SC record updates) of the last update call.
+  int last_update_cost() const { return last_update_cost_; }
+
+  /// Persists labels + SC table with SaveCatalog.
+  Status Save(const std::string& path) const;
+
+ private:
+  LabeledDocument(XmlTree tree, int sc_group_size);
+
+  NodeId Finish(NodeId fresh);
+  /// Lazily (re)builds the label table after mutations.
+  const LabelTable& table() const;
+
+  std::unique_ptr<XmlTree> tree_;
+  std::unique_ptr<OrderedPrimeScheme> scheme_;
+  mutable std::unique_ptr<LabelTable> table_;
+  mutable bool table_dirty_ = true;
+  int last_update_cost_ = 0;
+};
+
+}  // namespace primelabel
+
+#endif  // PRIMELABEL_CORPUS_LABELED_DOCUMENT_H_

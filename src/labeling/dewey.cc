@@ -1,0 +1,122 @@
+#include "labeling/dewey.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "primes/estimates.h"
+#include "util/status.h"
+
+namespace primelabel {
+
+DeweyScheme::DeweyScheme(int delimiter_bits)
+    : delimiter_bits_(delimiter_bits) {}
+
+std::string_view DeweyScheme::name() const { return "dewey"; }
+
+void DeweyScheme::EnsureCapacity() {
+  std::size_t need = tree()->arena_size();
+  if (paths_.size() < need) {
+    paths_.resize(need);
+    next_ordinal_.resize(need, 1);
+  }
+}
+
+void DeweyScheme::AssignPath(NodeId node, std::uint32_t ordinal) {
+  NodeId parent = tree()->parent(node);
+  std::vector<std::uint32_t> path;
+  if (parent != kInvalidNodeId) path = paths_[static_cast<size_t>(parent)];
+  path.push_back(ordinal);
+  paths_[static_cast<size_t>(node)] = std::move(path);
+}
+
+void DeweyScheme::LabelTree(const XmlTree& tree) {
+  set_tree(tree);
+  paths_.assign(tree.arena_size(), {});
+  next_ordinal_.assign(tree.arena_size(), 1);
+  tree.Preorder([&](NodeId id, int depth) {
+    if (depth == 0) return;  // root keeps the empty path
+    NodeId parent = tree.parent(id);
+    AssignPath(id, next_ordinal_[static_cast<size_t>(parent)]++);
+  });
+}
+
+bool DeweyScheme::IsAncestor(NodeId ancestor, NodeId descendant) const {
+  const auto& a = paths_[static_cast<size_t>(ancestor)];
+  const auto& d = paths_[static_cast<size_t>(descendant)];
+  if (a.size() >= d.size()) return false;
+  return std::equal(a.begin(), a.end(), d.begin());
+}
+
+bool DeweyScheme::IsParent(NodeId parent, NodeId child) const {
+  const auto& p = paths_[static_cast<size_t>(parent)];
+  const auto& c = paths_[static_cast<size_t>(child)];
+  return c.size() == p.size() + 1 && std::equal(p.begin(), p.end(), c.begin());
+}
+
+int DeweyScheme::LabelBits(NodeId id) const {
+  const auto& path = paths_[static_cast<size_t>(id)];
+  int bits = 0;
+  for (std::uint32_t ordinal : path) bits += BitLengthU64(ordinal);
+  if (!path.empty()) {
+    bits += delimiter_bits_ * static_cast<int>(path.size() - 1);
+  }
+  return bits;
+}
+
+std::string DeweyScheme::LabelString(NodeId id) const {
+  const auto& path = paths_[static_cast<size_t>(id)];
+  if (path.empty()) return "(root)";
+  std::ostringstream os;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (i > 0) os << '.';
+    os << path[i];
+  }
+  return os.str();
+}
+
+int DeweyScheme::RelabelSubtree(NodeId node) {
+  int count = 0;
+  for (NodeId c = tree()->first_child(node); c != kInvalidNodeId;
+       c = tree()->next_sibling(c)) {
+    std::uint32_t own = paths_[static_cast<size_t>(c)].back();
+    std::vector<std::uint32_t> path = paths_[static_cast<size_t>(node)];
+    path.push_back(own);
+    paths_[static_cast<size_t>(c)] = std::move(path);
+    ++count;
+    count += RelabelSubtree(c);
+  }
+  return count;
+}
+
+int DeweyScheme::HandleInsert(NodeId new_node) {
+  PL_CHECK(tree() != nullptr);
+  EnsureCapacity();
+  NodeId parent = tree()->parent(new_node);
+  PL_CHECK(parent != kInvalidNodeId);
+  std::uint32_t& next = next_ordinal_[static_cast<size_t>(parent)];
+  std::uint32_t floor =
+      static_cast<std::uint32_t>(tree()->ChildCount(parent));
+  next = std::max(next, floor);
+  AssignPath(new_node, next++);
+  return 1 + RelabelSubtree(new_node);
+}
+
+int DeweyScheme::HandleOrderedInsert(NodeId new_node) {
+  PL_CHECK(tree() != nullptr);
+  EnsureCapacity();
+  NodeId parent = tree()->parent(new_node);
+  PL_CHECK(parent != kInvalidNodeId);
+  std::uint32_t ordinal =
+      static_cast<std::uint32_t>(tree()->SiblingPosition(new_node));
+  int count = 0;
+  for (NodeId s = new_node; s != kInvalidNodeId;
+       s = tree()->next_sibling(s), ++ordinal) {
+    AssignPath(s, ordinal);
+    ++count;
+    count += RelabelSubtree(s);
+  }
+  next_ordinal_[static_cast<size_t>(parent)] = ordinal;
+  return count;
+}
+
+}  // namespace primelabel

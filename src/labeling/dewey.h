@@ -1,0 +1,52 @@
+#ifndef PRIMELABEL_LABELING_DEWEY_H_
+#define PRIMELABEL_LABELING_DEWEY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "labeling/scheme.h"
+
+namespace primelabel {
+
+/// Dewey order labeling (Tatarinov et al. [15]).
+///
+/// A node's label is the vector of sibling ordinals on its root path
+/// ("1.2.3"). Ancestor test is component-wise prefix. Storage cost is the
+/// sum of the component widths plus a delimiter per component, which is the
+/// overhead the paper charges to the integer-prefix scheme (Section 2).
+/// Included as the fourth dynamic baseline: the paper's related work singles
+/// out Dewey as the best order/update tradeoff before the prime scheme.
+class DeweyScheme : public LabelingScheme {
+ public:
+  /// `delimiter_bits`: cost per separator stored with the label (the paper
+  /// notes the delimiter "must be stored with the label, which incurs
+  /// significant overhead"); 8 models a one-byte comma.
+  explicit DeweyScheme(int delimiter_bits = 8);
+
+  std::string_view name() const override;
+  void LabelTree(const XmlTree& tree) override;
+  bool IsAncestor(NodeId ancestor, NodeId descendant) const override;
+  bool IsParent(NodeId parent, NodeId child) const override;
+  int LabelBits(NodeId id) const override;
+  std::string LabelString(NodeId id) const override;
+  int HandleInsert(NodeId new_node) override;
+  int HandleOrderedInsert(NodeId new_node) override;
+
+  /// The ordinal path (root has an empty path).
+  const std::vector<std::uint32_t>& path(NodeId id) const {
+    return paths_[static_cast<size_t>(id)];
+  }
+
+ private:
+  void AssignPath(NodeId node, std::uint32_t ordinal);
+  int RelabelSubtree(NodeId node);
+  void EnsureCapacity();
+
+  int delimiter_bits_;
+  std::vector<std::vector<std::uint32_t>> paths_;
+  std::vector<std::uint32_t> next_ordinal_;
+};
+
+}  // namespace primelabel
+
+#endif  // PRIMELABEL_LABELING_DEWEY_H_

@@ -1,0 +1,125 @@
+#include "labeling/float_interval.h"
+
+#include <sstream>
+
+#include "util/status.h"
+
+namespace primelabel {
+
+std::string_view FloatIntervalScheme::name() const { return "float-interval"; }
+
+void FloatIntervalScheme::EnsureCapacity() {
+  std::size_t need = tree()->arena_size();
+  if (start_.size() < need) {
+    start_.resize(need, 0.0);
+    end_.resize(need, 0.0);
+    level_.resize(need, 0);
+  }
+}
+
+int FloatIntervalScheme::RelabelAll() {
+  EnsureCapacity();
+  double counter = 0.0;
+  int changed = 0;
+  auto visit = [&](auto&& self, NodeId id, int depth) -> void {
+    double s = ++counter;
+    level_[static_cast<size_t>(id)] = depth;
+    for (NodeId c = tree()->first_child(id); c != kInvalidNodeId;
+         c = tree()->next_sibling(c)) {
+      self(self, c, depth + 1);
+    }
+    double e = ++counter;
+    if (start_[static_cast<size_t>(id)] != s ||
+        end_[static_cast<size_t>(id)] != e) {
+      ++changed;
+    }
+    start_[static_cast<size_t>(id)] = s;
+    end_[static_cast<size_t>(id)] = e;
+  };
+  if (tree()->root() != kInvalidNodeId) visit(visit, tree()->root(), 0);
+  return changed;
+}
+
+void FloatIntervalScheme::LabelTree(const XmlTree& tree) {
+  set_tree(tree);
+  start_.assign(tree.arena_size(), 0.0);
+  end_.assign(tree.arena_size(), 0.0);
+  level_.assign(tree.arena_size(), 0);
+  relabel_events_ = 0;
+  RelabelAll();
+}
+
+bool FloatIntervalScheme::IsAncestor(NodeId ancestor, NodeId descendant) const {
+  if (ancestor == descendant) return false;
+  return start(ancestor) < start(descendant) &&
+         end(descendant) < end(ancestor);
+}
+
+bool FloatIntervalScheme::IsParent(NodeId parent, NodeId child) const {
+  return IsAncestor(parent, child) &&
+         level_[static_cast<size_t>(child)] ==
+             level_[static_cast<size_t>(parent)] + 1;
+}
+
+int FloatIntervalScheme::LabelBits(NodeId id) const {
+  (void)id;
+  return 2 * 64;  // two IEEE doubles, fixed length
+}
+
+std::string FloatIntervalScheme::LabelString(NodeId id) const {
+  std::ostringstream os;
+  os << "(" << start(id) << "," << end(id) << ")";
+  return os.str();
+}
+
+bool FloatIntervalScheme::TryFit(NodeId node) {
+  NodeId parent = tree()->parent(node);
+  PL_CHECK(parent != kInvalidNodeId);
+  // Outer bounds from the neighbours.
+  NodeId prev = tree()->node(node).prev_sibling;
+  NodeId next = tree()->node(node).next_sibling;
+  double lower = prev != kInvalidNodeId ? end(prev) : start(parent);
+  double upper = next != kInvalidNodeId ? start(next) : end(parent);
+  // Inner bounds: a wrapper must contain its (already labeled) children.
+  bool has_children = !tree()->IsLeaf(node);
+  double inner_low = upper, inner_high = lower;
+  if (has_children) {
+    inner_low = start(tree()->first_child(node));
+    inner_high = end(tree()->node(node).last_child);
+  }
+
+  double s, e;
+  if (has_children) {
+    s = lower + (inner_low - lower) / 2.0;
+    e = inner_high + (upper - inner_high) / 2.0;
+    if (!(lower < s && s < inner_low && inner_high < e && e < upper)) {
+      return false;
+    }
+  } else {
+    double third = (upper - lower) / 3.0;
+    s = lower + third;
+    e = upper - third;
+    if (!(lower < s && s < e && e < upper)) return false;
+  }
+  auto index = static_cast<size_t>(node);
+  start_[index] = s;
+  end_[index] = e;
+  return true;
+}
+
+int FloatIntervalScheme::HandleInsert(NodeId new_node) {
+  PL_CHECK(tree() != nullptr);
+  EnsureCapacity();
+  // Depths below a wrapper shift by one.
+  int base_depth = tree()->Depth(new_node);
+  tree()->PreorderFrom(new_node, base_depth, [&](NodeId id, int depth) {
+    level_[static_cast<size_t>(id)] = depth;
+  });
+  if (TryFit(new_node)) return 1;
+  // The gap is exhausted: the whole document must be renumbered — the
+  // breakdown the paper's Section 2 predicts for this scheme.
+  ++relabel_events_;
+  return RelabelAll();
+}
+
+}  // namespace primelabel

@@ -1,0 +1,56 @@
+#ifndef PRIMELABEL_LABELING_FLOAT_INTERVAL_H_
+#define PRIMELABEL_LABELING_FLOAT_INTERVAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "labeling/scheme.h"
+
+namespace primelabel {
+
+/// Floating-point interval labeling (QRS, Amagasa et al. [2]).
+///
+/// Related-work baseline: intervals use doubles so that "one can always
+/// insert a number between any two floating point numbers" — in theory.
+/// In practice the mantissa runs out: repeated insertion at one position
+/// halves the available gap each time, and after ~50 insertions no
+/// representable midpoint remains and the scheme must relabel, which is
+/// exactly the criticism in Section 2. HandleInsert reports that full
+/// relabeling when it happens; the bench_float_breakdown binary measures
+/// how many insertions a fresh document survives.
+class FloatIntervalScheme : public LabelingScheme {
+ public:
+  FloatIntervalScheme() = default;
+
+  std::string_view name() const override;
+  void LabelTree(const XmlTree& tree) override;
+  bool IsAncestor(NodeId ancestor, NodeId descendant) const override;
+  bool IsParent(NodeId parent, NodeId child) const override;
+  int LabelBits(NodeId id) const override;
+  std::string LabelString(NodeId id) const override;
+  int HandleInsert(NodeId new_node) override;
+
+  /// Interval bounds (for tests).
+  double start(NodeId id) const { return start_[static_cast<size_t>(id)]; }
+  double end(NodeId id) const { return end_[static_cast<size_t>(id)]; }
+  /// How many times HandleInsert had to fall back to a full relabel.
+  int relabel_events() const { return relabel_events_; }
+
+ private:
+  /// Recomputes all intervals from integer anchor points; returns how many
+  /// attached nodes changed values.
+  int RelabelAll();
+  /// Tries to fit an interval for `node` between its neighbours; false if
+  /// no representable values remain.
+  bool TryFit(NodeId node);
+  void EnsureCapacity();
+
+  std::vector<double> start_;
+  std::vector<double> end_;
+  std::vector<int> level_;
+  int relabel_events_ = 0;
+};
+
+}  // namespace primelabel
+
+#endif  // PRIMELABEL_LABELING_FLOAT_INTERVAL_H_

@@ -1,0 +1,122 @@
+#include "labeling/gapped_interval.h"
+
+#include <sstream>
+
+#include "primes/estimates.h"
+#include "util/status.h"
+
+namespace primelabel {
+
+GappedIntervalScheme::GappedIntervalScheme(std::uint64_t gap) : gap_(gap) {
+  PL_CHECK(gap_ >= 1);
+}
+
+std::string_view GappedIntervalScheme::name() const {
+  return "interval-gapped";
+}
+
+void GappedIntervalScheme::EnsureCapacity() {
+  std::size_t need = tree()->arena_size();
+  if (start_.size() < need) {
+    start_.resize(need, 0);
+    end_.resize(need, 0);
+    level_.resize(need, 0);
+  }
+}
+
+int GappedIntervalScheme::RelabelAll() {
+  EnsureCapacity();
+  std::uint64_t counter = 0;
+  int changed = 0;
+  auto visit = [&](auto&& self, NodeId id, int depth) -> void {
+    std::uint64_t s = counter += gap_;
+    level_[static_cast<size_t>(id)] = depth;
+    for (NodeId c = tree()->first_child(id); c != kInvalidNodeId;
+         c = tree()->next_sibling(c)) {
+      self(self, c, depth + 1);
+    }
+    std::uint64_t e = counter += gap_;
+    if (start_[static_cast<size_t>(id)] != s ||
+        end_[static_cast<size_t>(id)] != e) {
+      ++changed;
+    }
+    start_[static_cast<size_t>(id)] = s;
+    end_[static_cast<size_t>(id)] = e;
+  };
+  if (tree()->root() != kInvalidNodeId) visit(visit, tree()->root(), 0);
+  return changed;
+}
+
+void GappedIntervalScheme::LabelTree(const XmlTree& tree) {
+  set_tree(tree);
+  start_.assign(tree.arena_size(), 0);
+  end_.assign(tree.arena_size(), 0);
+  level_.assign(tree.arena_size(), 0);
+  relabel_events_ = 0;
+  RelabelAll();
+}
+
+bool GappedIntervalScheme::IsAncestor(NodeId ancestor,
+                                      NodeId descendant) const {
+  if (ancestor == descendant) return false;
+  return start(ancestor) < start(descendant) &&
+         end(descendant) < end(ancestor);
+}
+
+bool GappedIntervalScheme::IsParent(NodeId parent, NodeId child) const {
+  return IsAncestor(parent, child) &&
+         level_[static_cast<size_t>(child)] ==
+             level_[static_cast<size_t>(parent)] + 1;
+}
+
+int GappedIntervalScheme::LabelBits(NodeId id) const {
+  return BitLengthU64(start(id)) + BitLengthU64(end(id));
+}
+
+std::string GappedIntervalScheme::LabelString(NodeId id) const {
+  std::ostringstream os;
+  os << "(" << start(id) << "," << end(id) << ")";
+  return os.str();
+}
+
+bool GappedIntervalScheme::TryFit(NodeId node) {
+  NodeId parent = tree()->parent(node);
+  PL_CHECK(parent != kInvalidNodeId);
+  NodeId prev = tree()->node(node).prev_sibling;
+  NodeId next = tree()->node(node).next_sibling;
+  std::uint64_t lower = prev != kInvalidNodeId ? end(prev) : start(parent);
+  std::uint64_t upper = next != kInvalidNodeId ? start(next) : end(parent);
+
+  if (!tree()->IsLeaf(node)) {
+    // Wrapper: must strictly enclose its children inside the same slot.
+    std::uint64_t inner_low = start(tree()->first_child(node));
+    std::uint64_t inner_high = end(tree()->node(node).last_child);
+    if (inner_low - lower < 2 || upper - inner_high < 2) return false;
+    start_[static_cast<size_t>(node)] = lower + (inner_low - lower) / 2;
+    end_[static_cast<size_t>(node)] = inner_high + (upper - inner_high) / 2;
+    return true;
+  }
+  // Leaf: needs two fresh points strictly inside (lower, upper).
+  if (upper <= lower || upper - lower < 3) return false;
+  std::uint64_t third = (upper - lower) / 3;
+  std::uint64_t s = lower + third;
+  std::uint64_t e = upper - third;
+  if (!(lower < s && s < e && e < upper)) return false;
+  start_[static_cast<size_t>(node)] = s;
+  end_[static_cast<size_t>(node)] = e;
+  return true;
+}
+
+int GappedIntervalScheme::HandleInsert(NodeId new_node) {
+  PL_CHECK(tree() != nullptr);
+  EnsureCapacity();
+  int base_depth = tree()->Depth(new_node);
+  tree()->PreorderFrom(new_node, base_depth, [&](NodeId id, int depth) {
+    level_[static_cast<size_t>(id)] = depth;
+  });
+  if (TryFit(new_node)) return 1;
+  ++relabel_events_;
+  return RelabelAll();
+}
+
+}  // namespace primelabel

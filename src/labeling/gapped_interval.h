@@ -1,0 +1,57 @@
+#ifndef PRIMELABEL_LABELING_GAPPED_INTERVAL_H_
+#define PRIMELABEL_LABELING_GAPPED_INTERVAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "labeling/scheme.h"
+
+namespace primelabel {
+
+/// Interval labeling with reserved gaps (Section 2's mitigation: "This
+/// problem may be alleviated somewhat by reserving enough space for
+/// anticipated insertions. However, it is hard to predict the actual
+/// space requirements. Thus, re-labeling after updates is inevitable").
+///
+/// Start/end points are spaced `gap` apart, so an insertion takes integer
+/// midpoints out of the surrounding gap without touching other labels —
+/// until a gap is exhausted (after about log2(gap) insertions at one
+/// point), which forces the full renumbering the paper predicts.
+/// HandleInsert reports that renumbering when it happens;
+/// `relabel_events()` counts them.
+class GappedIntervalScheme : public LabelingScheme {
+ public:
+  /// `gap`: distance between consecutive assigned points (>= 1; 1 is the
+  /// plain static interval scheme).
+  explicit GappedIntervalScheme(std::uint64_t gap = 1024);
+
+  std::string_view name() const override;
+  void LabelTree(const XmlTree& tree) override;
+  bool IsAncestor(NodeId ancestor, NodeId descendant) const override;
+  bool IsParent(NodeId parent, NodeId child) const override;
+  int LabelBits(NodeId id) const override;
+  std::string LabelString(NodeId id) const override;
+  int HandleInsert(NodeId new_node) override;
+
+  std::uint64_t start(NodeId id) const {
+    return start_[static_cast<size_t>(id)];
+  }
+  std::uint64_t end(NodeId id) const { return end_[static_cast<size_t>(id)]; }
+  /// Number of forced full renumberings so far.
+  int relabel_events() const { return relabel_events_; }
+
+ private:
+  int RelabelAll();
+  bool TryFit(NodeId node);
+  void EnsureCapacity();
+
+  std::uint64_t gap_;
+  std::vector<std::uint64_t> start_;
+  std::vector<std::uint64_t> end_;
+  std::vector<int> level_;
+  int relabel_events_ = 0;
+};
+
+}  // namespace primelabel
+
+#endif  // PRIMELABEL_LABELING_GAPPED_INTERVAL_H_

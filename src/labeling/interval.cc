@@ -1,0 +1,107 @@
+#include "labeling/interval.h"
+
+#include <sstream>
+
+#include "primes/estimates.h"
+#include "util/status.h"
+
+namespace primelabel {
+
+IntervalScheme::IntervalScheme(IntervalVariant variant) : variant_(variant) {}
+
+std::string_view IntervalScheme::name() const {
+  return variant_ == IntervalVariant::kStartEnd ? "interval"
+                                                : "interval-xiss";
+}
+
+void IntervalScheme::Compute(const XmlTree& tree,
+                             std::vector<std::uint64_t>* low,
+                             std::vector<std::uint64_t>* high,
+                             std::vector<int>* level) const {
+  low->assign(tree.arena_size(), 0);
+  high->assign(tree.arena_size(), 0);
+  level->assign(tree.arena_size(), 0);
+  std::uint64_t counter = 0;
+
+  if (variant_ == IntervalVariant::kStartEnd) {
+    // One counter, incremented on entry and on exit (XRel-style).
+    auto visit = [&](auto&& self, NodeId id, int depth) -> void {
+      (*low)[static_cast<size_t>(id)] = ++counter;
+      (*level)[static_cast<size_t>(id)] = depth;
+      for (NodeId c = tree.first_child(id); c != kInvalidNodeId;
+           c = tree.next_sibling(c)) {
+        self(self, c, depth + 1);
+      }
+      (*high)[static_cast<size_t>(id)] = ++counter;
+    };
+    if (tree.root() != kInvalidNodeId) visit(visit, tree.root(), 0);
+  } else {
+    // XISS order/size with size = exact subtree node count; high stores
+    // order + size so both variants share the containment test.
+    auto visit = [&](auto&& self, NodeId id, int depth) -> std::uint64_t {
+      std::uint64_t order = ++counter;
+      (*low)[static_cast<size_t>(id)] = order;
+      (*level)[static_cast<size_t>(id)] = depth;
+      std::uint64_t subtree = 1;
+      for (NodeId c = tree.first_child(id); c != kInvalidNodeId;
+           c = tree.next_sibling(c)) {
+        subtree += self(self, c, depth + 1);
+      }
+      (*high)[static_cast<size_t>(id)] = order + subtree - 1;
+      return subtree;
+    };
+    if (tree.root() != kInvalidNodeId) visit(visit, tree.root(), 0);
+  }
+}
+
+void IntervalScheme::LabelTree(const XmlTree& tree) {
+  set_tree(tree);
+  Compute(tree, &low_, &high_, &level_);
+}
+
+bool IntervalScheme::IsAncestor(NodeId ancestor, NodeId descendant) const {
+  if (ancestor == descendant) return false;
+  return low(ancestor) < low(descendant) && high(descendant) <= high(ancestor);
+}
+
+bool IntervalScheme::IsParent(NodeId parent, NodeId child) const {
+  return IsAncestor(parent, child) && level(child) == level(parent) + 1;
+}
+
+int IntervalScheme::LabelBits(NodeId id) const {
+  return BitLengthU64(low(id)) + BitLengthU64(high(id));
+}
+
+std::string IntervalScheme::LabelString(NodeId id) const {
+  std::ostringstream os;
+  if (variant_ == IntervalVariant::kStartEnd) {
+    os << "(" << low(id) << "," << high(id) << ")";
+  } else {
+    os << "(order=" << low(id) << ",size=" << high(id) - low(id) << ")";
+  }
+  return os.str();
+}
+
+int IntervalScheme::HandleInsert(NodeId new_node) {
+  PL_CHECK(tree() != nullptr);
+  (void)new_node;
+  std::vector<std::uint64_t> new_low, new_high;
+  std::vector<int> new_level;
+  Compute(*tree(), &new_low, &new_high, &new_level);
+
+  // Count nodes whose numbers changed; nodes beyond the old arena are new.
+  int relabeled = 0;
+  tree()->Preorder([&](NodeId id, int) {
+    auto index = static_cast<size_t>(id);
+    if (index >= low_.size() || new_low[index] != low_[index] ||
+        new_high[index] != high_[index]) {
+      ++relabeled;
+    }
+  });
+  low_ = std::move(new_low);
+  high_ = std::move(new_high);
+  level_ = std::move(new_level);
+  return relabeled;
+}
+
+}  // namespace primelabel

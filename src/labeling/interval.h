@@ -1,0 +1,63 @@
+#ifndef PRIMELABEL_LABELING_INTERVAL_H_
+#define PRIMELABEL_LABELING_INTERVAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "labeling/scheme.h"
+
+namespace primelabel {
+
+/// Flavor of interval encoding.
+enum class IntervalVariant {
+  /// Start/end points from one depth-first counter (XRel / [16]): a node is
+  /// assigned `start` on first visit and `end` when the traversal leaves it.
+  kStartEnd,
+  /// XISS [11] order/size: `order` by extended preorder, `size` covering
+  /// the subtree; x ancestor-of y iff order(x) < order(y) <= order(x)+size(x).
+  kOrderSize,
+};
+
+/// Static interval-based labeling (the paper's "Interval" baseline).
+///
+/// Compact — the best label sizes in Figure 14 — but static: an insertion
+/// renumbers every node at or after the insertion point in traversal order,
+/// which is what Figures 16-18 measure. HandleInsert recomputes the whole
+/// numbering and counts how many existing nodes' labels actually changed.
+class IntervalScheme : public LabelingScheme {
+ public:
+  explicit IntervalScheme(IntervalVariant variant = IntervalVariant::kStartEnd);
+
+  std::string_view name() const override;
+  void LabelTree(const XmlTree& tree) override;
+  bool IsAncestor(NodeId ancestor, NodeId descendant) const override;
+  bool IsParent(NodeId parent, NodeId child) const override;
+  int LabelBits(NodeId id) const override;
+  std::string LabelString(NodeId id) const override;
+  int HandleInsert(NodeId new_node) override;
+
+  /// First component (start or order) — exposed for the store/query layer.
+  std::uint64_t low(NodeId id) const { return low_[static_cast<size_t>(id)]; }
+  /// Second component (end, or order+size).
+  std::uint64_t high(NodeId id) const {
+    return high_[static_cast<size_t>(id)];
+  }
+  /// Node depth (stored alongside the interval to answer parent queries, as
+  /// XISS does).
+  int level(NodeId id) const { return level_[static_cast<size_t>(id)]; }
+
+ private:
+  /// Computes the numbering into the given vectors.
+  void Compute(const XmlTree& tree, std::vector<std::uint64_t>* low,
+               std::vector<std::uint64_t>* high,
+               std::vector<int>* level) const;
+
+  IntervalVariant variant_;
+  std::vector<std::uint64_t> low_;
+  std::vector<std::uint64_t> high_;
+  std::vector<int> level_;
+};
+
+}  // namespace primelabel
+
+#endif  // PRIMELABEL_LABELING_INTERVAL_H_

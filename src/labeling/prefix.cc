@@ -1,0 +1,164 @@
+#include "labeling/prefix.h"
+
+#include "util/status.h"
+
+namespace primelabel {
+
+std::string PrefixSelfCode(PrefixVariant variant, int index) {
+  PL_CHECK(index >= 0);
+  if (variant == PrefixVariant::kUnary) {
+    // i-th child (1-based i = index+1): "1"^(i-1) "0".
+    std::string code(static_cast<size_t>(index), '1');
+    code.push_back('0');
+    return code;
+  }
+  // Prefix-2: start from "0"; increment in binary; when the increment would
+  // produce all ones, keep the ones and double the length with zeros.
+  std::string code = "0";
+  for (int i = 0; i < index; ++i) {
+    // Binary increment.
+    int pos = static_cast<int>(code.size()) - 1;
+    while (pos >= 0 && code[static_cast<size_t>(pos)] == '1') {
+      code[static_cast<size_t>(pos)] = '0';
+      --pos;
+    }
+    if (pos >= 0) {
+      code[static_cast<size_t>(pos)] = '1';
+    } else {
+      // Wrapped to zero: previous value was all ones already; cannot happen
+      // because the all-ones case below doubles first.
+      PL_CHECK(false && "prefix-2 increment overflow");
+    }
+    if (code.find('0') == std::string::npos) {
+      // All ones: double the length by appending as many zeros.
+      code.append(code.size(), '0');
+    }
+  }
+  return code;
+}
+
+PrefixScheme::PrefixScheme(PrefixVariant variant) : variant_(variant) {}
+
+std::string_view PrefixScheme::name() const {
+  return variant_ == PrefixVariant::kUnary ? "prefix-1" : "prefix-2";
+}
+
+void PrefixScheme::EnsureCapacity() {
+  std::size_t need = tree()->arena_size();
+  if (labels_.size() < need) {
+    labels_.resize(need);
+    self_code_length_.resize(need, 0);
+    next_code_index_.resize(need, 0);
+  }
+}
+
+void PrefixScheme::AssignLabel(NodeId node, int sibling_index) {
+  std::string code = PrefixSelfCode(variant_, sibling_index);
+  NodeId parent = tree()->parent(node);
+  std::string label =
+      parent == kInvalidNodeId ? "" : labels_[static_cast<size_t>(parent)];
+  label += code;
+  labels_[static_cast<size_t>(node)] = std::move(label);
+  self_code_length_[static_cast<size_t>(node)] =
+      static_cast<int>(code.size());
+}
+
+void PrefixScheme::LabelTree(const XmlTree& tree) {
+  set_tree(tree);
+  labels_.assign(tree.arena_size(), std::string());
+  self_code_length_.assign(tree.arena_size(), 0);
+  next_code_index_.assign(tree.arena_size(), 0);
+  tree.Preorder([&](NodeId id, int depth) {
+    if (depth == 0) {
+      labels_[static_cast<size_t>(id)] = "";  // root: empty label
+      self_code_length_[static_cast<size_t>(id)] = 0;
+    } else {
+      NodeId parent = tree.parent(id);
+      int index = next_code_index_[static_cast<size_t>(parent)]++;
+      AssignLabel(id, index);
+    }
+  });
+}
+
+bool PrefixScheme::IsAncestor(NodeId ancestor, NodeId descendant) const {
+  const std::string& a = labels_[static_cast<size_t>(ancestor)];
+  const std::string& d = labels_[static_cast<size_t>(descendant)];
+  return a.size() < d.size() && d.compare(0, a.size(), a) == 0;
+}
+
+bool PrefixScheme::IsParent(NodeId parent, NodeId child) const {
+  if (parent == child) return false;  // equal labels: the root's is empty
+  const std::string& p = labels_[static_cast<size_t>(parent)];
+  const std::string& c = labels_[static_cast<size_t>(child)];
+  return c.size() ==
+             p.size() +
+                 static_cast<size_t>(
+                     self_code_length_[static_cast<size_t>(child)]) &&
+         c.compare(0, p.size(), p) == 0;
+}
+
+int PrefixScheme::LabelBits(NodeId id) const {
+  return static_cast<int>(labels_[static_cast<size_t>(id)].size());
+}
+
+std::string PrefixScheme::LabelString(NodeId id) const {
+  const std::string& label = labels_[static_cast<size_t>(id)];
+  return label.empty() ? "(root)" : label;
+}
+
+int PrefixScheme::RelabelSubtree(NodeId node) {
+  int count = 0;
+  for (NodeId c = tree()->first_child(node); c != kInvalidNodeId;
+       c = tree()->next_sibling(c)) {
+    // Child self-codes are unchanged; only the inherited prefix moved.
+    std::string code = labels_[static_cast<size_t>(c)].substr(
+        labels_[static_cast<size_t>(c)].size() -
+        static_cast<size_t>(self_code_length_[static_cast<size_t>(c)]));
+    labels_[static_cast<size_t>(c)] =
+        labels_[static_cast<size_t>(node)] + code;
+    ++count;
+    count += RelabelSubtree(c);
+  }
+  return count;
+}
+
+int PrefixScheme::HandleInsert(NodeId new_node) {
+  PL_CHECK(tree() != nullptr);
+  EnsureCapacity();
+  NodeId parent = tree()->parent(new_node);
+  PL_CHECK(parent != kInvalidNodeId);
+  // Fresh sibling code: never collides with existing siblings. Seed the
+  // counter from the live child count the first time this parent is seen
+  // after a bulk LabelTree.
+  int& next = next_code_index_[static_cast<size_t>(parent)];
+  int index = next < tree()->ChildCount(parent) - 1
+                  ? tree()->ChildCount(parent) - 1
+                  : next;
+  next = index + 1;
+  AssignLabel(new_node, index);
+  // WrapNode case: the wrapped subtree inherited a longer prefix now.
+  return 1 + RelabelSubtree(new_node);
+}
+
+int PrefixScheme::HandleOrderedInsert(NodeId new_node) {
+  PL_CHECK(tree() != nullptr);
+  EnsureCapacity();
+  NodeId parent = tree()->parent(new_node);
+  PL_CHECK(parent != kInvalidNodeId);
+  // Labels must reflect sibling order: the new node takes the code of its
+  // position and every following sibling shifts by one code, relabeling
+  // its whole subtree.
+  int position = tree()->SiblingPosition(new_node);  // 1-based
+  int count = 0;
+  int index = position - 1;
+  for (NodeId s = new_node; s != kInvalidNodeId;
+       s = tree()->next_sibling(s), ++index) {
+    AssignLabel(s, index);
+    ++count;
+    count += RelabelSubtree(s);
+  }
+  next_code_index_[static_cast<size_t>(parent)] = index;
+  return count;
+}
+
+}  // namespace primelabel

@@ -1,0 +1,70 @@
+#ifndef PRIMELABEL_LABELING_PREFIX_H_
+#define PRIMELABEL_LABELING_PREFIX_H_
+
+#include <string>
+#include <vector>
+
+#include "labeling/scheme.h"
+
+namespace primelabel {
+
+/// Which sibling-code construction the prefix scheme uses.
+enum class PrefixVariant {
+  /// Prefix-1 (Section 3.1): the i-th child's self-code is "1"^(i-1) "0",
+  /// so Lmax = D * F — linear in fan-out.
+  kUnary,
+  /// Prefix-2 (Cohen-Kaplan-Milo [7]): codes 0, 10, 1100, 1101, 1110,
+  /// 11110000, ... — binary increment, doubling the length whenever the
+  /// code would become all ones. Lmax = D * 4 log F.
+  kBinary,
+};
+
+/// Computes the `index`-th (0-based) sibling self-code for a variant.
+/// Exposed for the size model and for tests of the code constructions.
+std::string PrefixSelfCode(PrefixVariant variant, int index);
+
+/// Dynamic prefix-based labeling (the paper's Prefix-1/Prefix-2 baselines).
+///
+/// A node's label is its parent's label concatenated with a self-code drawn
+/// from a prefix-free family, so `x` is an ancestor of `y` iff label(x) is
+/// a proper prefix of label(y). Unordered insertion is cheap (a fresh
+/// sibling code, one relabel); order-sensitive insertion forces every
+/// following sibling subtree to be relabeled, which Figure 18 measures.
+class PrefixScheme : public LabelingScheme {
+ public:
+  explicit PrefixScheme(PrefixVariant variant = PrefixVariant::kBinary);
+
+  std::string_view name() const override;
+  void LabelTree(const XmlTree& tree) override;
+  bool IsAncestor(NodeId ancestor, NodeId descendant) const override;
+  bool IsParent(NodeId parent, NodeId child) const override;
+  int LabelBits(NodeId id) const override;
+  std::string LabelString(NodeId id) const override;
+  int HandleInsert(NodeId new_node) override;
+  int HandleOrderedInsert(NodeId new_node) override;
+
+  /// The full bit-string label (exposed for the store/query layer, which
+  /// implements the paper's "check prefix" user-defined function on it).
+  const std::string& label(NodeId id) const {
+    return labels_[static_cast<size_t>(id)];
+  }
+
+ private:
+  /// Assigns `node` the label parent_label + code(sibling_index).
+  void AssignLabel(NodeId node, int sibling_index);
+  /// Relabels the subtree under `node` (after its own label changed),
+  /// returning the number of nodes touched.
+  int RelabelSubtree(NodeId node);
+  void EnsureCapacity();
+
+  PrefixVariant variant_;
+  std::vector<std::string> labels_;
+  /// Length of each node's own self-code suffix (for parent tests).
+  std::vector<int> self_code_length_;
+  /// Next fresh sibling-code index per parent (unordered inserts).
+  std::vector<int> next_code_index_;
+};
+
+}  // namespace primelabel
+
+#endif  // PRIMELABEL_LABELING_PREFIX_H_

@@ -1,0 +1,111 @@
+#include "labeling/prime_bottom_up.h"
+
+#include "util/status.h"
+
+namespace primelabel {
+
+std::string_view PrimeBottomUpScheme::name() const { return "prime-bottomup"; }
+
+void PrimeBottomUpScheme::EnsureCapacity() {
+  std::size_t need = tree()->arena_size();
+  if (labels_.size() < need) {
+    labels_.resize(need);
+    levels_.resize(need, 0);
+  }
+}
+
+BigInt PrimeBottomUpScheme::LabelSubtree(NodeId node, int* assigned) {
+  int children = 0;
+  BigInt product(1);
+  for (NodeId c = tree()->first_child(node); c != kInvalidNodeId;
+       c = tree()->next_sibling(c)) {
+    product *= LabelSubtree(c, assigned);
+    ++children;
+  }
+  if (children == 0) {
+    product = BigInt::FromUint64(primes_.Next());
+  } else if (children == 1) {
+    // Single child: multiply in a fresh prime so the parent's label is a
+    // proper multiple of the child's.
+    product *= BigInt::FromUint64(primes_.Next());
+  }
+  labels_[static_cast<size_t>(node)] = product;
+  ++*assigned;
+  return product;
+}
+
+void PrimeBottomUpScheme::LabelTree(const XmlTree& tree) {
+  set_tree(tree);
+  primes_.Reset();
+  labels_.assign(tree.arena_size(), BigInt());
+  levels_.assign(tree.arena_size(), 0);
+  tree.Preorder(
+      [&](NodeId id, int depth) { levels_[static_cast<size_t>(id)] = depth; });
+  if (tree.root() != kInvalidNodeId) {
+    int assigned = 0;
+    LabelSubtree(tree.root(), &assigned);
+  }
+}
+
+bool PrimeBottomUpScheme::IsAncestor(NodeId ancestor, NodeId descendant) const {
+  if (ancestor == descendant) return false;
+  if (label(ancestor) == label(descendant)) return false;
+  return label(ancestor).IsDivisibleBy(label(descendant));
+}
+
+bool PrimeBottomUpScheme::IsParent(NodeId parent, NodeId child) const {
+  return IsAncestor(parent, child) &&
+         levels_[static_cast<size_t>(child)] ==
+             levels_[static_cast<size_t>(parent)] + 1;
+}
+
+int PrimeBottomUpScheme::LabelBits(NodeId id) const {
+  return label(id).BitLength();
+}
+
+std::string PrimeBottomUpScheme::LabelString(NodeId id) const {
+  return label(id).ToDecimalString();
+}
+
+int PrimeBottomUpScheme::HandleInsert(NodeId new_node) {
+  PL_CHECK(tree() != nullptr);
+  EnsureCapacity();
+  // A wrapper pushes its whole subtree one level down, so refresh depths
+  // across the subtree (IsParent consults them).
+  int base_depth = tree()->Depth(new_node);
+  tree()->PreorderFrom(new_node, base_depth, [&](NodeId id, int depth) {
+    levels_[static_cast<size_t>(id)] = depth;
+  });
+
+  // Recomputes an internal node's product label from its children's current
+  // labels (single-child nodes get a fresh disambiguating prime).
+  auto product_label = [&](NodeId node) {
+    BigInt product(1);
+    int children = 0;
+    for (NodeId c = tree()->first_child(node); c != kInvalidNodeId;
+         c = tree()->next_sibling(c)) {
+      product *= labels_[static_cast<size_t>(c)];
+      ++children;
+    }
+    if (children == 1) product *= BigInt::FromUint64(primes_.Next());
+    return product;
+  };
+
+  // A fresh prime for a new leaf; a wrapper keeps its subtree's labels and
+  // takes the product over its (single) child.
+  labels_[static_cast<size_t>(new_node)] =
+      tree()->IsLeaf(new_node) ? BigInt::FromUint64(primes_.Next())
+                               : product_label(new_node);
+  int count = 1;
+  // Every ancestor's product gains the new factor: the whole root path is
+  // relabeled, which is why the paper abandons the bottom-up variant for
+  // dynamic documents.
+  for (NodeId a = tree()->parent(new_node); a != kInvalidNodeId;
+       a = tree()->parent(a)) {
+    labels_[static_cast<size_t>(a)] = product_label(a);
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace primelabel

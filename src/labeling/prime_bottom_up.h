@@ -1,0 +1,57 @@
+#ifndef PRIMELABEL_LABELING_PRIME_BOTTOM_UP_H_
+#define PRIMELABEL_LABELING_PRIME_BOTTOM_UP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bigint/bigint.h"
+#include "labeling/scheme.h"
+#include "primes/prime_source.h"
+
+namespace primelabel {
+
+/// The bottom-up prime number labeling scheme (Section 3, Figure 1).
+///
+/// Leaf nodes receive fresh primes; every internal node's label is the
+/// product of its children's labels (times one extra fresh prime when it
+/// has a single child, the "special handling" the paper notes, so parent
+/// and child labels never coincide). Ancestry is the reverse divisibility
+/// of the top-down scheme (Property 2):
+///
+///   x is an ancestor of y  <=>  label(x) mod label(y) == 0   (x != y)
+///
+/// Included as the paper presents it: to show why the top-down variant is
+/// preferred — labels near the root are huge (every leaf prime of the
+/// subtree is a factor) and every insertion relabels the whole root path.
+class PrimeBottomUpScheme : public LabelingScheme {
+ public:
+  PrimeBottomUpScheme() = default;
+
+  std::string_view name() const override;
+  void LabelTree(const XmlTree& tree) override;
+  bool IsAncestor(NodeId ancestor, NodeId descendant) const override;
+  bool IsParent(NodeId parent, NodeId child) const override;
+  int LabelBits(NodeId id) const override;
+  std::string LabelString(NodeId id) const override;
+  int HandleInsert(NodeId new_node) override;
+
+  const BigInt& label(NodeId id) const {
+    return labels_[static_cast<size_t>(id)];
+  }
+
+ private:
+  /// Assigns labels bottom-up in the subtree of `node`; returns its label.
+  BigInt LabelSubtree(NodeId node, int* assigned);
+  void EnsureCapacity();
+
+  PrimeSource primes_;
+  std::vector<BigInt> labels_;
+  /// Depth per node: parent tests need one structural bit of metadata, as
+  /// in the interval scheme.
+  std::vector<int> levels_;
+};
+
+}  // namespace primelabel
+
+#endif  // PRIMELABEL_LABELING_PRIME_BOTTOM_UP_H_

@@ -1,0 +1,94 @@
+#include "labeling/prime_top_down.h"
+
+#include "util/status.h"
+
+namespace primelabel {
+
+std::string_view PrimeTopDownScheme::name() const { return "prime-topdown"; }
+
+void PrimeTopDownScheme::EnsureCapacity() {
+  std::size_t need = tree()->arena_size();
+  if (labels_.size() < need) {
+    labels_.resize(need);
+    selves_.resize(need, 0);
+  }
+}
+
+void PrimeTopDownScheme::LabelTree(const XmlTree& tree) {
+  set_tree(tree);
+  primes_.Reset();
+  labels_.assign(tree.arena_size(), BigInt());
+  selves_.assign(tree.arena_size(), 0);
+  tree.Preorder([&](NodeId id, int depth) {
+    if (depth == 0) {
+      selves_[static_cast<size_t>(id)] = 1;
+      labels_[static_cast<size_t>(id)] = BigInt(1);
+    } else {
+      std::uint64_t p = primes_.Next();
+      selves_[static_cast<size_t>(id)] = p;
+      labels_[static_cast<size_t>(id)] =
+          labels_[static_cast<size_t>(tree.parent(id))] *
+          BigInt::FromUint64(p);
+    }
+  });
+}
+
+bool PrimeTopDownScheme::IsAncestor(NodeId ancestor, NodeId descendant) const {
+  if (ancestor == descendant) return false;
+  return label(descendant).IsDivisibleBy(label(ancestor));
+}
+
+bool PrimeTopDownScheme::IsParent(NodeId parent, NodeId child) const {
+  if (parent == child) return false;
+  return label(parent) * BigInt::FromUint64(self_label(child)) ==
+         label(child);
+}
+
+int PrimeTopDownScheme::LabelBits(NodeId id) const {
+  return label(id).BitLength();
+}
+
+std::string PrimeTopDownScheme::LabelString(NodeId id) const {
+  return label(id).ToDecimalString() + " (self " +
+         std::to_string(self_label(id)) + ")";
+}
+
+int PrimeTopDownScheme::RelabelSubtree(NodeId node) {
+  int count = 0;
+  for (NodeId c = tree()->first_child(node); c != kInvalidNodeId;
+       c = tree()->next_sibling(c)) {
+    labels_[static_cast<size_t>(c)] =
+        labels_[static_cast<size_t>(node)] *
+        BigInt::FromUint64(selves_[static_cast<size_t>(c)]);
+    ++count;
+    count += RelabelSubtree(c);
+  }
+  return count;
+}
+
+std::uint64_t PrimeTopDownScheme::ReplaceSelf(NodeId id, int* relabeled) {
+  PL_CHECK(tree() != nullptr);
+  NodeId parent = tree()->parent(id);
+  PL_CHECK(parent != kInvalidNodeId);  // the root's self-label is fixed at 1
+  std::uint64_t p = primes_.Next();
+  selves_[static_cast<size_t>(id)] = p;
+  labels_[static_cast<size_t>(id)] =
+      labels_[static_cast<size_t>(parent)] * BigInt::FromUint64(p);
+  *relabeled += 1 + RelabelSubtree(id);
+  return p;
+}
+
+int PrimeTopDownScheme::HandleInsert(NodeId new_node) {
+  PL_CHECK(tree() != nullptr);
+  EnsureCapacity();
+  NodeId parent = tree()->parent(new_node);
+  PL_CHECK(parent != kInvalidNodeId);
+  std::uint64_t p = primes_.Next();
+  selves_[static_cast<size_t>(new_node)] = p;
+  labels_[static_cast<size_t>(new_node)] =
+      labels_[static_cast<size_t>(parent)] * BigInt::FromUint64(p);
+  // WrapNode case: descendants inherit the new prime.
+  return 1 + RelabelSubtree(new_node);
+}
+
+}  // namespace primelabel

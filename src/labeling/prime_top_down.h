@@ -1,0 +1,69 @@
+#ifndef PRIMELABEL_LABELING_PRIME_TOP_DOWN_H_
+#define PRIMELABEL_LABELING_PRIME_TOP_DOWN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bigint/bigint.h"
+#include "labeling/scheme.h"
+#include "primes/prime_source.h"
+
+namespace primelabel {
+
+/// The basic top-down prime number labeling scheme (Section 3, Figure 2).
+///
+/// The root's label is 1. Every other node receives a fresh prime as its
+/// *self-label* and the full label is parent_label * self_label, so a
+/// node's label is the product of the unique primes along its root path.
+/// Because every prime is used at most once, divisibility decides ancestry:
+///
+///   x is an ancestor of y  <=>  label(y) mod label(x) == 0   (x != y)
+///
+/// Insertion assigns the next unused prime — no existing node is ever
+/// relabeled (the dynamic property motivating the scheme), except that
+/// wrapping a subtree with a new parent multiplies a new prime into every
+/// descendant's inherited product (Figure 17 counts exactly those).
+class PrimeTopDownScheme : public LabelingScheme {
+ public:
+  PrimeTopDownScheme() = default;
+
+  std::string_view name() const override;
+  void LabelTree(const XmlTree& tree) override;
+  bool IsAncestor(NodeId ancestor, NodeId descendant) const override;
+  bool IsParent(NodeId parent, NodeId child) const override;
+  int LabelBits(NodeId id) const override;
+  std::string LabelString(NodeId id) const override;
+  int HandleInsert(NodeId new_node) override;
+
+  /// Replaces the self-label of an already-labeled node with a fresh prime
+  /// and rederives the labels of its subtree. Used by OrderedPrimeScheme
+  /// when a node's global order number outgrows its self-label (order must
+  /// stay below the modulus for `sc mod self` to recover it). Returns the
+  /// new prime and adds the number of nodes whose labels changed to
+  /// `*relabeled`.
+  std::uint64_t ReplaceSelf(NodeId id, int* relabeled);
+
+  /// The full label (product of root-path self-labels).
+  const BigInt& label(NodeId id) const {
+    return labels_[static_cast<size_t>(id)];
+  }
+  /// The node's own prime (1 for the root).
+  std::uint64_t self_label(NodeId id) const {
+    return selves_[static_cast<size_t>(id)];
+  }
+
+ private:
+  /// Recomputes labels of `node`'s descendants from their self-labels after
+  /// `node`'s own label changed; returns nodes touched.
+  int RelabelSubtree(NodeId node);
+  void EnsureCapacity();
+
+  PrimeSource primes_;
+  std::vector<BigInt> labels_;
+  std::vector<std::uint64_t> selves_;
+};
+
+}  // namespace primelabel
+
+#endif  // PRIMELABEL_LABELING_PRIME_TOP_DOWN_H_

@@ -1,0 +1,34 @@
+#include "labeling/scheme.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace primelabel {
+
+int LabelingScheme::MaxLabelBits() const {
+  PL_CHECK(tree_ != nullptr);
+  int max_bits = 0;
+  tree_->Preorder([&](NodeId id, int) {
+    max_bits = std::max(max_bits, LabelBits(id));
+  });
+  return max_bits;
+}
+
+double LabelingScheme::AvgLabelBits() const {
+  PL_CHECK(tree_ != nullptr);
+  if (tree_->node_count() == 0) return 0.0;
+  return static_cast<double>(TotalLabelBits()) /
+         static_cast<double>(tree_->node_count());
+}
+
+std::uint64_t LabelingScheme::TotalLabelBits() const {
+  PL_CHECK(tree_ != nullptr);
+  std::uint64_t total = 0;
+  tree_->Preorder([&](NodeId id, int) {
+    total += static_cast<std::uint64_t>(LabelBits(id));
+  });
+  return total;
+}
+
+}  // namespace primelabel

@@ -1,0 +1,96 @@
+#ifndef PRIMELABEL_LABELING_SCHEME_H_
+#define PRIMELABEL_LABELING_SCHEME_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "xml/tree.h"
+
+namespace primelabel {
+
+/// Common interface of all node-labeling schemes.
+///
+/// A scheme assigns every attached node of a tree a label such that
+/// structural relationships are decidable from labels alone, reports label
+/// sizes in bits (the storage metric of Section 5.1), and maintains labels
+/// incrementally under insertion, reporting how many nodes had to be
+/// (re)labeled (the update-cost metric of Sections 5.3 and 5.4).
+///
+/// Usage protocol: call LabelTree once, then interleave queries with tree
+/// mutations, calling HandleInsert(new_node) after each insertion. The tree
+/// must outlive the scheme's use. Node deletion never changes other nodes'
+/// labels in any scheme (Section 5.3), so there is no deletion hook.
+class LabelingScheme {
+ public:
+  virtual ~LabelingScheme() = default;
+
+  /// Scheme name as used in the paper's figures ("interval", "prime", ...).
+  virtual std::string_view name() const = 0;
+
+  /// Labels every attached node of `tree` from scratch.
+  virtual void LabelTree(const XmlTree& tree) = 0;
+
+  /// True iff `ancestor` is a proper ancestor of `descendant`, decided from
+  /// the two labels only.
+  virtual bool IsAncestor(NodeId ancestor, NodeId descendant) const = 0;
+
+  /// True iff `parent` is the parent of `child`, decided from labels (plus
+  /// per-label metadata the scheme stores, e.g. the self-label).
+  virtual bool IsParent(NodeId parent, NodeId child) const = 0;
+
+  /// Size of the node's label in bits under this scheme's storage model.
+  virtual int LabelBits(NodeId id) const = 0;
+
+  /// Human-readable rendering of the label (examples and debugging).
+  virtual std::string LabelString(NodeId id) const = 0;
+
+  /// Updates labels after `new_node` was inserted into the tree (leaf
+  /// insertion or WrapNode). Returns the number of nodes that received a
+  /// new or changed label, including `new_node` itself — the y-axis of
+  /// Figures 16 and 17. Unordered semantics: the scheme may give the new
+  /// node any fresh label; labels need not reflect sibling order.
+  virtual int HandleInsert(NodeId new_node) = 0;
+
+  /// Like HandleInsert, but labels must continue to encode document order
+  /// (the order-sensitive updates of Figure 18). For static and prefix
+  /// schemes this forces relabeling of every node whose order-encoding
+  /// label shifted; the prime scheme instead updates its SC table.
+  /// Default: same as HandleInsert (correct for schemes whose labels always
+  /// encode order, e.g. interval).
+  virtual int HandleOrderedInsert(NodeId new_node) {
+    return HandleInsert(new_node);
+  }
+
+  /// Called after `node` (and its subtree) was detached. "The deletion of
+  /// nodes from an XML tree does not affect any node ordering" and no
+  /// scheme relabels on delete (Sections 4.2 and 5.3), so the default does
+  /// nothing and returns 0; order-aware schemes release bookkeeping.
+  virtual int HandleDelete(NodeId node) {
+    (void)node;
+    return 0;
+  }
+
+  // --- Size accounting over all attached nodes --------------------------
+
+  /// Maximum LabelBits over attached nodes: the fixed-length storage cost
+  /// per label compared in Figure 14.
+  int MaxLabelBits() const;
+
+  /// Mean LabelBits over attached nodes.
+  double AvgLabelBits() const;
+
+  /// Sum of LabelBits over attached nodes.
+  std::uint64_t TotalLabelBits() const;
+
+ protected:
+  const XmlTree* tree() const { return tree_; }
+  void set_tree(const XmlTree& tree) { tree_ = &tree; }
+
+ private:
+  const XmlTree* tree_ = nullptr;
+};
+
+}  // namespace primelabel
+
+#endif  // PRIMELABEL_LABELING_SCHEME_H_

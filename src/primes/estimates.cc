@@ -1,0 +1,33 @@
+#include "primes/estimates.h"
+
+#include <cmath>
+
+namespace primelabel {
+
+double EstimatedNthPrime(std::uint64_t n) {
+  if (n <= 1) return 2.0;
+  double x = static_cast<double>(n);
+  return x * std::log(x);
+}
+
+double EstimatedNthPrimeBits(std::uint64_t n) {
+  double estimate = EstimatedNthPrime(n);
+  if (estimate < 2.0) estimate = 2.0;
+  return std::log2(estimate);
+}
+
+int BitLengthU64(std::uint64_t value) {
+  int bits = 0;
+  while (value != 0) {
+    ++bits;
+    value >>= 1;
+  }
+  return bits;
+}
+
+double EstimatedPrimeCount(double x) {
+  if (x < 2.0) return 0.0;
+  return x / std::log(x);
+}
+
+}  // namespace primelabel

@@ -1,0 +1,30 @@
+#ifndef PRIMELABEL_PRIMES_ESTIMATES_H_
+#define PRIMELABEL_PRIMES_ESTIMATES_H_
+
+#include <cstdint>
+
+namespace primelabel {
+
+/// Analytic prime estimates from Section 3.1 of the paper.
+///
+/// The size model approximates the n-th prime by n*log(n) (natural log per
+/// the prime number theorem; the paper writes "Nlog(N)") and the bit length
+/// of the n-th prime by log2(n*log(n)). Figure 3 compares these estimates
+/// against the actual primes.
+
+/// Estimated value of the n-th prime (1-based: n=1 -> ~2). Returns 2 for
+/// n <= 1 where the asymptotic formula degenerates.
+double EstimatedNthPrime(std::uint64_t n);
+
+/// Estimated bit length log2(n ln n) of the n-th prime (1-based).
+double EstimatedNthPrimeBits(std::uint64_t n);
+
+/// Exact bit length of a positive 64-bit integer.
+int BitLengthU64(std::uint64_t value);
+
+/// Estimated number of primes <= x via the prime number theorem x/ln(x).
+double EstimatedPrimeCount(double x);
+
+}  // namespace primelabel
+
+#endif  // PRIMELABEL_PRIMES_ESTIMATES_H_

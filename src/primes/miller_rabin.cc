@@ -1,0 +1,70 @@
+#include "primes/miller_rabin.h"
+
+#include "util/status.h"
+
+namespace primelabel {
+
+namespace {
+
+// (a * b) mod m without overflow, using 128-bit intermediates.
+std::uint64_t MulMod(std::uint64_t a, std::uint64_t b, std::uint64_t m) {
+  return static_cast<std::uint64_t>(
+      static_cast<unsigned __int128>(a) * b % m);
+}
+
+std::uint64_t PowMod(std::uint64_t base, std::uint64_t exp, std::uint64_t m) {
+  std::uint64_t result = 1;
+  base %= m;
+  while (exp != 0) {
+    if (exp & 1u) result = MulMod(result, base, m);
+    base = MulMod(base, base, m);
+    exp >>= 1;
+  }
+  return result;
+}
+
+// One Miller–Rabin round: returns true when `a` certifies n composite.
+bool WitnessesComposite(std::uint64_t a, std::uint64_t d, int r,
+                        std::uint64_t n) {
+  std::uint64_t x = PowMod(a, d, n);
+  if (x == 1 || x == n - 1) return false;
+  for (int i = 1; i < r; ++i) {
+    x = MulMod(x, x, n);
+    if (x == n - 1) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool IsPrimeU64(std::uint64_t n) {
+  if (n < 2) return false;
+  for (std::uint64_t p : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull,
+                          23ull, 29ull, 31ull, 37ull}) {
+    if (n == p) return true;
+    if (n % p == 0) return false;
+  }
+  // n - 1 = d * 2^r with d odd.
+  std::uint64_t d = n - 1;
+  int r = 0;
+  while ((d & 1u) == 0) {
+    d >>= 1;
+    ++r;
+  }
+  for (std::uint64_t a : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull,
+                          23ull, 29ull, 31ull, 37ull}) {
+    if (WitnessesComposite(a, d, r, n)) return false;
+  }
+  return true;
+}
+
+std::uint64_t NextPrimeAfter(std::uint64_t n) {
+  PL_CHECK(n < (std::uint64_t{1} << 63));
+  std::uint64_t candidate = n + 1;
+  if (candidate <= 2) return 2;
+  if ((candidate & 1u) == 0) ++candidate;
+  while (!IsPrimeU64(candidate)) candidate += 2;
+  return candidate;
+}
+
+}  // namespace primelabel

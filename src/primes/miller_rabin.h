@@ -1,0 +1,21 @@
+#ifndef PRIMELABEL_PRIMES_MILLER_RABIN_H_
+#define PRIMELABEL_PRIMES_MILLER_RABIN_H_
+
+#include <cstdint>
+
+namespace primelabel {
+
+/// Deterministic Miller–Rabin primality test for 64-bit integers.
+///
+/// Uses the witness set {2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}, which
+/// is known to be exact for all n < 3.3 * 10^24 and therefore for all u64.
+/// The PrimeSource uses this to extend its prime stream past its sieve bound
+/// without resieving, and tests use it as an independent oracle.
+bool IsPrimeU64(std::uint64_t n);
+
+/// Smallest prime strictly greater than `n` (n < 2^63 so the result fits).
+std::uint64_t NextPrimeAfter(std::uint64_t n);
+
+}  // namespace primelabel
+
+#endif  // PRIMELABEL_PRIMES_MILLER_RABIN_H_

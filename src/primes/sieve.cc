@@ -1,0 +1,35 @@
+#include "primes/sieve.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace primelabel {
+
+Sieve::Sieve(std::uint64_t limit) : limit_(limit) {
+  is_prime_.assign(limit + 1, true);
+  is_prime_[0] = false;
+  if (limit >= 1) is_prime_[1] = false;
+  for (std::uint64_t p = 2; p * p <= limit; ++p) {
+    if (!is_prime_[p]) continue;
+    for (std::uint64_t multiple = p * p; multiple <= limit; multiple += p) {
+      is_prime_[multiple] = false;
+    }
+  }
+  for (std::uint64_t n = 2; n <= limit; ++n) {
+    if (is_prime_[n]) primes_.push_back(n);
+  }
+}
+
+bool Sieve::IsPrime(std::uint64_t n) const {
+  PL_CHECK(n <= limit_);
+  return is_prime_[n];
+}
+
+std::uint64_t Sieve::CountPrimesUpTo(std::uint64_t n) const {
+  PL_CHECK(n <= limit_);
+  auto it = std::upper_bound(primes_.begin(), primes_.end(), n);
+  return static_cast<std::uint64_t>(it - primes_.begin());
+}
+
+}  // namespace primelabel

@@ -1,0 +1,61 @@
+#include "sizemodel/size_model.h"
+
+#include <cmath>
+#include <limits>
+
+#include "primes/estimates.h"
+#include "util/status.h"
+
+namespace primelabel {
+
+std::uint64_t PerfectTreeNodeCount(int depth, int fanout) {
+  PL_CHECK(depth >= 0);
+  PL_CHECK(fanout >= 1);
+  std::uint64_t total = 0;
+  std::uint64_t level = 1;  // F^0
+  for (int i = 0; i <= depth; ++i) {
+    if (std::numeric_limits<std::uint64_t>::max() - total < level) {
+      return std::numeric_limits<std::uint64_t>::max();
+    }
+    total += level;
+    if (i < depth) {
+      if (level > std::numeric_limits<std::uint64_t>::max() /
+                      static_cast<std::uint64_t>(fanout)) {
+        return std::numeric_limits<std::uint64_t>::max();
+      }
+      level *= static_cast<std::uint64_t>(fanout);
+    }
+  }
+  return total;
+}
+
+double IntervalMaxLabelBits(std::uint64_t node_count) {
+  if (node_count == 0) return 0.0;
+  return 2.0 * (1.0 + std::log2(static_cast<double>(node_count)));
+}
+
+double Prefix1SelfBits(int fanout) { return static_cast<double>(fanout); }
+
+double Prefix2SelfBits(int fanout) {
+  if (fanout <= 1) return 1.0;
+  return 4.0 * std::log2(static_cast<double>(fanout));
+}
+
+double PrimeSelfBits(int depth, int fanout) {
+  std::uint64_t n = PerfectTreeNodeCount(depth, fanout);
+  return EstimatedNthPrimeBits(n);
+}
+
+double Prefix1MaxLabelBits(int depth, int fanout) {
+  return static_cast<double>(depth) * Prefix1SelfBits(fanout);
+}
+
+double Prefix2MaxLabelBits(int depth, int fanout) {
+  return static_cast<double>(depth) * Prefix2SelfBits(fanout);
+}
+
+double PrimeMaxLabelBits(int depth, int fanout) {
+  return static_cast<double>(depth) * PrimeSelfBits(depth, fanout);
+}
+
+}  // namespace primelabel

@@ -1,0 +1,39 @@
+#ifndef PRIMELABEL_SIZEMODEL_SIZE_MODEL_H_
+#define PRIMELABEL_SIZEMODEL_SIZE_MODEL_H_
+
+#include <cstdint>
+
+namespace primelabel {
+
+/// Closed-form label-size model of Section 3.1. D, F and N are the maximal
+/// depth, maximal fan-out and node count; bit lengths use log base 2 and
+/// the n-th prime is approximated by n*ln(n) as in the paper.
+
+/// Node count of a perfect tree of depth D and fan-out F:
+/// N = sum_{i=0}^{D} F^i. Saturates at UINT64_MAX on overflow.
+std::uint64_t PerfectTreeNodeCount(int depth, int fanout);
+
+/// Interval labeling: Lmax = 2 * (1 + log2 N) bits for a document of N
+/// nodes (start and end each bounded by 2N).
+double IntervalMaxLabelBits(std::uint64_t node_count);
+
+/// Prefix-1: maximum self-code of the F-th child is F bits (Eq. 1 divided
+/// by D).
+double Prefix1SelfBits(int fanout);
+
+/// Prefix-2: maximum self-code is 4*log2(F) bits (Eq. 2 divided by D).
+double Prefix2SelfBits(int fanout);
+
+/// Prime: maximum self-label is the N-th prime of a perfect (D, F) tree,
+/// log2(N ln N) bits (Eq. 3 divided by D).
+double PrimeSelfBits(int depth, int fanout);
+
+/// Full-label maxima: Eq. 1 (D*F), Eq. 2 (D*4log2(F)) and Eq. 3
+/// (D * log2(N ln N)).
+double Prefix1MaxLabelBits(int depth, int fanout);
+double Prefix2MaxLabelBits(int depth, int fanout);
+double PrimeMaxLabelBits(int depth, int fanout);
+
+}  // namespace primelabel
+
+#endif  // PRIMELABEL_SIZEMODEL_SIZE_MODEL_H_

@@ -1,0 +1,255 @@
+#include "store/btree.h"
+
+#include <algorithm>
+
+namespace primelabel {
+
+struct BTreeIndex::Node {
+  explicit Node(bool leaf) : is_leaf(leaf) {}
+  virtual ~Node() = default;
+  bool is_leaf;
+};
+
+struct BTreeIndex::Leaf : Node {
+  Leaf() : Node(true) {}
+  std::vector<Key> keys;
+  std::vector<Value> values;
+  Leaf* next = nullptr;
+};
+
+struct BTreeIndex::Internal : Node {
+  Internal() : Node(false) {}
+  /// keys[i] is the smallest key in the subtree of children[i + 1].
+  std::vector<Key> keys;
+  std::vector<std::unique_ptr<Node>> children;
+};
+
+BTreeIndex::BTreeIndex() : root_(std::make_unique<Leaf>()) {}
+BTreeIndex::~BTreeIndex() = default;
+BTreeIndex::BTreeIndex(BTreeIndex&&) noexcept = default;
+BTreeIndex& BTreeIndex::operator=(BTreeIndex&&) noexcept = default;
+
+namespace {
+
+/// Child slot for `key`: the last separator <= key routes right.
+int ChildSlot(const std::vector<BTreeIndex::Key>& separators,
+              BTreeIndex::Key key) {
+  return static_cast<int>(
+      std::upper_bound(separators.begin(), separators.end(), key) -
+      separators.begin());
+}
+
+}  // namespace
+
+BTreeIndex::Leaf* BTreeIndex::FindLeaf(Key key) const {
+  Node* node = root_.get();
+  while (!node->is_leaf) {
+    auto* internal = static_cast<Internal*>(node);
+    node = internal->children[static_cast<std::size_t>(
+                                  ChildSlot(internal->keys, key))]
+               .get();
+  }
+  return static_cast<Leaf*>(node);
+}
+
+void BTreeIndex::SplitChild(Internal* parent, int slot) {
+  Node* child = parent->children[static_cast<std::size_t>(slot)].get();
+  if (child->is_leaf) {
+    auto* left = static_cast<Leaf*>(child);
+    auto right = std::make_unique<Leaf>();
+    std::size_t mid = left->keys.size() / 2;
+    right->keys.assign(left->keys.begin() + static_cast<std::ptrdiff_t>(mid),
+                       left->keys.end());
+    right->values.assign(
+        left->values.begin() + static_cast<std::ptrdiff_t>(mid),
+        left->values.end());
+    left->keys.resize(mid);
+    left->values.resize(mid);
+    right->next = left->next;
+    left->next = right.get();
+    parent->keys.insert(parent->keys.begin() + slot, right->keys.front());
+    parent->children.insert(parent->children.begin() + slot + 1,
+                            std::move(right));
+  } else {
+    auto* left = static_cast<Internal*>(child);
+    auto right = std::make_unique<Internal>();
+    std::size_t mid = left->keys.size() / 2;
+    Key promoted = left->keys[mid];
+    right->keys.assign(left->keys.begin() + static_cast<std::ptrdiff_t>(mid) + 1,
+                       left->keys.end());
+    for (std::size_t i = mid + 1; i < left->children.size(); ++i) {
+      right->children.push_back(std::move(left->children[i]));
+    }
+    left->keys.resize(mid);
+    left->children.resize(mid + 1);
+    parent->keys.insert(parent->keys.begin() + slot, promoted);
+    parent->children.insert(parent->children.begin() + slot + 1,
+                            std::move(right));
+  }
+}
+
+void BTreeIndex::Insert(Key key, Value value) {
+  // Preemptive top-down splitting: grow the root if full, then descend,
+  // splitting any full child before entering it.
+  auto is_full = [](const Node* node) {
+    if (node->is_leaf) {
+      return static_cast<const Leaf*>(node)->keys.size() >=
+             static_cast<std::size_t>(kFanout);
+    }
+    return static_cast<const Internal*>(node)->children.size() >=
+           static_cast<std::size_t>(kFanout);
+  };
+  if (is_full(root_.get())) {
+    auto new_root = std::make_unique<Internal>();
+    new_root->children.push_back(std::move(root_));
+    SplitChild(new_root.get(), 0);
+    root_ = std::move(new_root);
+    ++height_;
+  }
+  Node* node = root_.get();
+  while (!node->is_leaf) {
+    auto* internal = static_cast<Internal*>(node);
+    int slot = ChildSlot(internal->keys, key);
+    if (is_full(internal->children[static_cast<std::size_t>(slot)].get())) {
+      SplitChild(internal, slot);
+      slot = ChildSlot(internal->keys, key);
+    }
+    node = internal->children[static_cast<std::size_t>(slot)].get();
+  }
+  auto* leaf = static_cast<Leaf*>(node);
+  auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+  std::ptrdiff_t offset = it - leaf->keys.begin();
+  if (it != leaf->keys.end() && *it == key) {
+    leaf->values[static_cast<std::size_t>(offset)] = value;  // overwrite
+    return;
+  }
+  leaf->keys.insert(it, key);
+  leaf->values.insert(leaf->values.begin() + offset, value);
+  ++size_;
+}
+
+bool BTreeIndex::Lookup(Key key, Value* value) const {
+  const Leaf* leaf = FindLeaf(key);
+  auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+  if (it == leaf->keys.end() || *it != key) return false;
+  *value = leaf->values[static_cast<std::size_t>(it - leaf->keys.begin())];
+  return true;
+}
+
+void BTreeIndex::Scan(Key first, Key last, std::vector<Value>* out) const {
+  if (first > last) return;
+  const Leaf* leaf = FindLeaf(first);
+  while (leaf != nullptr) {
+    auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), first);
+    for (std::size_t i = static_cast<std::size_t>(it - leaf->keys.begin());
+         i < leaf->keys.size(); ++i) {
+      if (leaf->keys[i] > last) return;
+      out->push_back(leaf->values[i]);
+    }
+    leaf = leaf->next;
+  }
+}
+
+void BTreeIndex::BulkLoad(
+    const std::vector<std::pair<Key, Value>>& sorted_pairs) {
+  PL_CHECK(std::is_sorted(
+      sorted_pairs.begin(), sorted_pairs.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; }));
+  size_ = sorted_pairs.size();
+  height_ = 1;
+  if (sorted_pairs.empty()) {
+    root_ = std::make_unique<Leaf>();
+    return;
+  }
+  // Pack leaves at ~3/4 fill so subsequent inserts have headroom.
+  constexpr std::size_t kLeafFill = kFanout * 3 / 4;
+  std::vector<std::unique_ptr<Node>> level;
+  std::vector<Key> level_min_keys;
+  Leaf* previous = nullptr;
+  for (std::size_t i = 0; i < sorted_pairs.size(); i += kLeafFill) {
+    auto leaf = std::make_unique<Leaf>();
+    std::size_t end = std::min(i + kLeafFill, sorted_pairs.size());
+    for (std::size_t j = i; j < end; ++j) {
+      leaf->keys.push_back(sorted_pairs[j].first);
+      leaf->values.push_back(sorted_pairs[j].second);
+    }
+    if (previous != nullptr) previous->next = leaf.get();
+    previous = leaf.get();
+    level_min_keys.push_back(leaf->keys.front());
+    level.push_back(std::move(leaf));
+  }
+  // Build internal levels until one node remains.
+  constexpr std::size_t kInternalFill = kFanout * 3 / 4;
+  while (level.size() > 1) {
+    std::vector<std::unique_ptr<Node>> next_level;
+    std::vector<Key> next_min_keys;
+    for (std::size_t i = 0; i < level.size(); i += kInternalFill) {
+      auto internal = std::make_unique<Internal>();
+      std::size_t end = std::min(i + kInternalFill, level.size());
+      for (std::size_t j = i; j < end; ++j) {
+        if (j > i) internal->keys.push_back(level_min_keys[j]);
+        internal->children.push_back(std::move(level[j]));
+      }
+      next_min_keys.push_back(level_min_keys[i]);
+      next_level.push_back(std::move(internal));
+    }
+    level = std::move(next_level);
+    level_min_keys = std::move(next_min_keys);
+    ++height_;
+  }
+  root_ = std::move(level.front());
+}
+
+bool BTreeIndex::CheckInvariants() const {
+  // Recursive structural check plus a global key-order sweep over leaves.
+  auto check = [&](auto&& self, const Node* node, const Key* lo,
+                   const Key* hi) -> bool {
+    if (node->is_leaf) {
+      const auto* leaf = static_cast<const Leaf*>(node);
+      if (leaf->keys.size() != leaf->values.size()) return false;
+      if (!std::is_sorted(leaf->keys.begin(), leaf->keys.end())) return false;
+      for (Key k : leaf->keys) {
+        if (lo != nullptr && k < *lo) return false;
+        if (hi != nullptr && k >= *hi) return false;
+      }
+      return true;
+    }
+    const auto* internal = static_cast<const Internal*>(node);
+    if (internal->children.size() != internal->keys.size() + 1) return false;
+    if (!std::is_sorted(internal->keys.begin(), internal->keys.end())) {
+      return false;
+    }
+    for (std::size_t i = 0; i < internal->children.size(); ++i) {
+      const Key* child_lo = i == 0 ? lo : &internal->keys[i - 1];
+      const Key* child_hi =
+          i == internal->keys.size() ? hi : &internal->keys[i];
+      if (!self(self, internal->children[i].get(), child_lo, child_hi)) {
+        return false;
+      }
+    }
+    return true;
+  };
+  if (!check(check, root_.get(), nullptr, nullptr)) return false;
+
+  // Leaf chain covers exactly size_ keys in strictly increasing order.
+  const Node* node = root_.get();
+  while (!node->is_leaf) {
+    node = static_cast<const Internal*>(node)->children.front().get();
+  }
+  const Leaf* leaf = static_cast<const Leaf*>(node);
+  std::size_t seen = 0;
+  bool first = true;
+  Key last = 0;
+  while (leaf != nullptr) {
+    for (Key k : leaf->keys) {
+      if (!first && k <= last) return false;
+      last = k;
+      first = false;
+      ++seen;
+    }
+    leaf = leaf->next;
+  }
+  return seen == size_;
+}
+
+}  // namespace primelabel

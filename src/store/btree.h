@@ -1,0 +1,79 @@
+#ifndef PRIMELABEL_STORE_BTREE_H_
+#define PRIMELABEL_STORE_BTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/status.h"
+
+namespace primelabel {
+
+/// In-memory B+-tree from uint64 keys to int32 values.
+///
+/// The index structure behind RangeIndex: XISS-style element indexes store
+/// (order, node) pairs in a B+-tree so a descendant step becomes one range
+/// scan over the ancestor's interval instead of a full extent scan. Keys
+/// are unique (interval start points are); inserting a duplicate key
+/// overwrites. Leaves are linked for range scans.
+///
+/// Deliberately minimal for its role: bulk build from sorted pairs,
+/// point insert (labels are handed out incrementally on updates), point
+/// lookup and range scan. Labels are never physically removed (document
+/// deletion detaches nodes but never reuses labels), so there is no erase.
+class BTreeIndex {
+ public:
+  using Key = std::uint64_t;
+  using Value = std::int32_t;
+
+  /// Leaf/internal fan-out. 64 keeps nodes around two cache lines of keys,
+  /// a typical in-memory trade-off.
+  static constexpr int kFanout = 64;
+
+  BTreeIndex();
+  ~BTreeIndex();
+
+  BTreeIndex(const BTreeIndex&) = delete;
+  BTreeIndex& operator=(const BTreeIndex&) = delete;
+  BTreeIndex(BTreeIndex&&) noexcept;
+  BTreeIndex& operator=(BTreeIndex&&) noexcept;
+
+  /// Bulk-loads from key-sorted unique pairs (faster and better packed
+  /// than repeated Insert). Replaces any existing contents.
+  void BulkLoad(const std::vector<std::pair<Key, Value>>& sorted_pairs);
+
+  /// Inserts or overwrites one pair.
+  void Insert(Key key, Value value);
+
+  /// Point lookup; false if absent.
+  bool Lookup(Key key, Value* value) const;
+
+  /// Appends every value with key in [first, last] to `out`, in key order.
+  void Scan(Key first, Key last, std::vector<Value>* out) const;
+
+  /// Number of stored pairs.
+  std::size_t size() const { return size_; }
+  /// Height of the tree (1 = just a leaf).
+  int height() const { return height_; }
+
+  /// Internal consistency check (key ordering, fill, leaf links); used by
+  /// tests. Returns false and stops at the first violation.
+  bool CheckInvariants() const;
+
+ private:
+  struct Node;
+  struct Leaf;
+  struct Internal;
+
+  Leaf* FindLeaf(Key key) const;
+  /// Splits a full child of `parent` at `slot`.
+  void SplitChild(Internal* parent, int slot);
+
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+  int height_ = 1;
+};
+
+}  // namespace primelabel
+
+#endif  // PRIMELABEL_STORE_BTREE_H_

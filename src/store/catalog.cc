@@ -1,0 +1,217 @@
+#include "store/catalog.h"
+
+#include <cstdio>
+#include <cstring>
+#include <unordered_map>
+
+namespace primelabel {
+
+namespace {
+
+constexpr char kMagic[8] = {'P', 'L', 'C', 'A', 'T', 'L', 'G', '1'};
+
+/// Minimal little-endian binary writer over stdio (no iostream locale
+/// overhead; databases write pages, not text).
+class Writer {
+ public:
+  explicit Writer(std::FILE* file) : file_(file) {}
+  bool ok() const { return ok_; }
+
+  void Bytes(const void* data, std::size_t size) {
+    if (ok_ && std::fwrite(data, 1, size, file_) != size) ok_ = false;
+  }
+  void U8(std::uint8_t v) { Bytes(&v, 1); }
+  void U32(std::uint32_t v) {
+    std::uint8_t buffer[4];
+    for (int i = 0; i < 4; ++i) buffer[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    Bytes(buffer, 4);
+  }
+  void U64(std::uint64_t v) {
+    std::uint8_t buffer[8];
+    for (int i = 0; i < 8; ++i) buffer[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    Bytes(buffer, 8);
+  }
+  void I64(std::int64_t v) { U64(static_cast<std::uint64_t>(v)); }
+  void String(const std::string& s) {
+    U32(static_cast<std::uint32_t>(s.size()));
+    Bytes(s.data(), s.size());
+  }
+  void Big(const BigInt& v) {
+    std::vector<std::uint8_t> bytes = v.ToMagnitudeBytes();
+    U32(static_cast<std::uint32_t>(bytes.size()));
+    Bytes(bytes.data(), bytes.size());
+  }
+
+ private:
+  std::FILE* file_;
+  bool ok_ = true;
+};
+
+/// Matching reader; every accessor reports truncation through ok().
+class Reader {
+ public:
+  explicit Reader(std::FILE* file) : file_(file) {}
+  bool ok() const { return ok_; }
+
+  bool Bytes(void* data, std::size_t size) {
+    if (ok_ && std::fread(data, 1, size, file_) != size) ok_ = false;
+    return ok_;
+  }
+  std::uint8_t U8() {
+    std::uint8_t v = 0;
+    Bytes(&v, 1);
+    return v;
+  }
+  std::uint32_t U32() {
+    std::uint8_t buffer[4] = {};
+    Bytes(buffer, 4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(buffer[i]) << (8 * i);
+    return v;
+  }
+  std::uint64_t U64() {
+    std::uint8_t buffer[8] = {};
+    Bytes(buffer, 8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(buffer[i]) << (8 * i);
+    return v;
+  }
+  std::int64_t I64() { return static_cast<std::int64_t>(U64()); }
+  std::string String() {
+    std::uint32_t size = U32();
+    if (!ok_ || size > (1u << 28)) {
+      ok_ = false;
+      return {};
+    }
+    std::string s(size, '\0');
+    Bytes(s.data(), size);
+    return s;
+  }
+  BigInt Big() {
+    std::uint32_t size = U32();
+    if (!ok_ || size > (1u << 24)) {
+      ok_ = false;
+      return {};
+    }
+    std::vector<std::uint8_t> bytes(size);
+    Bytes(bytes.data(), size);
+    return BigInt::FromMagnitudeBytes(bytes);
+  }
+
+ private:
+  std::FILE* file_;
+  bool ok_ = true;
+};
+
+}  // namespace
+
+bool LoadedCatalog::IsAncestor(std::size_t x, std::size_t y) const {
+  if (x == y) return false;
+  return rows_[y].label.IsDivisibleBy(rows_[x].label) &&
+         rows_[y].label != rows_[x].label;
+}
+
+bool LoadedCatalog::IsParent(std::size_t x, std::size_t y) const {
+  if (x == y) return false;
+  return rows_[x].label * BigInt::FromUint64(rows_[y].self) == rows_[y].label;
+}
+
+std::uint64_t LoadedCatalog::OrderOf(std::size_t row) const {
+  if (row == 0) return 0;  // rows are in document order; row 0 is the root
+  return sc_table_.OrderOf(rows_[row].self);
+}
+
+Status SaveCatalog(const std::string& path, const XmlTree& tree,
+                   const OrderedPrimeScheme& scheme) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::InvalidArgument("cannot open '" + path + "' for writing");
+  }
+  Writer writer(file);
+  writer.Bytes(kMagic, sizeof(kMagic));
+
+  // Rows in document order; parents referenced by row index.
+  std::unordered_map<NodeId, std::int64_t> row_of;
+  std::int64_t next_row = 0;
+  tree.Preorder([&](NodeId id, int) { row_of[id] = next_row++; });
+  writer.U64(static_cast<std::uint64_t>(next_row));
+  tree.Preorder([&](NodeId id, int) {
+    writer.String(tree.name(id));
+    writer.U8(tree.IsElement(id) ? 1 : 0);
+    NodeId parent = tree.parent(id);
+    writer.I64(parent == kInvalidNodeId ? -1 : row_of[parent]);
+    writer.Big(scheme.structure().label(id));
+    writer.U64(scheme.structure().self_label(id));
+  });
+
+  // SC table: group size + records.
+  const ScTable& sc = scheme.sc_table();
+  writer.U32(static_cast<std::uint32_t>(sc.group_size()));
+  writer.U64(sc.records().size());
+  for (const ScRecord& record : sc.records()) {
+    writer.U32(static_cast<std::uint32_t>(record.moduli.size()));
+    for (std::size_t i = 0; i < record.moduli.size(); ++i) {
+      writer.U64(record.moduli[i]);
+      writer.U64(record.orders[i]);
+    }
+    writer.Big(record.sc);
+  }
+  bool ok = writer.ok();
+  ok = std::fclose(file) == 0 && ok;
+  if (!ok) return Status::Internal("short write to '" + path + "'");
+  return Status::Ok();
+}
+
+Result<LoadedCatalog> LoadCatalog(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::NotFound("cannot open '" + path + "'");
+  }
+  Reader reader(file);
+  char magic[8] = {};
+  reader.Bytes(magic, sizeof(magic));
+  if (!reader.ok() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    std::fclose(file);
+    return Status::ParseError("'" + path + "' is not a primelabel catalog");
+  }
+
+  std::uint64_t row_count = reader.U64();
+  if (row_count > (1ull << 32)) {
+    std::fclose(file);
+    return Status::ParseError("implausible row count");
+  }
+  std::vector<CatalogRow> rows;
+  rows.reserve(row_count);
+  for (std::uint64_t i = 0; i < row_count && reader.ok(); ++i) {
+    CatalogRow row;
+    row.tag = reader.String();
+    row.is_element = reader.U8() != 0;
+    row.parent = reader.I64();
+    row.label = reader.Big();
+    row.self = reader.U64();
+    rows.push_back(std::move(row));
+  }
+
+  int group_size = static_cast<int>(reader.U32());
+  std::uint64_t record_count = reader.U64();
+  std::vector<ScRecord> records;
+  for (std::uint64_t r = 0; r < record_count && reader.ok(); ++r) {
+    ScRecord record;
+    std::uint32_t entries = reader.U32();
+    for (std::uint32_t i = 0; i < entries && reader.ok(); ++i) {
+      record.moduli.push_back(reader.U64());
+      record.orders.push_back(reader.U64());
+    }
+    record.sc = reader.Big();
+    records.push_back(std::move(record));
+  }
+  bool ok = reader.ok();
+  std::fclose(file);
+  if (!ok || group_size < 1) {
+    return Status::ParseError("truncated or corrupt catalog '" + path + "'");
+  }
+  return LoadedCatalog(std::move(rows),
+                       ScTable::FromRecords(group_size, std::move(records)));
+}
+
+}  // namespace primelabel

@@ -1,0 +1,65 @@
+#ifndef PRIMELABEL_STORE_CATALOG_H_
+#define PRIMELABEL_STORE_CATALOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bigint/bigint.h"
+#include "core/ordered_prime_scheme.h"
+#include "core/sc_table.h"
+#include "util/status.h"
+#include "xml/tree.h"
+
+namespace primelabel {
+
+/// On-disk catalog of a prime-labeled document.
+///
+/// The paper's storage model keeps (tag, label) rows in a relational table
+/// plus the SC table; restarting the system must not require relabeling.
+/// The catalog persists exactly that: one row per attached node (tag,
+/// parent row, prime label bytes, self-label) and the SC records, in a
+/// little-endian binary format with a magic/version header.
+struct CatalogRow {
+  std::string tag;          ///< element tag or text content
+  bool is_element = true;
+  std::int64_t parent = -1;  ///< row index of the parent, -1 for the root
+  BigInt label;              ///< full prime label
+  std::uint64_t self = 1;    ///< self-label (prime; 1 for the root)
+};
+
+/// A catalog loaded back from disk: rows in document order plus the SC
+/// table, able to answer structure and order queries from the stored
+/// labels alone (no XmlTree needed).
+class LoadedCatalog {
+ public:
+  LoadedCatalog(std::vector<CatalogRow> rows, ScTable sc_table)
+      : rows_(std::move(rows)), sc_table_(std::move(sc_table)) {}
+
+  const std::vector<CatalogRow>& rows() const { return rows_; }
+  const ScTable& sc_table() const { return sc_table_; }
+
+  /// Divisibility ancestor test over stored labels (row indexes).
+  bool IsAncestor(std::size_t x, std::size_t y) const;
+  /// Parent test: label(y) == label(x) * self(y).
+  bool IsParent(std::size_t x, std::size_t y) const;
+  /// Global order number recovered from the SC table (root = 0).
+  std::uint64_t OrderOf(std::size_t row) const;
+
+ private:
+  std::vector<CatalogRow> rows_;
+  ScTable sc_table_;
+};
+
+/// Writes the labeled document to `path`. Rows are emitted in document
+/// order so row indexes equal preorder ranks.
+Status SaveCatalog(const std::string& path, const XmlTree& tree,
+                   const OrderedPrimeScheme& scheme);
+
+/// Reads a catalog written by SaveCatalog. Fails with kParseError on a bad
+/// magic/version or truncated file.
+Result<LoadedCatalog> LoadCatalog(const std::string& path);
+
+}  // namespace primelabel
+
+#endif  // PRIMELABEL_STORE_CATALOG_H_

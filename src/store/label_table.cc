@@ -1,0 +1,54 @@
+#include "store/label_table.h"
+
+namespace primelabel {
+
+namespace {
+// Composite key for the attribute side table: "<row>\x1f<key>".
+std::string AttributeKey(NodeId id, const std::string& key) {
+  return std::to_string(id) + '\x1f' + key;
+}
+}  // namespace
+
+LabelTable::LabelTable(const XmlTree& tree) {
+  parents_.assign(tree.arena_size(), kInvalidNodeId);
+  tree.Preorder([&](NodeId id, int) {
+    if (!tree.IsElement(id)) return;
+    by_tag_[tree.name(id)].push_back(id);
+    all_rows_.push_back(id);
+    parents_[static_cast<size_t>(id)] = tree.parent(id);
+    for (const auto& [key, value] : tree.node(id).attributes) {
+      attributes_[AttributeKey(id, key)] = value;
+    }
+    std::string text;
+    for (NodeId c = tree.first_child(id); c != kInvalidNodeId;
+         c = tree.next_sibling(c)) {
+      if (!tree.IsElement(c)) text += tree.name(c);
+    }
+    if (!text.empty()) text_[id] = std::move(text);
+  });
+}
+
+const std::string* LabelTable::AttributeOf(NodeId id,
+                                           const std::string& key) const {
+  auto it = attributes_.find(AttributeKey(id, key));
+  return it == attributes_.end() ? nullptr : &it->second;
+}
+
+const std::vector<NodeId>& LabelTable::Rows(const std::string& tag) const {
+  auto it = by_tag_.find(tag);
+  return it == by_tag_.end() ? empty_ : it->second;
+}
+
+const std::string* LabelTable::TextOf(NodeId id) const {
+  auto it = text_.find(id);
+  return it == text_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> LabelTable::Tags() const {
+  std::vector<std::string> tags;
+  tags.reserve(by_tag_.size());
+  for (const auto& [tag, rows] : by_tag_) tags.push_back(tag);
+  return tags;
+}
+
+}  // namespace primelabel

@@ -1,0 +1,245 @@
+#include "store/plan.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/status.h"
+
+namespace primelabel {
+
+namespace {
+
+/// Shared shape of the descendant/child joins.
+template <typename Predicate>
+std::vector<NodeId> JoinWith(const QueryContext& ctx,
+                             const std::vector<NodeId>& context,
+                             const std::vector<NodeId>& candidates,
+                             Predicate&& related) {
+  std::vector<NodeId> out;
+  ctx.stats.rows_scanned += candidates.size();
+  for (NodeId candidate : candidates) {
+    for (NodeId anchor : context) {
+      ++ctx.stats.label_tests;
+      if (related(anchor, candidate)) {
+        out.push_back(candidate);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+/// Order numbers of the (small) context set, computed once per operator —
+/// the SQL translation would likewise materialize the context side of the
+/// join before scanning candidates.
+std::vector<std::uint64_t> AnchorOrders(const QueryContext& ctx,
+                                        const std::vector<NodeId>& context) {
+  std::vector<std::uint64_t> orders;
+  orders.reserve(context.size());
+  for (NodeId anchor : context) {
+    orders.push_back(ctx.order_of(anchor));
+    ++ctx.stats.order_lookups;
+  }
+  return orders;
+}
+
+}  // namespace
+
+std::vector<NodeId> JoinDescendants(const QueryContext& ctx,
+                                    const std::vector<NodeId>& context,
+                                    const std::vector<NodeId>& candidates) {
+  return JoinWith(ctx, context, candidates, [&](NodeId a, NodeId c) {
+    return ctx.scheme->IsAncestor(a, c);
+  });
+}
+
+std::vector<NodeId> JoinDescendantsMerge(const QueryContext& ctx,
+                                         const std::vector<NodeId>& context,
+                                         const std::vector<NodeId>& candidates) {
+  // Stack-tree merge: because descendants are contiguous in document
+  // order, the enclosing anchors of the current position form a stack —
+  // an anchor that stops enclosing one candidate can never enclose a
+  // later one, so every label test either pops or answers.
+  std::vector<NodeId> out;
+  ctx.stats.rows_scanned += candidates.size();
+  std::vector<std::uint64_t> anchor_orders = AnchorOrders(ctx, context);
+  std::vector<NodeId> stack;
+  std::size_t next_anchor = 0;
+  for (NodeId candidate : candidates) {
+    std::uint64_t candidate_order = ctx.order_of(candidate);
+    ++ctx.stats.order_lookups;
+    // Open every anchor that starts before this candidate.
+    while (next_anchor < context.size() &&
+           anchor_orders[next_anchor] < candidate_order) {
+      NodeId anchor = context[next_anchor++];
+      while (!stack.empty()) {
+        ++ctx.stats.label_tests;
+        if (ctx.scheme->IsAncestor(stack.back(), anchor)) break;
+        stack.pop_back();
+      }
+      stack.push_back(anchor);
+    }
+    // Close anchors whose subtree ended before this candidate.
+    while (!stack.empty()) {
+      ++ctx.stats.label_tests;
+      if (ctx.scheme->IsAncestor(stack.back(), candidate)) break;
+      stack.pop_back();
+    }
+    if (!stack.empty()) out.push_back(candidate);
+  }
+  return out;
+}
+
+std::vector<NodeId> JoinChildren(const QueryContext& ctx,
+                                 const std::vector<NodeId>& context,
+                                 const std::vector<NodeId>& candidates) {
+  return JoinWith(ctx, context, candidates, [&](NodeId a, NodeId c) {
+    return ctx.scheme->IsParent(a, c);
+  });
+}
+
+std::vector<NodeId> JoinAncestors(const QueryContext& ctx,
+                                  const std::vector<NodeId>& context,
+                                  const std::vector<NodeId>& candidates) {
+  return JoinWith(ctx, context, candidates, [&](NodeId a, NodeId c) {
+    return ctx.scheme->IsAncestor(c, a);  // candidate above anchor
+  });
+}
+
+std::vector<NodeId> JoinParents(const QueryContext& ctx,
+                                const std::vector<NodeId>& context,
+                                const std::vector<NodeId>& candidates) {
+  return JoinWith(ctx, context, candidates, [&](NodeId a, NodeId c) {
+    return ctx.scheme->IsParent(c, a);
+  });
+}
+
+std::vector<NodeId> SelectFollowing(const QueryContext& ctx,
+                                    const std::vector<NodeId>& context,
+                                    const std::vector<NodeId>& candidates) {
+  std::vector<NodeId> out;
+  ctx.stats.rows_scanned += candidates.size();
+  std::vector<std::uint64_t> anchor_orders = AnchorOrders(ctx, context);
+  for (NodeId candidate : candidates) {
+    std::uint64_t candidate_order = ctx.order_of(candidate);
+    ++ctx.stats.order_lookups;
+    for (std::size_t i = 0; i < context.size(); ++i) {
+      if (candidate_order <= anchor_orders[i]) continue;
+      // Following excludes descendants of the anchor.
+      ++ctx.stats.label_tests;
+      if (ctx.scheme->IsAncestor(context[i], candidate)) continue;
+      out.push_back(candidate);
+      break;
+    }
+  }
+  return out;
+}
+
+std::vector<NodeId> SelectPreceding(const QueryContext& ctx,
+                                    const std::vector<NodeId>& context,
+                                    const std::vector<NodeId>& candidates) {
+  std::vector<NodeId> out;
+  ctx.stats.rows_scanned += candidates.size();
+  std::vector<std::uint64_t> anchor_orders = AnchorOrders(ctx, context);
+  for (NodeId candidate : candidates) {
+    std::uint64_t candidate_order = ctx.order_of(candidate);
+    ++ctx.stats.order_lookups;
+    for (std::size_t i = 0; i < context.size(); ++i) {
+      if (candidate_order >= anchor_orders[i]) continue;
+      // Preceding excludes ancestors of the anchor.
+      ++ctx.stats.label_tests;
+      if (ctx.scheme->IsAncestor(candidate, context[i])) continue;
+      out.push_back(candidate);
+      break;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::vector<NodeId> SelectSiblings(const QueryContext& ctx,
+                                   const std::vector<NodeId>& context,
+                                   const std::vector<NodeId>& candidates,
+                                   bool following) {
+  std::vector<NodeId> out;
+  ctx.stats.rows_scanned += candidates.size();
+  std::vector<std::uint64_t> anchor_orders = AnchorOrders(ctx, context);
+  for (NodeId candidate : candidates) {
+    std::uint64_t candidate_order = ctx.order_of(candidate);
+    ++ctx.stats.order_lookups;
+    for (std::size_t i = 0; i < context.size(); ++i) {
+      NodeId anchor = context[i];
+      if (candidate == anchor) continue;
+      if (ctx.table->ParentOf(candidate) != ctx.table->ParentOf(anchor)) {
+        continue;
+      }
+      bool matches = following ? candidate_order > anchor_orders[i]
+                               : candidate_order < anchor_orders[i];
+      if (matches) {
+        out.push_back(candidate);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<NodeId> SelectFollowingSiblings(
+    const QueryContext& ctx, const std::vector<NodeId>& context,
+    const std::vector<NodeId>& candidates) {
+  return SelectSiblings(ctx, context, candidates, /*following=*/true);
+}
+
+std::vector<NodeId> SelectPrecedingSiblings(
+    const QueryContext& ctx, const std::vector<NodeId>& context,
+    const std::vector<NodeId>& candidates) {
+  return SelectSiblings(ctx, context, candidates, /*following=*/false);
+}
+
+std::vector<NodeId> PositionFilter(const QueryContext& ctx,
+                                   const std::vector<NodeId>& nodes, int n) {
+  PL_CHECK(n >= 1);
+  // Group by parent row, keeping first-seen parent order stable.
+  std::unordered_map<NodeId, std::size_t> group_of;
+  std::vector<std::vector<std::pair<std::uint64_t, NodeId>>> groups;
+  for (NodeId node : nodes) {
+    NodeId parent = ctx.table->ParentOf(node);
+    auto [it, inserted] = group_of.emplace(parent, groups.size());
+    if (inserted) groups.emplace_back();
+    groups[it->second].emplace_back(ctx.order_of(node), node);
+    ++ctx.stats.order_lookups;
+  }
+  // Sort each group by order number and keep the n-th (Section 4.3's
+  // "sorted first according to their order numbers" strategy).
+  std::vector<NodeId> out;
+  for (auto& members : groups) {
+    std::sort(members.begin(), members.end());
+    if (members.size() >= static_cast<std::size_t>(n)) {
+      out.push_back(members[static_cast<std::size_t>(n - 1)].second);
+    }
+  }
+  return out;
+}
+
+std::vector<NodeId> SortByOrder(const QueryContext& ctx,
+                                std::vector<NodeId> nodes) {
+  // Materialize the sort key once per row (as a DBMS sort would), then
+  // decorate-sort-undecorate.
+  std::vector<std::pair<std::uint64_t, NodeId>> keyed;
+  keyed.reserve(nodes.size());
+  for (NodeId node : nodes) {
+    keyed.emplace_back(ctx.order_of(node), node);
+    ++ctx.stats.order_lookups;
+  }
+  std::sort(keyed.begin(), keyed.end());
+  nodes.clear();
+  for (const auto& [order, node] : keyed) {
+    if (nodes.empty() || nodes.back() != node) nodes.push_back(node);
+  }
+  return nodes;
+}
+
+}  // namespace primelabel

@@ -1,0 +1,108 @@
+#ifndef PRIMELABEL_STORE_PLAN_H_
+#define PRIMELABEL_STORE_PLAN_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "labeling/scheme.h"
+#include "store/label_table.h"
+#include "xml/tree.h"
+
+namespace primelabel {
+
+/// Per-query execution counters — the cost proxies the paper discusses
+/// (per-row label predicates, the prefix scheme's UDF calls, order-number
+/// generation through the SC table).
+struct EvalStats {
+  std::uint64_t rows_scanned = 0;   ///< rows fetched from the tag index
+  std::uint64_t label_tests = 0;    ///< structural label predicates evaluated
+  std::uint64_t order_lookups = 0;  ///< order numbers computed
+
+  EvalStats& operator+=(const EvalStats& other) {
+    rows_scanned += other.rows_scanned;
+    label_tests += other.label_tests;
+    order_lookups += other.order_lookups;
+    return *this;
+  }
+};
+
+/// Maps a node to its global document-order number. Interval plugs in its
+/// start value, the ordered prime scheme its SC-table lookup, prefix a
+/// lexicographic rank.
+using OrderFn = std::function<std::uint64_t(NodeId)>;
+
+/// Everything a physical operator needs: the table, the labeling scheme
+/// whose predicates it evaluates, and the order provider.
+struct QueryContext {
+  const LabelTable* table = nullptr;
+  const LabelingScheme* scheme = nullptr;
+  OrderFn order_of;
+  mutable EvalStats stats;
+};
+
+/// Structural join: candidates that are descendants of at least one context
+/// node (nested-loop with the scheme's ancestor predicate, as the SQL
+/// translation does). Preserves candidate order, no duplicates.
+std::vector<NodeId> JoinDescendants(const QueryContext& ctx,
+                                    const std::vector<NodeId>& context,
+                                    const std::vector<NodeId>& candidates);
+
+/// Merge-based structural join (stack-tree style, after Al-Khalifa et al.):
+/// one synchronized pass over both lists in document order, testing each
+/// candidate against only the current innermost enclosing anchors instead
+/// of the whole context. Requires both inputs sorted by document order
+/// (tag-index scans are) and an order provider; returns the same result
+/// set as JoinDescendants with O(|context| + |candidates| * stack-depth)
+/// label tests. Benched against the nested loop in
+/// bench_ablation_join.
+std::vector<NodeId> JoinDescendantsMerge(const QueryContext& ctx,
+                                         const std::vector<NodeId>& context,
+                                         const std::vector<NodeId>& candidates);
+
+/// Structural join for the child axis (parent predicate).
+std::vector<NodeId> JoinChildren(const QueryContext& ctx,
+                                 const std::vector<NodeId>& context,
+                                 const std::vector<NodeId>& candidates);
+
+/// Reverse joins for the `ancestor` / `parent` axes: candidates that are
+/// an ancestor (parent) of at least one context node.
+std::vector<NodeId> JoinAncestors(const QueryContext& ctx,
+                                  const std::vector<NodeId>& context,
+                                  const std::vector<NodeId>& candidates);
+std::vector<NodeId> JoinParents(const QueryContext& ctx,
+                                const std::vector<NodeId>& context,
+                                const std::vector<NodeId>& candidates);
+
+/// The XPath `following` / `preceding` axes: candidates after (before) some
+/// context node in document order, excluding its descendants (ancestors).
+std::vector<NodeId> SelectFollowing(const QueryContext& ctx,
+                                    const std::vector<NodeId>& context,
+                                    const std::vector<NodeId>& candidates);
+std::vector<NodeId> SelectPreceding(const QueryContext& ctx,
+                                    const std::vector<NodeId>& context,
+                                    const std::vector<NodeId>& candidates);
+
+/// The sibling axes: candidates sharing a parent row with a context node
+/// and ordered after (before) it.
+std::vector<NodeId> SelectFollowingSiblings(
+    const QueryContext& ctx, const std::vector<NodeId>& context,
+    const std::vector<NodeId>& candidates);
+std::vector<NodeId> SelectPrecedingSiblings(
+    const QueryContext& ctx, const std::vector<NodeId>& context,
+    const std::vector<NodeId>& candidates);
+
+/// Position predicate `[n]` (1-based): groups `nodes` by their parent row,
+/// sorts each group by document order, keeps the n-th of each group — the
+/// strategy of Section 4.3 ("sorted first according to their order
+/// numbers ... return the node that is in the second position").
+std::vector<NodeId> PositionFilter(const QueryContext& ctx,
+                                   const std::vector<NodeId>& nodes, int n);
+
+/// Sorts nodes by document order (ascending) and removes duplicates.
+std::vector<NodeId> SortByOrder(const QueryContext& ctx,
+                                std::vector<NodeId> nodes);
+
+}  // namespace primelabel
+
+#endif  // PRIMELABEL_STORE_PLAN_H_

@@ -1,0 +1,43 @@
+#include "store/range_index.h"
+
+#include <algorithm>
+
+namespace primelabel {
+
+RangeIndex::RangeIndex(const XmlTree& tree, const IntervalScheme& scheme)
+    : scheme_(&scheme) {
+  // Collect (start, node) pairs per tag, then bulk-load each tree.
+  std::unordered_map<std::string,
+                     std::vector<std::pair<BTreeIndex::Key, NodeId>>>
+      pairs;
+  tree.Preorder([&](NodeId id, int) {
+    if (!tree.IsElement(id)) return;
+    pairs[tree.name(id)].emplace_back(scheme.low(id), id);
+  });
+  for (auto& [tag, entries] : pairs) {
+    // Preorder emission means starts are already ascending, but do not
+    // rely on it.
+    std::sort(entries.begin(), entries.end());
+    trees_[tag].BulkLoad(entries);
+  }
+}
+
+std::vector<NodeId> RangeIndex::DescendantsWithTag(
+    NodeId ancestor, const std::string& tag) const {
+  std::vector<NodeId> out;
+  auto it = trees_.find(tag);
+  if (it == trees_.end()) return out;
+  std::uint64_t low = scheme_->low(ancestor);
+  std::uint64_t high = scheme_->high(ancestor);
+  if (high <= low + 1) return out;  // leaf interval: nothing inside
+  it->second.Scan(low + 1, high - 1, &out);
+  return out;
+}
+
+std::size_t RangeIndex::entry_count() const {
+  std::size_t total = 0;
+  for (const auto& [tag, tree] : trees_) total += tree.size();
+  return total;
+}
+
+}  // namespace primelabel

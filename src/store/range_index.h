@@ -1,0 +1,45 @@
+#ifndef PRIMELABEL_STORE_RANGE_INDEX_H_
+#define PRIMELABEL_STORE_RANGE_INDEX_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "labeling/interval.h"
+#include "store/btree.h"
+#include "xml/tree.h"
+
+namespace primelabel {
+
+/// XISS-style element index: for every tag, a B+-tree from interval start
+/// point to node id.
+///
+/// With interval labels, the descendants of `a` are exactly the nodes
+/// whose start lies in (low(a), high(a)), so a descendant step becomes one
+/// B+-tree range scan instead of a scan-and-test over the whole tag extent
+/// — the access path XISS [11] builds and the reason interval labels pair
+/// so well with "standard DBMS functions" (Section 3.1's conclusion).
+class RangeIndex {
+ public:
+  /// Indexes every attached element of `tree` under `scheme`'s intervals.
+  /// Both must outlive the index; the index reflects the labeling at
+  /// construction time.
+  RangeIndex(const XmlTree& tree, const IntervalScheme& scheme);
+
+  /// Element descendants of `ancestor` with the given tag, in document
+  /// order. One range scan: O(log n + results).
+  std::vector<NodeId> DescendantsWithTag(NodeId ancestor,
+                                         const std::string& tag) const;
+
+  /// All indexed tags' tree heights — for tests/benches.
+  std::size_t tag_count() const { return trees_.size(); }
+  /// Total indexed entries.
+  std::size_t entry_count() const;
+
+ private:
+  const IntervalScheme* scheme_;
+  std::unordered_map<std::string, BTreeIndex> trees_;
+};
+
+}  // namespace primelabel
+
+#endif  // PRIMELABEL_STORE_RANGE_INDEX_H_

@@ -1,0 +1,41 @@
+#ifndef PRIMELABEL_UTIL_RNG_H_
+#define PRIMELABEL_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace primelabel {
+
+/// Deterministic 64-bit PRNG (SplitMix64). Used instead of <random>
+/// distributions so generated datasets are bit-identical across platforms
+/// and standard-library versions — experiment outputs must be reproducible.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  /// Next 64 random bits.
+  std::uint64_t Next() {
+    state_ += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  std::uint64_t Uniform(std::uint64_t lo, std::uint64_t hi) {
+    return lo + Next() % (hi - lo + 1);
+  }
+
+  /// Uniform integer in [0, n); requires n > 0.
+  std::uint64_t Below(std::uint64_t n) { return Next() % n; }
+
+  /// True with probability `percent`/100.
+  bool Chance(unsigned percent) { return Next() % 100 < percent; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace primelabel
+
+#endif  // PRIMELABEL_UTIL_RNG_H_

@@ -1,0 +1,77 @@
+#include "xml/dataguide.h"
+
+#include <algorithm>
+
+namespace primelabel {
+
+DataGuide::DataGuide(const XmlTree& document) {
+  // One DFS with an explicit path string; each element appends its tag.
+  std::string path;
+  auto visit = [&](auto&& self, NodeId id) -> void {
+    if (!document.IsElement(id)) return;
+    std::size_t mark = path.size();
+    path += "/";
+    path += document.name(id);
+    extents_[path].push_back(id);
+    for (NodeId c = document.first_child(id); c != kInvalidNodeId;
+         c = document.next_sibling(c)) {
+      self(self, c);
+    }
+    path.resize(mark);
+  };
+  if (document.root() != kInvalidNodeId) visit(visit, document.root());
+}
+
+const std::vector<NodeId>& DataGuide::Extent(const std::string& path) const {
+  auto it = extents_.find(path);
+  return it == extents_.end() ? empty_ : it->second;
+}
+
+std::vector<std::string> DataGuide::Paths() const {
+  std::vector<std::string> paths;
+  paths.reserve(extents_.size());
+  for (const auto& [path, extent] : extents_) paths.push_back(path);
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+namespace {
+
+bool EndsWithTag(const std::string& path, const std::string& tag) {
+  return path.size() > tag.size() &&
+         path.compare(path.size() - tag.size(), tag.size(), tag) == 0 &&
+         path[path.size() - tag.size() - 1] == '/';
+}
+
+bool ContainsSegment(const std::string& path, const std::string& tag,
+                     std::size_t end_before) {
+  std::string needle = "/" + tag + "/";
+  return path.substr(0, end_before).find(needle) != std::string::npos;
+}
+
+}  // namespace
+
+std::vector<NodeId> DataGuide::NodesWithTag(const std::string& tag) const {
+  std::vector<NodeId> out;
+  for (const auto& [path, extent] : extents_) {
+    if (EndsWithTag(path, tag)) {
+      out.insert(out.end(), extent.begin(), extent.end());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::string> DataGuide::PathsThrough(
+    const std::string& ancestor_tag, const std::string& descendant_tag) const {
+  std::vector<std::string> out;
+  for (const auto& [path, extent] : extents_) {
+    if (!EndsWithTag(path, descendant_tag)) continue;
+    std::size_t tail = path.size() - descendant_tag.size();
+    if (ContainsSegment(path, ancestor_tag, tail)) out.push_back(path);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace primelabel

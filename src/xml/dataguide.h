@@ -1,0 +1,53 @@
+#ifndef PRIMELABEL_XML_DATAGUIDE_H_
+#define PRIMELABEL_XML_DATAGUIDE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "xml/tree.h"
+
+namespace primelabel {
+
+/// Strong DataGuide (Goldman & Widom [9]) — the path summary Lore [12]
+/// pilots its tree traversals with, i.e. the pre-labeling state of the art
+/// the paper's Section 2 describes.
+///
+/// One entry per distinct *label path* (root-to-node tag sequence) in the
+/// document, each carrying its extent: the document nodes on that path.
+/// Path-anchored lookups are O(1); what it cannot do — and what labeling
+/// schemes add — is decide ancestorship between two arbitrary nodes
+/// without walking the document.
+class DataGuide {
+ public:
+  /// Builds the guide over the attached element nodes of `document`.
+  explicit DataGuide(const XmlTree& document);
+
+  /// Number of distinct label paths.
+  std::size_t path_count() const { return extents_.size(); }
+
+  /// Nodes on an exact label path like "/play/act/scene", in document
+  /// order; empty for unknown paths.
+  const std::vector<NodeId>& Extent(const std::string& path) const;
+
+  /// All label paths, sorted lexicographically.
+  std::vector<std::string> Paths() const;
+
+  /// Nodes whose label path ends with the tag (i.e. all elements with the
+  /// tag, grouped by path): the union of Extent over MatchingPaths.
+  std::vector<NodeId> NodesWithTag(const std::string& tag) const;
+
+  /// Label paths that contain `ancestor_tag` strictly before their final
+  /// tag equals `descendant_tag` — how a path index answers
+  /// //ancestor//descendant without touching the document.
+  std::vector<std::string> PathsThrough(const std::string& ancestor_tag,
+                                        const std::string& descendant_tag) const;
+
+ private:
+  std::unordered_map<std::string, std::vector<NodeId>> extents_;
+  std::vector<NodeId> empty_;
+};
+
+}  // namespace primelabel
+
+#endif  // PRIMELABEL_XML_DATAGUIDE_H_

@@ -1,0 +1,192 @@
+#include "xml/datasets.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+#include "util/status.h"
+#include "xml/shakespeare.h"
+
+namespace primelabel {
+
+namespace {
+
+/// Per-topic record shapes. A record is a small subtree (record element +
+/// its fields); documents are grown record by record until the target node
+/// count is reached, which reproduces the flat "collection of records"
+/// character of the Niagara corpus.
+struct RecordShape {
+  const char* root_tag;
+  const char* record_tag;
+  /// Field tags appended under each record; a leading '>' nests the field
+  /// under the previous non-nested field instead of the record.
+  std::vector<const char*> fields;
+};
+
+RecordShape ShapeForTopic(const std::string& id) {
+  if (id == "D1") {  // Sigmod record
+    return {"sigmod_record", "article",
+            {"title", "initPage", "endPage", "authors", ">author"}};
+  }
+  if (id == "D2") {  // Movie
+    return {"movies", "movie",
+            {"title", "year", "director", "genre", "cast", ">actor"}};
+  }
+  if (id == "D3") {  // Club
+    return {"clubs", "club",
+            {"name", "city", "founded", "members", ">member", ">member"}};
+  }
+  if (id == "D5") {  // Car
+    return {"cars", "car",
+            {"make", "model", "year", "price", "engine", ">displacement"}};
+  }
+  if (id == "D6") {  // Department
+    return {"departments", "department",
+            {"name", "head", "budget", "courses", ">course", ">course"}};
+  }
+  if (id == "D9") {  // Company
+    return {"companies", "company",
+            {"name", "ticker", "sector", "address", ">street", ">city",
+             "employees", ">employee", ">employee"}};
+  }
+  PL_CHECK(false && "no record shape for dataset");
+  return {};
+}
+
+XmlTree GenerateRecordList(const DatasetSpec& spec) {
+  RecordShape shape = ShapeForTopic(spec.id);
+  XmlTree tree;
+  NodeId root = tree.CreateRoot(shape.root_tag);
+  while (tree.node_count() + shape.fields.size() + 1 <= spec.target_nodes) {
+    NodeId record = tree.AppendChild(root, shape.record_tag);
+    NodeId last_field = record;
+    for (const char* field : shape.fields) {
+      if (field[0] == '>') {
+        tree.AppendChild(last_field, field + 1);
+      } else {
+        last_field = tree.AppendChild(record, field);
+      }
+    }
+  }
+  // Top up with bare records to land exactly on the target.
+  while (tree.node_count() < spec.target_nodes) {
+    tree.AppendChild(root, shape.record_tag);
+  }
+  return tree;
+}
+
+// D4 "Actor": a handful of actors, each with a name and a filmography that
+// fans out into a very large flat list of movies — the dataset whose huge
+// fan-out makes the prefix scheme "suffer badly" (Section 5.1.2).
+XmlTree GenerateWideFanout(const DatasetSpec& spec) {
+  XmlTree tree;
+  NodeId root = tree.CreateRoot("actors");
+  constexpr int kActors = 3;
+  std::vector<NodeId> filmographies;
+  for (int i = 0; i < kActors; ++i) {
+    NodeId actor = tree.AppendChild(root, "actor");
+    tree.AppendChild(actor, "name");
+    filmographies.push_back(tree.AppendChild(actor, "filmography"));
+  }
+  std::size_t next = 0;
+  while (tree.node_count() < spec.target_nodes) {
+    tree.AppendChild(filmographies[next % filmographies.size()], "movie");
+    ++next;
+  }
+  return tree;
+}
+
+// D7 "NASA": deep nesting with low fan-out — the structure that is "ideal
+// for the prefix labeling scheme" (Section 5.1.2).
+XmlTree GenerateDeepNarrow(const DatasetSpec& spec) {
+  XmlTree tree;
+  Rng rng(spec.seed ^ 0xDA7Aull);
+  NodeId root = tree.CreateRoot("datasets");
+  // Each record is a chain dataset/reference/source/other/title... of depth
+  // ~8 with 1-2 children per level.
+  constexpr const char* kChain[] = {"dataset",  "reference", "source",
+                                    "other",    "title",     "author",
+                                    "initial",  "lastName"};
+  constexpr int kChainLength = static_cast<int>(sizeof(kChain) /
+                                                sizeof(kChain[0]));
+  while (tree.node_count() < spec.target_nodes) {
+    NodeId parent = root;
+    for (int level = 0;
+         level < kChainLength && tree.node_count() < spec.target_nodes;
+         ++level) {
+      NodeId node = tree.AppendChild(parent, kChain[level]);
+      // Occasionally add a second, terminal child to vary the fan-out
+      // without widening the tree.
+      if (rng.Chance(25) && tree.node_count() < spec.target_nodes) {
+        tree.AppendChild(parent, "descriptor");
+      }
+      parent = node;
+    }
+  }
+  return tree;
+}
+
+}  // namespace
+
+std::vector<DatasetSpec> NiagaraCorpusSpecs() {
+  return {
+      {"D1", "Sigmod record", 41, DatasetStyle::kRecordList, 1},
+      {"D2", "Movie", 125, DatasetStyle::kRecordList, 2},
+      {"D3", "Club", 340, DatasetStyle::kRecordList, 3},
+      {"D4", "Actor", 1110, DatasetStyle::kWideFanout, 4},
+      {"D5", "Car", 2495, DatasetStyle::kRecordList, 5},
+      {"D6", "Department", 2686, DatasetStyle::kRecordList, 6},
+      {"D7", "NASA", 4834, DatasetStyle::kDeepNarrow, 7},
+      {"D8", "Shakespears' Plays", 6636, DatasetStyle::kShakespeare, 8},
+      {"D9", "Company", 10052, DatasetStyle::kRecordList, 9},
+  };
+}
+
+XmlTree GenerateDataset(const DatasetSpec& spec) {
+  switch (spec.style) {
+    case DatasetStyle::kRecordList:
+      return GenerateRecordList(spec);
+    case DatasetStyle::kWideFanout:
+      return GenerateWideFanout(spec);
+    case DatasetStyle::kDeepNarrow:
+      return GenerateDeepNarrow(spec);
+    case DatasetStyle::kShakespeare:
+      return GenerateHamlet();
+  }
+  PL_CHECK(false && "unreachable");
+  return XmlTree();
+}
+
+XmlTree GenerateRandomTree(const RandomTreeOptions& options) {
+  PL_CHECK(options.node_count >= 1);
+  PL_CHECK(options.max_depth >= 1);
+  PL_CHECK(options.max_fanout >= 1);
+  Rng rng(options.seed);
+  XmlTree tree;
+  NodeId root = tree.CreateRoot("root");
+
+  // Frontier of nodes that can still take children, with their depths.
+  struct Candidate {
+    NodeId id;
+    int depth;
+  };
+  std::vector<Candidate> frontier = {{root, 0}};
+  static constexpr const char* kTags[] = {"a", "b", "c", "d", "e", "f"};
+  while (tree.node_count() < options.node_count) {
+    std::size_t pick = rng.Below(frontier.size());
+    Candidate parent = frontier[pick];
+    if (parent.depth >= options.max_depth ||
+        tree.ChildCount(parent.id) >= options.max_fanout) {
+      // Saturated: drop from the frontier (swap-erase keeps it O(1)).
+      frontier[pick] = frontier.back();
+      frontier.pop_back();
+      PL_CHECK(!frontier.empty());
+      continue;
+    }
+    NodeId child = tree.AppendChild(
+        parent.id, kTags[rng.Below(sizeof(kTags) / sizeof(kTags[0]))]);
+    frontier.push_back({child, parent.depth + 1});
+  }
+  return tree;
+}
+
+}  // namespace primelabel

@@ -1,0 +1,59 @@
+#ifndef PRIMELABEL_XML_DATASETS_H_
+#define PRIMELABEL_XML_DATASETS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "xml/tree.h"
+
+namespace primelabel {
+
+/// Structural style of a synthetic dataset. The Niagara corpus used by the
+/// paper is no longer distributed, so each topic is regenerated with the
+/// structural character the paper reports: record-style collections, the
+/// very-wide Actor filmographies, and the deep/narrow NASA documents.
+enum class DatasetStyle {
+  /// Root -> many records -> a fixed set of (possibly nested) fields.
+  kRecordList,
+  /// A few records, each fanning out into a very large flat list (D4).
+  kWideFanout,
+  /// Long nested chains with small fan-out at each level (D7).
+  kDeepNarrow,
+  /// Generated Shakespeare play collection (D8).
+  kShakespeare,
+};
+
+/// Description of one dataset in the evaluation corpus (Table 1).
+struct DatasetSpec {
+  std::string id;       ///< "D1" ... "D9"
+  std::string topic;    ///< as printed in Table 1
+  std::size_t target_nodes;  ///< "Max. # of nodes" column of Table 1
+  DatasetStyle style = DatasetStyle::kRecordList;
+  std::uint64_t seed = 0;
+};
+
+/// The nine datasets of Table 1 with the published maximum node counts.
+std::vector<DatasetSpec> NiagaraCorpusSpecs();
+
+/// Generates a document matching `spec` (node count within a few nodes of
+/// target_nodes; identical output for identical spec).
+XmlTree GenerateDataset(const DatasetSpec& spec);
+
+/// Options for the generic random-tree generator used by the update
+/// experiments (Figures 16 and 17: files of 1,000 to 10,000 nodes) and by
+/// property tests.
+struct RandomTreeOptions {
+  std::size_t node_count = 1000;
+  int max_depth = 6;
+  int max_fanout = 10;
+  std::uint64_t seed = 42;
+};
+
+/// Generates a random ordered tree with exactly `node_count` nodes whose
+/// depth and fan-out respect the bounds in `options`.
+XmlTree GenerateRandomTree(const RandomTreeOptions& options);
+
+}  // namespace primelabel
+
+#endif  // PRIMELABEL_XML_DATASETS_H_

@@ -1,0 +1,60 @@
+#include "xml/parser.h"
+
+#include <vector>
+
+#include "xml/sax.h"
+
+namespace primelabel {
+
+namespace internal_sax {
+Status ParseXmlSaxWithWhitespace(std::string_view input, SaxHandler* handler,
+                                 bool keep_whitespace_text);
+}  // namespace internal_sax
+
+namespace {
+
+/// DOM construction as a SAX handler: ParseXml and ParseXmlSax share one
+/// parsing engine (sax.cc), so they accept exactly the same documents.
+class TreeBuilder : public SaxHandler {
+ public:
+  void StartElement(
+      std::string_view tag,
+      const std::vector<std::pair<std::string_view, std::string_view>>&
+          attributes) override {
+    NodeId id = stack_.empty() ? tree_.CreateRoot(tag)
+                               : tree_.AppendChild(stack_.back(), tag);
+    for (const auto& [key, value] : attributes) {
+      tree_.AddAttribute(id, key, value);
+    }
+    stack_.push_back(id);
+  }
+
+  void EndElement(std::string_view) override { stack_.pop_back(); }
+
+  void Text(std::string_view text) override {
+    tree_.AppendText(stack_.back(), text);
+  }
+
+  bool has_root() const { return tree_.root() != kInvalidNodeId; }
+  XmlTree Take() { return std::move(tree_); }
+
+ private:
+  XmlTree tree_;
+  std::vector<NodeId> stack_;
+};
+
+}  // namespace
+
+Result<XmlTree> ParseXml(std::string_view input,
+                         const XmlParseOptions& options) {
+  TreeBuilder builder;
+  Status status = internal_sax::ParseXmlSaxWithWhitespace(
+      input, &builder, options.keep_whitespace_text);
+  if (!status.ok()) return status;
+  if (!builder.has_root()) {
+    return Status::ParseError("document has no root element");
+  }
+  return builder.Take();
+}
+
+}  // namespace primelabel

@@ -1,0 +1,34 @@
+#ifndef PRIMELABEL_XML_PARSER_H_
+#define PRIMELABEL_XML_PARSER_H_
+
+#include <string_view>
+
+#include "util/status.h"
+#include "xml/tree.h"
+
+namespace primelabel {
+
+/// Options controlling XML parsing.
+struct XmlParseOptions {
+  /// When false, text nodes consisting only of whitespace are dropped, which
+  /// matches how the paper's experiments count document nodes.
+  bool keep_whitespace_text = false;
+};
+
+/// Parses a well-formed XML document subset into an XmlTree.
+///
+/// Supported: elements, attributes (single or double quoted), character
+/// data, the five predefined entities, numeric character references,
+/// comments, CDATA sections, processing instructions and the XML
+/// declaration (both skipped), and a DOCTYPE declaration without an
+/// internal subset (skipped). Namespaces are treated as plain tag text.
+///
+/// Returns kParseError with a byte offset in the message on malformed input
+/// (mismatched tags, unterminated constructs, stray characters outside the
+/// root element, multiple roots).
+Result<XmlTree> ParseXml(std::string_view input,
+                         const XmlParseOptions& options = {});
+
+}  // namespace primelabel
+
+#endif  // PRIMELABEL_XML_PARSER_H_

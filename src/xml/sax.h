@@ -1,0 +1,44 @@
+#ifndef PRIMELABEL_XML_SAX_H_
+#define PRIMELABEL_XML_SAX_H_
+
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace primelabel {
+
+/// Event-based (SAX-style) XML parsing.
+///
+/// The update experiments speak of "SAX parse order" (Section 5.3) and a
+/// labeling scheme that wants to scale to documents larger than memory
+/// must assign labels during the parse. This interface delivers the same
+/// well-formed subset as ParseXml as a stream of callbacks; the handler
+/// never sees a tree.
+class SaxHandler {
+ public:
+  virtual ~SaxHandler() = default;
+
+  /// Start tag. `attributes` views into the input are valid only during
+  /// the call.
+  virtual void StartElement(
+      std::string_view tag,
+      const std::vector<std::pair<std::string_view, std::string_view>>&
+          attributes) = 0;
+  /// Matching end tag (also fired for self-closing elements).
+  virtual void EndElement(std::string_view tag) = 0;
+  /// Character data with entities decoded. May fire multiple times per
+  /// element; whitespace-only runs are dropped (matching ParseXml's
+  /// default).
+  virtual void Text(std::string_view text) = 0;
+};
+
+/// Parses `input`, firing `handler` callbacks in document order. Same
+/// error reporting as ParseXml; events fired before an error was detected
+/// are not rolled back.
+Status ParseXmlSax(std::string_view input, SaxHandler* handler);
+
+}  // namespace primelabel
+
+#endif  // PRIMELABEL_XML_SAX_H_

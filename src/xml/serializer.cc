@@ -1,0 +1,87 @@
+#include "xml/serializer.h"
+
+namespace primelabel {
+
+namespace {
+
+void AppendEscaped(std::string_view text, bool in_attribute,
+                   std::string* out) {
+  for (char c : text) {
+    switch (c) {
+      case '<':
+        out->append("&lt;");
+        break;
+      case '>':
+        out->append("&gt;");
+        break;
+      case '&':
+        out->append("&amp;");
+        break;
+      case '"':
+        if (in_attribute) {
+          out->append("&quot;");
+        } else {
+          out->push_back(c);
+        }
+        break;
+      default:
+        out->push_back(c);
+    }
+  }
+}
+
+void SerializeNode(const XmlTree& tree, NodeId id,
+                   const XmlSerializeOptions& options, int depth,
+                   std::string* out) {
+  auto indent = [&](int d) {
+    if (!options.pretty) return;
+    out->push_back('\n');
+    out->append(static_cast<std::size_t>(d) *
+                    static_cast<std::size_t>(options.indent_width),
+                ' ');
+  };
+
+  if (tree.type(id) == XmlNodeType::kText) {
+    if (options.pretty) indent(depth);
+    AppendEscaped(tree.name(id), /*in_attribute=*/false, out);
+    return;
+  }
+
+  if (options.pretty && depth > 0) indent(depth);
+  out->push_back('<');
+  out->append(tree.name(id));
+  for (const auto& [key, value] : tree.node(id).attributes) {
+    out->push_back(' ');
+    out->append(key);
+    out->append("=\"");
+    AppendEscaped(value, /*in_attribute=*/true, out);
+    out->push_back('"');
+  }
+  if (tree.IsLeaf(id)) {
+    out->append("/>");
+    return;
+  }
+  out->push_back('>');
+  bool has_element_children = false;
+  for (NodeId child = tree.first_child(id); child != kInvalidNodeId;
+       child = tree.next_sibling(child)) {
+    if (tree.IsElement(child)) has_element_children = true;
+    SerializeNode(tree, child, options, depth + 1, out);
+  }
+  if (options.pretty && has_element_children) indent(depth);
+  out->append("</");
+  out->append(tree.name(id));
+  out->push_back('>');
+}
+
+}  // namespace
+
+std::string SerializeXml(const XmlTree& tree,
+                         const XmlSerializeOptions& options) {
+  std::string out;
+  if (tree.root() == kInvalidNodeId) return out;
+  SerializeNode(tree, tree.root(), options, 0, &out);
+  return out;
+}
+
+}  // namespace primelabel

@@ -1,0 +1,26 @@
+#ifndef PRIMELABEL_XML_SERIALIZER_H_
+#define PRIMELABEL_XML_SERIALIZER_H_
+
+#include <string>
+
+#include "xml/tree.h"
+
+namespace primelabel {
+
+/// Options controlling XML serialization.
+struct XmlSerializeOptions {
+  /// Indent nested elements with `indent_width` spaces per level and emit
+  /// newlines. When false the output is a single line.
+  bool pretty = false;
+  int indent_width = 2;
+};
+
+/// Serializes the tree back to XML text, escaping the five predefined
+/// entities in text and attribute values. Parse(Serialize(t)) reproduces the
+/// same tree structure (round-trip property exercised by tests).
+std::string SerializeXml(const XmlTree& tree,
+                         const XmlSerializeOptions& options = {});
+
+}  // namespace primelabel
+
+#endif  // PRIMELABEL_XML_SERIALIZER_H_

@@ -1,0 +1,114 @@
+#include "xml/shakespeare.h"
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace primelabel {
+
+namespace {
+
+constexpr const char* kSpeakerNames[] = {
+    "HAMLET",   "CLAUDIUS", "GERTRUDE",     "POLONIUS", "OPHELIA",
+    "LAERTES",  "HORATIO",  "FORTINBRAS",   "ROSENCRANTZ", "GUILDENSTERN",
+    "MARCELLUS", "BARNARDO", "FRANCISCO",   "REYNALDO", "OSRIC",
+    "VOLTEMAND", "CORNELIUS", "GHOST",      "PLAYER KING", "PLAYER QUEEN",
+    "LUCIANUS", "GRAVEDIGGER", "PRIEST",    "CAPTAIN",  "AMBASSADOR",
+    "GENTLEMAN",
+};
+constexpr int kSpeakerNameCount =
+    static_cast<int>(sizeof(kSpeakerNames) / sizeof(kSpeakerNames[0]));
+
+}  // namespace
+
+XmlTree GeneratePlay(const std::string& title, const PlayOptions& options) {
+  PL_CHECK(options.acts > 0);
+  PL_CHECK(options.min_speeches_per_scene <= options.max_speeches_per_scene);
+  PL_CHECK(options.min_lines_per_speech <= options.max_lines_per_speech);
+  Rng rng(options.seed ^ 0x5A5A5A5Aull);
+
+  XmlTree tree;
+  NodeId play = tree.CreateRoot("play");
+  tree.AppendChild(play, "title");
+  NodeId personae = tree.AppendChild(play, "personae");
+  for (int i = 0; i < options.personae; ++i) {
+    tree.AppendChild(personae, "persona");
+  }
+  for (int a = 0; a < options.acts; ++a) {
+    NodeId act = tree.AppendChild(play, "act");
+    tree.AppendChild(act, "title");
+    for (int s = 0; s < options.scenes_per_act; ++s) {
+      NodeId scene = tree.AppendChild(act, "scene");
+      tree.AppendChild(scene, "title");
+      int speeches = static_cast<int>(
+          rng.Uniform(static_cast<std::uint64_t>(
+                          options.min_speeches_per_scene),
+                      static_cast<std::uint64_t>(
+                          options.max_speeches_per_scene)));
+      for (int sp = 0; sp < speeches; ++sp) {
+        NodeId speech = tree.AppendChild(scene, "speech");
+        NodeId speaker = tree.AppendChild(speech, "speaker");
+        tree.AddAttribute(
+            speaker, "name",
+            kSpeakerNames[rng.Below(static_cast<std::uint64_t>(
+                kSpeakerNameCount))]);
+        int lines = static_cast<int>(rng.Uniform(
+            static_cast<std::uint64_t>(options.min_lines_per_speech),
+            static_cast<std::uint64_t>(options.max_lines_per_speech)));
+        for (int l = 0; l < lines; ++l) {
+          tree.AppendChild(speech, "line");
+        }
+      }
+    }
+  }
+  (void)title;  // titles are structural placeholders; text is not labeled
+  return tree;
+}
+
+XmlTree GenerateHamlet() {
+  // Tuned so the generated play lands near the 6,636 nodes Table 1 reports
+  // for the largest play: 5 acts x 4 scenes, ~55 speeches/scene, ~4
+  // lines/speech => ~20 scenes * 55 * (2 + 4) + overhead ~= 6.7k.
+  PlayOptions options;
+  options.acts = 5;
+  options.scenes_per_act = 4;
+  options.min_speeches_per_scene = 50;
+  options.max_speeches_per_scene = 60;
+  options.min_lines_per_speech = 2;
+  options.max_lines_per_speech = 6;
+  options.personae = 26;
+  options.seed = 0x4841u;  // fixed seed: Hamlet is one specific document
+  return GeneratePlay("The Tragedy of Hamlet, Prince of Denmark", options);
+}
+
+XmlTree GenerateShakespeareCorpus(int replicas) {
+  PL_CHECK(replicas > 0);
+  XmlTree corpus;
+  NodeId root = corpus.CreateRoot("plays");
+  for (int r = 0; r < replicas; ++r) {
+    PlayOptions options;
+    options.seed = static_cast<std::uint64_t>(r) + 1;
+    XmlTree play = GeneratePlay("play", options);
+    // Deep-copy the play under the corpus root, preserving order.
+    std::vector<NodeId> mapping(play.arena_size(), kInvalidNodeId);
+    play.Preorder([&](NodeId id, int depth) {
+      if (depth == 0) {
+        mapping[static_cast<std::size_t>(id)] =
+            corpus.AppendChild(root, play.name(id));
+      } else {
+        NodeId parent =
+            mapping[static_cast<std::size_t>(play.parent(id))];
+        NodeId copy =
+            play.IsElement(id)
+                ? corpus.AppendChild(parent, play.name(id))
+                : corpus.AppendText(parent, play.name(id));
+        for (const auto& [key, value] : play.node(id).attributes) {
+          corpus.AddAttribute(copy, key, value);
+        }
+        mapping[static_cast<std::size_t>(id)] = copy;
+      }
+    });
+  }
+  return corpus;
+}
+
+}  // namespace primelabel

@@ -1,0 +1,41 @@
+#ifndef PRIMELABEL_XML_SHAKESPEARE_H_
+#define PRIMELABEL_XML_SHAKESPEARE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "xml/tree.h"
+
+namespace primelabel {
+
+/// Parameters of a generated play. Defaults approximate Hamlet's published
+/// element counts (5 acts, 20 scenes, ~1100 speeches, ~4000 lines; the D8
+/// "Shakespeare's Plays" entry of Table 1 lists a 6,636-node maximum).
+struct PlayOptions {
+  int acts = 5;
+  int scenes_per_act = 4;
+  int min_speeches_per_scene = 40;
+  int max_speeches_per_scene = 70;
+  int min_lines_per_speech = 1;
+  int max_lines_per_speech = 6;
+  int personae = 26;
+  std::uint64_t seed = 0;
+};
+
+/// Generates one <play> document with the canonical Shakespeare markup:
+/// play / title / personae / persona / act / scene / speech / speaker /
+/// line. Tags are lowercase to match the queries of Table 2.
+XmlTree GeneratePlay(const std::string& title, const PlayOptions& options);
+
+/// The Hamlet stand-in used by the order-sensitive update experiment
+/// (Fig 18): a play whose total node count lands close to Table 1's 6,636.
+XmlTree GenerateHamlet();
+
+/// The query corpus of Section 5.2: the plays dataset replicated
+/// `replicas` times under a single root (the paper replicates D8 five
+/// times so queries return large node sets).
+XmlTree GenerateShakespeareCorpus(int replicas);
+
+}  // namespace primelabel
+
+#endif  // PRIMELABEL_XML_SHAKESPEARE_H_

@@ -1,0 +1,40 @@
+#include "xml/stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace primelabel {
+
+std::string TreeStats::ToString() const {
+  std::ostringstream os;
+  os << "nodes=" << node_count << " elements=" << element_count
+     << " leaves=" << leaf_count << " depth=" << max_depth
+     << " max_fanout=" << max_fanout << " avg_fanout=" << avg_fanout;
+  return os.str();
+}
+
+TreeStats ComputeStats(const XmlTree& tree) {
+  TreeStats stats;
+  std::size_t internal_nodes = 0;
+  std::size_t total_children = 0;
+  tree.Preorder([&](NodeId id, int depth) {
+    ++stats.node_count;
+    if (tree.IsElement(id)) ++stats.element_count;
+    stats.max_depth = std::max(stats.max_depth, depth);
+    int fanout = tree.ChildCount(id);
+    if (fanout == 0) {
+      ++stats.leaf_count;
+    } else {
+      ++internal_nodes;
+      total_children += static_cast<std::size_t>(fanout);
+      stats.max_fanout = std::max(stats.max_fanout, fanout);
+    }
+  });
+  if (internal_nodes > 0) {
+    stats.avg_fanout = static_cast<double>(total_children) /
+                       static_cast<double>(internal_nodes);
+  }
+  return stats;
+}
+
+}  // namespace primelabel

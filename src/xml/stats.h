@@ -1,0 +1,31 @@
+#ifndef PRIMELABEL_XML_STATS_H_
+#define PRIMELABEL_XML_STATS_H_
+
+#include <cstddef>
+#include <string>
+
+#include "xml/tree.h"
+
+namespace primelabel {
+
+/// Structural summary of a document, matching the D / F / N parameters of
+/// the paper's size model (Section 3.1) and the dataset characteristics of
+/// Table 1.
+struct TreeStats {
+  std::size_t node_count = 0;     ///< N: attached nodes
+  std::size_t element_count = 0;  ///< element nodes only
+  std::size_t leaf_count = 0;     ///< nodes without children
+  int max_depth = 0;              ///< D: root is depth 0
+  int max_fanout = 0;             ///< F: maximum child count over all nodes
+  double avg_fanout = 0.0;        ///< mean child count over internal nodes
+
+  /// Renders a one-line summary for benchmark tables.
+  std::string ToString() const;
+};
+
+/// Computes structural statistics over the attached nodes of `tree`.
+TreeStats ComputeStats(const XmlTree& tree);
+
+}  // namespace primelabel
+
+#endif  // PRIMELABEL_XML_STATS_H_

@@ -1,0 +1,53 @@
+#ifndef PRIMELABEL_XPATH_AST_H_
+#define PRIMELABEL_XPATH_AST_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace primelabel {
+
+/// Axes supported by the query subset of Table 2. Axis spellings follow the
+/// paper's queries ("Following", "Preceding-sibling", ...), matched
+/// case-insensitively; `child` and `descendant` come from the abbreviated
+/// `/` and `//` syntax.
+enum class XPathAxis {
+  kChild,
+  kDescendant,
+  kFollowing,
+  kPreceding,
+  kFollowingSibling,
+  kPrecedingSibling,
+  kParent,
+  kAncestor,
+};
+
+/// Human-readable axis name.
+const char* XPathAxisName(XPathAxis axis);
+
+/// One location step: axis, name test and optional predicates.
+struct XPathStep {
+  XPathAxis axis = XPathAxis::kChild;
+  /// Element tag to match; "*" matches every element.
+  std::string name_test;
+  /// The `[n]` predicate (1-based), if present. Applied after the
+  /// attribute predicate, matching the common `tag[@k='v'][n]` form.
+  std::optional<int> position;
+  /// The `[@key='value']` predicate, if present.
+  std::optional<std::pair<std::string, std::string>> attribute_equals;
+  /// The `[text()='value']` predicate, if present: the element's direct
+  /// character data must equal the value.
+  std::optional<std::string> text_equals;
+};
+
+/// A parsed query: a sequence of steps applied from the document root.
+struct XPathQuery {
+  std::vector<XPathStep> steps;
+
+  /// Round-trips the query to the abbreviated syntax for diagnostics.
+  std::string ToString() const;
+};
+
+}  // namespace primelabel
+
+#endif  // PRIMELABEL_XPATH_AST_H_

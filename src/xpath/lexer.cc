@@ -1,0 +1,117 @@
+#include "xpath/lexer.h"
+
+#include <cctype>
+
+namespace primelabel {
+
+namespace {
+
+bool IsNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+         c == '.';
+}
+
+}  // namespace
+
+Result<std::vector<XPathToken>> TokenizeXPath(std::string_view input) {
+  std::vector<XPathToken> tokens;
+  std::size_t pos = 0;
+  while (pos < input.size()) {
+    char c = input[pos];
+    if (c == ' ' || c == '\t') {
+      ++pos;
+      continue;
+    }
+    if (c == '/') {
+      if (pos + 1 < input.size() && input[pos + 1] == '/') {
+        tokens.push_back({XPathTokenType::kDoubleSlash, "//", pos});
+        pos += 2;
+      } else {
+        tokens.push_back({XPathTokenType::kSlash, "/", pos});
+        ++pos;
+      }
+      continue;
+    }
+    if (c == ':' && pos + 1 < input.size() && input[pos + 1] == ':') {
+      tokens.push_back({XPathTokenType::kAxisSep, "::", pos});
+      pos += 2;
+      continue;
+    }
+    if (c == '*') {
+      tokens.push_back({XPathTokenType::kStar, "*", pos});
+      ++pos;
+      continue;
+    }
+    if (c == '[') {
+      tokens.push_back({XPathTokenType::kLBracket, "[", pos});
+      ++pos;
+      continue;
+    }
+    if (c == ']') {
+      tokens.push_back({XPathTokenType::kRBracket, "]", pos});
+      ++pos;
+      continue;
+    }
+    if (c == '(') {
+      tokens.push_back({XPathTokenType::kLParen, "(", pos});
+      ++pos;
+      continue;
+    }
+    if (c == ')') {
+      tokens.push_back({XPathTokenType::kRParen, ")", pos});
+      ++pos;
+      continue;
+    }
+    if (c == '@') {
+      tokens.push_back({XPathTokenType::kAt, "@", pos});
+      ++pos;
+      continue;
+    }
+    if (c == '=') {
+      tokens.push_back({XPathTokenType::kEquals, "=", pos});
+      ++pos;
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      char quote = c;
+      std::size_t start = pos++;
+      while (pos < input.size() && input[pos] != quote) ++pos;
+      if (pos >= input.size()) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(start));
+      }
+      tokens.push_back({XPathTokenType::kString,
+                        std::string(input.substr(start + 1, pos - start - 1)),
+                        start});
+      ++pos;  // closing quote
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t start = pos;
+      while (pos < input.size() &&
+             std::isdigit(static_cast<unsigned char>(input[pos]))) {
+        ++pos;
+      }
+      tokens.push_back({XPathTokenType::kNumber,
+                        std::string(input.substr(start, pos - start)), start});
+      continue;
+    }
+    if (IsNameStart(c)) {
+      std::size_t start = pos;
+      while (pos < input.size() && IsNameChar(input[pos])) ++pos;
+      tokens.push_back({XPathTokenType::kName,
+                        std::string(input.substr(start, pos - start)), start});
+      continue;
+    }
+    return Status::ParseError("unexpected character '" + std::string(1, c) +
+                              "' at offset " + std::to_string(pos));
+  }
+  tokens.push_back({XPathTokenType::kEnd, "", input.size()});
+  return tokens;
+}
+
+}  // namespace primelabel

@@ -1,0 +1,43 @@
+#ifndef PRIMELABEL_XPATH_LEXER_H_
+#define PRIMELABEL_XPATH_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace primelabel {
+
+/// Token kinds of the XPath subset.
+enum class XPathTokenType {
+  kSlash,        // /
+  kDoubleSlash,  // //
+  kName,         // element name or axis name
+  kStar,         // *
+  kAxisSep,      // ::
+  kLBracket,     // [
+  kRBracket,     // ]
+  kNumber,       // positive integer
+  kAt,           // @
+  kEquals,       // =
+  kString,       // 'quoted' or "quoted" literal (text field holds the body)
+  kLParen,       // (
+  kRParen,       // )
+  kEnd,
+};
+
+/// One lexed token with its source offset (for error messages).
+struct XPathToken {
+  XPathTokenType type;
+  std::string text;
+  std::size_t offset = 0;
+};
+
+/// Tokenizes an XPath expression. Fails with kParseError on characters
+/// outside the supported subset.
+Result<std::vector<XPathToken>> TokenizeXPath(std::string_view input);
+
+}  // namespace primelabel
+
+#endif  // PRIMELABEL_XPATH_LEXER_H_

@@ -1,0 +1,22 @@
+#ifndef PRIMELABEL_XPATH_ORACLE_H_
+#define PRIMELABEL_XPATH_ORACLE_H_
+
+#include <vector>
+
+#include "xml/tree.h"
+#include "xpath/ast.h"
+
+namespace primelabel {
+
+/// Reference XPath evaluator that walks the tree directly (no labels).
+///
+/// This is the ground truth the label-based evaluator is validated
+/// against: same query subset, same semantics (rooted first step, position
+/// predicates grouped by parent), implemented by naive traversal. Used by
+/// integration/property tests only — it is deliberately simple and slow.
+std::vector<NodeId> EvaluateXPathOnTree(const XmlTree& tree,
+                                        const XPathQuery& query);
+
+}  // namespace primelabel
+
+#endif  // PRIMELABEL_XPATH_ORACLE_H_

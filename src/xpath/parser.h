@@ -1,0 +1,28 @@
+#ifndef PRIMELABEL_XPATH_PARSER_H_
+#define PRIMELABEL_XPATH_PARSER_H_
+
+#include <string_view>
+
+#include "util/status.h"
+#include "xpath/ast.h"
+
+namespace primelabel {
+
+/// Parses the XPath subset of Table 2:
+///
+///   query  := ('/' | '//') step (('/' | '//') step)*
+///   step   := [axis '::'] nametest ['[' number ']']
+///   axis   := Following | Preceding | Following-sibling | Preceding-sibling
+///             (case-insensitive; the paper also writes Following-Sibling)
+///   nametest := name | '*'
+///
+/// `/` maps to the child axis and `//` to descendant, except that an
+/// explicit axis wins (the paper writes `//Following::act` for a following
+/// step). A leading `/name` is treated as `descendant-or-self` from the
+/// root — i.e. it matches the root element itself or any descendant — which
+/// is how the paper's `/act[5]`-style queries over per-play documents read.
+Result<XPathQuery> ParseXPath(std::string_view input);
+
+}  // namespace primelabel
+
+#endif  // PRIMELABEL_XPATH_PARSER_H_

@@ -1,0 +1,160 @@
+#include "xpath/sql_translate.h"
+
+#include <sstream>
+
+#include "xpath/parser.h"
+
+namespace primelabel {
+
+namespace {
+
+std::string Alias(std::size_t step) { return "n" + std::to_string(step); }
+
+/// The expression recovering a node's document-order number, per scheme.
+std::string OrderExpr(SqlScheme scheme, const std::string& alias) {
+  switch (scheme) {
+    case SqlScheme::kInterval:
+      return alias + ".low";
+    case SqlScheme::kPrime:
+      // prime_order(self) stands for the SC-table lookup of Section 4.1:
+      //   SELECT mod(s.value, self) FROM sc s
+      //   WHERE s.max_prime >= self ORDER BY s.max_prime LIMIT 1
+      return "prime_order(" + alias + ".self)";
+    case SqlScheme::kPrefix:
+      return alias + ".label";  // prefix labels sort in document order
+  }
+  return "";
+}
+
+/// Ancestor predicate a-encloses-d, per scheme.
+std::string AncestorExpr(SqlScheme scheme, const std::string& a,
+                         const std::string& d) {
+  switch (scheme) {
+    case SqlScheme::kInterval:
+      return a + ".low < " + d + ".low AND " + d + ".high <= " + a + ".high";
+    case SqlScheme::kPrime:
+      // Property 3: odd ancestor label and exact divisibility.
+      return "mod(" + a + ".label, 2) = 1 AND mod(" + d + ".label, " + a +
+             ".label) = 0 AND " + d + ".label <> " + a + ".label";
+    case SqlScheme::kPrefix:
+      return "check_prefix(" + a + ".label, " + d + ".label) = 1";
+  }
+  return "";
+}
+
+/// Parent predicate, per scheme.
+std::string ParentExpr(SqlScheme scheme, const std::string& a,
+                       const std::string& d) {
+  switch (scheme) {
+    case SqlScheme::kInterval:
+      return AncestorExpr(scheme, a, d) + " AND " + d + ".level = " + a +
+             ".level + 1";
+    case SqlScheme::kPrime:
+      return d + ".label = " + a + ".label * " + d + ".self";
+    case SqlScheme::kPrefix:
+      return AncestorExpr(scheme, a, d) + " AND length(" + d +
+             ".label) = length(" + a + ".label) + " + d + ".self_length";
+  }
+  return "";
+}
+
+}  // namespace
+
+Result<std::string> TranslateToSql(const XPathQuery& query,
+                                   SqlScheme scheme) {
+  if (query.steps.empty()) {
+    return Status::InvalidArgument("empty query");
+  }
+  std::ostringstream from;
+  std::ostringstream where;
+  std::ostringstream qualify;
+  bool first_condition = true;
+  auto add_condition = [&](const std::string& condition) {
+    where << (first_condition ? "WHERE " : "  AND ") << condition << "\n";
+    first_condition = false;
+  };
+
+  for (std::size_t i = 0; i < query.steps.size(); ++i) {
+    const XPathStep& step = query.steps[i];
+    const std::string d = Alias(i);
+    from << (i == 0 ? "FROM node " : "   , node ") << d << "\n";
+    if (step.name_test != "*") {
+      add_condition(d + ".tag = '" + step.name_test + "'");
+    }
+    if (i > 0 || step.axis != XPathAxis::kDescendant) {
+      const std::string a = Alias(i - 1);
+      switch (step.axis) {
+        case XPathAxis::kDescendant:
+          add_condition(AncestorExpr(scheme, a, d));
+          break;
+        case XPathAxis::kChild:
+          add_condition(ParentExpr(scheme, a, d));
+          break;
+        case XPathAxis::kFollowing:
+          add_condition(OrderExpr(scheme, d) + " > " + OrderExpr(scheme, a) +
+                        " AND NOT (" + AncestorExpr(scheme, a, d) + ")");
+          break;
+        case XPathAxis::kPreceding:
+          add_condition(OrderExpr(scheme, d) + " < " + OrderExpr(scheme, a) +
+                        " AND NOT (" + AncestorExpr(scheme, d, a) + ")");
+          break;
+        case XPathAxis::kFollowingSibling:
+          add_condition(d + ".parent = " + a + ".parent AND " +
+                        OrderExpr(scheme, d) + " > " + OrderExpr(scheme, a));
+          break;
+        case XPathAxis::kPrecedingSibling:
+          add_condition(d + ".parent = " + a + ".parent AND " +
+                        OrderExpr(scheme, d) + " < " + OrderExpr(scheme, a));
+          break;
+        case XPathAxis::kParent:
+          add_condition(ParentExpr(scheme, d, a));
+          break;
+        case XPathAxis::kAncestor:
+          add_condition(AncestorExpr(scheme, d, a));
+          break;
+      }
+    }
+    if (step.attribute_equals.has_value()) {
+      add_condition("EXISTS (SELECT 1 FROM attribute t WHERE t.node = " + d +
+                    ".id AND t.key = '" + step.attribute_equals->first +
+                    "' AND t.value = '" + step.attribute_equals->second +
+                    "')");
+    }
+    if (step.text_equals.has_value()) {
+      add_condition(d + ".text = '" + *step.text_equals + "'");
+    }
+    if (step.position.has_value()) {
+      // Section 4.3's strategy: sort the candidate group by recovered
+      // order numbers, keep the n-th.
+      qualify << (qualify.tellp() == 0 ? "QUALIFY " : "    AND ")
+              << "row_number() OVER (PARTITION BY " << d
+              << ".parent ORDER BY " << OrderExpr(scheme, d)
+              << ") = " << *step.position << "\n";
+    }
+  }
+
+  const std::string last = Alias(query.steps.size() - 1);
+  std::ostringstream sql;
+  sql << "-- " << query.ToString() << "\n";
+  if (scheme == SqlScheme::kPrime) {
+    sql << "-- prime_order(self) := (SELECT mod(s.value, self) FROM sc s\n"
+           "--   WHERE s.max_prime >= self ORDER BY s.max_prime LIMIT 1)\n";
+  }
+  if (scheme == SqlScheme::kPrefix) {
+    sql << "-- check_prefix(a, d) is a user-defined function (Section "
+           "5.2)\n";
+  }
+  sql << "SELECT DISTINCT " << last << ".id\n"
+      << from.str() << where.str() << qualify.str() << "ORDER BY "
+      << OrderExpr(scheme, last) << ";";
+  return sql.str();
+}
+
+Result<std::string> TranslateToSql(const std::string& xpath,
+                                   SqlScheme scheme) {
+  Result<XPathQuery> parsed = ParseXPath(xpath);
+  if (!parsed.ok()) return parsed.status();
+  return TranslateToSql(parsed.value(), scheme);
+}
+
+}  // namespace primelabel

@@ -1,0 +1,46 @@
+#ifndef PRIMELABEL_XPATH_SQL_TRANSLATE_H_
+#define PRIMELABEL_XPATH_SQL_TRANSLATE_H_
+
+#include <string>
+
+#include "util/status.h"
+#include "xpath/ast.h"
+
+namespace primelabel {
+
+/// Which scheme's label predicates the generated SQL uses.
+enum class SqlScheme {
+  /// Interval: range comparisons on (low, high) columns.
+  kInterval,
+  /// Prime: `mod(d.label, a.label) = 0` plus the parity guard of
+  /// Property 3 and `mod(sc.value, d.self)` order recovery.
+  kPrime,
+  /// Prefix: the `check_prefix(a.label, d.label)` user-defined function.
+  kPrefix,
+};
+
+/// Renders the SQL the paper's evaluation would issue for `query`
+/// (Section 5.2: "All these queries are first transformed into SQL ...
+/// operations that are used by interval-based labeling scheme e.g. '>','<',
+/// and the prime number labeling scheme e.g. 'mod' ... are directly
+/// supported by the DBMS. The operation 'check prefix' used in the prefix
+/// labeling scheme is defined as a user-defined function.").
+///
+/// The schema mirrors LabelTable: one `node` table with (doc, id, tag,
+/// parent, label columns) and, for the prime scheme, an `sc` table of
+/// (max_prime, value) records. Each step becomes a self-join; positional
+/// predicates become a window function over the recovered order numbers.
+///
+/// This generator exists to document the storage mapping executably — the
+/// in-memory engine (store/plan.h) evaluates the same plans natively — and
+/// fails with kInvalidArgument on constructs the SQL mapping does not
+/// cover.
+Result<std::string> TranslateToSql(const XPathQuery& query, SqlScheme scheme);
+
+/// Convenience: parse then translate.
+Result<std::string> TranslateToSql(const std::string& xpath,
+                                   SqlScheme scheme);
+
+}  // namespace primelabel
+
+#endif  // PRIMELABEL_XPATH_SQL_TRANSLATE_H_

@@ -1,0 +1,57 @@
+// BigInt arithmetic validated against an independent oracle: the expected
+// quotients/remainders/products below were computed with Python's
+// arbitrary-precision integers (see the generator note in the .inc file).
+
+#include <gtest/gtest.h>
+
+#include "bigint/bigint.h"
+
+namespace primelabel {
+namespace {
+
+struct DivisionVector {
+  const char* a;
+  const char* b;
+  const char* quotient;
+  const char* remainder;
+};
+
+struct MulVector {
+  const char* a;
+  const char* b;
+  const char* product;
+};
+
+#include "bigint_vectors.inc"
+
+BigInt Parse(const char* text) {
+  Result<BigInt> value = BigInt::FromDecimalString(text);
+  EXPECT_TRUE(value.ok()) << text;
+  return value.ok() ? value.value() : BigInt();
+}
+
+TEST(BigIntVectors, DivisionMatchesPython) {
+  for (const DivisionVector& v : kDivisionVectors) {
+    BigInt a = Parse(v.a);
+    BigInt b = Parse(v.b);
+    auto [q, r] = BigInt::DivMod(a, b);
+    EXPECT_EQ(q.ToDecimalString(), v.quotient) << v.a << " / " << v.b;
+    EXPECT_EQ(r.ToDecimalString(), v.remainder) << v.a << " % " << v.b;
+    // The operator forms (with their fast paths) agree too.
+    EXPECT_EQ((a / b).ToDecimalString(), v.quotient);
+    EXPECT_EQ((a % b).ToDecimalString(), v.remainder);
+    EXPECT_EQ(q * b + r, a);
+  }
+}
+
+TEST(BigIntVectors, MultiplicationMatchesPython) {
+  for (const MulVector& v : kMulVectors) {
+    BigInt a = Parse(v.a);
+    BigInt b = Parse(v.b);
+    EXPECT_EQ((a * b).ToDecimalString(), v.product);
+    EXPECT_EQ((b * a).ToDecimalString(), v.product);
+  }
+}
+
+}  // namespace
+}  // namespace primelabel

@@ -1,0 +1,187 @@
+#include "store/btree.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "labeling/interval.h"
+#include "store/plan.h"
+#include "store/label_table.h"
+#include "store/range_index.h"
+#include "util/rng.h"
+#include "xml/datasets.h"
+
+namespace primelabel {
+namespace {
+
+TEST(BTree, EmptyTree) {
+  BTreeIndex tree;
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.height(), 1);
+  BTreeIndex::Value value;
+  EXPECT_FALSE(tree.Lookup(42, &value));
+  std::vector<BTreeIndex::Value> out;
+  tree.Scan(0, 100, &out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(BTree, InsertAndLookup) {
+  BTreeIndex tree;
+  for (int i = 0; i < 1000; ++i) {
+    tree.Insert(static_cast<BTreeIndex::Key>(i) * 7 % 1000, i);
+  }
+  EXPECT_EQ(tree.size(), 1000u);
+  EXPECT_TRUE(tree.CheckInvariants());
+  EXPECT_GT(tree.height(), 1);
+  for (int i = 0; i < 1000; ++i) {
+    BTreeIndex::Value value;
+    ASSERT_TRUE(tree.Lookup(static_cast<BTreeIndex::Key>(i), &value)) << i;
+  }
+  BTreeIndex::Value value;
+  EXPECT_FALSE(tree.Lookup(1000, &value));
+}
+
+TEST(BTree, DuplicateKeyOverwrites) {
+  BTreeIndex tree;
+  tree.Insert(5, 1);
+  tree.Insert(5, 2);
+  EXPECT_EQ(tree.size(), 1u);
+  BTreeIndex::Value value;
+  ASSERT_TRUE(tree.Lookup(5, &value));
+  EXPECT_EQ(value, 2);
+}
+
+TEST(BTree, ScanReturnsRangeInKeyOrder) {
+  BTreeIndex tree;
+  for (int i = 0; i < 500; ++i) {
+    tree.Insert(static_cast<BTreeIndex::Key>(i) * 2, i);  // even keys
+  }
+  std::vector<BTreeIndex::Value> out;
+  tree.Scan(100, 120, &out);
+  EXPECT_EQ(out, (std::vector<BTreeIndex::Value>{50, 51, 52, 53, 54, 55,
+                                                 56, 57, 58, 59, 60}));
+  out.clear();
+  tree.Scan(101, 101, &out);  // between keys
+  EXPECT_TRUE(out.empty());
+  out.clear();
+  tree.Scan(990, 5000, &out);  // past the end
+  EXPECT_EQ(out.size(), 5u);   // keys 990, 992, 994, 996, 998
+  out.clear();
+  tree.Scan(200, 100, &out);  // inverted range
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(BTree, BulkLoadMatchesInserts) {
+  std::vector<std::pair<BTreeIndex::Key, BTreeIndex::Value>> pairs;
+  for (int i = 0; i < 10000; ++i) {
+    pairs.emplace_back(static_cast<BTreeIndex::Key>(i) * 3 + 1, i);
+  }
+  BTreeIndex bulk;
+  bulk.BulkLoad(pairs);
+  EXPECT_EQ(bulk.size(), pairs.size());
+  EXPECT_TRUE(bulk.CheckInvariants());
+  BTreeIndex incremental;
+  for (const auto& [k, v] : pairs) incremental.Insert(k, v);
+  EXPECT_TRUE(incremental.CheckInvariants());
+  // Same contents through scans.
+  std::vector<BTreeIndex::Value> a, b;
+  bulk.Scan(0, ~0ull, &a);
+  incremental.Scan(0, ~0ull, &b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(BTree, InsertAfterBulkLoad) {
+  std::vector<std::pair<BTreeIndex::Key, BTreeIndex::Value>> pairs;
+  for (int i = 0; i < 2000; ++i) {
+    pairs.emplace_back(static_cast<BTreeIndex::Key>(i) * 10, i);
+  }
+  BTreeIndex tree;
+  tree.BulkLoad(pairs);
+  Rng rng(4);
+  for (int i = 0; i < 2000; ++i) {
+    tree.Insert(rng.Below(20000) | 1, i);  // odd keys between the evens
+  }
+  EXPECT_TRUE(tree.CheckInvariants());
+  for (int i = 0; i < 2000; ++i) {
+    BTreeIndex::Value value;
+    ASSERT_TRUE(tree.Lookup(static_cast<BTreeIndex::Key>(i) * 10, &value));
+  }
+}
+
+TEST(BTree, RandomizedAgainstReferenceMap) {
+  Rng rng(123);
+  BTreeIndex tree;
+  std::vector<std::pair<BTreeIndex::Key, BTreeIndex::Value>> reference;
+  for (int i = 0; i < 5000; ++i) {
+    BTreeIndex::Key key = rng.Below(100000);
+    auto it = std::find_if(reference.begin(), reference.end(),
+                           [key](const auto& p) { return p.first == key; });
+    if (it == reference.end()) {
+      reference.emplace_back(key, i);
+    } else {
+      it->second = i;
+    }
+    tree.Insert(key, i);
+  }
+  ASSERT_TRUE(tree.CheckInvariants());
+  ASSERT_EQ(tree.size(), reference.size());
+  std::sort(reference.begin(), reference.end());
+  // Random range scans agree with the reference.
+  for (int round = 0; round < 100; ++round) {
+    BTreeIndex::Key lo = rng.Below(100000);
+    BTreeIndex::Key hi = lo + rng.Below(5000);
+    std::vector<BTreeIndex::Value> got;
+    tree.Scan(lo, hi, &got);
+    std::vector<BTreeIndex::Value> expected;
+    for (const auto& [k, v] : reference) {
+      if (k >= lo && k <= hi) expected.push_back(v);
+    }
+    ASSERT_EQ(got, expected) << "[" << lo << "," << hi << "]";
+  }
+}
+
+TEST(RangeIndex, MatchesStructuralJoin) {
+  RandomTreeOptions options;
+  options.node_count = 3000;
+  options.max_depth = 7;
+  options.max_fanout = 9;
+  options.seed = 15;
+  XmlTree tree = GenerateRandomTree(options);
+  IntervalScheme scheme;
+  scheme.LabelTree(tree);
+  RangeIndex index(tree, scheme);
+  EXPECT_EQ(index.entry_count(), tree.node_count());
+
+  LabelTable table(tree);
+  QueryContext ctx;
+  ctx.table = &table;
+  ctx.scheme = &scheme;
+  ctx.order_of = [&scheme](NodeId id) { return scheme.low(id); };
+  std::vector<NodeId> anchors = table.Rows("a");
+  ASSERT_FALSE(anchors.empty());
+  for (const std::string& tag : table.Tags()) {
+    for (std::size_t i = 0; i < anchors.size(); i += 13) {
+      std::vector<NodeId> via_join =
+          JoinDescendants(ctx, {anchors[i]}, table.Rows(tag));
+      std::vector<NodeId> via_index =
+          index.DescendantsWithTag(anchors[i], tag);
+      ASSERT_EQ(via_index, via_join) << tag << " anchor " << anchors[i];
+    }
+  }
+}
+
+TEST(RangeIndex, LeafAnchorsHaveNoDescendants) {
+  XmlTree tree;
+  NodeId root = tree.CreateRoot("r");
+  NodeId leaf = tree.AppendChild(root, "a");
+  IntervalScheme scheme;
+  scheme.LabelTree(tree);
+  RangeIndex index(tree, scheme);
+  EXPECT_TRUE(index.DescendantsWithTag(leaf, "a").empty());
+  EXPECT_TRUE(index.DescendantsWithTag(root, "zzz").empty());
+  EXPECT_EQ(index.DescendantsWithTag(root, "a").size(), 1u);
+}
+
+}  // namespace
+}  // namespace primelabel

@@ -1,0 +1,146 @@
+#include "store/catalog.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "xml/datasets.h"
+#include "xml/shakespeare.h"
+
+namespace primelabel {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+class CatalogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    PlayOptions options;
+    options.acts = 2;
+    options.scenes_per_act = 2;
+    options.min_speeches_per_scene = 2;
+    options.max_speeches_per_scene = 4;
+    options.seed = 21;
+    tree_ = GeneratePlay("t", options);
+    scheme_.LabelTree(tree_);
+  }
+
+  XmlTree tree_;
+  OrderedPrimeScheme scheme_{/*sc_group_size=*/5};
+};
+
+TEST_F(CatalogTest, SaveLoadRoundTripsRows) {
+  std::string path = TempPath("roundtrip.plc");
+  ASSERT_TRUE(SaveCatalog(path, tree_, scheme_).ok());
+  Result<LoadedCatalog> loaded = LoadCatalog(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  std::vector<NodeId> preorder = tree_.PreorderNodes();
+  ASSERT_EQ(loaded->rows().size(), preorder.size());
+  for (std::size_t i = 0; i < preorder.size(); ++i) {
+    const CatalogRow& row = loaded->rows()[i];
+    EXPECT_EQ(row.tag, tree_.name(preorder[i]));
+    EXPECT_EQ(row.is_element, tree_.IsElement(preorder[i]));
+    EXPECT_EQ(row.label, scheme_.structure().label(preorder[i]));
+    EXPECT_EQ(row.self, scheme_.structure().self_label(preorder[i]));
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(CatalogTest, LoadedCatalogAnswersStructureQueries) {
+  std::string path = TempPath("structure.plc");
+  ASSERT_TRUE(SaveCatalog(path, tree_, scheme_).ok());
+  Result<LoadedCatalog> loaded = LoadCatalog(path);
+  ASSERT_TRUE(loaded.ok());
+
+  std::vector<NodeId> preorder = tree_.PreorderNodes();
+  // Rows are in document order: compare against the live tree for a sample
+  // of pairs.
+  for (std::size_t x = 0; x < preorder.size(); x += 7) {
+    for (std::size_t y = 0; y < preorder.size(); y += 5) {
+      EXPECT_EQ(loaded->IsAncestor(x, y),
+                tree_.IsAncestor(preorder[x], preorder[y]))
+          << x << " " << y;
+      EXPECT_EQ(loaded->IsParent(x, y),
+                tree_.parent(preorder[y]) == preorder[x])
+          << x << " " << y;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(CatalogTest, LoadedCatalogAnswersOrderQueries) {
+  std::string path = TempPath("order.plc");
+  ASSERT_TRUE(SaveCatalog(path, tree_, scheme_).ok());
+  Result<LoadedCatalog> loaded = LoadCatalog(path);
+  ASSERT_TRUE(loaded.ok());
+  // Row index == preorder rank == order number.
+  for (std::size_t i = 0; i < loaded->rows().size(); i += 3) {
+    EXPECT_EQ(loaded->OrderOf(i), i);
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(CatalogTest, SurvivesOrderSensitiveUpdateBeforeSave) {
+  std::vector<NodeId> acts = tree_.FindAll("act");
+  NodeId fresh = tree_.InsertBefore(acts[1], "act");
+  scheme_.HandleOrderedInsert(fresh);
+  std::string path = TempPath("updated.plc");
+  ASSERT_TRUE(SaveCatalog(path, tree_, scheme_).ok());
+  Result<LoadedCatalog> loaded = LoadCatalog(path);
+  ASSERT_TRUE(loaded.ok());
+  std::vector<NodeId> preorder = tree_.PreorderNodes();
+  for (std::size_t i = 0; i < preorder.size(); ++i) {
+    EXPECT_EQ(loaded->OrderOf(i), scheme_.OrderOf(preorder[i])) << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CatalogErrors, MissingFile) {
+  Result<LoadedCatalog> loaded = LoadCatalog(TempPath("does-not-exist.plc"));
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CatalogErrors, BadMagic) {
+  std::string path = TempPath("garbage.plc");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fputs("not a catalog at all", f);
+  std::fclose(f);
+  Result<LoadedCatalog> loaded = LoadCatalog(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+  std::remove(path.c_str());
+}
+
+TEST(CatalogErrors, TruncatedFile) {
+  // Save a real catalog, then chop it and expect a clean failure.
+  XmlTree tree;
+  NodeId root = tree.CreateRoot("r");
+  tree.AppendChild(root, "a");
+  tree.AppendChild(root, "b");
+  OrderedPrimeScheme scheme;
+  scheme.LabelTree(tree);
+  std::string path = TempPath("truncated.plc");
+  ASSERT_TRUE(SaveCatalog(path, tree, scheme).ok());
+  // Read, truncate to 60%, rewrite.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::string data(static_cast<std::size_t>(size), '\0');
+  ASSERT_EQ(std::fread(data.data(), 1, data.size(), f), data.size());
+  std::fclose(f);
+  f = std::fopen(path.c_str(), "wb");
+  std::fwrite(data.data(), 1, data.size() * 6 / 10, f);
+  std::fclose(f);
+  Result<LoadedCatalog> loaded = LoadCatalog(path);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace primelabel

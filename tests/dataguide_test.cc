@@ -1,0 +1,67 @@
+#include "xml/dataguide.h"
+
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+#include "xml/shakespeare.h"
+
+namespace primelabel {
+namespace {
+
+TEST(DataGuide, DistinctPathsAndExtents) {
+  Result<XmlTree> doc = ParseXml(
+      "<bib><book><title/><author/><author/></book>"
+      "<article><title/></article></bib>");
+  ASSERT_TRUE(doc.ok());
+  DataGuide guide(*doc);
+  // Paths: /bib, /bib/book, /bib/book/title, /bib/book/author,
+  // /bib/article, /bib/article/title.
+  EXPECT_EQ(guide.path_count(), 6u);
+  EXPECT_EQ(guide.Extent("/bib/book/author").size(), 2u);
+  EXPECT_EQ(guide.Extent("/bib/article/title").size(), 1u);
+  EXPECT_EQ(guide.Extent("/nonexistent").size(), 0u);
+  std::vector<std::string> paths = guide.Paths();
+  EXPECT_TRUE(std::is_sorted(paths.begin(), paths.end()));
+}
+
+TEST(DataGuide, NodesWithTagUnionsExtents) {
+  Result<XmlTree> doc = ParseXml(
+      "<r><a><t/></a><b><t/><t/></b><t/></r>");
+  ASSERT_TRUE(doc.ok());
+  DataGuide guide(*doc);
+  EXPECT_EQ(guide.NodesWithTag("t").size(), 4u);
+  EXPECT_EQ(guide.NodesWithTag("t"), doc->FindAll("t"));
+  EXPECT_TRUE(guide.NodesWithTag("zzz").empty());
+}
+
+TEST(DataGuide, PathsThroughAnswersPathContainment) {
+  XmlTree play = GenerateHamlet();
+  DataGuide guide(play);
+  // Every line sits on exactly one path through act.
+  std::vector<std::string> through = guide.PathsThrough("act", "line");
+  ASSERT_EQ(through.size(), 1u);
+  EXPECT_EQ(through[0], "/play/act/scene/speech/line");
+  EXPECT_TRUE(guide.PathsThrough("personae", "line").empty());
+  // Union of the extents equals all lines.
+  EXPECT_EQ(guide.Extent(through[0]).size(), play.FindAll("line").size());
+}
+
+TEST(DataGuide, SummaryIsMuchSmallerThanDocument) {
+  XmlTree play = GenerateHamlet();
+  DataGuide guide(play);
+  // The whole 6.5k-node play has a handful of distinct label paths — the
+  // compression that made DataGuide-piloted traversal viable in Lore.
+  EXPECT_LT(guide.path_count(), 12u);
+  EXPECT_GT(play.node_count(), 5000u);
+}
+
+TEST(DataGuide, TagNameBoundariesAreExact) {
+  Result<XmlTree> doc = ParseXml("<r><ab/><b/><xb/></r>");
+  ASSERT_TRUE(doc.ok());
+  DataGuide guide(*doc);
+  EXPECT_EQ(guide.NodesWithTag("b").size(), 1u);   // not ab, not xb
+  EXPECT_EQ(guide.NodesWithTag("ab").size(), 1u);
+}
+
+}  // namespace
+}  // namespace primelabel

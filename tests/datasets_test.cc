@@ -1,0 +1,122 @@
+#include "xml/datasets.h"
+
+#include <gtest/gtest.h>
+
+#include "xml/serializer.h"
+#include "xml/shakespeare.h"
+#include "xml/stats.h"
+
+namespace primelabel {
+namespace {
+
+TEST(NiagaraCorpus, HasNineDatasetsWithTable1Counts) {
+  std::vector<DatasetSpec> specs = NiagaraCorpusSpecs();
+  ASSERT_EQ(specs.size(), 9u);
+  EXPECT_EQ(specs[0].id, "D1");
+  EXPECT_EQ(specs[0].target_nodes, 41u);
+  EXPECT_EQ(specs[3].topic, "Actor");
+  EXPECT_EQ(specs[3].target_nodes, 1110u);
+  EXPECT_EQ(specs[6].topic, "NASA");
+  EXPECT_EQ(specs[6].target_nodes, 4834u);
+  EXPECT_EQ(specs[8].target_nodes, 10052u);
+}
+
+TEST(NiagaraCorpus, GeneratedSizesLandOnTargets) {
+  for (const DatasetSpec& spec : NiagaraCorpusSpecs()) {
+    XmlTree tree = GenerateDataset(spec);
+    TreeStats stats = ComputeStats(tree);
+    // Shakespeare (D8) is structure-driven; others land exactly or within
+    // one record of the target.
+    if (spec.style == DatasetStyle::kShakespeare) {
+      EXPECT_NEAR(static_cast<double>(stats.node_count),
+                  static_cast<double>(spec.target_nodes),
+                  0.12 * static_cast<double>(spec.target_nodes))
+          << spec.id;
+    } else {
+      EXPECT_EQ(stats.node_count, spec.target_nodes) << spec.id;
+    }
+  }
+}
+
+TEST(NiagaraCorpus, GenerationIsDeterministic) {
+  DatasetSpec spec = NiagaraCorpusSpecs()[6];  // NASA uses the RNG
+  XmlTree a = GenerateDataset(spec);
+  XmlTree b = GenerateDataset(spec);
+  EXPECT_EQ(SerializeXml(a), SerializeXml(b));
+}
+
+TEST(NiagaraCorpus, ActorDatasetHasHugeFanout) {
+  XmlTree tree = GenerateDataset(NiagaraCorpusSpecs()[3]);  // D4
+  TreeStats stats = ComputeStats(tree);
+  EXPECT_GT(stats.max_fanout, 300);  // "a list of movies for an actor"
+  EXPECT_LE(stats.max_depth, 4);
+}
+
+TEST(NiagaraCorpus, NasaDatasetIsDeepAndNarrow) {
+  XmlTree tree = GenerateDataset(NiagaraCorpusSpecs()[6]);  // D7
+  TreeStats stats = ComputeStats(tree);
+  EXPECT_GE(stats.max_depth, 8);  // "high depth with low fan-out"
+  EXPECT_LT(stats.avg_fanout, 3.0);
+}
+
+TEST(RandomTree, ExactNodeCountAndBounds) {
+  for (std::size_t n : {1u, 2u, 100u, 1000u, 5000u}) {
+    RandomTreeOptions options;
+    options.node_count = n;
+    options.max_depth = 6;
+    options.max_fanout = 10;
+    options.seed = n;
+    XmlTree tree = GenerateRandomTree(options);
+    TreeStats stats = ComputeStats(tree);
+    EXPECT_EQ(stats.node_count, n);
+    EXPECT_LE(stats.max_depth, 6);
+    EXPECT_LE(stats.max_fanout, 10);
+  }
+}
+
+TEST(RandomTree, SeedsChangeShape) {
+  RandomTreeOptions a{500, 6, 10, 1};
+  RandomTreeOptions b{500, 6, 10, 2};
+  EXPECT_NE(SerializeXml(GenerateRandomTree(a)),
+            SerializeXml(GenerateRandomTree(b)));
+}
+
+TEST(Shakespeare, PlayHasCanonicalStructure) {
+  PlayOptions options;
+  options.seed = 3;
+  XmlTree play = GeneratePlay("Test", options);
+  EXPECT_EQ(play.name(play.root()), "play");
+  EXPECT_EQ(play.FindAll("act").size(), 5u);
+  EXPECT_EQ(play.FindAll("scene").size(), 20u);
+  EXPECT_EQ(play.FindAll("personae").size(), 1u);
+  EXPECT_EQ(play.FindAll("persona").size(), 26u);
+  // Every speech has a speaker and at least one line.
+  for (NodeId speech : play.FindAll("speech")) {
+    std::vector<NodeId> children = play.Children(speech);
+    ASSERT_GE(children.size(), 2u);
+    EXPECT_EQ(play.name(children[0]), "speaker");
+  }
+}
+
+TEST(Shakespeare, HamletLandsNearTable1Count) {
+  XmlTree hamlet = GenerateHamlet();
+  TreeStats stats = ComputeStats(hamlet);
+  // Table 1 lists 6,636 nodes for the largest play.
+  EXPECT_GT(stats.node_count, 5500u);
+  EXPECT_LT(stats.node_count, 7800u);
+  EXPECT_EQ(stats.max_depth, 4);  // play/act/scene/speech/line
+}
+
+TEST(Shakespeare, CorpusReplicatesPlays) {
+  XmlTree corpus = GenerateShakespeareCorpus(3);
+  EXPECT_EQ(corpus.name(corpus.root()), "plays");
+  EXPECT_EQ(corpus.FindAll("play").size(), 3u);
+  EXPECT_EQ(corpus.FindAll("act").size(), 15u);
+}
+
+TEST(Shakespeare, GenerationIsDeterministic) {
+  EXPECT_EQ(SerializeXml(GenerateHamlet()), SerializeXml(GenerateHamlet()));
+}
+
+}  // namespace
+}  // namespace primelabel

@@ -1,0 +1,138 @@
+#include "core/decomposed_prime_scheme.h"
+
+#include <gtest/gtest.h>
+
+#include "labeling/prime_top_down.h"
+#include "util/rng.h"
+#include "xml/datasets.h"
+
+namespace primelabel {
+namespace {
+
+XmlTree ChainTree(int depth) {
+  XmlTree tree;
+  NodeId node = tree.CreateRoot("n");
+  for (int d = 0; d < depth; ++d) node = tree.AppendChild(node, "n");
+  return tree;
+}
+
+TEST(DecomposedPrime, CutsEveryKLevels) {
+  XmlTree tree = ChainTree(10);
+  DecomposedPrimeScheme scheme(/*component_depth=*/4);
+  scheme.LabelTree(tree);
+  // Depths 0..10 with cuts at 4 and 8: components rooted at depths 0, 4, 8.
+  EXPECT_EQ(scheme.component_count(), 3u);
+  std::vector<NodeId> nodes = tree.PreorderNodes();
+  EXPECT_EQ(scheme.component_of(nodes[0]), 0);
+  EXPECT_EQ(scheme.component_of(nodes[3]), 0);
+  EXPECT_EQ(scheme.component_of(nodes[4]), 1);
+  EXPECT_EQ(scheme.component_of(nodes[7]), 1);
+  EXPECT_EQ(scheme.component_of(nodes[8]), 2);
+  EXPECT_EQ(scheme.component_of(nodes[10]), 2);
+}
+
+TEST(DecomposedPrime, AncestryWithinAndAcrossComponents) {
+  XmlTree tree = ChainTree(10);
+  DecomposedPrimeScheme scheme(/*component_depth=*/3);
+  scheme.LabelTree(tree);
+  std::vector<NodeId> nodes = tree.PreorderNodes();
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (std::size_t j = 0; j < nodes.size(); ++j) {
+      EXPECT_EQ(scheme.IsAncestor(nodes[i], nodes[j]), i < j)
+          << i << " " << j;
+      EXPECT_EQ(scheme.IsParent(nodes[i], nodes[j]), i + 1 == j)
+          << i << " " << j;
+    }
+  }
+}
+
+TEST(DecomposedPrime, MatchesGroundTruthOnRandomTrees) {
+  for (int component_depth : {1, 2, 3, 5}) {
+    RandomTreeOptions options;
+    options.node_count = 200;
+    options.max_depth = 9;
+    options.max_fanout = 4;
+    options.seed = static_cast<std::uint64_t>(component_depth) * 11;
+    XmlTree tree = GenerateRandomTree(options);
+    DecomposedPrimeScheme scheme(component_depth);
+    scheme.LabelTree(tree);
+    std::vector<NodeId> nodes = tree.PreorderNodes();
+    for (NodeId x : nodes) {
+      for (NodeId y : nodes) {
+        ASSERT_EQ(scheme.IsAncestor(x, y), tree.IsAncestor(x, y))
+            << "k=" << component_depth << " x=" << x << " y=" << y;
+        ASSERT_EQ(scheme.IsParent(x, y), tree.parent(y) == x)
+            << "k=" << component_depth << " x=" << x << " y=" << y;
+      }
+    }
+  }
+}
+
+TEST(DecomposedPrime, SurvivesRandomInsertsIncludingWraps) {
+  RandomTreeOptions options;
+  options.node_count = 80;
+  options.max_depth = 8;
+  options.max_fanout = 5;
+  options.seed = 77;
+  XmlTree tree = GenerateRandomTree(options);
+  DecomposedPrimeScheme scheme(/*component_depth=*/3);
+  scheme.LabelTree(tree);
+  Rng rng(5);
+  for (int round = 0; round < 30; ++round) {
+    std::vector<NodeId> nodes = tree.PreorderNodes();
+    NodeId target = nodes[rng.Below(nodes.size())];
+    NodeId fresh;
+    if (target == tree.root() || rng.Chance(50)) {
+      fresh = tree.AppendChild(target, "ins");
+    } else if (rng.Chance(50)) {
+      fresh = tree.InsertAfter(target, "ins");
+    } else {
+      fresh = tree.WrapNode(target, "ins");
+    }
+    EXPECT_GE(scheme.HandleInsert(fresh), 1);
+  }
+  std::vector<NodeId> nodes = tree.PreorderNodes();
+  for (NodeId x : nodes) {
+    for (NodeId y : nodes) {
+      ASSERT_EQ(scheme.IsAncestor(x, y), tree.IsAncestor(x, y));
+      ASSERT_EQ(scheme.IsParent(x, y), tree.parent(y) == x);
+    }
+  }
+}
+
+TEST(DecomposedPrime, LeafInsertTouchesOneNode) {
+  XmlTree tree = ChainTree(6);
+  DecomposedPrimeScheme scheme(/*component_depth=*/3);
+  scheme.LabelTree(tree);
+  std::vector<NodeId> nodes = tree.PreorderNodes();
+  NodeId fresh = tree.AppendChild(nodes[5], "leaf");
+  EXPECT_EQ(scheme.HandleInsert(fresh), 1);
+  EXPECT_TRUE(scheme.IsParent(nodes[5], fresh));
+  EXPECT_TRUE(scheme.IsAncestor(nodes[0], fresh));
+}
+
+TEST(DecomposedPrime, ShrinksLabelsOnDeepTrees) {
+  // The paper's motivation: "this tree decomposition approach can
+  // effectively reduce the label size of dynamic labeling schemes for
+  // trees with great depths". Compare against undecomposed top-down on
+  // the deep NASA-style dataset.
+  XmlTree tree = GenerateDataset(NiagaraCorpusSpecs()[6]);  // D7
+  PrimeTopDownScheme flat;
+  flat.LabelTree(tree);
+  DecomposedPrimeScheme decomposed(/*component_depth=*/3);
+  decomposed.LabelTree(tree);
+  EXPECT_LT(decomposed.MaxLabelBits(), flat.MaxLabelBits() / 2);
+}
+
+TEST(DecomposedPrime, DepthOneDegeneratesToPerLevelComponents) {
+  XmlTree tree = ChainTree(5);
+  DecomposedPrimeScheme scheme(/*component_depth=*/1);
+  scheme.LabelTree(tree);
+  EXPECT_EQ(scheme.component_count(), 6u);  // one per level on a chain
+  std::vector<NodeId> nodes = tree.PreorderNodes();
+  EXPECT_TRUE(scheme.IsAncestor(nodes[0], nodes[5]));
+  EXPECT_FALSE(scheme.IsAncestor(nodes[5], nodes[0]));
+}
+
+}  // namespace
+}  // namespace primelabel

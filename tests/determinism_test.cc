@@ -1,0 +1,98 @@
+// Determinism guards. The EXPERIMENTS.md numbers are only reproducible if
+// (a) every scheme labels identically on repeated runs and (b) the
+// synthetic corpora are bit-stable. The corpus fingerprints below pin the
+// generators: changing a generator invalidates recorded experiment
+// numbers, and this test makes that visible instead of silent.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/decomposed_prime_scheme.h"
+#include "core/ordered_prime_scheme.h"
+#include "labeling/dewey.h"
+#include "labeling/interval.h"
+#include "labeling/prefix.h"
+#include "labeling/prime_bottom_up.h"
+#include "labeling/prime_optimized.h"
+#include "labeling/prime_top_down.h"
+#include "xml/datasets.h"
+#include "xml/serializer.h"
+#include "xml/shakespeare.h"
+
+namespace primelabel {
+namespace {
+
+std::uint64_t Fnv1a(const std::string& text) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (unsigned char c : text) {
+    hash ^= c;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+TEST(Determinism, RelabelingIsIdempotentForEveryScheme) {
+  RandomTreeOptions options;
+  options.node_count = 300;
+  options.max_depth = 6;
+  options.max_fanout = 7;
+  options.seed = 321;
+  XmlTree tree = GenerateRandomTree(options);
+
+  std::vector<std::unique_ptr<LabelingScheme>> schemes;
+  schemes.push_back(std::make_unique<IntervalScheme>());
+  schemes.push_back(std::make_unique<PrefixScheme>(PrefixVariant::kBinary));
+  schemes.push_back(std::make_unique<DeweyScheme>());
+  schemes.push_back(std::make_unique<PrimeTopDownScheme>());
+  schemes.push_back(std::make_unique<PrimeBottomUpScheme>());
+  schemes.push_back(std::make_unique<PrimeOptimizedScheme>());
+  schemes.push_back(std::make_unique<OrderedPrimeScheme>());
+  schemes.push_back(std::make_unique<DecomposedPrimeScheme>(3));
+  for (auto& scheme : schemes) {
+    scheme->LabelTree(tree);
+    std::string first;
+    tree.Preorder(
+        [&](NodeId id, int) { first += scheme->LabelString(id) + "\n"; });
+    scheme->LabelTree(tree);
+    std::string second;
+    tree.Preorder(
+        [&](NodeId id, int) { second += scheme->LabelString(id) + "\n"; });
+    EXPECT_EQ(first, second) << scheme->name();
+  }
+}
+
+TEST(Determinism, CorpusFingerprintsArePinned) {
+  // FNV-1a of the serialized documents. If a generator changes on purpose,
+  // update these values AND re-run every bench into EXPERIMENTS.md.
+  EXPECT_EQ(Fnv1a(SerializeXml(GenerateHamlet())), 18198576803306721021ull);
+  const std::uint64_t expected[] = {
+      2230843493310363012ull,   // D1 Sigmod record
+      11510839220086057751ull,  // D2 Movie
+      4521192389016569927ull,   // D3 Club
+      13851709137549665276ull,  // D4 Actor
+      590185791298847044ull,    // D5 Car
+      1529316516699230641ull,   // D6 Department
+      944269422045908576ull,    // D7 NASA
+      18198576803306721021ull,  // D8 Plays (the Hamlet stand-in)
+      597283170024825593ull,    // D9 Company
+  };
+  std::vector<DatasetSpec> specs = NiagaraCorpusSpecs();
+  ASSERT_EQ(specs.size(), 9u);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(Fnv1a(SerializeXml(GenerateDataset(specs[i]))), expected[i])
+        << specs[i].id;
+  }
+}
+
+TEST(Determinism, QueryCorpusIsStableAcrossStoreRebuilds) {
+  XmlTree corpus = GenerateShakespeareCorpus(2);
+  std::string first = SerializeXml(corpus);
+  XmlTree again = GenerateShakespeareCorpus(2);
+  EXPECT_EQ(first, SerializeXml(again));
+}
+
+}  // namespace
+}  // namespace primelabel

@@ -1,0 +1,116 @@
+#include "corpus/document_store.h"
+
+#include <gtest/gtest.h>
+
+#include "labeling/prime_top_down.h"
+#include "xml/parser.h"
+#include "xml/shakespeare.h"
+
+namespace primelabel {
+namespace {
+
+XmlTree SmallPlay(std::uint64_t seed) {
+  PlayOptions options;
+  options.acts = 3;
+  options.scenes_per_act = 2;
+  options.min_speeches_per_scene = 2;
+  options.max_speeches_per_scene = 4;
+  options.personae = 3;
+  options.seed = seed;
+  return GeneratePlay("p", options);
+}
+
+TEST(DocumentStore, AddAndInspect) {
+  DocumentStore store;
+  auto d1 = store.AddDocument("hamlet", SmallPlay(1));
+  auto d2 = store.AddDocument("macbeth", SmallPlay(2));
+  EXPECT_EQ(store.document_count(), 2u);
+  EXPECT_EQ(store.document_name(d1), "hamlet");
+  EXPECT_EQ(store.document_name(d2), "macbeth");
+  EXPECT_GT(store.total_nodes(), 100u);
+  EXPECT_GT(store.MaxLabelBits(), 0);
+}
+
+TEST(DocumentStore, QueriesRunPerDocumentAndUnion) {
+  DocumentStore store;
+  for (int i = 0; i < 4; ++i) {
+    store.AddDocument("play-" + std::to_string(i), SmallPlay(
+        static_cast<std::uint64_t>(i) + 10));
+  }
+  Result<DocumentStore::QueryResult> acts = store.Query("/play//act");
+  ASSERT_TRUE(acts.ok());
+  EXPECT_EQ(acts->hits.size(), 12u);  // 3 acts x 4 documents
+  // Positional predicates stay per document.
+  Result<DocumentStore::QueryResult> second = store.Query("/play//act[2]");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->hits.size(), 4u);
+  // The Following axis never crosses documents: following act 2 there is
+  // exactly one act per play.
+  Result<DocumentStore::QueryResult> following =
+      store.Query("/play//act[2]//Following::act");
+  ASSERT_TRUE(following.ok());
+  EXPECT_EQ(following->hits.size(), 4u);
+}
+
+TEST(DocumentStore, HitsAreInDocumentThenDocumentOrder) {
+  DocumentStore store;
+  store.AddDocument("a", SmallPlay(5));
+  store.AddDocument("b", SmallPlay(6));
+  Result<DocumentStore::QueryResult> scenes = store.Query("/play//scene");
+  ASSERT_TRUE(scenes.ok());
+  for (std::size_t i = 0; i + 1 < scenes->hits.size(); ++i) {
+    const auto& x = scenes->hits[i];
+    const auto& y = scenes->hits[i + 1];
+    ASSERT_TRUE(x.doc < y.doc ||
+                (x.doc == y.doc &&
+                 store.scheme(x.doc).OrderOf(x.node) <
+                     store.scheme(y.doc).OrderOf(y.node)));
+  }
+}
+
+TEST(DocumentStore, PerDocumentLabelsStaySmall) {
+  // The same content as one concatenated document produces much larger
+  // prime labels than per-document labeling — the reason the paper stores
+  // files separately.
+  DocumentStore store;
+  XmlTree merged;
+  NodeId root = merged.CreateRoot("plays");
+  for (int i = 0; i < 8; ++i) {
+    XmlTree play = SmallPlay(static_cast<std::uint64_t>(i) + 30);
+    store.AddDocument("p" + std::to_string(i), play);
+    // Copy into the merged corpus.
+    std::vector<NodeId> mapping(play.arena_size(), kInvalidNodeId);
+    play.Preorder([&](NodeId id, int depth) {
+      NodeId parent = depth == 0
+                          ? root
+                          : mapping[static_cast<std::size_t>(play.parent(id))];
+      mapping[static_cast<std::size_t>(id)] =
+          merged.AppendChild(parent, play.name(id));
+    });
+  }
+  PrimeTopDownScheme merged_scheme;
+  merged_scheme.LabelTree(merged);
+  EXPECT_LT(store.MaxLabelBits(), merged_scheme.MaxLabelBits());
+}
+
+TEST(DocumentStore, BadQueryReportsParseError) {
+  DocumentStore store;
+  store.AddDocument("p", SmallPlay(7));
+  Result<DocumentStore::QueryResult> result = store.Query("not-xpath");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+}
+
+TEST(DocumentStore, StatsAccumulateAcrossDocuments) {
+  DocumentStore store;
+  store.AddDocument("a", SmallPlay(8));
+  store.AddDocument("b", SmallPlay(9));
+  Result<DocumentStore::QueryResult> result =
+      store.Query("/play//act//speech");
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->stats.rows_scanned, 0u);
+  EXPECT_GT(result->stats.label_tests, 0u);
+}
+
+}  // namespace
+}  // namespace primelabel

@@ -1,0 +1,267 @@
+// End-to-end integration tests: generate -> serialize -> parse -> label ->
+// query, with the label-based evaluator validated against the tree-walking
+// oracle for every scheme, on fixed and randomized queries, before and
+// after document mutations.
+
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/decomposed_prime_scheme.h"
+#include "core/ordered_prime_scheme.h"
+#include "labeling/dewey.h"
+#include "labeling/interval.h"
+#include "labeling/prefix.h"
+#include "labeling/prime_optimized.h"
+#include "store/label_table.h"
+#include "util/rng.h"
+#include "xml/datasets.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "xml/shakespeare.h"
+#include "xml/stats.h"
+#include "xpath/evaluator.h"
+#include "xpath/oracle.h"
+#include "xpath/parser.h"
+
+namespace primelabel {
+namespace {
+
+/// Wires up a scheme + order provider for the query pipeline. Schemes
+/// without an order-encoding label use the preorder rank a relational
+/// mapping would store alongside the label.
+struct Pipeline {
+  std::unique_ptr<LabelingScheme> scheme;
+  std::unique_ptr<LabelTable> table;
+  std::vector<std::uint64_t> rank;
+  QueryContext ctx;
+
+  void Build(const XmlTree& tree, const std::string& which) {
+    table = std::make_unique<LabelTable>(tree);
+    rank.assign(tree.arena_size(), 0);
+    std::uint64_t counter = 0;
+    tree.Preorder([&](NodeId id, int) {
+      rank[static_cast<std::size_t>(id)] = counter++;
+    });
+    if (which == "interval") {
+      auto interval = std::make_unique<IntervalScheme>();
+      interval->LabelTree(tree);
+      IntervalScheme* raw = interval.get();
+      ctx.order_of = [raw](NodeId id) { return raw->low(id); };
+      scheme = std::move(interval);
+    } else if (which == "prime-ordered") {
+      auto prime = std::make_unique<OrderedPrimeScheme>();
+      prime->LabelTree(tree);
+      OrderedPrimeScheme* raw = prime.get();
+      ctx.order_of = [raw](NodeId id) { return raw->OrderOf(id); };
+      scheme = std::move(prime);
+    } else {
+      if (which == "prefix-2") {
+        scheme = std::make_unique<PrefixScheme>(PrefixVariant::kBinary);
+      } else if (which == "prime-decomposed") {
+        scheme = std::make_unique<DecomposedPrimeScheme>(3);
+      } else if (which == "dewey") {
+        scheme = std::make_unique<DeweyScheme>();
+      } else {
+        scheme = std::make_unique<PrimeOptimizedScheme>();
+      }
+      scheme->LabelTree(tree);
+      ctx.order_of = [this](NodeId id) {
+        return rank[static_cast<std::size_t>(id)];
+      };
+    }
+    ctx.table = table.get();
+    ctx.scheme = scheme.get();
+  }
+};
+
+using SchemeName = std::string;
+
+class PipelineTest : public ::testing::TestWithParam<SchemeName> {};
+
+TEST_P(PipelineTest, FixedQueriesMatchOracleOnGeneratedPlay) {
+  PlayOptions options;
+  options.acts = 4;
+  options.scenes_per_act = 3;
+  options.min_speeches_per_scene = 3;
+  options.max_speeches_per_scene = 8;
+  options.seed = 11;
+  XmlTree tree = GeneratePlay("t", options);
+
+  Pipeline pipeline;
+  pipeline.Build(tree, GetParam());
+  XPathEvaluator evaluator(&pipeline.ctx);
+
+  for (const char* text : {
+           "/play//act",
+           "/play/act/scene",
+           "/play//act[2]",
+           "/play//scene[3]",
+           "/play//act[2]//Following::scene",
+           "/play//act[3]//Preceding::act",
+           "/play//scene[2]//Following-sibling::scene",
+           "/play//act[2]//Preceding-sibling::act[1]",
+           "/play//speech[1]/speaker",
+           "/play/*",
+           "//speech[5]",
+           "//speaker[@name='HAMLET']",
+           "//speech/speaker[@name='OPHELIA']",
+       }) {
+    Result<XPathQuery> query = ParseXPath(text);
+    ASSERT_TRUE(query.ok()) << text;
+    std::vector<NodeId> expected = EvaluateXPathOnTree(tree, query.value());
+    std::vector<NodeId> actual = evaluator.Evaluate(query.value());
+    EXPECT_EQ(actual, expected) << GetParam() << ": " << text;
+  }
+}
+
+TEST_P(PipelineTest, RandomQueriesMatchOracleOnRandomTrees) {
+  Rng rng(4242);
+  const char* tags[] = {"a", "b", "c", "d", "e", "f", "*"};
+  for (int doc = 0; doc < 4; ++doc) {
+    RandomTreeOptions options;
+    options.node_count = 250;
+    options.max_depth = 6;
+    options.max_fanout = 6;
+    options.seed = static_cast<std::uint64_t>(doc) * 13 + 5;
+    XmlTree tree = GenerateRandomTree(options);
+    Pipeline pipeline;
+    pipeline.Build(tree, GetParam());
+    XPathEvaluator evaluator(&pipeline.ctx);
+
+    for (int q = 0; q < 40; ++q) {
+      XPathQuery query;
+      int steps = 1 + static_cast<int>(rng.Below(3));
+      for (int s = 0; s < steps; ++s) {
+        XPathStep step;
+        if (s == 0) {
+          step.axis = XPathAxis::kDescendant;
+        } else {
+          switch (rng.Below(8)) {
+            case 0: step.axis = XPathAxis::kChild; break;
+            case 1: step.axis = XPathAxis::kDescendant; break;
+            case 2: step.axis = XPathAxis::kFollowing; break;
+            case 3: step.axis = XPathAxis::kPreceding; break;
+            case 4: step.axis = XPathAxis::kFollowingSibling; break;
+            case 5: step.axis = XPathAxis::kPrecedingSibling; break;
+            case 6: step.axis = XPathAxis::kParent; break;
+            default: step.axis = XPathAxis::kAncestor; break;
+          }
+        }
+        step.name_test = tags[rng.Below(sizeof(tags) / sizeof(tags[0]))];
+        if (rng.Chance(30)) {
+          step.position = 1 + static_cast<int>(rng.Below(4));
+        }
+        query.steps.push_back(std::move(step));
+      }
+      std::vector<NodeId> expected = EvaluateXPathOnTree(tree, query);
+      std::vector<NodeId> actual = evaluator.Evaluate(query);
+      ASSERT_EQ(actual, expected)
+          << GetParam() << " doc " << doc << ": " << query.ToString();
+    }
+  }
+}
+
+TEST_P(PipelineTest, SerializeParseRelabelPreservesAnswers) {
+  // Round-trip the document through text and check a query answers the
+  // same (by tag path, since node ids differ across trees).
+  DatasetSpec spec = NiagaraCorpusSpecs()[1];  // D2 Movie
+  XmlTree original = GenerateDataset(spec);
+  std::string xml = SerializeXml(original);
+  Result<XmlTree> reparsed = ParseXml(xml);
+  ASSERT_TRUE(reparsed.ok());
+  ASSERT_EQ(reparsed->node_count(), original.node_count());
+
+  Pipeline p1, p2;
+  p1.Build(original, GetParam());
+  p2.Build(*reparsed, GetParam());
+  for (const char* text :
+       {"/movies//movie[3]", "//movie/cast/actor", "//movie[2]//Following::title"}) {
+    Result<XPathQuery> query = ParseXPath(text);
+    ASSERT_TRUE(query.ok());
+    std::vector<NodeId> r1 = XPathEvaluator(&p1.ctx).Evaluate(query.value());
+    std::vector<NodeId> r2 = XPathEvaluator(&p2.ctx).Evaluate(query.value());
+    EXPECT_EQ(r1.size(), r2.size()) << text;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, PipelineTest,
+    ::testing::Values("interval", "prefix-2", "dewey", "prime",
+                      "prime-ordered", "prime-decomposed"),
+    [](const ::testing::TestParamInfo<SchemeName>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(IntegrationMutation, QueriesStayCorrectUnderOrderedChurn) {
+  // Mutate a play with order-sensitive insertions through the ordered
+  // prime scheme, rebuilding the table after each round and comparing the
+  // evaluator against the oracle.
+  PlayOptions options;
+  options.acts = 3;
+  options.scenes_per_act = 2;
+  options.min_speeches_per_scene = 2;
+  options.max_speeches_per_scene = 4;
+  options.seed = 31;
+  XmlTree tree = GeneratePlay("t", options);
+  OrderedPrimeScheme scheme;
+  scheme.LabelTree(tree);
+
+  Rng rng(8);
+  for (int round = 0; round < 10; ++round) {
+    std::vector<NodeId> acts = tree.FindAll("act");
+    NodeId target = acts[rng.Below(acts.size())];
+    NodeId fresh = rng.Chance(50) ? tree.InsertBefore(target, "act")
+                                  : tree.InsertAfter(target, "act");
+    scheme.HandleOrderedInsert(fresh);
+
+    LabelTable table(tree);
+    QueryContext ctx;
+    ctx.table = &table;
+    ctx.scheme = &scheme;
+    ctx.order_of = [&scheme](NodeId id) { return scheme.OrderOf(id); };
+    XPathEvaluator evaluator(&ctx);
+    for (const char* text :
+         {"/play//act[2]", "/play//act[1]//Following::act",
+          "/play//act//scene[1]"}) {
+      Result<XPathQuery> query = ParseXPath(text);
+      ASSERT_TRUE(query.ok());
+      EXPECT_EQ(evaluator.Evaluate(query.value()),
+                EvaluateXPathOnTree(tree, query.value()))
+          << "round " << round << ": " << text;
+    }
+  }
+}
+
+TEST(IntegrationDatasets, AllSchemesLabelWholeCorpusConsistently) {
+  // Smoke over every dataset: every scheme labels it, sizes are sane, and
+  // a sample of relationships is verified against the tree.
+  for (const DatasetSpec& spec : NiagaraCorpusSpecs()) {
+    XmlTree tree = GenerateDataset(spec);
+    std::vector<std::unique_ptr<LabelingScheme>> schemes;
+    schemes.push_back(std::make_unique<IntervalScheme>());
+    schemes.push_back(std::make_unique<PrefixScheme>(PrefixVariant::kBinary));
+    schemes.push_back(std::make_unique<PrimeOptimizedScheme>());
+    Rng rng(spec.seed);
+    std::vector<NodeId> nodes = tree.PreorderNodes();
+    for (auto& scheme : schemes) {
+      scheme->LabelTree(tree);
+      EXPECT_GT(scheme->MaxLabelBits(), 0) << spec.id << " " << scheme->name();
+      for (int i = 0; i < 300; ++i) {
+        NodeId x = nodes[rng.Below(nodes.size())];
+        NodeId y = nodes[rng.Below(nodes.size())];
+        ASSERT_EQ(scheme->IsAncestor(x, y), tree.IsAncestor(x, y))
+            << spec.id << " " << scheme->name();
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace primelabel

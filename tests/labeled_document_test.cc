@@ -1,0 +1,108 @@
+#include "corpus/labeled_document.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "store/catalog.h"
+
+namespace primelabel {
+namespace {
+
+constexpr char kBib[] =
+    "<bib>"
+    "<book><title>A</title><author>X</author><author>Y</author></book>"
+    "<book><title>B</title><author>Z</author></book>"
+    "</bib>";
+
+TEST(LabeledDocument, FromXmlAndQuery) {
+  Result<LabeledDocument> doc = LabeledDocument::FromXml(kBib);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  Result<std::vector<NodeId>> authors = doc->Query("//author");
+  ASSERT_TRUE(authors.ok());
+  EXPECT_EQ(authors->size(), 3u);
+  Result<std::vector<NodeId>> second = doc->Query("//book[2]/title");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->size(), 1u);
+}
+
+TEST(LabeledDocument, RejectsBadXmlAndBadQueries) {
+  EXPECT_FALSE(LabeledDocument::FromXml("<broken").ok());
+  Result<LabeledDocument> doc = LabeledDocument::FromXml(kBib);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_FALSE(doc->Query("???").ok());
+}
+
+TEST(LabeledDocument, InsertUpdatesAnswersAndReportsCost) {
+  Result<LabeledDocument> parsed = LabeledDocument::FromXml(kBib);
+  ASSERT_TRUE(parsed.ok());
+  LabeledDocument doc = std::move(parsed.value());
+  std::vector<NodeId> authors = doc.Query("//author").value();
+  ASSERT_EQ(authors.size(), 3u);
+  // New second author of the first book.
+  NodeId fresh = doc.InsertBefore(authors[1], "author");
+  EXPECT_GE(doc.last_update_cost(), 2);  // node + >=1 SC record
+  std::vector<NodeId> after = doc.Query("//author").value();
+  ASSERT_EQ(after.size(), 4u);
+  EXPECT_EQ(after[1], fresh);  // document order includes the new node
+  // Positional query sees the shift.
+  std::vector<NodeId> second = doc.Query("//book[1]/author[2]").value();
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0], fresh);
+}
+
+TEST(LabeledDocument, AppendWrapAndDelete) {
+  LabeledDocument doc = LabeledDocument::FromTree([] {
+    XmlTree tree;
+    NodeId root = tree.CreateRoot("r");
+    tree.AppendChild(root, "a");
+    tree.AppendChild(root, "b");
+    return tree;
+  }());
+  NodeId a = doc.Query("//a").value()[0];
+  NodeId child = doc.AppendChild(a, "c");
+  EXPECT_EQ(doc.Query("//a/c").value().size(), 1u);
+  NodeId wrapper = doc.Wrap(child, "w");
+  EXPECT_EQ(doc.Query("//a/w/c").value().size(), 1u);
+  EXPECT_GT(doc.last_update_cost(), 0);
+  doc.Delete(wrapper);
+  EXPECT_TRUE(doc.Query("//c").value().empty());
+  EXPECT_EQ(doc.Query("//b").value().size(), 1u);
+}
+
+TEST(LabeledDocument, SaveProducesLoadableCatalog) {
+  Result<LabeledDocument> doc = LabeledDocument::FromXml(kBib);
+  ASSERT_TRUE(doc.ok());
+  std::string path = std::string(::testing::TempDir()) + "/facade.plc";
+  ASSERT_TRUE(doc->Save(path).ok());
+  Result<LoadedCatalog> loaded = LoadCatalog(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->rows().size(), doc->tree().node_count());
+  std::remove(path.c_str());
+}
+
+TEST(LabeledDocument, ManyUpdatesStayConsistent) {
+  LabeledDocument doc = LabeledDocument::FromTree([] {
+    XmlTree tree;
+    NodeId root = tree.CreateRoot("list");
+    tree.AppendChild(root, "item");
+    return tree;
+  }());
+  // Interleave prepends and appends; positional queries must stay exact.
+  for (int i = 0; i < 30; ++i) {
+    std::vector<NodeId> items = doc.Query("//item").value();
+    if (i % 2 == 0) {
+      doc.InsertBefore(items.front(), "item");
+    } else {
+      doc.InsertAfter(items.back(), "item");
+    }
+  }
+  std::vector<NodeId> items = doc.Query("//item").value();
+  ASSERT_EQ(items.size(), 31u);
+  // Document order from the SC table matches tree order.
+  std::vector<NodeId> expected = doc.tree().FindAll("item");
+  EXPECT_EQ(items, expected);
+}
+
+}  // namespace
+}  // namespace primelabel

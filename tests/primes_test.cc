@@ -1,0 +1,163 @@
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "primes/estimates.h"
+#include "primes/miller_rabin.h"
+#include "primes/prime_source.h"
+#include "primes/sieve.h"
+
+namespace primelabel {
+namespace {
+
+TEST(Sieve, FirstPrimes) {
+  Sieve sieve(100);
+  const std::vector<std::uint64_t> expected = {
+      2,  3,  5,  7,  11, 13, 17, 19, 23, 29, 31, 37, 41,
+      43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97};
+  EXPECT_EQ(sieve.primes(), expected);
+}
+
+TEST(Sieve, IsPrimeAgreesWithList) {
+  Sieve sieve(1000);
+  for (std::uint64_t n = 0; n <= 1000; ++n) {
+    bool in_list = std::binary_search(sieve.primes().begin(),
+                                      sieve.primes().end(), n);
+    EXPECT_EQ(sieve.IsPrime(n), in_list) << n;
+  }
+}
+
+TEST(Sieve, CountPrimesMatchesPi) {
+  Sieve sieve(10000);
+  EXPECT_EQ(sieve.CountPrimesUpTo(10), 4u);
+  EXPECT_EQ(sieve.CountPrimesUpTo(100), 25u);
+  EXPECT_EQ(sieve.CountPrimesUpTo(1000), 168u);
+  EXPECT_EQ(sieve.CountPrimesUpTo(10000), 1229u);
+  EXPECT_EQ(sieve.CountPrimesUpTo(1), 0u);
+  EXPECT_EQ(sieve.CountPrimesUpTo(2), 1u);
+}
+
+TEST(Sieve, EdgeLimits) {
+  Sieve tiny(1);
+  EXPECT_TRUE(tiny.primes().empty());
+  Sieve two(2);
+  EXPECT_EQ(two.primes().size(), 1u);
+  EXPECT_TRUE(two.IsPrime(2));
+}
+
+TEST(MillerRabin, AgreesWithSieve) {
+  Sieve sieve(20000);
+  for (std::uint64_t n = 0; n <= 20000; ++n) {
+    EXPECT_EQ(IsPrimeU64(n), sieve.IsPrime(n)) << n;
+  }
+}
+
+TEST(MillerRabin, LargeKnownPrimes) {
+  EXPECT_TRUE(IsPrimeU64(2147483647ull));            // 2^31 - 1 (Mersenne)
+  EXPECT_TRUE(IsPrimeU64(1000000007ull));
+  EXPECT_TRUE(IsPrimeU64(1000000000000000003ull));
+  EXPECT_TRUE(IsPrimeU64(18446744073709551557ull));  // largest u64 prime
+}
+
+TEST(MillerRabin, LargeKnownComposites) {
+  EXPECT_FALSE(IsPrimeU64(2147483647ull * 2));
+  EXPECT_FALSE(IsPrimeU64(1000000007ull * 1000000009ull));
+  // Carmichael numbers fool Fermat but not Miller-Rabin.
+  EXPECT_FALSE(IsPrimeU64(561));
+  EXPECT_FALSE(IsPrimeU64(1105));
+  EXPECT_FALSE(IsPrimeU64(41041));
+  EXPECT_FALSE(IsPrimeU64(825265));
+}
+
+TEST(MillerRabin, NextPrimeAfter) {
+  EXPECT_EQ(NextPrimeAfter(0), 2u);
+  EXPECT_EQ(NextPrimeAfter(1), 2u);
+  EXPECT_EQ(NextPrimeAfter(2), 3u);
+  EXPECT_EQ(NextPrimeAfter(3), 5u);
+  EXPECT_EQ(NextPrimeAfter(13), 17u);
+  EXPECT_EQ(NextPrimeAfter(2147483647ull), 2147483659ull);
+}
+
+TEST(PrimeSource, StreamsPrimesInOrder) {
+  PrimeSource source;
+  EXPECT_EQ(source.Next(), 2u);
+  EXPECT_EQ(source.Next(), 3u);
+  EXPECT_EQ(source.Next(), 5u);
+  EXPECT_EQ(source.Next(), 7u);
+  EXPECT_EQ(source.cursor(), 4u);
+}
+
+TEST(PrimeSource, PrimeAtIsRandomAccess) {
+  PrimeSource source;
+  EXPECT_EQ(source.PrimeAt(0), 2u);
+  EXPECT_EQ(source.PrimeAt(24), 97u);
+  EXPECT_EQ(source.PrimeAt(999), 7919u);  // the 1000th prime
+  EXPECT_EQ(source.cursor(), 0u);         // PrimeAt must not advance
+}
+
+TEST(PrimeSource, SkipFirstAdvancesMonotonically) {
+  PrimeSource source;
+  source.SkipFirst(3);
+  EXPECT_EQ(source.Next(), 7u);
+  source.SkipFirst(2);  // cursor already past: no-op
+  EXPECT_EQ(source.Next(), 11u);
+}
+
+TEST(PrimeSource, ExtendsPastBootstrapSieve) {
+  PrimeSource source;
+  // The 4000th prime (37813) is past the 2^15 bootstrap sieve.
+  EXPECT_EQ(source.PrimeAt(3999), 37813u);
+  EXPECT_TRUE(IsPrimeU64(source.PrimeAt(5000)));
+  EXPECT_LT(source.PrimeAt(4999), source.PrimeAt(5000));
+}
+
+TEST(PrimeSource, ResetRestartsStream) {
+  PrimeSource source;
+  source.Next();
+  source.Next();
+  source.Reset();
+  EXPECT_EQ(source.Next(), 2u);
+}
+
+TEST(Estimates, NthPrimeEstimateIsAsymptoticallyClose) {
+  PrimeSource source;
+  // Prime number theorem: p_n / (n ln n) -> 1. Check the ratio is within
+  // 30% for a spread of n (the paper's Figure 3 plots exactly this gap).
+  for (std::size_t n : {100u, 1000u, 5000u, 10000u}) {
+    double actual = static_cast<double>(source.PrimeAt(n - 1));
+    double estimate = EstimatedNthPrime(n);
+    EXPECT_NEAR(estimate / actual, 1.0, 0.30) << n;
+  }
+}
+
+TEST(Estimates, BitLengthEstimateWithinOneBit) {
+  PrimeSource source;
+  // Figure 3's point: the *bit length* error of the estimate stays tiny.
+  for (std::size_t n = 2; n <= 10000; n += 97) {
+    int actual_bits = BitLengthU64(source.PrimeAt(n - 1));
+    double estimated_bits = EstimatedNthPrimeBits(n);
+    EXPECT_NEAR(estimated_bits, actual_bits, 1.5) << n;
+  }
+}
+
+TEST(Estimates, BitLengthU64KnownValues) {
+  EXPECT_EQ(BitLengthU64(0), 0);
+  EXPECT_EQ(BitLengthU64(1), 1);
+  EXPECT_EQ(BitLengthU64(2), 2);
+  EXPECT_EQ(BitLengthU64(255), 8);
+  EXPECT_EQ(BitLengthU64(256), 9);
+  EXPECT_EQ(BitLengthU64(~0ull), 64);
+}
+
+TEST(Estimates, PrimeCountTracksPi) {
+  Sieve sieve(100000);
+  for (double x : {100.0, 1000.0, 10000.0, 100000.0}) {
+    double actual =
+        static_cast<double>(sieve.CountPrimesUpTo(static_cast<std::uint64_t>(x)));
+    EXPECT_NEAR(EstimatedPrimeCount(x) / actual, 1.0, 0.20) << x;
+  }
+}
+
+}  // namespace
+}  // namespace primelabel

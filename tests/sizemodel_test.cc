@@ -1,0 +1,136 @@
+#include "sizemodel/size_model.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "labeling/interval.h"
+#include "labeling/prefix.h"
+#include "labeling/prime_top_down.h"
+#include "xml/tree.h"
+
+namespace primelabel {
+namespace {
+
+TEST(PerfectTree, NodeCounts) {
+  EXPECT_EQ(PerfectTreeNodeCount(0, 5), 1u);
+  EXPECT_EQ(PerfectTreeNodeCount(1, 5), 6u);
+  EXPECT_EQ(PerfectTreeNodeCount(2, 2), 7u);
+  EXPECT_EQ(PerfectTreeNodeCount(3, 3), 40u);
+  EXPECT_EQ(PerfectTreeNodeCount(2, 1), 3u);  // chain
+}
+
+TEST(PerfectTree, SaturatesInsteadOfOverflowing) {
+  EXPECT_EQ(PerfectTreeNodeCount(100, 100),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(SizeModel, IntervalGrowsLogarithmically) {
+  EXPECT_NEAR(IntervalMaxLabelBits(1), 2.0, 1e-9);
+  EXPECT_NEAR(IntervalMaxLabelBits(1024), 2.0 * 11.0, 1e-9);
+  EXPECT_LT(IntervalMaxLabelBits(1u << 20), 44.0);
+}
+
+TEST(SizeModel, Figure4FanoutShape) {
+  // Figure 4 (D=2): Prefix-1 linear in F, Prefix-2 logarithmic, Prime
+  // nearly flat.
+  double prefix1_growth =
+      Prefix1SelfBits(50) - Prefix1SelfBits(10);      // 40 bits
+  double prefix2_growth =
+      Prefix2SelfBits(50) - Prefix2SelfBits(10);      // ~9.3 bits
+  double prime_growth =
+      PrimeSelfBits(2, 50) - PrimeSelfBits(2, 10);    // a few bits
+  EXPECT_NEAR(prefix1_growth, 40.0, 1e-9);
+  EXPECT_LT(prefix2_growth, 10.0);
+  EXPECT_LT(prime_growth, 6.0);
+  EXPECT_LT(prime_growth, prefix2_growth);
+  // Crossover: for large fan-out, Prime's self labels beat Prefix-1.
+  EXPECT_LT(PrimeSelfBits(2, 50), Prefix1SelfBits(50));
+}
+
+TEST(SizeModel, Figure5DepthShape) {
+  // Figure 5 (F=15): prefixes are flat in depth, Prime grows.
+  EXPECT_EQ(Prefix1SelfBits(15), Prefix1SelfBits(15));
+  double prime_d2 = PrimeSelfBits(2, 15);
+  double prime_d6 = PrimeSelfBits(6, 15);
+  double prime_d10 = PrimeSelfBits(10, 15);
+  EXPECT_LT(prime_d2, prime_d6);
+  EXPECT_LT(prime_d6, prime_d10);
+  // Full labels: Prefix-1 = D*F stays the fan-out line; Prime's full label
+  // grows superlinearly with D on a perfect tree.
+  EXPECT_GT(PrimeMaxLabelBits(10, 15), PrimeMaxLabelBits(5, 15) * 2);
+}
+
+TEST(SizeModel, Equation1And2AreDTimesSelf) {
+  EXPECT_NEAR(Prefix1MaxLabelBits(3, 20), 60.0, 1e-9);
+  EXPECT_NEAR(Prefix2MaxLabelBits(3, 16), 3.0 * 16.0, 1e-9);
+  EXPECT_NEAR(Prefix2MaxLabelBits(2, 2), 8.0, 1e-9);
+}
+
+TEST(SizeModel, DegenerateInputs) {
+  EXPECT_EQ(IntervalMaxLabelBits(0), 0.0);
+  EXPECT_EQ(Prefix2SelfBits(1), 1.0);
+  EXPECT_GE(PrimeSelfBits(0, 1), 1.0);
+}
+
+// The model must agree with the implementation: label a perfect tree and
+// compare measured maxima against the closed forms.
+class ModelVsMeasurementTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+XmlTree BuildPerfectTree(int depth, int fanout) {
+  XmlTree tree;
+  NodeId root = tree.CreateRoot("n");
+  std::vector<NodeId> level = {root};
+  for (int d = 0; d < depth; ++d) {
+    std::vector<NodeId> next;
+    for (NodeId parent : level) {
+      for (int f = 0; f < fanout; ++f) {
+        next.push_back(tree.AppendChild(parent, "n"));
+      }
+    }
+    level = std::move(next);
+  }
+  return tree;
+}
+
+TEST_P(ModelVsMeasurementTest, MeasuredMaximaTrackTheModel) {
+  auto [depth, fanout] = GetParam();
+  XmlTree tree = BuildPerfectTree(depth, fanout);
+  ASSERT_EQ(tree.node_count(), PerfectTreeNodeCount(depth, fanout));
+
+  IntervalScheme interval;
+  interval.LabelTree(tree);
+  // The start/end variant's counter runs to 2N, one bit above the model's
+  // per-endpoint N bound; allow that plus ceil-vs-log rounding.
+  EXPECT_LE(interval.MaxLabelBits(),
+            IntervalMaxLabelBits(tree.node_count()) + 2.0);
+
+  PrefixScheme prefix1(PrefixVariant::kUnary);
+  prefix1.LabelTree(tree);
+  EXPECT_LE(prefix1.MaxLabelBits(),
+            Prefix1MaxLabelBits(depth, fanout) + 1e-9);
+  // The bound is attained by the deepest last child.
+  EXPECT_EQ(prefix1.MaxLabelBits(), depth * fanout);
+
+  PrefixScheme prefix2(PrefixVariant::kBinary);
+  prefix2.LabelTree(tree);
+  EXPECT_LE(prefix2.MaxLabelBits(),
+            Prefix2MaxLabelBits(depth, fanout) + 4.0 * depth);
+
+  PrimeTopDownScheme prime;
+  prime.LabelTree(tree);
+  // The model approximates the n-th prime; allow one bit per level slack.
+  EXPECT_LE(prime.MaxLabelBits(),
+            PrimeMaxLabelBits(depth, fanout) + depth + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ModelVsMeasurementTest,
+    ::testing::Values(std::make_tuple(1, 2), std::make_tuple(2, 3),
+                      std::make_tuple(2, 10), std::make_tuple(3, 5),
+                      std::make_tuple(4, 3), std::make_tuple(6, 2),
+                      std::make_tuple(2, 25)));
+
+}  // namespace
+}  // namespace primelabel

@@ -1,0 +1,111 @@
+#include "xpath/sql_translate.h"
+
+#include <gtest/gtest.h>
+
+namespace primelabel {
+namespace {
+
+std::string Sql(const std::string& xpath, SqlScheme scheme) {
+  Result<std::string> sql = TranslateToSql(xpath, scheme);
+  EXPECT_TRUE(sql.ok()) << xpath << ": " << sql.status().ToString();
+  return sql.ok() ? sql.value() : std::string();
+}
+
+TEST(SqlTranslate, PrimeDescendantUsesModAndParityGuard) {
+  std::string sql = Sql("/play//act", SqlScheme::kPrime);
+  EXPECT_NE(sql.find("n0.tag = 'play'"), std::string::npos);
+  EXPECT_NE(sql.find("n1.tag = 'act'"), std::string::npos);
+  EXPECT_NE(sql.find("mod(n1.label, n0.label) = 0"), std::string::npos);
+  EXPECT_NE(sql.find("mod(n0.label, 2) = 1"), std::string::npos);
+}
+
+TEST(SqlTranslate, IntervalDescendantUsesRangeComparisons) {
+  std::string sql = Sql("/play//act", SqlScheme::kInterval);
+  EXPECT_NE(sql.find("n0.low < n1.low"), std::string::npos);
+  EXPECT_NE(sql.find("n1.high <= n0.high"), std::string::npos);
+  EXPECT_EQ(sql.find("mod("), std::string::npos);
+}
+
+TEST(SqlTranslate, PrefixDescendantUsesUdf) {
+  std::string sql = Sql("/play//act", SqlScheme::kPrefix);
+  EXPECT_NE(sql.find("check_prefix(n0.label, n1.label) = 1"),
+            std::string::npos);
+  EXPECT_NE(sql.find("user-defined function"), std::string::npos);
+}
+
+TEST(SqlTranslate, ChildAxisPerScheme) {
+  EXPECT_NE(Sql("/a/b", SqlScheme::kPrime).find("n1.label = n0.label * n1.self"),
+            std::string::npos);
+  EXPECT_NE(Sql("/a/b", SqlScheme::kInterval).find("n1.level = n0.level + 1"),
+            std::string::npos);
+  EXPECT_NE(Sql("/a/b", SqlScheme::kPrefix)
+                .find("length(n1.label) = length(n0.label) + n1.self_length"),
+            std::string::npos);
+}
+
+TEST(SqlTranslate, FollowingUsesOrderRecovery) {
+  std::string prime = Sql("/a//Following::b", SqlScheme::kPrime);
+  EXPECT_NE(prime.find("prime_order(n1.self) > prime_order(n0.self)"),
+            std::string::npos);
+  EXPECT_NE(prime.find("prime_order(self) :="), std::string::npos);
+  std::string interval = Sql("/a//Following::b", SqlScheme::kInterval);
+  EXPECT_NE(interval.find("n1.low > n0.low"), std::string::npos);
+  std::string prefix = Sql("/a//Following::b", SqlScheme::kPrefix);
+  EXPECT_NE(prefix.find("n1.label > n0.label"), std::string::npos);
+}
+
+TEST(SqlTranslate, PositionBecomesWindowFunction) {
+  std::string sql = Sql("/play//act[4]", SqlScheme::kPrime);
+  EXPECT_NE(sql.find("row_number() OVER (PARTITION BY n1.parent"),
+            std::string::npos);
+  EXPECT_NE(sql.find(") = 4"), std::string::npos);
+}
+
+TEST(SqlTranslate, AttributePredicateBecomesExistsSubquery) {
+  std::string sql = Sql("//speaker[@name='HAMLET']", SqlScheme::kInterval);
+  EXPECT_NE(sql.find("EXISTS (SELECT 1 FROM attribute t"), std::string::npos);
+  EXPECT_NE(sql.find("t.key = 'name' AND t.value = 'HAMLET'"),
+            std::string::npos);
+}
+
+TEST(SqlTranslate, SiblingAxesCompareParents) {
+  std::string sql =
+      Sql("/a//Following-sibling::b", SqlScheme::kInterval);
+  EXPECT_NE(sql.find("n1.parent = n0.parent"), std::string::npos);
+}
+
+TEST(SqlTranslate, ReverseAxesSwapRoles) {
+  std::string sql = Sql("/a//Ancestor::b", SqlScheme::kPrime);
+  // The candidate (n1) must divide the anchor (n0).
+  EXPECT_NE(sql.find("mod(n0.label, n1.label) = 0"), std::string::npos);
+}
+
+TEST(SqlTranslate, EveryTable2QueryTranslatesForEveryScheme) {
+  const char* queries[] = {
+      "/play//act[4]",
+      "/play//act[3]//Following::act",
+      "/play//act//speaker",
+      "/act[5]//Following::speech",
+      "/speech[4]//Preceding::line",
+      "/play//act[3]//line",
+      "/play//speech[1]//Following-sibling::speech[3]",
+      "/play//speech",
+      "/play//line",
+  };
+  for (const char* query : queries) {
+    for (SqlScheme scheme :
+         {SqlScheme::kInterval, SqlScheme::kPrime, SqlScheme::kPrefix}) {
+      Result<std::string> sql = TranslateToSql(query, scheme);
+      ASSERT_TRUE(sql.ok()) << query;
+      EXPECT_NE(sql->find("SELECT DISTINCT"), std::string::npos);
+      EXPECT_NE(sql->find("ORDER BY"), std::string::npos);
+    }
+  }
+}
+
+TEST(SqlTranslate, ParseErrorsPropagate) {
+  EXPECT_FALSE(TranslateToSql("not a query", SqlScheme::kPrime).ok());
+}
+
+}  // namespace
+}  // namespace primelabel

@@ -1,0 +1,177 @@
+#include "xml/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "xml/serializer.h"
+#include "xml/stats.h"
+
+namespace primelabel {
+namespace {
+
+TEST(XmlParser, MinimalDocument) {
+  Result<XmlTree> result = ParseXml("<root/>");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->name(result->root()), "root");
+  EXPECT_EQ(result->node_count(), 1u);
+}
+
+TEST(XmlParser, NestedElements) {
+  Result<XmlTree> result =
+      ParseXml("<book><title>T</title><author><name>A</name></author></book>");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const XmlTree& tree = *result;
+  EXPECT_EQ(tree.name(tree.root()), "book");
+  NodeId title = tree.FindFirst("title");
+  ASSERT_NE(title, kInvalidNodeId);
+  EXPECT_EQ(tree.name(tree.first_child(title)), "T");
+  NodeId name = tree.FindFirst("name");
+  EXPECT_EQ(tree.Depth(name), 2);
+}
+
+TEST(XmlParser, Attributes) {
+  Result<XmlTree> result =
+      ParseXml(R"(<e a="1" b='two' c="a&amp;b"/>)");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const auto& attrs = result->node(result->root()).attributes;
+  ASSERT_EQ(attrs.size(), 3u);
+  EXPECT_EQ(attrs[0], (std::pair<std::string, std::string>{"a", "1"}));
+  EXPECT_EQ(attrs[1], (std::pair<std::string, std::string>{"b", "two"}));
+  EXPECT_EQ(attrs[2], (std::pair<std::string, std::string>{"c", "a&b"}));
+}
+
+TEST(XmlParser, EntityReferences) {
+  Result<XmlTree> result =
+      ParseXml("<t>&lt;tag&gt; &amp; &quot;quote&quot; &apos;</t>");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->name(result->first_child(result->root())),
+            "<tag> & \"quote\" '");
+}
+
+TEST(XmlParser, NumericCharacterReferences) {
+  Result<XmlTree> result = ParseXml("<t>&#65;&#x42;&#x43f;</t>");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->name(result->first_child(result->root())),
+            "AB\xD0\xBF");  // 'A', 'B', Cyrillic п (U+043F)
+}
+
+TEST(XmlParser, CdataSection) {
+  Result<XmlTree> result = ParseXml("<t><![CDATA[<not> &parsed;]]></t>");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->name(result->first_child(result->root())),
+            "<not> &parsed;");
+}
+
+TEST(XmlParser, CommentsAndPisAreSkipped) {
+  Result<XmlTree> result = ParseXml(
+      "<?xml version=\"1.0\"?><!-- head --><root><!-- in --><a/>"
+      "<?pi data?></root><!-- tail -->");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->node_count(), 2u);
+}
+
+TEST(XmlParser, DoctypeIsSkipped) {
+  Result<XmlTree> result =
+      ParseXml("<!DOCTYPE play SYSTEM \"play.dtd\"><play><act/></play>");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->name(result->root()), "play");
+}
+
+TEST(XmlParser, WhitespaceTextDroppedByDefault) {
+  Result<XmlTree> result = ParseXml("<a>\n  <b/>\n  <c/>\n</a>");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->node_count(), 3u);  // no whitespace text nodes
+}
+
+TEST(XmlParser, WhitespaceTextKeptOnRequest) {
+  XmlParseOptions options;
+  options.keep_whitespace_text = true;
+  Result<XmlTree> result = ParseXml("<a> <b/> </a>", options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->node_count(), 4u);
+}
+
+TEST(XmlParser, RejectsMismatchedTags) {
+  Result<XmlTree> result = ParseXml("<a><b></a></b>");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+  EXPECT_NE(result.status().message().find("mismatched"), std::string::npos);
+}
+
+TEST(XmlParser, RejectsUnterminatedInput) {
+  EXPECT_FALSE(ParseXml("<a><b>").ok());
+  EXPECT_FALSE(ParseXml("<a attr=\"x>").ok());
+  EXPECT_FALSE(ParseXml("<a><![CDATA[ oops").ok());
+  EXPECT_FALSE(ParseXml("<t>&amp").ok());
+}
+
+TEST(XmlParser, RejectsGarbage) {
+  EXPECT_FALSE(ParseXml("").ok());
+  EXPECT_FALSE(ParseXml("plain text").ok());
+  EXPECT_FALSE(ParseXml("<a/><b/>").ok());  // two roots
+  EXPECT_FALSE(ParseXml("<a/>junk").ok());
+  EXPECT_FALSE(ParseXml("<1invalid/>").ok());
+  EXPECT_FALSE(ParseXml("<t>&unknown;</t>").ok());
+}
+
+TEST(XmlParser, NamespacesAreOpaqueNames) {
+  Result<XmlTree> result = ParseXml("<ns:a xmlns:ns=\"u\"><ns:b/></ns:a>");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->name(result->root()), "ns:a");
+}
+
+TEST(XmlSerializer, EscapesSpecialCharacters) {
+  XmlTree tree;
+  NodeId root = tree.CreateRoot("t");
+  tree.AddAttribute(root, "a", "x\"<>&y");
+  tree.AppendText(root, "1 < 2 & 3 > 2");
+  std::string xml = SerializeXml(tree);
+  EXPECT_EQ(xml,
+            "<t a=\"x&quot;&lt;&gt;&amp;y\">1 &lt; 2 &amp; 3 &gt; 2</t>");
+}
+
+TEST(XmlSerializer, SelfClosesEmptyElements) {
+  XmlTree tree;
+  NodeId root = tree.CreateRoot("a");
+  tree.AppendChild(root, "b");
+  EXPECT_EQ(SerializeXml(tree), "<a><b/></a>");
+}
+
+TEST(XmlSerializer, PrettyPrinting) {
+  XmlTree tree;
+  NodeId root = tree.CreateRoot("a");
+  tree.AppendChild(root, "b");
+  XmlSerializeOptions options;
+  options.pretty = true;
+  EXPECT_EQ(SerializeXml(tree, options), "<a>\n  <b/>\n</a>");
+}
+
+TEST(XmlRoundTrip, ParseSerializeParsePreservesStructure) {
+  const char* docs[] = {
+      "<root/>",
+      "<a><b><c/></b><d/></a>",
+      R"(<p id="1"><q lang="en">text &amp; more</q><r/></p>)",
+      "<deep><l1><l2><l3><l4>x</l4></l3></l2></l1></deep>",
+  };
+  for (const char* doc : docs) {
+    Result<XmlTree> first = ParseXml(doc);
+    ASSERT_TRUE(first.ok()) << doc;
+    std::string serialized = SerializeXml(*first);
+    Result<XmlTree> second = ParseXml(serialized);
+    ASSERT_TRUE(second.ok()) << serialized;
+    EXPECT_EQ(SerializeXml(*second), serialized) << doc;
+    TreeStats s1 = ComputeStats(*first);
+    TreeStats s2 = ComputeStats(*second);
+    EXPECT_EQ(s1.node_count, s2.node_count);
+    EXPECT_EQ(s1.max_depth, s2.max_depth);
+    EXPECT_EQ(s1.max_fanout, s2.max_fanout);
+  }
+}
+
+TEST(XmlParser, ErrorMessagesCarryOffsets) {
+  Result<XmlTree> result = ParseXml("<a><b></wrong></a>");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("offset"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace primelabel

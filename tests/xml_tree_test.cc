@@ -1,0 +1,189 @@
+#include "xml/tree.h"
+
+#include <gtest/gtest.h>
+
+#include "xml/stats.h"
+
+namespace primelabel {
+namespace {
+
+// Builds the running example: book with title and three authors.
+XmlTree BookTree(NodeId* book, NodeId* title, NodeId authors[3]) {
+  XmlTree tree;
+  *book = tree.CreateRoot("book");
+  *title = tree.AppendChild(*book, "title");
+  for (int i = 0; i < 3; ++i) authors[i] = tree.AppendChild(*book, "author");
+  return tree;
+}
+
+TEST(XmlTree, CreateRootAndChildren) {
+  XmlTree tree;
+  NodeId root = tree.CreateRoot("root");
+  EXPECT_EQ(tree.root(), root);
+  EXPECT_EQ(tree.node_count(), 1u);
+  NodeId a = tree.AppendChild(root, "a");
+  NodeId b = tree.AppendChild(root, "b");
+  EXPECT_EQ(tree.node_count(), 3u);
+  EXPECT_EQ(tree.Children(root), (std::vector<NodeId>{a, b}));
+  EXPECT_EQ(tree.parent(a), root);
+  EXPECT_EQ(tree.name(b), "b");
+}
+
+TEST(XmlTree, TextNodes) {
+  XmlTree tree;
+  NodeId root = tree.CreateRoot("p");
+  NodeId text = tree.AppendText(root, "hello");
+  EXPECT_EQ(tree.type(text), XmlNodeType::kText);
+  EXPECT_FALSE(tree.IsElement(text));
+  EXPECT_EQ(tree.name(text), "hello");
+}
+
+TEST(XmlTree, InsertBeforeKeepsOrder) {
+  NodeId book, title, authors[3];
+  XmlTree tree = BookTree(&book, &title, authors);
+  NodeId inserted = tree.InsertBefore(authors[1], "author");
+  EXPECT_EQ(tree.Children(book),
+            (std::vector<NodeId>{title, authors[0], inserted, authors[1],
+                                 authors[2]}));
+  EXPECT_EQ(tree.SiblingPosition(inserted), 3);
+}
+
+TEST(XmlTree, InsertBeforeFirstChildUpdatesParentLink) {
+  NodeId book, title, authors[3];
+  XmlTree tree = BookTree(&book, &title, authors);
+  NodeId first = tree.InsertBefore(title, "isbn");
+  EXPECT_EQ(tree.first_child(book), first);
+  EXPECT_EQ(tree.SiblingPosition(first), 1);
+}
+
+TEST(XmlTree, InsertAfterKeepsOrder) {
+  NodeId book, title, authors[3];
+  XmlTree tree = BookTree(&book, &title, authors);
+  NodeId inserted = tree.InsertAfter(authors[2], "year");
+  EXPECT_EQ(tree.Children(book).back(), inserted);
+  NodeId mid = tree.InsertAfter(authors[0], "affiliation");
+  EXPECT_EQ(tree.SiblingPosition(mid), 3);
+}
+
+TEST(XmlTree, WrapNodeRewiresStructure) {
+  NodeId book, title, authors[3];
+  XmlTree tree = BookTree(&book, &title, authors);
+  NodeId wrapper = tree.WrapNode(authors[1], "editors");
+  EXPECT_EQ(tree.parent(wrapper), book);
+  EXPECT_EQ(tree.parent(authors[1]), wrapper);
+  EXPECT_EQ(tree.Children(wrapper), (std::vector<NodeId>{authors[1]}));
+  EXPECT_EQ(tree.Children(book),
+            (std::vector<NodeId>{title, authors[0], wrapper, authors[2]}));
+  EXPECT_EQ(tree.Depth(authors[1]), 2);
+}
+
+TEST(XmlTree, WrapFirstAndLastChild) {
+  NodeId book, title, authors[3];
+  XmlTree tree = BookTree(&book, &title, authors);
+  NodeId w1 = tree.WrapNode(title, "meta");
+  EXPECT_EQ(tree.first_child(book), w1);
+  NodeId w2 = tree.WrapNode(authors[2], "tail");
+  EXPECT_EQ(tree.Children(book).back(), w2);
+}
+
+TEST(XmlTree, DetachRemovesSubtreeFromTraversal) {
+  NodeId book, title, authors[3];
+  XmlTree tree = BookTree(&book, &title, authors);
+  NodeId nested = tree.AppendChild(authors[1], "name");
+  EXPECT_EQ(tree.node_count(), 6u);
+  tree.Detach(authors[1]);
+  EXPECT_EQ(tree.node_count(), 4u);
+  EXPECT_TRUE(tree.IsDetached(authors[1]));
+  EXPECT_TRUE(tree.IsDetached(nested));
+  for (NodeId id : tree.PreorderNodes()) {
+    EXPECT_NE(id, authors[1]);
+    EXPECT_NE(id, nested);
+  }
+  EXPECT_EQ(tree.Children(book),
+            (std::vector<NodeId>{title, authors[0], authors[2]}));
+}
+
+TEST(XmlTree, DepthAndAncestor) {
+  XmlTree tree;
+  NodeId a = tree.CreateRoot("a");
+  NodeId b = tree.AppendChild(a, "b");
+  NodeId c = tree.AppendChild(b, "c");
+  NodeId d = tree.AppendChild(a, "d");
+  EXPECT_EQ(tree.Depth(a), 0);
+  EXPECT_EQ(tree.Depth(c), 2);
+  EXPECT_TRUE(tree.IsAncestor(a, c));
+  EXPECT_TRUE(tree.IsAncestor(b, c));
+  EXPECT_FALSE(tree.IsAncestor(c, b));
+  EXPECT_FALSE(tree.IsAncestor(d, c));
+  EXPECT_FALSE(tree.IsAncestor(c, c));
+}
+
+TEST(XmlTree, PreorderVisitsDocumentOrder) {
+  XmlTree tree;
+  NodeId r = tree.CreateRoot("r");
+  NodeId a = tree.AppendChild(r, "a");
+  NodeId a1 = tree.AppendChild(a, "a1");
+  NodeId a2 = tree.AppendChild(a, "a2");
+  NodeId b = tree.AppendChild(r, "b");
+  EXPECT_EQ(tree.PreorderNodes(), (std::vector<NodeId>{r, a, a1, a2, b}));
+}
+
+TEST(XmlTree, FindFirstAndFindAll) {
+  NodeId book, title, authors[3];
+  XmlTree tree = BookTree(&book, &title, authors);
+  EXPECT_EQ(tree.FindFirst("author"), authors[0]);
+  EXPECT_EQ(tree.FindFirst("missing"), kInvalidNodeId);
+  EXPECT_EQ(tree.FindAll("author"),
+            (std::vector<NodeId>{authors[0], authors[1], authors[2]}));
+}
+
+TEST(XmlTree, Attributes) {
+  XmlTree tree;
+  NodeId root = tree.CreateRoot("e");
+  tree.AddAttribute(root, "id", "42");
+  tree.AddAttribute(root, "lang", "en");
+  ASSERT_EQ(tree.node(root).attributes.size(), 2u);
+  EXPECT_EQ(tree.node(root).attributes[0].first, "id");
+  EXPECT_EQ(tree.node(root).attributes[1].second, "en");
+}
+
+TEST(XmlTree, CopyIsIndependent) {
+  NodeId book, title, authors[3];
+  XmlTree tree = BookTree(&book, &title, authors);
+  XmlTree copy = tree;
+  copy.AppendChild(copy.root(), "extra");
+  EXPECT_EQ(tree.node_count(), 5u);
+  EXPECT_EQ(copy.node_count(), 6u);
+}
+
+TEST(TreeStats, MatchesHandComputedValues) {
+  XmlTree tree;
+  NodeId r = tree.CreateRoot("r");
+  NodeId a = tree.AppendChild(r, "a");
+  tree.AppendChild(r, "b");
+  tree.AppendChild(r, "c");
+  NodeId a1 = tree.AppendChild(a, "a1");
+  tree.AppendChild(a1, "a11");
+  TreeStats stats = ComputeStats(tree);
+  EXPECT_EQ(stats.node_count, 6u);
+  EXPECT_EQ(stats.element_count, 6u);
+  EXPECT_EQ(stats.leaf_count, 3u);
+  EXPECT_EQ(stats.max_depth, 3);
+  EXPECT_EQ(stats.max_fanout, 3);
+  // Internal nodes: r (3 children), a (1), a1 (1) -> avg 5/3.
+  EXPECT_NEAR(stats.avg_fanout, 5.0 / 3.0, 1e-9);
+}
+
+TEST(TreeStats, SingleNode) {
+  XmlTree tree;
+  tree.CreateRoot("only");
+  TreeStats stats = ComputeStats(tree);
+  EXPECT_EQ(stats.node_count, 1u);
+  EXPECT_EQ(stats.leaf_count, 1u);
+  EXPECT_EQ(stats.max_depth, 0);
+  EXPECT_EQ(stats.max_fanout, 0);
+  EXPECT_EQ(stats.avg_fanout, 0.0);
+}
+
+}  // namespace
+}  // namespace primelabel
