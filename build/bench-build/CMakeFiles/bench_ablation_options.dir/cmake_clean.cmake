@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_options"
+  "../bench/bench_ablation_options.pdb"
+  "CMakeFiles/bench_ablation_options.dir/bench_ablation_options.cc.o"
+  "CMakeFiles/bench_ablation_options.dir/bench_ablation_options.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_options.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_sc_group"
+  "../bench/bench_ablation_sc_group.pdb"
+  "CMakeFiles/bench_ablation_sc_group.dir/bench_ablation_sc_group.cc.o"
+  "CMakeFiles/bench_ablation_sc_group.dir/bench_ablation_sc_group.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sc_group.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig15b_per_document"
+  "../bench/bench_fig15b_per_document.pdb"
+  "CMakeFiles/bench_fig15b_per_document.dir/bench_fig15b_per_document.cc.o"
+  "CMakeFiles/bench_fig15b_per_document.dir/bench_fig15b_per_document.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15b_per_document.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_prime_estimate"
+  "../bench/bench_fig3_prime_estimate.pdb"
+  "CMakeFiles/bench_fig3_prime_estimate.dir/bench_fig3_prime_estimate.cc.o"
+  "CMakeFiles/bench_fig3_prime_estimate.dir/bench_fig3_prime_estimate.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_prime_estimate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_float_breakdown"
+  "../bench/bench_float_breakdown.pdb"
+  "CMakeFiles/bench_float_breakdown.dir/bench_float_breakdown.cc.o"
+  "CMakeFiles/bench_float_breakdown.dir/bench_float_breakdown.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_float_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

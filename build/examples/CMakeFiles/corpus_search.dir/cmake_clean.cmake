@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corpus_search.dir/corpus_search.cpp.o"
+  "CMakeFiles/corpus_search.dir/corpus_search.cpp.o.d"
+  "corpus_search"
+  "corpus_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corpus_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ordered_queries.dir/ordered_queries.cpp.o"
+  "CMakeFiles/ordered_queries.dir/ordered_queries.cpp.o.d"
+  "ordered_queries"
+  "ordered_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ordered_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

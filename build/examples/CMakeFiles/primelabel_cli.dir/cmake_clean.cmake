@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/primelabel_cli.dir/primelabel_cli.cpp.o"
+  "CMakeFiles/primelabel_cli.dir/primelabel_cli.cpp.o.d"
+  "primelabel_cli"
+  "primelabel_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/primelabel_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shakespeare_search.dir/shakespeare_search.cpp.o"
+  "CMakeFiles/shakespeare_search.dir/shakespeare_search.cpp.o.d"
+  "shakespeare_search"
+  "shakespeare_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shakespeare_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

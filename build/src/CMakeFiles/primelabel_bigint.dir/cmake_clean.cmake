@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/primelabel_bigint.dir/bigint/bigint.cc.o"
+  "CMakeFiles/primelabel_bigint.dir/bigint/bigint.cc.o.d"
+  "libprimelabel_bigint.a"
+  "libprimelabel_bigint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/primelabel_bigint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/crt.cc" "src/CMakeFiles/primelabel_core.dir/core/crt.cc.o" "gcc" "src/CMakeFiles/primelabel_core.dir/core/crt.cc.o.d"
+  "/root/repo/src/core/decomposed_prime_scheme.cc" "src/CMakeFiles/primelabel_core.dir/core/decomposed_prime_scheme.cc.o" "gcc" "src/CMakeFiles/primelabel_core.dir/core/decomposed_prime_scheme.cc.o.d"
+  "/root/repo/src/core/ordered_prime_scheme.cc" "src/CMakeFiles/primelabel_core.dir/core/ordered_prime_scheme.cc.o" "gcc" "src/CMakeFiles/primelabel_core.dir/core/ordered_prime_scheme.cc.o.d"
+  "/root/repo/src/core/path_combine.cc" "src/CMakeFiles/primelabel_core.dir/core/path_combine.cc.o" "gcc" "src/CMakeFiles/primelabel_core.dir/core/path_combine.cc.o.d"
+  "/root/repo/src/core/sc_table.cc" "src/CMakeFiles/primelabel_core.dir/core/sc_table.cc.o" "gcc" "src/CMakeFiles/primelabel_core.dir/core/sc_table.cc.o.d"
+  "/root/repo/src/core/streaming_labeler.cc" "src/CMakeFiles/primelabel_core.dir/core/streaming_labeler.cc.o" "gcc" "src/CMakeFiles/primelabel_core.dir/core/streaming_labeler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/primelabel_labeling.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/primelabel_primes.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/primelabel_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/primelabel_bigint.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

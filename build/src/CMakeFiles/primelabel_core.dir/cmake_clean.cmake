@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/primelabel_core.dir/core/crt.cc.o"
+  "CMakeFiles/primelabel_core.dir/core/crt.cc.o.d"
+  "CMakeFiles/primelabel_core.dir/core/decomposed_prime_scheme.cc.o"
+  "CMakeFiles/primelabel_core.dir/core/decomposed_prime_scheme.cc.o.d"
+  "CMakeFiles/primelabel_core.dir/core/ordered_prime_scheme.cc.o"
+  "CMakeFiles/primelabel_core.dir/core/ordered_prime_scheme.cc.o.d"
+  "CMakeFiles/primelabel_core.dir/core/path_combine.cc.o"
+  "CMakeFiles/primelabel_core.dir/core/path_combine.cc.o.d"
+  "CMakeFiles/primelabel_core.dir/core/sc_table.cc.o"
+  "CMakeFiles/primelabel_core.dir/core/sc_table.cc.o.d"
+  "CMakeFiles/primelabel_core.dir/core/streaming_labeler.cc.o"
+  "CMakeFiles/primelabel_core.dir/core/streaming_labeler.cc.o.d"
+  "libprimelabel_core.a"
+  "libprimelabel_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/primelabel_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

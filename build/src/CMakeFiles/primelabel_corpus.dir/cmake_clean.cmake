@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/primelabel_corpus.dir/corpus/document_store.cc.o"
+  "CMakeFiles/primelabel_corpus.dir/corpus/document_store.cc.o.d"
+  "CMakeFiles/primelabel_corpus.dir/corpus/labeled_document.cc.o"
+  "CMakeFiles/primelabel_corpus.dir/corpus/labeled_document.cc.o.d"
+  "libprimelabel_corpus.a"
+  "libprimelabel_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/primelabel_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libprimelabel_corpus.a"
+)

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/labeling/dewey.cc" "src/CMakeFiles/primelabel_labeling.dir/labeling/dewey.cc.o" "gcc" "src/CMakeFiles/primelabel_labeling.dir/labeling/dewey.cc.o.d"
+  "/root/repo/src/labeling/float_interval.cc" "src/CMakeFiles/primelabel_labeling.dir/labeling/float_interval.cc.o" "gcc" "src/CMakeFiles/primelabel_labeling.dir/labeling/float_interval.cc.o.d"
+  "/root/repo/src/labeling/gapped_interval.cc" "src/CMakeFiles/primelabel_labeling.dir/labeling/gapped_interval.cc.o" "gcc" "src/CMakeFiles/primelabel_labeling.dir/labeling/gapped_interval.cc.o.d"
+  "/root/repo/src/labeling/interval.cc" "src/CMakeFiles/primelabel_labeling.dir/labeling/interval.cc.o" "gcc" "src/CMakeFiles/primelabel_labeling.dir/labeling/interval.cc.o.d"
+  "/root/repo/src/labeling/prefix.cc" "src/CMakeFiles/primelabel_labeling.dir/labeling/prefix.cc.o" "gcc" "src/CMakeFiles/primelabel_labeling.dir/labeling/prefix.cc.o.d"
+  "/root/repo/src/labeling/prime_bottom_up.cc" "src/CMakeFiles/primelabel_labeling.dir/labeling/prime_bottom_up.cc.o" "gcc" "src/CMakeFiles/primelabel_labeling.dir/labeling/prime_bottom_up.cc.o.d"
+  "/root/repo/src/labeling/prime_optimized.cc" "src/CMakeFiles/primelabel_labeling.dir/labeling/prime_optimized.cc.o" "gcc" "src/CMakeFiles/primelabel_labeling.dir/labeling/prime_optimized.cc.o.d"
+  "/root/repo/src/labeling/prime_top_down.cc" "src/CMakeFiles/primelabel_labeling.dir/labeling/prime_top_down.cc.o" "gcc" "src/CMakeFiles/primelabel_labeling.dir/labeling/prime_top_down.cc.o.d"
+  "/root/repo/src/labeling/scheme.cc" "src/CMakeFiles/primelabel_labeling.dir/labeling/scheme.cc.o" "gcc" "src/CMakeFiles/primelabel_labeling.dir/labeling/scheme.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/primelabel_bigint.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/primelabel_primes.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/primelabel_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

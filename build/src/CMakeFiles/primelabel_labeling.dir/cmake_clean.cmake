@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/primelabel_labeling.dir/labeling/dewey.cc.o"
+  "CMakeFiles/primelabel_labeling.dir/labeling/dewey.cc.o.d"
+  "CMakeFiles/primelabel_labeling.dir/labeling/float_interval.cc.o"
+  "CMakeFiles/primelabel_labeling.dir/labeling/float_interval.cc.o.d"
+  "CMakeFiles/primelabel_labeling.dir/labeling/gapped_interval.cc.o"
+  "CMakeFiles/primelabel_labeling.dir/labeling/gapped_interval.cc.o.d"
+  "CMakeFiles/primelabel_labeling.dir/labeling/interval.cc.o"
+  "CMakeFiles/primelabel_labeling.dir/labeling/interval.cc.o.d"
+  "CMakeFiles/primelabel_labeling.dir/labeling/prefix.cc.o"
+  "CMakeFiles/primelabel_labeling.dir/labeling/prefix.cc.o.d"
+  "CMakeFiles/primelabel_labeling.dir/labeling/prime_bottom_up.cc.o"
+  "CMakeFiles/primelabel_labeling.dir/labeling/prime_bottom_up.cc.o.d"
+  "CMakeFiles/primelabel_labeling.dir/labeling/prime_optimized.cc.o"
+  "CMakeFiles/primelabel_labeling.dir/labeling/prime_optimized.cc.o.d"
+  "CMakeFiles/primelabel_labeling.dir/labeling/prime_top_down.cc.o"
+  "CMakeFiles/primelabel_labeling.dir/labeling/prime_top_down.cc.o.d"
+  "CMakeFiles/primelabel_labeling.dir/labeling/scheme.cc.o"
+  "CMakeFiles/primelabel_labeling.dir/labeling/scheme.cc.o.d"
+  "libprimelabel_labeling.a"
+  "libprimelabel_labeling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/primelabel_labeling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

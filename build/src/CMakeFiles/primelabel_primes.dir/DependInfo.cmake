@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/primes/estimates.cc" "src/CMakeFiles/primelabel_primes.dir/primes/estimates.cc.o" "gcc" "src/CMakeFiles/primelabel_primes.dir/primes/estimates.cc.o.d"
+  "/root/repo/src/primes/miller_rabin.cc" "src/CMakeFiles/primelabel_primes.dir/primes/miller_rabin.cc.o" "gcc" "src/CMakeFiles/primelabel_primes.dir/primes/miller_rabin.cc.o.d"
+  "/root/repo/src/primes/prime_source.cc" "src/CMakeFiles/primelabel_primes.dir/primes/prime_source.cc.o" "gcc" "src/CMakeFiles/primelabel_primes.dir/primes/prime_source.cc.o.d"
+  "/root/repo/src/primes/sieve.cc" "src/CMakeFiles/primelabel_primes.dir/primes/sieve.cc.o" "gcc" "src/CMakeFiles/primelabel_primes.dir/primes/sieve.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/primelabel_bigint.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

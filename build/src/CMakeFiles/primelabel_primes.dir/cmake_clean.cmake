@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/primelabel_primes.dir/primes/estimates.cc.o"
+  "CMakeFiles/primelabel_primes.dir/primes/estimates.cc.o.d"
+  "CMakeFiles/primelabel_primes.dir/primes/miller_rabin.cc.o"
+  "CMakeFiles/primelabel_primes.dir/primes/miller_rabin.cc.o.d"
+  "CMakeFiles/primelabel_primes.dir/primes/prime_source.cc.o"
+  "CMakeFiles/primelabel_primes.dir/primes/prime_source.cc.o.d"
+  "CMakeFiles/primelabel_primes.dir/primes/sieve.cc.o"
+  "CMakeFiles/primelabel_primes.dir/primes/sieve.cc.o.d"
+  "libprimelabel_primes.a"
+  "libprimelabel_primes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/primelabel_primes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/primelabel_sizemodel.dir/sizemodel/size_model.cc.o"
+  "CMakeFiles/primelabel_sizemodel.dir/sizemodel/size_model.cc.o.d"
+  "libprimelabel_sizemodel.a"
+  "libprimelabel_sizemodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/primelabel_sizemodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

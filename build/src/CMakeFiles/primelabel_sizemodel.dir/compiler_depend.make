@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for primelabel_sizemodel.
+# This may be replaced when dependencies are built.

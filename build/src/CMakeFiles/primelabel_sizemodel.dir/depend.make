@@ -1,0 +1,2 @@
+# Empty dependencies file for primelabel_sizemodel.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/store/btree.cc" "src/CMakeFiles/primelabel_store.dir/store/btree.cc.o" "gcc" "src/CMakeFiles/primelabel_store.dir/store/btree.cc.o.d"
+  "/root/repo/src/store/catalog.cc" "src/CMakeFiles/primelabel_store.dir/store/catalog.cc.o" "gcc" "src/CMakeFiles/primelabel_store.dir/store/catalog.cc.o.d"
+  "/root/repo/src/store/label_table.cc" "src/CMakeFiles/primelabel_store.dir/store/label_table.cc.o" "gcc" "src/CMakeFiles/primelabel_store.dir/store/label_table.cc.o.d"
+  "/root/repo/src/store/plan.cc" "src/CMakeFiles/primelabel_store.dir/store/plan.cc.o" "gcc" "src/CMakeFiles/primelabel_store.dir/store/plan.cc.o.d"
+  "/root/repo/src/store/range_index.cc" "src/CMakeFiles/primelabel_store.dir/store/range_index.cc.o" "gcc" "src/CMakeFiles/primelabel_store.dir/store/range_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/primelabel_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/primelabel_labeling.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/primelabel_primes.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/primelabel_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/primelabel_bigint.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

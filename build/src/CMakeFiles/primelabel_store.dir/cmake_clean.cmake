@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/primelabel_store.dir/store/btree.cc.o"
+  "CMakeFiles/primelabel_store.dir/store/btree.cc.o.d"
+  "CMakeFiles/primelabel_store.dir/store/catalog.cc.o"
+  "CMakeFiles/primelabel_store.dir/store/catalog.cc.o.d"
+  "CMakeFiles/primelabel_store.dir/store/label_table.cc.o"
+  "CMakeFiles/primelabel_store.dir/store/label_table.cc.o.d"
+  "CMakeFiles/primelabel_store.dir/store/plan.cc.o"
+  "CMakeFiles/primelabel_store.dir/store/plan.cc.o.d"
+  "CMakeFiles/primelabel_store.dir/store/range_index.cc.o"
+  "CMakeFiles/primelabel_store.dir/store/range_index.cc.o.d"
+  "libprimelabel_store.a"
+  "libprimelabel_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/primelabel_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

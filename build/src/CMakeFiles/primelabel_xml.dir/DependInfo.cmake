@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xml/dataguide.cc" "src/CMakeFiles/primelabel_xml.dir/xml/dataguide.cc.o" "gcc" "src/CMakeFiles/primelabel_xml.dir/xml/dataguide.cc.o.d"
+  "/root/repo/src/xml/datasets.cc" "src/CMakeFiles/primelabel_xml.dir/xml/datasets.cc.o" "gcc" "src/CMakeFiles/primelabel_xml.dir/xml/datasets.cc.o.d"
+  "/root/repo/src/xml/parser.cc" "src/CMakeFiles/primelabel_xml.dir/xml/parser.cc.o" "gcc" "src/CMakeFiles/primelabel_xml.dir/xml/parser.cc.o.d"
+  "/root/repo/src/xml/sax.cc" "src/CMakeFiles/primelabel_xml.dir/xml/sax.cc.o" "gcc" "src/CMakeFiles/primelabel_xml.dir/xml/sax.cc.o.d"
+  "/root/repo/src/xml/serializer.cc" "src/CMakeFiles/primelabel_xml.dir/xml/serializer.cc.o" "gcc" "src/CMakeFiles/primelabel_xml.dir/xml/serializer.cc.o.d"
+  "/root/repo/src/xml/shakespeare.cc" "src/CMakeFiles/primelabel_xml.dir/xml/shakespeare.cc.o" "gcc" "src/CMakeFiles/primelabel_xml.dir/xml/shakespeare.cc.o.d"
+  "/root/repo/src/xml/stats.cc" "src/CMakeFiles/primelabel_xml.dir/xml/stats.cc.o" "gcc" "src/CMakeFiles/primelabel_xml.dir/xml/stats.cc.o.d"
+  "/root/repo/src/xml/tree.cc" "src/CMakeFiles/primelabel_xml.dir/xml/tree.cc.o" "gcc" "src/CMakeFiles/primelabel_xml.dir/xml/tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/primelabel_bigint.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

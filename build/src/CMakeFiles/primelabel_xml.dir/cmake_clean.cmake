@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/primelabel_xml.dir/xml/dataguide.cc.o"
+  "CMakeFiles/primelabel_xml.dir/xml/dataguide.cc.o.d"
+  "CMakeFiles/primelabel_xml.dir/xml/datasets.cc.o"
+  "CMakeFiles/primelabel_xml.dir/xml/datasets.cc.o.d"
+  "CMakeFiles/primelabel_xml.dir/xml/parser.cc.o"
+  "CMakeFiles/primelabel_xml.dir/xml/parser.cc.o.d"
+  "CMakeFiles/primelabel_xml.dir/xml/sax.cc.o"
+  "CMakeFiles/primelabel_xml.dir/xml/sax.cc.o.d"
+  "CMakeFiles/primelabel_xml.dir/xml/serializer.cc.o"
+  "CMakeFiles/primelabel_xml.dir/xml/serializer.cc.o.d"
+  "CMakeFiles/primelabel_xml.dir/xml/shakespeare.cc.o"
+  "CMakeFiles/primelabel_xml.dir/xml/shakespeare.cc.o.d"
+  "CMakeFiles/primelabel_xml.dir/xml/stats.cc.o"
+  "CMakeFiles/primelabel_xml.dir/xml/stats.cc.o.d"
+  "CMakeFiles/primelabel_xml.dir/xml/tree.cc.o"
+  "CMakeFiles/primelabel_xml.dir/xml/tree.cc.o.d"
+  "libprimelabel_xml.a"
+  "libprimelabel_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/primelabel_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

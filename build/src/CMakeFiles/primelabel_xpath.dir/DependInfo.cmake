@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xpath/evaluator.cc" "src/CMakeFiles/primelabel_xpath.dir/xpath/evaluator.cc.o" "gcc" "src/CMakeFiles/primelabel_xpath.dir/xpath/evaluator.cc.o.d"
+  "/root/repo/src/xpath/lexer.cc" "src/CMakeFiles/primelabel_xpath.dir/xpath/lexer.cc.o" "gcc" "src/CMakeFiles/primelabel_xpath.dir/xpath/lexer.cc.o.d"
+  "/root/repo/src/xpath/oracle.cc" "src/CMakeFiles/primelabel_xpath.dir/xpath/oracle.cc.o" "gcc" "src/CMakeFiles/primelabel_xpath.dir/xpath/oracle.cc.o.d"
+  "/root/repo/src/xpath/parser.cc" "src/CMakeFiles/primelabel_xpath.dir/xpath/parser.cc.o" "gcc" "src/CMakeFiles/primelabel_xpath.dir/xpath/parser.cc.o.d"
+  "/root/repo/src/xpath/sql_translate.cc" "src/CMakeFiles/primelabel_xpath.dir/xpath/sql_translate.cc.o" "gcc" "src/CMakeFiles/primelabel_xpath.dir/xpath/sql_translate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/primelabel_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/primelabel_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/primelabel_labeling.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/primelabel_primes.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/primelabel_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/primelabel_bigint.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/primelabel_xpath.dir/xpath/evaluator.cc.o"
+  "CMakeFiles/primelabel_xpath.dir/xpath/evaluator.cc.o.d"
+  "CMakeFiles/primelabel_xpath.dir/xpath/lexer.cc.o"
+  "CMakeFiles/primelabel_xpath.dir/xpath/lexer.cc.o.d"
+  "CMakeFiles/primelabel_xpath.dir/xpath/oracle.cc.o"
+  "CMakeFiles/primelabel_xpath.dir/xpath/oracle.cc.o.d"
+  "CMakeFiles/primelabel_xpath.dir/xpath/parser.cc.o"
+  "CMakeFiles/primelabel_xpath.dir/xpath/parser.cc.o.d"
+  "CMakeFiles/primelabel_xpath.dir/xpath/sql_translate.cc.o"
+  "CMakeFiles/primelabel_xpath.dir/xpath/sql_translate.cc.o.d"
+  "libprimelabel_xpath.a"
+  "libprimelabel_xpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/primelabel_xpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

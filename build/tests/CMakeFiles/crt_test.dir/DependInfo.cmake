@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/crt_test.cc" "tests/CMakeFiles/crt_test.dir/crt_test.cc.o" "gcc" "tests/CMakeFiles/crt_test.dir/crt_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/primelabel_sizemodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/primelabel_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/primelabel_xpath.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/primelabel_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/primelabel_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/primelabel_labeling.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/primelabel_primes.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/primelabel_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/primelabel_bigint.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

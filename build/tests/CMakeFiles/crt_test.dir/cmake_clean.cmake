@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crt_test.dir/crt_test.cc.o"
+  "CMakeFiles/crt_test.dir/crt_test.cc.o.d"
+  "crt_test"
+  "crt_test.pdb"
+  "crt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

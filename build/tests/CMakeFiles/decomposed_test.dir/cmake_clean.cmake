@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decomposed_test.dir/decomposed_test.cc.o"
+  "CMakeFiles/decomposed_test.dir/decomposed_test.cc.o.d"
+  "decomposed_test"
+  "decomposed_test.pdb"
+  "decomposed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decomposed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

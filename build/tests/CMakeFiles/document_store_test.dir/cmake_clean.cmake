@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/document_store_test.dir/document_store_test.cc.o"
+  "CMakeFiles/document_store_test.dir/document_store_test.cc.o.d"
+  "document_store_test"
+  "document_store_test.pdb"
+  "document_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/document_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

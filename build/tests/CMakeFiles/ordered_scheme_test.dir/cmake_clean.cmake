@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ordered_scheme_test.dir/ordered_scheme_test.cc.o"
+  "CMakeFiles/ordered_scheme_test.dir/ordered_scheme_test.cc.o.d"
+  "ordered_scheme_test"
+  "ordered_scheme_test.pdb"
+  "ordered_scheme_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ordered_scheme_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

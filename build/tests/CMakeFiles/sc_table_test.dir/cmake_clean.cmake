@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_table_test.dir/sc_table_test.cc.o"
+  "CMakeFiles/sc_table_test.dir/sc_table_test.cc.o.d"
+  "sc_table_test"
+  "sc_table_test.pdb"
+  "sc_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sizemodel_test.dir/sizemodel_test.cc.o"
+  "CMakeFiles/sizemodel_test.dir/sizemodel_test.cc.o.d"
+  "sizemodel_test"
+  "sizemodel_test.pdb"
+  "sizemodel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sizemodel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

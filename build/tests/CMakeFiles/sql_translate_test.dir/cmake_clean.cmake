@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_translate_test.dir/sql_translate_test.cc.o"
+  "CMakeFiles/sql_translate_test.dir/sql_translate_test.cc.o.d"
+  "sql_translate_test"
+  "sql_translate_test.pdb"
+  "sql_translate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_translate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
