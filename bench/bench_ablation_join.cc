@@ -42,18 +42,18 @@ int main() {
     const char* name;
     QueryContext ctx;
   };
+  SchemeOracle interval_oracle(
+      &interval, [&interval](NodeId id) { return interval.low(id); });
+  SchemeOracle prefix_oracle(&prefix2, [&rank](NodeId id) {
+    return rank[static_cast<std::size_t>(id)];
+  });
   std::vector<Entry> entries(3);
   entries[0].name = "interval";
-  entries[0].ctx.order_of = [&interval](NodeId id) { return interval.low(id); };
-  entries[0].ctx.scheme = &interval;
+  entries[0].ctx.oracle = &interval_oracle;
   entries[1].name = "prime";
-  entries[1].ctx.order_of = [&prime](NodeId id) { return prime.OrderOf(id); };
-  entries[1].ctx.scheme = &prime;
+  entries[1].ctx.oracle = &prime;
   entries[2].name = "prefix-2";
-  entries[2].ctx.order_of = [&rank](NodeId id) {
-    return rank[static_cast<std::size_t>(id)];
-  };
-  entries[2].ctx.scheme = &prefix2;
+  entries[2].ctx.oracle = &prefix_oracle;
   for (Entry& entry : entries) entry.ctx.table = &table;
 
   bench::Report report(

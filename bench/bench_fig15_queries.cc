@@ -27,6 +27,7 @@
 
 namespace {
 
+using primelabel::InsertOrder;
 using primelabel::LabelingScheme;
 using primelabel::NodeId;
 using primelabel::PrefixScheme;
@@ -62,9 +63,10 @@ class UdfPrefixScheme : public LabelingScheme {
   std::string LabelString(NodeId id) const override {
     return inner_->LabelString(id);
   }
-  int HandleInsert(NodeId new_node) override {
-    return inner_->HandleInsert(new_node);
+  int HandleInsert(NodeId new_node, InsertOrder order) override {
+    return inner_->HandleInsert(new_node, order);
   }
+  using LabelingScheme::HandleInsert;
 
  private:
   // The "check prefix" routine behind an optimization barrier.
@@ -110,10 +112,11 @@ int main() {
 
   IntervalScheme interval;
   interval.LabelTree(corpus);
+  SchemeOracle interval_oracle(
+      &interval, [&interval](NodeId id) { return interval.low(id); });
   QueryContext interval_ctx;
   interval_ctx.table = &table;
-  interval_ctx.scheme = &interval;
-  interval_ctx.order_of = [&interval](NodeId id) { return interval.low(id); };
+  interval_ctx.oracle = &interval_oracle;
 
   OrderedPrimeScheme prime(/*sc_group_size=*/5);
   {
@@ -124,8 +127,7 @@ int main() {
   }
   QueryContext prime_ctx;
   prime_ctx.table = &table;
-  prime_ctx.scheme = &prime;
-  prime_ctx.order_of = [&prime](NodeId id) { return prime.OrderOf(id); };
+  prime_ctx.oracle = &prime;
 
   PrefixScheme prefix2_inner(PrefixVariant::kBinary);
   UdfPrefixScheme prefix2(&prefix2_inner);
@@ -139,12 +141,12 @@ int main() {
       prefix_rank[static_cast<std::size_t>(id)] = counter++;
     });
   }
+  SchemeOracle prefix_oracle(&prefix2, [&prefix_rank](NodeId id) {
+    return prefix_rank[static_cast<std::size_t>(id)];
+  });
   QueryContext prefix_ctx;
   prefix_ctx.table = &table;
-  prefix_ctx.scheme = &prefix2;
-  prefix_ctx.order_of = [&prefix_rank](NodeId id) {
-    return prefix_rank[static_cast<std::size_t>(id)];
-  };
+  prefix_ctx.oracle = &prefix_oracle;
 
   bench::Report table2("Table 2: test queries (paper counts are for the "
                        "37-play x5 corpus; ours for " +

@@ -18,6 +18,7 @@
 #include <string>
 
 #include "core/ordered_prime_scheme.h"
+#include "corpus/labeled_document.h"
 #include "labeling/dewey.h"
 #include "labeling/interval.h"
 #include "labeling/prefix.h"
@@ -127,8 +128,7 @@ int RunQuery(const std::string& file, const std::string& query) {
   LabelTable table(tree);
   QueryContext ctx;
   ctx.table = &table;
-  ctx.scheme = &scheme;
-  ctx.order_of = [&scheme](NodeId id) { return scheme.OrderOf(id); };
+  ctx.oracle = &scheme;
   XPathEvaluator evaluator(&ctx);
   Result<std::vector<NodeId>> result = evaluator.Evaluate(query);
   if (!result.ok()) {
@@ -150,16 +150,14 @@ int RunSave(const std::string& file, const std::string& catalog) {
     std::cerr << parsed.status().ToString() << "\n";
     return 1;
   }
-  XmlTree tree = std::move(parsed.value());
-  OrderedPrimeScheme scheme;
-  scheme.LabelTree(tree);
-  Status status = SaveCatalog(catalog, tree, scheme);
+  LabeledDocument doc = LabeledDocument::FromTree(std::move(parsed.value()));
+  Status status = SaveCatalog(catalog, doc);
   if (!status.ok()) {
     std::cerr << status.ToString() << "\n";
     return 1;
   }
-  std::cout << "saved " << tree.node_count() << " labeled nodes and "
-            << scheme.sc_table().records().size() << " SC records to "
+  std::cout << "saved " << doc.tree().node_count() << " labeled nodes and "
+            << doc.scheme().sc_table().records().size() << " SC records to "
             << catalog << "\n";
   return 0;
 }

@@ -30,8 +30,7 @@ int main(int argc, char** argv) {
 
   QueryContext ctx;
   ctx.table = &table;
-  ctx.scheme = &scheme;
-  ctx.order_of = [&scheme](NodeId id) { return scheme.OrderOf(id); };
+  ctx.oracle = &scheme;
   XPathEvaluator evaluator(&ctx);
 
   std::vector<std::string> queries;

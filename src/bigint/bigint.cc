@@ -533,6 +533,87 @@ bool BigInt::IsDivisibleBy(const BigInt& divisor) const {
   return (*this % divisor).IsZero();
 }
 
+bool BigInt::IsDivisibleBy(const BigInt& divisor, DivScratch* scratch) const {
+  PL_CHECK(!divisor.IsZero());
+  if (divisor.limbs_.size() <= 2) {
+    return ModU64(divisor.ToUint64()) == 0;
+  }
+  if (limbs_.size() <= 4 && divisor.limbs_.size() <= 4) {
+    return MagnitudeToU128(limbs_) % MagnitudeToU128(divisor.limbs_) == 0;
+  }
+  if (CompareMagnitude(limbs_, divisor.limbs_) < 0) return false;
+
+  // Remainder-only Knuth Algorithm D, run inside the caller's scratch
+  // buffers: `u` holds the normalized dividend and is updated in place,
+  // `v` the normalized divisor; quotient digits are computed (the
+  // multiply-subtract needs them) but never stored. After the loop the
+  // remainder is u[0 .. n), and divisibility is just "is it all zero" —
+  // the denormalizing right-shift of the full DivMod is skipped.
+  std::vector<Limb>& u = scratch->u;
+  std::vector<Limb>& v = scratch->v;
+  const int shift = kLimbBits - BitWidth32(divisor.limbs_.back());
+  auto shift_into = [shift](const std::vector<Limb>& src,
+                            std::vector<Limb>* dst) {
+    dst->assign(src.size() + 1, 0);
+    for (std::size_t i = 0; i < src.size(); ++i) {
+      (*dst)[i] |= static_cast<Limb>(static_cast<Wide>(src[i]) << shift);
+      if (shift != 0) (*dst)[i + 1] = static_cast<Limb>(src[i] >> (kLimbBits - shift));
+    }
+  };
+  shift_into(limbs_, &u);
+  shift_into(divisor.limbs_, &v);
+  Normalize(&v);
+  const std::size_t n = v.size();
+  const std::size_t m = u.size() - n;
+
+  const Wide kBase = Wide{1} << kLimbBits;
+  for (std::size_t j = m; j-- > 0;) {
+    Wide numerator = (static_cast<Wide>(u[j + n]) << kLimbBits) | u[j + n - 1];
+    Wide qhat = numerator / v[n - 1];
+    Wide rhat = numerator % v[n - 1];
+    while (qhat >= kBase ||
+           qhat * v[n - 2] > ((rhat << kLimbBits) | u[j + n - 2])) {
+      --qhat;
+      rhat += v[n - 1];
+      if (rhat >= kBase) break;
+    }
+    std::int64_t borrow = 0;
+    Wide carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      Wide product = qhat * v[i] + carry;
+      carry = product >> kLimbBits;
+      std::int64_t diff = static_cast<std::int64_t>(u[i + j]) -
+                          static_cast<std::int64_t>(product & 0xFFFFFFFFu) -
+                          borrow;
+      if (diff < 0) {
+        diff += static_cast<std::int64_t>(kBase);
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      u[i + j] = static_cast<Limb>(diff);
+    }
+    std::int64_t top = static_cast<std::int64_t>(u[j + n]) -
+                       static_cast<std::int64_t>(carry) - borrow;
+    if (top < 0) {
+      top += static_cast<std::int64_t>(kBase);
+      Wide add_carry = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        Wide sum = static_cast<Wide>(u[i + j]) + v[i] + add_carry;
+        u[i + j] = static_cast<Limb>(sum);
+        add_carry = sum >> kLimbBits;
+      }
+      top += static_cast<std::int64_t>(add_carry);
+      top &= static_cast<std::int64_t>(kBase - 1);
+    }
+    u[j + n] = static_cast<Limb>(top);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (u[i] != 0) return false;
+  }
+  return true;
+}
+
 BigInt BigInt::EuclideanMod(const BigInt& modulus) const {
   PL_CHECK(modulus.Sign() > 0);
   BigInt r = *this % modulus;

@@ -135,7 +135,7 @@ std::string DecomposedPrimeScheme::LabelString(NodeId id) const {
          ")";
 }
 
-int DecomposedPrimeScheme::HandleInsert(NodeId new_node) {
+int DecomposedPrimeScheme::HandleInsert(NodeId new_node, InsertOrder) {
   PL_CHECK(tree() != nullptr);
   EnsureCapacity();
   // Relabel the inserted node and (for WrapNode) its subtree: depths below

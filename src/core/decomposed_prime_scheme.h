@@ -39,7 +39,8 @@ class DecomposedPrimeScheme : public LabelingScheme {
   bool IsParent(NodeId parent, NodeId child) const override;
   int LabelBits(NodeId id) const override;
   std::string LabelString(NodeId id) const override;
-  int HandleInsert(NodeId new_node) override;
+  int HandleInsert(NodeId new_node, InsertOrder order) override;
+  using LabelingScheme::HandleInsert;
 
   /// Number of components the document was cut into.
   std::size_t component_count() const { return components_.size(); }

@@ -3,6 +3,7 @@
 #include <unordered_map>
 
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace primelabel {
 
@@ -10,6 +11,12 @@ OrderedPrimeScheme::OrderedPrimeScheme(int sc_group_size)
     : sc_table_(sc_group_size) {}
 
 std::string_view OrderedPrimeScheme::name() const { return "prime-ordered"; }
+
+void OrderedPrimeScheme::set_num_workers(int n) {
+  PL_CHECK(n >= 1);
+  num_workers_ = n;
+  structure_.set_num_workers(n);
+}
 
 void OrderedPrimeScheme::LabelTree(const XmlTree& tree) {
   set_tree(tree);
@@ -20,7 +27,20 @@ void OrderedPrimeScheme::LabelTree(const XmlTree& tree) {
   tree.Preorder([&](NodeId id, int depth) {
     if (depth > 0) selves.push_back(structure_.self_label(id));
   });
-  sc_table_.Build(selves);
+  if (num_workers_ > 1) {
+    ThreadPool pool(num_workers_);
+    sc_table_.Build(selves, &pool);
+  } else {
+    sc_table_.Build(selves);
+  }
+}
+
+void OrderedPrimeScheme::Adopt(const XmlTree& tree, std::vector<BigInt> labels,
+                               std::vector<std::uint64_t> selves,
+                               ScTable sc_table) {
+  set_tree(tree);
+  structure_.Adopt(tree, std::move(labels), std::move(selves));
+  sc_table_ = std::move(sc_table);
 }
 
 bool OrderedPrimeScheme::IsAncestor(NodeId ancestor, NodeId descendant) const {
@@ -45,12 +65,32 @@ std::uint64_t OrderedPrimeScheme::OrderOf(NodeId id) const {
   return sc_table_.OrderOf(structure_.self_label(id));
 }
 
-bool OrderedPrimeScheme::Precedes(NodeId x, NodeId y) const {
-  return OrderOf(x) < OrderOf(y) && !IsAncestor(x, y);
+void OrderedPrimeScheme::IsAncestorBatch(
+    std::span<const std::pair<NodeId, NodeId>> pairs,
+    std::vector<std::uint8_t>* results) const {
+  BigInt::DivScratch scratch;
+  results->clear();
+  results->reserve(pairs.size());
+  for (const auto& [ancestor, descendant] : pairs) {
+    bool related =
+        ancestor != descendant &&
+        structure_.label(descendant)
+            .IsDivisibleBy(structure_.label(ancestor), &scratch);
+    results->push_back(related ? 1 : 0);
+  }
 }
 
-bool OrderedPrimeScheme::Follows(NodeId x, NodeId y) const {
-  return OrderOf(x) > OrderOf(y) && !IsAncestor(y, x);
+void OrderedPrimeScheme::SelectDescendants(NodeId ancestor,
+                                           std::span<const NodeId> candidates,
+                                           std::vector<NodeId>* out) const {
+  BigInt::DivScratch scratch;
+  const BigInt& ancestor_label = structure_.label(ancestor);
+  for (NodeId candidate : candidates) {
+    if (candidate != ancestor &&
+        structure_.label(candidate).IsDivisibleBy(ancestor_label, &scratch)) {
+      out->push_back(candidate);
+    }
+  }
 }
 
 ScUpdateStats OrderedPrimeScheme::RegisterOrder(NodeId new_node) {
@@ -90,10 +130,6 @@ ScUpdateStats OrderedPrimeScheme::RegisterOrder(NodeId new_node) {
   return stats;
 }
 
-int OrderedPrimeScheme::HandleInsert(NodeId new_node) {
-  return HandleOrderedInsert(new_node);
-}
-
 int OrderedPrimeScheme::HandleDelete(NodeId node) {
   PL_CHECK(tree() != nullptr);
   // The subtree is detached but its arena slots (and self-labels) remain
@@ -104,9 +140,9 @@ int OrderedPrimeScheme::HandleDelete(NodeId node) {
   return 0;
 }
 
-int OrderedPrimeScheme::HandleOrderedInsert(NodeId new_node) {
+int OrderedPrimeScheme::HandleInsert(NodeId new_node, InsertOrder) {
   PL_CHECK(tree() != nullptr);
-  int count = structure_.HandleInsert(new_node);
+  int count = structure_.HandleInsert(new_node, InsertOrder::kUnordered);
   ScUpdateStats stats = RegisterOrder(new_node);
   // Paper accounting (Section 5.4): each SC record update counts as one
   // relabeled node, plus any nodes whose self-label had to be replaced.

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "core/sc_table.h"
+#include "core/structure_oracle.h"
 #include "labeling/prime_top_down.h"
 #include "labeling/scheme.h"
 
@@ -21,21 +22,29 @@ namespace primelabel {
 /// — the cheap update path Figure 18 demonstrates against interval and
 /// prefix relabeling.
 ///
-/// The relabel counts returned by HandleOrderedInsert follow the paper's
+/// The relabel counts returned by HandleInsert follow the paper's
 /// accounting: one per (re)labeled node plus one per SC record update.
-class OrderedPrimeScheme : public LabelingScheme {
+///
+/// Doubles as a live StructureOracle: the query pipeline (store/plan,
+/// xpath/evaluator) consumes it through that interface only, so the same
+/// plans also run against a LoadedCatalog restored from disk.
+class OrderedPrimeScheme : public LabelingScheme, public StructureOracle {
  public:
   /// `sc_group_size`: nodes per SC value (the paper's Fig 18 uses 5).
   explicit OrderedPrimeScheme(int sc_group_size = 5);
 
   std::string_view name() const override;
   void LabelTree(const XmlTree& tree) override;
+  /// Overrides both bases (identical signatures): divisibility ancestry.
   bool IsAncestor(NodeId ancestor, NodeId descendant) const override;
   bool IsParent(NodeId parent, NodeId child) const override;
   int LabelBits(NodeId id) const override;
   std::string LabelString(NodeId id) const override;
-  int HandleInsert(NodeId new_node) override;
-  int HandleOrderedInsert(NodeId new_node) override;
+  /// The prime scheme's labels never encode order (the SC table does), so
+  /// both ordering contracts run the same path: label the new node, then
+  /// splice its order number into the SC table.
+  int HandleInsert(NodeId new_node, InsertOrder order) override;
+  using LabelingScheme::HandleInsert;
 
   /// Releases the SC congruences of a detached subtree. Remaining order
   /// numbers keep their (gapped) values, so order comparisons stay valid
@@ -44,21 +53,37 @@ class OrderedPrimeScheme : public LabelingScheme {
   int HandleDelete(NodeId node) override;
 
   // --- Order queries (Section 4.3) ---------------------------------------
+  // Precedes/Follows come from StructureOracle's defaults on top of these.
 
   /// Global order number of a node (root = 0), recovered from the SC table.
-  std::uint64_t OrderOf(NodeId id) const;
+  std::uint64_t OrderOf(NodeId id) const override;
 
-  /// True iff `x` precedes `y` in document order and is not its ancestor —
-  /// the XPath `preceding` axis relation.
-  bool Precedes(NodeId x, NodeId y) const;
+  // --- Batch queries ------------------------------------------------------
+  // One BigInt::DivScratch is shared across the whole batch, so the
+  // remainder-only divisions allocate at most once per call instead of
+  // once per pair — the amortization the batched join kernels rely on.
 
-  /// True iff `x` follows `y` in document order and is not its descendant —
-  /// the XPath `following` axis relation.
-  bool Follows(NodeId x, NodeId y) const;
+  void IsAncestorBatch(std::span<const std::pair<NodeId, NodeId>> pairs,
+                       std::vector<std::uint8_t>* results) const override;
+  void SelectDescendants(NodeId ancestor, std::span<const NodeId> candidates,
+                         std::vector<NodeId>* out) const override;
+
+  /// Adopts persisted labels and SC records (the restart path): installs
+  /// them without relabeling anything, after which queries and updates
+  /// behave exactly as if the scheme had labeled the tree itself.
+  void Adopt(const XmlTree& tree, std::vector<BigInt> labels,
+             std::vector<std::uint64_t> selves, ScTable sc_table);
 
   /// Access to the underlying structural scheme and the SC table.
   const PrimeTopDownScheme& structure() const { return structure_; }
   const ScTable& sc_table() const { return sc_table_; }
+
+  /// Number of worker threads LabelTree may use (>= 1; default 1 =
+  /// sequential): applies to both the structural prime labeling (subtree
+  /// fan-out) and the SC table's CRT solves. Labels and SC records are
+  /// bit-identical for every worker count.
+  void set_num_workers(int n);
+  int num_workers() const { return num_workers_; }
 
  private:
   /// Registers the new node's order number: document-order position of the
@@ -67,6 +92,7 @@ class OrderedPrimeScheme : public LabelingScheme {
 
   PrimeTopDownScheme structure_;
   ScTable sc_table_;
+  int num_workers_ = 1;
 };
 
 }  // namespace primelabel

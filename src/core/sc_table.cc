@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace primelabel {
 
@@ -57,20 +58,32 @@ std::size_t ScTable::Add(std::uint64_t self, std::uint64_t order) {
 }
 
 void ScTable::Build(const std::vector<std::uint64_t>& selves) {
+  Build(selves, nullptr);
+}
+
+void ScTable::Build(const std::vector<std::uint64_t>& selves,
+                    ThreadPool* pool) {
   records_.clear();
   index_.clear();
   max_order_ = 0;
-  std::size_t previous_record = static_cast<std::size_t>(-1);
-  for (std::size_t k = 0; k < selves.size(); ++k) {
-    std::size_t touched = Add(selves[k], k + 1);
-    if (previous_record != touched && previous_record != static_cast<std::size_t>(-1)) {
-      Recompute(previous_record);
-    }
-    previous_record = touched;
+  for (std::size_t k = 0; k < selves.size(); ++k) Add(selves[k], k + 1);
+  if (pool == nullptr || pool->size() <= 1 || records_.size() < 2) {
+    for (std::size_t r = 0; r < records_.size(); ++r) Recompute(r);
+    return;
   }
-  if (previous_record != static_cast<std::size_t>(-1)) {
-    Recompute(previous_record);
+  // Strided static partition: Recompute touches only records_[r].sc and
+  // .max_modulus, so workers write disjoint records and read nothing that
+  // another worker writes.
+  const int workers = pool->size();
+  for (int w = 0; w < workers; ++w) {
+    pool->Submit([this, w, workers] {
+      for (std::size_t r = static_cast<std::size_t>(w); r < records_.size();
+           r += static_cast<std::size_t>(workers)) {
+        Recompute(r);
+      }
+    });
   }
+  pool->Wait();
 }
 
 std::uint64_t ScTable::OrderOf(std::uint64_t self) const {

@@ -51,9 +51,7 @@ DocumentStore::QueryResult DocumentStore::Query(
     const Document& doc = documents_[d];
     QueryContext ctx;
     ctx.table = doc.table.get();
-    ctx.scheme = doc.scheme.get();
-    OrderedPrimeScheme* scheme = doc.scheme.get();
-    ctx.order_of = [scheme](NodeId id) { return scheme->OrderOf(id); };
+    ctx.oracle = doc.scheme.get();
     XPathEvaluator evaluator(&ctx);
     for (NodeId node : evaluator.Evaluate(query)) {
       result.hits.push_back({static_cast<DocId>(d), node});

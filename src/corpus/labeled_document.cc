@@ -1,5 +1,7 @@
 #include "corpus/labeled_document.h"
 
+#include <unordered_map>
+
 #include "store/catalog.h"
 #include "xml/parser.h"
 #include "xpath/evaluator.h"
@@ -35,15 +37,13 @@ Result<std::vector<NodeId>> LabeledDocument::Query(
     std::string_view xpath) const {
   QueryContext ctx;
   ctx.table = &table();
-  ctx.scheme = scheme_.get();
-  OrderedPrimeScheme* scheme = scheme_.get();
-  ctx.order_of = [scheme](NodeId id) { return scheme->OrderOf(id); };
+  ctx.oracle = scheme_.get();
   XPathEvaluator evaluator(&ctx);
   return evaluator.Evaluate(xpath);
 }
 
 NodeId LabeledDocument::Finish(NodeId fresh) {
-  last_update_cost_ = scheme_->HandleOrderedInsert(fresh);
+  last_update_cost_ = scheme_->HandleInsert(fresh, InsertOrder::kDocumentOrder);
   table_dirty_ = true;
   return fresh;
 }
@@ -71,7 +71,74 @@ void LabeledDocument::Delete(NodeId node) {
 }
 
 Status LabeledDocument::Save(const std::string& path) const {
-  return SaveCatalog(path, *tree_, *scheme_);
+  // One row per attached node in document order; parents by row index.
+  std::unordered_map<NodeId, std::int64_t> row_of;
+  std::int64_t next_row = 0;
+  tree_->Preorder([&](NodeId id, int) { row_of[id] = next_row++; });
+  std::vector<CatalogRow> rows;
+  rows.reserve(static_cast<std::size_t>(next_row));
+  tree_->Preorder([&](NodeId id, int) {
+    CatalogRow row;
+    row.tag = tree_->name(id);
+    row.is_element = tree_->IsElement(id);
+    NodeId parent = tree_->parent(id);
+    row.parent = parent == kInvalidNodeId ? -1 : row_of[parent];
+    row.attributes = tree_->node(id).attributes;
+    row.label = scheme_->structure().label(id);
+    row.self = scheme_->structure().self_label(id);
+    rows.push_back(std::move(row));
+  });
+  return WriteCatalog(path, rows, scheme_->sc_table());
+}
+
+Result<LabeledDocument> LabeledDocument::Load(const std::string& path) {
+  Result<LoadedCatalog> loaded = LoadCatalog(path);
+  if (!loaded.ok()) return loaded.status();
+  const std::vector<CatalogRow>& rows = loaded->rows();
+  if (rows.empty() || rows[0].parent != -1 || !rows[0].is_element) {
+    return Status::ParseError("catalog '" + path + "' has no root row");
+  }
+
+  // Rows are in preorder, so every parent precedes its children and one
+  // forward pass rebuilds the tree. Nodes are created in row order, which
+  // makes NodeId == row index — the invariant Save relies on, and what
+  // keeps the adopted label vectors aligned.
+  auto doc = LabeledDocument();
+  doc.tree_ = std::make_unique<XmlTree>();
+  NodeId root = doc.tree_->CreateRoot(rows[0].tag);
+  for (const auto& [key, value] : rows[0].attributes) {
+    doc.tree_->AddAttribute(root, key, value);
+  }
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    const CatalogRow& row = rows[i];
+    if (row.parent < 0 || static_cast<std::size_t>(row.parent) >= i) {
+      return Status::ParseError("catalog '" + path +
+                                "' row parent out of preorder");
+    }
+    NodeId parent = static_cast<NodeId>(row.parent);
+    NodeId fresh = row.is_element ? doc.tree_->AppendChild(parent, row.tag)
+                                  : doc.tree_->AppendText(parent, row.tag);
+    PL_CHECK(fresh == static_cast<NodeId>(i));
+    for (const auto& [key, value] : row.attributes) {
+      doc.tree_->AddAttribute(fresh, key, value);
+    }
+  }
+
+  std::vector<BigInt> labels(rows.size());
+  std::vector<std::uint64_t> selves(rows.size(), 0);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    labels[i] = rows[i].label;
+    selves[i] = rows[i].self;
+  }
+  doc.scheme_ = std::make_unique<OrderedPrimeScheme>(
+      loaded->sc_table().group_size());
+  doc.scheme_->Adopt(*doc.tree_, std::move(labels), std::move(selves),
+                     loaded->sc_table());
+  return doc;
+}
+
+Status SaveCatalog(const std::string& path, const LabeledDocument& doc) {
+  return doc.Save(path);
 }
 
 }  // namespace primelabel

@@ -25,6 +25,11 @@ class LabeledDocument {
                                          int sc_group_size = 5);
   /// Adopts an existing tree and labels it.
   static LabeledDocument FromTree(XmlTree tree, int sc_group_size = 5);
+  /// Restores a document persisted with Save: rebuilds the tree (tags,
+  /// text, attributes) from the catalog rows and adopts the stored labels
+  /// and SC records without relabeling anything — queries and further
+  /// updates continue exactly where the saved document left off.
+  static Result<LabeledDocument> Load(const std::string& path);
 
   LabeledDocument(LabeledDocument&&) = default;
   LabeledDocument& operator=(LabeledDocument&&) = default;
@@ -51,10 +56,12 @@ class LabeledDocument {
   /// Relabel cost (nodes + SC record updates) of the last update call.
   int last_update_cost() const { return last_update_cost_; }
 
-  /// Persists labels + SC table with SaveCatalog.
+  /// Persists the document (structure, attributes, labels, SC table) as a
+  /// catalog file readable by Load and LoadCatalog.
   Status Save(const std::string& path) const;
 
  private:
+  LabeledDocument() = default;
   LabeledDocument(XmlTree tree, int sc_group_size);
 
   NodeId Finish(NodeId fresh);
@@ -67,6 +74,10 @@ class LabeledDocument {
   mutable bool table_dirty_ = true;
   int last_update_cost_ = 0;
 };
+
+/// Persists `doc` to `path` — the document-level catalog entry point
+/// (equivalent to doc.Save(path)).
+Status SaveCatalog(const std::string& path, const LabeledDocument& doc);
 
 }  // namespace primelabel
 

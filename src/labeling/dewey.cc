@@ -88,24 +88,19 @@ int DeweyScheme::RelabelSubtree(NodeId node) {
   return count;
 }
 
-int DeweyScheme::HandleInsert(NodeId new_node) {
+int DeweyScheme::HandleInsert(NodeId new_node, InsertOrder order) {
   PL_CHECK(tree() != nullptr);
   EnsureCapacity();
   NodeId parent = tree()->parent(new_node);
   PL_CHECK(parent != kInvalidNodeId);
-  std::uint32_t& next = next_ordinal_[static_cast<size_t>(parent)];
-  std::uint32_t floor =
-      static_cast<std::uint32_t>(tree()->ChildCount(parent));
-  next = std::max(next, floor);
-  AssignPath(new_node, next++);
-  return 1 + RelabelSubtree(new_node);
-}
-
-int DeweyScheme::HandleOrderedInsert(NodeId new_node) {
-  PL_CHECK(tree() != nullptr);
-  EnsureCapacity();
-  NodeId parent = tree()->parent(new_node);
-  PL_CHECK(parent != kInvalidNodeId);
+  if (order == InsertOrder::kUnordered) {
+    std::uint32_t& next = next_ordinal_[static_cast<size_t>(parent)];
+    std::uint32_t floor =
+        static_cast<std::uint32_t>(tree()->ChildCount(parent));
+    next = std::max(next, floor);
+    AssignPath(new_node, next++);
+    return 1 + RelabelSubtree(new_node);
+  }
   std::uint32_t ordinal =
       static_cast<std::uint32_t>(tree()->SiblingPosition(new_node));
   int count = 0;

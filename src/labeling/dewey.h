@@ -29,8 +29,8 @@ class DeweyScheme : public LabelingScheme {
   bool IsParent(NodeId parent, NodeId child) const override;
   int LabelBits(NodeId id) const override;
   std::string LabelString(NodeId id) const override;
-  int HandleInsert(NodeId new_node) override;
-  int HandleOrderedInsert(NodeId new_node) override;
+  int HandleInsert(NodeId new_node, InsertOrder order) override;
+  using LabelingScheme::HandleInsert;
 
   /// The ordinal path (root has an empty path).
   const std::vector<std::uint32_t>& path(NodeId id) const {

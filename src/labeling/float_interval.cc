@@ -107,7 +107,7 @@ bool FloatIntervalScheme::TryFit(NodeId node) {
   return true;
 }
 
-int FloatIntervalScheme::HandleInsert(NodeId new_node) {
+int FloatIntervalScheme::HandleInsert(NodeId new_node, InsertOrder) {
   PL_CHECK(tree() != nullptr);
   EnsureCapacity();
   // Depths below a wrapper shift by one.

@@ -107,7 +107,7 @@ bool GappedIntervalScheme::TryFit(NodeId node) {
   return true;
 }
 
-int GappedIntervalScheme::HandleInsert(NodeId new_node) {
+int GappedIntervalScheme::HandleInsert(NodeId new_node, InsertOrder) {
   PL_CHECK(tree() != nullptr);
   EnsureCapacity();
   int base_depth = tree()->Depth(new_node);

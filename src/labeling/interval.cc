@@ -82,7 +82,7 @@ std::string IntervalScheme::LabelString(NodeId id) const {
   return os.str();
 }
 
-int IntervalScheme::HandleInsert(NodeId new_node) {
+int IntervalScheme::HandleInsert(NodeId new_node, InsertOrder) {
   PL_CHECK(tree() != nullptr);
   (void)new_node;
   std::vector<std::uint64_t> new_low, new_high;

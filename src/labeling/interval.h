@@ -34,7 +34,8 @@ class IntervalScheme : public LabelingScheme {
   bool IsParent(NodeId parent, NodeId child) const override;
   int LabelBits(NodeId id) const override;
   std::string LabelString(NodeId id) const override;
-  int HandleInsert(NodeId new_node) override;
+  int HandleInsert(NodeId new_node, InsertOrder order) override;
+  using LabelingScheme::HandleInsert;
 
   /// First component (start or order) — exposed for the store/query layer.
   std::uint64_t low(NodeId id) const { return low_[static_cast<size_t>(id)]; }

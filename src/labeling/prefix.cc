@@ -122,29 +122,24 @@ int PrefixScheme::RelabelSubtree(NodeId node) {
   return count;
 }
 
-int PrefixScheme::HandleInsert(NodeId new_node) {
+int PrefixScheme::HandleInsert(NodeId new_node, InsertOrder order) {
   PL_CHECK(tree() != nullptr);
   EnsureCapacity();
   NodeId parent = tree()->parent(new_node);
   PL_CHECK(parent != kInvalidNodeId);
-  // Fresh sibling code: never collides with existing siblings. Seed the
-  // counter from the live child count the first time this parent is seen
-  // after a bulk LabelTree.
-  int& next = next_code_index_[static_cast<size_t>(parent)];
-  int index = next < tree()->ChildCount(parent) - 1
-                  ? tree()->ChildCount(parent) - 1
-                  : next;
-  next = index + 1;
-  AssignLabel(new_node, index);
-  // WrapNode case: the wrapped subtree inherited a longer prefix now.
-  return 1 + RelabelSubtree(new_node);
-}
-
-int PrefixScheme::HandleOrderedInsert(NodeId new_node) {
-  PL_CHECK(tree() != nullptr);
-  EnsureCapacity();
-  NodeId parent = tree()->parent(new_node);
-  PL_CHECK(parent != kInvalidNodeId);
+  if (order == InsertOrder::kUnordered) {
+    // Fresh sibling code: never collides with existing siblings. Seed the
+    // counter from the live child count the first time this parent is seen
+    // after a bulk LabelTree.
+    int& next = next_code_index_[static_cast<size_t>(parent)];
+    int index = next < tree()->ChildCount(parent) - 1
+                    ? tree()->ChildCount(parent) - 1
+                    : next;
+    next = index + 1;
+    AssignLabel(new_node, index);
+    // WrapNode case: the wrapped subtree inherited a longer prefix now.
+    return 1 + RelabelSubtree(new_node);
+  }
   // Labels must reflect sibling order: the new node takes the code of its
   // position and every following sibling shifts by one code, relabeling
   // its whole subtree.

@@ -40,8 +40,8 @@ class PrefixScheme : public LabelingScheme {
   bool IsParent(NodeId parent, NodeId child) const override;
   int LabelBits(NodeId id) const override;
   std::string LabelString(NodeId id) const override;
-  int HandleInsert(NodeId new_node) override;
-  int HandleOrderedInsert(NodeId new_node) override;
+  int HandleInsert(NodeId new_node, InsertOrder order) override;
+  using LabelingScheme::HandleInsert;
 
   /// The full bit-string label (exposed for the store/query layer, which
   /// implements the paper's "check prefix" user-defined function on it).

@@ -67,7 +67,7 @@ std::string PrimeBottomUpScheme::LabelString(NodeId id) const {
   return label(id).ToDecimalString();
 }
 
-int PrimeBottomUpScheme::HandleInsert(NodeId new_node) {
+int PrimeBottomUpScheme::HandleInsert(NodeId new_node, InsertOrder) {
   PL_CHECK(tree() != nullptr);
   EnsureCapacity();
   // A wrapper pushes its whole subtree one level down, so refresh depths

@@ -34,7 +34,8 @@ class PrimeBottomUpScheme : public LabelingScheme {
   bool IsParent(NodeId parent, NodeId child) const override;
   int LabelBits(NodeId id) const override;
   std::string LabelString(NodeId id) const override;
-  int HandleInsert(NodeId new_node) override;
+  int HandleInsert(NodeId new_node, InsertOrder order) override;
+  using LabelingScheme::HandleInsert;
 
   const BigInt& label(NodeId id) const {
     return labels_[static_cast<size_t>(id)];

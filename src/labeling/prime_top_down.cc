@@ -1,10 +1,19 @@
 #include "labeling/prime_top_down.h"
 
+#include <algorithm>
+
+#include "labeling/subtree_partition.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace primelabel {
 
 std::string_view PrimeTopDownScheme::name() const { return "prime-topdown"; }
+
+void PrimeTopDownScheme::set_num_workers(int n) {
+  PL_CHECK(n >= 1);
+  num_workers_ = n;
+}
 
 void PrimeTopDownScheme::EnsureCapacity() {
   std::size_t need = tree()->arena_size();
@@ -19,6 +28,7 @@ void PrimeTopDownScheme::LabelTree(const XmlTree& tree) {
   primes_.Reset();
   labels_.assign(tree.arena_size(), BigInt());
   selves_.assign(tree.arena_size(), 0);
+  if (num_workers_ > 1 && LabelTreeParallel(tree)) return;
   tree.Preorder([&](NodeId id, int depth) {
     if (depth == 0) {
       selves_[static_cast<size_t>(id)] = 1;
@@ -31,6 +41,74 @@ void PrimeTopDownScheme::LabelTree(const XmlTree& tree) {
           BigInt::FromUint64(p);
     }
   });
+}
+
+bool PrimeTopDownScheme::LabelTreeParallel(const XmlTree& tree) {
+  SubtreePartition plan = PlanSubtreePartition(tree, num_workers_);
+  if (plan.cut_depth < 0) return false;
+
+  // Spine: label every node at depth <= cut sequentially. The node at
+  // preorder position k is the k-th non-root node (the root sits at 0), so
+  // it takes the prime with stream index k - 1 — exactly what the
+  // sequential primes_.Next() loop would have dealt it.
+  for (std::size_t k = 0; k < plan.preorder.size(); ++k) {
+    if (plan.depth[k] > plan.cut_depth) continue;
+    auto i = static_cast<std::size_t>(plan.preorder[k]);
+    if (plan.depth[k] == 0) {
+      selves_[i] = 1;
+      labels_[i] = BigInt(1);
+    } else {
+      std::uint64_t p = primes_.PrimeAt(k - 1);
+      selves_[i] = p;
+      labels_[i] =
+          labels_[static_cast<std::size_t>(tree.parent(plan.preorder[k]))] *
+          BigInt::FromUint64(p);
+    }
+  }
+
+  // Fan out: each subtree below the cut owns the contiguous prime slice
+  // its interior occupies in preorder (positions pos+1 .. pos+size-1 hold
+  // stream indexes pos .. pos+size-2). Workers touch disjoint label rows
+  // and never the shared source, so no synchronization beyond the pool's.
+  ThreadPool pool(num_workers_);
+  for (std::size_t pos : plan.roots) {
+    if (plan.size[pos] <= 1) continue;
+    PrimeBlock block = primes_.BlockAt(pos, plan.size[pos] - 1);
+    NodeId root = plan.preorder[pos];
+    int root_depth = plan.cut_depth;
+    pool.Submit([this, &tree, root, root_depth, block]() mutable {
+      tree.PreorderFrom(root, root_depth, [&](NodeId id, int) {
+        if (id == root) return;
+        std::uint64_t p = block.Next();
+        auto i = static_cast<std::size_t>(id);
+        selves_[i] = p;
+        labels_[i] = labels_[static_cast<std::size_t>(tree.parent(id))] *
+                     BigInt::FromUint64(p);
+      });
+    });
+  }
+  pool.Wait();
+  // Leave the cursor where the sequential run would: one prime per
+  // non-root node, so the next insertion draws the next fresh prime.
+  primes_.SkipFirst(plan.preorder.size() - 1);
+  return true;
+}
+
+void PrimeTopDownScheme::Adopt(const XmlTree& tree, std::vector<BigInt> labels,
+                               std::vector<std::uint64_t> selves) {
+  PL_CHECK(labels.size() >= tree.arena_size());
+  PL_CHECK(selves.size() == labels.size());
+  set_tree(tree);
+  labels_ = std::move(labels);
+  selves_ = std::move(selves);
+  primes_.Reset();
+  std::size_t used = 0;
+  tree.Preorder([&](NodeId id, int depth) {
+    if (depth == 0) return;
+    std::uint64_t self = selves_[static_cast<std::size_t>(id)];
+    used = std::max(used, primes_.IndexOf(self) + 1);
+  });
+  primes_.SkipFirst(used);
 }
 
 bool PrimeTopDownScheme::IsAncestor(NodeId ancestor, NodeId descendant) const {
@@ -78,7 +156,7 @@ std::uint64_t PrimeTopDownScheme::ReplaceSelf(NodeId id, int* relabeled) {
   return p;
 }
 
-int PrimeTopDownScheme::HandleInsert(NodeId new_node) {
+int PrimeTopDownScheme::HandleInsert(NodeId new_node, InsertOrder) {
   PL_CHECK(tree() != nullptr);
   EnsureCapacity();
   NodeId parent = tree()->parent(new_node);

@@ -34,7 +34,17 @@ class PrimeTopDownScheme : public LabelingScheme {
   bool IsParent(NodeId parent, NodeId child) const override;
   int LabelBits(NodeId id) const override;
   std::string LabelString(NodeId id) const override;
-  int HandleInsert(NodeId new_node) override;
+  int HandleInsert(NodeId new_node, InsertOrder order) override;
+  using LabelingScheme::HandleInsert;
+
+  /// Adopts persisted labels instead of computing fresh ones: installs the
+  /// given per-node labels and self-labels (indexed by NodeId) and
+  /// fast-forwards the prime cursor past every adopted prime, so the next
+  /// insertion draws a prime no existing label contains. This is the
+  /// restart path the paper's dynamic property promises: reloading a
+  /// document never relabels it.
+  void Adopt(const XmlTree& tree, std::vector<BigInt> labels,
+             std::vector<std::uint64_t> selves);
 
   /// Replaces the self-label of an already-labeled node with a fresh prime
   /// and rederives the labels of its subtree. Used by OrderedPrimeScheme
@@ -43,6 +53,14 @@ class PrimeTopDownScheme : public LabelingScheme {
   /// new prime and adds the number of nodes whose labels changed to
   /// `*relabeled`.
   std::uint64_t ReplaceSelf(NodeId id, int* relabeled);
+
+  /// Number of worker threads LabelTree may use (>= 1; default 1 =
+  /// sequential). Labels are bit-identical for every worker count: the
+  /// k-th non-root preorder node always receives the k-th prime, because
+  /// workers draw from disjoint preorder-ranked PrimeBlocks rather than a
+  /// shared cursor. Queries and insertions are unaffected by the knob.
+  void set_num_workers(int n);
+  int num_workers() const { return num_workers_; }
 
   /// The full label (product of root-path self-labels).
   const BigInt& label(NodeId id) const {
@@ -58,10 +76,14 @@ class PrimeTopDownScheme : public LabelingScheme {
   /// `node`'s own label changed; returns nodes touched.
   int RelabelSubtree(NodeId node);
   void EnsureCapacity();
+  /// Labels via a depth-cut subtree partition on num_workers_ threads.
+  /// Returns false (having labeled nothing) when no viable cut exists.
+  bool LabelTreeParallel(const XmlTree& tree);
 
   PrimeSource primes_;
   std::vector<BigInt> labels_;
   std::vector<std::uint64_t> selves_;
+  int num_workers_ = 1;
 };
 
 }  // namespace primelabel

@@ -9,6 +9,18 @@
 
 namespace primelabel {
 
+/// Ordering contract of an insertion, the parameter of HandleInsert.
+enum class InsertOrder {
+  /// The scheme may give the new node any fresh label; labels need not
+  /// reflect sibling order afterwards (the updates of Figures 16 and 17).
+  kUnordered,
+  /// Labels must continue to encode document order (the order-sensitive
+  /// updates of Figure 18). Static and prefix schemes relabel every node
+  /// whose order-encoding label shifted; the prime scheme updates its SC
+  /// table instead.
+  kDocumentOrder,
+};
+
 /// Common interface of all node-labeling schemes.
 ///
 /// A scheme assigns every attached node of a tree a label such that
@@ -46,20 +58,22 @@ class LabelingScheme {
   virtual std::string LabelString(NodeId id) const = 0;
 
   /// Updates labels after `new_node` was inserted into the tree (leaf
-  /// insertion or WrapNode). Returns the number of nodes that received a
-  /// new or changed label, including `new_node` itself — the y-axis of
-  /// Figures 16 and 17. Unordered semantics: the scheme may give the new
-  /// node any fresh label; labels need not reflect sibling order.
-  virtual int HandleInsert(NodeId new_node) = 0;
+  /// insertion or WrapNode), under the given ordering contract. Returns the
+  /// number of nodes that received a new or changed label, including
+  /// `new_node` itself — the y-axis of Figures 16-18. Schemes whose labels
+  /// always encode order (interval) treat both contracts alike.
+  virtual int HandleInsert(NodeId new_node, InsertOrder order) = 0;
 
-  /// Like HandleInsert, but labels must continue to encode document order
-  /// (the order-sensitive updates of Figure 18). For static and prefix
-  /// schemes this forces relabeling of every node whose order-encoding
-  /// label shifted; the prime scheme instead updates its SC table.
-  /// Default: same as HandleInsert (correct for schemes whose labels always
-  /// encode order, e.g. interval).
-  virtual int HandleOrderedInsert(NodeId new_node) {
-    return HandleInsert(new_node);
+  /// Deprecated shim for the pre-InsertOrder API: unordered insertion.
+  /// Prefer HandleInsert(new_node, InsertOrder::kUnordered).
+  int HandleInsert(NodeId new_node) {
+    return HandleInsert(new_node, InsertOrder::kUnordered);
+  }
+
+  /// Deprecated shim for the pre-InsertOrder API: order-sensitive
+  /// insertion. Prefer HandleInsert(new_node, InsertOrder::kDocumentOrder).
+  int HandleOrderedInsert(NodeId new_node) {
+    return HandleInsert(new_node, InsertOrder::kDocumentOrder);
   }
 
   /// Called after `node` (and its subtree) was detached. "The deletion of

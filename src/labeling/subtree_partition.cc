@@ -1,0 +1,51 @@
+#include "labeling/subtree_partition.h"
+
+#include <algorithm>
+
+namespace primelabel {
+
+SubtreePartition PlanSubtreePartition(const XmlTree& tree, int num_workers,
+                                      std::size_t min_nodes) {
+  SubtreePartition plan;
+  if (num_workers <= 1 || tree.node_count() < min_nodes) return plan;
+
+  plan.preorder.reserve(tree.node_count());
+  plan.depth.reserve(tree.node_count());
+  int max_depth = 0;
+  tree.Preorder([&](NodeId id, int depth) {
+    plan.preorder.push_back(id);
+    plan.depth.push_back(depth);
+    max_depth = std::max(max_depth, depth);
+  });
+
+  // Subtree sizes by reverse preorder: every node's size is final before
+  // its parent (which precedes it in preorder) accumulates it.
+  const std::size_t n = plan.preorder.size();
+  plan.size.assign(n, 1);
+  std::vector<std::size_t> position(tree.arena_size(), 0);
+  for (std::size_t k = 0; k < n; ++k) {
+    position[static_cast<std::size_t>(plan.preorder[k])] = k;
+  }
+  for (std::size_t k = n; k-- > 1;) {
+    NodeId parent = tree.parent(plan.preorder[k]);
+    plan.size[position[static_cast<std::size_t>(parent)]] += plan.size[k];
+  }
+
+  std::vector<std::size_t> width(static_cast<std::size_t>(max_depth) + 1, 0);
+  for (int d : plan.depth) ++width[static_cast<std::size_t>(d)];
+  const std::size_t want = static_cast<std::size_t>(num_workers) * 4;
+  for (int d = 1; d <= max_depth; ++d) {
+    if (width[static_cast<std::size_t>(d)] >= want) {
+      plan.cut_depth = d;
+      break;
+    }
+  }
+  if (plan.cut_depth < 0) return plan;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    if (plan.depth[k] == plan.cut_depth) plan.roots.push_back(k);
+  }
+  return plan;
+}
+
+}  // namespace primelabel

@@ -1,0 +1,52 @@
+#ifndef PRIMELABEL_LABELING_SUBTREE_PARTITION_H_
+#define PRIMELABEL_LABELING_SUBTREE_PARTITION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "xml/tree.h"
+
+namespace primelabel {
+
+/// Work plan for parallel labeling: the tree cut into a sequential *spine*
+/// (all nodes at depth <= cut_depth) and independent *subtree tasks* (one
+/// per node at exactly cut_depth), each labelable by a worker in isolation.
+///
+/// Subtree parallelism is sound for prime labeling because a node's label
+/// is the product of its root-path self-labels (Section 3): once the spine
+/// is labeled and each subtree owns a disjoint slice of the prime stream,
+/// no worker reads or writes state of another subtree. Determinism — the
+/// guarantee that parallel labels are bit-identical to sequential labels —
+/// comes from the preorder vector below: primes are dealt by preorder rank,
+/// never by worker arrival order.
+struct SubtreePartition {
+  /// All attached nodes in document (preorder) order; position == preorder
+  /// rank, the quantity prime hand-out is keyed on.
+  std::vector<NodeId> preorder;
+  /// Depth of preorder[k].
+  std::vector<int> depth;
+  /// Subtree size (node count, self included) of preorder[k]. A subtree's
+  /// nodes occupy positions [k, k + size[k]) — preorder contiguity is what
+  /// makes per-subtree prime slices contiguous too.
+  std::vector<std::size_t> size;
+  /// Chosen cut depth, or -1 when the tree is too small or too narrow to
+  /// parallelize — the caller falls back to the sequential path.
+  int cut_depth = -1;
+  /// Positions (into `preorder`) of the subtree roots at cut_depth.
+  std::vector<std::size_t> roots;
+};
+
+/// Plans a depth-cut partition of `tree` for `num_workers` workers.
+///
+/// Heuristic: the cut is the shallowest depth with at least 4 * num_workers
+/// nodes, so the fan-out comfortably over-subscribes the pool (subtree
+/// sizes are skewed in real documents; over-subscription keeps workers
+/// busy when one subtree dominates). Trees with fewer than `min_nodes`
+/// nodes, or no depth that wide, plan as sequential (cut_depth == -1):
+/// thread startup would cost more than it saves.
+SubtreePartition PlanSubtreePartition(const XmlTree& tree, int num_workers,
+                                      std::size_t min_nodes = 512);
+
+}  // namespace primelabel
+
+#endif  // PRIMELABEL_LABELING_SUBTREE_PARTITION_H_

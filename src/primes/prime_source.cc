@@ -4,6 +4,7 @@
 
 #include "primes/miller_rabin.h"
 #include "primes/sieve.h"
+#include "util/status.h"
 
 namespace primelabel {
 
@@ -37,6 +38,22 @@ std::uint64_t PrimeSource::PrimeAt(std::size_t index) {
 void PrimeSource::SkipFirst(std::size_t count) {
   EnsureCount(count);
   cursor_ = std::max(cursor_, count);
+}
+
+PrimeBlock PrimeSource::BlockAt(std::size_t first, std::size_t count) {
+  EnsureCount(first + count);
+  return PrimeBlock(std::vector<std::uint64_t>(
+      primes_.begin() + static_cast<std::ptrdiff_t>(first),
+      primes_.begin() + static_cast<std::ptrdiff_t>(first + count)));
+}
+
+std::size_t PrimeSource::IndexOf(std::uint64_t prime) {
+  while (primes_.back() < prime) {
+    primes_.push_back(NextPrimeAfter(primes_.back()));
+  }
+  auto it = std::lower_bound(primes_.begin(), primes_.end(), prime);
+  PL_CHECK(it != primes_.end() && *it == prime);
+  return static_cast<std::size_t>(it - primes_.begin());
 }
 
 }  // namespace primelabel

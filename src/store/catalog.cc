@@ -2,13 +2,12 @@
 
 #include <cstdio>
 #include <cstring>
-#include <unordered_map>
 
 namespace primelabel {
 
 namespace {
 
-constexpr char kMagic[8] = {'P', 'L', 'C', 'A', 'T', 'L', 'G', '1'};
+constexpr char kMagic[8] = {'P', 'L', 'C', 'A', 'T', 'L', 'G', '2'};
 
 /// Minimal little-endian binary writer over stdio (no iostream locale
 /// overhead; databases write pages, not text).
@@ -105,24 +104,51 @@ class Reader {
 
 }  // namespace
 
-bool LoadedCatalog::IsAncestor(std::size_t x, std::size_t y) const {
+bool LoadedCatalog::IsAncestor(NodeId x, NodeId y) const {
   if (x == y) return false;
-  return rows_[y].label.IsDivisibleBy(rows_[x].label) &&
-         rows_[y].label != rows_[x].label;
+  return row(y).label.IsDivisibleBy(row(x).label) &&
+         row(y).label != row(x).label;
 }
 
-bool LoadedCatalog::IsParent(std::size_t x, std::size_t y) const {
+bool LoadedCatalog::IsParent(NodeId x, NodeId y) const {
   if (x == y) return false;
-  return rows_[x].label * BigInt::FromUint64(rows_[y].self) == rows_[y].label;
+  return row(x).label * BigInt::FromUint64(row(y).self) == row(y).label;
 }
 
-std::uint64_t LoadedCatalog::OrderOf(std::size_t row) const {
-  if (row == 0) return 0;  // rows are in document order; row 0 is the root
-  return sc_table_.OrderOf(rows_[row].self);
+std::uint64_t LoadedCatalog::OrderOf(NodeId id) const {
+  if (id == 0) return 0;  // rows are in document order; row 0 is the root
+  return sc_table_.OrderOf(row(id).self);
 }
 
-Status SaveCatalog(const std::string& path, const XmlTree& tree,
-                   const OrderedPrimeScheme& scheme) {
+void LoadedCatalog::IsAncestorBatch(
+    std::span<const std::pair<NodeId, NodeId>> pairs,
+    std::vector<std::uint8_t>* results) const {
+  BigInt::DivScratch scratch;
+  results->clear();
+  results->reserve(pairs.size());
+  for (const auto& [x, y] : pairs) {
+    bool related = x != y && row(y).label != row(x).label &&
+                   row(y).label.IsDivisibleBy(row(x).label, &scratch);
+    results->push_back(related ? 1 : 0);
+  }
+}
+
+void LoadedCatalog::SelectDescendants(NodeId ancestor,
+                                      std::span<const NodeId> candidates,
+                                      std::vector<NodeId>* out) const {
+  BigInt::DivScratch scratch;
+  const BigInt& ancestor_label = row(ancestor).label;
+  for (NodeId candidate : candidates) {
+    if (candidate != ancestor && row(candidate).label != ancestor_label &&
+        row(candidate).label.IsDivisibleBy(ancestor_label, &scratch)) {
+      out->push_back(candidate);
+    }
+  }
+}
+
+Status WriteCatalog(const std::string& path,
+                    const std::vector<CatalogRow>& rows,
+                    const ScTable& sc_table) {
   std::FILE* file = std::fopen(path.c_str(), "wb");
   if (file == nullptr) {
     return Status::InvalidArgument("cannot open '" + path + "' for writing");
@@ -130,25 +156,24 @@ Status SaveCatalog(const std::string& path, const XmlTree& tree,
   Writer writer(file);
   writer.Bytes(kMagic, sizeof(kMagic));
 
-  // Rows in document order; parents referenced by row index.
-  std::unordered_map<NodeId, std::int64_t> row_of;
-  std::int64_t next_row = 0;
-  tree.Preorder([&](NodeId id, int) { row_of[id] = next_row++; });
-  writer.U64(static_cast<std::uint64_t>(next_row));
-  tree.Preorder([&](NodeId id, int) {
-    writer.String(tree.name(id));
-    writer.U8(tree.IsElement(id) ? 1 : 0);
-    NodeId parent = tree.parent(id);
-    writer.I64(parent == kInvalidNodeId ? -1 : row_of[parent]);
-    writer.Big(scheme.structure().label(id));
-    writer.U64(scheme.structure().self_label(id));
-  });
+  writer.U64(rows.size());
+  for (const CatalogRow& row : rows) {
+    writer.String(row.tag);
+    writer.U8(row.is_element ? 1 : 0);
+    writer.I64(row.parent);
+    writer.U32(static_cast<std::uint32_t>(row.attributes.size()));
+    for (const auto& [key, value] : row.attributes) {
+      writer.String(key);
+      writer.String(value);
+    }
+    writer.Big(row.label);
+    writer.U64(row.self);
+  }
 
   // SC table: group size + records.
-  const ScTable& sc = scheme.sc_table();
-  writer.U32(static_cast<std::uint32_t>(sc.group_size()));
-  writer.U64(sc.records().size());
-  for (const ScRecord& record : sc.records()) {
+  writer.U32(static_cast<std::uint32_t>(sc_table.group_size()));
+  writer.U64(sc_table.records().size());
+  for (const ScRecord& record : sc_table.records()) {
     writer.U32(static_cast<std::uint32_t>(record.moduli.size()));
     for (std::size_t i = 0; i < record.moduli.size(); ++i) {
       writer.U64(record.moduli[i]);
@@ -187,6 +212,16 @@ Result<LoadedCatalog> LoadCatalog(const std::string& path) {
     row.tag = reader.String();
     row.is_element = reader.U8() != 0;
     row.parent = reader.I64();
+    std::uint32_t attribute_count = reader.U32();
+    if (attribute_count > (1u << 20)) {
+      std::fclose(file);
+      return Status::ParseError("implausible attribute count");
+    }
+    for (std::uint32_t a = 0; a < attribute_count && reader.ok(); ++a) {
+      std::string key = reader.String();
+      std::string value = reader.String();
+      row.attributes.emplace_back(std::move(key), std::move(value));
+    }
     row.label = reader.Big();
     row.self = reader.U64();
     rows.push_back(std::move(row));

@@ -3,13 +3,13 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bigint/bigint.h"
-#include "core/ordered_prime_scheme.h"
 #include "core/sc_table.h"
+#include "core/structure_oracle.h"
 #include "util/status.h"
-#include "xml/tree.h"
 
 namespace primelabel {
 
@@ -18,12 +18,17 @@ namespace primelabel {
 /// The paper's storage model keeps (tag, label) rows in a relational table
 /// plus the SC table; restarting the system must not require relabeling.
 /// The catalog persists exactly that: one row per attached node (tag,
-/// parent row, prime label bytes, self-label) and the SC records, in a
-/// little-endian binary format with a magic/version header.
+/// parent row, attributes, prime label bytes, self-label) and the SC
+/// records, in a little-endian binary format with a magic/version header.
+///
+/// Format v2 ("PLCATLG2") adds per-row attributes so a LabeledDocument can
+/// be reconstructed losslessly; v1 files are rejected with kParseError.
 struct CatalogRow {
   std::string tag;          ///< element tag or text content
   bool is_element = true;
   std::int64_t parent = -1;  ///< row index of the parent, -1 for the root
+  /// Attribute key/value pairs in document order (elements only).
+  std::vector<std::pair<std::string, std::string>> attributes;
   BigInt label;              ///< full prime label
   std::uint64_t self = 1;    ///< self-label (prime; 1 for the root)
 };
@@ -31,7 +36,12 @@ struct CatalogRow {
 /// A catalog loaded back from disk: rows in document order plus the SC
 /// table, able to answer structure and order queries from the stored
 /// labels alone (no XmlTree needed).
-class LoadedCatalog {
+///
+/// Implements StructureOracle over NodeId handles: rows are written in
+/// preorder, so the NodeId of a node in the reconstructed tree equals its
+/// row index — the same handle vocabulary the live schemes use, which is
+/// what lets one query pipeline (and one test suite) run against both.
+class LoadedCatalog : public StructureOracle {
  public:
   LoadedCatalog(std::vector<CatalogRow> rows, ScTable sc_table)
       : rows_(std::move(rows)), sc_table_(std::move(sc_table)) {}
@@ -39,24 +49,36 @@ class LoadedCatalog {
   const std::vector<CatalogRow>& rows() const { return rows_; }
   const ScTable& sc_table() const { return sc_table_; }
 
-  /// Divisibility ancestor test over stored labels (row indexes).
-  bool IsAncestor(std::size_t x, std::size_t y) const;
+  /// Divisibility ancestor test over stored labels.
+  bool IsAncestor(NodeId x, NodeId y) const override;
   /// Parent test: label(y) == label(x) * self(y).
-  bool IsParent(std::size_t x, std::size_t y) const;
+  bool IsParent(NodeId x, NodeId y) const override;
   /// Global order number recovered from the SC table (root = 0).
-  std::uint64_t OrderOf(std::size_t row) const;
+  std::uint64_t OrderOf(NodeId row) const override;
+
+  /// Batched ancestor tests sharing one division scratch buffer.
+  void IsAncestorBatch(std::span<const std::pair<NodeId, NodeId>> pairs,
+                       std::vector<std::uint8_t>* results) const override;
+  void SelectDescendants(NodeId ancestor, std::span<const NodeId> candidates,
+                         std::vector<NodeId>* out) const override;
 
  private:
+  const CatalogRow& row(NodeId id) const {
+    return rows_[static_cast<std::size_t>(id)];
+  }
+
   std::vector<CatalogRow> rows_;
   ScTable sc_table_;
 };
 
-/// Writes the labeled document to `path`. Rows are emitted in document
-/// order so row indexes equal preorder ranks.
-Status SaveCatalog(const std::string& path, const XmlTree& tree,
-                   const OrderedPrimeScheme& scheme);
+/// Row-level catalog writer: rows must be in document order with parents
+/// referenced by row index. Document-level callers go through
+/// SaveCatalog(path, LabeledDocument) in corpus/, which assembles the rows.
+Status WriteCatalog(const std::string& path,
+                    const std::vector<CatalogRow>& rows,
+                    const ScTable& sc_table);
 
-/// Reads a catalog written by SaveCatalog. Fails with kParseError on a bad
+/// Reads a catalog written by WriteCatalog. Fails with kParseError on a bad
 /// magic/version or truncated file.
 Result<LoadedCatalog> LoadCatalog(const std::string& path);
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <unordered_map>
+#include <utility>
 
 #include "util/status.h"
 
@@ -9,7 +10,8 @@ namespace primelabel {
 
 namespace {
 
-/// Shared shape of the descendant/child joins.
+/// Shared shape of the child/parent joins (no batch entry point for the
+/// parent predicate): candidate-major nested loop with early break.
 template <typename Predicate>
 std::vector<NodeId> JoinWith(const QueryContext& ctx,
                              const std::vector<NodeId>& context,
@@ -29,6 +31,49 @@ std::vector<NodeId> JoinWith(const QueryContext& ctx,
   return out;
 }
 
+/// Anchor-major batched join over IsAncestorBatch. Equivalent to the
+/// candidate-major early-break nested loop in both output and label-test
+/// count: a candidate whose first matching anchor has index i is tested
+/// exactly i+1 times either way (anchors 0..i here, because it leaves the
+/// unmatched set once anchor i claims it), and an unmatched candidate is
+/// tested |context| times by both. Output preserves candidate order.
+/// `pair_of` orients each (anchor, candidate) pair for the oracle.
+template <typename PairOf>
+std::vector<NodeId> JoinBatched(const QueryContext& ctx,
+                                const std::vector<NodeId>& context,
+                                const std::vector<NodeId>& candidates,
+                                PairOf&& pair_of) {
+  std::vector<NodeId> out;
+  ctx.stats.rows_scanned += candidates.size();
+  std::vector<std::uint8_t> matched(candidates.size(), 0);
+  std::size_t unmatched = candidates.size();
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  std::vector<std::size_t> positions;
+  std::vector<std::uint8_t> results;
+  for (NodeId anchor : context) {
+    if (unmatched == 0) break;
+    pairs.clear();
+    positions.clear();
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (matched[i]) continue;
+      pairs.push_back(pair_of(anchor, candidates[i]));
+      positions.push_back(i);
+    }
+    ctx.stats.label_tests += pairs.size();
+    ctx.oracle->IsAncestorBatch(pairs, &results);
+    for (std::size_t j = 0; j < positions.size(); ++j) {
+      if (results[j]) {
+        matched[positions[j]] = 1;
+        --unmatched;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (matched[i]) out.push_back(candidates[i]);
+  }
+  return out;
+}
+
 /// Order numbers of the (small) context set, computed once per operator —
 /// the SQL translation would likewise materialize the context side of the
 /// join before scanning candidates.
@@ -37,7 +82,7 @@ std::vector<std::uint64_t> AnchorOrders(const QueryContext& ctx,
   std::vector<std::uint64_t> orders;
   orders.reserve(context.size());
   for (NodeId anchor : context) {
-    orders.push_back(ctx.order_of(anchor));
+    orders.push_back(ctx.oracle->OrderOf(anchor));
     ++ctx.stats.order_lookups;
   }
   return orders;
@@ -48,8 +93,17 @@ std::vector<std::uint64_t> AnchorOrders(const QueryContext& ctx,
 std::vector<NodeId> JoinDescendants(const QueryContext& ctx,
                                     const std::vector<NodeId>& context,
                                     const std::vector<NodeId>& candidates) {
-  return JoinWith(ctx, context, candidates, [&](NodeId a, NodeId c) {
-    return ctx.scheme->IsAncestor(a, c);
+  if (context.size() == 1) {
+    // Single anchor — the common case after a rooted first step: one
+    // SelectDescendants sweep, no pair assembly.
+    ctx.stats.rows_scanned += candidates.size();
+    ctx.stats.label_tests += candidates.size();
+    std::vector<NodeId> out;
+    ctx.oracle->SelectDescendants(context[0], candidates, &out);
+    return out;
+  }
+  return JoinBatched(ctx, context, candidates, [](NodeId a, NodeId c) {
+    return std::pair<NodeId, NodeId>(a, c);
   });
 }
 
@@ -66,7 +120,7 @@ std::vector<NodeId> JoinDescendantsMerge(const QueryContext& ctx,
   std::vector<NodeId> stack;
   std::size_t next_anchor = 0;
   for (NodeId candidate : candidates) {
-    std::uint64_t candidate_order = ctx.order_of(candidate);
+    std::uint64_t candidate_order = ctx.oracle->OrderOf(candidate);
     ++ctx.stats.order_lookups;
     // Open every anchor that starts before this candidate.
     while (next_anchor < context.size() &&
@@ -74,7 +128,7 @@ std::vector<NodeId> JoinDescendantsMerge(const QueryContext& ctx,
       NodeId anchor = context[next_anchor++];
       while (!stack.empty()) {
         ++ctx.stats.label_tests;
-        if (ctx.scheme->IsAncestor(stack.back(), anchor)) break;
+        if (ctx.oracle->IsAncestor(stack.back(), anchor)) break;
         stack.pop_back();
       }
       stack.push_back(anchor);
@@ -82,7 +136,7 @@ std::vector<NodeId> JoinDescendantsMerge(const QueryContext& ctx,
     // Close anchors whose subtree ended before this candidate.
     while (!stack.empty()) {
       ++ctx.stats.label_tests;
-      if (ctx.scheme->IsAncestor(stack.back(), candidate)) break;
+      if (ctx.oracle->IsAncestor(stack.back(), candidate)) break;
       stack.pop_back();
     }
     if (!stack.empty()) out.push_back(candidate);
@@ -94,15 +148,16 @@ std::vector<NodeId> JoinChildren(const QueryContext& ctx,
                                  const std::vector<NodeId>& context,
                                  const std::vector<NodeId>& candidates) {
   return JoinWith(ctx, context, candidates, [&](NodeId a, NodeId c) {
-    return ctx.scheme->IsParent(a, c);
+    return ctx.oracle->IsParent(a, c);
   });
 }
 
 std::vector<NodeId> JoinAncestors(const QueryContext& ctx,
                                   const std::vector<NodeId>& context,
                                   const std::vector<NodeId>& candidates) {
-  return JoinWith(ctx, context, candidates, [&](NodeId a, NodeId c) {
-    return ctx.scheme->IsAncestor(c, a);  // candidate above anchor
+  // Candidate above anchor: orient the batch pairs (candidate, anchor).
+  return JoinBatched(ctx, context, candidates, [](NodeId a, NodeId c) {
+    return std::pair<NodeId, NodeId>(c, a);
   });
 }
 
@@ -110,7 +165,7 @@ std::vector<NodeId> JoinParents(const QueryContext& ctx,
                                 const std::vector<NodeId>& context,
                                 const std::vector<NodeId>& candidates) {
   return JoinWith(ctx, context, candidates, [&](NodeId a, NodeId c) {
-    return ctx.scheme->IsParent(c, a);
+    return ctx.oracle->IsParent(c, a);
   });
 }
 
@@ -121,13 +176,13 @@ std::vector<NodeId> SelectFollowing(const QueryContext& ctx,
   ctx.stats.rows_scanned += candidates.size();
   std::vector<std::uint64_t> anchor_orders = AnchorOrders(ctx, context);
   for (NodeId candidate : candidates) {
-    std::uint64_t candidate_order = ctx.order_of(candidate);
+    std::uint64_t candidate_order = ctx.oracle->OrderOf(candidate);
     ++ctx.stats.order_lookups;
     for (std::size_t i = 0; i < context.size(); ++i) {
       if (candidate_order <= anchor_orders[i]) continue;
       // Following excludes descendants of the anchor.
       ++ctx.stats.label_tests;
-      if (ctx.scheme->IsAncestor(context[i], candidate)) continue;
+      if (ctx.oracle->IsAncestor(context[i], candidate)) continue;
       out.push_back(candidate);
       break;
     }
@@ -142,13 +197,13 @@ std::vector<NodeId> SelectPreceding(const QueryContext& ctx,
   ctx.stats.rows_scanned += candidates.size();
   std::vector<std::uint64_t> anchor_orders = AnchorOrders(ctx, context);
   for (NodeId candidate : candidates) {
-    std::uint64_t candidate_order = ctx.order_of(candidate);
+    std::uint64_t candidate_order = ctx.oracle->OrderOf(candidate);
     ++ctx.stats.order_lookups;
     for (std::size_t i = 0; i < context.size(); ++i) {
       if (candidate_order >= anchor_orders[i]) continue;
       // Preceding excludes ancestors of the anchor.
       ++ctx.stats.label_tests;
-      if (ctx.scheme->IsAncestor(candidate, context[i])) continue;
+      if (ctx.oracle->IsAncestor(candidate, context[i])) continue;
       out.push_back(candidate);
       break;
     }
@@ -166,7 +221,7 @@ std::vector<NodeId> SelectSiblings(const QueryContext& ctx,
   ctx.stats.rows_scanned += candidates.size();
   std::vector<std::uint64_t> anchor_orders = AnchorOrders(ctx, context);
   for (NodeId candidate : candidates) {
-    std::uint64_t candidate_order = ctx.order_of(candidate);
+    std::uint64_t candidate_order = ctx.oracle->OrderOf(candidate);
     ++ctx.stats.order_lookups;
     for (std::size_t i = 0; i < context.size(); ++i) {
       NodeId anchor = context[i];
@@ -209,7 +264,7 @@ std::vector<NodeId> PositionFilter(const QueryContext& ctx,
     NodeId parent = ctx.table->ParentOf(node);
     auto [it, inserted] = group_of.emplace(parent, groups.size());
     if (inserted) groups.emplace_back();
-    groups[it->second].emplace_back(ctx.order_of(node), node);
+    groups[it->second].emplace_back(ctx.oracle->OrderOf(node), node);
     ++ctx.stats.order_lookups;
   }
   // Sort each group by order number and keep the n-th (Section 4.3's
@@ -231,7 +286,7 @@ std::vector<NodeId> SortByOrder(const QueryContext& ctx,
   std::vector<std::pair<std::uint64_t, NodeId>> keyed;
   keyed.reserve(nodes.size());
   for (NodeId node : nodes) {
-    keyed.emplace_back(ctx.order_of(node), node);
+    keyed.emplace_back(ctx.oracle->OrderOf(node), node);
     ++ctx.stats.order_lookups;
   }
   std::sort(keyed.begin(), keyed.end());

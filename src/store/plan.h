@@ -2,10 +2,9 @@
 #define PRIMELABEL_STORE_PLAN_H_
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
-#include "labeling/scheme.h"
+#include "core/structure_oracle.h"
 #include "store/label_table.h"
 #include "xml/tree.h"
 
@@ -27,23 +26,22 @@ struct EvalStats {
   }
 };
 
-/// Maps a node to its global document-order number. Interval plugs in its
-/// start value, the ordered prime scheme its SC-table lookup, prefix a
-/// lexicographic rank.
-using OrderFn = std::function<std::uint64_t(NodeId)>;
-
-/// Everything a physical operator needs: the table, the labeling scheme
-/// whose predicates it evaluates, and the order provider.
+/// Everything a physical operator needs: the table and the structural
+/// oracle whose predicates it evaluates. The oracle abstracts over a live
+/// labeling scheme (OrderedPrimeScheme, or any scheme via SchemeOracle)
+/// and a catalog restored from disk — the operators below cannot tell the
+/// difference, by construction.
 struct QueryContext {
   const LabelTable* table = nullptr;
-  const LabelingScheme* scheme = nullptr;
-  OrderFn order_of;
+  const StructureOracle* oracle = nullptr;
   mutable EvalStats stats;
 };
 
 /// Structural join: candidates that are descendants of at least one context
-/// node (nested-loop with the scheme's ancestor predicate, as the SQL
-/// translation does). Preserves candidate order, no duplicates.
+/// node, as the SQL translation's nested loop would compute it. Preserves
+/// candidate order, no duplicates. Runs anchor-major over the oracle's
+/// batch entry points (one scratch buffer per batch); test counts and
+/// output are identical to the candidate-major early-break nested loop.
 std::vector<NodeId> JoinDescendants(const QueryContext& ctx,
                                     const std::vector<NodeId>& context,
                                     const std::vector<NodeId>& candidates);

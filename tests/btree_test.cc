@@ -154,10 +154,10 @@ TEST(RangeIndex, MatchesStructuralJoin) {
   EXPECT_EQ(index.entry_count(), tree.node_count());
 
   LabelTable table(tree);
+  SchemeOracle oracle(&scheme, [&scheme](NodeId id) { return scheme.low(id); });
   QueryContext ctx;
   ctx.table = &table;
-  ctx.scheme = &scheme;
-  ctx.order_of = [&scheme](NodeId id) { return scheme.low(id); };
+  ctx.oracle = &oracle;
   std::vector<NodeId> anchors = table.Rows("a");
   ASSERT_FALSE(anchors.empty());
   for (const std::string& tag : table.Tags()) {

@@ -1,10 +1,13 @@
 #include "store/catalog.h"
 
 #include <cstdio>
+#include <optional>
+#include <set>
 #include <string>
 
 #include <gtest/gtest.h>
 
+#include "corpus/labeled_document.h"
 #include "xml/datasets.h"
 #include "xml/shakespeare.h"
 
@@ -24,48 +27,51 @@ class CatalogTest : public ::testing::Test {
     options.min_speeches_per_scene = 2;
     options.max_speeches_per_scene = 4;
     options.seed = 21;
-    tree_ = GeneratePlay("t", options);
-    scheme_.LabelTree(tree_);
+    doc_.emplace(
+        LabeledDocument::FromTree(GeneratePlay("t", options), /*group=*/5));
   }
 
-  XmlTree tree_;
-  OrderedPrimeScheme scheme_{/*sc_group_size=*/5};
+  const XmlTree& tree() const { return doc_->tree(); }
+  const OrderedPrimeScheme& scheme() const { return doc_->scheme(); }
+
+  std::optional<LabeledDocument> doc_;
 };
 
 TEST_F(CatalogTest, SaveLoadRoundTripsRows) {
   std::string path = TempPath("roundtrip.plc");
-  ASSERT_TRUE(SaveCatalog(path, tree_, scheme_).ok());
+  ASSERT_TRUE(SaveCatalog(path, *doc_).ok());
   Result<LoadedCatalog> loaded = LoadCatalog(path);
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
 
-  std::vector<NodeId> preorder = tree_.PreorderNodes();
+  std::vector<NodeId> preorder = tree().PreorderNodes();
   ASSERT_EQ(loaded->rows().size(), preorder.size());
   for (std::size_t i = 0; i < preorder.size(); ++i) {
     const CatalogRow& row = loaded->rows()[i];
-    EXPECT_EQ(row.tag, tree_.name(preorder[i]));
-    EXPECT_EQ(row.is_element, tree_.IsElement(preorder[i]));
-    EXPECT_EQ(row.label, scheme_.structure().label(preorder[i]));
-    EXPECT_EQ(row.self, scheme_.structure().self_label(preorder[i]));
+    EXPECT_EQ(row.tag, tree().name(preorder[i]));
+    EXPECT_EQ(row.is_element, tree().IsElement(preorder[i]));
+    EXPECT_EQ(row.attributes, tree().node(preorder[i]).attributes);
+    EXPECT_EQ(row.label, scheme().structure().label(preorder[i]));
+    EXPECT_EQ(row.self, scheme().structure().self_label(preorder[i]));
   }
   std::remove(path.c_str());
 }
 
 TEST_F(CatalogTest, LoadedCatalogAnswersStructureQueries) {
   std::string path = TempPath("structure.plc");
-  ASSERT_TRUE(SaveCatalog(path, tree_, scheme_).ok());
+  ASSERT_TRUE(SaveCatalog(path, *doc_).ok());
   Result<LoadedCatalog> loaded = LoadCatalog(path);
   ASSERT_TRUE(loaded.ok());
 
-  std::vector<NodeId> preorder = tree_.PreorderNodes();
+  std::vector<NodeId> preorder = tree().PreorderNodes();
   // Rows are in document order: compare against the live tree for a sample
   // of pairs.
   for (std::size_t x = 0; x < preorder.size(); x += 7) {
     for (std::size_t y = 0; y < preorder.size(); y += 5) {
       EXPECT_EQ(loaded->IsAncestor(x, y),
-                tree_.IsAncestor(preorder[x], preorder[y]))
+                tree().IsAncestor(preorder[x], preorder[y]))
           << x << " " << y;
       EXPECT_EQ(loaded->IsParent(x, y),
-                tree_.parent(preorder[y]) == preorder[x])
+                tree().parent(preorder[y]) == preorder[x])
           << x << " " << y;
     }
   }
@@ -74,7 +80,7 @@ TEST_F(CatalogTest, LoadedCatalogAnswersStructureQueries) {
 
 TEST_F(CatalogTest, LoadedCatalogAnswersOrderQueries) {
   std::string path = TempPath("order.plc");
-  ASSERT_TRUE(SaveCatalog(path, tree_, scheme_).ok());
+  ASSERT_TRUE(SaveCatalog(path, *doc_).ok());
   Result<LoadedCatalog> loaded = LoadCatalog(path);
   ASSERT_TRUE(loaded.ok());
   // Row index == preorder rank == order number.
@@ -85,18 +91,105 @@ TEST_F(CatalogTest, LoadedCatalogAnswersOrderQueries) {
 }
 
 TEST_F(CatalogTest, SurvivesOrderSensitiveUpdateBeforeSave) {
-  std::vector<NodeId> acts = tree_.FindAll("act");
-  NodeId fresh = tree_.InsertBefore(acts[1], "act");
-  scheme_.HandleOrderedInsert(fresh);
+  std::vector<NodeId> acts = doc_->Query("//act").value();
+  ASSERT_GE(acts.size(), 2u);
+  doc_->InsertBefore(acts[1], "act");
   std::string path = TempPath("updated.plc");
-  ASSERT_TRUE(SaveCatalog(path, tree_, scheme_).ok());
+  ASSERT_TRUE(doc_->Save(path).ok());
   Result<LoadedCatalog> loaded = LoadCatalog(path);
   ASSERT_TRUE(loaded.ok());
-  std::vector<NodeId> preorder = tree_.PreorderNodes();
+  std::vector<NodeId> preorder = tree().PreorderNodes();
   for (std::size_t i = 0; i < preorder.size(); ++i) {
-    EXPECT_EQ(loaded->OrderOf(i), scheme_.OrderOf(preorder[i])) << i;
+    EXPECT_EQ(loaded->OrderOf(i), scheme().OrderOf(preorder[i])) << i;
   }
   std::remove(path.c_str());
+}
+
+TEST_F(CatalogTest, LoadRestoresLiveDocument) {
+  std::string path = TempPath("restore.plc");
+  ASSERT_TRUE(doc_->Save(path).ok());
+  Result<LabeledDocument> restored = LabeledDocument::Load(path);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  std::remove(path.c_str());
+
+  // Structure, labels, and SC table carry over bit-identically.
+  std::vector<NodeId> original = tree().PreorderNodes();
+  std::vector<NodeId> rebuilt = restored->tree().PreorderNodes();
+  ASSERT_EQ(rebuilt.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(restored->tree().name(rebuilt[i]), tree().name(original[i]));
+    EXPECT_EQ(restored->scheme().structure().label(rebuilt[i]),
+              scheme().structure().label(original[i]));
+    EXPECT_EQ(restored->scheme().OrderOf(rebuilt[i]),
+              scheme().OrderOf(original[i]));
+  }
+
+  // Queries (including attribute predicates) answer as before the restart.
+  for (const char* q : {"/play//act", "/play//scene[2]", "//speech/speaker"}) {
+    EXPECT_EQ(restored->Query(q).value().size(), doc_->Query(q).value().size())
+        << q;
+  }
+}
+
+TEST_F(CatalogTest, RestoredDocumentAcceptsUpdatesWithFreshPrimes) {
+  std::string path = TempPath("update-after-load.plc");
+  ASSERT_TRUE(doc_->Save(path).ok());
+  Result<LabeledDocument> restored = LabeledDocument::Load(path);
+  ASSERT_TRUE(restored.ok());
+  std::remove(path.c_str());
+
+  std::vector<NodeId> acts = restored->Query("//act").value();
+  ASSERT_FALSE(acts.empty());
+  NodeId fresh = restored->InsertAfter(acts.back(), "act");
+  EXPECT_GE(restored->last_update_cost(), 1);
+
+  // The adopted cursor must hand the new node a prime no stored label
+  // already uses — self-labels stay pairwise distinct.
+  std::set<std::uint64_t> selves;
+  for (NodeId id : restored->tree().PreorderNodes()) {
+    if (id == restored->tree().root()) continue;
+    EXPECT_TRUE(selves.insert(restored->scheme().structure().self_label(id))
+                    .second)
+        << "duplicate self-label at node " << id;
+  }
+  // The fresh node participates in order queries immediately.
+  std::vector<NodeId> after = restored->Query("//act").value();
+  EXPECT_EQ(after.size(), acts.size() + 1);
+  EXPECT_EQ(after.back(), fresh);
+}
+
+TEST(CatalogAttributes, RoundTripThroughSaveAndLoad) {
+  XmlTree tree;
+  NodeId root = tree.CreateRoot("r");
+  NodeId a = tree.AppendChild(root, "a");
+  tree.AddAttribute(a, "id", "first");
+  tree.AddAttribute(a, "lang", "en");
+  NodeId b = tree.AppendChild(root, "b");
+  tree.AddAttribute(b, "id", "second");
+  tree.AppendText(b, "payload");
+  LabeledDocument doc = LabeledDocument::FromTree(std::move(tree));
+
+  std::string path = TempPath("attrs.plc");
+  ASSERT_TRUE(doc.Save(path).ok());
+  Result<LabeledDocument> restored = LabeledDocument::Load(path);
+  ASSERT_TRUE(restored.ok());
+  std::remove(path.c_str());
+
+  EXPECT_EQ(restored->Query("//a[@id='first']").value().size(), 1u);
+  EXPECT_EQ(restored->Query("//b[@id='second']").value().size(), 1u);
+  EXPECT_EQ(restored->Query("//a[@id='second']").value().size(), 0u);
+  NodeId ra = restored->tree().FindFirst("a");
+  ASSERT_NE(ra, kInvalidNodeId);
+  EXPECT_EQ(restored->tree().node(ra).attributes,
+            (std::vector<std::pair<std::string, std::string>>{
+                {"id", "first"}, {"lang", "en"}}));
+  // Text nodes survive too.
+  NodeId rb = restored->tree().FindFirst("b");
+  ASSERT_NE(rb, kInvalidNodeId);
+  NodeId text = restored->tree().first_child(rb);
+  ASSERT_NE(text, kInvalidNodeId);
+  EXPECT_FALSE(restored->tree().IsElement(text));
+  EXPECT_EQ(restored->tree().name(text), "payload");
 }
 
 TEST(CatalogErrors, MissingFile) {
@@ -116,16 +209,28 @@ TEST(CatalogErrors, BadMagic) {
   std::remove(path.c_str());
 }
 
+TEST(CatalogErrors, RejectsV1Files) {
+  // The v1 magic is one byte off; files written before the attribute
+  // format must fail cleanly rather than parse garbage.
+  std::string path = TempPath("v1.plc");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fputs("PLCATLG1", f);
+  std::fclose(f);
+  Result<LoadedCatalog> loaded = LoadCatalog(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+  std::remove(path.c_str());
+}
+
 TEST(CatalogErrors, TruncatedFile) {
   // Save a real catalog, then chop it and expect a clean failure.
   XmlTree tree;
   NodeId root = tree.CreateRoot("r");
   tree.AppendChild(root, "a");
   tree.AppendChild(root, "b");
-  OrderedPrimeScheme scheme;
-  scheme.LabelTree(tree);
+  LabeledDocument doc = LabeledDocument::FromTree(std::move(tree));
   std::string path = TempPath("truncated.plc");
-  ASSERT_TRUE(SaveCatalog(path, tree, scheme).ok());
+  ASSERT_TRUE(doc.Save(path).ok());
   // Read, truncate to 60%, rewrite.
   std::FILE* f = std::fopen(path.c_str(), "rb");
   std::fseek(f, 0, SEEK_END);
@@ -139,6 +244,7 @@ TEST(CatalogErrors, TruncatedFile) {
   std::fclose(f);
   Result<LoadedCatalog> loaded = LoadCatalog(path);
   EXPECT_FALSE(loaded.ok());
+  EXPECT_FALSE(LabeledDocument::Load(path).ok());
   std::remove(path.c_str());
 }
 

@@ -36,6 +36,7 @@ struct Pipeline {
   std::unique_ptr<LabelingScheme> scheme;
   std::unique_ptr<LabelTable> table;
   std::vector<std::uint64_t> rank;
+  std::unique_ptr<SchemeOracle> adapter;
   QueryContext ctx;
 
   void Build(const XmlTree& tree, const std::string& which) {
@@ -49,13 +50,15 @@ struct Pipeline {
       auto interval = std::make_unique<IntervalScheme>();
       interval->LabelTree(tree);
       IntervalScheme* raw = interval.get();
-      ctx.order_of = [raw](NodeId id) { return raw->low(id); };
+      adapter = std::make_unique<SchemeOracle>(
+          raw, [raw](NodeId id) { return raw->low(id); });
+      ctx.oracle = adapter.get();
       scheme = std::move(interval);
     } else if (which == "prime-ordered") {
       auto prime = std::make_unique<OrderedPrimeScheme>();
       prime->LabelTree(tree);
-      OrderedPrimeScheme* raw = prime.get();
-      ctx.order_of = [raw](NodeId id) { return raw->OrderOf(id); };
+      // The ordered prime scheme is itself an oracle — no adapter.
+      ctx.oracle = prime.get();
       scheme = std::move(prime);
     } else {
       if (which == "prefix-2") {
@@ -68,12 +71,12 @@ struct Pipeline {
         scheme = std::make_unique<PrimeOptimizedScheme>();
       }
       scheme->LabelTree(tree);
-      ctx.order_of = [this](NodeId id) {
+      adapter = std::make_unique<SchemeOracle>(scheme.get(), [this](NodeId id) {
         return rank[static_cast<std::size_t>(id)];
-      };
+      });
+      ctx.oracle = adapter.get();
     }
     ctx.table = table.get();
-    ctx.scheme = scheme.get();
   }
 };
 
@@ -219,13 +222,12 @@ TEST(IntegrationMutation, QueriesStayCorrectUnderOrderedChurn) {
     NodeId target = acts[rng.Below(acts.size())];
     NodeId fresh = rng.Chance(50) ? tree.InsertBefore(target, "act")
                                   : tree.InsertAfter(target, "act");
-    scheme.HandleOrderedInsert(fresh);
+    scheme.HandleInsert(fresh, InsertOrder::kDocumentOrder);
 
     LabelTable table(tree);
     QueryContext ctx;
     ctx.table = &table;
-    ctx.scheme = &scheme;
-    ctx.order_of = [&scheme](NodeId id) { return scheme.OrderOf(id); };
+    ctx.oracle = &scheme;
     XPathEvaluator evaluator(&ctx);
     for (const char* text :
          {"/play//act[2]", "/play//act[1]//Following::act",

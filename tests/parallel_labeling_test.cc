@@ -1,0 +1,153 @@
+// Parallel LabelTree determinism. The whole point of the preorder-ranked
+// PrimeBlock hand-out is that labels never depend on worker scheduling:
+// labeling with 1, 2 or 8 workers must produce byte-identical labels (and
+// identical scheme-internal state, as far as LabelString exposes it) to the
+// sequential run — on the real-shaped Shakespeare corpus, on synthetic
+// wide-fanout trees, and after the tree keeps mutating post-label.
+//
+// These tests are the TSan target: configure with
+// -DPRIMELABEL_SANITIZE=thread and run `ctest -R Parallel` to race-check
+// the fan-out.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/ordered_prime_scheme.h"
+#include "labeling/prime_optimized.h"
+#include "labeling/prime_top_down.h"
+#include "labeling/subtree_partition.h"
+#include "xml/datasets.h"
+#include "xml/shakespeare.h"
+
+namespace primelabel {
+namespace {
+
+/// Every label (and self-label) of every attached node, in preorder.
+template <typename Scheme>
+std::string LabelDump(const Scheme& scheme, const XmlTree& tree) {
+  std::string dump;
+  tree.Preorder([&](NodeId id, int) {
+    dump += scheme.LabelString(id);
+    dump += '\n';
+  });
+  return dump;
+}
+
+std::vector<XmlTree> Corpora() {
+  std::vector<XmlTree> corpora;
+  corpora.push_back(GenerateShakespeareCorpus(2));
+  RandomTreeOptions wide;
+  wide.node_count = 3000;
+  wide.max_depth = 4;
+  wide.max_fanout = 40;
+  wide.seed = 7;
+  corpora.push_back(GenerateRandomTree(wide));
+  RandomTreeOptions deep;
+  deep.node_count = 2000;
+  deep.max_depth = 12;
+  deep.max_fanout = 6;
+  deep.seed = 11;
+  corpora.push_back(GenerateRandomTree(deep));
+  return corpora;
+}
+
+TEST(ParallelLabeling, PlanCoversTreeWithDisjointSubtrees) {
+  XmlTree tree = GenerateShakespeareCorpus(2);
+  SubtreePartition plan = PlanSubtreePartition(tree, 4);
+  ASSERT_GE(plan.cut_depth, 1);
+  ASSERT_EQ(plan.preorder.size(), tree.node_count());
+  // Subtree intervals [pos, pos + size) of the roots must be disjoint, and
+  // together with the spine cover the whole preorder exactly once.
+  std::size_t covered = 0;
+  std::size_t previous_end = 0;
+  for (std::size_t pos : plan.roots) {
+    ASSERT_GE(pos, previous_end);
+    previous_end = pos + plan.size[pos];
+    ASSERT_LE(previous_end, plan.preorder.size());
+    covered += plan.size[pos];
+  }
+  std::size_t spine = 0;
+  for (int d : plan.depth) {
+    if (d < plan.cut_depth) ++spine;
+  }
+  EXPECT_EQ(spine + covered, tree.node_count());
+}
+
+TEST(ParallelLabeling, TopDownMatchesSequentialForEveryWorkerCount) {
+  for (const XmlTree& tree : Corpora()) {
+    PrimeTopDownScheme sequential;
+    sequential.LabelTree(tree);
+    std::string expected = LabelDump(sequential, tree);
+    for (int workers : {1, 2, 8}) {
+      PrimeTopDownScheme parallel;
+      parallel.set_num_workers(workers);
+      parallel.LabelTree(tree);
+      EXPECT_EQ(LabelDump(parallel, tree), expected)
+          << "workers=" << workers;
+    }
+  }
+}
+
+TEST(ParallelLabeling, OptimizedMatchesSequentialForEveryWorkerCount) {
+  for (const XmlTree& tree : Corpora()) {
+    PrimeOptimizedScheme sequential;
+    sequential.LabelTree(tree);
+    std::string expected = LabelDump(sequential, tree);
+    for (int workers : {1, 2, 8}) {
+      PrimeOptimizedScheme parallel;
+      parallel.set_num_workers(workers);
+      parallel.LabelTree(tree);
+      EXPECT_EQ(LabelDump(parallel, tree), expected)
+          << "workers=" << workers;
+    }
+  }
+}
+
+TEST(ParallelLabeling, OrderedSchemeMatchesSequentialIncludingScTable) {
+  for (const XmlTree& tree : Corpora()) {
+    OrderedPrimeScheme sequential;
+    sequential.LabelTree(tree);
+    std::string expected = LabelDump(sequential, tree);  // includes order=
+    for (int workers : {2, 8}) {
+      OrderedPrimeScheme parallel;
+      parallel.set_num_workers(workers);
+      parallel.LabelTree(tree);
+      EXPECT_EQ(LabelDump(parallel, tree), expected)
+          << "workers=" << workers;
+      EXPECT_TRUE(parallel.sc_table().VerifyIntegrity());
+      ASSERT_EQ(parallel.sc_table().records().size(),
+                sequential.sc_table().records().size());
+      for (std::size_t r = 0; r < parallel.sc_table().records().size(); ++r) {
+        EXPECT_EQ(parallel.sc_table().records()[r].sc,
+                  sequential.sc_table().records()[r].sc);
+      }
+    }
+  }
+}
+
+TEST(ParallelLabeling, InsertionsAfterParallelLabelDrawTheSamePrimes) {
+  // The cursor hand-off: after a parallel LabelTree the source must sit
+  // exactly where the sequential run leaves it, or the first insertion
+  // would diverge.
+  XmlTree tree_a = GenerateShakespeareCorpus(1);
+  XmlTree tree_b = GenerateShakespeareCorpus(1);
+  PrimeOptimizedScheme sequential;
+  PrimeOptimizedScheme parallel;
+  parallel.set_num_workers(4);
+  sequential.LabelTree(tree_a);
+  parallel.LabelTree(tree_b);
+  NodeId leaf_a = tree_a.AppendChild(tree_a.root(), "inserted");
+  NodeId leaf_b = tree_b.AppendChild(tree_b.root(), "inserted");
+  NodeId inner_a = tree_a.AppendChild(leaf_a, "nested");
+  NodeId inner_b = tree_b.AppendChild(leaf_b, "nested");
+  EXPECT_EQ(sequential.HandleInsert(leaf_a, InsertOrder::kUnordered),
+            parallel.HandleInsert(leaf_b, InsertOrder::kUnordered));
+  EXPECT_EQ(sequential.HandleInsert(inner_a, InsertOrder::kUnordered),
+            parallel.HandleInsert(inner_b, InsertOrder::kUnordered));
+  EXPECT_EQ(LabelDump(sequential, tree_a), LabelDump(parallel, tree_b));
+}
+
+}  // namespace
+}  // namespace primelabel

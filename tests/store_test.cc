@@ -61,14 +61,16 @@ class PlanTest : public ::testing::Test {
     tree_ = std::make_unique<XmlTree>(std::move(doc.value()));
     table_ = std::make_unique<LabelTable>(*tree_);
     scheme_.LabelTree(*tree_);
+    oracle_ = std::make_unique<SchemeOracle>(
+        &scheme_, [this](NodeId id) { return scheme_.low(id); });
     ctx_.table = table_.get();
-    ctx_.scheme = &scheme_;
-    ctx_.order_of = [this](NodeId id) { return scheme_.low(id); };
+    ctx_.oracle = oracle_.get();
   }
 
   std::unique_ptr<XmlTree> tree_;
   std::unique_ptr<LabelTable> table_;
   IntervalScheme scheme_;
+  std::unique_ptr<SchemeOracle> oracle_;
   QueryContext ctx_;
 };
 
@@ -174,10 +176,11 @@ TEST(PlanMergeJoin, MatchesNestedLoopOnRandomTrees) {
     LabelTable table(tree);
     IntervalScheme scheme;
     scheme.LabelTree(tree);
+    SchemeOracle oracle(&scheme,
+                        [&scheme](NodeId id) { return scheme.low(id); });
     QueryContext ctx;
     ctx.table = &table;
-    ctx.scheme = &scheme;
-    ctx.order_of = [&scheme](NodeId id) { return scheme.low(id); };
+    ctx.oracle = &oracle;
     for (const std::string& anchor_tag : table.Tags()) {
       for (const std::string& candidate_tag : table.Tags()) {
         ASSERT_EQ(JoinDescendantsMerge(ctx, table.Rows(anchor_tag),
@@ -200,11 +203,11 @@ TEST(PlanMergeJoin, UsesFewerLabelTestsThanNestedLoop) {
   LabelTable table(tree);
   IntervalScheme scheme;
   scheme.LabelTree(tree);
+  SchemeOracle oracle(&scheme, [&scheme](NodeId id) { return scheme.low(id); });
   QueryContext nested_ctx, merge_ctx;
   for (QueryContext* ctx : {&nested_ctx, &merge_ctx}) {
     ctx->table = &table;
-    ctx->scheme = &scheme;
-    ctx->order_of = [&scheme](NodeId id) { return scheme.low(id); };
+    ctx->oracle = &oracle;
   }
   std::vector<NodeId> anchors = table.Rows("a");
   std::vector<NodeId> candidates = table.AllRows();
@@ -223,8 +226,7 @@ TEST(PlanWithPrimeScheme, OrderLookupsGoThroughScTable) {
   scheme.LabelTree(tree);
   QueryContext ctx;
   ctx.table = &table;
-  ctx.scheme = &scheme;
-  ctx.order_of = [&scheme](NodeId id) { return scheme.OrderOf(id); };
+  ctx.oracle = &scheme;
   std::vector<NodeId> first_a = {table.Rows("a")[0]};
   std::vector<NodeId> following =
       SelectFollowing(ctx, first_a, table.AllRows());

@@ -123,10 +123,10 @@ TEST(XPathEvalText, FiltersByDirectTextContent) {
   LabelTable table(*doc);
   IntervalScheme scheme;
   scheme.LabelTree(*doc);
+  SchemeOracle oracle(&scheme, [&scheme](NodeId id) { return scheme.low(id); });
   QueryContext ctx;
   ctx.table = &table;
-  ctx.scheme = &scheme;
-  ctx.order_of = [&scheme](NodeId id) { return scheme.low(id); };
+  ctx.oracle = &oracle;
   XPathEvaluator evaluator(&ctx);
   EXPECT_EQ(evaluator.Evaluate("//author[text()='John']")->size(), 2u);
   EXPECT_EQ(evaluator.Evaluate("//author[text()='Jane']")->size(), 1u);
@@ -214,9 +214,9 @@ class XPathEvalTest : public ::testing::TestWithParam<std::string> {
       order_ = [raw](NodeId id) { return raw->OrderOf(id); };
       scheme_ = std::move(prime);
     }
+    oracle_ = std::make_unique<SchemeOracle>(scheme_.get(), order_);
     ctx_.table = table_.get();
-    ctx_.scheme = scheme_.get();
-    ctx_.order_of = order_;
+    ctx_.oracle = oracle_.get();
   }
 
   std::vector<NodeId> Run(const std::string& query) {
@@ -230,6 +230,7 @@ class XPathEvalTest : public ::testing::TestWithParam<std::string> {
   std::unique_ptr<LabelTable> table_;
   std::unique_ptr<LabelingScheme> scheme_;
   OrderFn order_;
+  std::unique_ptr<SchemeOracle> oracle_;
   QueryContext ctx_;
 };
 
