@@ -45,7 +45,7 @@ int main() {
 
     std::vector<NodeId> acts = hamlet.FindAll("act");
     NodeId fresh = hamlet.InsertBefore(acts[1], "act");
-    int cost = scheme.HandleOrderedInsert(fresh);
+    int cost = scheme.HandleInsert(fresh, InsertOrder::kDocumentOrder);
 
     report.AddRow(group_size, records, max_sc_bits, cost, build_ms,
                   lookup_ms);

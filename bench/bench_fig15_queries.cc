@@ -66,7 +66,6 @@ class UdfPrefixScheme : public LabelingScheme {
   int HandleInsert(NodeId new_node, InsertOrder order) override {
     return inner_->HandleInsert(new_node, order);
   }
-  using LabelingScheme::HandleInsert;
 
  private:
   // The "check prefix" routine behind an optimization barrier.
@@ -203,6 +202,13 @@ int main() {
   table2.Print();
   fig15.Print();
   io_proxy.Print();
+  std::string json_path =
+      bench::WriteBenchJson("fig15_queries", {&table2, &fig15, &io_proxy});
+  if (json_path.empty()) {
+    std::cerr << "failed to write BENCH_fig15_queries.json\n";
+    return 1;
+  }
+  std::cout << "\nMachine-readable results: " << json_path << "\n";
   std::cout
       << "\nShape check: prefix-2 is slowest on the structural-join-heavy\n"
          "queries (Q3/Q6/Q8/Q9) because of its per-row UDF; prime tracks\n"

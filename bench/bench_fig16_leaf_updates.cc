@@ -71,7 +71,7 @@ int main() {
       }
       scheme->LabelTree(tree);
       NodeId fresh = tree.AppendChild(deepest, "new");
-      relabels[s] = scheme->HandleInsert(fresh);
+      relabels[s] = scheme->HandleInsert(fresh, InsertOrder::kUnordered);
     }
     report.AddRow(n, relabels[0],
                   std::log10(static_cast<double>(relabels[0])), relabels[1],

@@ -67,7 +67,7 @@ int main() {
       }
       scheme->LabelTree(tree);
       NodeId wrapper = tree.WrapNode(target, "wrapper");
-      relabels[s] = scheme->HandleInsert(wrapper);
+      relabels[s] = scheme->HandleInsert(wrapper, InsertOrder::kUnordered);
     }
     report.AddRow(n, relabels[0],
                   std::log10(static_cast<double>(relabels[0])), relabels[1],

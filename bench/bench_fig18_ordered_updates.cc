@@ -55,11 +55,11 @@ int main() {
     };
 
     NodeId a = insert_new_act(interval_tree);
-    int interval_cost = interval.HandleOrderedInsert(a);
+    int interval_cost = interval.HandleInsert(a, InsertOrder::kDocumentOrder);
     NodeId b = insert_new_act(prefix_tree);
-    int prefix_cost = prefix2.HandleOrderedInsert(b);
+    int prefix_cost = prefix2.HandleInsert(b, InsertOrder::kDocumentOrder);
     NodeId c = insert_new_act(prime_tree);
-    int prime_cost = prime.HandleOrderedInsert(c);
+    int prime_cost = prime.HandleInsert(c, InsertOrder::kDocumentOrder);
 
     interval_total += interval_cost;
     prefix_total += prefix_cost;

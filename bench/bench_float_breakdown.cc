@@ -50,15 +50,15 @@ int main() {
     NodeId f = float_tree.InsertBefore(float_tree.first_child(
                                            float_tree.root()),
                                        "new");
-    float_total += float_scheme.HandleInsert(f);
+    float_total += float_scheme.HandleInsert(f, InsertOrder::kUnordered);
     NodeId g = gapped_tree.InsertBefore(gapped_tree.first_child(
                                             gapped_tree.root()),
                                         "new");
-    gapped_total += gapped_scheme.HandleInsert(g);
+    gapped_total += gapped_scheme.HandleInsert(g, InsertOrder::kUnordered);
     NodeId p = prime_tree.InsertBefore(prime_tree.first_child(
                                            prime_tree.root()),
                                        "new");
-    prime_total += prime_scheme.HandleInsert(p);
+    prime_total += prime_scheme.HandleInsert(p, InsertOrder::kUnordered);
     if (next_checkpoint < 8 && i == checkpoints[next_checkpoint]) {
       report.AddRow(i, float_scheme.relabel_events(), float_total,
                     gapped_scheme.relabel_events(), gapped_total,

@@ -2,7 +2,11 @@
 // costs drive the response-time experiment: per-scheme ancestor tests,
 // order lookups, labeling throughput, CRT solving and BigInt arithmetic.
 
+#include <iostream>
 #include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include <benchmark/benchmark.h>
@@ -19,6 +23,7 @@
 #include "primes/prime_source.h"
 #include "util/rng.h"
 #include "xml/datasets.h"
+#include "xml/shakespeare.h"
 
 namespace primelabel {
 namespace {
@@ -155,6 +160,74 @@ void BM_BigIntMul(benchmark::State& state) {
 }
 BENCHMARK(BM_BigIntMul)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
 
+/// Shared fixture for the batched-ancestry benchmarks: a Shakespeare
+/// corpus (deep speech/line subtrees under shallow play/act nodes, so the
+/// pairs mix label widths from 1 to ~100 limbs) and anchor-major pair runs
+/// shaped like the ones JoinBatched emits.
+struct BatchFixture {
+  XmlTree tree;
+  OrderedPrimeScheme scheme;
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+};
+
+const BatchFixture& ShakespeareBatch() {
+  static const BatchFixture* fixture = [] {
+    auto* f = new BatchFixture{GenerateShakespeareCorpus(2),
+                               OrderedPrimeScheme(/*sc_group_size=*/5),
+                               {}};
+    f->scheme.LabelTree(f->tree);
+    std::vector<NodeId> nodes = f->tree.PreorderNodes();
+    Rng rng(77);
+    for (int anchor = 0; anchor < 64; ++anchor) {
+      NodeId a = nodes[rng.Below(nodes.size())];
+      for (int c = 0; c < 64; ++c) {
+        f->pairs.emplace_back(a, nodes[rng.Below(nodes.size())]);
+      }
+    }
+    return f;
+  }();
+  return *fixture;
+}
+
+/// The PR-1 batch path: per-pair Knuth division (with reusable scratch),
+/// no fingerprints, no cached divisor constants. Baseline for the fast
+/// path below.
+void BM_IsAncestorBatchNaive(benchmark::State& state) {
+  const BatchFixture& f = ShakespeareBatch();
+  const PrimeTopDownScheme& structure = f.scheme.structure();
+  std::vector<std::uint8_t> results;
+  BigInt::DivScratch scratch;
+  for (auto _ : state) {
+    results.clear();
+    for (const auto& [a, d] : f.pairs) {
+      results.push_back(
+          a != d && structure.label(d).IsDivisibleBy(structure.label(a),
+                                                     &scratch));
+    }
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.pairs.size()));
+}
+BENCHMARK(BM_IsAncestorBatchNaive);
+
+/// The divisibility fast-path engine: fingerprint rejection plus
+/// reciprocal/Barrett constants cached per anchor run. Bit-identical
+/// results (reduction_test asserts it); the ratio to the naive variant is
+/// the engine's headline speedup.
+void BM_IsAncestorBatchFastPath(benchmark::State& state) {
+  const BatchFixture& f = ShakespeareBatch();
+  std::vector<std::uint8_t> results;
+  for (auto _ : state) {
+    results.clear();
+    f.scheme.IsAncestorBatch(f.pairs, &results);
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.pairs.size()));
+}
+BENCHMARK(BM_IsAncestorBatchFastPath);
+
 void BM_BigIntDivisibility(benchmark::State& state) {
   // The exact shape of the scheme's hot path: ~100-bit label mod ~40-bit
   // ancestor label.
@@ -174,4 +247,33 @@ BENCHMARK(BM_BigIntDivisibility);
 }  // namespace
 }  // namespace primelabel
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): every run also writes the full
+// google-benchmark JSON to BENCH_micro_ops.json in the working directory,
+// so speedup ratios (fast path vs naive) can be checked by scripts.
+int main(int argc, char** argv) {
+  // Default the JSON sink unless the caller picked their own --benchmark_out.
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_micro_ops.json";
+  std::string format_flag = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).starts_with("--benchmark_out=")) {
+      has_out = true;
+    }
+  }
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!has_out) {
+    std::cout << "Machine-readable results: BENCH_micro_ops.json\n";
+  }
+  return 0;
+}

@@ -2,6 +2,8 @@
 #define PRIMELABEL_BENCH_REPORT_H_
 
 #include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
@@ -45,7 +47,51 @@ class Report {
     os.flush();
   }
 
+  /// Machine-readable form of the same table: one JSON object with the
+  /// title, the headers and the formatted row cells. Cells keep the text
+  /// rendering of Print so the two outputs never disagree.
+  void WriteJson(std::ostream& os) const {
+    os << "{\"title\": " << Quote(title_) << ", \"headers\": [";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      if (c > 0) os << ", ";
+      os << Quote(headers_[c]);
+    }
+    os << "], \"rows\": [";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      if (r > 0) os << ", ";
+      os << "[";
+      for (std::size_t c = 0; c < rows_[r].size(); ++c) {
+        if (c > 0) os << ", ";
+        os << Quote(rows_[r][c]);
+      }
+      os << "]";
+    }
+    os << "]}";
+  }
+
  private:
+  static std::string Quote(const std::string& text) {
+    std::string out = "\"";
+    for (char ch : text) {
+      switch (ch) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(ch) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+            out += buf;
+          } else {
+            out += ch;
+          }
+      }
+    }
+    out += "\"";
+    return out;
+  }
+
   template <typename T>
   static std::string Format(const T& value) {
     if constexpr (std::is_same_v<T, std::string> ||
@@ -73,6 +119,24 @@ class Report {
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
 };
+
+/// Writes every report of a bench binary to `BENCH_<name>.json` in the
+/// working directory as {"benchmark": name, "reports": [...]}, so runs can
+/// be diffed and regression-checked by scripts instead of by eyeballing
+/// the plain-text tables. Returns the path written, or "" on failure.
+inline std::string WriteBenchJson(const std::string& name,
+                                  const std::vector<const Report*>& reports) {
+  const std::string path = "BENCH_" + name + ".json";
+  std::ofstream out(path);
+  if (!out) return "";
+  out << "{\"benchmark\": \"" << name << "\", \"reports\": [\n";
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    if (i > 0) out << ",\n";
+    reports[i]->WriteJson(out);
+  }
+  out << "\n]}\n";
+  return out ? path : "";
+}
 
 /// Wall-clock stopwatch for the response-time experiments.
 class Stopwatch {

@@ -58,7 +58,7 @@ int main() {
       } else {
         fresh = entry.tree.InsertAfter(target, "new");
       }
-      entry.total_relabeled += entry.scheme->HandleInsert(fresh);
+      entry.total_relabeled += entry.scheme->HandleInsert(fresh, InsertOrder::kUnordered);
     }
   }
 

@@ -61,9 +61,9 @@ int main() {
   // records (Section 4.2).
   NodeId fresh = tree.InsertBefore(authors[1], "author");
   tree.AppendText(fresh, "Jane");
-  int cost = scheme.HandleOrderedInsert(fresh);
+  int cost = scheme.HandleInsert(fresh, InsertOrder::kDocumentOrder);
   // The text node is part of the document too.
-  cost += scheme.HandleOrderedInsert(tree.first_child(fresh));
+  cost += scheme.HandleInsert(tree.first_child(fresh), InsertOrder::kDocumentOrder);
   std::cout << "Inserted <author>Jane</author> as the second author.\n"
             << "Total relabel cost (nodes + SC record updates): " << cost
             << "\n\n";

@@ -62,7 +62,7 @@ int main() {
   // Dynamic insertion: a fresh prime is always available, so existing
   // labels never change.
   NodeId third_author = tree.InsertAfter(tree.FindAll("author")[1], "author");
-  int relabeled = scheme.HandleInsert(third_author);
+  int relabeled = scheme.HandleInsert(third_author, InsertOrder::kUnordered);
   std::cout << "\nInserted a third <author>; nodes relabeled: " << relabeled
             << " (the new node only)\n";
   std::cout << "New author's label: " << scheme.LabelString(third_author)

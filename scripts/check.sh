@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Tier-1 verification for the repo: plain build + full test suite, then a
+# ThreadSanitizer build running the parallel/concurrency suites (the
+# parallel labeler, SC-table build, and the batch-query kernels issued
+# from concurrent threads).
+#
+# Usage: scripts/check.sh [--no-tsan]
+#   --no-tsan   skip the sanitizer tree (e.g. on toolchains without TSan)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_tsan=1
+if [[ "${1:-}" == "--no-tsan" ]]; then run_tsan=0; fi
+
+jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
+
+echo "== tier 1: configure + build + ctest (build/) =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$jobs"
+ctest --test-dir build --output-on-failure -j "$jobs"
+
+if [[ "$run_tsan" == "1" ]]; then
+  echo "== tsan: parallel suites under ThreadSanitizer (build-tsan/) =="
+  cmake -B build-tsan -S . -DPRIMELABEL_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "$jobs"
+  ctest --test-dir build-tsan --output-on-failure -j "$jobs" -R Parallel
+fi
+
+echo "All checks passed."

@@ -73,6 +73,21 @@ int BigInt::BitLength() const {
          BitWidth32(limbs_.back());
 }
 
+int BigInt::TrailingZeroBits() const {
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    if (limbs_[i] != 0) {
+      int bit = 0;
+      Limb v = limbs_[i];
+      while ((v & 1u) == 0) {
+        ++bit;
+        v >>= 1;
+      }
+      return static_cast<int>(i) * kLimbBits + bit;
+    }
+  }
+  return 0;
+}
+
 std::uint64_t BigInt::ToUint64() const {
   std::uint64_t value = 0;
   if (!limbs_.empty()) value = limbs_[0];

@@ -3,6 +3,7 @@
 
 #include <compare>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -57,6 +58,18 @@ class BigInt {
 
   /// Number of bits in the magnitude; zero has bit length 0.
   int BitLength() const;
+
+  /// Number of trailing zero bits of the magnitude (the exact power of two
+  /// dividing the value); zero has 0 trailing-zero bits by convention. One
+  /// of the fingerprint slots of the divisibility fast path: if
+  /// TrailingZeroBits(x) > TrailingZeroBits(y) then x cannot divide y.
+  int TrailingZeroBits() const;
+
+  /// Read-only view of the magnitude limbs (32-bit, little-endian; empty
+  /// for zero). The divisibility fast-path engine (bigint/reduction.h)
+  /// iterates limbs directly instead of going through full-width
+  /// arithmetic; everything else should use the arithmetic operators.
+  std::span<const std::uint32_t> Magnitude() const { return limbs_; }
 
   /// True iff the magnitude fits in an unsigned 64-bit integer.
   bool FitsUint64() const { return limbs_.size() <= 2; }

@@ -1,0 +1,423 @@
+#include "bigint/reduction.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cstddef>
+#include <utility>
+
+namespace primelabel {
+namespace {
+
+using Limb = std::uint32_t;
+using U128 = unsigned __int128;
+constexpr int kLimbBits = 32;
+
+/// Möller–Granlund 2-by-1 reciprocal: low 64 bits of
+/// floor((2^128 - 1) / d_norm) for a normalized (top-bit-set) divisor.
+std::uint64_t Reciprocal2by1(std::uint64_t d_norm) {
+  return static_cast<std::uint64_t>(~U128{0} / d_norm);
+}
+
+/// One remainder step of Möller–Granlund division (Algorithm 4, remainder
+/// only): (r : u) mod d for r < d, d normalized, v = Reciprocal2by1(d).
+inline std::uint64_t ModStep2by1(std::uint64_t r, std::uint64_t u,
+                                 std::uint64_t d, std::uint64_t v) {
+  U128 q = static_cast<U128>(v) * r + ((static_cast<U128>(r) << 64) | u);
+  std::uint64_t q1 = static_cast<std::uint64_t>(q >> 64) + 1;
+  std::uint64_t q0 = static_cast<std::uint64_t>(q);
+  std::uint64_t rem = u - q1 * d;
+  if (rem > q0) rem += d;
+  if (rem >= d) rem -= d;
+  return rem;
+}
+
+/// Magnitude (little-endian 32-bit limbs) mod a cached normalized divisor:
+/// the dividend is consumed as 64-bit super-limbs top-down, normalized on
+/// the fly by `s` so no shifted copy is ever materialized.
+std::uint64_t ModMagnitude2by1(std::span<const Limb> mag, std::uint64_t d_norm,
+                               std::uint64_t v, int s) {
+  if (mag.empty()) return 0;
+  const std::size_t words = (mag.size() + 1) / 2;
+  auto word = [&mag](std::size_t j) -> std::uint64_t {
+    std::uint64_t lo = mag[2 * j];
+    std::uint64_t hi = (2 * j + 1 < mag.size()) ? mag[2 * j + 1] : 0;
+    return lo | (hi << 32);
+  };
+  std::uint64_t r = 0;
+  if (s == 0) {
+    for (std::size_t j = words; j-- > 0;) {
+      r = ModStep2by1(r, word(j), d_norm, v);
+    }
+    return r;
+  }
+  // value << s, streamed: an extra top word of the spilled high bits, then
+  // each word picks up its lower neighbor's high bits.
+  r = word(words - 1) >> (64 - s);  // < 2^s <= d_norm
+  for (std::size_t j = words; j-- > 0;) {
+    std::uint64_t u = (word(j) << s) | (j > 0 ? word(j - 1) >> (64 - s) : 0);
+    r = ModStep2by1(r, u, d_norm, v);
+  }
+  return r >> s;
+}
+
+// --- Raw-limb helpers for the Barrett path ---------------------------------
+// All vectors are little-endian and "normalized" = no high zero limbs,
+// except where a fixed width is stated.
+
+void StripHighZeros(std::vector<Limb>* v) {
+  while (!v->empty() && v->back() == 0) v->pop_back();
+}
+
+int CompareLimbSpans(std::span<const Limb> a, std::span<const Limb> b) {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  for (std::size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+/// out = a * b (schoolbook; operand sizes here are bounded by roughly twice
+/// the divisor's limb count, so the quadratic kernel is the right tool).
+void MulLimbSpans(std::span<const Limb> a, std::span<const Limb> b,
+                  std::vector<Limb>* out) {
+  out->assign(a.size() + b.size(), 0);
+  if (a.empty() || b.empty()) {
+    out->clear();
+    return;
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::uint64_t carry = 0;
+    const std::uint64_t ai = a[i];
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      std::uint64_t cur = (*out)[i + j] + ai * b[j] + carry;
+      (*out)[i + j] = static_cast<Limb>(cur);
+      carry = cur >> kLimbBits;
+    }
+    (*out)[i + b.size()] = static_cast<Limb>(carry);
+  }
+  StripHighZeros(out);
+}
+
+/// a = (a - b) mod B^width, with a already exactly `width` limbs and b
+/// truncated to `width` limbs (wraparound absorbs a final borrow).
+void SubLimbsModWidth(std::vector<Limb>* a, std::span<const Limb> b,
+                      std::size_t width) {
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < width; ++i) {
+    std::int64_t cur = static_cast<std::int64_t>((*a)[i]) -
+                       static_cast<std::int64_t>(i < b.size() ? b[i] : 0) -
+                       borrow;
+    if (cur < 0) {
+      cur += std::int64_t{1} << kLimbBits;
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    (*a)[i] = static_cast<Limb>(cur);
+  }
+}
+
+/// a -= b, requiring a >= b; both normalized on entry and exit.
+void SubLimbsInPlace(std::vector<Limb>* a, std::span<const Limb> b) {
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < a->size(); ++i) {
+    std::int64_t cur = static_cast<std::int64_t>((*a)[i]) -
+                       static_cast<std::int64_t>(i < b.size() ? b[i] : 0) -
+                       borrow;
+    if (cur < 0) {
+      cur += std::int64_t{1} << kLimbBits;
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    (*a)[i] = static_cast<Limb>(cur);
+  }
+  assert(borrow == 0 && "SubLimbsInPlace requires a >= b");
+  StripHighZeros(a);
+}
+
+BigInt BigIntFromLimbs(std::span<const Limb> limbs) {
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(limbs.size() * 4);
+  for (Limb limb : limbs) {
+    bytes.push_back(static_cast<std::uint8_t>(limb));
+    bytes.push_back(static_cast<std::uint8_t>(limb >> 8));
+    bytes.push_back(static_cast<std::uint8_t>(limb >> 16));
+    bytes.push_back(static_cast<std::uint8_t>(limb >> 24));
+  }
+  return BigInt::FromMagnitudeBytes(bytes);
+}
+
+/// Per-chunk Reciprocal64 cache for the fingerprint moduli: the chunk
+/// products are compile-time constants, so the fingerprint update path
+/// reuses Layer 2 instead of a 128-by-64 library division.
+const std::array<Reciprocal64, kFingerprintChunks>& ChunkReciprocals() {
+  static const auto* table = [] {
+    auto* t = new std::array<Reciprocal64, kFingerprintChunks>{
+        Reciprocal64(kFingerprintChunkTable[0].product),
+        Reciprocal64(kFingerprintChunkTable[1].product),
+        Reciprocal64(kFingerprintChunkTable[2].product),
+        Reciprocal64(kFingerprintChunkTable[3].product),
+        Reciprocal64(kFingerprintChunkTable[4].product),
+        Reciprocal64(kFingerprintChunkTable[5].product),
+        Reciprocal64(kFingerprintChunkTable[6].product)};
+    return t;
+  }();
+  return *table;
+}
+
+/// prime_mask bit for a prime self-label, or 0 when it is beyond the
+/// tracked range (> 311).
+std::uint64_t MaskBitOf(std::uint64_t self) {
+  if (self > kFingerprintPrimes.back()) return 0;
+  auto it = std::lower_bound(kFingerprintPrimes.begin(),
+                             kFingerprintPrimes.end(), self);
+  if (it == kFingerprintPrimes.end() || *it != self) return 0;
+  return std::uint64_t{1} << (it - kFingerprintPrimes.begin());
+}
+
+}  // namespace
+
+// --- Layer 1 ---------------------------------------------------------------
+
+LabelFingerprint FingerprintOf(const BigInt& value) {
+  LabelFingerprint fp;
+  for (int j = 0; j < kFingerprintChunks; ++j) {
+    const FingerprintChunk& chunk = kFingerprintChunkTable[j];
+    fp.residues[j] = value.ModU64(chunk.product);
+    for (int k = 0; k < chunk.count; ++k) {
+      if (fp.residues[j] % kFingerprintPrimes[chunk.first + k] == 0) {
+        fp.prime_mask |= std::uint64_t{1} << (chunk.first + k);
+      }
+    }
+  }
+  fp.bit_length = value.BitLength();
+  fp.trailing_zeros = value.TrailingZeroBits();
+  return fp;
+}
+
+LabelFingerprint ExtendFingerprintByPrime(const LabelFingerprint& parent,
+                                          std::uint64_t self,
+                                          const BigInt& child_label) {
+  LabelFingerprint fp;
+  const auto& reciprocals = ChunkReciprocals();
+  for (int j = 0; j < kFingerprintChunks; ++j) {
+    // self is prime but may exceed the chunk product; reduce it first so
+    // the product fits 128 bits.
+    std::uint64_t self_mod = reciprocals[j].Mod128(0, self);
+    U128 prod = static_cast<U128>(parent.residues[j]) * self_mod;
+    fp.residues[j] = reciprocals[j].Mod128(
+        static_cast<std::uint64_t>(prod >> 64),
+        static_cast<std::uint64_t>(prod));
+  }
+  // self is prime, so the small primes dividing parent*self are exactly
+  // those dividing the parent, plus self when it is in the tracked range.
+  fp.prime_mask = parent.prime_mask | MaskBitOf(self);
+  fp.bit_length = child_label.BitLength();
+  fp.trailing_zeros = child_label.TrailingZeroBits();
+  return fp;
+}
+
+// --- Layer 2 ---------------------------------------------------------------
+
+Reciprocal64::Reciprocal64(std::uint64_t divisor)
+    : divisor_(divisor),
+      normalized_(divisor << std::countl_zero(divisor)),
+      reciprocal_(Reciprocal2by1(normalized_)),
+      shift_(std::countl_zero(divisor)) {
+  assert(divisor != 0);
+}
+
+std::uint64_t Reciprocal64::Mod(std::span<const std::uint32_t> magnitude)
+    const {
+  return ModMagnitude2by1(magnitude, normalized_, reciprocal_, shift_);
+}
+
+std::uint64_t Reciprocal64::Mod128(std::uint64_t hi, std::uint64_t lo) const {
+  std::uint64_t r;
+  if (shift_ == 0) {
+    r = ModStep2by1(0, hi, normalized_, reciprocal_);
+    return ModStep2by1(r, lo, normalized_, reciprocal_);
+  }
+  r = hi >> (64 - shift_);  // < 2^shift_ <= normalized_
+  std::uint64_t mid = (hi << shift_) | (lo >> (64 - shift_));
+  r = ModStep2by1(r, mid, normalized_, reciprocal_);
+  r = ModStep2by1(r, lo << shift_, normalized_, reciprocal_);
+  return r >> shift_;
+}
+
+void ReciprocalDivisor::Assign(const BigInt& divisor) {
+  auto mag = divisor.Magnitude();
+  assert(!mag.empty() && "ReciprocalDivisor requires a nonzero divisor");
+  limbs_ = mag.size();
+  if (limbs_ <= 2) {
+    divisor_word_ =
+        mag[0] | (limbs_ == 2 ? static_cast<std::uint64_t>(mag[1]) << 32 : 0);
+    word_shift_ = std::countl_zero(divisor_word_);
+    word_normalized_ = divisor_word_ << word_shift_;
+    word_reciprocal_ = Reciprocal2by1(word_normalized_);
+    divisor_.clear();
+    mu_.clear();
+    return;
+  }
+  divisor_.assign(mag.begin(), mag.end());
+  if (limbs_ < kBarrettMinLimbs) {
+    // Mid-size divisor: Knuth with retained scratch beats Barrett here, so
+    // skip the mu division entirely.
+    divisor_big_ = BigIntFromLimbs(divisor_);
+    mu_.clear();
+    return;
+  }
+  // mu = floor(B^(2n) / x), the Barrett constant (HAC 14.42). Computed once
+  // per Assign with a full division; every Divides afterwards multiplies.
+  BigInt mu = (BigInt(1) << (2 * static_cast<int>(limbs_) * kLimbBits)) /
+              BigIntFromLimbs(divisor_);
+  auto mu_mag = mu.Magnitude();
+  mu_.assign(mu_mag.begin(), mu_mag.end());
+}
+
+bool ReciprocalDivisor::Divides(const BigInt& dividend) {
+  assert(assigned());
+  if (dividend.IsZero()) return true;
+  auto mag = dividend.Magnitude();
+  if (limbs_ <= 2) {
+    return ModMagnitude2by1(mag, word_normalized_, word_reciprocal_,
+                            word_shift_) == 0;
+  }
+  if (mag.size() < limbs_) return false;  // 0 < |dividend| < divisor
+  if (limbs_ < kBarrettMinLimbs) {
+    return dividend.IsDivisibleBy(divisor_big_, &div_scratch_);
+  }
+  return ReduceLarge(mag);
+}
+
+BigInt ReciprocalDivisor::Mod(const BigInt& dividend) {
+  assert(assigned());
+  if (dividend.IsZero()) return BigInt();
+  auto mag = dividend.Magnitude();
+  if (limbs_ <= 2) {
+    return BigInt::FromUint64(
+        ModMagnitude2by1(mag, word_normalized_, word_reciprocal_,
+                         word_shift_));
+  }
+  if (mag.size() < limbs_) return BigIntFromLimbs(mag);
+  if (limbs_ < kBarrettMinLimbs) return BigIntFromLimbs(mag) % divisor_big_;
+  ReduceLarge(mag);
+  return BigIntFromLimbs(acc_);
+}
+
+bool ReciprocalDivisor::ReduceLarge(std::span<const std::uint32_t> dividend) {
+  const std::size_t n = limbs_;
+  const std::size_t chunks = (dividend.size() + n - 1) / n;
+  // Horner over n-limb chunks, most significant first; the accumulator
+  // stays < x * B^n <= B^(2n), the precondition of HAC 14.42.
+  acc_.assign(dividend.begin() + (chunks - 1) * n, dividend.end());
+  StripHighZeros(&acc_);
+  BarrettReduce();
+  for (std::size_t c = chunks - 1; c-- > 0;) {
+    acc_.insert(acc_.begin(), dividend.begin() + c * n,
+                dividend.begin() + (c + 1) * n);
+    BarrettReduce();
+  }
+  return acc_.empty();
+}
+
+void ReciprocalDivisor::BarrettReduce() {
+  const std::size_t n = limbs_;
+  if (CompareLimbSpans(acc_, divisor_) < 0) return;
+  // q3 = floor(floor(acc / B^(n-1)) * mu / B^(n+1)) — the quotient
+  // estimate; off by at most 2 (HAC 14.42), corrected below.
+  std::span<const Limb> q1(acc_.data() + (n - 1), acc_.size() - (n - 1));
+  MulLimbSpans(q1, mu_, &t1_);
+  std::span<const Limb> q3;
+  if (t1_.size() > n + 1) q3 = std::span<const Limb>(t1_).subspan(n + 1);
+  MulLimbSpans(q3, divisor_, &t2_);
+  // acc = (acc - q3 * x) mod B^(n+1); the true remainder is < B^(n+1), so
+  // fixed-width wraparound arithmetic recovers it exactly.
+  const std::size_t width = n + 1;
+  acc_.resize(width, 0);
+  SubLimbsModWidth(&acc_, t2_, width);
+  StripHighZeros(&acc_);
+  while (CompareLimbSpans(acc_, divisor_) >= 0) {
+    SubLimbsInPlace(&acc_, divisor_);
+  }
+}
+
+// --- Layer 3 ---------------------------------------------------------------
+
+SubproductTree::SubproductTree(std::span<const std::uint64_t> moduli) {
+  std::vector<BigInt> leaves;
+  leaves.reserve(moduli.size());
+  for (std::uint64_t m : moduli) leaves.push_back(BigInt::FromUint64(m));
+  Build(std::move(leaves));
+}
+
+SubproductTree::SubproductTree(std::vector<BigInt> leaves) {
+  Build(std::move(leaves));
+}
+
+void SubproductTree::Build(std::vector<BigInt> leaves) {
+  leaf_count_ = leaves.size();
+  capacity_ = 1;
+  while (capacity_ < std::max<std::size_t>(leaf_count_, 1)) capacity_ <<= 1;
+  nodes_.assign(2 * capacity_, BigInt(1));  // padding leaves are 1
+  for (std::size_t i = 0; i < leaf_count_; ++i) {
+    assert(!leaves[i].IsZero() && "SubproductTree moduli must be nonzero");
+    nodes_[capacity_ + i] = std::move(leaves[i]);
+  }
+  for (std::size_t k = capacity_; k-- > 1;) {
+    nodes_[k] = nodes_[2 * k] * nodes_[2 * k + 1];
+  }
+}
+
+void SubproductTree::RemaindersOf(const BigInt& y,
+                                  std::vector<BigInt>* out) const {
+  out->assign(leaf_count_, BigInt());
+  if (leaf_count_ == 0) return;
+  Descend(1, 0, capacity_, y % nodes_[1], out);
+}
+
+void SubproductTree::RemaindersOf(const BigInt& y,
+                                  std::vector<std::uint64_t>* out) const {
+  std::vector<BigInt> rems;
+  RemaindersOf(y, &rems);
+  out->resize(leaf_count_);
+  for (std::size_t i = 0; i < leaf_count_; ++i) {
+    (*out)[i] = rems[i].ToUint64();
+  }
+}
+
+void SubproductTree::Descend(std::size_t node, std::size_t first,
+                             std::size_t width, const BigInt& rem,
+                             std::vector<BigInt>* out) const {
+  if (first >= leaf_count_) return;  // all-padding subtree
+  if (width == 1) {
+    (*out)[first] = rem;
+    return;
+  }
+  const std::size_t half = width / 2;
+  Descend(2 * node, first, half, rem % nodes_[2 * node], out);
+  Descend(2 * node + 1, first + half, half, rem % nodes_[2 * node + 1], out);
+}
+
+BigInt SubproductTree::CombineResidues(
+    std::span<const std::uint64_t> alpha) const {
+  assert(alpha.size() == leaf_count_);
+  if (leaf_count_ == 0) return BigInt();
+  return Combine(1, 0, capacity_, alpha);
+}
+
+BigInt SubproductTree::Combine(std::size_t node, std::size_t first,
+                               std::size_t width,
+                               std::span<const std::uint64_t> alpha) const {
+  if (first >= leaf_count_) return BigInt();  // padding contributes 0
+  if (width == 1) return BigInt::FromUint64(alpha[first]);
+  const std::size_t half = width / 2;
+  BigInt left = Combine(2 * node, first, half, alpha);
+  BigInt right = Combine(2 * node + 1, first + half, half, alpha);
+  // S = S_L * P_R + S_R * P_L lifts each alpha_i to alpha_i * (P / m_i).
+  return left * nodes_[2 * node + 1] + right * nodes_[2 * node];
+}
+
+}  // namespace primelabel

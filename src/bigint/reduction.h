@@ -1,0 +1,286 @@
+#ifndef PRIMELABEL_BIGINT_REDUCTION_H_
+#define PRIMELABEL_BIGINT_REDUCTION_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bigint/bigint.h"
+
+namespace primelabel {
+
+// Divisibility fast-path engine. Every structural query of the prime
+// scheme reduces to `label(y) mod label(x) == 0` (Properties 2 and 3 of
+// the paper), so BigInt reduction is the hot path of the whole system.
+// This header provides three layers that the batch query kernels and the
+// CRT solver share, each bit-identical in outcome to naive DivMod:
+//
+//   Layer 1 — residue fingerprints (LabelFingerprint): per-label residues
+//   modulo a few squarefree word-sized moduli, plus bit length and the
+//   trailing-zero count. A witness in any slot rejects a candidate pair
+//   with zero BigInt work; pairs that pass fall through to an exact test.
+//
+//   Layer 2 — reciprocal-cached reduction (Reciprocal64 /
+//   ReciprocalDivisor): when one divisor is tested against many dividends,
+//   the normalization and the reciprocal of the divisor are computed once,
+//   so each remaining test is multiply-high + subtract (Möller–Granlund
+//   2-by-1 division for word-sized divisors, Barrett reduction for
+//   multi-limb ones) instead of a full Knuth division.
+//
+//   Layer 3 — subproduct/remainder trees (SubproductTree): `y mod m_i`
+//   for all moduli of a group in near-linear time, and the matching
+//   linear-combination walk that the fast CRT solver (core/crt.h,
+//   SolveCrtFast) uses to avoid O(group^2) limb work.
+
+// --- Layer 1: residue fingerprints -----------------------------------------
+
+/// The first 64 primes (2 .. 311). A fingerprint tracks, for each of
+/// these, whether it divides the label; prime labels are products of the
+/// *smallest* unused primes, so almost every label contains several of
+/// them and almost every non-ancestor pair differs in at least one.
+inline constexpr std::array<std::uint32_t, 64> kFingerprintPrimes = {
+    2,   3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,
+    43,  47,  53,  59,  61,  67,  71,  73,  79,  83,  89,  97,  101,
+    103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167,
+    173, 179, 181, 191, 193, 197, 199, 211, 223, 227, 229, 233, 239,
+    241, 251, 257, 263, 269, 271, 277, 281, 283, 293, 307, 311};
+
+/// Consecutive kFingerprintPrimes packed greedily into squarefree products
+/// that fit a machine word — the moduli of the fingerprint residues.
+struct FingerprintChunk {
+  std::uint64_t product = 1;  ///< product of primes [first, first + count)
+  int first = 0;
+  int count = 0;
+};
+
+/// Greedy chunking of the 64 fingerprint primes: 7 chunks fit in 64-bit
+/// products (15 + 10 + 9 + 8 + 8 + 8 + 6 primes).
+inline constexpr int kFingerprintChunks = 7;
+
+consteval std::array<FingerprintChunk, kFingerprintChunks>
+BuildFingerprintChunks() {
+  std::array<FingerprintChunk, kFingerprintChunks> chunks{};
+  int chunk = 0;
+  int i = 0;
+  while (i < static_cast<int>(kFingerprintPrimes.size())) {
+    FingerprintChunk c;
+    c.first = i;
+    while (i < static_cast<int>(kFingerprintPrimes.size()) &&
+           c.product <= ~std::uint64_t{0} / kFingerprintPrimes[i]) {
+      c.product *= kFingerprintPrimes[i];
+      ++c.count;
+      ++i;
+    }
+    chunks[chunk++] = c;
+  }
+  // consteval: a mismatch with kFingerprintChunks fails the build.
+  if (chunk != kFingerprintChunks) throw "fingerprint chunk count drifted";
+  return chunks;
+}
+
+inline constexpr std::array<FingerprintChunk, kFingerprintChunks>
+    kFingerprintChunkTable = BuildFingerprintChunks();
+
+/// Word-sized summary of a label, attached at labeling time and consulted
+/// before any BigInt division.
+///
+/// The witness logic: if x divides y, then (a) every small prime dividing
+/// x divides y, (b) the exact power of two dividing x divides y, and (c)
+/// x <= y. Each field gives one of those necessary conditions a
+/// constant-time check; `prime_mask` is derived from `residues` — the
+/// chunk moduli are squarefree, so gcd(label, chunk product) is exactly
+/// the set of chunk primes dividing the label, recoverable from the
+/// residue alone. A failed check is a proof of non-divisibility; a pass
+/// decides nothing (the caller runs the exact division).
+struct LabelFingerprint {
+  /// label mod kFingerprintChunkTable[j].product.
+  std::array<std::uint64_t, kFingerprintChunks> residues{};
+  /// Bit i set iff kFingerprintPrimes[i] divides the label.
+  std::uint64_t prime_mask = 0;
+  /// BigInt::BitLength() of the label.
+  std::int32_t bit_length = 0;
+  /// BigInt::TrailingZeroBits() of the label (the Opt2 power-of-two slot:
+  /// an even divisor with more trailing zeros than the dividend is
+  /// rejected here, before any division).
+  std::int32_t trailing_zeros = 0;
+};
+
+/// Computes the fingerprint of `value` from scratch (|value| is used).
+/// Cost: one word-sized remainder per chunk plus one small division per
+/// fingerprint prime — the catalog load path and Adopt use this.
+LabelFingerprint FingerprintOf(const BigInt& value);
+
+/// Derives the fingerprint of `child_label == parent_label * self` from
+/// the parent's fingerprint in O(chunks) multiply-mods — the incremental
+/// path used while labeling. `self` must be prime (the top-down scheme's
+/// self-labels are); `child_label` is consulted only for the exact bit
+/// length and trailing-zero count.
+LabelFingerprint ExtendFingerprintByPrime(const LabelFingerprint& parent,
+                                          std::uint64_t self,
+                                          const BigInt& child_label);
+
+/// False iff some fingerprint slot witnesses that the label behind
+/// `divisor` cannot divide the label behind `dividend`. True means "maybe"
+/// — run the exact test.
+inline bool FingerprintMayDivide(const LabelFingerprint& divisor,
+                                 const LabelFingerprint& dividend) {
+  return divisor.bit_length <= dividend.bit_length &&
+         (divisor.prime_mask & ~dividend.prime_mask) == 0 &&
+         divisor.trailing_zeros <= dividend.trailing_zeros;
+}
+
+/// The sharper witness for *proper* division (divisor strictly smaller
+/// than dividend): x | y with x != y forces y >= 2x, so the divisor's bit
+/// length must be strictly smaller. This is the ancestry case — a proper
+/// ancestor's label strictly divides the descendant's — and the strict
+/// bound rejects the common same-depth pairs whose bit lengths tie.
+/// Callers must exclude the x == y pair themselves (the batch kernels
+/// already do, via node identity or the catalog's label-equality guard).
+inline bool FingerprintMayProperlyDivide(const LabelFingerprint& divisor,
+                                         const LabelFingerprint& dividend) {
+  return divisor.bit_length < dividend.bit_length &&
+         (divisor.prime_mask & ~dividend.prime_mask) == 0 &&
+         divisor.trailing_zeros <= dividend.trailing_zeros;
+}
+
+// --- Layer 2: reciprocal-cached reduction ----------------------------------
+
+/// Word-sized divisor with a cached Möller–Granlund reciprocal: after
+/// construction, reducing an n-limb BigInt costs n/2 multiply-high steps
+/// instead of n hardware 128/64 divisions. Used wherever one 64-bit
+/// divisor meets many dividends (batched ancestor tests against shallow
+/// ancestors, the fast CRT's per-modulus arithmetic).
+class Reciprocal64 {
+ public:
+  /// `divisor` must be nonzero.
+  explicit Reciprocal64(std::uint64_t divisor);
+
+  std::uint64_t divisor() const { return divisor_; }
+
+  /// |value| mod divisor. Equals BigInt::ModU64(divisor) exactly.
+  std::uint64_t Mod(const BigInt& value) const {
+    return Mod(value.Magnitude());
+  }
+  std::uint64_t Mod(std::span<const std::uint32_t> magnitude) const;
+
+  /// (hi:lo) mod divisor — one reduction step, for u128-sized values.
+  std::uint64_t Mod128(std::uint64_t hi, std::uint64_t lo) const;
+
+ private:
+  std::uint64_t divisor_;
+  std::uint64_t normalized_;  ///< divisor << shift_ (top bit set)
+  std::uint64_t reciprocal_;  ///< floor((2^128 - 1) / normalized_) - 2^64
+  int shift_;
+};
+
+/// A divisor cached for repeated exact-divisibility tests. Assign picks
+/// the reduction strategy by divisor size and precomputes its constants
+/// once, so each Divides call avoids the per-call setup of a cold
+/// division:
+///   <= 2 limbs           — Möller–Granlund word reciprocal;
+///   3 .. 7 limbs         — Knuth division with a retained scratch buffer
+///                          (at these sizes Barrett's two n x n products
+///                          cost more than the division they replace);
+///   >= kBarrettMinLimbs  — Barrett reduction with a cached mu constant.
+/// One instance per batch per thread; the scratch buffers make the object
+/// non-thread-safe by design (same contract as BigInt::DivScratch).
+class ReciprocalDivisor {
+ public:
+  /// Divisors below this limb count use plain Knuth division instead of
+  /// Barrett: mu would be computed and multiplied over so few limbs that
+  /// the constant costs dominate.
+  static constexpr std::size_t kBarrettMinLimbs = 8;
+
+  ReciprocalDivisor() = default;
+
+  /// Caches `divisor` (> 0). May be called repeatedly to re-point the
+  /// cache at a new divisor (the anchor-run pattern of IsAncestorBatch).
+  void Assign(const BigInt& divisor);
+
+  bool assigned() const { return limbs_ != 0; }
+
+  /// True iff the cached divisor divides |dividend| exactly. Bit-identical
+  /// to BigInt::IsDivisibleBy against the same divisor.
+  bool Divides(const BigInt& dividend);
+
+  /// |dividend| mod divisor, as a BigInt — the equivalence-test surface
+  /// (and the remainder consumers of the CRT layer).
+  BigInt Mod(const BigInt& dividend);
+
+ private:
+  /// Reduces |dividend| into scratch `acc_`; returns true when the result
+  /// is exactly zero (the only bit Divides needs).
+  bool ReduceLarge(std::span<const std::uint32_t> dividend);
+  /// One Barrett step: acc_ (< B^(2n)) becomes acc_ mod divisor, in place.
+  void BarrettReduce();
+
+  std::size_t limbs_ = 0;            ///< divisor magnitude limb count
+  std::uint64_t divisor_word_ = 0;   ///< divisor when limbs_ <= 2
+  std::uint64_t word_reciprocal_ = 0;
+  std::uint64_t word_normalized_ = 0;
+  int word_shift_ = 0;
+
+  // Mid-size (Knuth) state: the divisor as a BigInt plus the reused
+  // division scratch.
+  BigInt divisor_big_;
+  BigInt::DivScratch div_scratch_;
+
+  // Multi-limb (Barrett) state: divisor magnitude and
+  // mu = floor(B^(2n) / divisor) with B = 2^32, n = limbs_.
+  std::vector<std::uint32_t> divisor_;
+  std::vector<std::uint32_t> mu_;
+  // Scratch (reused across Divides calls): accumulator and two products.
+  std::vector<std::uint32_t> acc_;
+  std::vector<std::uint32_t> t1_;
+  std::vector<std::uint32_t> t2_;
+};
+
+// --- Layer 3: subproduct / remainder trees ---------------------------------
+
+/// Balanced product tree over a group of moduli. Supports the two
+/// near-linear walks the SC table and the CRT solver need:
+/// RemaindersOf (a remainder tree: y mod every leaf at once) and
+/// CombineResidues (the Borodin–Moenck linear combination
+/// sum_i alpha_i * product/leaf_i, built bottom-up without ever
+/// materializing the per-leaf cofactors).
+class SubproductTree {
+ public:
+  /// Word-sized leaves (node self-labels). Moduli must be nonzero.
+  explicit SubproductTree(std::span<const std::uint64_t> moduli);
+  /// General BigInt leaves (the fast CRT's squared-moduli tree).
+  explicit SubproductTree(std::vector<BigInt> leaves);
+
+  std::size_t size() const { return leaf_count_; }
+  /// Product of all leaves.
+  const BigInt& product() const { return nodes_[1]; }
+
+  /// out[i] = y mod leaf_i for every leaf, via one descent: each node
+  /// reduces the parent's remainder by its own subproduct. y must be
+  /// nonnegative. Near-linear in the bit size of y + the tree.
+  void RemaindersOf(const BigInt& y, std::vector<BigInt>* out) const;
+  /// Word-sized convenience: every leaf must fit std::uint64_t.
+  void RemaindersOf(const BigInt& y, std::vector<std::uint64_t>* out) const;
+
+  /// sum_i alpha[i] * (product() / leaf_i), computed bottom-up as
+  /// S_parent = S_left * P_right + S_right * P_left. alpha.size() must
+  /// equal size().
+  BigInt CombineResidues(std::span<const std::uint64_t> alpha) const;
+
+ private:
+  void Build(std::vector<BigInt> leaves);
+  /// `first`/`width` track the leaf range a node covers so descents skip
+  /// power-of-two padding subtrees entirely.
+  void Descend(std::size_t node, std::size_t first, std::size_t width,
+               const BigInt& rem, std::vector<BigInt>* out) const;
+  BigInt Combine(std::size_t node, std::size_t first, std::size_t width,
+                 std::span<const std::uint64_t> alpha) const;
+
+  std::size_t leaf_count_ = 0;
+  std::size_t capacity_ = 0;   ///< leaves padded to a power of two
+  std::vector<BigInt> nodes_;  ///< 1-indexed heap; leaves at [capacity_, ...)
+};
+
+}  // namespace primelabel
+
+#endif  // PRIMELABEL_BIGINT_REDUCTION_H_

@@ -40,7 +40,6 @@ class DecomposedPrimeScheme : public LabelingScheme {
   int LabelBits(NodeId id) const override;
   std::string LabelString(NodeId id) const override;
   int HandleInsert(NodeId new_node, InsertOrder order) override;
-  using LabelingScheme::HandleInsert;
 
   /// Number of components the document was cut into.
   std::size_t component_count() const { return components_.size(); }

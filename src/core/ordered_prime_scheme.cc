@@ -2,6 +2,7 @@
 
 #include <unordered_map>
 
+#include "bigint/reduction.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -68,26 +69,66 @@ std::uint64_t OrderedPrimeScheme::OrderOf(NodeId id) const {
 void OrderedPrimeScheme::IsAncestorBatch(
     std::span<const std::pair<NodeId, NodeId>> pairs,
     std::vector<std::uint8_t>* results) const {
-  BigInt::DivScratch scratch;
+  // Layer 1: fingerprint witnesses dispose of almost every non-ancestor
+  // pair with zero BigInt work. Layer 2: the join kernels emit pairs in
+  // anchor-major runs, so the reciprocal/Barrett constants of a divisor
+  // are computed once per run, not once per pair. Both local — batches
+  // stay safe to issue from concurrent threads.
+  ReciprocalDivisor cached;
+  NodeId cached_ancestor = kInvalidNodeId;
   results->clear();
   results->reserve(pairs.size());
   for (const auto& [ancestor, descendant] : pairs) {
-    bool related =
-        ancestor != descendant &&
-        structure_.label(descendant)
-            .IsDivisibleBy(structure_.label(ancestor), &scratch);
-    results->push_back(related ? 1 : 0);
+    if (ancestor == descendant ||
+        !FingerprintMayProperlyDivide(structure_.fingerprint(ancestor),
+                              structure_.fingerprint(descendant))) {
+      results->push_back(0);
+      continue;
+    }
+    if (ancestor != cached_ancestor) {
+      cached.Assign(structure_.label(ancestor));
+      cached_ancestor = ancestor;
+    }
+    results->push_back(cached.Divides(structure_.label(descendant)) ? 1 : 0);
   }
 }
 
 void OrderedPrimeScheme::SelectDescendants(NodeId ancestor,
                                            std::span<const NodeId> candidates,
                                            std::vector<NodeId>* out) const {
-  BigInt::DivScratch scratch;
-  const BigInt& ancestor_label = structure_.label(ancestor);
+  // One divisor, many dividends: the ideal reciprocal-cache shape.
+  ReciprocalDivisor cached;
+  cached.Assign(structure_.label(ancestor));
+  const LabelFingerprint& ancestor_fp = structure_.fingerprint(ancestor);
   for (NodeId candidate : candidates) {
-    if (candidate != ancestor &&
-        structure_.label(candidate).IsDivisibleBy(ancestor_label, &scratch)) {
+    if (candidate == ancestor) continue;
+    if (!FingerprintMayProperlyDivide(ancestor_fp, structure_.fingerprint(candidate))) {
+      continue;
+    }
+    if (cached.Divides(structure_.label(candidate))) {
+      out->push_back(candidate);
+    }
+  }
+}
+
+void OrderedPrimeScheme::SelectAncestors(NodeId descendant,
+                                         std::span<const NodeId> candidates,
+                                         std::vector<NodeId>* out) const {
+  // The ancestor axis inverts the roles: one dividend, many divisors, so
+  // there is no reciprocal to share — but fingerprints still reject nearly
+  // all candidates (any tracked prime of the candidate missing from the
+  // descendant is a witness), and the scratch is shared across survivors.
+  const BigInt& descendant_label = structure_.label(descendant);
+  const LabelFingerprint& descendant_fp = structure_.fingerprint(descendant);
+  BigInt::DivScratch scratch;
+  for (NodeId candidate : candidates) {
+    if (candidate == descendant) continue;
+    if (!FingerprintMayProperlyDivide(structure_.fingerprint(candidate),
+                              descendant_fp)) {
+      continue;
+    }
+    if (descendant_label.IsDivisibleBy(structure_.label(candidate),
+                                       &scratch)) {
       out->push_back(candidate);
     }
   }

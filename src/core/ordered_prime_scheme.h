@@ -44,7 +44,6 @@ class OrderedPrimeScheme : public LabelingScheme, public StructureOracle {
   /// both ordering contracts run the same path: label the new node, then
   /// splice its order number into the SC table.
   int HandleInsert(NodeId new_node, InsertOrder order) override;
-  using LabelingScheme::HandleInsert;
 
   /// Releases the SC congruences of a detached subtree. Remaining order
   /// numbers keep their (gapped) values, so order comparisons stay valid
@@ -59,14 +58,18 @@ class OrderedPrimeScheme : public LabelingScheme, public StructureOracle {
   std::uint64_t OrderOf(NodeId id) const override;
 
   // --- Batch queries ------------------------------------------------------
-  // One BigInt::DivScratch is shared across the whole batch, so the
-  // remainder-only divisions allocate at most once per call instead of
-  // once per pair — the amortization the batched join kernels rely on.
+  // All three run the divisibility fast-path engine (bigint/reduction.h):
+  // fingerprint witnesses reject non-ancestor pairs with zero BigInt work,
+  // and the divisor's reciprocal/Barrett constants are cached per anchor
+  // run so surviving tests are multiply-high + subtract instead of full
+  // Knuth division. Results are bit-identical to the scalar IsAncestor.
 
   void IsAncestorBatch(std::span<const std::pair<NodeId, NodeId>> pairs,
                        std::vector<std::uint8_t>* results) const override;
   void SelectDescendants(NodeId ancestor, std::span<const NodeId> candidates,
                          std::vector<NodeId>* out) const override;
+  void SelectAncestors(NodeId descendant, std::span<const NodeId> candidates,
+                       std::vector<NodeId>* out) const override;
 
   /// Adopts persisted labels and SC records (the restart path): installs
   /// them without relabeling anything, after which queries and updates

@@ -20,4 +20,12 @@ void StructureOracle::SelectDescendants(NodeId ancestor,
   }
 }
 
+void StructureOracle::SelectAncestors(NodeId descendant,
+                                      std::span<const NodeId> candidates,
+                                      std::vector<NodeId>* out) const {
+  for (NodeId candidate : candidates) {
+    if (IsAncestor(candidate, descendant)) out->push_back(candidate);
+  }
+}
+
 }  // namespace primelabel

@@ -75,6 +75,15 @@ class StructureOracle {
   virtual void SelectDescendants(NodeId ancestor,
                                  std::span<const NodeId> candidates,
                                  std::vector<NodeId>* out) const;
+
+  /// Appends to `out` every candidate that is a proper ancestor of
+  /// `descendant`, preserving candidate order — the single-anchor fast
+  /// path of the ancestor-axis join (the roles of divisor and dividend
+  /// flip, so implementations filter by fingerprint rather than by a
+  /// shared reciprocal).
+  virtual void SelectAncestors(NodeId descendant,
+                               std::span<const NodeId> candidates,
+                               std::vector<NodeId>* out) const;
 };
 
 /// Adapts any (LabelingScheme, OrderFn) pair to the oracle interface —

@@ -30,7 +30,6 @@ class DeweyScheme : public LabelingScheme {
   int LabelBits(NodeId id) const override;
   std::string LabelString(NodeId id) const override;
   int HandleInsert(NodeId new_node, InsertOrder order) override;
-  using LabelingScheme::HandleInsert;
 
   /// The ordinal path (root has an empty path).
   const std::vector<std::uint32_t>& path(NodeId id) const {

@@ -29,7 +29,6 @@ class FloatIntervalScheme : public LabelingScheme {
   int LabelBits(NodeId id) const override;
   std::string LabelString(NodeId id) const override;
   int HandleInsert(NodeId new_node, InsertOrder order) override;
-  using LabelingScheme::HandleInsert;
 
   /// Interval bounds (for tests).
   double start(NodeId id) const { return start_[static_cast<size_t>(id)]; }

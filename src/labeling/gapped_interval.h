@@ -32,7 +32,6 @@ class GappedIntervalScheme : public LabelingScheme {
   int LabelBits(NodeId id) const override;
   std::string LabelString(NodeId id) const override;
   int HandleInsert(NodeId new_node, InsertOrder order) override;
-  using LabelingScheme::HandleInsert;
 
   std::uint64_t start(NodeId id) const {
     return start_[static_cast<size_t>(id)];

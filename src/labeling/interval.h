@@ -35,7 +35,6 @@ class IntervalScheme : public LabelingScheme {
   int LabelBits(NodeId id) const override;
   std::string LabelString(NodeId id) const override;
   int HandleInsert(NodeId new_node, InsertOrder order) override;
-  using LabelingScheme::HandleInsert;
 
   /// First component (start or order) — exposed for the store/query layer.
   std::uint64_t low(NodeId id) const { return low_[static_cast<size_t>(id)]; }

@@ -41,7 +41,6 @@ class PrefixScheme : public LabelingScheme {
   int LabelBits(NodeId id) const override;
   std::string LabelString(NodeId id) const override;
   int HandleInsert(NodeId new_node, InsertOrder order) override;
-  using LabelingScheme::HandleInsert;
 
   /// The full bit-string label (exposed for the store/query layer, which
   /// implements the paper's "check prefix" user-defined function on it).

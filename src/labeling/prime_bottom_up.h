@@ -35,7 +35,6 @@ class PrimeBottomUpScheme : public LabelingScheme {
   int LabelBits(NodeId id) const override;
   std::string LabelString(NodeId id) const override;
   int HandleInsert(NodeId new_node, InsertOrder order) override;
-  using LabelingScheme::HandleInsert;
 
   const BigInt& label(NodeId id) const {
     return labels_[static_cast<size_t>(id)];

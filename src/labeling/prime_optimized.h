@@ -56,7 +56,6 @@ class PrimeOptimizedScheme : public LabelingScheme {
   int LabelBits(NodeId id) const override;
   std::string LabelString(NodeId id) const override;
   int HandleInsert(NodeId new_node, InsertOrder order) override;
-  using LabelingScheme::HandleInsert;
 
   /// Number of worker threads LabelTree may use (>= 1; default 1 =
   /// sequential). Labels are bit-identical for every worker count: a

@@ -20,7 +20,24 @@ void PrimeTopDownScheme::EnsureCapacity() {
   if (labels_.size() < need) {
     labels_.resize(need);
     selves_.resize(need, 0);
+    fps_.resize(need);
   }
+}
+
+void PrimeTopDownScheme::WriteRootLabel(NodeId id) {
+  auto i = static_cast<std::size_t>(id);
+  selves_[i] = 1;
+  labels_[i] = BigInt(1);
+  fps_[i] = FingerprintOf(labels_[i]);
+}
+
+void PrimeTopDownScheme::WriteChildLabel(NodeId id, NodeId parent,
+                                         std::uint64_t p) {
+  auto i = static_cast<std::size_t>(id);
+  auto pi = static_cast<std::size_t>(parent);
+  selves_[i] = p;
+  labels_[i] = labels_[pi] * BigInt::FromUint64(p);
+  fps_[i] = ExtendFingerprintByPrime(fps_[pi], p, labels_[i]);
 }
 
 void PrimeTopDownScheme::LabelTree(const XmlTree& tree) {
@@ -28,17 +45,13 @@ void PrimeTopDownScheme::LabelTree(const XmlTree& tree) {
   primes_.Reset();
   labels_.assign(tree.arena_size(), BigInt());
   selves_.assign(tree.arena_size(), 0);
+  fps_.assign(tree.arena_size(), LabelFingerprint());
   if (num_workers_ > 1 && LabelTreeParallel(tree)) return;
   tree.Preorder([&](NodeId id, int depth) {
     if (depth == 0) {
-      selves_[static_cast<size_t>(id)] = 1;
-      labels_[static_cast<size_t>(id)] = BigInt(1);
+      WriteRootLabel(id);
     } else {
-      std::uint64_t p = primes_.Next();
-      selves_[static_cast<size_t>(id)] = p;
-      labels_[static_cast<size_t>(id)] =
-          labels_[static_cast<size_t>(tree.parent(id))] *
-          BigInt::FromUint64(p);
+      WriteChildLabel(id, tree.parent(id), primes_.Next());
     }
   });
 }
@@ -53,23 +66,19 @@ bool PrimeTopDownScheme::LabelTreeParallel(const XmlTree& tree) {
   // sequential primes_.Next() loop would have dealt it.
   for (std::size_t k = 0; k < plan.preorder.size(); ++k) {
     if (plan.depth[k] > plan.cut_depth) continue;
-    auto i = static_cast<std::size_t>(plan.preorder[k]);
     if (plan.depth[k] == 0) {
-      selves_[i] = 1;
-      labels_[i] = BigInt(1);
+      WriteRootLabel(plan.preorder[k]);
     } else {
-      std::uint64_t p = primes_.PrimeAt(k - 1);
-      selves_[i] = p;
-      labels_[i] =
-          labels_[static_cast<std::size_t>(tree.parent(plan.preorder[k]))] *
-          BigInt::FromUint64(p);
+      WriteChildLabel(plan.preorder[k], tree.parent(plan.preorder[k]),
+                      primes_.PrimeAt(k - 1));
     }
   }
 
   // Fan out: each subtree below the cut owns the contiguous prime slice
   // its interior occupies in preorder (positions pos+1 .. pos+size-1 hold
-  // stream indexes pos .. pos+size-2). Workers touch disjoint label rows
-  // and never the shared source, so no synchronization beyond the pool's.
+  // stream indexes pos .. pos+size-2). Workers touch disjoint label (and
+  // fingerprint) rows and never the shared source, so no synchronization
+  // beyond the pool's.
   ThreadPool pool(num_workers_);
   for (std::size_t pos : plan.roots) {
     if (plan.size[pos] <= 1) continue;
@@ -79,11 +88,7 @@ bool PrimeTopDownScheme::LabelTreeParallel(const XmlTree& tree) {
     pool.Submit([this, &tree, root, root_depth, block]() mutable {
       tree.PreorderFrom(root, root_depth, [&](NodeId id, int) {
         if (id == root) return;
-        std::uint64_t p = block.Next();
-        auto i = static_cast<std::size_t>(id);
-        selves_[i] = p;
-        labels_[i] = labels_[static_cast<std::size_t>(tree.parent(id))] *
-                     BigInt::FromUint64(p);
+        WriteChildLabel(id, tree.parent(id), block.Next());
       });
     });
   }
@@ -101,9 +106,14 @@ void PrimeTopDownScheme::Adopt(const XmlTree& tree, std::vector<BigInt> labels,
   set_tree(tree);
   labels_ = std::move(labels);
   selves_ = std::move(selves);
+  // Adopted labels arrive without fingerprints; derive them from scratch
+  // (one pass over the attached nodes — the restart path is not hot).
+  fps_.assign(labels_.size(), LabelFingerprint());
   primes_.Reset();
   std::size_t used = 0;
   tree.Preorder([&](NodeId id, int depth) {
+    fps_[static_cast<std::size_t>(id)] =
+        FingerprintOf(labels_[static_cast<std::size_t>(id)]);
     if (depth == 0) return;
     std::uint64_t self = selves_[static_cast<std::size_t>(id)];
     used = std::max(used, primes_.IndexOf(self) + 1);
@@ -113,6 +123,11 @@ void PrimeTopDownScheme::Adopt(const XmlTree& tree, std::vector<BigInt> labels,
 
 bool PrimeTopDownScheme::IsAncestor(NodeId ancestor, NodeId descendant) const {
   if (ancestor == descendant) return false;
+  // Fingerprint witnesses reject almost every non-ancestor pair without
+  // touching BigInt limbs; survivors get the exact division.
+  if (!FingerprintMayProperlyDivide(fingerprint(ancestor), fingerprint(descendant))) {
+    return false;
+  }
   return label(descendant).IsDivisibleBy(label(ancestor));
 }
 
@@ -135,9 +150,7 @@ int PrimeTopDownScheme::RelabelSubtree(NodeId node) {
   int count = 0;
   for (NodeId c = tree()->first_child(node); c != kInvalidNodeId;
        c = tree()->next_sibling(c)) {
-    labels_[static_cast<size_t>(c)] =
-        labels_[static_cast<size_t>(node)] *
-        BigInt::FromUint64(selves_[static_cast<size_t>(c)]);
+    WriteChildLabel(c, node, selves_[static_cast<size_t>(c)]);
     ++count;
     count += RelabelSubtree(c);
   }
@@ -149,9 +162,7 @@ std::uint64_t PrimeTopDownScheme::ReplaceSelf(NodeId id, int* relabeled) {
   NodeId parent = tree()->parent(id);
   PL_CHECK(parent != kInvalidNodeId);  // the root's self-label is fixed at 1
   std::uint64_t p = primes_.Next();
-  selves_[static_cast<size_t>(id)] = p;
-  labels_[static_cast<size_t>(id)] =
-      labels_[static_cast<size_t>(parent)] * BigInt::FromUint64(p);
+  WriteChildLabel(id, parent, p);
   *relabeled += 1 + RelabelSubtree(id);
   return p;
 }
@@ -161,10 +172,7 @@ int PrimeTopDownScheme::HandleInsert(NodeId new_node, InsertOrder) {
   EnsureCapacity();
   NodeId parent = tree()->parent(new_node);
   PL_CHECK(parent != kInvalidNodeId);
-  std::uint64_t p = primes_.Next();
-  selves_[static_cast<size_t>(new_node)] = p;
-  labels_[static_cast<size_t>(new_node)] =
-      labels_[static_cast<size_t>(parent)] * BigInt::FromUint64(p);
+  WriteChildLabel(new_node, parent, primes_.Next());
   // WrapNode case: descendants inherit the new prime.
   return 1 + RelabelSubtree(new_node);
 }

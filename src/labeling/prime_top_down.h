@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "bigint/bigint.h"
+#include "bigint/reduction.h"
 #include "labeling/scheme.h"
 #include "primes/prime_source.h"
 
@@ -35,7 +36,6 @@ class PrimeTopDownScheme : public LabelingScheme {
   int LabelBits(NodeId id) const override;
   std::string LabelString(NodeId id) const override;
   int HandleInsert(NodeId new_node, InsertOrder order) override;
-  using LabelingScheme::HandleInsert;
 
   /// Adopts persisted labels instead of computing fresh ones: installs the
   /// given per-node labels and self-labels (indexed by NodeId) and
@@ -70,6 +70,13 @@ class PrimeTopDownScheme : public LabelingScheme {
   std::uint64_t self_label(NodeId id) const {
     return selves_[static_cast<size_t>(id)];
   }
+  /// Divisibility fingerprint of the label, maintained alongside it at
+  /// every write site (incrementally from the parent's fingerprint, so
+  /// labeling stays O(chunks) extra per node). Batched queries consult it
+  /// to reject non-ancestor pairs without touching BigInt limbs.
+  const LabelFingerprint& fingerprint(NodeId id) const {
+    return fps_[static_cast<size_t>(id)];
+  }
 
  private:
   /// Recomputes labels of `node`'s descendants from their self-labels after
@@ -80,9 +87,15 @@ class PrimeTopDownScheme : public LabelingScheme {
   /// Returns false (having labeled nothing) when no viable cut exists.
   bool LabelTreeParallel(const XmlTree& tree);
 
+  /// Writes self/label/fingerprint for a non-root node from its parent's
+  /// row — the single label-write path all labeling modes share.
+  void WriteChildLabel(NodeId id, NodeId parent, std::uint64_t p);
+  void WriteRootLabel(NodeId id);
+
   PrimeSource primes_;
   std::vector<BigInt> labels_;
   std::vector<std::uint64_t> selves_;
+  std::vector<LabelFingerprint> fps_;
   int num_workers_ = 1;
 };
 

@@ -30,7 +30,9 @@ enum class InsertOrder {
 /// (re)labeled (the update-cost metric of Sections 5.3 and 5.4).
 ///
 /// Usage protocol: call LabelTree once, then interleave queries with tree
-/// mutations, calling HandleInsert(new_node) after each insertion. The tree
+/// mutations, calling HandleInsert(new_node, order) after each insertion —
+/// the order argument states whether labels must keep encoding document
+/// order (kDocumentOrder) or may be any fresh label (kUnordered). The tree
 /// must outlive the scheme's use. Node deletion never changes other nodes'
 /// labels in any scheme (Section 5.3), so there is no deletion hook.
 class LabelingScheme {
@@ -63,18 +65,6 @@ class LabelingScheme {
   /// `new_node` itself — the y-axis of Figures 16-18. Schemes whose labels
   /// always encode order (interval) treat both contracts alike.
   virtual int HandleInsert(NodeId new_node, InsertOrder order) = 0;
-
-  /// Deprecated shim for the pre-InsertOrder API: unordered insertion.
-  /// Prefer HandleInsert(new_node, InsertOrder::kUnordered).
-  int HandleInsert(NodeId new_node) {
-    return HandleInsert(new_node, InsertOrder::kUnordered);
-  }
-
-  /// Deprecated shim for the pre-InsertOrder API: order-sensitive
-  /// insertion. Prefer HandleInsert(new_node, InsertOrder::kDocumentOrder).
-  int HandleOrderedInsert(NodeId new_node) {
-    return HandleInsert(new_node, InsertOrder::kDocumentOrder);
-  }
 
   /// Called after `node` (and its subtree) was detached. "The deletion of
   /// nodes from an XML tree does not affect any node ordering" and no

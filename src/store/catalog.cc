@@ -104,6 +104,12 @@ class Reader {
 
 }  // namespace
 
+LoadedCatalog::LoadedCatalog(std::vector<CatalogRow> rows, ScTable sc_table)
+    : rows_(std::move(rows)), sc_table_(std::move(sc_table)) {
+  fps_.reserve(rows_.size());
+  for (const CatalogRow& r : rows_) fps_.push_back(FingerprintOf(r.label));
+}
+
 bool LoadedCatalog::IsAncestor(NodeId x, NodeId y) const {
   if (x == y) return false;
   return row(y).label.IsDivisibleBy(row(x).label) &&
@@ -123,24 +129,55 @@ std::uint64_t LoadedCatalog::OrderOf(NodeId id) const {
 void LoadedCatalog::IsAncestorBatch(
     std::span<const std::pair<NodeId, NodeId>> pairs,
     std::vector<std::uint8_t>* results) const {
-  BigInt::DivScratch scratch;
+  // Same fast path as OrderedPrimeScheme: fingerprint rejection first,
+  // then an exact test against the reciprocal cached for the current
+  // anchor run. State is per-call, so concurrent batches are safe.
+  ReciprocalDivisor cached;
+  NodeId cached_anchor = kInvalidNodeId;
   results->clear();
   results->reserve(pairs.size());
   for (const auto& [x, y] : pairs) {
-    bool related = x != y && row(y).label != row(x).label &&
-                   row(y).label.IsDivisibleBy(row(x).label, &scratch);
-    results->push_back(related ? 1 : 0);
+    if (x == y || row(y).label == row(x).label ||
+        !FingerprintMayProperlyDivide(fingerprint(x), fingerprint(y))) {
+      results->push_back(0);
+      continue;
+    }
+    if (x != cached_anchor) {
+      cached.Assign(row(x).label);
+      cached_anchor = x;
+    }
+    results->push_back(cached.Divides(row(y).label) ? 1 : 0);
   }
 }
 
 void LoadedCatalog::SelectDescendants(NodeId ancestor,
                                       std::span<const NodeId> candidates,
                                       std::vector<NodeId>* out) const {
-  BigInt::DivScratch scratch;
+  ReciprocalDivisor cached;
+  cached.Assign(row(ancestor).label);
   const BigInt& ancestor_label = row(ancestor).label;
+  const LabelFingerprint& ancestor_fp = fingerprint(ancestor);
   for (NodeId candidate : candidates) {
-    if (candidate != ancestor && row(candidate).label != ancestor_label &&
-        row(candidate).label.IsDivisibleBy(ancestor_label, &scratch)) {
+    if (candidate == ancestor || row(candidate).label == ancestor_label ||
+        !FingerprintMayProperlyDivide(ancestor_fp, fingerprint(candidate))) {
+      continue;
+    }
+    if (cached.Divides(row(candidate).label)) out->push_back(candidate);
+  }
+}
+
+void LoadedCatalog::SelectAncestors(NodeId descendant,
+                                    std::span<const NodeId> candidates,
+                                    std::vector<NodeId>* out) const {
+  const BigInt& descendant_label = row(descendant).label;
+  const LabelFingerprint& descendant_fp = fingerprint(descendant);
+  BigInt::DivScratch scratch;
+  for (NodeId candidate : candidates) {
+    if (candidate == descendant || row(candidate).label == descendant_label ||
+        !FingerprintMayProperlyDivide(fingerprint(candidate), descendant_fp)) {
+      continue;
+    }
+    if (descendant_label.IsDivisibleBy(row(candidate).label, &scratch)) {
       out->push_back(candidate);
     }
   }

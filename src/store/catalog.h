@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "bigint/bigint.h"
+#include "bigint/reduction.h"
 #include "core/sc_table.h"
 #include "core/structure_oracle.h"
 #include "util/status.h"
@@ -43,8 +44,10 @@ struct CatalogRow {
 /// what lets one query pipeline (and one test suite) run against both.
 class LoadedCatalog : public StructureOracle {
  public:
-  LoadedCatalog(std::vector<CatalogRow> rows, ScTable sc_table)
-      : rows_(std::move(rows)), sc_table_(std::move(sc_table)) {}
+  /// Derives a divisibility fingerprint per row at load time (labels on
+  /// disk carry none), so batched queries over a reloaded catalog run the
+  /// same fast path as the live scheme.
+  LoadedCatalog(std::vector<CatalogRow> rows, ScTable sc_table);
 
   const std::vector<CatalogRow>& rows() const { return rows_; }
   const ScTable& sc_table() const { return sc_table_; }
@@ -56,18 +59,25 @@ class LoadedCatalog : public StructureOracle {
   /// Global order number recovered from the SC table (root = 0).
   std::uint64_t OrderOf(NodeId row) const override;
 
-  /// Batched ancestor tests sharing one division scratch buffer.
+  /// Batched queries on the fast-path engine: fingerprint rejection plus
+  /// per-anchor reciprocal caching, bit-identical to the scalar tests.
   void IsAncestorBatch(std::span<const std::pair<NodeId, NodeId>> pairs,
                        std::vector<std::uint8_t>* results) const override;
   void SelectDescendants(NodeId ancestor, std::span<const NodeId> candidates,
                          std::vector<NodeId>* out) const override;
+  void SelectAncestors(NodeId descendant, std::span<const NodeId> candidates,
+                       std::vector<NodeId>* out) const override;
 
  private:
   const CatalogRow& row(NodeId id) const {
     return rows_[static_cast<std::size_t>(id)];
   }
+  const LabelFingerprint& fingerprint(NodeId id) const {
+    return fps_[static_cast<std::size_t>(id)];
+  }
 
   std::vector<CatalogRow> rows_;
+  std::vector<LabelFingerprint> fps_;
   ScTable sc_table_;
 };
 

@@ -155,6 +155,16 @@ std::vector<NodeId> JoinChildren(const QueryContext& ctx,
 std::vector<NodeId> JoinAncestors(const QueryContext& ctx,
                                   const std::vector<NodeId>& context,
                                   const std::vector<NodeId>& candidates) {
+  if (context.size() == 1) {
+    // Single anchor — one SelectAncestors sweep over the candidates, so
+    // the oracle's fingerprint filter sees the whole scan (same output
+    // and label-test count as the batched pair loop below).
+    ctx.stats.rows_scanned += candidates.size();
+    ctx.stats.label_tests += candidates.size();
+    std::vector<NodeId> out;
+    ctx.oracle->SelectAncestors(context[0], candidates, &out);
+    return out;
+  }
   // Candidate above anchor: orient the batch pairs (candidate, anchor).
   return JoinBatched(ctx, context, candidates, [](NodeId a, NodeId c) {
     return std::pair<NodeId, NodeId>(c, a);

@@ -113,6 +113,38 @@ TEST(Crt, EulerVariantHandlesPrimePowers) {
   EXPECT_EQ((a.value() % BigInt(25)).ToDecimalString(), "7");
 }
 
+TEST(Crt, FastSolverMatchesInverseVariantAtEverySize) {
+  // SolveCrtFast is the production path behind ScTable::Recompute; it must
+  // be bit-identical to the textbook SolveCrt at every system size the SC
+  // table can produce, including the degenerate size-1 record.
+  PrimeSource primes;
+  Rng rng(42);
+  for (int size = 1; size <= 64; ++size) {
+    std::vector<Congruence> system;
+    std::size_t base = rng.Below(500);
+    for (int i = 0; i < size; ++i) {
+      std::uint64_t m = primes.PrimeAt(base + static_cast<std::size_t>(i));
+      system.push_back({m, rng.Below(m)});
+    }
+    Result<BigInt> slow = SolveCrt(system);
+    Result<BigInt> fast = SolveCrtFast(system);
+    ASSERT_TRUE(slow.ok());
+    ASSERT_TRUE(fast.ok());
+    EXPECT_EQ(slow.value(), fast.value()) << "system size " << size;
+  }
+}
+
+TEST(Crt, FastSolverHandlesPrimePowersAndRejectsBadInput) {
+  Result<BigInt> slow = SolveCrt({{4, 3}, {9, 4}, {25, 7}});
+  Result<BigInt> fast = SolveCrtFast({{4, 3}, {9, 4}, {25, 7}});
+  ASSERT_TRUE(slow.ok());
+  ASSERT_TRUE(fast.ok());
+  EXPECT_EQ(slow.value(), fast.value());
+  EXPECT_FALSE(SolveCrtFast({}).ok());
+  EXPECT_FALSE(SolveCrtFast({{4, 1}, {6, 5}}).ok());
+  EXPECT_FALSE(SolveCrtFast({{5, 5}}).ok());
+}
+
 TEST(Crt, AllCongruencesSatisfiedOnRandomSystems) {
   PrimeSource primes;
   Rng rng(7);

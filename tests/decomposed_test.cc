@@ -89,7 +89,7 @@ TEST(DecomposedPrime, SurvivesRandomInsertsIncludingWraps) {
     } else {
       fresh = tree.WrapNode(target, "ins");
     }
-    EXPECT_GE(scheme.HandleInsert(fresh), 1);
+    EXPECT_GE(scheme.HandleInsert(fresh, InsertOrder::kUnordered), 1);
   }
   std::vector<NodeId> nodes = tree.PreorderNodes();
   for (NodeId x : nodes) {
@@ -106,7 +106,7 @@ TEST(DecomposedPrime, LeafInsertTouchesOneNode) {
   scheme.LabelTree(tree);
   std::vector<NodeId> nodes = tree.PreorderNodes();
   NodeId fresh = tree.AppendChild(nodes[5], "leaf");
-  EXPECT_EQ(scheme.HandleInsert(fresh), 1);
+  EXPECT_EQ(scheme.HandleInsert(fresh, InsertOrder::kUnordered), 1);
   EXPECT_TRUE(scheme.IsParent(nodes[5], fresh));
   EXPECT_TRUE(scheme.IsAncestor(nodes[0], fresh));
 }

@@ -94,7 +94,7 @@ TEST(IntervalScheme, InsertRelabelsFollowingNodes) {
   scheme.LabelTree(tree);
   // Insert before a2: a2, b, b1 shift (and the ancestors' ends move).
   NodeId fresh = tree.InsertBefore(n[4], "new");
-  int relabeled = scheme.HandleInsert(fresh);
+  int relabeled = scheme.HandleInsert(fresh, InsertOrder::kUnordered);
   // new node + a2, b, b1 renumbered + root/a end values changed.
   EXPECT_GE(relabeled, 4);
   EXPECT_TRUE(scheme.IsAncestor(n[1], fresh));
@@ -107,7 +107,7 @@ TEST(IntervalScheme, AppendAtEndIsCheap) {
   IntervalScheme scheme;
   scheme.LabelTree(tree);
   NodeId fresh = tree.AppendChild(n[2], "tail");  // last subtree
-  int relabeled = scheme.HandleInsert(fresh);
+  int relabeled = scheme.HandleInsert(fresh, InsertOrder::kUnordered);
   // Only the new node plus the end-points of its ancestors change.
   EXPECT_LE(relabeled, 4);
 }
@@ -171,7 +171,7 @@ TEST(PrefixScheme, UnorderedInsertRelabelsOnlyNewNode) {
   PrefixScheme scheme(PrefixVariant::kBinary);
   scheme.LabelTree(tree);
   NodeId fresh = tree.InsertBefore(n[4], "new");
-  EXPECT_EQ(scheme.HandleInsert(fresh), 1);
+  EXPECT_EQ(scheme.HandleInsert(fresh, InsertOrder::kUnordered), 1);
   EXPECT_TRUE(scheme.IsAncestor(n[1], fresh));
   EXPECT_TRUE(scheme.IsParent(n[1], fresh));
   // Existing labels untouched.
@@ -185,7 +185,7 @@ TEST(PrefixScheme, OrderedInsertRelabelsFollowingSiblingSubtrees) {
   scheme.LabelTree(tree);
   // Insert before node a (first child of root): both a and b subtrees shift.
   NodeId fresh = tree.InsertBefore(n[1], "new");
-  int relabeled = scheme.HandleOrderedInsert(fresh);
+  int relabeled = scheme.HandleInsert(fresh, InsertOrder::kDocumentOrder);
   EXPECT_EQ(relabeled, 6);  // new + a,a1,a2 + b,b1
   EXPECT_EQ(scheme.label(fresh), "0");
   EXPECT_EQ(scheme.label(n[1]), "10");
@@ -198,7 +198,7 @@ TEST(PrefixScheme, WrapRelabelsDescendants) {
   PrefixScheme scheme(PrefixVariant::kBinary);
   scheme.LabelTree(tree);
   NodeId wrapper = tree.WrapNode(n[1], "wrap");  // wraps a (2 children)
-  int relabeled = scheme.HandleInsert(wrapper);
+  int relabeled = scheme.HandleInsert(wrapper, InsertOrder::kUnordered);
   EXPECT_EQ(relabeled, 4);  // wrapper + a + a1 + a2
   EXPECT_TRUE(scheme.IsParent(wrapper, n[1]));
   EXPECT_TRUE(scheme.IsAncestor(wrapper, n[3]));
@@ -256,7 +256,7 @@ TEST(PrimeTopDown, InsertNeverRelabelsExistingNodes) {
   scheme.LabelTree(tree);
   BigInt before_a2 = scheme.label(n[4]);
   NodeId fresh = tree.InsertBefore(n[4], "new");
-  EXPECT_EQ(scheme.HandleInsert(fresh), 1);
+  EXPECT_EQ(scheme.HandleInsert(fresh, InsertOrder::kUnordered), 1);
   EXPECT_EQ(scheme.label(n[4]), before_a2);
   EXPECT_TRUE(scheme.IsAncestor(n[1], fresh));
   EXPECT_TRUE(scheme.IsParent(n[1], fresh));
@@ -271,7 +271,7 @@ TEST(PrimeTopDown, WrapRelabelsOnlyDescendants) {
   scheme.LabelTree(tree);
   BigInt b_label = scheme.label(n[2]);
   NodeId wrapper = tree.WrapNode(n[1], "wrap");
-  int relabeled = scheme.HandleInsert(wrapper);
+  int relabeled = scheme.HandleInsert(wrapper, InsertOrder::kUnordered);
   EXPECT_EQ(relabeled, 4);  // wrapper + a + a1 + a2
   EXPECT_EQ(scheme.label(n[2]), b_label);  // sibling untouched
   EXPECT_TRUE(scheme.IsParent(wrapper, n[1]));
@@ -315,7 +315,7 @@ TEST(PrimeBottomUp, InsertRelabelsRootPath) {
   PrimeBottomUpScheme scheme;
   scheme.LabelTree(tree);
   NodeId fresh = tree.AppendChild(n[1], "new");  // under a, depth 2
-  int relabeled = scheme.HandleInsert(fresh);
+  int relabeled = scheme.HandleInsert(fresh, InsertOrder::kUnordered);
   EXPECT_EQ(relabeled, 3);  // fresh + a + root
   EXPECT_TRUE(scheme.IsAncestor(n[1], fresh));
   EXPECT_TRUE(scheme.IsAncestor(n[0], fresh));
@@ -364,7 +364,7 @@ TEST(PrimeOptimized, LeafInsertUnderLeafRelabelsTwoNodes) {
   // a1 is a leaf with an even self-label; giving it a child forces a prime
   // self-label onto a1 — the "2 nodes relabeled" of Section 5.3.
   NodeId fresh = tree.AppendChild(n[3], "deep");
-  int relabeled = scheme.HandleInsert(fresh);
+  int relabeled = scheme.HandleInsert(fresh, InsertOrder::kUnordered);
   EXPECT_EQ(relabeled, 2);
   EXPECT_TRUE(scheme.self_label(n[3]).IsOdd());
   EXPECT_TRUE(scheme.IsAncestor(n[3], fresh));
@@ -378,7 +378,7 @@ TEST(PrimeOptimized, SiblingLeafInsertRelabelsOneNode) {
   PrimeOptimizedScheme scheme;
   scheme.LabelTree(tree);
   NodeId fresh = tree.InsertAfter(n[4], "new");  // sibling under a
-  EXPECT_EQ(scheme.HandleInsert(fresh), 1);
+  EXPECT_EQ(scheme.HandleInsert(fresh, InsertOrder::kUnordered), 1);
   EXPECT_EQ(scheme.self_label(fresh).ToDecimalString(), "8");  // 2^3
   EXPECT_TRUE(scheme.IsParent(n[1], fresh));
 }
@@ -443,7 +443,7 @@ TEST(FloatInterval, InsertsFitUntilMantissaExhaustion) {
   int cheap = 0;
   while (scheme.relabel_events() == 0 && cheap < 200) {
     NodeId fresh = tree.InsertBefore(tree.first_child(root), "new");
-    scheme.HandleInsert(fresh);
+    scheme.HandleInsert(fresh, InsertOrder::kUnordered);
     ++cheap;
   }
   // ...but the double mantissa (52 bits) runs out near 50 insertions.
@@ -526,7 +526,7 @@ TEST_P(SchemePropertyTest, RelationshipsSurviveRandomInserts) {
         fresh = target == tree.root() ? tree.AppendChild(target, "ins")
                                       : tree.WrapNode(target, "ins");
     }
-    int relabeled = scheme->HandleInsert(fresh);
+    int relabeled = scheme->HandleInsert(fresh, InsertOrder::kUnordered);
     EXPECT_GE(relabeled, 1) << name;
   }
   std::vector<NodeId> nodes = tree.PreorderNodes();

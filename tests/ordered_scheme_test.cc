@@ -93,7 +93,7 @@ TEST(OrderedPrimeScheme, OrderedInsertKeepsAllOrdersCorrect) {
     } else {
       fresh = tree.InsertAfter(target, "ins");
     }
-    int relabeled = scheme.HandleOrderedInsert(fresh);
+    int relabeled = scheme.HandleInsert(fresh, InsertOrder::kDocumentOrder);
     EXPECT_GE(relabeled, 2);  // the new node + at least one SC record
     ExpectOrdersMatchTree(scheme, tree);
   }
@@ -108,7 +108,7 @@ TEST(OrderedPrimeScheme, WrapInsertShiftsOrders) {
   OrderedPrimeScheme scheme;
   scheme.LabelTree(tree);
   NodeId wrapper = tree.WrapNode(a, "wrap");
-  scheme.HandleOrderedInsert(wrapper);
+  scheme.HandleInsert(wrapper, InsertOrder::kDocumentOrder);
   ExpectOrdersMatchTree(scheme, tree);
   EXPECT_TRUE(scheme.IsParent(wrapper, a));
 }
@@ -123,7 +123,7 @@ TEST(OrderedPrimeScheme, CheapUpdatesComparedToSiblingRelabeling) {
   std::vector<NodeId> acts = play.FindAll("act");
   ASSERT_EQ(acts.size(), 5u);
   NodeId fresh = play.InsertBefore(acts[1], "act");
-  int cost = scheme.HandleOrderedInsert(fresh);
+  int cost = scheme.HandleInsert(fresh, InsertOrder::kDocumentOrder);
   // Nodes after the insertion point: everything from act 2 on (~4/5 of the
   // document). SC records cover groups of 5, so the cost must be roughly a
   // fifth of that, far below the document size.
@@ -143,7 +143,7 @@ TEST(OrderedPrimeScheme, SelfLabelOutgrownByOrderIsReplaced) {
   scheme.LabelTree(tree);
   EXPECT_EQ(scheme.structure().self_label(first), 2u);
   NodeId fresh = tree.InsertBefore(first, "b");
-  scheme.HandleOrderedInsert(fresh);
+  scheme.HandleInsert(fresh, InsertOrder::kDocumentOrder);
   ExpectOrdersMatchTree(scheme, tree);
   // The shifted node now carries a larger prime.
   EXPECT_GT(scheme.structure().self_label(first), 2u);
@@ -183,7 +183,7 @@ TEST(OrderedPrimeScheme, DeletionNeverRelabelsAndKeepsOrderComparisons) {
   // an appended node's order exceeds every live predecessor's, and a
   // mid-document insertion lands strictly between its neighbours.
   NodeId fresh = tree.AppendChild(tree.root(), "post-delete");
-  scheme.HandleOrderedInsert(fresh);
+  scheme.HandleInsert(fresh, InsertOrder::kDocumentOrder);
   std::vector<NodeId> after_append = tree.PreorderNodes();
   for (std::size_t i = 0; i + 1 < after_append.size(); ++i) {
     ASSERT_LT(scheme.OrderOf(after_append[i]),
@@ -191,7 +191,7 @@ TEST(OrderedPrimeScheme, DeletionNeverRelabelsAndKeepsOrderComparisons) {
         << "order corrupted after post-delete append at " << i;
   }
   NodeId mid = tree.InsertBefore(remaining[remaining.size() / 2], "mid");
-  scheme.HandleOrderedInsert(mid);
+  scheme.HandleInsert(mid, InsertOrder::kDocumentOrder);
   std::vector<NodeId> after_mid = tree.PreorderNodes();
   for (std::size_t i = 0; i + 1 < after_mid.size(); ++i) {
     ASSERT_LT(scheme.OrderOf(after_mid[i]), scheme.OrderOf(after_mid[i + 1]))
