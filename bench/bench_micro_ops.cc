@@ -2,16 +2,20 @@
 // costs drive the response-time experiment: per-scheme ancestor tests,
 // order lookups, labeling throughput, CRT solving and BigInt arithmetic.
 
+#include <cstdint>
 #include <iostream>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include <benchmark/benchmark.h>
 
 #include "bigint/bigint.h"
+#include "bigint/reduction.h"
+#include "bigint/simd.h"
 #include "core/crt.h"
 #include "core/ordered_prime_scheme.h"
 #include "core/sc_table.h"
@@ -21,6 +25,7 @@
 #include "labeling/prime_optimized.h"
 #include "labeling/prime_top_down.h"
 #include "primes/prime_source.h"
+#include "store/plan.h"
 #include "util/rng.h"
 #include "xml/datasets.h"
 #include "xml/shakespeare.h"
@@ -160,29 +165,89 @@ void BM_BigIntMul(benchmark::State& state) {
 }
 BENCHMARK(BM_BigIntMul)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
 
-/// Shared fixture for the batched-ancestry benchmarks: a Shakespeare
-/// corpus (deep speech/line subtrees under shallow play/act nodes, so the
-/// pairs mix label widths from 1 to ~100 limbs) and anchor-major pair runs
-/// shaped like the ones JoinBatched emits.
+/// Shared fixture for the batched-ancestry and join benchmarks, built once
+/// and reused by every batch bench below (so their numbers are directly
+/// comparable): a Shakespeare corpus whose own nodes carry 1-3 limb
+/// labels, with deep element chains grafted under its acts so chain labels
+/// grow by one ~17-bit prime per level, up to ~130 limbs at depth 240.
+/// Pairs come in anchor-major runs shaped like the ones JoinBatched emits,
+/// stratified so the batch genuinely mixes label widths: a third of the
+/// runs keep the original shallow-corpus shape (fingerprints reject nearly
+/// everything), the rest anchor mid-chain and mix true same-chain
+/// descendants (the division always runs, on wide operands) with
+/// cross-chain and shallow rejects.
 struct BatchFixture {
   XmlTree tree;
   OrderedPrimeScheme scheme;
   std::vector<std::pair<NodeId, NodeId>> pairs;
+  /// Join inputs for the JoinDescendants worker benches: mid-chain and
+  /// corpus anchors against a candidate mix drawn from the whole tree.
+  std::vector<NodeId> context;
+  std::vector<NodeId> candidates;
 };
 
 const BatchFixture& ShakespeareBatch() {
   static const BatchFixture* fixture = [] {
     auto* f = new BatchFixture{GenerateShakespeareCorpus(2),
                                OrderedPrimeScheme(/*sc_group_size=*/5),
+                               {},
+                               {},
                                {}};
+    constexpr int kChainDepths[] = {40, 80, 120, 160, 200, 240};
+    std::vector<NodeId> acts = f->tree.FindAll("act");
+    std::vector<std::vector<NodeId>> chains;
+    for (std::size_t c = 0; c < std::size(kChainDepths); ++c) {
+      NodeId at = acts[c % acts.size()];
+      std::vector<NodeId> chain;
+      for (int d = 0; d < kChainDepths[c]; ++d) {
+        at = f->tree.AppendChild(at, "deep");
+        chain.push_back(at);
+      }
+      chains.push_back(std::move(chain));
+    }
     f->scheme.LabelTree(f->tree);
     std::vector<NodeId> nodes = f->tree.PreorderNodes();
     Rng rng(77);
     for (int anchor = 0; anchor < 64; ++anchor) {
-      NodeId a = nodes[rng.Below(nodes.size())];
-      for (int c = 0; c < 64; ++c) {
-        f->pairs.emplace_back(a, nodes[rng.Below(nodes.size())]);
+      if (anchor % 3 == 0) {
+        // Shallow run: random corpus anchor, random candidates.
+        NodeId a = nodes[rng.Below(nodes.size())];
+        for (int c = 0; c < 64; ++c) {
+          f->pairs.emplace_back(a, nodes[rng.Below(nodes.size())]);
+        }
+        continue;
       }
+      // Deep run: anchor in the upper half of a chain; half the
+      // candidates are its true chain descendants, the rest split
+      // between another chain and the tree at large.
+      const auto& chain = chains[rng.Below(chains.size())];
+      std::size_t pos = 4 + rng.Below(chain.size() / 2);
+      NodeId a = chain[pos];
+      for (int c = 0; c < 64; ++c) {
+        NodeId d;
+        switch (c % 4) {
+          case 0:
+          case 1:
+            d = chain[pos + 1 + rng.Below(chain.size() - pos - 1)];
+            break;
+          case 2: {
+            const auto& other = chains[rng.Below(chains.size())];
+            d = other[rng.Below(other.size())];
+            break;
+          }
+          default:
+            d = nodes[rng.Below(nodes.size())];
+        }
+        f->pairs.emplace_back(a, d);
+      }
+    }
+    for (int i = 0; i < 16; ++i) {
+      const auto& chain = chains[static_cast<std::size_t>(i) % chains.size()];
+      f->context.push_back(i % 4 == 3 ? nodes[rng.Below(nodes.size())]
+                                      : chain[rng.Below(chain.size() / 2)]);
+    }
+    for (int i = 0; i < 2048; ++i) {
+      f->candidates.push_back(nodes[rng.Below(nodes.size())]);
     }
     return f;
   }();
@@ -228,6 +293,114 @@ void BM_IsAncestorBatchFastPath(benchmark::State& state) {
 }
 BENCHMARK(BM_IsAncestorBatchFastPath);
 
+/// The same fast path pinned to the portable scalar kernels via the
+/// runtime dispatch override — i.e. the PR-2 engine on this fixture. The
+/// ratio to BM_IsAncestorBatchFastPath isolates what the vector kernels
+/// alone buy (results are bit-identical either way).
+void BM_IsAncestorBatchFastPathScalar(benchmark::State& state) {
+  const BatchFixture& f = ShakespeareBatch();
+  simd::SetActiveIsa(simd::Isa::kScalar);
+  std::vector<std::uint8_t> results;
+  for (auto _ : state) {
+    results.clear();
+    f.scheme.IsAncestorBatch(f.pairs, &results);
+    benchmark::DoNotOptimize(results.data());
+  }
+  simd::ResetActiveIsa();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.pairs.size()));
+}
+BENCHMARK(BM_IsAncestorBatchFastPathScalar);
+
+/// The full PR-2 fast-path engine, faithfully: scalar kernels AND the
+/// reference reduction engine (full-width Barrett products, Knuth/Barrett
+/// trial division instead of the Montgomery divisibility sweep). The
+/// ratio of this to BM_IsAncestorBatchFastPath is the headline number for
+/// this PR's acceptance bar (>= 1.5x on mixed-depth Shakespeare labels).
+void BM_IsAncestorBatchPr2Engine(benchmark::State& state) {
+  const BatchFixture& f = ShakespeareBatch();
+  simd::SetActiveIsa(simd::Isa::kScalar);
+  ReciprocalDivisor::SetReferenceEngineForTest(true);
+  std::vector<std::uint8_t> results;
+  for (auto _ : state) {
+    results.clear();
+    f.scheme.IsAncestorBatch(f.pairs, &results);
+    benchmark::DoNotOptimize(results.data());
+  }
+  ReciprocalDivisor::SetReferenceEngineForTest(false);
+  simd::ResetActiveIsa();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.pairs.size()));
+}
+BENCHMARK(BM_IsAncestorBatchPr2Engine);
+
+/// The descendant structural join over the shared fixture at several
+/// worker counts (1 = the sequential executor). Output is identical at
+/// any setting; this measures the fan-out overhead/payoff alone.
+void BM_JoinDescendantsWorkers(benchmark::State& state) {
+  const BatchFixture& f = ShakespeareBatch();
+  QueryContext ctx;
+  ctx.oracle = &f.scheme;
+  ctx.num_workers = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    std::vector<NodeId> out = JoinDescendants(ctx, f.context, f.candidates);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(f.context.size() * f.candidates.size()));
+}
+BENCHMARK(BM_JoinDescendantsWorkers)->Arg(1)->Arg(2)->Arg(4);
+
+/// Raw limb-product kernel: dispatched (vector when the CPU allows) vs
+/// the portable scalar reference, on n x n limb operands. This is the
+/// inner loop of MulSchoolbook, the Karatsuba base case and both Barrett
+/// products.
+void BM_MulLimbSpans(benchmark::State& state, bool dispatched) {
+  const std::size_t limbs = static_cast<std::size_t>(state.range(0));
+  Rng rng(11);
+  std::vector<std::uint32_t> a(limbs), b(limbs);
+  for (auto& v : a) v = static_cast<std::uint32_t>(rng.Next());
+  for (auto& v : b) v = static_cast<std::uint32_t>(rng.Next());
+  std::vector<std::uint32_t> out;
+  for (auto _ : state) {
+    if (dispatched) {
+      simd::MulLimbSpans(a, b, &out);
+    } else {
+      simd::MulLimbSpansPortable(a, b, &out);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK_CAPTURE(BM_MulLimbSpans, dispatched, true)
+    ->Arg(8)->Arg(32)->Arg(128);
+BENCHMARK_CAPTURE(BM_MulLimbSpans, portable, false)
+    ->Arg(8)->Arg(32)->Arg(128);
+
+/// Batched fingerprint chunk residues (all 7 moduli in one limb sweep),
+/// dispatched vs portable. 2048 limbs crosses the kernel's 1024-limb
+/// power-table block boundary.
+void BM_ChunkResidues(benchmark::State& state, bool dispatched) {
+  const std::size_t limbs = static_cast<std::size_t>(state.range(0));
+  Rng rng(13);
+  std::vector<std::uint32_t> magnitude(limbs);
+  for (auto& v : magnitude) v = static_cast<std::uint32_t>(rng.Next());
+  magnitude.back() |= 1u << 31;
+  std::uint64_t residues[simd::kChunkCount];
+  for (auto _ : state) {
+    if (dispatched) {
+      simd::ChunkResidues(magnitude, residues);
+    } else {
+      simd::ChunkResiduesPortable(magnitude, residues);
+    }
+    benchmark::DoNotOptimize(residues[0]);
+  }
+}
+BENCHMARK_CAPTURE(BM_ChunkResidues, dispatched, true)
+    ->Arg(8)->Arg(128)->Arg(2048);
+BENCHMARK_CAPTURE(BM_ChunkResidues, portable, false)
+    ->Arg(8)->Arg(128)->Arg(2048);
+
 void BM_BigIntDivisibility(benchmark::State& state) {
   // The exact shape of the scheme's hot path: ~100-bit label mod ~40-bit
   // ancestor label.
@@ -270,6 +443,21 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
     return 1;
   }
+  // Dispatch metadata lands in the JSON "context" block so two result
+  // files can be checked for comparability (same ISA, same crossover,
+  // same thread budget) before their ratios are trusted.
+  namespace simd = primelabel::simd;
+  benchmark::AddCustomContext("detected_isa",
+                              simd::IsaName(simd::DetectedIsa()));
+  benchmark::AddCustomContext("active_isa", simd::IsaName(simd::ActiveIsa()));
+  benchmark::AddCustomContext(
+      "vector_kernels_compiled_in",
+      simd::VectorKernelsCompiledIn() ? "true" : "false");
+  benchmark::AddCustomContext(
+      "barrett_min_limbs",
+      std::to_string(primelabel::ReciprocalDivisor::BarrettMinLimbs()));
+  benchmark::AddCustomContext(
+      "hardware_threads", std::to_string(std::thread::hardware_concurrency()));
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   if (!has_out) {

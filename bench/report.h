@@ -8,9 +8,30 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "bigint/reduction.h"
+#include "bigint/simd.h"
+
 namespace primelabel::bench {
+
+/// Dispatch metadata as a JSON object: which limb-kernel ISA the binary
+/// detected and is using, whether the vector kernels were compiled in, the
+/// Barrett crossover this machine measured, and its thread budget. Two
+/// BENCH_*.json files are only apples-to-apples when these match, so every
+/// emitter embeds them.
+inline std::string DispatchMetadataJson() {
+  std::ostringstream os;
+  os << "{\"detected_isa\": \"" << simd::IsaName(simd::DetectedIsa())
+     << "\", \"active_isa\": \"" << simd::IsaName(simd::ActiveIsa())
+     << "\", \"vector_kernels_compiled_in\": "
+     << (simd::VectorKernelsCompiledIn() ? "true" : "false")
+     << ", \"barrett_min_limbs\": " << ReciprocalDivisor::BarrettMinLimbs()
+     << ", \"hardware_threads\": " << std::thread::hardware_concurrency()
+     << "}";
+  return os.str();
+}
 
 /// Plain-text table printer: every bench binary prints the rows/series of
 /// its paper table or figure in this format so EXPERIMENTS.md can quote
@@ -121,15 +142,17 @@ class Report {
 };
 
 /// Writes every report of a bench binary to `BENCH_<name>.json` in the
-/// working directory as {"benchmark": name, "reports": [...]}, so runs can
-/// be diffed and regression-checked by scripts instead of by eyeballing
-/// the plain-text tables. Returns the path written, or "" on failure.
+/// working directory as {"benchmark": name, "dispatch": {...}, "reports":
+/// [...]}, so runs can be diffed and regression-checked by scripts instead
+/// of by eyeballing the plain-text tables. Returns the path written, or ""
+/// on failure.
 inline std::string WriteBenchJson(const std::string& name,
                                   const std::vector<const Report*>& reports) {
   const std::string path = "BENCH_" + name + ".json";
   std::ofstream out(path);
   if (!out) return "";
-  out << "{\"benchmark\": \"" << name << "\", \"reports\": [\n";
+  out << "{\"benchmark\": \"" << name
+      << "\", \"dispatch\": " << DispatchMetadataJson() << ", \"reports\": [\n";
   for (std::size_t i = 0; i < reports.size(); ++i) {
     if (i > 0) out << ",\n";
     reports[i]->WriteJson(out);

@@ -1,16 +1,25 @@
 #!/usr/bin/env bash
-# Tier-1 verification for the repo: plain build + full test suite, then a
-# ThreadSanitizer build running the parallel/concurrency suites (the
-# parallel labeler, SC-table build, and the batch-query kernels issued
-# from concurrent threads).
+# Tier-1 verification for the repo: plain build + full test suite, a
+# scalar-only build (vector kernels compiled out) rerunning the full
+# suite, then a ThreadSanitizer build running the parallel/concurrency
+# suites (the parallel labeler, SC-table build, the batch-query kernels
+# issued from concurrent threads, and the worker-thread join executor).
 #
-# Usage: scripts/check.sh [--no-tsan]
-#   --no-tsan   skip the sanitizer tree (e.g. on toolchains without TSan)
+# Usage: scripts/check.sh [--no-tsan] [--no-scalar]
+#   --no-tsan     skip the sanitizer tree (e.g. on toolchains without TSan)
+#   --no-scalar   skip the -DPRIMELABEL_DISABLE_SIMD=ON tree
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 run_tsan=1
-if [[ "${1:-}" == "--no-tsan" ]]; then run_tsan=0; fi
+run_scalar=1
+for arg in "$@"; do
+  case "$arg" in
+    --no-tsan) run_tsan=0 ;;
+    --no-scalar) run_scalar=0 ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
 
 jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
 
@@ -18,6 +27,13 @@ echo "== tier 1: configure + build + ctest (build/) =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure -j "$jobs"
+
+if [[ "$run_scalar" == "1" ]]; then
+  echo "== scalar: full suite with vector kernels compiled out (build-scalar/) =="
+  cmake -B build-scalar -S . -DPRIMELABEL_DISABLE_SIMD=ON >/dev/null
+  cmake --build build-scalar -j "$jobs"
+  ctest --test-dir build-scalar --output-on-failure -j "$jobs"
+fi
 
 if [[ "$run_tsan" == "1" ]]; then
   echo "== tsan: parallel suites under ThreadSanitizer (build-tsan/) =="

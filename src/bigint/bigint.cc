@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cctype>
 
+#include "bigint/simd.h"
+
 namespace primelabel {
 
 namespace {
@@ -217,24 +219,11 @@ std::vector<BigInt::Limb> BigInt::SubMagnitude(const std::vector<Limb>& a,
 
 std::vector<BigInt::Limb> BigInt::MulSchoolbook(const std::vector<Limb>& a,
                                                 const std::vector<Limb>& b) {
-  if (a.empty() || b.empty()) return {};
-  std::vector<Limb> out(a.size() + b.size(), 0);
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    Wide carry = 0;
-    for (std::size_t j = 0; j < b.size(); ++j) {
-      Wide cur = static_cast<Wide>(a[i]) * b[j] + out[i + j] + carry;
-      out[i + j] = static_cast<Limb>(cur);
-      carry = cur >> kLimbBits;
-    }
-    std::size_t k = i + b.size();
-    while (carry != 0) {
-      Wide cur = static_cast<Wide>(out[k]) + carry;
-      out[k] = static_cast<Limb>(cur);
-      carry = cur >> kLimbBits;
-      ++k;
-    }
-  }
-  Normalize(&out);
+  // Dispatched limb kernel (bigint/simd.h): vectorized when the CPU
+  // allows, bit-identical schoolbook semantics either way. Karatsuba
+  // bottoms out here, so its base case is covered too.
+  std::vector<Limb> out;
+  simd::MulLimbSpans(a, b, &out);
   return out;
 }
 

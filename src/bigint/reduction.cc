@@ -3,8 +3,12 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <chrono>
 #include <cstddef>
+#include <cstdlib>
 #include <utility>
+
+#include "bigint/simd.h"
 
 namespace primelabel {
 namespace {
@@ -75,28 +79,6 @@ int CompareLimbSpans(std::span<const Limb> a, std::span<const Limb> b) {
     if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
   }
   return 0;
-}
-
-/// out = a * b (schoolbook; operand sizes here are bounded by roughly twice
-/// the divisor's limb count, so the quadratic kernel is the right tool).
-void MulLimbSpans(std::span<const Limb> a, std::span<const Limb> b,
-                  std::vector<Limb>* out) {
-  out->assign(a.size() + b.size(), 0);
-  if (a.empty() || b.empty()) {
-    out->clear();
-    return;
-  }
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    std::uint64_t carry = 0;
-    const std::uint64_t ai = a[i];
-    for (std::size_t j = 0; j < b.size(); ++j) {
-      std::uint64_t cur = (*out)[i + j] + ai * b[j] + carry;
-      (*out)[i + j] = static_cast<Limb>(cur);
-      carry = cur >> kLimbBits;
-    }
-    (*out)[i + b.size()] = static_cast<Limb>(carry);
-  }
-  StripHighZeros(out);
 }
 
 /// a = (a - b) mod B^width, with a already exactly `width` limbs and b
@@ -177,24 +159,74 @@ std::uint64_t MaskBitOf(std::uint64_t self) {
   return std::uint64_t{1} << (it - kFingerprintPrimes.begin());
 }
 
+/// Divisibility-by-constant magic for each fingerprint prime: for odd p,
+/// r % p == 0  iff  r * inv <= limit with inv = p^-1 mod 2^64 and
+/// limit = floor((2^64 - 1) / p) — one multiply instead of a hardware
+/// division per prime when deriving prime_mask from a chunk residue.
+struct PrimeDivMagic {
+  std::uint64_t inv = 0;
+  std::uint64_t limit = 0;
+};
+
+consteval std::array<PrimeDivMagic, kFingerprintPrimes.size()>
+BuildPrimeDivMagic() {
+  std::array<PrimeDivMagic, kFingerprintPrimes.size()> magic{};
+  for (std::size_t i = 0; i < kFingerprintPrimes.size(); ++i) {
+    const std::uint64_t p = kFingerprintPrimes[i];
+    if (p == 2) continue;  // handled by a parity check
+    std::uint64_t inv = p;
+    // Newton iteration doubles correct low bits: 5 rounds from ~3 to 64+.
+    for (int round = 0; round < 5; ++round) inv *= 2 - p * inv;
+    magic[i] = {inv, ~std::uint64_t{0} / p};
+  }
+  return magic;
+}
+
+inline constexpr auto kPrimeDivMagic = BuildPrimeDivMagic();
+
+/// Fills mask/length fields of `fp` from precomputed chunk residues.
+/// Matches the naive per-prime `residue % p == 0` loop bit for bit.
+void FinishFingerprint(const BigInt& value,
+                       std::span<const std::uint64_t> residues,
+                       LabelFingerprint* fp) {
+  for (int j = 0; j < kFingerprintChunks; ++j) {
+    const std::uint64_t r = residues[static_cast<std::size_t>(j)];
+    fp->residues[static_cast<std::size_t>(j)] = r;
+    const FingerprintChunk& chunk =
+        kFingerprintChunkTable[static_cast<std::size_t>(j)];
+    for (int k = 0; k < chunk.count; ++k) {
+      const std::size_t i = static_cast<std::size_t>(chunk.first + k);
+      const bool divides = kFingerprintPrimes[i] == 2
+                               ? (r & 1) == 0
+                               : r * kPrimeDivMagic[i].inv <=
+                                     kPrimeDivMagic[i].limit;
+      if (divides) fp->prime_mask |= std::uint64_t{1} << i;
+    }
+  }
+  fp->bit_length = value.BitLength();
+  fp->trailing_zeros = value.TrailingZeroBits();
+}
+
 }  // namespace
 
 // --- Layer 1 ---------------------------------------------------------------
 
 LabelFingerprint FingerprintOf(const BigInt& value) {
   LabelFingerprint fp;
-  for (int j = 0; j < kFingerprintChunks; ++j) {
-    const FingerprintChunk& chunk = kFingerprintChunkTable[j];
-    fp.residues[j] = value.ModU64(chunk.product);
-    for (int k = 0; k < chunk.count; ++k) {
-      if (fp.residues[j] % kFingerprintPrimes[chunk.first + k] == 0) {
-        fp.prime_mask |= std::uint64_t{1} << (chunk.first + k);
-      }
-    }
-  }
-  fp.bit_length = value.BitLength();
-  fp.trailing_zeros = value.TrailingZeroBits();
+  std::array<std::uint64_t, kFingerprintChunks> residues;
+  simd::ChunkResidues(value.Magnitude(), residues);
+  FinishFingerprint(value, residues, &fp);
   return fp;
+}
+
+void FingerprintLabels(std::span<const BigInt> labels,
+                       std::span<LabelFingerprint> out) {
+  assert(out.size() >= labels.size());
+  std::array<std::uint64_t, kFingerprintChunks> residues;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    simd::ChunkResidues(labels[i].Magnitude(), residues);
+    FinishFingerprint(labels[i], residues, &out[i]);
+  }
 }
 
 LabelFingerprint ExtendFingerprintByPrime(const LabelFingerprint& parent,
@@ -250,43 +282,158 @@ std::uint64_t Reciprocal64::Mod128(std::uint64_t hi, std::uint64_t lo) const {
 void ReciprocalDivisor::Assign(const BigInt& divisor) {
   auto mag = divisor.Magnitude();
   assert(!mag.empty() && "ReciprocalDivisor requires a nonzero divisor");
+  Strategy strategy = Strategy::kWord;
+  if (mag.size() > 2) {
+    strategy = mag.size() < BarrettMinLimbs() ? Strategy::kKnuth
+                                              : Strategy::kBarrett;
+  }
+  AssignWithStrategy(divisor, strategy);
+}
+
+void ReciprocalDivisor::AssignWithStrategy(const BigInt& divisor,
+                                           Strategy strategy) {
+  auto mag = divisor.Magnitude();
+  assert(!mag.empty() && "ReciprocalDivisor requires a nonzero divisor");
   limbs_ = mag.size();
-  if (limbs_ <= 2) {
-    divisor_word_ =
-        mag[0] | (limbs_ == 2 ? static_cast<std::uint64_t>(mag[1]) << 32 : 0);
-    word_shift_ = std::countl_zero(divisor_word_);
-    word_normalized_ = divisor_word_ << word_shift_;
-    word_reciprocal_ = Reciprocal2by1(word_normalized_);
-    divisor_.clear();
-    mu_.clear();
-    return;
+  strategy_ = strategy;
+  switch (strategy) {
+    case Strategy::kWord:
+      assert(limbs_ <= 2);
+      divisor_word_ = mag[0] | (limbs_ == 2
+                                    ? static_cast<std::uint64_t>(mag[1]) << 32
+                                    : 0);
+      word_shift_ = std::countl_zero(divisor_word_);
+      word_normalized_ = divisor_word_ << word_shift_;
+      word_reciprocal_ = Reciprocal2by1(word_normalized_);
+      divisor_.clear();
+      mu_.clear();
+      return;
+    case Strategy::kKnuth:
+      // Mid-size divisor: Knuth with retained scratch beats Barrett here,
+      // so skip the mu division entirely.
+      divisor_.assign(mag.begin(), mag.end());
+      divisor_big_ = BigIntFromLimbs(divisor_);
+      mu_.clear();
+      PrepareMontgomery();
+      return;
+    case Strategy::kBarrett:
+      break;
   }
   divisor_.assign(mag.begin(), mag.end());
-  if (limbs_ < kBarrettMinLimbs) {
-    // Mid-size divisor: Knuth with retained scratch beats Barrett here, so
-    // skip the mu division entirely.
-    divisor_big_ = BigIntFromLimbs(divisor_);
-    mu_.clear();
-    return;
-  }
   // mu = floor(B^(2n) / x), the Barrett constant (HAC 14.42). Computed once
   // per Assign with a full division; every Divides afterwards multiplies.
   BigInt mu = (BigInt(1) << (2 * static_cast<int>(limbs_) * kLimbBits)) /
               BigIntFromLimbs(divisor_);
   auto mu_mag = mu.Magnitude();
   mu_.assign(mu_mag.begin(), mu_mag.end());
+  PrepareMontgomery();
+}
+
+void ReciprocalDivisor::PrepareMontgomery() {
+  // divisor = 2^e * odd; an exact division test splits along that
+  // factorization (the factors are coprime).
+  std::size_t zero_limbs = 0;
+  while (divisor_[zero_limbs] == 0) ++zero_limbs;  // divisor > 0 terminates
+  const int bit_shift = std::countr_zero(divisor_[zero_limbs]);
+  divisor_trailing_zeros_ =
+      static_cast<int>(zero_limbs) * kLimbBits + bit_shift;
+  // Shift the odd part out and repack it into native 64-bit limbs in one
+  // pass: limb i of the odd part is divisor >> (e + 32 i), window-read
+  // from the 32-bit magnitude.
+  const std::size_t odd32 = divisor_.size() - zero_limbs;  // <= this many
+  odd_divisor64_.clear();
+  auto limb32_of_odd = [&](std::size_t i) -> std::uint64_t {
+    const std::size_t lo = zero_limbs + i;
+    if (lo >= divisor_.size()) return 0;
+    std::uint64_t w = divisor_[lo];
+    if (lo + 1 < divisor_.size()) {
+      w |= static_cast<std::uint64_t>(divisor_[lo + 1]) << kLimbBits;
+    }
+    return static_cast<std::uint32_t>(w >> bit_shift);
+  };
+  for (std::size_t i = 0; i < odd32; i += 2) {
+    odd_divisor64_.push_back(limb32_of_odd(i) | (limb32_of_odd(i + 1) << 32));
+  }
+  while (odd_divisor64_.size() > 1 && odd_divisor64_.back() == 0) {
+    odd_divisor64_.pop_back();
+  }
+  // Newton iteration for odd_divisor64_[0]^-1 mod 2^64: an odd d
+  // satisfies d * d == 1 (mod 8), and each step doubles the valid bits.
+  const std::uint64_t d0 = odd_divisor64_[0];
+  std::uint64_t inv = d0;                  // 3 bits
+  inv *= 2 - d0 * inv;                     // 6
+  inv *= 2 - d0 * inv;                     // 12
+  inv *= 2 - d0 * inv;                     // 24
+  inv *= 2 - d0 * inv;                     // 48
+  inv *= 2 - d0 * inv;                     // 96 >= 64
+  assert(d0 * inv == 1 && "Newton inverse failed");
+  mont_inv64_ = std::uint64_t{0} - inv;    // the REDC step wants -d^-1
+}
+
+bool ReciprocalDivisor::MontgomeryDivides(std::span<const Limb> x) {
+  // 2^e | x: e whole zero limbs plus e % 32 low bits of the next.
+  const std::size_t e_limbs =
+      static_cast<std::size_t>(divisor_trailing_zeros_) / kLimbBits;
+  const int e_bits = divisor_trailing_zeros_ % kLimbBits;
+  for (std::size_t i = 0; i < e_limbs; ++i) {
+    if (x[i] != 0) return false;  // x.size() >= limbs_ > e_limbs
+  }
+  if (e_bits != 0 && (x[e_limbs] & ((Limb{1} << e_bits) - 1)) != 0) {
+    return false;
+  }
+  const std::vector<std::uint64_t>& d = odd_divisor64_;
+  const std::size_t nd = d.size();
+  if (nd == 1 && d[0] == 1) return true;  // divisor was a power of two
+  // One REDC sweep over t = x (repacked into 64-bit limbs, B = 2^64):
+  // each step zeroes t[i] by adding the multiple u * d * B^i with
+  // u = t[i] * (-d^-1) mod B. Afterwards t = C * B^m with
+  // C * B^m ≡ x (mod d) and C <= d (t < x + B^m * d and x < B^m), so
+  // d | x iff C is 0 or d itself. gcd(B, d) = 1 makes the test exact.
+  const std::size_t m = (x.size() + 1) / 2;
+  mont_acc64_.assign(m + nd + 1, 0);
+  std::uint64_t* t = mont_acc64_.data();
+  for (std::size_t i = 0; i < x.size(); i += 2) {
+    t[i / 2] = x[i] | (i + 1 < x.size()
+                           ? static_cast<std::uint64_t>(x[i + 1]) << 32
+                           : 0);
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::uint64_t u = t[i] * mont_inv64_;
+    U128 carry = 0;
+    for (std::size_t j = 0; j < nd; ++j) {
+      const U128 cur = t[i + j] + static_cast<U128>(u) * d[j] + carry;
+      t[i + j] = static_cast<std::uint64_t>(cur);
+      carry = cur >> 64;
+    }
+    for (std::size_t p = i + nd; carry != 0; ++p) {
+      assert(p < mont_acc64_.size() && "REDC accumulator exceeded its bound");
+      const U128 cur = t[p] + carry;
+      t[p] = static_cast<std::uint64_t>(cur);
+      carry = cur >> 64;
+    }
+  }
+  std::size_t top = mont_acc64_.size();
+  while (top > m && t[top - 1] == 0) --top;
+  const std::size_t nc = top - m;
+  if (nc == 0) return true;
+  if (nc != nd) return false;
+  for (std::size_t i = nd; i-- > 0;) {
+    if (t[m + i] != d[i]) return false;
+  }
+  return true;
 }
 
 bool ReciprocalDivisor::Divides(const BigInt& dividend) {
   assert(assigned());
   if (dividend.IsZero()) return true;
   auto mag = dividend.Magnitude();
-  if (limbs_ <= 2) {
+  if (strategy_ == Strategy::kWord) {
     return ModMagnitude2by1(mag, word_normalized_, word_reciprocal_,
                             word_shift_) == 0;
   }
   if (mag.size() < limbs_) return false;  // 0 < |dividend| < divisor
-  if (limbs_ < kBarrettMinLimbs) {
+  if (!reference_engine_for_test_) return MontgomeryDivides(mag);
+  if (strategy_ == Strategy::kKnuth) {
     return dividend.IsDivisibleBy(divisor_big_, &div_scratch_);
   }
   return ReduceLarge(mag);
@@ -296,15 +443,80 @@ BigInt ReciprocalDivisor::Mod(const BigInt& dividend) {
   assert(assigned());
   if (dividend.IsZero()) return BigInt();
   auto mag = dividend.Magnitude();
-  if (limbs_ <= 2) {
-    return BigInt::FromUint64(
-        ModMagnitude2by1(mag, word_normalized_, word_reciprocal_,
-                         word_shift_));
+  switch (strategy_) {
+    case Strategy::kWord:
+      return BigInt::FromUint64(
+          ModMagnitude2by1(mag, word_normalized_, word_reciprocal_,
+                           word_shift_));
+    case Strategy::kKnuth:
+      if (mag.size() < limbs_) return BigIntFromLimbs(mag);
+      return BigIntFromLimbs(mag) % divisor_big_;
+    case Strategy::kBarrett:
+      break;
   }
   if (mag.size() < limbs_) return BigIntFromLimbs(mag);
-  if (limbs_ < kBarrettMinLimbs) return BigIntFromLimbs(mag) % divisor_big_;
   ReduceLarge(mag);
   return BigIntFromLimbs(acc_);
+}
+
+std::size_t ReciprocalDivisor::BarrettMinLimbs() {
+  static const std::size_t crossover = MeasureBarrettMinLimbs();
+  return crossover;
+}
+
+std::size_t ReciprocalDivisor::MeasureBarrettMinLimbs() {
+  if (const char* env = std::getenv("PRIMELABEL_BARRETT_MIN_LIMBS")) {
+    if (*env != '\0') {
+      const long v = std::strtol(env, nullptr, 10);
+      return static_cast<std::size_t>(std::clamp(v, 3L, 64L));
+    }
+  }
+  // Race the two strategies on this machine's actual kernels over a
+  // deterministic pseudo-random workload. Per size: one Assign each, then
+  // kReps remainder computations of a 2n-limb dividend — Mod rather than
+  // Divides, because the strategy only steers the remainder path (Divides
+  // takes the Montgomery sweep at every multi-limb size). The crossover is
+  // the smallest measured size where Barrett wins; sizes are sampled
+  // sparsely because the curves cross once and flatten.
+  constexpr int kReps = 48;
+  constexpr std::size_t kSizes[] = {4, 5, 6, 7, 8, 10, 12};
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  auto next_limb = [&state]() -> Limb {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return static_cast<Limb>(state);
+  };
+  auto make_value = [&next_limb](std::size_t limbs) {
+    std::vector<Limb> v(limbs);
+    for (Limb& limb : v) limb = next_limb();
+    v.back() |= Limb{1} << 31;  // keep the intended width
+    return BigIntFromLimbs(v);
+  };
+  auto time_strategy = [](ReciprocalDivisor* rd, const BigInt& divisor,
+                          Strategy strategy, const BigInt& dividend) {
+    rd->AssignWithStrategy(divisor, strategy);
+    bool sink = false;
+    const auto start = std::chrono::steady_clock::now();
+    for (int rep = 0; rep < kReps; ++rep) sink ^= rd->Mod(dividend).IsZero();
+    const auto stop = std::chrono::steady_clock::now();
+    // The sink keeps the loop observable without affecting the timing.
+    return (stop - start) + std::chrono::steady_clock::duration(sink ? 1 : 0);
+  };
+  ReciprocalDivisor rd;
+  std::size_t crossover = kSizes[std::size(kSizes) - 1] + 1;
+  for (std::size_t n : kSizes) {
+    const BigInt divisor = make_value(n);
+    const BigInt dividend = make_value(2 * n);
+    const auto knuth = time_strategy(&rd, divisor, Strategy::kKnuth, dividend);
+    const auto barrett =
+        time_strategy(&rd, divisor, Strategy::kBarrett, dividend);
+    if (barrett <= knuth) {
+      crossover = n;
+      break;
+    }
+  }
+  return std::clamp<std::size_t>(crossover, 3, 16);
 }
 
 bool ReciprocalDivisor::ReduceLarge(std::span<const std::uint32_t> dividend) {
@@ -323,19 +535,38 @@ bool ReciprocalDivisor::ReduceLarge(std::span<const std::uint32_t> dividend) {
   return acc_.empty();
 }
 
+bool ReciprocalDivisor::reference_engine_for_test_ = false;
+
+void ReciprocalDivisor::SetReferenceEngineForTest(bool on) {
+  reference_engine_for_test_ = on;
+}
+
 void ReciprocalDivisor::BarrettReduce() {
   const std::size_t n = limbs_;
   if (CompareLimbSpans(acc_, divisor_) < 0) return;
   // q3 = floor(floor(acc / B^(n-1)) * mu / B^(n+1)) — the quotient
-  // estimate; off by at most 2 (HAC 14.42), corrected below.
+  // estimate; off by at most 2 (HAC 14.42), corrected below. Short-product
+  // refinement: only the columns of q1*mu at positions >= n-2 feed q3
+  // (the dropped mass is < n^2 * B^(n-1), which moves q3 by < 1 more),
+  // and only the low n+1 limbs of q3*x survive the mod-B^(n+1)
+  // subtraction — together that halves the limb products per step. The
+  // estimate only ever drops, so the correction loop still terminates in
+  // O(1) subtractions and the remainder is bit-identical to the
+  // full-product path (the cut of 0 below IS the full product).
   std::span<const Limb> q1(acc_.data() + (n - 1), acc_.size() - (n - 1));
-  MulLimbSpans(q1, mu_, &t1_);
+  const std::size_t cut = reference_engine_for_test_ ? 0 : n - 2;
+  simd::MulLimbSpansHigh(q1, mu_, cut, &t1_);
   std::span<const Limb> q3;
-  if (t1_.size() > n + 1) q3 = std::span<const Limb>(t1_).subspan(n + 1);
-  MulLimbSpans(q3, divisor_, &t2_);
+  const std::size_t shift = n + 1 - cut;
+  if (t1_.size() > shift) q3 = std::span<const Limb>(t1_).subspan(shift);
   // acc = (acc - q3 * x) mod B^(n+1); the true remainder is < B^(n+1), so
   // fixed-width wraparound arithmetic recovers it exactly.
   const std::size_t width = n + 1;
+  if (reference_engine_for_test_) {
+    simd::MulLimbSpans(q3, divisor_, &t2_);  // SubLimbsModWidth truncates
+  } else {
+    simd::MulLimbSpansLow(q3, divisor_, width, &t2_);
+  }
   acc_.resize(width, 0);
   SubLimbsModWidth(&acc_, t2_, width);
   StripHighZeros(&acc_);

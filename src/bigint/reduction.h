@@ -111,6 +111,13 @@ struct LabelFingerprint {
 /// fingerprint prime — the catalog load path and Adopt use this.
 LabelFingerprint FingerprintOf(const BigInt& value);
 
+/// Fingerprints a whole span of labels in one call — the batched front
+/// door to the dispatched chunk-residue kernel (bigint/simd.h), used by
+/// the catalog load pass and bulk adoption. `out` must have
+/// `labels.size()` slots. Element-for-element identical to FingerprintOf.
+void FingerprintLabels(std::span<const BigInt> labels,
+                       std::span<LabelFingerprint> out);
+
 /// Derives the fingerprint of `child_label == parent_label * self` from
 /// the parent's fingerprint in O(chunks) multiply-mods — the incremental
 /// path used while labeling. `self` must be prime (the top-down scheme's
@@ -178,19 +185,27 @@ class Reciprocal64 {
 /// the reduction strategy by divisor size and precomputes its constants
 /// once, so each Divides call avoids the per-call setup of a cold
 /// division:
-///   <= 2 limbs           — Möller–Granlund word reciprocal;
-///   3 .. 7 limbs         — Knuth division with a retained scratch buffer
-///                          (at these sizes Barrett's two n x n products
-///                          cost more than the division they replace);
-///   >= kBarrettMinLimbs  — Barrett reduction with a cached mu constant.
+///   <= 2 limbs             — Möller–Granlund word reciprocal;
+///   3 .. crossover-1 limbs — Knuth division with a retained scratch
+///                            buffer (at these sizes Barrett's two n x n
+///                            products cost more than the division they
+///                            replace);
+///   >= BarrettMinLimbs()   — Barrett reduction with a cached mu constant.
 /// One instance per batch per thread; the scratch buffers make the object
 /// non-thread-safe by design (same contract as BigInt::DivScratch).
 class ReciprocalDivisor {
  public:
-  /// Divisors below this limb count use plain Knuth division instead of
-  /// Barrett: mu would be computed and multiplied over so few limbs that
-  /// the constant costs dominate.
-  static constexpr std::size_t kBarrettMinLimbs = 8;
+  /// Limb count at which Assign switches from Knuth to Barrett — the
+  /// strategy behind Mod (and reference-engine Divides; optimized Divides
+  /// goes through the Montgomery sweep at every multi-limb size). Taken
+  /// from the PRIMELABEL_BARRETT_MIN_LIMBS environment variable when set
+  /// (clamped to [3, 64]); otherwise measured once per process by a tiny
+  /// startup microbenchmark (sub-millisecond, run lazily on the first
+  /// multi-limb Assign) racing both strategies on this machine's actual
+  /// kernels. Replaces the old compile-time 8, which had only been
+  /// validated on x86-64. The strategy choice affects speed only — every
+  /// strategy returns bit-identical results.
+  static std::size_t BarrettMinLimbs();
 
   ReciprocalDivisor() = default;
 
@@ -201,20 +216,61 @@ class ReciprocalDivisor {
   bool assigned() const { return limbs_ != 0; }
 
   /// True iff the cached divisor divides |dividend| exactly. Bit-identical
-  /// to BigInt::IsDivisibleBy against the same divisor.
+  /// to BigInt::IsDivisibleBy against the same divisor. Multi-limb
+  /// divisors take a word-by-word Montgomery (REDC) divisibility pass:
+  /// with d = 2^e * d_odd, d | y iff 2^e | y (a bit test) and d_odd | y,
+  /// and the latter holds iff the Montgomery reduction y * B^-m mod d_odd
+  /// is zero — computed in one streaming multiply-accumulate sweep with
+  /// no quotient estimates, chunking, or correction steps.
   bool Divides(const BigInt& dividend);
 
   /// |dividend| mod divisor, as a BigInt — the equivalence-test surface
-  /// (and the remainder consumers of the CRT layer).
+  /// (and the remainder consumers of the CRT layer). Always takes the
+  /// Knuth/Barrett strategy path (Montgomery yields divisibility, not the
+  /// plain remainder).
   BigInt Mod(const BigInt& dividend);
 
+  /// Test/bench hook: run the engine exactly as it stood before the
+  /// short-product and Montgomery optimizations — full-width Barrett
+  /// products in Reduce, and Divides answered through the Knuth/Barrett
+  /// remainder instead of the Montgomery sweep. Results are bit-identical
+  /// either way (the optimizations change cost, never outcomes), so this
+  /// exists purely as the baseline leg of A/B benches and the
+  /// equivalence suites. Not thread-safe; set only from single-threaded
+  /// setup code.
+  static void SetReferenceEngineForTest(bool on);
+
  private:
+  /// Reduction strategy, chosen at Assign time and stored so every
+  /// Divides/Mod on this divisor takes the same path.
+  enum class Strategy { kWord, kKnuth, kBarrett };
+
+  /// Assign with a forced strategy — the startup microbenchmark races
+  /// kKnuth against kBarrett at the same divisor size through this.
+  void AssignWithStrategy(const BigInt& divisor, Strategy strategy);
+
+  /// The microbenchmark behind BarrettMinLimbs (env override handled
+  /// there too).
+  static std::size_t MeasureBarrettMinLimbs();
+
+  /// Precomputes the Montgomery divisibility constants (odd part of the
+  /// divisor, its trailing-zero count, and -odd^-1 mod 2^64) from
+  /// divisor_; called by AssignWithStrategy for multi-limb divisors.
+  void PrepareMontgomery();
+  /// The streaming REDC divisibility sweep (see Divides). Requires
+  /// dividend.size() >= limbs_ and a nonzero dividend.
+  bool MontgomeryDivides(std::span<const std::uint32_t> dividend);
+
   /// Reduces |dividend| into scratch `acc_`; returns true when the result
   /// is exactly zero (the only bit Divides needs).
   bool ReduceLarge(std::span<const std::uint32_t> dividend);
   /// One Barrett step: acc_ (< B^(2n)) becomes acc_ mod divisor, in place.
   void BarrettReduce();
 
+  /// See SetReferenceEngineForTest.
+  static bool reference_engine_for_test_;
+
+  Strategy strategy_ = Strategy::kWord;
   std::size_t limbs_ = 0;            ///< divisor magnitude limb count
   std::uint64_t divisor_word_ = 0;   ///< divisor when limbs_ <= 2
   std::uint64_t word_reciprocal_ = 0;
@@ -230,6 +286,16 @@ class ReciprocalDivisor {
   // mu = floor(B^(2n) / divisor) with B = 2^32, n = limbs_.
   std::vector<std::uint32_t> divisor_;
   std::vector<std::uint32_t> mu_;
+  // Montgomery divisibility state (multi-limb divisors): the divisor's
+  // odd part repacked into native 64-bit limbs (each REDC step then
+  // clears 64 dividend bits with quarter the 32x32 multiply count), how
+  // many factors of two were shifted out, and the word inverse
+  // -odd_divisor64_[0]^-1 mod 2^64 driving each step. mont_acc64_ is the
+  // reusable sweep accumulator (holds the repacked dividend).
+  std::vector<std::uint64_t> odd_divisor64_;
+  std::vector<std::uint64_t> mont_acc64_;
+  int divisor_trailing_zeros_ = 0;
+  std::uint64_t mont_inv64_ = 0;
   // Scratch (reused across Divides calls): accumulator and two products.
   std::vector<std::uint32_t> acc_;
   std::vector<std::uint32_t> t1_;

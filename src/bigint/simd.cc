@@ -1,0 +1,716 @@
+#include "bigint/simd.h"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cassert>
+#include <cstdlib>
+
+#include "bigint/reduction.h"
+
+#if defined(__x86_64__) && !defined(PRIMELABEL_DISABLE_SIMD)
+#include <immintrin.h>
+#define PRIMELABEL_HAVE_AVX2_KERNELS 1
+#endif
+#if defined(__aarch64__) && !defined(PRIMELABEL_DISABLE_SIMD)
+#include <arm_neon.h>
+#define PRIMELABEL_HAVE_NEON_KERNELS 1
+#endif
+
+namespace primelabel::simd {
+namespace {
+
+using Limb = std::uint32_t;
+using U128 = unsigned __int128;
+constexpr int kLimbBits = 32;
+
+/// Below these operand sizes the vector walks' fixed costs (accumulator
+/// zeroing, recombination, short vector tails) outweigh the multiply
+/// savings and the row-wise scalar loop wins. Measured on AVX2: full
+/// products cross over near 20 limbs, while the clipped Barrett short
+/// products (whose scalar loop does proportionally more range clipping
+/// per useful multiply) cross lower, near 12. Both apply to the smaller
+/// operand.
+constexpr std::size_t kVectorMinLimbs = 20;
+constexpr std::size_t kVectorMinLimbsPartial = 12;
+
+void StripHighZeros(std::vector<Limb>* v) {
+  while (!v->empty() && v->back() == 0) v->pop_back();
+}
+
+/// Per-thread storage for the reversed second operand of the NEON column
+/// walk; reversal makes each column's partial products contiguous in
+/// both operands (a[i] * brev[i + offset]), which is what lets the inner
+/// loop run 4 products per vector op. (The AVX2 kernel row-scans and does
+/// not reverse, so this is unused on x86-64 builds.)
+[[maybe_unused]] std::vector<Limb>& ReversedScratch() {
+  thread_local std::vector<Limb> scratch;
+  return scratch;
+}
+
+/// Per-thread storage for the row-scanning AVX2 walk's per-column 64-bit
+/// accumulators (low halves in the first half, high halves in the
+/// second).
+std::vector<std::uint64_t>& AccumulatorScratch() {
+  thread_local std::vector<std::uint64_t> scratch;
+  return scratch;
+}
+
+// --- Residue power tables ---------------------------------------------------
+
+static_assert(kChunkCount == kFingerprintChunks,
+              "simd chunk-lane count drifted from the fingerprint table");
+
+/// Precomputed weights for the one-sweep residue kernel:
+/// w[i * kLanes + j] = 2^(32*i) mod product_j. Magnitudes longer than
+/// kBlockLimbs fold block by block through block_factor (Horner over
+/// blocks), so the table stays a fixed ~56 KiB regardless of label size.
+struct ResidueTables {
+  static constexpr std::size_t kBlockLimbs = 1024;
+  static constexpr std::size_t kLanes = 8;  ///< 7 chunks + 1 zero pad lane
+
+  std::vector<std::uint64_t> w;  ///< kBlockLimbs rows of kLanes weights
+  std::array<std::uint64_t, kLanes> products{};
+  std::array<std::uint64_t, kLanes> block_factor{};  ///< 2^(32*kBlockLimbs) mod m
+};
+
+const ResidueTables& Tables() {
+  static const ResidueTables* tables = [] {
+    auto* t = new ResidueTables;
+    for (int j = 0; j < kChunkCount; ++j) {
+      t->products[static_cast<std::size_t>(j)] =
+          kFingerprintChunkTable[static_cast<std::size_t>(j)].product;
+    }
+    t->products[kChunkCount] = 1;  // pad lane: everything is 0 mod 1
+    t->w.assign(ResidueTables::kBlockLimbs * ResidueTables::kLanes, 0);
+    for (std::size_t j = 0; j < ResidueTables::kLanes; ++j) {
+      const std::uint64_t m = t->products[j];
+      std::uint64_t power = 1 % m;
+      for (std::size_t i = 0; i < ResidueTables::kBlockLimbs; ++i) {
+        t->w[i * ResidueTables::kLanes + j] = power;
+        power = static_cast<std::uint64_t>((static_cast<U128>(power) << 32) % m);
+      }
+      t->block_factor[j] = power;  // one step past the last row
+    }
+    return t;
+  }();
+  return *tables;
+}
+
+/// Residue of one block (<= kBlockLimbs limbs) for one lane: the dot
+/// product sum_i limb_i * w_i reduced once at the end. Every term is
+/// < 2^96 and a block has <= 2^10 of them, so the 128-bit accumulator
+/// cannot overflow.
+std::uint64_t BlockResidueScalar(std::span<const Limb> block, std::size_t lane) {
+  const ResidueTables& t = Tables();
+  U128 acc = 0;
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    acc += static_cast<U128>(block[i]) * t.w[i * ResidueTables::kLanes + lane];
+  }
+  return static_cast<std::uint64_t>(acc % t.products[lane]);
+}
+
+}  // namespace
+
+// --- Dispatch ---------------------------------------------------------------
+
+const char* IsaName(Isa isa) {
+  switch (isa) {
+    case Isa::kAvx2: return "avx2";
+    case Isa::kNeon: return "neon";
+    case Isa::kScalar: break;
+  }
+  return "scalar";
+}
+
+bool VectorKernelsCompiledIn() {
+#if defined(PRIMELABEL_DISABLE_SIMD)
+  return false;
+#else
+  return true;
+#endif
+}
+
+Isa DetectedIsa() {
+  static const Isa detected = [] {
+#if defined(PRIMELABEL_DISABLE_SIMD)
+    return Isa::kScalar;
+#else
+    // Runtime kill switch for an otherwise capable build.
+    const char* env = std::getenv("PRIMELABEL_DISABLE_SIMD");
+    if (env != nullptr && env[0] != '\0' && env[0] != '0') return Isa::kScalar;
+#if defined(PRIMELABEL_HAVE_AVX2_KERNELS)
+    return __builtin_cpu_supports("avx2") ? Isa::kAvx2 : Isa::kScalar;
+#elif defined(PRIMELABEL_HAVE_NEON_KERNELS)
+    return Isa::kNeon;  // baseline on aarch64, no cpuid needed
+#else
+    return Isa::kScalar;
+#endif
+#endif
+  }();
+  return detected;
+}
+
+namespace {
+/// -1 = follow DetectedIsa; otherwise the forced Isa as an int.
+std::atomic<int> g_isa_override{-1};
+}  // namespace
+
+Isa ActiveIsa() {
+  int forced = g_isa_override.load(std::memory_order_relaxed);
+  return forced < 0 ? DetectedIsa() : static_cast<Isa>(forced);
+}
+
+void SetActiveIsa(Isa isa) {
+  // A vector ISA the host lacks clamps to scalar, so tests can request
+  // "the other" ISA unconditionally and still run everywhere.
+  if (isa != Isa::kScalar && isa != DetectedIsa()) isa = Isa::kScalar;
+  g_isa_override.store(static_cast<int>(isa), std::memory_order_relaxed);
+}
+
+void ResetActiveIsa() {
+  g_isa_override.store(-1, std::memory_order_relaxed);
+}
+
+// --- MulLimbSpans: portable -------------------------------------------------
+
+void MulLimbSpansPortable(std::span<const Limb> a, std::span<const Limb> b,
+                          std::vector<Limb>* out) {
+  if (a.empty() || b.empty()) {
+    out->clear();
+    return;
+  }
+  out->assign(a.size() + b.size(), 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::uint64_t carry = 0;
+    const std::uint64_t ai = a[i];
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      std::uint64_t cur = (*out)[i + j] + ai * b[j] + carry;
+      (*out)[i + j] = static_cast<Limb>(cur);
+      carry = cur >> kLimbBits;
+    }
+    (*out)[i + b.size()] = static_cast<Limb>(carry);
+  }
+  StripHighZeros(out);
+}
+
+namespace {
+
+/// Scalar walk shared by the portable partial-product kernels. The
+/// result value is sum over k in [kbegin, kend) of col_k * B^(k -
+/// kbegin), where col_k is the exact column sum over i+j==k of
+/// a[i]*b[j]; when `tail` is true (kend is one past the last column,
+/// na+nb-1) that value gains one carry limb at the top, and when it is
+/// false the value is taken mod B^(kend - kbegin). Implemented row-wise
+/// like the schoolbook loop above — each row accumulates its clipped
+/// product range in place with a 64-bit carry (one multiply and two adds
+/// per term, ~1.6x cheaper than a per-column U128 walk at the 6–16 limb
+/// operands the Barrett steps feed below the vector gate). The set of
+/// accumulated terms and the output width determine the value exactly,
+/// so the limbs match the vector kernels' column accumulation
+/// bit-for-bit.
+void ColumnWalkPortable(std::span<const Limb> a, std::span<const Limb> b,
+                        std::size_t kbegin, std::size_t kend, bool tail,
+                        std::vector<Limb>* out) {
+  const std::size_t na = a.size();
+  const std::size_t nb = b.size();
+  const std::size_t width = kend - kbegin + (tail ? 1 : 0);
+  out->assign(width, 0);
+  Limb* po = out->data();
+  for (std::size_t i = 0; i < na && i < kend; ++i) {
+    // Row i touches columns i + j for j in [0, nb); clip to the range.
+    const std::size_t jlo = kbegin > i ? kbegin - i : 0;
+    if (jlo >= nb) continue;
+    const std::size_t jhi = kend - i < nb ? kend - i : nb;  // exclusive
+    if (jhi <= jlo) continue;
+    const std::uint64_t ai = a[i];
+    std::uint64_t carry = 0;
+    std::size_t pos = i + jlo - kbegin;
+    for (std::size_t j = jlo; j < jhi; ++j, ++pos) {
+      const std::uint64_t cur = po[pos] + ai * b[j] + carry;
+      po[pos] = static_cast<Limb>(cur);
+      carry = cur >> kLimbBits;
+    }
+    // Ripple the row's carry upward; past `width` it falls off, which is
+    // exactly the mod-B^width semantics of the no-tail case (with a tail
+    // the true value fits in `width` limbs, so nothing is ever dropped).
+    for (; carry != 0 && pos < width; ++pos) {
+      const std::uint64_t cur = po[pos] + carry;
+      po[pos] = static_cast<Limb>(cur);
+      carry = cur >> kLimbBits;
+    }
+    assert((!tail || carry == 0) && "partial product exceeded its bound");
+  }
+  StripHighZeros(out);
+}
+
+}  // namespace
+
+void MulLimbSpansHighPortable(std::span<const Limb> a, std::span<const Limb> b,
+                              std::size_t from_column,
+                              std::vector<Limb>* out) {
+  if (a.empty() || b.empty() || from_column >= a.size() + b.size()) {
+    out->clear();
+    return;
+  }
+  ColumnWalkPortable(a, b, std::min(from_column, a.size() + b.size() - 1),
+                     a.size() + b.size() - 1, /*tail=*/true, out);
+}
+
+void MulLimbSpansLowPortable(std::span<const Limb> a, std::span<const Limb> b,
+                             std::size_t width, std::vector<Limb>* out) {
+  if (a.empty() || b.empty() || width == 0) {
+    out->clear();
+    return;
+  }
+  if (width >= a.size() + b.size()) {
+    MulLimbSpansPortable(a, b, out);
+    return;
+  }
+  ColumnWalkPortable(a, b, 0, width, /*tail=*/false, out);
+}
+
+// --- MulLimbSpans: AVX2 -----------------------------------------------------
+
+#if defined(PRIMELABEL_HAVE_AVX2_KERNELS)
+
+namespace {
+
+/// Row-scanning walk over columns k in [kbegin, kend): the result value
+/// is sum over that range of col_k * B^(k - kbegin), where col_k is the
+/// exact column sum over i+j==k of a[i]*b[j]. Instead of walking columns
+/// (whose per-column horizontal reductions dominate at the 8–30 limb
+/// operands the Barrett steps feed), each row i broadcasts a[i] and
+/// multiplies four b limbs per vector op, splitting the 64-bit products
+/// into low/high 32-bit halves accumulated in two per-column 64-bit
+/// arrays. Each array entry sums at most min(na, nb) halves < 2^32, so
+/// the lanes cannot wrap; a final scalar pass recombines
+/// acc_lo[k] + (acc_hi[k] << 32) into base-2^32 digits. The value is
+/// exact, so the output is identical limb-for-limb to the scalar column
+/// walk (and, over the full range, to the row-wise schoolbook loop).
+__attribute__((target("avx2"))) void ColumnWalkAvx2(
+    std::span<const Limb> a, std::span<const Limb> b, std::size_t kbegin,
+    std::size_t kend, bool tail, std::vector<Limb>* out) {
+  const std::size_t na = a.size();
+  const std::size_t nb = b.size();
+  const std::size_t cols = kend - kbegin;
+  out->assign(cols + (tail ? 1 : 0), 0);
+
+  // The accumulators live on the stack for the common small/mid sizes —
+  // the thread-local heap vector costs a TLS lookup plus a dispatched
+  // memset per call, which is most of the kernel's fixed overhead at the
+  // 8–30 limb operands the Barrett steps feed.
+  constexpr std::size_t kStackCols = 128;
+  alignas(32) std::uint64_t stack_acc[2 * kStackCols];
+  std::uint64_t* acc_lo;
+  if (cols <= kStackCols) {
+    for (std::size_t k = 0; k < 2 * cols; ++k) stack_acc[k] = 0;
+    acc_lo = stack_acc;
+  } else {
+    std::vector<std::uint64_t>& acc = AccumulatorScratch();
+    acc.assign(2 * cols, 0);
+    acc_lo = acc.data();
+  }
+  std::uint64_t* acc_hi = acc_lo + cols;
+
+  const __m256i mask32 = _mm256_set1_epi64x(0xffffffff);
+  for (std::size_t i = 0; i < na && i < kend; ++i) {
+    // Row i touches columns i + j for j in [0, nb); clip to the range.
+    const std::size_t jlo = kbegin > i ? kbegin - i : 0;
+    if (jlo >= nb) continue;
+    const std::size_t jhi = kend - i < nb ? kend - i : nb;  // exclusive
+    if (jhi <= jlo) continue;
+    const __m256i av = _mm256_set1_epi64x(static_cast<long long>(a[i]));
+    const Limb* pb = b.data();
+    std::uint64_t* plo = acc_lo + (i + jlo - kbegin);
+    std::uint64_t* phi = acc_hi + (i + jlo - kbegin);
+    std::size_t j = jlo;
+    for (; j + 4 <= jhi; j += 4, plo += 4, phi += 4) {
+      __m256i bv = _mm256_cvtepu32_epi64(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(pb + j)));
+      __m256i p = _mm256_mul_epu32(av, bv);
+      __m256i alo = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(plo));
+      __m256i ahi = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(phi));
+      alo = _mm256_add_epi64(alo, _mm256_and_si256(p, mask32));
+      ahi = _mm256_add_epi64(ahi, _mm256_srli_epi64(p, 32));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(plo), alo);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(phi), ahi);
+    }
+    for (; j < jhi; ++j, ++plo, ++phi) {
+      const std::uint64_t p = static_cast<std::uint64_t>(a[i]) * pb[j];
+      *plo += p & 0xffffffffu;
+      *phi += p >> 32;
+    }
+  }
+
+  // Recombine. acc_lo[k] and acc_hi[k - 1] are each < min(na, nb) * 2^32
+  // and the running carry stays below ~2 * min(na, nb), so the 64-bit sum
+  // cannot wrap for any operand that fits in memory.
+  std::uint64_t carry = 0;
+  std::uint64_t hi_prev = 0;
+  for (std::size_t k = 0; k < cols; ++k) {
+    const std::uint64_t t = carry + acc_lo[k] + hi_prev;
+    (*out)[k] = static_cast<Limb>(t);
+    carry = t >> 32;
+    hi_prev = acc_hi[k];
+  }
+  if (tail) {
+    const std::uint64_t t = carry + hi_prev;
+    (*out)[cols] = static_cast<Limb>(t);
+    assert((t >> 32) == 0 && "partial product exceeded its bound");
+  }
+  StripHighZeros(out);
+}
+
+__attribute__((target("avx2"))) void MulLimbSpansAvx2(
+    std::span<const Limb> a, std::span<const Limb> b,
+    std::vector<Limb>* out) {
+  ColumnWalkAvx2(a, b, 0, a.size() + b.size() - 1, /*tail=*/true, out);
+}
+
+}  // namespace
+
+#endif  // PRIMELABEL_HAVE_AVX2_KERNELS
+
+// --- MulLimbSpans: NEON -----------------------------------------------------
+
+#if defined(PRIMELABEL_HAVE_NEON_KERNELS)
+
+namespace {
+
+/// The same column walk as the AVX2 kernel with 2 x 64-bit lanes:
+/// vmull_u32 produces two exact 32x32->64 products per op.
+void ColumnWalkNeon(std::span<const Limb> a, std::span<const Limb> b,
+                    std::size_t kbegin, std::size_t kend, bool tail,
+                    std::vector<Limb>* out) {
+  const std::size_t na = a.size();
+  const std::size_t nb = b.size();
+  out->assign(kend - kbegin + (tail ? 1 : 0), 0);
+
+  std::vector<Limb>& brev = ReversedScratch();
+  brev.resize(nb);
+  for (std::size_t j = 0; j < nb; ++j) brev[j] = b[nb - 1 - j];
+
+  const Limb* pa = a.data();
+  const Limb* pr = brev.data();
+  const uint64x2_t mask32 = vdupq_n_u64(0xffffffff);
+
+  U128 carry = 0;
+  for (std::size_t k = kbegin; k < kend; ++k) {
+    const std::size_t ilo = k >= nb ? k - nb + 1 : 0;
+    const std::size_t ihi = k < na ? k : na - 1;
+    const std::size_t count = ihi - ilo + 1;
+    const Limb* ca = pa + ilo;
+    const Limb* cb = pr + (ilo + nb - 1 - k);
+
+    uint64x2_t sum_lo = vdupq_n_u64(0);
+    uint64x2_t sum_hi = vdupq_n_u64(0);
+    std::size_t t = 0;
+    for (; t + 4 <= count; t += 4) {
+      uint32x4_t av = vld1q_u32(ca + t);
+      uint32x4_t bv = vld1q_u32(cb + t);
+      uint64x2_t p0 = vmull_u32(vget_low_u32(av), vget_low_u32(bv));
+      uint64x2_t p1 = vmull_u32(vget_high_u32(av), vget_high_u32(bv));
+      sum_lo = vaddq_u64(sum_lo, vandq_u64(p0, mask32));
+      sum_hi = vaddq_u64(sum_hi, vshrq_n_u64(p0, 32));
+      sum_lo = vaddq_u64(sum_lo, vandq_u64(p1, mask32));
+      sum_hi = vaddq_u64(sum_hi, vshrq_n_u64(p1, 32));
+    }
+    std::uint64_t slo = vgetq_lane_u64(sum_lo, 0) + vgetq_lane_u64(sum_lo, 1);
+    std::uint64_t shi = vgetq_lane_u64(sum_hi, 0) + vgetq_lane_u64(sum_hi, 1);
+    U128 column = static_cast<U128>(slo) + (static_cast<U128>(shi) << 32);
+    for (; t < count; ++t) {
+      column += static_cast<U128>(ca[t]) * cb[t];
+    }
+    carry += column;
+    (*out)[k - kbegin] = static_cast<Limb>(carry);
+    carry >>= 32;
+  }
+  if (tail) {
+    (*out)[kend - kbegin] = static_cast<Limb>(carry);
+    assert((carry >> 32) == 0 && "partial product exceeded its bound");
+  }
+  StripHighZeros(out);
+}
+
+void MulLimbSpansNeon(std::span<const Limb> a, std::span<const Limb> b,
+                      std::vector<Limb>* out) {
+  ColumnWalkNeon(a, b, 0, a.size() + b.size() - 1, /*tail=*/true, out);
+}
+
+}  // namespace
+
+#endif  // PRIMELABEL_HAVE_NEON_KERNELS
+
+void MulLimbSpans(std::span<const Limb> a, std::span<const Limb> b,
+                  std::vector<Limb>* out) {
+  if (a.empty() || b.empty()) {
+    out->clear();
+    return;
+  }
+  if (std::min(a.size(), b.size()) < kVectorMinLimbs) {
+    MulLimbSpansPortable(a, b, out);
+    return;
+  }
+  switch (ActiveIsa()) {
+#if defined(PRIMELABEL_HAVE_AVX2_KERNELS)
+    case Isa::kAvx2:
+      MulLimbSpansAvx2(a, b, out);
+      return;
+#endif
+#if defined(PRIMELABEL_HAVE_NEON_KERNELS)
+    case Isa::kNeon:
+      MulLimbSpansNeon(a, b, out);
+      return;
+#endif
+    default:
+      break;
+  }
+  MulLimbSpansPortable(a, b, out);
+}
+
+namespace {
+
+/// Shared dispatch for the ranged column walks; falls back to the scalar
+/// walk below the vector threshold or on a scalar ISA.
+void ColumnWalkDispatch(std::span<const Limb> a, std::span<const Limb> b,
+                        std::size_t kbegin, std::size_t kend, bool tail,
+                        std::vector<Limb>* out) {
+  if (std::min(a.size(), b.size()) >= kVectorMinLimbsPartial) {
+    switch (ActiveIsa()) {
+#if defined(PRIMELABEL_HAVE_AVX2_KERNELS)
+      case Isa::kAvx2:
+        ColumnWalkAvx2(a, b, kbegin, kend, tail, out);
+        return;
+#endif
+#if defined(PRIMELABEL_HAVE_NEON_KERNELS)
+      case Isa::kNeon:
+        ColumnWalkNeon(a, b, kbegin, kend, tail, out);
+        return;
+#endif
+      default:
+        break;
+    }
+  }
+  ColumnWalkPortable(a, b, kbegin, kend, tail, out);
+}
+
+}  // namespace
+
+void MulLimbSpansHigh(std::span<const Limb> a, std::span<const Limb> b,
+                      std::size_t from_column, std::vector<Limb>* out) {
+  if (a.empty() || b.empty() || from_column >= a.size() + b.size()) {
+    out->clear();
+    return;
+  }
+  ColumnWalkDispatch(a, b, std::min(from_column, a.size() + b.size() - 1),
+                     a.size() + b.size() - 1, /*tail=*/true, out);
+}
+
+void MulLimbSpansLow(std::span<const Limb> a, std::span<const Limb> b,
+                     std::size_t width, std::vector<Limb>* out) {
+  if (a.empty() || b.empty() || width == 0) {
+    out->clear();
+    return;
+  }
+  if (width >= a.size() + b.size()) {
+    MulLimbSpans(a, b, out);
+    return;
+  }
+  ColumnWalkDispatch(a, b, 0, width, /*tail=*/false, out);
+}
+
+// --- ChunkResidues: portable ------------------------------------------------
+
+void ChunkResiduesPortable(std::span<const Limb> magnitude,
+                           std::span<std::uint64_t> out) {
+  assert(out.size() >= static_cast<std::size_t>(kChunkCount));
+  const ResidueTables& t = Tables();
+  const std::size_t blocks =
+      (magnitude.size() + ResidueTables::kBlockLimbs - 1) /
+      ResidueTables::kBlockLimbs;
+  for (std::size_t j = 0; j < static_cast<std::size_t>(kChunkCount); ++j) {
+    const std::uint64_t m = t.products[j];
+    std::uint64_t r = 0;
+    // Horner over blocks, most significant first; each step keeps both
+    // factors below 2^64 and the pre-reduced block residue below m, so
+    // the 128-bit intermediate cannot overflow.
+    for (std::size_t blk = blocks; blk-- > 0;) {
+      const std::size_t first = blk * ResidueTables::kBlockLimbs;
+      std::span<const Limb> block = magnitude.subspan(
+          first, std::min(ResidueTables::kBlockLimbs, magnitude.size() - first));
+      std::uint64_t block_res = BlockResidueScalar(block, j);
+      r = static_cast<std::uint64_t>(
+          (static_cast<U128>(r) * t.block_factor[j] + block_res) % m);
+    }
+    out[j] = r;
+  }
+}
+
+// --- ChunkResidues: AVX2 ----------------------------------------------------
+
+#if defined(PRIMELABEL_HAVE_AVX2_KERNELS)
+
+namespace {
+
+/// One sweep over a block with the 7 chunk lanes (plus a zero pad lane)
+/// vectorized: per limb, two weight loads cover all 8 lanes, and the
+/// weights' low/high 32-bit halves are multiplied separately so every
+/// partial product is exact. Accumulators split each product into 32-bit
+/// halves, giving 2^32 safe additions per lane — far beyond a block.
+__attribute__((target("avx2"))) void BlockResiduesAvx2(
+    std::span<const Limb> block, std::uint64_t lanes[ResidueTables::kLanes]) {
+  const ResidueTables& t = Tables();
+  const __m256i mask32 = _mm256_set1_epi64x(0xffffffff);
+  __m256i s_ll[2] = {_mm256_setzero_si256(), _mm256_setzero_si256()};
+  __m256i s_lh[2] = {_mm256_setzero_si256(), _mm256_setzero_si256()};
+  __m256i s_hl[2] = {_mm256_setzero_si256(), _mm256_setzero_si256()};
+  __m256i s_hh[2] = {_mm256_setzero_si256(), _mm256_setzero_si256()};
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    const __m256i limb = _mm256_set1_epi64x(block[i]);
+    const std::uint64_t* row = t.w.data() + i * ResidueTables::kLanes;
+    for (int half = 0; half < 2; ++half) {
+      __m256i wv = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(row + 4 * half));
+      // (w & 0xffffffff) * limb and (w >> 32) * limb, both exact 64-bit.
+      __m256i plo = _mm256_mul_epu32(wv, limb);
+      __m256i phi = _mm256_mul_epu32(_mm256_srli_epi64(wv, 32), limb);
+      s_ll[half] = _mm256_add_epi64(s_ll[half], _mm256_and_si256(plo, mask32));
+      s_lh[half] = _mm256_add_epi64(s_lh[half], _mm256_srli_epi64(plo, 32));
+      s_hl[half] = _mm256_add_epi64(s_hl[half], _mm256_and_si256(phi, mask32));
+      s_hh[half] = _mm256_add_epi64(s_hh[half], _mm256_srli_epi64(phi, 32));
+    }
+  }
+  alignas(32) std::uint64_t ll[8], lh[8], hl[8], hh[8];
+  for (int half = 0; half < 2; ++half) {
+    _mm256_store_si256(reinterpret_cast<__m256i*>(ll + 4 * half), s_ll[half]);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lh + 4 * half), s_lh[half]);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(hl + 4 * half), s_hl[half]);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(hh + 4 * half), s_hh[half]);
+  }
+  for (std::size_t j = 0; j < static_cast<std::size_t>(kChunkCount); ++j) {
+    // sum_i limb_i * w_ij = ll + (lh + hl) << 32 + hh << 64, exactly.
+    U128 total = static_cast<U128>(ll[j]) +
+                 ((static_cast<U128>(lh[j]) + hl[j]) << 32) +
+                 (static_cast<U128>(hh[j]) << 64);
+    lanes[j] = static_cast<std::uint64_t>(total % t.products[j]);
+  }
+}
+
+void ChunkResiduesAvx2(std::span<const Limb> magnitude,
+                       std::span<std::uint64_t> out) {
+  const ResidueTables& t = Tables();
+  const std::size_t blocks =
+      (magnitude.size() + ResidueTables::kBlockLimbs - 1) /
+      ResidueTables::kBlockLimbs;
+  std::array<std::uint64_t, static_cast<std::size_t>(kChunkCount)> r{};
+  for (std::size_t blk = blocks; blk-- > 0;) {
+    const std::size_t first = blk * ResidueTables::kBlockLimbs;
+    std::span<const Limb> block = magnitude.subspan(
+        first, std::min(ResidueTables::kBlockLimbs, magnitude.size() - first));
+    std::uint64_t lanes[ResidueTables::kLanes] = {};
+    BlockResiduesAvx2(block, lanes);
+    for (std::size_t j = 0; j < r.size(); ++j) {
+      const std::uint64_t m = t.products[j];
+      r[j] = static_cast<std::uint64_t>(
+          (static_cast<U128>(r[j]) * t.block_factor[j] + lanes[j]) % m);
+    }
+  }
+  for (std::size_t j = 0; j < r.size(); ++j) out[j] = r[j];
+}
+
+}  // namespace
+
+#endif  // PRIMELABEL_HAVE_AVX2_KERNELS
+
+// --- ChunkResidues: NEON ----------------------------------------------------
+
+#if defined(PRIMELABEL_HAVE_NEON_KERNELS)
+
+namespace {
+
+void ChunkResiduesNeon(std::span<const Limb> magnitude,
+                       std::span<std::uint64_t> out) {
+  const ResidueTables& t = Tables();
+  const std::size_t blocks =
+      (magnitude.size() + ResidueTables::kBlockLimbs - 1) /
+      ResidueTables::kBlockLimbs;
+  std::array<std::uint64_t, static_cast<std::size_t>(kChunkCount)> r{};
+  for (std::size_t blk = blocks; blk-- > 0;) {
+    const std::size_t first = blk * ResidueTables::kBlockLimbs;
+    std::span<const Limb> block = magnitude.subspan(
+        first, std::min(ResidueTables::kBlockLimbs, magnitude.size() - first));
+    // 8 lanes as 4 pairs; per limb: widening multiplies of the weights'
+    // low/high 32-bit halves, accumulated in split 32-bit halves (same
+    // overflow argument as the AVX2 kernel).
+    uint64x2_t s_ll[4], s_lh[4], s_hl[4], s_hh[4];
+    for (int p = 0; p < 4; ++p) {
+      s_ll[p] = vdupq_n_u64(0);
+      s_lh[p] = vdupq_n_u64(0);
+      s_hl[p] = vdupq_n_u64(0);
+      s_hh[p] = vdupq_n_u64(0);
+    }
+    const uint64x2_t mask32 = vdupq_n_u64(0xffffffff);
+    for (std::size_t i = 0; i < block.size(); ++i) {
+      const uint32x2_t limb = vdup_n_u32(block[i]);
+      const std::uint64_t* row = t.w.data() + i * ResidueTables::kLanes;
+      for (int p = 0; p < 4; ++p) {
+        uint64x2_t wv = vld1q_u64(row + 2 * p);
+        uint32x2_t wlo = vmovn_u64(wv);
+        uint32x2_t whi = vshrn_n_u64(wv, 32);
+        uint64x2_t plo = vmull_u32(wlo, limb);
+        uint64x2_t phi = vmull_u32(whi, limb);
+        s_ll[p] = vaddq_u64(s_ll[p], vandq_u64(plo, mask32));
+        s_lh[p] = vaddq_u64(s_lh[p], vshrq_n_u64(plo, 32));
+        s_hl[p] = vaddq_u64(s_hl[p], vandq_u64(phi, mask32));
+        s_hh[p] = vaddq_u64(s_hh[p], vshrq_n_u64(phi, 32));
+      }
+    }
+    for (std::size_t j = 0; j < r.size(); ++j) {
+      const int p = static_cast<int>(j / 2);
+      const int lane = static_cast<int>(j % 2);
+      std::uint64_t ll = lane ? vgetq_lane_u64(s_ll[p], 1)
+                              : vgetq_lane_u64(s_ll[p], 0);
+      std::uint64_t lh = lane ? vgetq_lane_u64(s_lh[p], 1)
+                              : vgetq_lane_u64(s_lh[p], 0);
+      std::uint64_t hl = lane ? vgetq_lane_u64(s_hl[p], 1)
+                              : vgetq_lane_u64(s_hl[p], 0);
+      std::uint64_t hh = lane ? vgetq_lane_u64(s_hh[p], 1)
+                              : vgetq_lane_u64(s_hh[p], 0);
+      U128 total = static_cast<U128>(ll) +
+                   ((static_cast<U128>(lh) + hl) << 32) +
+                   (static_cast<U128>(hh) << 64);
+      const std::uint64_t m = t.products[j];
+      std::uint64_t lane_res = static_cast<std::uint64_t>(total % m);
+      r[j] = static_cast<std::uint64_t>(
+          (static_cast<U128>(r[j]) * t.block_factor[j] + lane_res) % m);
+    }
+  }
+  for (std::size_t j = 0; j < r.size(); ++j) out[j] = r[j];
+}
+
+}  // namespace
+
+#endif  // PRIMELABEL_HAVE_NEON_KERNELS
+
+void ChunkResidues(std::span<const Limb> magnitude,
+                   std::span<std::uint64_t> out) {
+  assert(out.size() >= static_cast<std::size_t>(kChunkCount));
+  switch (ActiveIsa()) {
+#if defined(PRIMELABEL_HAVE_AVX2_KERNELS)
+    case Isa::kAvx2:
+      ChunkResiduesAvx2(magnitude, out);
+      return;
+#endif
+#if defined(PRIMELABEL_HAVE_NEON_KERNELS)
+    case Isa::kNeon:
+      ChunkResiduesNeon(magnitude, out);
+      return;
+#endif
+    default:
+      break;
+  }
+  ChunkResiduesPortable(magnitude, out);
+}
+
+}  // namespace primelabel::simd

@@ -1,0 +1,130 @@
+#ifndef PRIMELABEL_BIGINT_SIMD_H_
+#define PRIMELABEL_BIGINT_SIMD_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace primelabel::simd {
+
+// Vectorized limb kernels with runtime CPU dispatch.
+//
+// The divisibility engine (bigint/reduction.h) and BigInt multiplication
+// bottom out in three inner loops over 32-bit little-endian limbs:
+//
+//   * MulLimbSpans — the schoolbook product (and the Karatsuba base
+//     case), which is also both Barrett products (q1 * mu and
+//     q3 * divisor) of ReciprocalDivisor::Reduce;
+//   * ChunkResidues — the 7 word-sized chunk remainders behind a
+//     LabelFingerprint, computed for a whole magnitude in one sweep.
+//
+// Each kernel has a portable scalar implementation and, where the target
+// supports it, a vector implementation (AVX2 on x86-64, NEON on aarch64)
+// selected once at runtime. All implementations are exact integer
+// arithmetic and therefore bit-identical: the vector paths only
+// re-associate additions of exact partial products, never round.
+//
+// Dispatch gates, strongest first:
+//   1. compile time  — building with -DPRIMELABEL_DISABLE_SIMD=ON
+//      (CMake option) removes the vector bodies entirely;
+//   2. process start — the PRIMELABEL_DISABLE_SIMD=1 environment
+//      variable pins the scalar kernels on an otherwise capable CPU;
+//   3. runtime       — SetActiveIsa lets tests and benches flip between
+//      the scalar and vector kernels inside one process (equivalence
+//      suites compare the two directly).
+
+/// Instruction set a kernel call will use.
+enum class Isa {
+  kScalar,  ///< portable C++ (always available; the reference semantics)
+  kAvx2,    ///< x86-64 AVX2 (4 x 64-bit lanes)
+  kNeon,    ///< aarch64 NEON (2 x 64-bit lanes)
+};
+
+/// Human-readable ISA name ("scalar", "avx2", "neon") — the dispatch
+/// metadata benches record in BENCH_*.json.
+const char* IsaName(Isa isa);
+
+/// What the hardware (and the compile/env gates) allow: kAvx2 or kNeon
+/// when compiled in and detected, else kScalar. Detection runs once.
+Isa DetectedIsa();
+
+/// The ISA kernel calls will actually use right now: DetectedIsa()
+/// unless overridden by SetActiveIsa.
+Isa ActiveIsa();
+
+/// Forces kernels onto `isa` (clamped to DetectedIsa() — requesting a
+/// vector ISA the host lacks falls back to kScalar). Thread-safe; meant
+/// for the scalar-vs-vector equivalence tests and A/B benches.
+void SetActiveIsa(Isa isa);
+
+/// Restores dispatch to DetectedIsa().
+void ResetActiveIsa();
+
+/// True when the vector kernels were compiled in (i.e. the build did not
+/// set PRIMELABEL_DISABLE_SIMD).
+bool VectorKernelsCompiledIn();
+
+/// out = a * b over little-endian 32-bit limb spans, high zero limbs
+/// stripped (empty result for an empty/zero operand). `out` must not
+/// alias either input. Dispatched; bit-identical across ISAs.
+void MulLimbSpans(std::span<const std::uint32_t> a,
+                  std::span<const std::uint32_t> b,
+                  std::vector<std::uint32_t>* out);
+
+/// The portable reference implementation of MulLimbSpans (always scalar,
+/// ignores the dispatch override) — the comparison anchor of the
+/// equivalence suites.
+void MulLimbSpansPortable(std::span<const std::uint32_t> a,
+                          std::span<const std::uint32_t> b,
+                          std::vector<std::uint32_t>* out);
+
+/// Partial (short) products for Barrett reduction. Both compute exact
+/// column sums col_k = sum over i+j==k of a[i]*b[j], restricted to a
+/// range of columns, with full carry propagation inside the range and no
+/// carry-in from below it. Dispatched like MulLimbSpans; bit-identical to
+/// their *Portable references on every ISA.
+///
+/// MulLimbSpansHigh: out represents sum_{k >= from_column} col_k *
+/// B^(k - from_column). With from_column == 0 this is exactly a * b; for
+/// larger cuts it underestimates floor(a*b / B^from_column) by the
+/// dropped columns' carries only — less than from_column^2 *
+/// B^(from_column+1) / B^from_column in value — which Barrett's
+/// correction loop absorbs (see ReciprocalDivisor::Reduce).
+void MulLimbSpansHigh(std::span<const std::uint32_t> a,
+                      std::span<const std::uint32_t> b,
+                      std::size_t from_column,
+                      std::vector<std::uint32_t>* out);
+void MulLimbSpansHighPortable(std::span<const std::uint32_t> a,
+                              std::span<const std::uint32_t> b,
+                              std::size_t from_column,
+                              std::vector<std::uint32_t>* out);
+
+/// MulLimbSpansLow: out = (a * b) mod B^width, exactly — all columns
+/// below `width` with their internal carries, the carry out of the top
+/// column discarded.
+void MulLimbSpansLow(std::span<const std::uint32_t> a,
+                     std::span<const std::uint32_t> b, std::size_t width,
+                     std::vector<std::uint32_t>* out);
+void MulLimbSpansLowPortable(std::span<const std::uint32_t> a,
+                             std::span<const std::uint32_t> b,
+                             std::size_t width,
+                             std::vector<std::uint32_t>* out);
+
+/// Number of fingerprint chunk moduli served by ChunkResidues — matches
+/// kFingerprintChunks in bigint/reduction.h (static_asserted there).
+inline constexpr int kChunkCount = 7;
+
+/// out[j] = magnitude mod chunk_product[j] for all 7 fingerprint chunk
+/// moduli at once (exactly BigInt::ModU64 against each product). One
+/// sweep over the limbs against a precomputed 2^(32i) power table, with
+/// the 7 chunk lanes vectorized. `out` must have kChunkCount slots.
+void ChunkResidues(std::span<const std::uint32_t> magnitude,
+                   std::span<std::uint64_t> out);
+
+/// Portable reference implementation of ChunkResidues.
+void ChunkResiduesPortable(std::span<const std::uint32_t> magnitude,
+                           std::span<std::uint64_t> out);
+
+}  // namespace primelabel::simd
+
+#endif  // PRIMELABEL_BIGINT_SIMD_H_

@@ -72,43 +72,76 @@ void OrderedPrimeScheme::IsAncestorBatch(
   // Layer 1: fingerprint witnesses dispose of almost every non-ancestor
   // pair with zero BigInt work. Layer 2: the join kernels emit pairs in
   // anchor-major runs, so the reciprocal/Barrett constants of a divisor
-  // are computed once per run, not once per pair. Both local — batches
-  // stay safe to issue from concurrent threads.
-  ReciprocalDivisor cached;
-  NodeId cached_ancestor = kInvalidNodeId;
-  results->clear();
-  results->reserve(pairs.size());
-  for (const auto& [ancestor, descendant] : pairs) {
-    if (ancestor == descendant ||
-        !FingerprintMayProperlyDivide(structure_.fingerprint(ancestor),
-                              structure_.fingerprint(descendant))) {
-      results->push_back(0);
-      continue;
+  // are computed once per run, not once per pair. All reduction state is
+  // per-range, and ranges write disjoint result slots — so a sharded run
+  // is bit-identical to the sequential one.
+  results->assign(pairs.size(), 0);
+  auto run = [this, pairs, results](std::size_t begin, std::size_t end) {
+    ReciprocalDivisor cached;
+    NodeId cached_ancestor = kInvalidNodeId;
+    for (std::size_t i = begin; i < end; ++i) {
+      const auto& [ancestor, descendant] = pairs[i];
+      if (ancestor == descendant ||
+          !FingerprintMayProperlyDivide(structure_.fingerprint(ancestor),
+                                        structure_.fingerprint(descendant))) {
+        continue;  // slot already 0
+      }
+      if (ancestor != cached_ancestor) {
+        cached.Assign(structure_.label(ancestor));
+        cached_ancestor = ancestor;
+      }
+      (*results)[i] =
+          cached.Divides(structure_.label(descendant)) ? 1 : 0;
     }
-    if (ancestor != cached_ancestor) {
-      cached.Assign(structure_.label(ancestor));
-      cached_ancestor = ancestor;
-    }
-    results->push_back(cached.Divides(structure_.label(descendant)) ? 1 : 0);
+  };
+  const auto shards = BatchShards(pairs.size());
+  if (shards.empty()) {
+    run(0, pairs.size());
+    return;
   }
+  ThreadPool pool(static_cast<int>(shards.size()));
+  for (const auto& [begin, end] : shards) {
+    pool.Submit([&run, begin = begin, end = end] { run(begin, end); });
+  }
+  pool.Wait();
 }
 
 void OrderedPrimeScheme::SelectDescendants(NodeId ancestor,
                                            std::span<const NodeId> candidates,
                                            std::vector<NodeId>* out) const {
-  // One divisor, many dividends: the ideal reciprocal-cache shape.
-  ReciprocalDivisor cached;
-  cached.Assign(structure_.label(ancestor));
+  // One divisor, many dividends: the ideal reciprocal-cache shape. Each
+  // shard assigns its own reciprocal and collects into its own buffer;
+  // buffers concatenate in shard order, preserving candidate order.
   const LabelFingerprint& ancestor_fp = structure_.fingerprint(ancestor);
-  for (NodeId candidate : candidates) {
-    if (candidate == ancestor) continue;
-    if (!FingerprintMayProperlyDivide(ancestor_fp, structure_.fingerprint(candidate))) {
-      continue;
+  auto run = [this, ancestor, candidates, &ancestor_fp](
+                 std::size_t begin, std::size_t end, std::vector<NodeId>* dst) {
+    ReciprocalDivisor cached;
+    cached.Assign(structure_.label(ancestor));
+    for (std::size_t i = begin; i < end; ++i) {
+      const NodeId candidate = candidates[i];
+      if (candidate == ancestor) continue;
+      if (!FingerprintMayProperlyDivide(ancestor_fp,
+                                        structure_.fingerprint(candidate))) {
+        continue;
+      }
+      if (cached.Divides(structure_.label(candidate))) {
+        dst->push_back(candidate);
+      }
     }
-    if (cached.Divides(structure_.label(candidate))) {
-      out->push_back(candidate);
-    }
+  };
+  const auto shards = BatchShards(candidates.size());
+  if (shards.empty()) {
+    run(0, candidates.size(), out);
+    return;
   }
+  std::vector<std::vector<NodeId>> parts(shards.size());
+  ThreadPool pool(static_cast<int>(shards.size()));
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    pool.Submit([&run, &parts, s, begin = shards[s].first,
+                 end = shards[s].second] { run(begin, end, &parts[s]); });
+  }
+  pool.Wait();
+  for (const auto& part : parts) out->insert(out->end(), part.begin(), part.end());
 }
 
 void OrderedPrimeScheme::SelectAncestors(NodeId descendant,
@@ -117,21 +150,39 @@ void OrderedPrimeScheme::SelectAncestors(NodeId descendant,
   // The ancestor axis inverts the roles: one dividend, many divisors, so
   // there is no reciprocal to share — but fingerprints still reject nearly
   // all candidates (any tracked prime of the candidate missing from the
-  // descendant is a witness), and the scratch is shared across survivors.
+  // descendant is a witness), and the scratch is shared across survivors
+  // within a shard.
   const BigInt& descendant_label = structure_.label(descendant);
   const LabelFingerprint& descendant_fp = structure_.fingerprint(descendant);
-  BigInt::DivScratch scratch;
-  for (NodeId candidate : candidates) {
-    if (candidate == descendant) continue;
-    if (!FingerprintMayProperlyDivide(structure_.fingerprint(candidate),
-                              descendant_fp)) {
-      continue;
+  auto run = [this, descendant, candidates, &descendant_label, &descendant_fp](
+                 std::size_t begin, std::size_t end, std::vector<NodeId>* dst) {
+    BigInt::DivScratch scratch;
+    for (std::size_t i = begin; i < end; ++i) {
+      const NodeId candidate = candidates[i];
+      if (candidate == descendant) continue;
+      if (!FingerprintMayProperlyDivide(structure_.fingerprint(candidate),
+                                        descendant_fp)) {
+        continue;
+      }
+      if (descendant_label.IsDivisibleBy(structure_.label(candidate),
+                                         &scratch)) {
+        dst->push_back(candidate);
+      }
     }
-    if (descendant_label.IsDivisibleBy(structure_.label(candidate),
-                                       &scratch)) {
-      out->push_back(candidate);
-    }
+  };
+  const auto shards = BatchShards(candidates.size());
+  if (shards.empty()) {
+    run(0, candidates.size(), out);
+    return;
   }
+  std::vector<std::vector<NodeId>> parts(shards.size());
+  ThreadPool pool(static_cast<int>(shards.size()));
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    pool.Submit([&run, &parts, s, begin = shards[s].first,
+                 end = shards[s].second] { run(begin, end, &parts[s]); });
+  }
+  pool.Wait();
+  for (const auto& part : parts) out->insert(out->end(), part.begin(), part.end());
 }
 
 ScUpdateStats OrderedPrimeScheme::RegisterOrder(NodeId new_node) {

@@ -107,17 +107,23 @@ void PrimeTopDownScheme::Adopt(const XmlTree& tree, std::vector<BigInt> labels,
   labels_ = std::move(labels);
   selves_ = std::move(selves);
   // Adopted labels arrive without fingerprints; derive them from scratch
-  // (one pass over the attached nodes — the restart path is not hot).
+  // with the batched kernel over the whole contiguous arena, then reset
+  // any detached slots so they keep the default (empty) fingerprint the
+  // per-node path would have left.
   fps_.assign(labels_.size(), LabelFingerprint());
   primes_.Reset();
   std::size_t used = 0;
+  std::vector<std::uint8_t> attached(labels_.size(), 0);
   tree.Preorder([&](NodeId id, int depth) {
-    fps_[static_cast<std::size_t>(id)] =
-        FingerprintOf(labels_[static_cast<std::size_t>(id)]);
+    attached[static_cast<std::size_t>(id)] = 1;
     if (depth == 0) return;
     std::uint64_t self = selves_[static_cast<std::size_t>(id)];
     used = std::max(used, primes_.IndexOf(self) + 1);
   });
+  FingerprintLabels(labels_, fps_);
+  for (std::size_t i = 0; i < fps_.size(); ++i) {
+    if (!attached[i]) fps_[i] = LabelFingerprint();
+  }
   primes_.SkipFirst(used);
 }
 

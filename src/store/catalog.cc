@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "util/thread_pool.h"
+
 namespace primelabel {
 
 namespace {
@@ -131,38 +133,69 @@ void LoadedCatalog::IsAncestorBatch(
     std::vector<std::uint8_t>* results) const {
   // Same fast path as OrderedPrimeScheme: fingerprint rejection first,
   // then an exact test against the reciprocal cached for the current
-  // anchor run. State is per-call, so concurrent batches are safe.
-  ReciprocalDivisor cached;
-  NodeId cached_anchor = kInvalidNodeId;
-  results->clear();
-  results->reserve(pairs.size());
-  for (const auto& [x, y] : pairs) {
-    if (x == y || row(y).label == row(x).label ||
-        !FingerprintMayProperlyDivide(fingerprint(x), fingerprint(y))) {
-      results->push_back(0);
-      continue;
+  // anchor run. All state is per-range and ranges write disjoint result
+  // slots, so a sharded run is bit-identical to the sequential one.
+  results->assign(pairs.size(), 0);
+  auto run = [this, pairs, results](std::size_t begin, std::size_t end) {
+    ReciprocalDivisor cached;
+    NodeId cached_anchor = kInvalidNodeId;
+    for (std::size_t i = begin; i < end; ++i) {
+      const auto& [x, y] = pairs[i];
+      if (x == y || row(y).label == row(x).label ||
+          !FingerprintMayProperlyDivide(fingerprint(x), fingerprint(y))) {
+        continue;  // slot already 0
+      }
+      if (x != cached_anchor) {
+        cached.Assign(row(x).label);
+        cached_anchor = x;
+      }
+      (*results)[i] = cached.Divides(row(y).label) ? 1 : 0;
     }
-    if (x != cached_anchor) {
-      cached.Assign(row(x).label);
-      cached_anchor = x;
-    }
-    results->push_back(cached.Divides(row(y).label) ? 1 : 0);
+  };
+  const auto shards = BatchShards(pairs.size());
+  if (shards.empty()) {
+    run(0, pairs.size());
+    return;
   }
+  ThreadPool pool(static_cast<int>(shards.size()));
+  for (const auto& [begin, end] : shards) {
+    pool.Submit([&run, begin = begin, end = end] { run(begin, end); });
+  }
+  pool.Wait();
 }
 
 void LoadedCatalog::SelectDescendants(NodeId ancestor,
                                       std::span<const NodeId> candidates,
                                       std::vector<NodeId>* out) const {
-  ReciprocalDivisor cached;
-  cached.Assign(row(ancestor).label);
   const BigInt& ancestor_label = row(ancestor).label;
   const LabelFingerprint& ancestor_fp = fingerprint(ancestor);
-  for (NodeId candidate : candidates) {
-    if (candidate == ancestor || row(candidate).label == ancestor_label ||
-        !FingerprintMayProperlyDivide(ancestor_fp, fingerprint(candidate))) {
-      continue;
+  auto run = [this, ancestor, candidates, &ancestor_label, &ancestor_fp](
+                 std::size_t begin, std::size_t end, std::vector<NodeId>* dst) {
+    ReciprocalDivisor cached;
+    cached.Assign(ancestor_label);
+    for (std::size_t i = begin; i < end; ++i) {
+      const NodeId candidate = candidates[i];
+      if (candidate == ancestor || row(candidate).label == ancestor_label ||
+          !FingerprintMayProperlyDivide(ancestor_fp, fingerprint(candidate))) {
+        continue;
+      }
+      if (cached.Divides(row(candidate).label)) dst->push_back(candidate);
     }
-    if (cached.Divides(row(candidate).label)) out->push_back(candidate);
+  };
+  const auto shards = BatchShards(candidates.size());
+  if (shards.empty()) {
+    run(0, candidates.size(), out);
+    return;
+  }
+  std::vector<std::vector<NodeId>> parts(shards.size());
+  ThreadPool pool(static_cast<int>(shards.size()));
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    pool.Submit([&run, &parts, s, begin = shards[s].first,
+                 end = shards[s].second] { run(begin, end, &parts[s]); });
+  }
+  pool.Wait();
+  for (const auto& part : parts) {
+    out->insert(out->end(), part.begin(), part.end());
   }
 }
 
@@ -171,15 +204,37 @@ void LoadedCatalog::SelectAncestors(NodeId descendant,
                                     std::vector<NodeId>* out) const {
   const BigInt& descendant_label = row(descendant).label;
   const LabelFingerprint& descendant_fp = fingerprint(descendant);
-  BigInt::DivScratch scratch;
-  for (NodeId candidate : candidates) {
-    if (candidate == descendant || row(candidate).label == descendant_label ||
-        !FingerprintMayProperlyDivide(fingerprint(candidate), descendant_fp)) {
-      continue;
+  auto run = [this, descendant, candidates, &descendant_label,
+              &descendant_fp](std::size_t begin, std::size_t end,
+                              std::vector<NodeId>* dst) {
+    BigInt::DivScratch scratch;
+    for (std::size_t i = begin; i < end; ++i) {
+      const NodeId candidate = candidates[i];
+      if (candidate == descendant ||
+          row(candidate).label == descendant_label ||
+          !FingerprintMayProperlyDivide(fingerprint(candidate),
+                                        descendant_fp)) {
+        continue;
+      }
+      if (descendant_label.IsDivisibleBy(row(candidate).label, &scratch)) {
+        dst->push_back(candidate);
+      }
     }
-    if (descendant_label.IsDivisibleBy(row(candidate).label, &scratch)) {
-      out->push_back(candidate);
-    }
+  };
+  const auto shards = BatchShards(candidates.size());
+  if (shards.empty()) {
+    run(0, candidates.size(), out);
+    return;
+  }
+  std::vector<std::vector<NodeId>> parts(shards.size());
+  ThreadPool pool(static_cast<int>(shards.size()));
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    pool.Submit([&run, &parts, s, begin = shards[s].first,
+                 end = shards[s].second] { run(begin, end, &parts[s]); });
+  }
+  pool.Wait();
+  for (const auto& part : parts) {
+    out->insert(out->end(), part.begin(), part.end());
   }
 }
 

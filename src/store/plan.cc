@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace primelabel {
 
@@ -31,6 +32,46 @@ std::vector<NodeId> JoinWith(const QueryContext& ctx,
   return out;
 }
 
+/// One sequential anchor run over `anchors`: flags matched candidates in
+/// `matched` (preset to all-zero, one slot per candidate) and returns the
+/// label-test count instead of touching ctx.stats — the parallel caller
+/// runs several of these on pool workers and must not race the counters.
+template <typename PairOf>
+std::uint64_t JoinBatchedRun(const QueryContext& ctx,
+                             std::span<const NodeId> anchors,
+                             const std::vector<NodeId>& candidates,
+                             PairOf&& pair_of,
+                             std::vector<std::uint8_t>* matched) {
+  std::uint64_t label_tests = 0;
+  std::size_t unmatched = candidates.size();
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  std::vector<std::size_t> positions;
+  std::vector<std::uint8_t> results;
+  for (NodeId anchor : anchors) {
+    if (unmatched == 0) break;
+    pairs.clear();
+    positions.clear();
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if ((*matched)[i]) continue;
+      pairs.push_back(pair_of(anchor, candidates[i]));
+      positions.push_back(i);
+    }
+    label_tests += pairs.size();
+    ctx.oracle->IsAncestorBatch(pairs, &results);
+    for (std::size_t j = 0; j < positions.size(); ++j) {
+      if (results[j]) {
+        (*matched)[positions[j]] = 1;
+        --unmatched;
+      }
+    }
+  }
+  return label_tests;
+}
+
+/// A parallel join fan below this many (anchor, candidate) pairs is not
+/// worth the thread startup.
+constexpr std::size_t kMinJoinPairsParallel = 2048;
+
 /// Anchor-major batched join over IsAncestorBatch. Equivalent to the
 /// candidate-major early-break nested loop in both output and label-test
 /// count: a candidate whose first matching anchor has index i is tested
@@ -38,6 +79,13 @@ std::vector<NodeId> JoinWith(const QueryContext& ctx,
 /// unmatched set once anchor i claims it), and an unmatched candidate is
 /// tested |context| times by both. Output preserves candidate order.
 /// `pair_of` orients each (anchor, candidate) pair for the oracle.
+///
+/// With ctx.num_workers > 1 the context splits into contiguous anchor
+/// groups, one pool worker each; every group keeps a private matched
+/// bitmap, OR-merged after the fan. The matched set is the union over
+/// anchors either way, so output (values and ordering) is identical to
+/// the sequential run; only label_tests can grow, because groups cannot
+/// see each other's matches (noted on QueryContext::num_workers).
 template <typename PairOf>
 std::vector<NodeId> JoinBatched(const QueryContext& ctx,
                                 const std::vector<NodeId>& context,
@@ -46,25 +94,36 @@ std::vector<NodeId> JoinBatched(const QueryContext& ctx,
   std::vector<NodeId> out;
   ctx.stats.rows_scanned += candidates.size();
   std::vector<std::uint8_t> matched(candidates.size(), 0);
-  std::size_t unmatched = candidates.size();
-  std::vector<std::pair<NodeId, NodeId>> pairs;
-  std::vector<std::size_t> positions;
-  std::vector<std::uint8_t> results;
-  for (NodeId anchor : context) {
-    if (unmatched == 0) break;
-    pairs.clear();
-    positions.clear();
-    for (std::size_t i = 0; i < candidates.size(); ++i) {
-      if (matched[i]) continue;
-      pairs.push_back(pair_of(anchor, candidates[i]));
-      positions.push_back(i);
+  const std::size_t groups =
+      std::min<std::size_t>(ctx.num_workers < 1 ? 1 : ctx.num_workers,
+                            context.size());
+  if (groups <= 1 || ThreadPool::InWorkerThread() ||
+      context.size() * candidates.size() < kMinJoinPairsParallel) {
+    ctx.stats.label_tests +=
+        JoinBatchedRun(ctx, context, candidates, pair_of, &matched);
+  } else {
+    std::vector<std::vector<std::uint8_t>> group_matched(
+        groups, std::vector<std::uint8_t>(candidates.size(), 0));
+    std::vector<std::uint64_t> group_tests(groups, 0);
+    const std::size_t base = context.size() / groups;
+    const std::size_t extra = context.size() % groups;
+    ThreadPool pool(static_cast<int>(groups));
+    std::size_t begin = 0;
+    for (std::size_t g = 0; g < groups; ++g) {
+      const std::size_t end = begin + base + (g < extra ? 1 : 0);
+      std::span<const NodeId> anchors(context.data() + begin, end - begin);
+      pool.Submit([&ctx, &candidates, &pair_of, &group_matched, &group_tests,
+                   anchors, g] {
+        group_tests[g] = JoinBatchedRun(ctx, anchors, candidates, pair_of,
+                                        &group_matched[g]);
+      });
+      begin = end;
     }
-    ctx.stats.label_tests += pairs.size();
-    ctx.oracle->IsAncestorBatch(pairs, &results);
-    for (std::size_t j = 0; j < positions.size(); ++j) {
-      if (results[j]) {
-        matched[positions[j]] = 1;
-        --unmatched;
+    pool.Wait();
+    for (std::size_t g = 0; g < groups; ++g) {
+      ctx.stats.label_tests += group_tests[g];
+      for (std::size_t i = 0; i < candidates.size(); ++i) {
+        if (group_matched[g][i]) matched[i] = 1;
       }
     }
   }

@@ -62,8 +62,15 @@ class ThreadPool {
 
   int size() const { return static_cast<int>(workers_.size()); }
 
+  /// True when the calling thread is a pool worker (of any ThreadPool).
+  /// The parallel batch kernels consult this to run sequentially instead
+  /// of fanning out again when a parallel operator calls a parallel
+  /// oracle — nested pools would multiply threads without adding cores.
+  static bool InWorkerThread() { return t_in_worker_; }
+
  private:
   void WorkerLoop() {
+    t_in_worker_ = true;
     for (;;) {
       std::function<void()> task;
       {
@@ -88,6 +95,8 @@ class ThreadPool {
   std::size_t unfinished_ = 0;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
+
+  inline static thread_local bool t_in_worker_ = false;
 };
 
 }  // namespace primelabel

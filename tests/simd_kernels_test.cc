@@ -1,0 +1,304 @@
+// Randomized equivalence suites for the dispatched limb kernels
+// (bigint/simd.h) and the reduction engine built on them. The vector
+// kernels' whole contract is "bit-identical to the portable reference on
+// every input", so these tests hammer that claim three ways:
+//
+//   * kernel vs kernel — dispatched output against *Portable on random
+//     operands (mixed sizes, all-ones carry stress, unaligned subspans,
+//     empty spans);
+//   * kernel vs BigInt — the same products/residues against the BigInt
+//     arithmetic they accelerate (the independent ground truth);
+//   * engine vs engine — ReciprocalDivisor under vector vs pinned-scalar
+//     dispatch, and the optimized engine (short-product Barrett +
+//     Montgomery divisibility) against the reference engine
+//     (SetReferenceEngineForTest), including the even-divisor /
+//     power-of-two / short-dividend edge cases Montgomery splits on.
+//
+// On a host without vector kernels (or a -DPRIMELABEL_DISABLE_SIMD=ON
+// build) the dispatched calls resolve to the portable bodies and these
+// suites degrade to self-consistency checks — still worth running, since
+// the engine comparisons exercise real reduction paths either way.
+
+#include "bigint/simd.h"
+
+#include <cstdint>
+#include <cstdlib>
+#include <span>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bigint/bigint.h"
+#include "bigint/reduction.h"
+#include "util/rng.h"
+
+namespace primelabel {
+namespace {
+
+using Limb = std::uint32_t;
+
+// Declared first in the file so it runs before anything can trigger the
+// lazy crossover measurement when the whole binary runs in one process
+// (under ctest each test is its own process anyway). The env override is
+// clamped to [3, 64].
+TEST(SimdKernels, BarrettMinLimbsHonorsEnvOverride) {
+  setenv("PRIMELABEL_BARRETT_MIN_LIMBS", "5", /*overwrite=*/1);
+  EXPECT_EQ(ReciprocalDivisor::BarrettMinLimbs(), 5u);
+  unsetenv("PRIMELABEL_BARRETT_MIN_LIMBS");
+  // Cached after first use: later calls keep the value they started with.
+  EXPECT_EQ(ReciprocalDivisor::BarrettMinLimbs(), 5u);
+}
+
+BigInt FromLimbs(std::span<const Limb> limbs) {
+  BigInt value;
+  for (std::size_t i = limbs.size(); i-- > 0;) {
+    value = (value << 32) + BigInt::FromUint64(limbs[i]);
+  }
+  return value;
+}
+
+/// Random limb vector; bias > 0 makes roughly bias% of limbs 0xffffffff
+/// to force long carry chains through the accumulators.
+std::vector<Limb> RandomLimbs(Rng& rng, std::size_t n, unsigned bias) {
+  std::vector<Limb> v(n);
+  for (Limb& limb : v) {
+    limb = rng.Chance(bias) ? ~Limb{0} : static_cast<Limb>(rng.Next());
+  }
+  return v;
+}
+
+TEST(SimdKernels, MulMatchesPortableAndBigInt) {
+  Rng rng(101);
+  std::vector<Limb> dispatched, portable;
+  for (int trial = 0; trial < 400; ++trial) {
+    const std::size_t na = rng.Below(60);
+    const std::size_t nb = rng.Below(200);
+    const unsigned bias = trial % 3 == 0 ? 40 : 0;
+    std::vector<Limb> a = RandomLimbs(rng, na, bias);
+    std::vector<Limb> b = RandomLimbs(rng, nb, bias);
+    simd::MulLimbSpans(a, b, &dispatched);
+    simd::MulLimbSpansPortable(a, b, &portable);
+    ASSERT_EQ(dispatched, portable) << "trial " << trial;
+    const BigInt truth = FromLimbs(a) * FromLimbs(b);
+    ASSERT_EQ(FromLimbs(dispatched), truth) << "trial " << trial;
+  }
+}
+
+TEST(SimdKernels, MulAllOnesCarrySaturation) {
+  // (B^n - 1)^2 maximizes every column sum and carry — the worst case for
+  // the split lo/hi accumulator recombine.
+  std::vector<Limb> dispatched, portable;
+  for (std::size_t n : {1u, 2u, 4u, 13u, 64u, 129u, 300u}) {
+    std::vector<Limb> ones(n, ~Limb{0});
+    simd::MulLimbSpans(ones, ones, &dispatched);
+    simd::MulLimbSpansPortable(ones, ones, &portable);
+    ASSERT_EQ(dispatched, portable) << "n=" << n;
+    ASSERT_EQ(FromLimbs(dispatched), FromLimbs(ones) * FromLimbs(ones));
+  }
+}
+
+TEST(SimdKernels, MulUnalignedSubspansAndEmpty) {
+  Rng rng(103);
+  std::vector<Limb> backing = RandomLimbs(rng, 300, 10);
+  std::vector<Limb> dispatched, portable;
+  for (int trial = 0; trial < 100; ++trial) {
+    // Odd offsets into one backing buffer: the AVX2 loads must cope with
+    // any alignment.
+    const std::size_t off_a = rng.Below(7) + 1;
+    const std::size_t off_b = rng.Below(5) + 1;
+    const std::size_t na = rng.Below(80);
+    const std::size_t nb = rng.Below(80);
+    std::span<const Limb> a(backing.data() + off_a, na);
+    std::span<const Limb> b(backing.data() + off_b, nb);
+    simd::MulLimbSpans(a, b, &dispatched);
+    simd::MulLimbSpansPortable(a, b, &portable);
+    ASSERT_EQ(dispatched, portable);
+    ASSERT_EQ(FromLimbs(dispatched), FromLimbs(a) * FromLimbs(b));
+  }
+  // Zero-length operands: empty product, both paths.
+  simd::MulLimbSpans({}, backing, &dispatched);
+  EXPECT_TRUE(dispatched.empty());
+  simd::MulLimbSpansPortable(backing, {}, &portable);
+  EXPECT_TRUE(portable.empty());
+}
+
+TEST(SimdKernels, HighProductMatchesPortableAndFullAtCutZero) {
+  Rng rng(107);
+  std::vector<Limb> dispatched, portable, full;
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::size_t na = 1 + rng.Below(48);
+    const std::size_t nb = 1 + rng.Below(48);
+    std::vector<Limb> a = RandomLimbs(rng, na, trial % 4 == 0 ? 30 : 0);
+    std::vector<Limb> b = RandomLimbs(rng, nb, 0);
+    // Random cut across the whole column range (including past the end,
+    // where the product has no columns left and the result is empty).
+    const std::size_t cut = rng.Below(na + nb + 2);
+    simd::MulLimbSpansHigh(a, b, cut, &dispatched);
+    simd::MulLimbSpansHighPortable(a, b, cut, &portable);
+    ASSERT_EQ(dispatched, portable)
+        << "trial " << trial << " cut " << cut;
+    if (cut == 0) {
+      simd::MulLimbSpans(a, b, &full);
+      ASSERT_EQ(dispatched, full);
+    }
+  }
+}
+
+TEST(SimdKernels, LowProductIsExactTruncatedProduct) {
+  Rng rng(109);
+  std::vector<Limb> dispatched, portable, full;
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::size_t na = 1 + rng.Below(48);
+    const std::size_t nb = 1 + rng.Below(48);
+    std::vector<Limb> a = RandomLimbs(rng, na, trial % 4 == 0 ? 30 : 0);
+    std::vector<Limb> b = RandomLimbs(rng, nb, 0);
+    const std::size_t width = rng.Below(na + nb + 4);
+    simd::MulLimbSpansLow(a, b, width, &dispatched);
+    simd::MulLimbSpansLowPortable(a, b, width, &portable);
+    ASSERT_EQ(dispatched, portable)
+        << "trial " << trial << " width " << width;
+    // Ground truth: the full product truncated to `width` limbs.
+    simd::MulLimbSpans(a, b, &full);
+    if (full.size() > width) full.resize(width);
+    while (!full.empty() && full.back() == 0) full.pop_back();
+    ASSERT_EQ(dispatched, full) << "trial " << trial << " width " << width;
+  }
+}
+
+TEST(SimdKernels, ChunkResiduesMatchModU64) {
+  Rng rng(113);
+  // 1030 and 2048 cross the kernel's 1024-limb power-table block border.
+  for (std::size_t n : {1u, 2u, 7u, 33u, 100u, 1024u, 1030u, 2048u}) {
+    std::vector<Limb> magnitude = RandomLimbs(rng, n, n % 2 ? 25 : 0);
+    std::uint64_t dispatched[simd::kChunkCount];
+    std::uint64_t portable[simd::kChunkCount];
+    simd::ChunkResidues(magnitude, dispatched);
+    simd::ChunkResiduesPortable(magnitude, portable);
+    const BigInt value = FromLimbs(magnitude);
+    for (int j = 0; j < simd::kChunkCount; ++j) {
+      ASSERT_EQ(dispatched[j], portable[j]) << "n=" << n << " chunk " << j;
+      ASSERT_EQ(dispatched[j],
+                value.ModU64(kFingerprintChunkTable[j].product))
+          << "n=" << n << " chunk " << j;
+    }
+  }
+}
+
+TEST(SimdKernels, DispatchOverrideRoundTrips) {
+  const simd::Isa detected = simd::DetectedIsa();
+  EXPECT_EQ(simd::ActiveIsa(), detected);
+  simd::SetActiveIsa(simd::Isa::kScalar);
+  EXPECT_EQ(simd::ActiveIsa(), simd::Isa::kScalar);
+  // Requesting a vector ISA clamps to what the host actually has.
+  simd::SetActiveIsa(simd::Isa::kAvx2);
+  EXPECT_TRUE(simd::ActiveIsa() == detected ||
+              simd::ActiveIsa() == simd::Isa::kScalar);
+  simd::ResetActiveIsa();
+  EXPECT_EQ(simd::ActiveIsa(), detected);
+}
+
+/// One deterministic pool of (divisor, dividend) pairs that stresses every
+/// engine strategy and the Montgomery edge cases: word-sized through
+/// Barrett-sized divisors; even divisors and pure powers of two (the
+/// 2^e * odd split); dividends shorter than, equal to, and far wider than
+/// the divisor; exact multiples and off-by-one near-multiples.
+std::vector<std::pair<BigInt, BigInt>> EnginePairs() {
+  Rng rng(127);
+  std::vector<std::pair<BigInt, BigInt>> pairs;
+  for (std::size_t dlimbs : {1u, 2u, 3u, 5u, 9u, 16u, 33u}) {
+    for (int variant = 0; variant < 10; ++variant) {
+      std::vector<Limb> d = RandomLimbs(rng, dlimbs, variant % 3 ? 0 : 35);
+      if (d.back() == 0) d.back() = 1;
+      BigInt divisor = FromLimbs(d);
+      if (variant % 4 == 1) divisor = divisor << static_cast<int>(rng.Below(40));  // even divisor
+      if (variant == 7) divisor = BigInt::FromUint64(1) << static_cast<int>(32 * dlimbs);  // power of two
+      if (divisor.IsZero()) divisor = BigInt::FromUint64(3);
+      const std::size_t ylimbs = rng.Below(4 * dlimbs + 4);
+      BigInt dividend = FromLimbs(RandomLimbs(rng, ylimbs, 0));
+      switch (variant % 5) {
+        case 0:  // exact multiple
+          dividend = divisor * dividend;
+          break;
+        case 1:  // near-multiple (off by one — must not divide)
+          dividend = divisor * dividend + BigInt::FromUint64(1);
+          break;
+        case 2:  // the divisor itself
+          dividend = divisor;
+          break;
+        default:  // random (incl. dividend shorter than divisor)
+          break;
+      }
+      pairs.emplace_back(std::move(divisor), std::move(dividend));
+    }
+  }
+  return pairs;
+}
+
+TEST(SimdKernels, ReciprocalDivisorScalarVsVectorBitIdentical) {
+  ReciprocalDivisor vec_rd, scalar_rd;
+  for (const auto& [divisor, dividend] : EnginePairs()) {
+    vec_rd.Assign(divisor);
+    const bool vec_divides = vec_rd.Divides(dividend);
+    const BigInt vec_mod = vec_rd.Mod(dividend);
+    simd::SetActiveIsa(simd::Isa::kScalar);
+    scalar_rd.Assign(divisor);
+    const bool scalar_divides = scalar_rd.Divides(dividend);
+    const BigInt scalar_mod = scalar_rd.Mod(dividend);
+    simd::ResetActiveIsa();
+    ASSERT_EQ(vec_divides, scalar_divides)
+        << divisor << " | " << dividend;
+    ASSERT_EQ(vec_mod, scalar_mod) << dividend << " mod " << divisor;
+    // And both against the BigInt ground truth.
+    ASSERT_EQ(vec_divides, dividend.IsDivisibleBy(divisor));
+    ASSERT_EQ(vec_mod, dividend % divisor);
+  }
+}
+
+TEST(SimdKernels, ReferenceEngineMatchesOptimizedEngine) {
+  ReciprocalDivisor opt_rd, ref_rd;
+  for (const auto& [divisor, dividend] : EnginePairs()) {
+    opt_rd.Assign(divisor);
+    const bool opt_divides = opt_rd.Divides(dividend);
+    const BigInt opt_mod = opt_rd.Mod(dividend);
+    ReciprocalDivisor::SetReferenceEngineForTest(true);
+    ref_rd.Assign(divisor);
+    const bool ref_divides = ref_rd.Divides(dividend);
+    const BigInt ref_mod = ref_rd.Mod(dividend);
+    ReciprocalDivisor::SetReferenceEngineForTest(false);
+    ASSERT_EQ(opt_divides, ref_divides) << divisor << " | " << dividend;
+    ASSERT_EQ(opt_mod, ref_mod) << dividend << " mod " << divisor;
+    ASSERT_EQ(opt_divides, dividend.IsDivisibleBy(divisor));
+  }
+}
+
+TEST(SimdKernels, MontgomeryEdgeCases) {
+  ReciprocalDivisor rd;
+  Rng rng(131);
+  // Dividend with fewer limbs than the divisor: never divisible.
+  const BigInt wide = FromLimbs(RandomLimbs(rng, 20, 0));
+  rd.Assign(wide);
+  EXPECT_FALSE(rd.Divides(BigInt::FromUint64(12345)));
+  // Zero dividend: divisible by anything.
+  EXPECT_TRUE(rd.Divides(BigInt()));
+  // Multi-limb power-of-two divisor against staggered trailing zeros.
+  for (int e : {96, 127, 128, 129}) {
+    const BigInt pow2 = BigInt::FromUint64(1) << e;
+    rd.Assign(pow2);
+    EXPECT_TRUE(rd.Divides(BigInt::FromUint64(7) << e));
+    EXPECT_TRUE(rd.Divides(BigInt::FromUint64(7) << (e + 5)));
+    EXPECT_FALSE(rd.Divides(BigInt::FromUint64(7) << (e - 1)));
+  }
+  // Even divisor whose odd part also matters: d = 2^70 * odd (the product
+  // of two odd words is odd).
+  const BigInt odd = BigInt::FromUint64(0x1234567890abcdefull) *
+                     BigInt::FromUint64(0xfedcba0987654321ull);
+  ASSERT_EQ(odd.ModU64(2), 1u);
+  const BigInt even_divisor = odd << 70;
+  rd.Assign(even_divisor);
+  EXPECT_TRUE(rd.Divides(even_divisor * BigInt::FromUint64(99)));
+  EXPECT_FALSE(rd.Divides(odd << 69));  // enough odd part, too few twos
+  EXPECT_FALSE(rd.Divides((odd + BigInt::FromUint64(2)) << 70));
+}
+
+}  // namespace
+}  // namespace primelabel
