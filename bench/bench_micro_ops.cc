@@ -3,11 +3,14 @@
 // order lookups, labeling throughput, CRT solving and BigInt arithmetic.
 
 #include <cstdint>
+#include <cstdlib>
+#include <filesystem>
 #include <iostream>
 #include <memory>
 #include <string>
 #include <string_view>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -19,12 +22,15 @@
 #include "core/crt.h"
 #include "core/ordered_prime_scheme.h"
 #include "core/sc_table.h"
+#include "corpus/labeled_document.h"
 #include "labeling/dewey.h"
 #include "labeling/interval.h"
 #include "labeling/prefix.h"
 #include "labeling/prime_optimized.h"
 #include "labeling/prime_top_down.h"
 #include "primes/prime_source.h"
+#include "report.h"
+#include "store/catalog.h"
 #include "store/plan.h"
 #include "util/rng.h"
 #include "xml/datasets.h"
@@ -401,6 +407,64 @@ BENCHMARK_CAPTURE(BM_ChunkResidues, dispatched, true)
 BENCHMARK_CAPTURE(BM_ChunkResidues, portable, false)
     ->Arg(8)->Arg(128)->Arg(2048);
 
+/// Catalog load, v2 file vs v3 file, same rows. v2 recomputes every row's
+/// divisibility fingerprint on load; v3 reads them off disk (after one
+/// config-hash check), so the ratio is the measured win of the format
+/// bump. Both files are written once from a mid-sized generated play.
+void BM_CatalogLoadV2VsV3(benchmark::State& state, int version) {
+  struct Fixture {
+    std::string v2_path;
+    std::string v3_path;
+    std::size_t rows = 0;
+  };
+  static const Fixture* fixture = [] {
+    // Rows come from the shared deep-chain Shakespeare fixture: its chain
+    // labels reach ~130 limbs, which is where the v2 per-row fingerprint
+    // recompute actually costs something.
+    auto* f = new Fixture;
+    const BatchFixture& b = ShakespeareBatch();
+    std::vector<NodeId> preorder = b.tree.PreorderNodes();
+    std::unordered_map<NodeId, std::int64_t> row_of;
+    for (std::size_t i = 0; i < preorder.size(); ++i) {
+      row_of[preorder[i]] = static_cast<std::int64_t>(i);
+    }
+    std::vector<CatalogRow> rows(preorder.size());
+    for (std::size_t i = 0; i < preorder.size(); ++i) {
+      NodeId id = preorder[i];
+      CatalogRow& row = rows[i];
+      row.tag = b.tree.name(id);
+      row.is_element = b.tree.IsElement(id);
+      NodeId parent = b.tree.parent(id);
+      row.parent = parent == kInvalidNodeId ? -1 : row_of.at(parent);
+      row.attributes = b.tree.node(id).attributes;
+      row.label = b.scheme.structure().label(id);
+      row.self = b.scheme.structure().self_label(id);
+      row.fingerprint = b.scheme.structure().fingerprint(id);
+    }
+    f->rows = rows.size();
+    std::string base =
+        (std::filesystem::temp_directory_path() / "plbench-catalog").string();
+    f->v3_path = base + "-v3.plc";
+    f->v2_path = base + "-v2.plc";
+    CatalogWriteOptions v2;
+    v2.format_version = 2;
+    if (!WriteCatalog(f->v3_path, rows, b.scheme.sc_table()).ok() ||
+        !WriteCatalog(f->v2_path, rows, b.scheme.sc_table(), v2).ok()) {
+      std::abort();
+    }
+    return f;
+  }();
+  const std::string& path = version == 2 ? fixture->v2_path : fixture->v3_path;
+  for (auto _ : state) {
+    Result<LoadedCatalog> loaded = LoadCatalog(path);
+    benchmark::DoNotOptimize(loaded.ok());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(fixture->rows));
+}
+BENCHMARK_CAPTURE(BM_CatalogLoadV2VsV3, v2_recompute, 2);
+BENCHMARK_CAPTURE(BM_CatalogLoadV2VsV3, v3_persisted, 3);
+
 void BM_BigIntDivisibility(benchmark::State& state) {
   // The exact shape of the scheme's hot path: ~100-bit label mod ~40-bit
   // ancestor label.
@@ -458,6 +522,10 @@ int main(int argc, char** argv) {
       std::to_string(primelabel::ReciprocalDivisor::BarrettMinLimbs()));
   benchmark::AddCustomContext(
       "hardware_threads", std::to_string(std::thread::hardware_concurrency()));
+  benchmark::AddCustomContext(
+      "catalog_format_version",
+      std::to_string(primelabel::kCatalogFormatVersion));
+  benchmark::AddCustomContext("git_sha", primelabel::bench::BuildGitSha());
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   if (!has_out) {

@@ -13,12 +13,23 @@
 
 #include "bigint/reduction.h"
 #include "bigint/simd.h"
+#include "store/catalog.h"
+
+// Baked in by the root CMakeLists (git rev-parse --short HEAD); builds
+// outside a checkout fall back to "unknown".
+#ifndef PRIMELABEL_GIT_SHA
+#define PRIMELABEL_GIT_SHA "unknown"
+#endif
 
 namespace primelabel::bench {
 
+/// The short git SHA this binary was built from.
+inline const char* BuildGitSha() { return PRIMELABEL_GIT_SHA; }
+
 /// Dispatch metadata as a JSON object: which limb-kernel ISA the binary
 /// detected and is using, whether the vector kernels were compiled in, the
-/// Barrett crossover this machine measured, and its thread budget. Two
+/// Barrett crossover this machine measured, its thread budget, plus build
+/// provenance (git SHA and the catalog format the binary writes). Two
 /// BENCH_*.json files are only apples-to-apples when these match, so every
 /// emitter embeds them.
 inline std::string DispatchMetadataJson() {
@@ -29,7 +40,8 @@ inline std::string DispatchMetadataJson() {
      << (simd::VectorKernelsCompiledIn() ? "true" : "false")
      << ", \"barrett_min_limbs\": " << ReciprocalDivisor::BarrettMinLimbs()
      << ", \"hardware_threads\": " << std::thread::hardware_concurrency()
-     << "}";
+     << ", \"catalog_format_version\": " << kCatalogFormatVersion
+     << ", \"git_sha\": \"" << BuildGitSha() << "\"}";
   return os.str();
 }
 

@@ -1,22 +1,27 @@
 #!/usr/bin/env bash
 # Tier-1 verification for the repo: plain build + full test suite, a
 # scalar-only build (vector kernels compiled out) rerunning the full
-# suite, then a ThreadSanitizer build running the parallel/concurrency
+# suite, a ThreadSanitizer build running the parallel/concurrency
 # suites (the parallel labeler, SC-table build, the batch-query kernels
-# issued from concurrent threads, and the worker-thread join executor).
+# issued from concurrent threads, and the worker-thread join executor),
+# and a durability leg (the fault-injection suite plus a crash-recovery
+# soak with real mid-stream process kills).
 #
-# Usage: scripts/check.sh [--no-tsan] [--no-scalar]
-#   --no-tsan     skip the sanitizer tree (e.g. on toolchains without TSan)
-#   --no-scalar   skip the -DPRIMELABEL_DISABLE_SIMD=ON tree
+# Usage: scripts/check.sh [--no-tsan] [--no-scalar] [--no-durability]
+#   --no-tsan        skip the sanitizer tree (e.g. toolchains without TSan)
+#   --no-scalar      skip the -DPRIMELABEL_DISABLE_SIMD=ON tree
+#   --no-durability  skip the durability suite + crash loop
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 run_tsan=1
 run_scalar=1
+run_durability=1
 for arg in "$@"; do
   case "$arg" in
     --no-tsan) run_tsan=0 ;;
     --no-scalar) run_scalar=0 ;;
+    --no-durability) run_durability=0 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -27,6 +32,12 @@ echo "== tier 1: configure + build + ctest (build/) =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure -j "$jobs"
+
+if [[ "$run_durability" == "1" ]]; then
+  echo "== durability: fault-injection suite + crash-recovery soak =="
+  ctest --test-dir build --output-on-failure -R Durability
+  scripts/crash_loop.sh 10 build
+fi
 
 if [[ "$run_scalar" == "1" ]]; then
   echo "== scalar: full suite with vector kernels compiled out (build-scalar/) =="

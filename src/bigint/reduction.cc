@@ -1,6 +1,7 @@
 #include "bigint/reduction.h"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cassert>
 #include <chrono>
@@ -211,7 +212,38 @@ void FinishFingerprint(const BigInt& value,
 
 // --- Layer 1 ---------------------------------------------------------------
 
+namespace {
+std::atomic<std::uint64_t> g_fingerprint_compute_count{0};
+}  // namespace
+
+std::uint64_t FingerprintComputeCount() {
+  return g_fingerprint_compute_count.load(std::memory_order_relaxed);
+}
+
+std::uint64_t FingerprintConfigHash() {
+  // FNV-1a over every datum the fingerprint semantics depend on. The
+  // values are compile-time constants, so the hash is a process-wide
+  // constant too; it only changes when the configuration itself does.
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (8 * b)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(kFingerprintPrimes.size());
+  for (std::uint32_t p : kFingerprintPrimes) mix(p);
+  mix(kFingerprintChunks);
+  for (const FingerprintChunk& c : kFingerprintChunkTable) {
+    mix(c.product);
+    mix(static_cast<std::uint64_t>(c.first));
+    mix(static_cast<std::uint64_t>(c.count));
+  }
+  return h;
+}
+
 LabelFingerprint FingerprintOf(const BigInt& value) {
+  g_fingerprint_compute_count.fetch_add(1, std::memory_order_relaxed);
   LabelFingerprint fp;
   std::array<std::uint64_t, kFingerprintChunks> residues;
   simd::ChunkResidues(value.Magnitude(), residues);
@@ -222,6 +254,8 @@ LabelFingerprint FingerprintOf(const BigInt& value) {
 void FingerprintLabels(std::span<const BigInt> labels,
                        std::span<LabelFingerprint> out) {
   assert(out.size() >= labels.size());
+  g_fingerprint_compute_count.fetch_add(labels.size(),
+                                        std::memory_order_relaxed);
   std::array<std::uint64_t, kFingerprintChunks> residues;
   for (std::size_t i = 0; i < labels.size(); ++i) {
     simd::ChunkResidues(labels[i].Magnitude(), residues);

@@ -118,6 +118,22 @@ LabelFingerprint FingerprintOf(const BigInt& value);
 void FingerprintLabels(std::span<const BigInt> labels,
                        std::span<LabelFingerprint> out);
 
+/// Stable 64-bit hash of the fingerprint configuration: the prime list,
+/// the chunk packing (product/first/count per chunk) and the chunk count.
+/// Persisted fingerprints (catalog format v3) are only valid against the
+/// exact configuration they were computed with — a catalog written before
+/// a change to kFingerprintPrimes or the chunking must fall back to
+/// recomputing — so the catalog stores this hash and the loader compares
+/// it against the running binary's value.
+std::uint64_t FingerprintConfigHash();
+
+/// Number of labels fingerprinted from scratch (FingerprintOf +
+/// FingerprintLabels elements) since process start. The catalog-v3 load
+/// path is required to *skip* the recompute pass when persisted
+/// fingerprints validate; tests assert that by differencing this counter
+/// around a load. Monotone, thread-safe, test/diagnostic use only.
+std::uint64_t FingerprintComputeCount();
+
 /// Derives the fingerprint of `child_label == parent_label * self` from
 /// the parent's fingerprint in O(chunks) multiply-mods — the incremental
 /// path used while labeling. `self` must be prime (the top-down scheme's

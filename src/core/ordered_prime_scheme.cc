@@ -38,9 +38,10 @@ void OrderedPrimeScheme::LabelTree(const XmlTree& tree) {
 
 void OrderedPrimeScheme::Adopt(const XmlTree& tree, std::vector<BigInt> labels,
                                std::vector<std::uint64_t> selves,
-                               ScTable sc_table) {
+                               ScTable sc_table,
+                               std::vector<LabelFingerprint> fps) {
   set_tree(tree);
-  structure_.Adopt(tree, std::move(labels), std::move(selves));
+  structure_.Adopt(tree, std::move(labels), std::move(selves), std::move(fps));
   sc_table_ = std::move(sc_table);
 }
 
@@ -236,6 +237,7 @@ int OrderedPrimeScheme::HandleInsert(NodeId new_node, InsertOrder) {
   PL_CHECK(tree() != nullptr);
   int count = structure_.HandleInsert(new_node, InsertOrder::kUnordered);
   ScUpdateStats stats = RegisterOrder(new_node);
+  last_sc_stats_ = stats;
   // Paper accounting (Section 5.4): each SC record update counts as one
   // relabeled node, plus any nodes whose self-label had to be replaced.
   return count + stats.records_updated + stats.nodes_relabeled;

@@ -73,13 +73,31 @@ class OrderedPrimeScheme : public LabelingScheme, public StructureOracle {
 
   /// Adopts persisted labels and SC records (the restart path): installs
   /// them without relabeling anything, after which queries and updates
-  /// behave exactly as if the scheme had labeled the tree itself.
+  /// behave exactly as if the scheme had labeled the tree itself. `fps`
+  /// optionally carries persisted fingerprints (catalog format v3); when
+  /// present and full-size the per-label recompute pass is skipped.
   void Adopt(const XmlTree& tree, std::vector<BigInt> labels,
-             std::vector<std::uint64_t> selves, ScTable sc_table);
+             std::vector<std::uint64_t> selves, ScTable sc_table,
+             std::vector<LabelFingerprint> fps = {});
 
   /// Access to the underlying structural scheme and the SC table.
   const PrimeTopDownScheme& structure() const { return structure_; }
   const ScTable& sc_table() const { return sc_table_; }
+
+  /// SC-table accounting of the most recent HandleInsert — how many SC
+  /// records were rewritten and how many nodes drew replacement
+  /// self-labels. The durability journal persists these alongside each
+  /// insert so replay can cross-check that it rewrote exactly the same
+  /// records the live run did.
+  const ScUpdateStats& last_sc_stats() const { return last_sc_stats_; }
+
+  /// Prime-cursor passthrough (see PrimeTopDownScheme::prime_cursor):
+  /// recorded per journal frame and restored before replaying it, which
+  /// pins every replayed label to the live run's bit pattern.
+  std::size_t prime_cursor() const { return structure_.prime_cursor(); }
+  void set_prime_cursor(std::size_t cursor) {
+    structure_.set_prime_cursor(cursor);
+  }
 
   /// Number of worker threads LabelTree may use (>= 1; default 1 =
   /// sequential): applies to both the structural prime labeling (subtree
@@ -95,6 +113,7 @@ class OrderedPrimeScheme : public LabelingScheme, public StructureOracle {
 
   PrimeTopDownScheme structure_;
   ScTable sc_table_;
+  ScUpdateStats last_sc_stats_;
   int num_workers_ = 1;
 };
 

@@ -1,0 +1,272 @@
+#include "corpus/durable_document_store.h"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+namespace primelabel {
+
+namespace {
+
+constexpr char kManifestMagic[8] = {'P', 'L', 'M', 'A', 'N', 'I', 'F', '1'};
+
+Result<std::uint64_t> ReadManifest(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::NotFound("no store MANIFEST at '" + path + "'");
+  }
+  char magic[8] = {};
+  std::uint8_t epoch_bytes[8] = {};
+  bool ok = std::fread(magic, 1, 8, file) == 8 &&
+            std::fread(epoch_bytes, 1, 8, file) == 8;
+  std::fclose(file);
+  if (!ok || std::memcmp(magic, kManifestMagic, 8) != 0) {
+    return Status::ParseError("'" + path + "' is not a store MANIFEST");
+  }
+  std::uint64_t epoch = 0;
+  for (int i = 0; i < 8; ++i) {
+    epoch |= static_cast<std::uint64_t>(epoch_bytes[i]) << (8 * i);
+  }
+  return epoch;
+}
+
+Status WriteManifestAtomic(const std::string& dir, std::uint64_t epoch) {
+  const std::string final_path = DurableDocumentStore::ManifestPath(dir);
+  const std::string tmp_path = final_path + ".tmp";
+  std::FILE* file = std::fopen(tmp_path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::Internal("cannot write '" + tmp_path + "'");
+  }
+  std::uint8_t epoch_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    epoch_bytes[i] = static_cast<std::uint8_t>(epoch >> (8 * i));
+  }
+  bool ok = std::fwrite(kManifestMagic, 1, 8, file) == 8 &&
+            std::fwrite(epoch_bytes, 1, 8, file) == 8 &&
+            std::fflush(file) == 0;
+#ifndef _WIN32
+  ok = ok && ::fsync(fileno(file)) == 0;
+#endif
+  ok = std::fclose(file) == 0 && ok;
+  if (!ok) return Status::Internal("short write to '" + tmp_path + "'");
+  // The swing: readers see either the old MANIFEST or the new one, never
+  // a partial file.
+  if (std::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    return Status::Internal("cannot rename '" + tmp_path + "' into place");
+  }
+  return Status::Ok();
+}
+
+/// Best-effort fsync of an already-written file (snapshot durability).
+void SyncFileBestEffort(const std::string& path) {
+#ifndef _WIN32
+  if (std::FILE* file = std::fopen(path.c_str(), "rb")) {
+    ::fsync(fileno(file));
+    std::fclose(file);
+  }
+#endif
+}
+
+}  // namespace
+
+std::string DurableDocumentStore::ManifestPath(const std::string& dir) {
+  return dir + "/MANIFEST";
+}
+
+std::string DurableDocumentStore::SnapshotPath(const std::string& dir,
+                                               std::uint64_t epoch) {
+  return dir + "/snapshot-" + std::to_string(epoch) + ".plc";
+}
+
+std::string DurableDocumentStore::JournalPath(const std::string& dir,
+                                              std::uint64_t epoch) {
+  return dir + "/journal-" + std::to_string(epoch) + ".wal";
+}
+
+bool DurableDocumentStore::Exists(const std::string& dir) {
+  std::error_code ec;
+  return std::filesystem::exists(ManifestPath(dir), ec);
+}
+
+DurableDocumentStore::DurableDocumentStore(std::string dir,
+                                           LabeledDocument doc,
+                                           WriteAheadLog wal,
+                                           std::uint64_t epoch,
+                                           Options options)
+    : dir_(std::move(dir)),
+      doc_(std::move(doc)),
+      wal_(std::move(wal)),
+      epoch_(epoch),
+      options_(options) {}
+
+Result<DurableDocumentStore> DurableDocumentStore::Create(
+    const std::string& dir, std::string_view xml, const Options& options) {
+  if (Exists(dir)) {
+    return Status::InvalidArgument("'" + dir +
+                                   "' already contains a durable store");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::InvalidArgument("cannot create store directory '" + dir +
+                                   "'");
+  }
+  Result<LabeledDocument> doc =
+      LabeledDocument::FromXml(xml, options.sc_group_size);
+  if (!doc.ok()) return doc.status();
+
+  const std::uint64_t epoch = 0;
+  Status saved = doc->Save(SnapshotPath(dir, epoch));
+  if (!saved.ok()) return saved;
+  SyncFileBestEffort(SnapshotPath(dir, epoch));
+  Result<WriteAheadLog> wal =
+      WriteAheadLog::Open(JournalPath(dir, epoch), options.wal);
+  if (!wal.ok()) return wal.status();
+  Status manifest = WriteManifestAtomic(dir, epoch);
+  if (!manifest.ok()) return manifest;
+  return DurableDocumentStore(dir, std::move(doc.value()),
+                              std::move(wal.value()), epoch, options);
+}
+
+Result<DurableDocumentStore> DurableDocumentStore::Open(
+    const std::string& dir, const Options& options) {
+  Result<std::uint64_t> epoch = ReadManifest(ManifestPath(dir));
+  if (!epoch.ok()) return epoch.status();
+
+  RecoveryStats stats;
+  Result<LabeledDocument> doc = RecoverDocument(
+      SnapshotPath(dir, *epoch), JournalPath(dir, *epoch), &stats);
+  if (!doc.ok()) return doc.status();
+
+  // Resume the journal after its intact prefix; Open truncates the torn
+  // tail so new frames extend a clean file.
+  Result<WriteAheadLog> wal = WriteAheadLog::Open(
+      JournalPath(dir, *epoch), options.wal, stats.journal_valid_bytes);
+  if (!wal.ok()) return wal.status();
+
+  DurableDocumentStore store(dir, std::move(doc.value()),
+                             std::move(wal.value()), *epoch, options);
+  store.recovery_stats_ = stats;
+  return store;
+}
+
+Status DurableDocumentStore::JournalInsert(WalRecord::Op op,
+                                           std::uint64_t anchor_self,
+                                           std::uint64_t cursor_before,
+                                           NodeId fresh,
+                                           std::string_view tag) {
+  WalRecord insert;
+  insert.type = WalRecord::Type::kInsert;
+  insert.op = op;
+  insert.anchor_self = anchor_self;
+  insert.prime_cursor = cursor_before;
+  insert.new_self = doc_.scheme().structure().self_label(fresh);
+  insert.tag = std::string(tag);
+  insert.order = InsertOrder::kDocumentOrder;
+  Status appended = wal_.Append(insert);
+  if (!appended.ok()) return appended;
+
+  // Verification frame: what the SC insert did, so replay can prove it
+  // rewrote the same records (and handed out the same replacement
+  // self-labels, via the max-order/new-self checks).
+  WalRecord rewrite;
+  rewrite.type = WalRecord::Type::kScRewrite;
+  rewrite.anchor_self = insert.new_self;
+  rewrite.sc_records_updated =
+      static_cast<std::uint32_t>(doc_.last_sc_stats().records_updated);
+  rewrite.sc_nodes_relabeled =
+      static_cast<std::uint32_t>(doc_.last_sc_stats().nodes_relabeled);
+  rewrite.sc_max_order = doc_.scheme().sc_table().max_order();
+  return wal_.Append(rewrite);
+}
+
+Result<NodeId> DurableDocumentStore::InsertBefore(NodeId sibling,
+                                                  std::string_view tag) {
+  const std::uint64_t anchor = doc_.scheme().structure().self_label(sibling);
+  const std::uint64_t cursor = doc_.prime_cursor();
+  NodeId fresh = doc_.InsertBefore(sibling, tag);
+  Status logged =
+      JournalInsert(WalRecord::Op::kInsertBefore, anchor, cursor, fresh, tag);
+  if (!logged.ok()) return logged;
+  return fresh;
+}
+
+Result<NodeId> DurableDocumentStore::InsertAfter(NodeId sibling,
+                                                 std::string_view tag) {
+  const std::uint64_t anchor = doc_.scheme().structure().self_label(sibling);
+  const std::uint64_t cursor = doc_.prime_cursor();
+  NodeId fresh = doc_.InsertAfter(sibling, tag);
+  Status logged =
+      JournalInsert(WalRecord::Op::kInsertAfter, anchor, cursor, fresh, tag);
+  if (!logged.ok()) return logged;
+  return fresh;
+}
+
+Result<NodeId> DurableDocumentStore::AppendChild(NodeId parent,
+                                                 std::string_view tag) {
+  const std::uint64_t anchor = doc_.scheme().structure().self_label(parent);
+  const std::uint64_t cursor = doc_.prime_cursor();
+  NodeId fresh = doc_.AppendChild(parent, tag);
+  Status logged =
+      JournalInsert(WalRecord::Op::kAppendChild, anchor, cursor, fresh, tag);
+  if (!logged.ok()) return logged;
+  return fresh;
+}
+
+Result<NodeId> DurableDocumentStore::Wrap(NodeId node, std::string_view tag) {
+  const std::uint64_t anchor = doc_.scheme().structure().self_label(node);
+  const std::uint64_t cursor = doc_.prime_cursor();
+  NodeId fresh = doc_.Wrap(node, tag);
+  Status logged =
+      JournalInsert(WalRecord::Op::kWrap, anchor, cursor, fresh, tag);
+  if (!logged.ok()) return logged;
+  return fresh;
+}
+
+Status DurableDocumentStore::Delete(NodeId node) {
+  if (node == doc_.tree().root()) {
+    return Status::InvalidArgument("cannot delete the document root");
+  }
+  WalRecord record;
+  record.type = WalRecord::Type::kDelete;
+  record.anchor_self = doc_.scheme().structure().self_label(node);
+  doc_.Delete(node);
+  return wal_.Append(record);
+}
+
+Status DurableDocumentStore::Flush() { return wal_.Sync(); }
+
+Status DurableDocumentStore::Checkpoint() {
+  // Order matters for crash atomicity: everything of the new epoch is
+  // written to fresh names first, the MANIFEST rename publishes it, and
+  // only then are the old epoch's files unlinked. A crash before the
+  // rename leaves the old pair authoritative (the new files are ignored
+  // garbage); a crash after it leaves the new pair authoritative.
+  Status flushed = wal_.Sync();
+  if (!flushed.ok()) return flushed;
+
+  const std::uint64_t next = epoch_ + 1;
+  Status saved = doc_.Save(SnapshotPath(dir_, next));
+  if (!saved.ok()) return saved;
+  SyncFileBestEffort(SnapshotPath(dir_, next));
+  Result<WriteAheadLog> wal =
+      WriteAheadLog::Open(JournalPath(dir_, next), options_.wal);
+  if (!wal.ok()) return wal.status();
+  Status manifest = WriteManifestAtomic(dir_, next);
+  if (!manifest.ok()) return manifest;
+
+  const std::uint64_t old = epoch_;
+  wal_ = std::move(wal.value());
+  epoch_ = next;
+  std::error_code ec;
+  std::filesystem::remove(SnapshotPath(dir_, old), ec);
+  std::filesystem::remove(JournalPath(dir_, old), ec);
+  return Status::Ok();
+}
+
+}  // namespace primelabel

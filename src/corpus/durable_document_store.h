@@ -1,0 +1,120 @@
+#ifndef PRIMELABEL_CORPUS_DURABLE_DOCUMENT_STORE_H_
+#define PRIMELABEL_CORPUS_DURABLE_DOCUMENT_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "corpus/labeled_document.h"
+#include "durability/recovery.h"
+#include "durability/wal.h"
+#include "util/status.h"
+
+namespace primelabel {
+
+/// Crash-safe facade over a LabeledDocument: every mutation is journaled
+/// to a write-ahead log before the caller gets its result back, restarts
+/// recover the exact pre-crash state (snapshot + journal replay), and
+/// checkpoints compact the journal into a fresh catalog-v3 snapshot.
+///
+/// On-disk layout inside the store directory (epochs make checkpoints
+/// atomic — the MANIFEST names the current pair and is itself replaced by
+/// an atomic rename, so a crash at any instant leaves a consistent pair):
+///
+///   MANIFEST              "PLMANIF1" + u64 epoch (little-endian)
+///   snapshot-<epoch>.plc  catalog format v3 (store/catalog.h)
+///   journal-<epoch>.wal   write-ahead journal (durability/wal.h)
+///
+/// The facade exposes the same mutation vocabulary as LabeledDocument and
+/// the document's oracle/query surface read-only; anything that changes
+/// the tree must go through the store so it lands in the journal.
+class DurableDocumentStore {
+ public:
+  struct Options {
+    // Non-aggregate on purpose: a user-provided default constructor lets
+    // `= {}` default arguments compile on GCC (bug 88165).
+    Options() {}
+    int sc_group_size = 5;
+    WalOptions wal;
+  };
+
+  /// Initializes a new store at `dir` (created if missing) from parsed
+  /// XML: writes the epoch-0 snapshot, an empty journal and the MANIFEST.
+  /// Fails with kInvalidArgument when `dir` already holds a store.
+  static Result<DurableDocumentStore> Create(const std::string& dir,
+                                             std::string_view xml,
+                                             const Options& options = {});
+
+  /// Opens an existing store: loads the MANIFEST's snapshot, replays the
+  /// journal's intact prefix on top (tolerating torn tails and corrupt
+  /// frames), truncates the journal to that prefix and resumes appending.
+  static Result<DurableDocumentStore> Open(const std::string& dir,
+                                           const Options& options = {});
+
+  /// True when `dir` contains a store MANIFEST.
+  static bool Exists(const std::string& dir);
+
+  DurableDocumentStore(DurableDocumentStore&&) = default;
+  DurableDocumentStore& operator=(DurableDocumentStore&&) = default;
+
+  /// The recovered/live document. Read-only: mutate through the store.
+  const LabeledDocument& document() const { return doc_; }
+  /// Replay statistics of the Open that produced this store (zeroes for
+  /// Create).
+  const RecoveryStats& recovery_stats() const { return recovery_stats_; }
+  std::uint64_t epoch() const { return epoch_; }
+  const std::string& dir() const { return dir_; }
+
+  Result<std::vector<NodeId>> Query(std::string_view xpath) const {
+    return doc_.Query(xpath);
+  }
+
+  // --- Journaled mutations (same vocabulary as LabeledDocument) ----------
+  // Each returns after the op is applied in memory AND its frames are
+  // handed to the WAL; group-commit/sync policy decides when the bytes
+  // are crash-durable (call Flush for a hard boundary).
+
+  Result<NodeId> InsertBefore(NodeId sibling, std::string_view tag);
+  Result<NodeId> InsertAfter(NodeId sibling, std::string_view tag);
+  Result<NodeId> AppendChild(NodeId parent, std::string_view tag);
+  Result<NodeId> Wrap(NodeId node, std::string_view tag);
+  Status Delete(NodeId node);
+
+  /// Commits any group-commit buffer and applies the sync policy.
+  Status Flush();
+
+  /// Compacts: writes a fresh catalog-v3 snapshot of the current state
+  /// under the next epoch, starts an empty journal, atomically swings the
+  /// MANIFEST, and best-effort removes the previous epoch's files. After
+  /// a checkpoint, recovery replays nothing.
+  Status Checkpoint();
+
+  // --- Paths (for tests and tooling) -------------------------------------
+  static std::string ManifestPath(const std::string& dir);
+  static std::string SnapshotPath(const std::string& dir,
+                                  std::uint64_t epoch);
+  static std::string JournalPath(const std::string& dir,
+                                 std::uint64_t epoch);
+
+ private:
+  DurableDocumentStore(std::string dir, LabeledDocument doc,
+                       WriteAheadLog wal, std::uint64_t epoch,
+                       Options options);
+
+  /// Journals one insert (kInsert + kScRewrite verification frame).
+  Status JournalInsert(WalRecord::Op op, std::uint64_t anchor_self,
+                       std::uint64_t cursor_before, NodeId fresh,
+                       std::string_view tag);
+
+  std::string dir_;
+  LabeledDocument doc_;
+  WriteAheadLog wal_;
+  std::uint64_t epoch_ = 0;
+  Options options_;
+  RecoveryStats recovery_stats_;
+};
+
+}  // namespace primelabel
+
+#endif  // PRIMELABEL_CORPUS_DURABLE_DOCUMENT_STORE_H_

@@ -86,6 +86,7 @@ Status LabeledDocument::Save(const std::string& path) const {
     row.attributes = tree_->node(id).attributes;
     row.label = scheme_->structure().label(id);
     row.self = scheme_->structure().self_label(id);
+    row.fingerprint = scheme_->structure().fingerprint(id);
     rows.push_back(std::move(row));
   });
   return WriteCatalog(path, rows, scheme_->sc_table());
@@ -130,10 +131,16 @@ Result<LabeledDocument> LabeledDocument::Load(const std::string& path) {
     labels[i] = rows[i].label;
     selves[i] = rows[i].self;
   }
+  // A v3 catalog with a matching fingerprint config carries per-row
+  // fingerprints; hand them to Adopt so the document restart path skips
+  // the recompute pass just like the raw LoadedCatalog does. NodeId ==
+  // row index (checked above), so the vectors line up.
+  std::vector<LabelFingerprint> fps;
+  if (loaded->fingerprints_persisted()) fps = loaded->TakeFingerprints();
   doc.scheme_ = std::make_unique<OrderedPrimeScheme>(
       loaded->sc_table().group_size());
   doc.scheme_->Adopt(*doc.tree_, std::move(labels), std::move(selves),
-                     loaded->sc_table());
+                     loaded->sc_table(), std::move(fps));
   return doc;
 }
 

@@ -56,6 +56,24 @@ class LabeledDocument {
   /// Relabel cost (nodes + SC record updates) of the last update call.
   int last_update_cost() const { return last_update_cost_; }
 
+  // --- Durability hooks (src/durability/) --------------------------------
+  // The update journal records, per insert, the prime cursor it was
+  // applied at plus the SC accounting it produced; replay restores the
+  // cursor before re-applying the op, which makes every replayed label
+  // bit-identical to the live run's.
+
+  /// Stream index of the next fresh prime an insertion would draw.
+  std::size_t prime_cursor() const { return scheme_->prime_cursor(); }
+  /// Pins the prime cursor (journal replay only).
+  void set_prime_cursor(std::size_t cursor) {
+    scheme_->set_prime_cursor(cursor);
+  }
+  /// SC-table accounting of the most recent insert (see
+  /// OrderedPrimeScheme::last_sc_stats).
+  const ScUpdateStats& last_sc_stats() const {
+    return scheme_->last_sc_stats();
+  }
+
   /// Persists the document (structure, attributes, labels, SC table) as a
   /// catalog file readable by Load and LoadCatalog.
   Status Save(const std::string& path) const;

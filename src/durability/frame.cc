@@ -1,0 +1,215 @@
+#include "durability/frame.h"
+
+#include <array>
+
+namespace primelabel {
+
+namespace {
+
+/// CRC-32 lookup table, built once (reflected 0xEDB88320 polynomial).
+const std::array<std::uint32_t, 256>& Crc32Table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+/// Byte-buffer serializer matching the catalog's little-endian idiom.
+void PutU8(std::uint8_t v, std::vector<std::uint8_t>* out) {
+  out->push_back(v);
+}
+
+void PutU32(std::uint32_t v, std::vector<std::uint8_t>* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PutU64(std::uint64_t v, std::vector<std::uint8_t>* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PutString(const std::string& s, std::vector<std::uint8_t>* out) {
+  PutU32(static_cast<std::uint32_t>(s.size()), out);
+  out->insert(out->end(), s.begin(), s.end());
+}
+
+/// Matching cursor-based parser; every accessor reports exhaustion
+/// through ok().
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+  bool ok() const { return ok_; }
+  bool exhausted() const { return pos_ == bytes_.size(); }
+
+  std::uint8_t U8() {
+    if (pos_ + 1 > bytes_.size()) {
+      ok_ = false;
+      return 0;
+    }
+    return bytes_[pos_++];
+  }
+  std::uint32_t U32() {
+    std::uint32_t v = 0;
+    if (pos_ + 4 > bytes_.size()) {
+      ok_ = false;
+      return 0;
+    }
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(bytes_[pos_++]) << (8 * i);
+    }
+    return v;
+  }
+  std::uint64_t U64() {
+    std::uint64_t v = 0;
+    if (pos_ + 8 > bytes_.size()) {
+      ok_ = false;
+      return 0;
+    }
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(bytes_[pos_++]) << (8 * i);
+    }
+    return v;
+  }
+  std::string String() {
+    std::uint32_t size = U32();
+    if (!ok_ || pos_ + size > bytes_.size()) {
+      ok_ = false;
+      return {};
+    }
+    std::string s(reinterpret_cast<const char*>(bytes_.data()) + pos_, size);
+    pos_ += size;
+    return s;
+  }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// Upper bound on a sane frame payload (a record is a few words plus one
+/// tag string); anything larger is treated as a torn/corrupt length.
+constexpr std::uint32_t kMaxPayloadBytes = 1u << 20;
+
+}  // namespace
+
+std::uint32_t Crc32(std::span<const std::uint8_t> bytes) {
+  const auto& table = Crc32Table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::uint8_t b : bytes) {
+    crc = table[(crc ^ b) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::vector<std::uint8_t> EncodeRecord(const WalRecord& record) {
+  std::vector<std::uint8_t> out;
+  PutU8(static_cast<std::uint8_t>(record.type), &out);
+  switch (record.type) {
+    case WalRecord::Type::kInsert:
+      PutU8(static_cast<std::uint8_t>(record.op), &out);
+      PutU8(record.order == InsertOrder::kDocumentOrder ? 1 : 0, &out);
+      PutU64(record.anchor_self, &out);
+      PutU64(record.prime_cursor, &out);
+      PutU64(record.new_self, &out);
+      PutString(record.tag, &out);
+      break;
+    case WalRecord::Type::kDelete:
+      PutU64(record.anchor_self, &out);
+      break;
+    case WalRecord::Type::kScRewrite:
+      PutU64(record.anchor_self, &out);
+      PutU32(record.sc_records_updated, &out);
+      PutU32(record.sc_nodes_relabeled, &out);
+      PutU64(record.sc_max_order, &out);
+      break;
+  }
+  return out;
+}
+
+Result<WalRecord> DecodeRecord(std::span<const std::uint8_t> payload) {
+  ByteReader reader(payload);
+  WalRecord record;
+  std::uint8_t type = reader.U8();
+  switch (type) {
+    case static_cast<std::uint8_t>(WalRecord::Type::kInsert): {
+      record.type = WalRecord::Type::kInsert;
+      std::uint8_t op = reader.U8();
+      if (op > static_cast<std::uint8_t>(WalRecord::Op::kWrap)) {
+        return Status::ParseError("journal record has unknown insert op");
+      }
+      record.op = static_cast<WalRecord::Op>(op);
+      record.order = reader.U8() != 0 ? InsertOrder::kDocumentOrder
+                                      : InsertOrder::kUnordered;
+      record.anchor_self = reader.U64();
+      record.prime_cursor = reader.U64();
+      record.new_self = reader.U64();
+      record.tag = reader.String();
+      break;
+    }
+    case static_cast<std::uint8_t>(WalRecord::Type::kDelete):
+      record.type = WalRecord::Type::kDelete;
+      record.anchor_self = reader.U64();
+      break;
+    case static_cast<std::uint8_t>(WalRecord::Type::kScRewrite):
+      record.type = WalRecord::Type::kScRewrite;
+      record.anchor_self = reader.U64();
+      record.sc_records_updated = reader.U32();
+      record.sc_nodes_relabeled = reader.U32();
+      record.sc_max_order = reader.U64();
+      break;
+    default:
+      return Status::ParseError("journal record has unknown type tag " +
+                                std::to_string(type));
+  }
+  if (!reader.ok() || !reader.exhausted()) {
+    return Status::ParseError("journal record body is malformed");
+  }
+  return record;
+}
+
+void AppendFrame(std::span<const std::uint8_t> payload,
+                 std::vector<std::uint8_t>* out) {
+  PutU32(static_cast<std::uint32_t>(payload.size()), out);
+  PutU32(Crc32(payload), out);
+  out->insert(out->end(), payload.begin(), payload.end());
+}
+
+FrameScan ScanFrames(std::span<const std::uint8_t> bytes) {
+  FrameScan scan;
+  std::size_t pos = 0;
+  while (true) {
+    if (pos + 8 > bytes.size()) break;  // torn header
+    std::uint32_t len = 0;
+    std::uint32_t crc = 0;
+    for (int i = 0; i < 4; ++i) {
+      len |= static_cast<std::uint32_t>(bytes[pos + i]) << (8 * i);
+      crc |= static_cast<std::uint32_t>(bytes[pos + 4 + i]) << (8 * i);
+    }
+    if (len > kMaxPayloadBytes) break;            // implausible length
+    if (pos + 8 + len > bytes.size()) break;      // torn payload
+    std::span<const std::uint8_t> payload = bytes.subspan(pos + 8, len);
+    if (Crc32(payload) != crc) break;             // flipped bits
+    Result<WalRecord> record = DecodeRecord(payload);
+    if (!record.ok()) break;                      // valid CRC, bad body
+    scan.records.push_back(std::move(record.value()));
+    pos += 8 + len;
+  }
+  scan.valid_bytes = pos;
+  scan.tail_truncated = pos != bytes.size();
+  scan.bytes_dropped = bytes.size() - pos;
+  return scan;
+}
+
+}  // namespace primelabel

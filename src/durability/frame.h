@@ -1,0 +1,114 @@
+#ifndef PRIMELABEL_DURABILITY_FRAME_H_
+#define PRIMELABEL_DURABILITY_FRAME_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "labeling/scheme.h"
+#include "util/status.h"
+
+namespace primelabel {
+
+// Journal frame and record codec.
+//
+// The write-ahead journal (wal.h) is an append-only sequence of frames:
+//
+//   frame := [u32 payload_len][u32 crc32(payload)][payload bytes]
+//
+// little-endian, no alignment padding. The CRC covers the payload only;
+// the length field is sanity-bounded by the reader, so a torn length or a
+// flipped payload byte both surface as "first bad frame" and recovery
+// truncates there (recovery.h). A payload is one WalRecord.
+//
+// Records are *logical*: they name nodes by self-label (the node's own
+// prime — stable across save/load, unlike NodeId, which is an arena index
+// on the live tree but a preorder row index after a snapshot reload) and
+// carry the prime cursor instead of the resulting labels. Replaying an
+// insert at its recorded cursor re-derives every label bit-identically,
+// including the replacement self-labels an SC rewrite hands out, which
+// keeps frames small: a handful of words instead of multi-limb label
+// images.
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of `bytes`.
+std::uint32_t Crc32(std::span<const std::uint8_t> bytes);
+
+/// One journal record.
+struct WalRecord {
+  enum class Type : std::uint8_t {
+    /// An element insertion (leaf or Wrap). Fields: op, anchor_self, tag,
+    /// order, prime_cursor, new_self.
+    kInsert = 1,
+    /// A subtree deletion. Fields: anchor_self (the subtree root).
+    kDelete = 2,
+    /// Verification record emitted right after each insert: the SC-table
+    /// rewrite accounting (records rewritten, nodes relabeled, resulting
+    /// max order) the live run observed. Replay recomputes the same
+    /// quantities and fails loudly on any divergence — a deterministic
+    /// cross-check that the journal and the engine agree.
+    kScRewrite = 3,
+  };
+  /// Which tree mutation kInsert replays.
+  enum class Op : std::uint8_t {
+    kInsertBefore = 0,
+    kInsertAfter = 1,
+    kAppendChild = 2,
+    kWrap = 3,
+  };
+
+  Type type = Type::kInsert;
+  Op op = Op::kAppendChild;
+  /// Self-label of the op's reference node: sibling for InsertBefore and
+  /// InsertAfter, parent for AppendChild, wrapped node for Wrap, subtree
+  /// root for kDelete, inserted node for kScRewrite.
+  std::uint64_t anchor_self = 0;
+  /// Prime cursor at apply time (kInsert): restored before replay.
+  std::uint64_t prime_cursor = 0;
+  /// Self-label the insert produced — replay must re-derive exactly this.
+  std::uint64_t new_self = 0;
+  /// Element tag (kInsert).
+  std::string tag;
+  /// Ordering contract of the insert.
+  InsertOrder order = InsertOrder::kDocumentOrder;
+  /// kScRewrite: the live run's ScUpdateStats + resulting max order.
+  std::uint32_t sc_records_updated = 0;
+  std::uint32_t sc_nodes_relabeled = 0;
+  std::uint64_t sc_max_order = 0;
+
+  friend bool operator==(const WalRecord&, const WalRecord&) = default;
+};
+
+/// Serializes `record` into a frame payload (no length/CRC header).
+std::vector<std::uint8_t> EncodeRecord(const WalRecord& record);
+
+/// Parses a frame payload. kParseError on an unknown type tag or a
+/// malformed body — the WAL reader treats that like a failed checksum.
+Result<WalRecord> DecodeRecord(std::span<const std::uint8_t> payload);
+
+/// Wraps `payload` in a frame header and appends the whole frame to `out`.
+void AppendFrame(std::span<const std::uint8_t> payload,
+                 std::vector<std::uint8_t>* out);
+
+/// Outcome of scanning a frame sequence.
+struct FrameScan {
+  /// Decoded records of every intact frame, in order.
+  std::vector<WalRecord> records;
+  /// Bytes of the intact prefix (frame boundaries only). Appends must
+  /// resume here, and recovery truncates the file to this length.
+  std::uint64_t valid_bytes = 0;
+  /// True when trailing bytes were dropped (torn tail or bad checksum).
+  bool tail_truncated = false;
+  /// How many bytes were dropped.
+  std::uint64_t bytes_dropped = 0;
+};
+
+/// Walks `bytes` frame by frame, stopping at the first torn, corrupt or
+/// undecodable frame (truncate-at-first-bad-checksum semantics). Never
+/// fails: a fully corrupt buffer yields zero records and
+/// valid_bytes == 0.
+FrameScan ScanFrames(std::span<const std::uint8_t> bytes);
+
+}  // namespace primelabel
+
+#endif  // PRIMELABEL_DURABILITY_FRAME_H_

@@ -1,0 +1,196 @@
+#include "durability/wal.h"
+
+#include <cstring>
+#include <utility>
+
+#ifdef _WIN32
+#include <io.h>
+#else
+#include <unistd.h>
+#endif
+
+namespace primelabel {
+
+namespace {
+
+constexpr char kWalMagic[8] = {'P', 'L', 'W', 'A', 'L', 'O', 'G', '1'};
+
+Status TruncateFile(const std::string& path, std::uint64_t length) {
+#ifdef _WIN32
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  if (f == nullptr) {
+    return Status::Internal("cannot open '" + path + "' to truncate");
+  }
+  int rc = _chsize_s(_fileno(f), static_cast<long long>(length));
+  std::fclose(f);
+  if (rc != 0) return Status::Internal("truncate failed on '" + path + "'");
+#else
+  if (::truncate(path.c_str(), static_cast<off_t>(length)) != 0) {
+    return Status::Internal("truncate failed on '" + path + "'");
+  }
+#endif
+  return Status::Ok();
+}
+
+Status FsyncFile(std::FILE* file, const std::string& path) {
+#ifdef _WIN32
+  if (_commit(_fileno(file)) != 0) {
+    return Status::Internal("fsync failed on '" + path + "'");
+  }
+#else
+  if (::fsync(fileno(file)) != 0) {
+    return Status::Internal("fsync failed on '" + path + "'");
+  }
+#endif
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<WriteAheadLog> WriteAheadLog::Open(const std::string& path,
+                                          const WalOptions& options,
+                                          std::uint64_t resume_at) {
+  // Peek at the current size to decide between "fresh header" and
+  // "resume after the intact prefix".
+  std::uint64_t existing = 0;
+  if (std::FILE* probe = std::fopen(path.c_str(), "rb")) {
+    std::fseek(probe, 0, SEEK_END);
+    existing = static_cast<std::uint64_t>(std::ftell(probe));
+    std::fclose(probe);
+  }
+  const bool fresh = existing < sizeof(kWalMagic);
+  if (!fresh && resume_at >= sizeof(kWalMagic) && resume_at < existing) {
+    // Drop the torn/corrupt tail so appended frames extend the intact
+    // prefix (truncate-at-first-bad-checksum made durable).
+    Status truncated = TruncateFile(path, resume_at);
+    if (!truncated.ok()) return truncated;
+  }
+  std::FILE* file = std::fopen(path.c_str(), fresh ? "wb" : "ab");
+  if (file == nullptr) {
+    return Status::InvalidArgument("cannot open journal '" + path + "'");
+  }
+  WriteAheadLog wal;
+  wal.path_ = path;
+  wal.file_ = file;
+  wal.options_ = options;
+  if (fresh) {
+    if (std::fwrite(kWalMagic, 1, sizeof(kWalMagic), file) !=
+            sizeof(kWalMagic) ||
+        std::fflush(file) != 0) {
+      std::fclose(file);
+      wal.file_ = nullptr;
+      return Status::Internal("cannot write journal header to '" + path +
+                              "'");
+    }
+  }
+  return wal;
+}
+
+WriteAheadLog::WriteAheadLog(WriteAheadLog&& other) noexcept
+    : path_(std::move(other.path_)),
+      file_(other.file_),
+      options_(other.options_),
+      buffer_(std::move(other.buffer_)),
+      pending_records_(other.pending_records_),
+      committed_frames_(other.committed_frames_),
+      commits_since_sync_(other.commits_since_sync_) {
+  other.file_ = nullptr;
+}
+
+WriteAheadLog& WriteAheadLog::operator=(WriteAheadLog&& other) noexcept {
+  if (this != &other) {
+    if (file_ != nullptr) {
+      Commit();
+      std::fclose(file_);
+    }
+    path_ = std::move(other.path_);
+    file_ = other.file_;
+    options_ = other.options_;
+    buffer_ = std::move(other.buffer_);
+    pending_records_ = other.pending_records_;
+    committed_frames_ = other.committed_frames_;
+    commits_since_sync_ = other.commits_since_sync_;
+    other.file_ = nullptr;
+  }
+  return *this;
+}
+
+WriteAheadLog::~WriteAheadLog() {
+  if (file_ != nullptr) {
+    Commit();  // best effort; a crash before this point loses the buffer
+    std::fclose(file_);
+  }
+}
+
+Status WriteAheadLog::Append(const WalRecord& record) {
+  PL_CHECK(file_ != nullptr);
+  std::vector<std::uint8_t> payload = EncodeRecord(record);
+  AppendFrame(payload, &buffer_);
+  ++pending_records_;
+  if (pending_records_ >= options_.group_commit_records) return Commit();
+  return Status::Ok();
+}
+
+Status WriteAheadLog::Commit() {
+  if (buffer_.empty()) return Status::Ok();
+  PL_CHECK(file_ != nullptr);
+  if (std::fwrite(buffer_.data(), 1, buffer_.size(), file_) !=
+          buffer_.size() ||
+      std::fflush(file_) != 0) {
+    return Status::Internal("journal write failed on '" + path_ + "'");
+  }
+  committed_frames_ += static_cast<std::uint64_t>(pending_records_);
+  buffer_.clear();
+  pending_records_ = 0;
+  ++commits_since_sync_;
+  const bool want_sync =
+      options_.sync == WalSyncPolicy::kEveryCommit ||
+      (options_.sync == WalSyncPolicy::kEveryNCommits &&
+       commits_since_sync_ >=
+           static_cast<std::uint64_t>(options_.sync_interval));
+  if (want_sync) {
+    commits_since_sync_ = 0;
+    return FsyncFile(file_, path_);
+  }
+  return Status::Ok();
+}
+
+Status WriteAheadLog::Sync() {
+  Status committed = Commit();
+  if (!committed.ok()) return committed;
+  commits_since_sync_ = 0;
+  return FsyncFile(file_, path_);
+}
+
+Result<WalReadResult> ReadWal(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::NotFound("cannot open journal '" + path + "'");
+  }
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t chunk[1 << 16];
+  std::size_t got = 0;
+  while ((got = std::fread(chunk, 1, sizeof(chunk), file)) > 0) {
+    bytes.insert(bytes.end(), chunk, chunk + got);
+  }
+  std::fclose(file);
+
+  WalReadResult result;
+  if (bytes.size() < sizeof(kWalMagic) ||
+      std::memcmp(bytes.data(), kWalMagic, sizeof(kWalMagic)) != 0) {
+    // Damaged or torn header: nothing trustworthy in the file at all.
+    result.valid_bytes = 0;
+    result.tail_truncated = !bytes.empty();
+    result.bytes_dropped = bytes.size();
+    return result;
+  }
+  FrameScan scan = ScanFrames(
+      std::span<const std::uint8_t>(bytes).subspan(sizeof(kWalMagic)));
+  result.records = std::move(scan.records);
+  result.valid_bytes = sizeof(kWalMagic) + scan.valid_bytes;
+  result.tail_truncated = scan.tail_truncated;
+  result.bytes_dropped = scan.bytes_dropped;
+  return result;
+}
+
+}  // namespace primelabel

@@ -1,0 +1,109 @@
+#ifndef PRIMELABEL_DURABILITY_WAL_H_
+#define PRIMELABEL_DURABILITY_WAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "durability/frame.h"
+#include "util/status.h"
+
+namespace primelabel {
+
+/// When the journal forces its bytes to stable storage.
+enum class WalSyncPolicy {
+  /// Never fsync — flush to the OS on every commit only. Survives process
+  /// crashes (the kill the fault-injection harness simulates) but not
+  /// power loss. The default for tests and benches.
+  kNever,
+  /// fsync on every commit: the strongest setting, one disk flush per
+  /// committed group.
+  kEveryCommit,
+  /// fsync every `sync_interval` commits — the classic group-commit
+  /// durability/throughput dial.
+  kEveryNCommits,
+};
+
+struct WalOptions {
+  WalSyncPolicy sync = WalSyncPolicy::kNever;
+  /// Commits every `sync_interval`-th commit under kEveryNCommits.
+  int sync_interval = 8;
+  /// Records buffered before Append auto-commits. 1 = every record is
+  /// its own commit; larger values batch frames into one write (group
+  /// commit), trading a larger crash-loss window for fewer syscalls.
+  int group_commit_records = 1;
+};
+
+/// Append-only write-ahead journal of checksummed frames.
+///
+/// File layout: an 8-byte magic ("PLWALOG1") followed by frames
+/// (durability/frame.h). Appends are buffered in memory and written as
+/// one contiguous fwrite per commit; a crash loses at most the uncommitted
+/// buffer plus whatever the sync policy left in OS caches, and always
+/// leaves a prefix of whole frames plus at most one torn tail — exactly
+/// the shapes recovery truncates.
+class WriteAheadLog {
+ public:
+  /// Opens `path` for appending, creating it (with a fresh header) when
+  /// missing or empty. `resume_at` is the intact-prefix length reported by
+  /// ReadWal: when the existing file is longer (a torn tail from a crash)
+  /// it is truncated back to that length first, so new frames never land
+  /// after garbage.
+  static Result<WriteAheadLog> Open(const std::string& path,
+                                    const WalOptions& options = {},
+                                    std::uint64_t resume_at = 0);
+
+  WriteAheadLog(WriteAheadLog&& other) noexcept;
+  WriteAheadLog& operator=(WriteAheadLog&& other) noexcept;
+  ~WriteAheadLog();
+
+  /// Buffers one record; auto-commits when the group is full. The record
+  /// is NOT crash-durable until the commit that includes it returns.
+  Status Append(const WalRecord& record);
+
+  /// Writes every buffered frame in one contiguous write, flushes, and
+  /// applies the sync policy. No-op on an empty buffer.
+  Status Commit();
+
+  /// Unconditional fsync (checkpoint barrier).
+  Status Sync();
+
+  /// Records buffered but not yet committed.
+  int pending_records() const { return pending_records_; }
+  /// Frames committed to the file since Open.
+  std::uint64_t committed_frames() const { return committed_frames_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  WriteAheadLog() = default;
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  WalOptions options_;
+  std::vector<std::uint8_t> buffer_;
+  int pending_records_ = 0;
+  std::uint64_t committed_frames_ = 0;
+  std::uint64_t commits_since_sync_ = 0;
+};
+
+/// Journal read-back: the record sequence of the intact frame prefix plus
+/// where (and whether) the scan stopped.
+struct WalReadResult {
+  std::vector<WalRecord> records;
+  /// Intact prefix length in bytes, including the header — pass to
+  /// WriteAheadLog::Open as `resume_at`.
+  std::uint64_t valid_bytes = 0;
+  bool tail_truncated = false;
+  std::uint64_t bytes_dropped = 0;
+};
+
+/// Reads a journal file, tolerating torn tails and corrupt frames
+/// (truncate-at-first-bad-checksum: everything from the first bad byte on
+/// is reported dropped). A missing file is kNotFound; a file whose header
+/// is damaged yields zero records with the whole body dropped.
+Result<WalReadResult> ReadWal(const std::string& path);
+
+}  // namespace primelabel
+
+#endif  // PRIMELABEL_DURABILITY_WAL_H_

@@ -100,17 +100,26 @@ bool PrimeTopDownScheme::LabelTreeParallel(const XmlTree& tree) {
 }
 
 void PrimeTopDownScheme::Adopt(const XmlTree& tree, std::vector<BigInt> labels,
-                               std::vector<std::uint64_t> selves) {
+                               std::vector<std::uint64_t> selves,
+                               std::vector<LabelFingerprint> fps) {
   PL_CHECK(labels.size() >= tree.arena_size());
   PL_CHECK(selves.size() == labels.size());
+  PL_CHECK(fps.empty() || fps.size() == labels.size());
   set_tree(tree);
   labels_ = std::move(labels);
   selves_ = std::move(selves);
-  // Adopted labels arrive without fingerprints; derive them from scratch
-  // with the batched kernel over the whole contiguous arena, then reset
-  // any detached slots so they keep the default (empty) fingerprint the
-  // per-node path would have left.
-  fps_.assign(labels_.size(), LabelFingerprint());
+  const bool adopt_fps = !fps.empty();
+  if (adopt_fps) {
+    // Persisted fingerprints (catalog v3, config hash verified by the
+    // loader): install as-is, no recompute pass.
+    fps_ = std::move(fps);
+  } else {
+    // Labels arrived without fingerprints; derive them from scratch with
+    // the batched kernel over the whole contiguous arena, then reset any
+    // detached slots so they keep the default (empty) fingerprint the
+    // per-node path would have left.
+    fps_.assign(labels_.size(), LabelFingerprint());
+  }
   primes_.Reset();
   std::size_t used = 0;
   std::vector<std::uint8_t> attached(labels_.size(), 0);
@@ -120,7 +129,7 @@ void PrimeTopDownScheme::Adopt(const XmlTree& tree, std::vector<BigInt> labels,
     std::uint64_t self = selves_[static_cast<std::size_t>(id)];
     used = std::max(used, primes_.IndexOf(self) + 1);
   });
-  FingerprintLabels(labels_, fps_);
+  if (!adopt_fps) FingerprintLabels(labels_, fps_);
   for (std::size_t i = 0; i < fps_.size(); ++i) {
     if (!attached[i]) fps_[i] = LabelFingerprint();
   }

@@ -43,8 +43,14 @@ class PrimeTopDownScheme : public LabelingScheme {
   /// insertion draws a prime no existing label contains. This is the
   /// restart path the paper's dynamic property promises: reloading a
   /// document never relabels it.
+  ///
+  /// `fps`: persisted fingerprints indexed by NodeId (catalog format v3).
+  /// When it has one entry per label slot they are installed as-is and the
+  /// recompute pass is skipped entirely; an empty vector (v2 catalogs, or
+  /// a fingerprint-config hash mismatch) derives them from the labels.
   void Adopt(const XmlTree& tree, std::vector<BigInt> labels,
-             std::vector<std::uint64_t> selves);
+             std::vector<std::uint64_t> selves,
+             std::vector<LabelFingerprint> fps = {});
 
   /// Replaces the self-label of an already-labeled node with a fresh prime
   /// and rederives the labels of its subtree. Used by OrderedPrimeScheme
@@ -61,6 +67,19 @@ class PrimeTopDownScheme : public LabelingScheme {
   /// shared cursor. Queries and insertions are unaffected by the knob.
   void set_num_workers(int n);
   int num_workers() const { return num_workers_; }
+
+  /// Position of the prime cursor: the stream index of the next fresh
+  /// prime an insertion would draw. Every label this scheme will ever
+  /// assign is a deterministic function of the tree shape and this cursor,
+  /// which is what the durability journal exploits: each insert record
+  /// carries the cursor at apply time, so replay re-derives bit-identical
+  /// labels (including any SC-driven relabels) instead of persisting them.
+  std::size_t prime_cursor() const { return primes_.cursor(); }
+  /// Rewinds or advances the cursor to exactly `cursor` (journal replay).
+  void set_prime_cursor(std::size_t cursor) {
+    primes_.Reset();
+    primes_.SkipFirst(cursor);
+  }
 
   /// The full label (product of root-path self-labels).
   const BigInt& label(NodeId id) const {

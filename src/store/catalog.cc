@@ -9,7 +9,8 @@ namespace primelabel {
 
 namespace {
 
-constexpr char kMagic[8] = {'P', 'L', 'C', 'A', 'T', 'L', 'G', '2'};
+/// Shared 7-byte magic prefix; the eighth byte is the ASCII format digit.
+constexpr char kMagicPrefix[7] = {'P', 'L', 'C', 'A', 'T', 'L', 'G'};
 
 /// Minimal little-endian binary writer over stdio (no iostream locale
 /// overhead; databases write pages, not text).
@@ -104,12 +105,63 @@ class Reader {
   bool ok_ = true;
 };
 
+/// Packed on-disk image of a LabelFingerprint: 7 residues, the prime
+/// mask, bit length and trailing zeros, all little-endian. Encoded and
+/// decoded through one 72-byte buffer so the v3 per-row overhead is a
+/// single stdio call, not ten — the format is byte-identical to writing
+/// the fields individually.
+constexpr std::size_t kFingerprintImageBytes =
+    sizeof(LabelFingerprint{}.residues) + 8 + 4 + 4;
+
+void PackFingerprint(const LabelFingerprint& fp,
+                     std::uint8_t out[kFingerprintImageBytes]) {
+  std::size_t at = 0;
+  auto put64 = [&](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) out[at++] = static_cast<std::uint8_t>(v >> (8 * i));
+  };
+  auto put32 = [&](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out[at++] = static_cast<std::uint8_t>(v >> (8 * i));
+  };
+  for (std::uint64_t residue : fp.residues) put64(residue);
+  put64(fp.prime_mask);
+  put32(static_cast<std::uint32_t>(fp.bit_length));
+  put32(static_cast<std::uint32_t>(fp.trailing_zeros));
+}
+
+void UnpackFingerprint(const std::uint8_t in[kFingerprintImageBytes],
+                       LabelFingerprint* fp) {
+  std::size_t at = 0;
+  auto get64 = [&] {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(in[at++]) << (8 * i);
+    return v;
+  };
+  auto get32 = [&] {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(in[at++]) << (8 * i);
+    return v;
+  };
+  for (std::uint64_t& residue : fp->residues) residue = get64();
+  fp->prime_mask = get64();
+  fp->bit_length = static_cast<std::int32_t>(get32());
+  fp->trailing_zeros = static_cast<std::int32_t>(get32());
+}
+
 }  // namespace
 
 LoadedCatalog::LoadedCatalog(std::vector<CatalogRow> rows, ScTable sc_table)
     : rows_(std::move(rows)), sc_table_(std::move(sc_table)) {
   fps_.reserve(rows_.size());
   for (const CatalogRow& r : rows_) fps_.push_back(FingerprintOf(r.label));
+}
+
+LoadedCatalog::LoadedCatalog(std::vector<CatalogRow> rows, ScTable sc_table,
+                             AdoptFingerprints)
+    : rows_(std::move(rows)),
+      sc_table_(std::move(sc_table)),
+      fingerprints_persisted_(true) {
+  fps_.reserve(rows_.size());
+  for (const CatalogRow& r : rows_) fps_.push_back(r.fingerprint);
 }
 
 bool LoadedCatalog::IsAncestor(NodeId x, NodeId y) const {
@@ -240,13 +292,27 @@ void LoadedCatalog::SelectAncestors(NodeId descendant,
 
 Status WriteCatalog(const std::string& path,
                     const std::vector<CatalogRow>& rows,
-                    const ScTable& sc_table) {
+                    const ScTable& sc_table,
+                    const CatalogWriteOptions& options) {
+  if (options.format_version < kCatalogMinSupportedVersion ||
+      options.format_version > kCatalogFormatVersion) {
+    return Status::InvalidArgument(
+        "cannot write catalog format version " +
+        std::to_string(options.format_version) + " (supported: " +
+        std::to_string(kCatalogMinSupportedVersion) + " .. " +
+        std::to_string(kCatalogFormatVersion) + ")");
+  }
+  const bool v3 = options.format_version >= 3;
   std::FILE* file = std::fopen(path.c_str(), "wb");
   if (file == nullptr) {
     return Status::InvalidArgument("cannot open '" + path + "' for writing");
   }
   Writer writer(file);
-  writer.Bytes(kMagic, sizeof(kMagic));
+  writer.Bytes(kMagicPrefix, sizeof(kMagicPrefix));
+  writer.U8(static_cast<std::uint8_t>('0' + options.format_version));
+  // v3: fingerprints are only as good as the configuration they were
+  // computed with; stamp the file so the loader can tell.
+  if (v3) writer.U64(FingerprintConfigHash());
 
   writer.U64(rows.size());
   for (const CatalogRow& row : rows) {
@@ -260,6 +326,11 @@ Status WriteCatalog(const std::string& path,
     }
     writer.Big(row.label);
     writer.U64(row.self);
+    if (v3) {
+      std::uint8_t image[kFingerprintImageBytes];
+      PackFingerprint(row.fingerprint, image);
+      writer.Bytes(image, sizeof(image));
+    }
   }
 
   // SC table: group size + records.
@@ -287,9 +358,35 @@ Result<LoadedCatalog> LoadCatalog(const std::string& path) {
   Reader reader(file);
   char magic[8] = {};
   reader.Bytes(magic, sizeof(magic));
-  if (!reader.ok() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+  if (!reader.ok() ||
+      std::memcmp(magic, kMagicPrefix, sizeof(kMagicPrefix)) != 0) {
     std::fclose(file);
     return Status::ParseError("'" + path + "' is not a primelabel catalog");
+  }
+  // Explicit version gate: name what was found and what this binary
+  // supports, so a stale file or a too-new writer is diagnosable from the
+  // message alone (no silent acceptance, no bare "bad magic").
+  const int version = magic[7] - '0';
+  if (version < kCatalogMinSupportedVersion ||
+      version > kCatalogFormatVersion) {
+    std::fclose(file);
+    const bool is_digit = magic[7] >= '0' && magic[7] <= '9';
+    return Status::ParseError(
+        "catalog '" + path + "' has format version " +
+        (is_digit ? std::to_string(version)
+                  : "'" + std::string(1, magic[7]) + "'") +
+        "; this build supports versions " +
+        std::to_string(kCatalogMinSupportedVersion) + " .. " +
+        std::to_string(kCatalogFormatVersion));
+  }
+  const bool v3 = version >= 3;
+  // A v3 file computed its fingerprints against a specific chunk-table
+  // configuration; a mismatch means the persisted fingerprints describe a
+  // different residue system and must be recomputed (fall back, do not
+  // fail — labels are still exact).
+  bool adopt_fingerprints = false;
+  if (v3) {
+    adopt_fingerprints = reader.U64() == FingerprintConfigHash();
   }
 
   std::uint64_t row_count = reader.U64();
@@ -316,6 +413,12 @@ Result<LoadedCatalog> LoadCatalog(const std::string& path) {
     }
     row.label = reader.Big();
     row.self = reader.U64();
+    if (v3) {
+      std::uint8_t image[kFingerprintImageBytes];
+      if (reader.Bytes(image, sizeof(image))) {
+        UnpackFingerprint(image, &row.fingerprint);
+      }
+    }
     rows.push_back(std::move(row));
   }
 
@@ -337,8 +440,14 @@ Result<LoadedCatalog> LoadCatalog(const std::string& path) {
   if (!ok || group_size < 1) {
     return Status::ParseError("truncated or corrupt catalog '" + path + "'");
   }
-  return LoadedCatalog(std::move(rows),
-                       ScTable::FromRecords(group_size, std::move(records)));
+  ScTable sc_table = ScTable::FromRecords(group_size, std::move(records));
+  LoadedCatalog catalog =
+      adopt_fingerprints
+          ? LoadedCatalog(std::move(rows), std::move(sc_table),
+                          LoadedCatalog::AdoptFingerprints{})
+          : LoadedCatalog(std::move(rows), std::move(sc_table));
+  catalog.format_version_ = version;
+  return catalog;
 }
 
 }  // namespace primelabel

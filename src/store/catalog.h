@@ -23,7 +23,19 @@ namespace primelabel {
 /// records, in a little-endian binary format with a magic/version header.
 ///
 /// Format v2 ("PLCATLG2") adds per-row attributes so a LabeledDocument can
-/// be reconstructed losslessly; v1 files are rejected with kParseError.
+/// be reconstructed losslessly. Format v3 ("PLCATLG3") additionally
+/// persists each row's divisibility fingerprint together with a hash of
+/// the fingerprint configuration (the 7-chunk residue table), so loading
+/// skips the per-row FingerprintOf pass; a v3 file whose config hash does
+/// not match the running binary falls back to recomputing. v2 files stay
+/// loadable (fingerprints recomputed); anything else is rejected with a
+/// kParseError naming the found and supported versions.
+
+/// Newest format WriteCatalog emits, and the ceiling LoadCatalog accepts.
+inline constexpr int kCatalogFormatVersion = 3;
+/// Oldest format LoadCatalog still reads.
+inline constexpr int kCatalogMinSupportedVersion = 2;
+
 struct CatalogRow {
   std::string tag;          ///< element tag or text content
   bool is_element = true;
@@ -32,6 +44,9 @@ struct CatalogRow {
   std::vector<std::pair<std::string, std::string>> attributes;
   BigInt label;              ///< full prime label
   std::uint64_t self = 1;    ///< self-label (prime; 1 for the root)
+  /// Divisibility fingerprint of `label`. Persisted by format v3; left
+  /// default by v2 loads (the LoadedCatalog recomputes it then).
+  LabelFingerprint fingerprint;
 };
 
 /// A catalog loaded back from disk: rows in document order plus the SC
@@ -44,13 +59,33 @@ struct CatalogRow {
 /// what lets one query pipeline (and one test suite) run against both.
 class LoadedCatalog : public StructureOracle {
  public:
-  /// Derives a divisibility fingerprint per row at load time (labels on
+  /// Derives a divisibility fingerprint per row at load time (v2 labels on
   /// disk carry none), so batched queries over a reloaded catalog run the
   /// same fast path as the live scheme.
   LoadedCatalog(std::vector<CatalogRow> rows, ScTable sc_table);
 
+  /// Adopts the fingerprints already present in `rows` (format v3 with a
+  /// matching config hash) instead of recomputing them — the load-time win
+  /// the v3 bump buys. Callers must have validated the config hash.
+  struct AdoptFingerprints {};
+  LoadedCatalog(std::vector<CatalogRow> rows, ScTable sc_table,
+                AdoptFingerprints);
+
   const std::vector<CatalogRow>& rows() const { return rows_; }
   const ScTable& sc_table() const { return sc_table_; }
+
+  /// Format version of the file this catalog was loaded from (writers and
+  /// in-memory constructions report the current version).
+  int format_version() const { return format_version_; }
+  /// True when the on-disk fingerprints were adopted verbatim; false when
+  /// they were recomputed (v2 file, or v3 with a stale config hash).
+  bool fingerprints_persisted() const { return fingerprints_persisted_; }
+
+  /// Moves the per-row fingerprints out (NodeId == row index, the same
+  /// indexing the schemes use) — LabeledDocument::Load hands them to
+  /// OrderedPrimeScheme::Adopt so the document path skips the recompute
+  /// pass too. The catalog must not be queried afterwards.
+  std::vector<LabelFingerprint> TakeFingerprints() { return std::move(fps_); }
 
   /// Divisibility ancestor test over stored labels.
   bool IsAncestor(NodeId x, NodeId y) const override;
@@ -79,17 +114,32 @@ class LoadedCatalog : public StructureOracle {
   std::vector<CatalogRow> rows_;
   std::vector<LabelFingerprint> fps_;
   ScTable sc_table_;
+  int format_version_ = kCatalogFormatVersion;
+  bool fingerprints_persisted_ = false;
+
+  friend Result<LoadedCatalog> LoadCatalog(const std::string& path);
+};
+
+/// Knobs for WriteCatalog. The version knob exists for compatibility
+/// testing and the v2-vs-v3 load benchmarks; production callers take the
+/// default (newest) format.
+struct CatalogWriteOptions {
+  int format_version = kCatalogFormatVersion;
 };
 
 /// Row-level catalog writer: rows must be in document order with parents
-/// referenced by row index. Document-level callers go through
-/// SaveCatalog(path, LabeledDocument) in corpus/, which assembles the rows.
+/// referenced by row index (v3 additionally persists each row's
+/// fingerprint, which the caller must have filled in). Document-level
+/// callers go through SaveCatalog(path, LabeledDocument) in corpus/, which
+/// assembles the rows.
 Status WriteCatalog(const std::string& path,
                     const std::vector<CatalogRow>& rows,
-                    const ScTable& sc_table);
+                    const ScTable& sc_table,
+                    const CatalogWriteOptions& options = {});
 
 /// Reads a catalog written by WriteCatalog. Fails with kParseError on a bad
-/// magic/version or truncated file.
+/// magic, an unsupported version (the message names found vs. supported
+/// versions) or a truncated file.
 Result<LoadedCatalog> LoadCatalog(const std::string& path);
 
 }  // namespace primelabel

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "bigint/reduction.h"
 #include "corpus/labeled_document.h"
 #include "xml/datasets.h"
 #include "xml/shakespeare.h"
@@ -190,6 +191,113 @@ TEST(CatalogAttributes, RoundTripThroughSaveAndLoad) {
   ASSERT_NE(text, kInvalidNodeId);
   EXPECT_FALSE(restored->tree().IsElement(text));
   EXPECT_EQ(restored->tree().name(text), "payload");
+}
+
+TEST_F(CatalogTest, V3PersistsFingerprintsAndSkipsRecompute) {
+  std::string path = TempPath("v3-fps.plc");
+  ASSERT_TRUE(doc_->Save(path).ok());
+
+  // Loading a v3 catalog whose config hash matches this binary must adopt
+  // the stored fingerprints wholesale: zero FingerprintOf calls on the
+  // load path (counter-instrumented in bigint/reduction.cc).
+  std::uint64_t before = FingerprintComputeCount();
+  Result<LoadedCatalog> loaded = LoadCatalog(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->format_version(), 3);
+  EXPECT_TRUE(loaded->fingerprints_persisted());
+  EXPECT_EQ(FingerprintComputeCount(), before);
+
+  // The document-level load adopts them too.
+  before = FingerprintComputeCount();
+  Result<LabeledDocument> restored = LabeledDocument::Load(path);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(FingerprintComputeCount(), before);
+
+  // Adopted fingerprints reject/accept exactly like recomputed ones.
+  std::vector<NodeId> live = restored->Query("//speech").value();
+  EXPECT_EQ(live.size(), doc_->Query("//speech").value().size());
+  std::remove(path.c_str());
+}
+
+TEST_F(CatalogTest, V2FilesStayLoadableWithRecompute) {
+  std::string v3_path = TempPath("compat.plc");
+  ASSERT_TRUE(doc_->Save(v3_path).ok());
+  Result<LoadedCatalog> v3 = LoadCatalog(v3_path);
+  ASSERT_TRUE(v3.ok());
+
+  // Re-emit the same rows as format v2 (the compatibility knob).
+  std::string v2_path = TempPath("compat-v2.plc");
+  CatalogWriteOptions options;
+  options.format_version = 2;
+  ASSERT_TRUE(
+      WriteCatalog(v2_path, v3->rows(), v3->sc_table(), options).ok());
+
+  std::uint64_t before = FingerprintComputeCount();
+  Result<LoadedCatalog> v2 = LoadCatalog(v2_path);
+  ASSERT_TRUE(v2.ok()) << v2.status().ToString();
+  EXPECT_EQ(v2->format_version(), 2);
+  EXPECT_FALSE(v2->fingerprints_persisted());
+  // The v2 path pays the per-row recompute the v3 format eliminates.
+  EXPECT_GE(FingerprintComputeCount() - before, v2->rows().size());
+
+  // Both answer identically.
+  for (std::size_t x = 0; x < v2->rows().size(); x += 5) {
+    for (std::size_t y = 0; y < v2->rows().size(); y += 3) {
+      EXPECT_EQ(v2->IsAncestor(x, y), v3->IsAncestor(x, y));
+    }
+    EXPECT_EQ(v2->OrderOf(x), v3->OrderOf(x));
+  }
+  std::remove(v3_path.c_str());
+  std::remove(v2_path.c_str());
+}
+
+TEST_F(CatalogTest, V3StaleConfigHashFallsBackToRecompute) {
+  std::string path = TempPath("stale-hash.plc");
+  ASSERT_TRUE(doc_->Save(path).ok());
+
+  // Flip a byte of the stored FingerprintConfigHash (the 8 bytes right
+  // after the magic): the stored fingerprints were built by a "different"
+  // binary, so the load must recompute rather than adopt.
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 8, SEEK_SET);
+  int byte = std::fgetc(f);
+  std::fseek(f, 8, SEEK_SET);
+  std::fputc(byte ^ 0x5A, f);
+  std::fclose(f);
+
+  std::uint64_t before = FingerprintComputeCount();
+  Result<LoadedCatalog> loaded = LoadCatalog(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->format_version(), 3);
+  EXPECT_FALSE(loaded->fingerprints_persisted());
+  EXPECT_GE(FingerprintComputeCount() - before, loaded->rows().size());
+
+  // Recomputed fingerprints keep the oracle sound.
+  std::vector<NodeId> preorder = tree().PreorderNodes();
+  for (std::size_t x = 0; x < preorder.size(); x += 7) {
+    for (std::size_t y = 0; y < preorder.size(); y += 5) {
+      EXPECT_EQ(loaded->IsAncestor(x, y),
+                tree().IsAncestor(preorder[x], preorder[y]));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CatalogErrors, UnsupportedVersionNamesFoundAndSupported) {
+  // A future-format file must fail with a message naming what was found
+  // and what this build can read — not a generic parse error.
+  std::string path = TempPath("v7.plc");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fputs("PLCATLG7", f);
+  std::fclose(f);
+  Result<LoadedCatalog> loaded = LoadCatalog(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+  std::string message = loaded.status().ToString();
+  EXPECT_NE(message.find("format version 7"), std::string::npos) << message;
+  EXPECT_NE(message.find("2 .. 3"), std::string::npos) << message;
+  std::remove(path.c_str());
 }
 
 TEST(CatalogErrors, MissingFile) {

@@ -1,0 +1,663 @@
+#include "corpus/durable_document_store.h"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <random>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "durability/frame.h"
+#include "durability/recovery.h"
+#include "durability/wal.h"
+#include "xml/serializer.h"
+#include "xml/shakespeare.h"
+
+namespace primelabel {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempDirPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+void RemoveTree(const std::string& dir) {
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+}
+
+std::vector<std::uint8_t> ReadFileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t chunk[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    bytes.insert(bytes.end(), chunk, chunk + got);
+  }
+  std::fclose(f);
+  return bytes;
+}
+
+void WriteFileBytes(const std::string& path,
+                    std::span<const std::uint8_t> bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr) << path;
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+}
+
+/// Full observable state of a document: structure, tags, every label and
+/// self-label, and every order number. Two documents with equal digests
+/// answer every oracle query identically.
+std::string StateDigest(const LabeledDocument& doc) {
+  std::ostringstream out;
+  doc.tree().Preorder([&](NodeId id, int depth) {
+    out << depth << '|' << doc.tree().name(id) << '|'
+        << doc.scheme().structure().self_label(id) << '|'
+        << doc.scheme().structure().label(id).ToHexString() << '|'
+        << doc.scheme().OrderOf(id) << '\n';
+  });
+  return out.str();
+}
+
+std::string SmallPlayXml() {
+  PlayOptions options;
+  options.acts = 2;
+  options.scenes_per_act = 2;
+  options.min_speeches_per_scene = 2;
+  options.max_speeches_per_scene = 3;
+  options.seed = 7;
+  return SerializeXml(GeneratePlay("crash", options));
+}
+
+std::vector<NodeId> NonRootElements(const XmlTree& tree) {
+  std::vector<NodeId> out;
+  tree.Preorder([&](NodeId id, int) {
+    if (id != tree.root() && tree.IsElement(id)) out.push_back(id);
+  });
+  return out;
+}
+
+// --- Frame codec --------------------------------------------------------
+
+WalRecord SampleInsert() {
+  WalRecord r;
+  r.type = WalRecord::Type::kInsert;
+  r.op = WalRecord::Op::kInsertBefore;
+  r.anchor_self = 101;
+  r.prime_cursor = 42;
+  r.new_self = 103;
+  r.tag = "scene";
+  r.order = InsertOrder::kDocumentOrder;
+  return r;
+}
+
+TEST(DurabilityFrame, RecordRoundTripsAllTypes) {
+  WalRecord del;
+  del.type = WalRecord::Type::kDelete;
+  del.anchor_self = 977;
+
+  WalRecord sc;
+  sc.type = WalRecord::Type::kScRewrite;
+  sc.anchor_self = 103;
+  sc.sc_records_updated = 3;
+  sc.sc_nodes_relabeled = 2;
+  sc.sc_max_order = 900;
+
+  for (const WalRecord& record : {SampleInsert(), del, sc}) {
+    std::vector<std::uint8_t> payload = EncodeRecord(record);
+    Result<WalRecord> decoded = DecodeRecord(payload);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(*decoded, record);
+  }
+}
+
+TEST(DurabilityFrame, CrcKnownAnswer) {
+  // CRC-32 ("123456789") == 0xCBF43926 — the classic check value for the
+  // IEEE reflected polynomial.
+  const char* digits = "123456789";
+  std::span<const std::uint8_t> bytes(
+      reinterpret_cast<const std::uint8_t*>(digits), 9);
+  EXPECT_EQ(Crc32(bytes), 0xCBF43926u);
+}
+
+TEST(DurabilityFrame, ScanStopsAtFlippedByte) {
+  std::vector<std::uint8_t> buffer;
+  AppendFrame(EncodeRecord(SampleInsert()), &buffer);
+  const std::uint64_t first_frame = buffer.size();
+  AppendFrame(EncodeRecord(SampleInsert()), &buffer);
+  // Flip a payload byte inside the second frame.
+  buffer[first_frame + 10] ^= 0x40;
+
+  FrameScan scan = ScanFrames(buffer);
+  ASSERT_EQ(scan.records.size(), 1u);
+  EXPECT_EQ(scan.valid_bytes, first_frame);
+  EXPECT_TRUE(scan.tail_truncated);
+  EXPECT_EQ(scan.bytes_dropped, buffer.size() - first_frame);
+}
+
+TEST(DurabilityFrame, ScanStopsAtTornTail) {
+  std::vector<std::uint8_t> buffer;
+  AppendFrame(EncodeRecord(SampleInsert()), &buffer);
+  const std::uint64_t first_frame = buffer.size();
+  AppendFrame(EncodeRecord(SampleInsert()), &buffer);
+  for (std::size_t cut = first_frame; cut < buffer.size(); ++cut) {
+    FrameScan scan = ScanFrames(
+        std::span<const std::uint8_t>(buffer.data(), cut));
+    EXPECT_EQ(scan.records.size(), 1u) << "cut at " << cut;
+    EXPECT_EQ(scan.valid_bytes, first_frame) << "cut at " << cut;
+    EXPECT_EQ(scan.tail_truncated, cut != first_frame) << "cut at " << cut;
+  }
+}
+
+TEST(DurabilityFrame, ScanRejectsImplausibleLength) {
+  std::vector<std::uint8_t> buffer(12, 0);
+  buffer[3] = 0x7F;  // payload_len with a huge high byte
+  FrameScan scan = ScanFrames(buffer);
+  EXPECT_TRUE(scan.records.empty());
+  EXPECT_EQ(scan.valid_bytes, 0u);
+  EXPECT_TRUE(scan.tail_truncated);
+}
+
+// --- WAL ----------------------------------------------------------------
+
+TEST(DurabilityWal, GroupCommitBuffersUntilFull) {
+  std::string path = TempDirPath("group.wal");
+  std::remove(path.c_str());
+  WalOptions options;
+  options.group_commit_records = 4;
+  {
+    Result<WriteAheadLog> wal = WriteAheadLog::Open(path, options);
+    ASSERT_TRUE(wal.ok());
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(wal->Append(SampleInsert()).ok());
+    }
+    EXPECT_EQ(wal->pending_records(), 3);
+    EXPECT_EQ(wal->committed_frames(), 0u);
+    // Nothing on disk yet: the group is still open.
+    Result<WalReadResult> read = ReadWal(path);
+    ASSERT_TRUE(read.ok());
+    EXPECT_TRUE(read->records.empty());
+
+    ASSERT_TRUE(wal->Append(SampleInsert()).ok());  // fourth → auto-commit
+    EXPECT_EQ(wal->pending_records(), 0);
+    EXPECT_EQ(wal->committed_frames(), 4u);
+    read = ReadWal(path);
+    ASSERT_TRUE(read.ok());
+    EXPECT_EQ(read->records.size(), 4u);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DurabilityWal, DestructorCommitsPartialGroup) {
+  std::string path = TempDirPath("dtor.wal");
+  std::remove(path.c_str());
+  WalOptions options;
+  options.group_commit_records = 100;
+  {
+    Result<WriteAheadLog> wal = WriteAheadLog::Open(path, options);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE(wal->Append(SampleInsert()).ok());
+    ASSERT_TRUE(wal->Append(SampleInsert()).ok());
+  }  // clean shutdown: the destructor commits the open group
+  Result<WalReadResult> read = ReadWal(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->records.size(), 2u);
+  EXPECT_FALSE(read->tail_truncated);
+  std::remove(path.c_str());
+}
+
+TEST(DurabilityWal, ReopenResumesAfterIntactPrefix) {
+  std::string path = TempDirPath("resume.wal");
+  std::remove(path.c_str());
+  {
+    Result<WriteAheadLog> wal = WriteAheadLog::Open(path);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE(wal->Append(SampleInsert()).ok());
+    ASSERT_TRUE(wal->Append(SampleInsert()).ok());
+  }
+  // Simulate a torn tail: append garbage the next writer must drop.
+  std::vector<std::uint8_t> bytes = ReadFileBytes(path);
+  const std::uint64_t intact = bytes.size();
+  bytes.insert(bytes.end(), {0x11, 0x22, 0x33});
+  WriteFileBytes(path, bytes);
+
+  Result<WalReadResult> read = ReadWal(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->valid_bytes, intact);
+  EXPECT_TRUE(read->tail_truncated);
+
+  {
+    Result<WriteAheadLog> wal =
+        WriteAheadLog::Open(path, WalOptions{}, read->valid_bytes);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE(wal->Append(SampleInsert()).ok());
+  }
+  read = ReadWal(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->records.size(), 3u);
+  EXPECT_FALSE(read->tail_truncated);
+  std::remove(path.c_str());
+}
+
+TEST(DurabilityWal, MissingFileIsNotFound) {
+  Result<WalReadResult> read = ReadWal(TempDirPath("absent.wal"));
+  EXPECT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kNotFound);
+}
+
+// --- Store lifecycle ----------------------------------------------------
+
+TEST(DurabilityStore, CreateOpenRoundTrip) {
+  std::string dir = TempDirPath("store-roundtrip");
+  RemoveTree(dir);
+  std::string live_digest;
+  {
+    Result<DurableDocumentStore> store =
+        DurableDocumentStore::Create(dir, SmallPlayXml());
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    EXPECT_TRUE(DurableDocumentStore::Exists(dir));
+    EXPECT_EQ(store->epoch(), 0u);
+
+    std::vector<NodeId> scenes = store->Query("//scene").value();
+    ASSERT_GE(scenes.size(), 2u);
+    ASSERT_TRUE(store->AppendChild(scenes[0], "speech").ok());
+    ASSERT_TRUE(store->InsertBefore(scenes[1], "scene").ok());
+    ASSERT_TRUE(store->Flush().ok());
+    live_digest = StateDigest(store->document());
+  }
+  {
+    Result<DurableDocumentStore> store = DurableDocumentStore::Open(dir);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    EXPECT_EQ(store->recovery_stats().inserts_applied, 2u);
+    EXPECT_EQ(store->recovery_stats().sc_checks, 2u);
+    EXPECT_FALSE(store->recovery_stats().tail_truncated);
+    EXPECT_EQ(StateDigest(store->document()), live_digest);
+  }
+  RemoveTree(dir);
+}
+
+TEST(DurabilityStore, CreateRefusesExistingStore) {
+  std::string dir = TempDirPath("store-exists");
+  RemoveTree(dir);
+  ASSERT_TRUE(DurableDocumentStore::Create(dir, SmallPlayXml()).ok());
+  Result<DurableDocumentStore> second =
+      DurableDocumentStore::Create(dir, SmallPlayXml());
+  EXPECT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kInvalidArgument);
+  RemoveTree(dir);
+}
+
+TEST(DurabilityStore, CheckpointCompactsJournalAndDropsOldEpoch) {
+  std::string dir = TempDirPath("store-checkpoint");
+  RemoveTree(dir);
+  std::string live_digest;
+  {
+    Result<DurableDocumentStore> store =
+        DurableDocumentStore::Create(dir, SmallPlayXml());
+    ASSERT_TRUE(store.ok());
+    std::vector<NodeId> speeches = store->Query("//speech").value();
+    ASSERT_GE(speeches.size(), 3u);
+    ASSERT_TRUE(store->InsertAfter(speeches[0], "speech").ok());
+    ASSERT_TRUE(store->Wrap(speeches[2], "aside").ok());
+    ASSERT_TRUE(store->Delete(speeches[1]).ok());
+    ASSERT_TRUE(store->Checkpoint().ok());
+    EXPECT_EQ(store->epoch(), 1u);
+    live_digest = StateDigest(store->document());
+
+    EXPECT_FALSE(fs::exists(DurableDocumentStore::SnapshotPath(dir, 0)));
+    EXPECT_FALSE(fs::exists(DurableDocumentStore::JournalPath(dir, 0)));
+    EXPECT_TRUE(fs::exists(DurableDocumentStore::SnapshotPath(dir, 1)));
+    EXPECT_TRUE(fs::exists(DurableDocumentStore::JournalPath(dir, 1)));
+  }
+  {
+    Result<DurableDocumentStore> store = DurableDocumentStore::Open(dir);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    EXPECT_EQ(store->epoch(), 1u);
+    // The checkpoint folded everything into the snapshot: nothing replays.
+    EXPECT_EQ(store->recovery_stats().inserts_applied, 0u);
+    EXPECT_EQ(store->recovery_stats().deletes_applied, 0u);
+    EXPECT_EQ(StateDigest(store->document()), live_digest);
+  }
+  RemoveTree(dir);
+}
+
+TEST(DurabilityStore, DeleteOfRootIsRejected) {
+  std::string dir = TempDirPath("store-delroot");
+  RemoveTree(dir);
+  Result<DurableDocumentStore> store =
+      DurableDocumentStore::Create(dir, SmallPlayXml());
+  ASSERT_TRUE(store.ok());
+  Status deleted = store->Delete(store->document().tree().root());
+  EXPECT_FALSE(deleted.ok());
+  EXPECT_EQ(deleted.code(), StatusCode::kInvalidArgument);
+  RemoveTree(dir);
+}
+
+// --- Deterministic fault injection --------------------------------------
+
+/// Runs a mixed mutation workload against a freshly created store,
+/// capturing the state digest after every operation. digests[0] is the
+/// post-Create state; digests[i] the state after the i-th op.
+struct WorkloadRun {
+  std::string dir;
+  std::vector<std::string> digests;
+};
+
+WorkloadRun RunWorkload(const char* name, int ops, unsigned seed) {
+  WorkloadRun run;
+  run.dir = TempDirPath(name);
+  RemoveTree(run.dir);
+  Result<DurableDocumentStore> store =
+      DurableDocumentStore::Create(run.dir, SmallPlayXml());
+  EXPECT_TRUE(store.ok()) << store.status().ToString();
+  run.digests.push_back(StateDigest(store->document()));
+
+  std::mt19937 rng(seed);
+  for (int i = 0; i < ops; ++i) {
+    std::vector<NodeId> elements = NonRootElements(store->document().tree());
+    NodeId anchor = elements[rng() % elements.size()];
+    switch (rng() % 5) {
+      case 0:
+        EXPECT_TRUE(store->InsertBefore(anchor, "ib").ok());
+        break;
+      case 1:
+        EXPECT_TRUE(store->InsertAfter(anchor, "ia").ok());
+        break;
+      case 2:
+        EXPECT_TRUE(store->AppendChild(anchor, "ac").ok());
+        break;
+      case 3:
+        EXPECT_TRUE(store->Wrap(anchor, "wr").ok());
+        break;
+      case 4:
+        // Keep the tree from shrinking away: delete only while roomy.
+        if (elements.size() > 20) {
+          EXPECT_TRUE(store->Delete(anchor).ok());
+        } else {
+          EXPECT_TRUE(store->AppendChild(anchor, "ac").ok());
+        }
+        break;
+    }
+    run.digests.push_back(StateDigest(store->document()));
+  }
+  EXPECT_TRUE(store->Flush().ok());
+  return run;
+}
+
+/// Frame start offsets in a journal file (after the 8-byte magic), plus
+/// the end-of-file offset.
+std::vector<std::uint64_t> FrameBoundaries(
+    std::span<const std::uint8_t> bytes) {
+  std::vector<std::uint64_t> boundaries;
+  std::uint64_t off = 8;
+  while (off + 8 <= bytes.size()) {
+    std::uint32_t len = 0;
+    std::memcpy(&len, bytes.data() + off, 4);
+    boundaries.push_back(off);
+    off += 8 + len;
+    if (off > bytes.size()) break;
+  }
+  boundaries.push_back(std::min<std::uint64_t>(off, bytes.size()));
+  return boundaries;
+}
+
+/// Copies the store, truncates the journal copy to `kill` bytes, recovers,
+/// and checks the recovered state digest equals the live run's digest at
+/// the number of operations the intact prefix holds.
+void CheckKillPoint(const WorkloadRun& run,
+                    std::span<const std::uint8_t> journal,
+                    std::uint64_t kill, const std::string& scratch_dir) {
+  RemoveTree(scratch_dir);
+  fs::create_directories(scratch_dir);
+  fs::copy(DurableDocumentStore::ManifestPath(run.dir),
+           DurableDocumentStore::ManifestPath(scratch_dir));
+  fs::copy(DurableDocumentStore::SnapshotPath(run.dir, 0),
+           DurableDocumentStore::SnapshotPath(scratch_dir, 0));
+  WriteFileBytes(DurableDocumentStore::JournalPath(scratch_dir, 0),
+                 journal.subspan(0, kill));
+
+  Result<DurableDocumentStore> store = DurableDocumentStore::Open(scratch_dir);
+  ASSERT_TRUE(store.ok()) << "kill at " << kill << ": "
+                          << store.status().ToString();
+  const RecoveryStats& stats = store->recovery_stats();
+  std::uint64_t ops = stats.inserts_applied + stats.deletes_applied;
+  ASSERT_LT(ops, run.digests.size()) << "kill at " << kill;
+  EXPECT_EQ(StateDigest(store->document()), run.digests[ops])
+      << "kill at " << kill << " recovered " << ops << " ops";
+  RemoveTree(scratch_dir);
+}
+
+TEST(DurabilityFaultInjection, EveryFrameBoundaryAndMidFrameKill) {
+  WorkloadRun run = RunWorkload("fault-base", /*ops=*/16, /*seed=*/1234);
+  std::vector<std::uint8_t> journal =
+      ReadFileBytes(DurableDocumentStore::JournalPath(run.dir, 0));
+  std::vector<std::uint64_t> boundaries = FrameBoundaries(journal);
+  ASSERT_GE(boundaries.size(), 2u);
+  // The full file recovers every op.
+  ASSERT_EQ(boundaries.back(), journal.size());
+
+  std::set<std::uint64_t> kills;
+  kills.insert(0);  // empty journal: snapshot-only
+  kills.insert(4);  // torn magic
+  for (std::size_t i = 0; i + 1 < boundaries.size(); ++i) {
+    std::uint64_t start = boundaries[i];
+    std::uint64_t end = boundaries[i + 1];
+    kills.insert(start);            // clean cut at the boundary
+    kills.insert(start + 1);        // torn length field
+    kills.insert(start + 8);        // header intact, payload missing
+    kills.insert((start + end) / 2);  // mid-payload
+  }
+  kills.insert(journal.size());  // no kill at all
+
+  std::string scratch = TempDirPath("fault-scratch");
+  for (std::uint64_t kill : kills) {
+    if (kill > journal.size()) continue;
+    CheckKillPoint(run, journal, kill, scratch);
+  }
+
+  // Sanity: the uncut journal replays the whole workload.
+  Result<DurableDocumentStore> full = DurableDocumentStore::Open(run.dir);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(StateDigest(full->document()), run.digests.back());
+  RemoveTree(run.dir);
+}
+
+TEST(DurabilityFaultInjection, FlippedByteTruncatesAtCorruptFrame) {
+  WorkloadRun run = RunWorkload("fault-flip", /*ops=*/10, /*seed=*/99);
+  std::vector<std::uint8_t> journal =
+      ReadFileBytes(DurableDocumentStore::JournalPath(run.dir, 0));
+  std::vector<std::uint64_t> boundaries = FrameBoundaries(journal);
+  ASSERT_GE(boundaries.size(), 6u);
+
+  // Corrupt one payload byte in the middle of the 5th frame: recovery must
+  // keep everything before it and drop everything from it on.
+  std::vector<std::uint8_t> corrupted = journal;
+  std::uint64_t victim = boundaries[4] + 9;
+  corrupted[victim] ^= 0x01;
+  WriteFileBytes(DurableDocumentStore::JournalPath(run.dir, 0), corrupted);
+
+  Result<DurableDocumentStore> store = DurableDocumentStore::Open(run.dir);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_TRUE(store->recovery_stats().tail_truncated);
+  EXPECT_EQ(store->recovery_stats().journal_valid_bytes, boundaries[4]);
+  std::uint64_t ops = store->recovery_stats().inserts_applied +
+                      store->recovery_stats().deletes_applied;
+  EXPECT_EQ(StateDigest(store->document()), run.digests[ops]);
+  RemoveTree(run.dir);
+}
+
+TEST(DurabilityFaultInjection, RecoveredStoreAcceptsFurtherMutations) {
+  WorkloadRun run = RunWorkload("fault-continue", /*ops=*/8, /*seed=*/5);
+  std::vector<std::uint8_t> journal =
+      ReadFileBytes(DurableDocumentStore::JournalPath(run.dir, 0));
+  std::vector<std::uint64_t> boundaries = FrameBoundaries(journal);
+  // Kill mid-journal, recover, keep writing, reopen: the continuation must
+  // survive its own restart.
+  std::uint64_t kill = boundaries[boundaries.size() / 2] + 3;
+  WriteFileBytes(DurableDocumentStore::JournalPath(run.dir, 0),
+                 std::span<const std::uint8_t>(journal).subspan(0, kill));
+
+  std::string digest;
+  {
+    Result<DurableDocumentStore> store = DurableDocumentStore::Open(run.dir);
+    ASSERT_TRUE(store.ok());
+    std::vector<NodeId> scenes = store->Query("//scene").value();
+    ASSERT_FALSE(scenes.empty());
+    ASSERT_TRUE(store->AppendChild(scenes.back(), "epilogue").ok());
+    ASSERT_TRUE(store->Flush().ok());
+    digest = StateDigest(store->document());
+  }
+  Result<DurableDocumentStore> reopened = DurableDocumentStore::Open(run.dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(StateDigest(reopened->document()), digest);
+  EXPECT_EQ(reopened->Query("//epilogue").value().size(), 1u);
+  RemoveTree(run.dir);
+}
+
+TEST(DurabilityRecovery, ChecksummedButWrongJournalFailsLoudly) {
+  std::string dir = TempDirPath("diverge");
+  RemoveTree(dir);
+  {
+    Result<DurableDocumentStore> store =
+        DurableDocumentStore::Create(dir, SmallPlayXml());
+    ASSERT_TRUE(store.ok());
+    std::vector<NodeId> scenes = store->Query("//scene").value();
+    ASSERT_TRUE(store->AppendChild(scenes[0], "speech").ok());
+    ASSERT_TRUE(store->Flush().ok());
+  }
+  // Rewrite the journal with a record whose new_self claims a different
+  // prime than replay will derive. The frame checksums fine — this is the
+  // "valid journal, wrong content" case and must fail, not silently
+  // produce a different document.
+  std::string wal_path = DurableDocumentStore::JournalPath(dir, 0);
+  Result<WalReadResult> read = ReadWal(wal_path);
+  ASSERT_TRUE(read.ok());
+  ASSERT_FALSE(read->records.empty());
+  WalRecord tampered = read->records[0];
+  ASSERT_EQ(tampered.type, WalRecord::Type::kInsert);
+  tampered.new_self += 2;
+  std::vector<std::uint8_t> bytes(
+      {'P', 'L', 'W', 'A', 'L', 'O', 'G', '1'});
+  AppendFrame(EncodeRecord(tampered), &bytes);
+  WriteFileBytes(wal_path, bytes);
+
+  Result<DurableDocumentStore> store = DurableDocumentStore::Open(dir);
+  ASSERT_FALSE(store.ok());
+  EXPECT_EQ(store.status().code(), StatusCode::kInternal);
+  EXPECT_NE(store.status().ToString().find("diverged"), std::string::npos);
+  RemoveTree(dir);
+}
+
+// --- SC-table ordered-insert equivalence under replay -------------------
+
+/// Replays the journal on the snapshot and requires the recovered document
+/// to be bit-identical to the live one — labels, self-labels, and the full
+/// order relation (the SC table's answers).
+void ExpectReplayEquivalence(DurableDocumentStore& store) {
+  ASSERT_TRUE(store.Flush().ok());
+  RecoveryStats stats;
+  Result<LabeledDocument> recovered = RecoverDocument(
+      DurableDocumentStore::SnapshotPath(store.dir(), store.epoch()),
+      DurableDocumentStore::JournalPath(store.dir(), store.epoch()), &stats);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_FALSE(stats.tail_truncated);
+  EXPECT_EQ(StateDigest(*recovered), StateDigest(store.document()));
+
+  // Order numbers recovered via the SC table sort the tree into document
+  // order exactly like the live run's.
+  std::vector<std::uint64_t> live_orders, replay_orders;
+  store.document().tree().Preorder([&](NodeId id, int) {
+    live_orders.push_back(store.document().scheme().OrderOf(id));
+  });
+  recovered->tree().Preorder([&](NodeId id, int) {
+    replay_orders.push_back(recovered->scheme().OrderOf(id));
+  });
+  EXPECT_EQ(live_orders, replay_orders);
+}
+
+TEST(DurabilityScEquivalence, RandomLeafInsertWorkload) {
+  // Fig. 16/17 shape: a stream of leaf insertions at random positions,
+  // each triggering an SC-table rewrite of the sibling group.
+  std::string dir = TempDirPath("sc-leaf");
+  RemoveTree(dir);
+  Result<DurableDocumentStore> store =
+      DurableDocumentStore::Create(dir, SmallPlayXml());
+  ASSERT_TRUE(store.ok());
+  std::mt19937 rng(2718);
+  for (int i = 0; i < 24; ++i) {
+    std::vector<NodeId> speeches = store->Query("//speech").value();
+    ASSERT_FALSE(speeches.empty());
+    NodeId anchor = speeches[rng() % speeches.size()];
+    if (rng() % 2 == 0) {
+      ASSERT_TRUE(store->InsertBefore(anchor, "speech").ok());
+    } else {
+      ASSERT_TRUE(store->InsertAfter(anchor, "speech").ok());
+    }
+  }
+  ExpectReplayEquivalence(*store);
+  RemoveTree(dir);
+}
+
+TEST(DurabilityScEquivalence, SkewedHotSpotInsertWorkload) {
+  // Fig. 18 shape: every insertion lands before the same hot sibling, the
+  // worst case for order maintenance — maximal SC rewrites and frequent
+  // replacement self-labels.
+  std::string dir = TempDirPath("sc-hot");
+  RemoveTree(dir);
+  Result<DurableDocumentStore> store =
+      DurableDocumentStore::Create(dir, SmallPlayXml());
+  ASSERT_TRUE(store.ok());
+  std::vector<NodeId> scenes = store->Query("//scene").value();
+  ASSERT_FALSE(scenes.empty());
+  NodeId hot = scenes[0];
+  for (int i = 0; i < 20; ++i) {
+    Result<NodeId> fresh = store->InsertBefore(hot, "prologue");
+    ASSERT_TRUE(fresh.ok());
+    hot = *fresh;  // always insert before the newest node: fully skewed
+  }
+  ExpectReplayEquivalence(*store);
+  RemoveTree(dir);
+}
+
+TEST(DurabilityScEquivalence, NonLeafWrapAndDeleteWorkload) {
+  // Non-leaf mutations: Wrap relabels whole subtrees, Delete frees order
+  // slots — both must replay to the same SC state.
+  std::string dir = TempDirPath("sc-wrap");
+  RemoveTree(dir);
+  Result<DurableDocumentStore> store =
+      DurableDocumentStore::Create(dir, SmallPlayXml());
+  ASSERT_TRUE(store.ok());
+  std::mt19937 rng(31415);
+  for (int i = 0; i < 16; ++i) {
+    std::vector<NodeId> elements =
+        NonRootElements(store->document().tree());
+    NodeId anchor = elements[rng() % elements.size()];
+    switch (rng() % 3) {
+      case 0:
+        ASSERT_TRUE(store->Wrap(anchor, "wrap").ok());
+        break;
+      case 1:
+        ASSERT_TRUE(store->AppendChild(anchor, "child").ok());
+        break;
+      case 2:
+        if (elements.size() > 25) {
+          ASSERT_TRUE(store->Delete(anchor).ok());
+        } else {
+          ASSERT_TRUE(store->InsertAfter(anchor, "sibling").ok());
+        }
+        break;
+    }
+  }
+  ExpectReplayEquivalence(*store);
+  RemoveTree(dir);
+}
+
+}  // namespace
+}  // namespace primelabel
