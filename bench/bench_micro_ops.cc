@@ -7,6 +7,7 @@
 #include <filesystem>
 #include <iostream>
 #include <memory>
+#include <random>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -22,6 +23,7 @@
 #include "core/crt.h"
 #include "core/ordered_prime_scheme.h"
 #include "core/sc_table.h"
+#include "corpus/durable_document_store.h"
 #include "corpus/labeled_document.h"
 #include "labeling/dewey.h"
 #include "labeling/interval.h"
@@ -34,6 +36,7 @@
 #include "store/plan.h"
 #include "util/rng.h"
 #include "xml/datasets.h"
+#include "xml/serializer.h"
 #include "xml/shakespeare.h"
 
 namespace primelabel {
@@ -480,6 +483,99 @@ void BM_BigIntDivisibility(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BigIntDivisibility);
+
+// --- Checkpoint cost: full snapshot vs delta -----------------------------
+//
+// The claim under test: delta checkpoint cost (time AND bytes) tracks the
+// mutation count since the last checkpoint, while full-snapshot cost
+// tracks document size. Args are {mutations}; the document is fixed at a
+// few hundred nodes so the two regimes separate clearly. The
+// checkpoint_bytes counter lands in BENCH_micro_ops.json next to the
+// timings.
+
+const std::string& CheckpointBenchXml() {
+  static const std::string* xml = [] {
+    PlayOptions play;
+    play.acts = 4;
+    play.scenes_per_act = 4;
+    play.min_speeches_per_scene = 4;
+    play.max_speeches_per_scene = 8;
+    play.seed = 21;
+    return new std::string(SerializeXml(GeneratePlay("bench", play)));
+  }();
+  return *xml;
+}
+
+void BM_CheckpointFullVsDelta(benchmark::State& state, bool delta) {
+  const int mutations = static_cast<int>(state.range(0));
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("bench-checkpoint-" + std::string(delta ? "delta" : "full") + "-" +
+        std::to_string(mutations)))
+          .string();
+  DurableDocumentStore::Options options;
+  options.delta_checkpoints = delta;
+
+  std::int64_t total_bytes = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+    Result<DurableDocumentStore> store =
+        DurableDocumentStore::Create(dir, CheckpointBenchXml(), options);
+    if (!store.ok()) {
+      state.SkipWithError(store.status().ToString().c_str());
+      break;
+    }
+    std::mt19937 rng(static_cast<unsigned>(mutations));
+    for (int i = 0; i < mutations; ++i) {
+      std::vector<NodeId> elements;
+      store->document().tree().Preorder([&](NodeId id, int) {
+        if (id != store->document().tree().root() &&
+            store->document().tree().IsElement(id)) {
+          elements.push_back(id);
+        }
+      });
+      NodeId anchor = elements[rng() % elements.size()];
+      switch (rng() % 3) {
+        case 0: (void)store->InsertAfter(anchor, "ia"); break;
+        case 1: (void)store->AppendChild(anchor, "ac"); break;
+        case 2: (void)store->Wrap(anchor, "wr"); break;
+      }
+    }
+    state.ResumeTiming();
+
+    Status checkpointed = store->Checkpoint();
+
+    state.PauseTiming();
+    if (!checkpointed.ok()) {
+      state.SkipWithError(checkpointed.ToString().c_str());
+      break;
+    }
+    const std::string artifact =
+        std::filesystem::exists(DurableDocumentStore::DeltaPath(dir, 1))
+            ? DurableDocumentStore::DeltaPath(dir, 1)
+            : DurableDocumentStore::SnapshotPath(dir, 1);
+    total_bytes +=
+        static_cast<std::int64_t>(std::filesystem::file_size(artifact, ec));
+    state.ResumeTiming();
+  }
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  state.counters["checkpoint_bytes"] = benchmark::Counter(
+      static_cast<double>(total_bytes), benchmark::Counter::kAvgIterations);
+  state.counters["mutations"] = static_cast<double>(mutations);
+}
+BENCHMARK_CAPTURE(BM_CheckpointFullVsDelta, delta, true)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(64)
+    ->Iterations(20);
+BENCHMARK_CAPTURE(BM_CheckpointFullVsDelta, full, false)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(64)
+    ->Iterations(20);
 
 }  // namespace
 }  // namespace primelabel

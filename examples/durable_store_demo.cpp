@@ -114,6 +114,17 @@ int Mutate(const std::string& dir, int ops, int kill_after, unsigned seed) {
                    applied.ToString().c_str());
       return 1;
     }
+    // Exercise the checkpoint path inside the crash window: every 4th op
+    // compacts (delta or full snapshot per the chain heuristics), so kills
+    // land before, between, and right after epoch swings.
+    if (i % 4 == 3) {
+      Status checkpointed = store->Checkpoint();
+      if (!checkpointed.ok()) {
+        std::fprintf(stderr, "checkpoint after op %d failed: %s\n", i,
+                     checkpointed.ToString().c_str());
+        return 1;
+      }
+    }
     if (i == kill_after) {
       // The crash: straight out of the process, skipping destructors, so
       // any records the group-commit buffer still holds are simply gone.

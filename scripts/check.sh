@@ -3,9 +3,10 @@
 # scalar-only build (vector kernels compiled out) rerunning the full
 # suite, a ThreadSanitizer build running the parallel/concurrency
 # suites (the parallel labeler, SC-table build, the batch-query kernels
-# issued from concurrent threads, and the worker-thread join executor),
-# and a durability leg (the fault-injection suite plus a crash-recovery
-# soak with real mid-stream process kills).
+# issued from concurrent threads, the worker-thread join executor, and
+# the epoch reader/writer protocol), and a durability leg (the
+# fault-injection suite, a crash-recovery soak with real mid-stream
+# process kills, and a fault-matrix sweep over several workload seeds).
 #
 # Usage: scripts/check.sh [--no-tsan] [--no-scalar] [--no-durability]
 #   --no-tsan        skip the sanitizer tree (e.g. toolchains without TSan)
@@ -37,6 +38,13 @@ if [[ "$run_durability" == "1" ]]; then
   echo "== durability: fault-injection suite + crash-recovery soak =="
   ctest --test-dir build --output-on-failure -R Durability
   scripts/crash_loop.sh 10 build
+  echo "== durability: fault-matrix seed sweep =="
+  # The fault matrix derives its workload from PRIMELABEL_FAULT_SEED, so
+  # each seed drives faults into different syscall ordinals.
+  for seed in 1 7 13; do
+    PRIMELABEL_FAULT_SEED="$seed" \
+      ctest --test-dir build --output-on-failure -R FaultMatrix
+  done
 fi
 
 if [[ "$run_scalar" == "1" ]]; then
@@ -50,7 +58,8 @@ if [[ "$run_tsan" == "1" ]]; then
   echo "== tsan: parallel suites under ThreadSanitizer (build-tsan/) =="
   cmake -B build-tsan -S . -DPRIMELABEL_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "$jobs"
-  ctest --test-dir build-tsan --output-on-failure -j "$jobs" -R Parallel
+  ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
+    -R 'Parallel|Epoch|Concurrent'
 fi
 
 echo "All checks passed."

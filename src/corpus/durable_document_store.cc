@@ -1,13 +1,11 @@
 #include "corpus/durable_document_store.h"
 
-#include <cstdio>
 #include <cstring>
-#include <filesystem>
+#include <set>
 #include <utility>
 
-#ifndef _WIN32
-#include <unistd.h>
-#endif
+#include "store/catalog.h"
+#include "util/binio.h"
 
 namespace primelabel {
 
@@ -15,61 +13,37 @@ namespace {
 
 constexpr char kManifestMagic[8] = {'P', 'L', 'M', 'A', 'N', 'I', 'F', '1'};
 
-Result<std::uint64_t> ReadManifest(const std::string& path) {
-  std::FILE* file = std::fopen(path.c_str(), "rb");
-  if (file == nullptr) {
-    return Status::NotFound("no store MANIFEST at '" + path + "'");
+Result<std::uint64_t> ReadManifest(Vfs& vfs, const std::string& path) {
+  Result<std::vector<std::uint8_t>> bytes = vfs.ReadAll(path, 16);
+  if (!bytes.ok()) {
+    if (bytes.status().code() == StatusCode::kNotFound) {
+      return Status::NotFound("no store MANIFEST at '" + path + "'");
+    }
+    return bytes.status();
   }
-  char magic[8] = {};
-  std::uint8_t epoch_bytes[8] = {};
-  bool ok = std::fread(magic, 1, 8, file) == 8 &&
-            std::fread(epoch_bytes, 1, 8, file) == 8;
-  std::fclose(file);
-  if (!ok || std::memcmp(magic, kManifestMagic, 8) != 0) {
+  if (bytes->size() < 16 ||
+      std::memcmp(bytes->data(), kManifestMagic, 8) != 0) {
     return Status::ParseError("'" + path + "' is not a store MANIFEST");
   }
   std::uint64_t epoch = 0;
   for (int i = 0; i < 8; ++i) {
-    epoch |= static_cast<std::uint64_t>(epoch_bytes[i]) << (8 * i);
+    epoch |= static_cast<std::uint64_t>((*bytes)[8 + i]) << (8 * i);
   }
   return epoch;
 }
 
-Status WriteManifestAtomic(const std::string& dir, std::uint64_t epoch) {
+Status WriteManifestAtomic(Vfs& vfs, const std::string& dir,
+                           std::uint64_t epoch) {
   const std::string final_path = DurableDocumentStore::ManifestPath(dir);
   const std::string tmp_path = final_path + ".tmp";
-  std::FILE* file = std::fopen(tmp_path.c_str(), "wb");
-  if (file == nullptr) {
-    return Status::Internal("cannot write '" + tmp_path + "'");
-  }
-  std::uint8_t epoch_bytes[8];
-  for (int i = 0; i < 8; ++i) {
-    epoch_bytes[i] = static_cast<std::uint8_t>(epoch >> (8 * i));
-  }
-  bool ok = std::fwrite(kManifestMagic, 1, 8, file) == 8 &&
-            std::fwrite(epoch_bytes, 1, 8, file) == 8 &&
-            std::fflush(file) == 0;
-#ifndef _WIN32
-  ok = ok && ::fsync(fileno(file)) == 0;
-#endif
-  ok = std::fclose(file) == 0 && ok;
-  if (!ok) return Status::Internal("short write to '" + tmp_path + "'");
+  ByteWriter writer;
+  writer.Bytes(kManifestMagic, 8);
+  writer.U64(epoch);
+  Status written = vfs.WriteWhole(tmp_path, writer.buffer());
+  if (!written.ok()) return written;
   // The swing: readers see either the old MANIFEST or the new one, never
   // a partial file.
-  if (std::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
-    return Status::Internal("cannot rename '" + tmp_path + "' into place");
-  }
-  return Status::Ok();
-}
-
-/// Best-effort fsync of an already-written file (snapshot durability).
-void SyncFileBestEffort(const std::string& path) {
-#ifndef _WIN32
-  if (std::FILE* file = std::fopen(path.c_str(), "rb")) {
-    ::fsync(fileno(file));
-    std::fclose(file);
-  }
-#endif
+  return vfs.Rename(tmp_path, final_path);
 }
 
 }  // namespace
@@ -78,80 +52,183 @@ std::string DurableDocumentStore::ManifestPath(const std::string& dir) {
   return dir + "/MANIFEST";
 }
 
-std::string DurableDocumentStore::SnapshotPath(const std::string& dir,
-                                               std::uint64_t epoch) {
-  return dir + "/snapshot-" + std::to_string(epoch) + ".plc";
-}
-
-std::string DurableDocumentStore::JournalPath(const std::string& dir,
-                                              std::uint64_t epoch) {
-  return dir + "/journal-" + std::to_string(epoch) + ".wal";
-}
-
-bool DurableDocumentStore::Exists(const std::string& dir) {
-  std::error_code ec;
-  return std::filesystem::exists(ManifestPath(dir), ec);
+bool DurableDocumentStore::Exists(Vfs& vfs, const std::string& dir) {
+  return vfs.Exists(ManifestPath(dir));
 }
 
 DurableDocumentStore::DurableDocumentStore(std::string dir,
                                            LabeledDocument doc,
                                            WriteAheadLog wal,
                                            std::uint64_t epoch,
-                                           Options options)
+                                           Options options, Vfs* vfs)
     : dir_(std::move(dir)),
       doc_(std::move(doc)),
       wal_(std::move(wal)),
       epoch_(epoch),
-      options_(options) {}
+      options_(options),
+      vfs_(vfs),
+      registry_(std::make_shared<EpochRegistry>(vfs, dir_)) {}
+
+void DurableDocumentStore::ResetBaseIndex(const std::vector<CatalogRow>& rows,
+                                          const ScTable& sc_table) {
+  base_index_ = BuildBaseRowIndex(rows);
+  base_sc_hashes_ = ScRecordHashes(sc_table);
+}
+
+Result<DurableDocumentStore::EpochChain> DurableDocumentStore::LoadEpochChain(
+    Vfs& vfs, const std::string& dir, std::uint64_t epoch) {
+  // Walk the delta chain down to its full-snapshot base, then apply the
+  // deltas back up. Depth-capped: a cycle in base links (corrupt files)
+  // must not hang recovery.
+  EpochChain chain;
+  std::vector<DeltaSnapshot> deltas;
+  std::uint64_t at = epoch;
+  for (int depth = 0; depth <= 64; ++depth) {
+    const std::string snapshot_path = EpochSnapshotPath(dir, at);
+    if (vfs.Exists(snapshot_path)) {
+      Result<LoadedCatalog> catalog = LoadCatalog(vfs, snapshot_path);
+      if (!catalog.ok()) return catalog.status();
+      chain.links.push_back({at, false, 0});
+      chain.state.fingerprints_valid = catalog->fingerprints_persisted();
+      chain.state.sc_table = catalog->TakeScTable();
+      chain.state.rows = catalog->TakeRows();
+      for (auto it = deltas.rbegin(); it != deltas.rend(); ++it) {
+        Status applied = ApplyDelta(*it, &chain.state);
+        if (!applied.ok()) return applied;
+      }
+      return chain;
+    }
+    const std::string delta_path = EpochDeltaPath(dir, at);
+    if (!vfs.Exists(delta_path)) {
+      return Status::NotFound("epoch " + std::to_string(at) +
+                              " of store '" + dir +
+                              "' has neither a snapshot nor a delta file");
+    }
+    Result<std::vector<std::uint8_t>> bytes = vfs.ReadAll(delta_path);
+    if (!bytes.ok()) return bytes.status();
+    Result<DeltaSnapshot> delta =
+        DecodeDelta(*bytes, "delta '" + delta_path + "'");
+    if (!delta.ok()) return delta.status();
+    chain.links.push_back({at, true, delta->base_epoch});
+    at = delta->base_epoch;
+    deltas.push_back(std::move(delta.value()));
+  }
+  return Status::ParseError("delta chain of store '" + dir +
+                            "' exceeds depth 64 (cyclic base links?)");
+}
+
+void DurableDocumentStore::SweepStrays(Vfs& vfs, const std::string& dir,
+                                       const EpochChain& chain) {
+  std::set<std::string> keep;
+  for (const EpochChain::Link& link : chain.links) {
+    keep.insert(link.is_delta ? EpochDeltaPath(dir, link.epoch)
+                              : EpochSnapshotPath(dir, link.epoch));
+    keep.insert(EpochJournalPath(dir, link.epoch));
+  }
+  Result<std::vector<std::string>> names = vfs.List(dir);
+  if (!names.ok()) return;  // best effort
+  for (const std::string& name : names.value()) {
+    const bool epoch_file = name.rfind("snapshot-", 0) == 0 ||
+                            name.rfind("delta-", 0) == 0 ||
+                            name.rfind("journal-", 0) == 0;
+    const bool manifest_tmp = name == "MANIFEST.tmp";
+    if (!epoch_file && !manifest_tmp) continue;
+    const std::string path = dir + "/" + name;
+    if (keep.count(path) != 0) continue;
+    vfs.Unlink(path);
+  }
+}
 
 Result<DurableDocumentStore> DurableDocumentStore::Create(
     const std::string& dir, std::string_view xml, const Options& options) {
-  if (Exists(dir)) {
+  Vfs& vfs = options.vfs != nullptr ? *options.vfs : DefaultVfs();
+  if (Exists(vfs, dir)) {
     return Status::InvalidArgument("'" + dir +
                                    "' already contains a durable store");
   }
-  std::error_code ec;
-  std::filesystem::create_directories(dir, ec);
-  if (ec) {
+  Status made = vfs.CreateDirs(dir);
+  if (!made.ok()) {
     return Status::InvalidArgument("cannot create store directory '" + dir +
-                                   "'");
+                                   "': " + made.message());
   }
   Result<LabeledDocument> doc =
       LabeledDocument::FromXml(xml, options.sc_group_size);
   if (!doc.ok()) return doc.status();
 
   const std::uint64_t epoch = 0;
-  Status saved = doc->Save(SnapshotPath(dir, epoch));
+  std::vector<CatalogRow> rows = doc->ToCatalogRows();
+  Status saved = WriteCatalog(vfs, SnapshotPath(dir, epoch), rows,
+                              doc->scheme().sc_table());
   if (!saved.ok()) return saved;
-  SyncFileBestEffort(SnapshotPath(dir, epoch));
   Result<WriteAheadLog> wal =
-      WriteAheadLog::Open(JournalPath(dir, epoch), options.wal);
+      WriteAheadLog::Open(vfs, JournalPath(dir, epoch), options.wal);
   if (!wal.ok()) return wal.status();
-  Status manifest = WriteManifestAtomic(dir, epoch);
+  Status manifest = WriteManifestAtomic(vfs, dir, epoch);
   if (!manifest.ok()) return manifest;
-  return DurableDocumentStore(dir, std::move(doc.value()),
-                              std::move(wal.value()), epoch, options);
+
+  DurableDocumentStore store(dir, std::move(doc.value()),
+                             std::move(wal.value()), epoch, options, &vfs);
+  store.ResetBaseIndex(rows, store.doc_.scheme().sc_table());
+  store.registry_->Register(epoch, /*is_delta=*/false, 0);
+  store.registry_->SetCurrent(epoch);
+  store.registry_->SetDurableBytes(store.wal_.committed_bytes());
+  return store;
 }
 
 Result<DurableDocumentStore> DurableDocumentStore::Open(
     const std::string& dir, const Options& options) {
-  Result<std::uint64_t> epoch = ReadManifest(ManifestPath(dir));
+  Vfs& vfs = options.vfs != nullptr ? *options.vfs : DefaultVfs();
+  Result<std::uint64_t> epoch = ReadManifest(vfs, ManifestPath(dir));
   if (!epoch.ok()) return epoch.status();
 
-  RecoveryStats stats;
-  Result<LabeledDocument> doc = RecoverDocument(
-      SnapshotPath(dir, *epoch), JournalPath(dir, *epoch), &stats);
+  Result<EpochChain> chain = LoadEpochChain(vfs, dir, *epoch);
+  if (!chain.ok()) return chain.status();
+
+  // The diff base for delta checkpoints is the epoch's on-disk state,
+  // BEFORE journal replay: the next delta must carry everything the
+  // journal held.
+  BaseRowIndex base_index = BuildBaseRowIndex(chain->state.rows);
+  std::vector<std::uint64_t> base_sc_hashes =
+      ScRecordHashes(chain->state.sc_table);
+
+  Result<LabeledDocument> doc = LabeledDocument::FromCatalogRows(
+      std::move(chain->state.rows), std::move(chain->state.sc_table),
+      chain->state.fingerprints_valid,
+      "store '" + dir + "' epoch " + std::to_string(*epoch));
   if (!doc.ok()) return doc.status();
+
+  RecoveryStats stats;
+  Result<WalReadResult> journal = ReadWal(vfs, JournalPath(dir, *epoch));
+  if (journal.ok()) {
+    stats.journal_valid_bytes = journal->valid_bytes;
+    stats.tail_truncated = journal->tail_truncated;
+    stats.bytes_dropped = journal->bytes_dropped;
+    Status replayed = ReplayRecords(journal->records, &doc.value(), &stats);
+    if (!replayed.ok()) return replayed;
+  } else if (journal.status().code() != StatusCode::kNotFound) {
+    return journal.status();
+  }
 
   // Resume the journal after its intact prefix; Open truncates the torn
   // tail so new frames extend a clean file.
   Result<WriteAheadLog> wal = WriteAheadLog::Open(
-      JournalPath(dir, *epoch), options.wal, stats.journal_valid_bytes);
+      vfs, JournalPath(dir, *epoch), options.wal, stats.journal_valid_bytes);
   if (!wal.ok()) return wal.status();
 
   DurableDocumentStore store(dir, std::move(doc.value()),
-                             std::move(wal.value()), *epoch, options);
+                             std::move(wal.value()), *epoch, options, &vfs);
   store.recovery_stats_ = stats;
+  store.base_index_ = std::move(base_index);
+  store.base_sc_hashes_ = std::move(base_sc_hashes);
+  store.chain_len_ = static_cast<int>(chain->links.size()) - 1;
+  // Register the chain bottom-up so every base is known before the epoch
+  // that chains to it, then publish.
+  for (auto it = chain->links.rbegin(); it != chain->links.rend(); ++it) {
+    store.registry_->Register(it->epoch, it->is_delta, it->base_epoch);
+  }
+  store.registry_->SetCurrent(*epoch);
+  store.registry_->SetDurableBytes(store.wal_.committed_bytes());
+  SweepStrays(vfs, dir, chain.value());
   return store;
 }
 
@@ -185,50 +262,114 @@ Status DurableDocumentStore::JournalInsert(WalRecord::Op op,
   return wal_.Append(rewrite);
 }
 
+void DurableDocumentStore::EnterQuarantine(const Status& cause) {
+  std::string reason = "store quarantined: " + cause.message();
+  // The ops behind any buffered frames are about to be rolled back — the
+  // frames must never land (the destructor would otherwise best-effort
+  // commit them, resurrecting ops whose callers saw an error).
+  wal_.DiscardPending();
+  const std::uint64_t durable = wal_.committed_bytes();
+
+  // Roll the in-memory document back to the last durable state: the
+  // epoch's snapshot/delta chain plus the committed journal prefix.
+  bool rolled_back = false;
+  Result<EpochChain> chain = LoadEpochChain(*vfs_, dir_, epoch_);
+  if (chain.ok()) {
+    Result<LabeledDocument> doc = LabeledDocument::FromCatalogRows(
+        std::move(chain->state.rows), std::move(chain->state.sc_table),
+        chain->state.fingerprints_valid, "quarantine rollback of '" + dir_ +
+                                             "' epoch " +
+                                             std::to_string(epoch_));
+    if (doc.ok()) {
+      Result<WalReadResult> journal =
+          ReadWal(*vfs_, EpochJournalPath(dir_, epoch_), durable);
+      Status replayed = Status::Ok();
+      if (journal.ok()) {
+        replayed = ReplayRecords(journal->records, &doc.value());
+      } else if (journal.status().code() != StatusCode::kNotFound) {
+        replayed = journal.status();
+      }
+      if (replayed.ok()) {
+        doc_ = std::move(doc.value());
+        rolled_back = true;
+      }
+    }
+  }
+  if (!rolled_back) {
+    // Reads failed too (e.g. a simulated crash): queries keep serving the
+    // pre-failure document, which may be ahead of what a restart will
+    // recover.
+    reason += "; in-memory state may be ahead of durable state";
+  }
+  quarantine_ = Status::Unavailable(reason);
+  registry_->SetDurableBytes(durable);
+}
+
 Result<NodeId> DurableDocumentStore::InsertBefore(NodeId sibling,
                                                   std::string_view tag) {
+  if (quarantined()) return quarantine_;
   const std::uint64_t anchor = doc_.scheme().structure().self_label(sibling);
   const std::uint64_t cursor = doc_.prime_cursor();
   NodeId fresh = doc_.InsertBefore(sibling, tag);
   Status logged =
       JournalInsert(WalRecord::Op::kInsertBefore, anchor, cursor, fresh, tag);
-  if (!logged.ok()) return logged;
+  if (!logged.ok()) {
+    EnterQuarantine(logged);
+    return quarantine_;
+  }
+  registry_->SetDurableBytes(wal_.committed_bytes());
   return fresh;
 }
 
 Result<NodeId> DurableDocumentStore::InsertAfter(NodeId sibling,
                                                  std::string_view tag) {
+  if (quarantined()) return quarantine_;
   const std::uint64_t anchor = doc_.scheme().structure().self_label(sibling);
   const std::uint64_t cursor = doc_.prime_cursor();
   NodeId fresh = doc_.InsertAfter(sibling, tag);
   Status logged =
       JournalInsert(WalRecord::Op::kInsertAfter, anchor, cursor, fresh, tag);
-  if (!logged.ok()) return logged;
+  if (!logged.ok()) {
+    EnterQuarantine(logged);
+    return quarantine_;
+  }
+  registry_->SetDurableBytes(wal_.committed_bytes());
   return fresh;
 }
 
 Result<NodeId> DurableDocumentStore::AppendChild(NodeId parent,
                                                  std::string_view tag) {
+  if (quarantined()) return quarantine_;
   const std::uint64_t anchor = doc_.scheme().structure().self_label(parent);
   const std::uint64_t cursor = doc_.prime_cursor();
   NodeId fresh = doc_.AppendChild(parent, tag);
   Status logged =
       JournalInsert(WalRecord::Op::kAppendChild, anchor, cursor, fresh, tag);
-  if (!logged.ok()) return logged;
+  if (!logged.ok()) {
+    EnterQuarantine(logged);
+    return quarantine_;
+  }
+  registry_->SetDurableBytes(wal_.committed_bytes());
   return fresh;
 }
 
 Result<NodeId> DurableDocumentStore::Wrap(NodeId node, std::string_view tag) {
+  if (quarantined()) return quarantine_;
   const std::uint64_t anchor = doc_.scheme().structure().self_label(node);
   const std::uint64_t cursor = doc_.prime_cursor();
   NodeId fresh = doc_.Wrap(node, tag);
   Status logged =
       JournalInsert(WalRecord::Op::kWrap, anchor, cursor, fresh, tag);
-  if (!logged.ok()) return logged;
+  if (!logged.ok()) {
+    EnterQuarantine(logged);
+    return quarantine_;
+  }
+  registry_->SetDurableBytes(wal_.committed_bytes());
   return fresh;
 }
 
 Status DurableDocumentStore::Delete(NodeId node) {
+  if (quarantined()) return quarantine_;
   if (node == doc_.tree().root()) {
     return Status::InvalidArgument("cannot delete the document root");
   }
@@ -236,37 +377,110 @@ Status DurableDocumentStore::Delete(NodeId node) {
   record.type = WalRecord::Type::kDelete;
   record.anchor_self = doc_.scheme().structure().self_label(node);
   doc_.Delete(node);
-  return wal_.Append(record);
+  Status logged = wal_.Append(record);
+  if (!logged.ok()) {
+    EnterQuarantine(logged);
+    return quarantine_;
+  }
+  registry_->SetDurableBytes(wal_.committed_bytes());
+  return Status::Ok();
 }
 
-Status DurableDocumentStore::Flush() { return wal_.Sync(); }
+Status DurableDocumentStore::Flush() {
+  if (quarantined()) return quarantine_;
+  Status synced = wal_.Sync();
+  if (!synced.ok()) {
+    EnterQuarantine(synced);
+    return quarantine_;
+  }
+  registry_->SetDurableBytes(wal_.committed_bytes());
+  return Status::Ok();
+}
 
 Status DurableDocumentStore::Checkpoint() {
+  if (quarantined()) return quarantine_;
   // Order matters for crash atomicity: everything of the new epoch is
   // written to fresh names first, the MANIFEST rename publishes it, and
-  // only then are the old epoch's files unlinked. A crash before the
-  // rename leaves the old pair authoritative (the new files are ignored
-  // garbage); a crash after it leaves the new pair authoritative.
+  // only then does the registry retire what no pin still needs. A crash
+  // (or failure) before the rename leaves the old epoch authoritative —
+  // the new files are stray garbage swept at the next Open — so those
+  // failures are plain errors and the store stays live. Only the leading
+  // journal sync can quarantine: its failure means committed-but-unsynced
+  // frames may not survive, the same broken promise as a commit failure.
   Status flushed = wal_.Sync();
-  if (!flushed.ok()) return flushed;
+  if (!flushed.ok()) {
+    EnterQuarantine(flushed);
+    return quarantine_;
+  }
+  registry_->SetDurableBytes(wal_.committed_bytes());
 
   const std::uint64_t next = epoch_ + 1;
-  Status saved = doc_.Save(SnapshotPath(dir_, next));
+  std::vector<CatalogRow> rows = doc_.ToCatalogRows();
+  const ScTable& sc_table = doc_.scheme().sc_table();
+
+  bool as_delta =
+      options_.delta_checkpoints && chain_len_ < options_.max_delta_chain;
+  DeltaSnapshot delta;
+  if (as_delta) {
+    // Live rows always carry valid fingerprints, so patches are adoptable.
+    delta = BuildDelta(epoch_, base_index_, base_sc_hashes_, rows, sc_table,
+                       /*fingerprints=*/true);
+    const double changed =
+        rows.empty() ? 1.0
+                     : static_cast<double>(delta.patches.size() +
+                                           delta.tombstones.size()) /
+                           static_cast<double>(rows.size());
+    if (changed > options_.delta_max_changed_fraction) as_delta = false;
+  }
+
+  Status saved =
+      as_delta ? vfs_->WriteWhole(DeltaPath(dir_, next), EncodeDelta(delta))
+               : WriteCatalog(*vfs_, SnapshotPath(dir_, next), rows, sc_table);
   if (!saved.ok()) return saved;
-  SyncFileBestEffort(SnapshotPath(dir_, next));
   Result<WriteAheadLog> wal =
-      WriteAheadLog::Open(JournalPath(dir_, next), options_.wal);
+      WriteAheadLog::Open(*vfs_, JournalPath(dir_, next), options_.wal);
   if (!wal.ok()) return wal.status();
-  Status manifest = WriteManifestAtomic(dir_, next);
+  Status manifest = WriteManifestAtomic(*vfs_, dir_, next);
   if (!manifest.ok()) return manifest;
 
+  // Published. Retirement of the old epoch's files (or just its journal,
+  // when it stays as a delta base) is the registry's call — pins may
+  // still need them.
   const std::uint64_t old = epoch_;
   wal_ = std::move(wal.value());
   epoch_ = next;
-  std::error_code ec;
-  std::filesystem::remove(SnapshotPath(dir_, old), ec);
-  std::filesystem::remove(JournalPath(dir_, old), ec);
+  chain_len_ = as_delta ? chain_len_ + 1 : 0;
+  ResetBaseIndex(rows, sc_table);
+  registry_->Register(next, as_delta, old);
+  registry_->SetCurrent(next);
+  registry_->SetDurableBytes(wal_.committed_bytes());
   return Status::Ok();
+}
+
+Result<LabeledDocument> DurableDocumentStore::ReadPinned(
+    const EpochPin& pin) const {
+  if (!pin.valid()) {
+    return Status::InvalidArgument("cannot read a released epoch pin");
+  }
+  Result<EpochChain> chain = LoadEpochChain(*vfs_, dir_, pin.epoch());
+  if (!chain.ok()) return chain.status();
+  Result<LabeledDocument> doc = LabeledDocument::FromCatalogRows(
+      std::move(chain->state.rows), std::move(chain->state.sc_table),
+      chain->state.fingerprints_valid,
+      "pinned epoch " + std::to_string(pin.epoch()) + " of store '" + dir_ +
+          "'");
+  if (!doc.ok()) return doc.status();
+  // Replay only the committed prefix the pin captured: frames the writer
+  // appended after the pin are invisible to this view.
+  Result<WalReadResult> journal = ReadWal(
+      *vfs_, EpochJournalPath(dir_, pin.epoch()), pin.journal_bytes());
+  if (journal.ok()) {
+    Status replayed = ReplayRecords(journal->records, &doc.value());
+    if (!replayed.ok()) return replayed;
+  } else if (journal.status().code() != StatusCode::kNotFound) {
+    return journal.status();
+  }
+  return doc;
 }
 
 }  // namespace primelabel

@@ -2,12 +2,16 @@
 #define PRIMELABEL_CORPUS_DURABLE_DOCUMENT_STORE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "corpus/labeled_document.h"
+#include "durability/delta.h"
+#include "durability/epoch.h"
 #include "durability/recovery.h"
+#include "durability/vfs.h"
 #include "durability/wal.h"
 #include "util/status.h"
 
@@ -16,15 +20,35 @@ namespace primelabel {
 /// Crash-safe facade over a LabeledDocument: every mutation is journaled
 /// to a write-ahead log before the caller gets its result back, restarts
 /// recover the exact pre-crash state (snapshot + journal replay), and
-/// checkpoints compact the journal into a fresh catalog-v3 snapshot.
+/// checkpoints compact the journal into a fresh epoch.
 ///
 /// On-disk layout inside the store directory (epochs make checkpoints
-/// atomic — the MANIFEST names the current pair and is itself replaced by
-/// an atomic rename, so a crash at any instant leaves a consistent pair):
+/// atomic — the MANIFEST names the current epoch and is itself replaced by
+/// an atomic rename, so a crash at any instant leaves a consistent state):
 ///
 ///   MANIFEST              "PLMANIF1" + u64 epoch (little-endian)
-///   snapshot-<epoch>.plc  catalog format v3 (store/catalog.h)
+///   snapshot-<epoch>.plc  catalog format v3 (store/catalog.h), OR
+///   delta-<epoch>.pld     delta against a base epoch (durability/delta.h)
 ///   journal-<epoch>.wal   write-ahead journal (durability/wal.h)
+///
+/// An epoch stored as a delta chains to its base epoch, whose
+/// snapshot/delta file is retained (journal dropped) until the chain is
+/// compacted into a full snapshot again.
+///
+/// All file traffic goes through a Vfs (durability/vfs.h), so the fault
+/// matrix can fail any single syscall the store issues. When journaling
+/// itself fails — the store can no longer promise that an acknowledged
+/// mutation will survive a restart — the store enters READ-ONLY QUARANTINE:
+/// the in-memory document is rolled back to the last durable state, queries
+/// keep serving it, and every mutation returns kUnavailable carrying the
+/// root cause. Checkpoint failures before the MANIFEST swing are ordinary
+/// typed errors (the old epoch stays authoritative and the store stays
+/// live); stray files from such attempts are swept on the next Open.
+///
+/// Concurrent readers pin epochs (PinEpoch/ReadPinned): a pin captures
+/// (epoch, committed journal bytes) and can reconstruct that exact view
+/// from disk while the single writer keeps mutating and checkpointing —
+/// the registry retires an epoch's files only once no pin needs them.
 ///
 /// The facade exposes the same mutation vocabulary as LabeledDocument and
 /// the document's oracle/query surface read-only; anything that changes
@@ -37,6 +61,19 @@ class DurableDocumentStore {
     Options() {}
     int sc_group_size = 5;
     WalOptions wal;
+    /// File system seam; nullptr means the process-wide PosixVfs. Tests
+    /// pass a FaultInjectingVfs here. Must outlive the store and any pins.
+    Vfs* vfs = nullptr;
+    /// When true, Checkpoint writes a delta against the previous epoch
+    /// whenever the change set is small enough, falling back to a full
+    /// snapshot otherwise.
+    bool delta_checkpoints = true;
+    /// Compaction threshold: after this many consecutive delta epochs the
+    /// next checkpoint writes a full snapshot, bounding recovery chains.
+    int max_delta_chain = 4;
+    /// A delta is only worth it while (patches + tombstones) / final rows
+    /// stays at or below this fraction; above it, write a full snapshot.
+    double delta_max_changed_fraction = 0.5;
   };
 
   /// Initializes a new store at `dir` (created if missing) from parsed
@@ -46,14 +83,19 @@ class DurableDocumentStore {
                                              std::string_view xml,
                                              const Options& options = {});
 
-  /// Opens an existing store: loads the MANIFEST's snapshot, replays the
-  /// journal's intact prefix on top (tolerating torn tails and corrupt
-  /// frames), truncates the journal to that prefix and resumes appending.
+  /// Opens an existing store: resolves the MANIFEST's epoch through its
+  /// snapshot/delta chain, replays the journal's intact prefix on top
+  /// (tolerating torn tails and corrupt frames), truncates the journal to
+  /// that prefix, resumes appending, and sweeps stray files left by
+  /// crashed checkpoints.
   static Result<DurableDocumentStore> Open(const std::string& dir,
                                            const Options& options = {});
 
   /// True when `dir` contains a store MANIFEST.
-  static bool Exists(const std::string& dir);
+  static bool Exists(Vfs& vfs, const std::string& dir);
+  static bool Exists(const std::string& dir) {
+    return Exists(DefaultVfs(), dir);
+  }
 
   DurableDocumentStore(DurableDocumentStore&&) = default;
   DurableDocumentStore& operator=(DurableDocumentStore&&) = default;
@@ -65,6 +107,14 @@ class DurableDocumentStore {
   const RecoveryStats& recovery_stats() const { return recovery_stats_; }
   std::uint64_t epoch() const { return epoch_; }
   const std::string& dir() const { return dir_; }
+  /// Consecutive delta epochs behind the current epoch (0 right after a
+  /// full-snapshot checkpoint).
+  int delta_chain_length() const { return chain_len_; }
+
+  /// True once a journaling failure forced read-only quarantine.
+  bool quarantined() const { return !quarantine_.ok(); }
+  /// kUnavailable with the root cause while quarantined, Ok otherwise.
+  const Status& quarantine_reason() const { return quarantine_; }
 
   Result<std::vector<NodeId>> Query(std::string_view xpath) const {
     return doc_.Query(xpath);
@@ -73,7 +123,10 @@ class DurableDocumentStore {
   // --- Journaled mutations (same vocabulary as LabeledDocument) ----------
   // Each returns after the op is applied in memory AND its frames are
   // handed to the WAL; group-commit/sync policy decides when the bytes
-  // are crash-durable (call Flush for a hard boundary).
+  // are crash-durable (call Flush for a hard boundary). Any journaling
+  // failure rolls the in-memory document back to the last durable state
+  // and quarantines the store; while quarantined every mutation returns
+  // kUnavailable without touching anything.
 
   Result<NodeId> InsertBefore(NodeId sibling, std::string_view tag);
   Result<NodeId> InsertAfter(NodeId sibling, std::string_view tag);
@@ -84,35 +137,102 @@ class DurableDocumentStore {
   /// Commits any group-commit buffer and applies the sync policy.
   Status Flush();
 
-  /// Compacts: writes a fresh catalog-v3 snapshot of the current state
-  /// under the next epoch, starts an empty journal, atomically swings the
-  /// MANIFEST, and best-effort removes the previous epoch's files. After
+  /// Compacts: writes the current state under the next epoch — as a delta
+  /// against this epoch when enabled and the change set is small, else as
+  /// a full catalog-v3 snapshot — starts an empty journal, atomically
+  /// swings the MANIFEST, and retires whatever no pin still needs. After
   /// a checkpoint, recovery replays nothing.
   Status Checkpoint();
+
+  // --- Concurrent pinned readers ------------------------------------------
+
+  /// Pins the current epoch at its current committed journal length.
+  /// Cheap; safe to call from any thread. While the pin lives, every file
+  /// needed to reconstruct this exact view is retained.
+  EpochPin PinEpoch() const { return registry_->Pin(registry_); }
+
+  /// Reconstructs the pinned view from disk: loads the epoch's
+  /// snapshot/delta chain and replays its journal up to the pinned byte
+  /// count. Independent of the live document — bit-identical to what the
+  /// store held when the pin was taken, no matter what the writer has
+  /// done since.
+  Result<LabeledDocument> ReadPinned(const EpochPin& pin) const;
+
+  /// Committed journal length of the current epoch (what a pin taken now
+  /// would capture).
+  std::uint64_t durable_journal_bytes() const {
+    return wal_.committed_bytes();
+  }
 
   // --- Paths (for tests and tooling) -------------------------------------
   static std::string ManifestPath(const std::string& dir);
   static std::string SnapshotPath(const std::string& dir,
-                                  std::uint64_t epoch);
+                                  std::uint64_t epoch) {
+    return EpochSnapshotPath(dir, epoch);
+  }
+  static std::string DeltaPath(const std::string& dir, std::uint64_t epoch) {
+    return EpochDeltaPath(dir, epoch);
+  }
   static std::string JournalPath(const std::string& dir,
-                                 std::uint64_t epoch);
+                                 std::uint64_t epoch) {
+    return EpochJournalPath(dir, epoch);
+  }
 
  private:
   DurableDocumentStore(std::string dir, LabeledDocument doc,
                        WriteAheadLog wal, std::uint64_t epoch,
-                       Options options);
+                       Options options, Vfs* vfs);
+
+  /// Resolved state of one epoch's snapshot/delta chain, before journal
+  /// replay, plus the chain links for registry bookkeeping.
+  struct EpochChain {
+    CatalogState state;
+    struct Link {
+      std::uint64_t epoch = 0;
+      bool is_delta = false;
+      std::uint64_t base_epoch = 0;
+    };
+    /// Current epoch first, full-snapshot base last.
+    std::vector<Link> links;
+  };
+  static Result<EpochChain> LoadEpochChain(Vfs& vfs, const std::string& dir,
+                                           std::uint64_t epoch);
 
   /// Journals one insert (kInsert + kScRewrite verification frame).
   Status JournalInsert(WalRecord::Op op, std::uint64_t anchor_self,
                        std::uint64_t cursor_before, NodeId fresh,
                        std::string_view tag);
 
+  /// Rebuilds the base diff index from the rows/SC state the current
+  /// epoch's files hold (pre-replay at Open, post-checkpoint state at
+  /// Checkpoint).
+  void ResetBaseIndex(const std::vector<CatalogRow>& rows,
+                      const ScTable& sc_table);
+
+  /// Enters read-only quarantine: discards un-committed journal frames,
+  /// rolls the in-memory document back to the last durable state (chain +
+  /// committed journal prefix), and records `cause` in quarantine_.
+  void EnterQuarantine(const Status& cause);
+
+  /// Unlinks epoch files in `dir` that no epoch of the live chain owns
+  /// (debris of checkpoints that failed before their MANIFEST swing).
+  static void SweepStrays(Vfs& vfs, const std::string& dir,
+                          const EpochChain& chain);
+
   std::string dir_;
   LabeledDocument doc_;
   WriteAheadLog wal_;
   std::uint64_t epoch_ = 0;
   Options options_;
+  Vfs* vfs_ = nullptr;
   RecoveryStats recovery_stats_;
+  std::shared_ptr<EpochRegistry> registry_;
+  /// Ok while healthy; kUnavailable (with cause) once quarantined.
+  Status quarantine_;
+  /// Diff base for delta checkpoints: the current epoch's on-disk state.
+  BaseRowIndex base_index_;
+  std::vector<std::uint64_t> base_sc_hashes_;
+  int chain_len_ = 0;
 };
 
 }  // namespace primelabel

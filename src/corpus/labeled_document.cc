@@ -70,7 +70,7 @@ void LabeledDocument::Delete(NodeId node) {
   table_dirty_ = true;
 }
 
-Status LabeledDocument::Save(const std::string& path) const {
+std::vector<CatalogRow> LabeledDocument::ToCatalogRows() const {
   // One row per attached node in document order; parents by row index.
   std::unordered_map<NodeId, std::int64_t> row_of;
   std::int64_t next_row = 0;
@@ -89,15 +89,18 @@ Status LabeledDocument::Save(const std::string& path) const {
     row.fingerprint = scheme_->structure().fingerprint(id);
     rows.push_back(std::move(row));
   });
-  return WriteCatalog(path, rows, scheme_->sc_table());
+  return rows;
 }
 
-Result<LabeledDocument> LabeledDocument::Load(const std::string& path) {
-  Result<LoadedCatalog> loaded = LoadCatalog(path);
-  if (!loaded.ok()) return loaded.status();
-  const std::vector<CatalogRow>& rows = loaded->rows();
+Status LabeledDocument::Save(Vfs& vfs, const std::string& path) const {
+  return WriteCatalog(vfs, path, ToCatalogRows(), scheme_->sc_table());
+}
+
+Result<LabeledDocument> LabeledDocument::FromCatalogRows(
+    std::vector<CatalogRow> rows, ScTable sc_table, bool fingerprints_valid,
+    const std::string& origin) {
   if (rows.empty() || rows[0].parent != -1 || !rows[0].is_element) {
-    return Status::ParseError("catalog '" + path + "' has no root row");
+    return Status::ParseError(origin + " has no root row");
   }
 
   // Rows are in preorder, so every parent precedes its children and one
@@ -113,8 +116,7 @@ Result<LabeledDocument> LabeledDocument::Load(const std::string& path) {
   for (std::size_t i = 1; i < rows.size(); ++i) {
     const CatalogRow& row = rows[i];
     if (row.parent < 0 || static_cast<std::size_t>(row.parent) >= i) {
-      return Status::ParseError("catalog '" + path +
-                                "' row parent out of preorder");
+      return Status::ParseError(origin + " row parent out of preorder");
     }
     NodeId parent = static_cast<NodeId>(row.parent);
     NodeId fresh = row.is_element ? doc.tree_->AppendChild(parent, row.tag)
@@ -131,17 +133,30 @@ Result<LabeledDocument> LabeledDocument::Load(const std::string& path) {
     labels[i] = rows[i].label;
     selves[i] = rows[i].self;
   }
-  // A v3 catalog with a matching fingerprint config carries per-row
-  // fingerprints; hand them to Adopt so the document restart path skips
-  // the recompute pass just like the raw LoadedCatalog does. NodeId ==
-  // row index (checked above), so the vectors line up.
+  // Rows carrying trusted fingerprints (v3 catalog with a matching config,
+  // or a delta chain built from one) hand them to Adopt so the restart
+  // path skips the recompute pass. NodeId == row index (checked above), so
+  // the vectors line up.
   std::vector<LabelFingerprint> fps;
-  if (loaded->fingerprints_persisted()) fps = loaded->TakeFingerprints();
-  doc.scheme_ = std::make_unique<OrderedPrimeScheme>(
-      loaded->sc_table().group_size());
+  if (fingerprints_valid) {
+    fps.reserve(rows.size());
+    for (const CatalogRow& row : rows) fps.push_back(row.fingerprint);
+  }
+  doc.scheme_ =
+      std::make_unique<OrderedPrimeScheme>(sc_table.group_size());
   doc.scheme_->Adopt(*doc.tree_, std::move(labels), std::move(selves),
-                     loaded->sc_table(), std::move(fps));
+                     std::move(sc_table), std::move(fps));
   return doc;
+}
+
+Result<LabeledDocument> LabeledDocument::Load(Vfs& vfs,
+                                              const std::string& path) {
+  Result<LoadedCatalog> loaded = LoadCatalog(vfs, path);
+  if (!loaded.ok()) return loaded.status();
+  const bool fingerprints_valid = loaded->fingerprints_persisted();
+  ScTable sc_table = loaded->TakeScTable();
+  return FromCatalogRows(loaded->TakeRows(), std::move(sc_table),
+                         fingerprints_valid, "catalog '" + path + "'");
 }
 
 Status SaveCatalog(const std::string& path, const LabeledDocument& doc) {

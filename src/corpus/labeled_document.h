@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "core/ordered_prime_scheme.h"
+#include "durability/vfs.h"
+#include "store/catalog.h"
 #include "store/label_table.h"
 #include "util/status.h"
 #include "xml/tree.h"
@@ -29,7 +31,21 @@ class LabeledDocument {
   /// text, attributes) from the catalog rows and adopts the stored labels
   /// and SC records without relabeling anything — queries and further
   /// updates continue exactly where the saved document left off.
-  static Result<LabeledDocument> Load(const std::string& path);
+  static Result<LabeledDocument> Load(Vfs& vfs, const std::string& path);
+  static Result<LabeledDocument> Load(const std::string& path) {
+    return Load(DefaultVfs(), path);
+  }
+
+  /// Rebuilds a document from raw catalog rows (preorder, parent by row
+  /// index) and an SC table — the shared tail of Load and of
+  /// delta-snapshot recovery, which assembles the row set itself.
+  /// `fingerprints_valid` says whether the rows' fingerprint fields can be
+  /// adopted verbatim (else they are recomputed); `origin` names the
+  /// source in error messages.
+  static Result<LabeledDocument> FromCatalogRows(std::vector<CatalogRow> rows,
+                                                 ScTable sc_table,
+                                                 bool fingerprints_valid,
+                                                 const std::string& origin);
 
   LabeledDocument(LabeledDocument&&) = default;
   LabeledDocument& operator=(LabeledDocument&&) = default;
@@ -76,7 +92,15 @@ class LabeledDocument {
 
   /// Persists the document (structure, attributes, labels, SC table) as a
   /// catalog file readable by Load and LoadCatalog.
-  Status Save(const std::string& path) const;
+  Status Save(Vfs& vfs, const std::string& path) const;
+  Status Save(const std::string& path) const {
+    return Save(DefaultVfs(), path);
+  }
+
+  /// The document as catalog rows: one row per attached node in preorder,
+  /// parents by row index — the unit both full snapshots and delta
+  /// snapshots are built from.
+  std::vector<CatalogRow> ToCatalogRows() const;
 
  private:
   LabeledDocument() = default;

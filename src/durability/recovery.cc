@@ -148,13 +148,15 @@ Status ReplayRecords(std::span<const WalRecord> records, LabeledDocument* doc,
   return Status::Ok();
 }
 
-Result<LabeledDocument> RecoverDocument(const std::string& snapshot_path,
+Result<LabeledDocument> RecoverDocument(Vfs& vfs,
+                                        const std::string& snapshot_path,
                                         const std::string& wal_path,
-                                        RecoveryStats* stats) {
-  Result<LabeledDocument> doc = LabeledDocument::Load(snapshot_path);
+                                        RecoveryStats* stats,
+                                        std::uint64_t journal_limit) {
+  Result<LabeledDocument> doc = LabeledDocument::Load(vfs, snapshot_path);
   if (!doc.ok()) return doc.status();
 
-  Result<WalReadResult> wal = ReadWal(wal_path);
+  Result<WalReadResult> wal = ReadWal(vfs, wal_path, journal_limit);
   if (!wal.ok()) {
     // No journal at all: the snapshot is the whole state (a checkpoint
     // that crashed after writing the snapshot but before creating the

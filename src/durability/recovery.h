@@ -7,6 +7,7 @@
 
 #include "corpus/labeled_document.h"
 #include "durability/frame.h"
+#include "durability/vfs.h"
 #include "util/status.h"
 
 namespace primelabel {
@@ -46,10 +47,18 @@ Status ReplayRecords(std::span<const WalRecord> records, LabeledDocument* doc,
 /// it (a missing journal file counts as empty). Torn tails and corrupt
 /// frames are tolerated per truncate-at-first-bad-checksum; the caller
 /// finds the resulting safe append position in
-/// `stats->journal_valid_bytes`.
-Result<LabeledDocument> RecoverDocument(const std::string& snapshot_path,
-                                        const std::string& wal_path,
-                                        RecoveryStats* stats = nullptr);
+/// `stats->journal_valid_bytes`. `journal_limit` bounds the replay to the
+/// journal's first N bytes — epoch-pinned readers pass the committed
+/// length they captured so later appends are invisible.
+Result<LabeledDocument> RecoverDocument(
+    Vfs& vfs, const std::string& snapshot_path, const std::string& wal_path,
+    RecoveryStats* stats = nullptr,
+    std::uint64_t journal_limit = ~std::uint64_t{0});
+inline Result<LabeledDocument> RecoverDocument(
+    const std::string& snapshot_path, const std::string& wal_path,
+    RecoveryStats* stats = nullptr) {
+  return RecoverDocument(DefaultVfs(), snapshot_path, wal_path, stats);
+}
 
 }  // namespace primelabel
 

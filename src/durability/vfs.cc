@@ -1,0 +1,399 @@
+#include "durability/vfs.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+#ifdef _WIN32
+#include <io.h>
+#else
+#include <unistd.h>
+#endif
+
+namespace primelabel {
+
+namespace {
+
+/// Maps errno onto the fault taxonomy: disk-full is its own class (retry
+/// cannot help), device errors and short writes are kIoError (transient
+/// candidates), a missing file is kNotFound.
+Status ErrnoStatus(int err, const std::string& op, const std::string& path) {
+  std::string msg = op + " failed on '" + path + "'";
+  if (err != 0) {
+    msg += ": ";
+    msg += std::strerror(err);
+  }
+  switch (err) {
+    case ENOSPC:
+#ifdef EDQUOT
+    case EDQUOT:
+#endif
+      return Status::ResourceExhausted(std::move(msg));
+    case ENOENT:
+      return Status::NotFound(std::move(msg));
+    default:
+      return Status::IoError(std::move(msg));
+  }
+}
+
+Status TruncateAt(const std::string& path, std::uint64_t length) {
+#ifdef _WIN32
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  if (f == nullptr) return ErrnoStatus(errno, "truncate-open", path);
+  int rc = _chsize_s(_fileno(f), static_cast<long long>(length));
+  std::fclose(f);
+  if (rc != 0) return ErrnoStatus(rc, "truncate", path);
+#else
+  if (::truncate(path.c_str(), static_cast<off_t>(length)) != 0) {
+    return ErrnoStatus(errno, "truncate", path);
+  }
+#endif
+  return Status::Ok();
+}
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(std::FILE* file, std::string path, std::uint64_t size)
+      : file_(file), path_(std::move(path)), size_(size) {}
+
+  ~PosixWritableFile() override {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  Status Append(std::span<const std::uint8_t> data) override {
+    errno = 0;
+    const std::size_t wrote = std::fwrite(data.data(), 1, data.size(), file_);
+    const bool flushed = std::fflush(file_) == 0;
+    if (wrote != data.size() || !flushed) {
+      // Roll back to the pre-call length so a short write never leaves a
+      // half-record behind as apparent success. Best effort: if even the
+      // truncate fails the caller's recovery path (ScanFrames) still
+      // tolerates the torn tail.
+      const int err = errno;
+#ifdef _WIN32
+      _chsize_s(_fileno(file_), static_cast<long long>(size_));
+#else
+      int rc = ::ftruncate(fileno(file_), static_cast<off_t>(size_));
+      (void)rc;
+#endif
+      std::fseek(file_, 0, SEEK_END);
+      return ErrnoStatus(err, "append", path_);
+    }
+    size_ += data.size();
+    return Status::Ok();
+  }
+
+  Status Sync() override {
+    if (std::fflush(file_) != 0) return ErrnoStatus(errno, "flush", path_);
+#ifdef _WIN32
+    if (_commit(_fileno(file_)) != 0) return ErrnoStatus(errno, "fsync", path_);
+#else
+    if (::fsync(fileno(file_)) != 0) return ErrnoStatus(errno, "fsync", path_);
+#endif
+    return Status::Ok();
+  }
+
+  std::uint64_t size() const override { return size_; }
+
+ private:
+  std::FILE* file_;
+  std::string path_;
+  std::uint64_t size_;
+};
+
+class PosixVfs : public Vfs {
+ public:
+  Result<std::unique_ptr<WritableFile>> OpenAppend(
+      const std::string& path) override {
+    return OpenMode(path, /*truncate=*/false);
+  }
+
+  Result<std::unique_ptr<WritableFile>> OpenTrunc(
+      const std::string& path) override {
+    return OpenMode(path, /*truncate=*/true);
+  }
+
+  Result<std::vector<std::uint8_t>> ReadAll(const std::string& path,
+                                            std::uint64_t max_bytes) override {
+    std::FILE* file = std::fopen(path.c_str(), "rb");
+    if (file == nullptr) return ErrnoStatus(errno, "open", path);
+    std::vector<std::uint8_t> bytes;
+    std::uint8_t chunk[1 << 16];
+    std::size_t got = 0;
+    while (bytes.size() < max_bytes &&
+           (got = std::fread(chunk, 1, sizeof(chunk), file)) > 0) {
+      const std::uint64_t room = max_bytes - bytes.size();
+      if (got > room) got = static_cast<std::size_t>(room);
+      bytes.insert(bytes.end(), chunk, chunk + got);
+    }
+    const bool bad = std::ferror(file) != 0;
+    std::fclose(file);
+    if (bad) return ErrnoStatus(EIO, "read", path);
+    return bytes;
+  }
+
+  Result<std::uint64_t> FileSize(const std::string& path) override {
+    std::error_code ec;
+    const std::uintmax_t size = std::filesystem::file_size(path, ec);
+    if (ec) return ErrnoStatus(ec.value(), "stat", path);
+    return static_cast<std::uint64_t>(size);
+  }
+
+  Status Truncate(const std::string& path, std::uint64_t length) override {
+    return TruncateAt(path, length);
+  }
+
+  Status Rename(const std::string& from, const std::string& to) override {
+    if (std::rename(from.c_str(), to.c_str()) != 0) {
+      return ErrnoStatus(errno, "rename", from);
+    }
+    return Status::Ok();
+  }
+
+  Status Unlink(const std::string& path) override {
+    if (std::remove(path.c_str()) != 0) {
+      return ErrnoStatus(errno, "unlink", path);
+    }
+    return Status::Ok();
+  }
+
+  Result<std::vector<std::string>> List(const std::string& dir) override {
+    std::error_code ec;
+    std::filesystem::directory_iterator it(dir, ec);
+    if (ec) return ErrnoStatus(ec.value(), "list", dir);
+    std::vector<std::string> names;
+    for (const auto& entry : it) {
+      names.push_back(entry.path().filename().string());
+    }
+    return names;
+  }
+
+  bool Exists(const std::string& path) override {
+    std::error_code ec;
+    return std::filesystem::exists(path, ec);
+  }
+
+  Status CreateDirs(const std::string& path) override {
+    std::error_code ec;
+    std::filesystem::create_directories(path, ec);
+    if (ec) return ErrnoStatus(ec.value(), "mkdir", path);
+    return Status::Ok();
+  }
+
+ private:
+  Result<std::unique_ptr<WritableFile>> OpenMode(const std::string& path,
+                                                 bool truncate) {
+    std::uint64_t size = 0;
+    if (!truncate) {
+      std::error_code ec;
+      const std::uintmax_t existing = std::filesystem::file_size(path, ec);
+      if (!ec) size = static_cast<std::uint64_t>(existing);
+    }
+    std::FILE* file = std::fopen(path.c_str(), truncate ? "wb" : "ab");
+    if (file == nullptr) return ErrnoStatus(errno, "open", path);
+    return std::unique_ptr<WritableFile>(
+        new PosixWritableFile(file, path, size));
+  }
+};
+
+}  // namespace
+
+Status Vfs::WriteWhole(const std::string& path,
+                       std::span<const std::uint8_t> bytes, bool sync) {
+  Result<std::unique_ptr<WritableFile>> file = OpenTrunc(path);
+  if (!file.ok()) return file.status();
+  Status appended = (*file)->Append(bytes);
+  if (!appended.ok()) return appended;
+  if (sync) return (*file)->Sync();
+  return Status::Ok();
+}
+
+Vfs& DefaultVfs() {
+  static PosixVfs* vfs = new PosixVfs();
+  return *vfs;
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjectingVfs
+
+// Named (not anonymous-namespace) so the friend declaration in vfs.h
+// reaches it.
+/// Fault-aware handle: every Append/Sync consults the injector first.
+class FaultInjectedFile : public WritableFile {
+ public:
+  FaultInjectedFile(FaultInjectingVfs* owner,
+                    std::unique_ptr<WritableFile> base)
+      : owner_(owner), base_(std::move(base)) {}
+
+  Status Append(std::span<const std::uint8_t> data) override;
+  Status Sync() override;
+  std::uint64_t size() const override { return base_->size(); }
+
+ private:
+  FaultInjectingVfs* owner_;
+  std::unique_ptr<WritableFile> base_;
+};
+
+void FaultInjectingVfs::Arm(const Fault& fault) {
+  std::lock_guard<std::mutex> lock(mu_);
+  faults_.push_back(fault);
+}
+
+void FaultInjectingVfs::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  faults_.clear();
+  ops_ = 0;
+  syncs_ = 0;
+  crashed_ = false;
+}
+
+std::uint64_t FaultInjectingVfs::write_ops() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ops_;
+}
+
+std::uint64_t FaultInjectingVfs::sync_calls() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return syncs_;
+}
+
+bool FaultInjectingVfs::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+Status FaultInjectingVfs::CheckAlive() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return Status::Unavailable("simulated crash");
+  return Status::Ok();
+}
+
+Status FaultInjectingVfs::NextWriteOp(bool is_sync, std::size_t total,
+                                      std::size_t* half) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return Status::Unavailable("simulated crash");
+  ++ops_;
+  if (is_sync) ++syncs_;
+  for (std::size_t i = 0; i < faults_.size(); ++i) {
+    const Fault fault = faults_[i];
+    if (ops_ < fault.at) continue;
+    if (fault.kind == FaultKind::kFsyncFail && !is_sync) continue;
+    // Fire this fault.
+    if (fault.transient) faults_.erase(faults_.begin() + i);
+    switch (fault.kind) {
+      case FaultKind::kShortWrite:
+        if (half != nullptr) *half = total / 2;
+        return Status::IoError("injected short write (op " +
+                               std::to_string(ops_) + ")");
+      case FaultKind::kEio:
+        return Status::IoError("injected EIO (op " + std::to_string(ops_) +
+                               ")");
+      case FaultKind::kEnospc:
+        return Status::ResourceExhausted("injected ENOSPC (op " +
+                                         std::to_string(ops_) + ")");
+      case FaultKind::kFsyncFail:
+        return Status::IoError("injected fsync failure (op " +
+                               std::to_string(ops_) + ")");
+      case FaultKind::kCrash:
+        crashed_ = true;
+        if (half != nullptr) *half = total / 2;
+        return Status::Unavailable("simulated crash (op " +
+                                   std::to_string(ops_) + ")");
+    }
+  }
+  return Status::Ok();
+}
+
+Status FaultInjectedFile::Append(std::span<const std::uint8_t> data) {
+  std::size_t half = 0;
+  Status verdict = owner_->NextWriteOp(/*is_sync=*/false, data.size(), &half);
+  if (verdict.ok()) return base_->Append(data);
+  if (half > 0) {
+    // Torn write: half the bytes land before the failure, exactly the
+    // shape a real short write or mid-syscall crash leaves on disk.
+    Status partial = base_->Append(data.subspan(0, half));
+    (void)partial;
+  }
+  return verdict;
+}
+
+Status FaultInjectedFile::Sync() {
+  Status verdict = owner_->NextWriteOp(/*is_sync=*/true, 0, nullptr);
+  if (!verdict.ok()) return verdict;
+  return base_->Sync();
+}
+
+Result<std::unique_ptr<WritableFile>> FaultInjectingVfs::OpenAppend(
+    const std::string& path) {
+  Status alive = CheckAlive();
+  if (!alive.ok()) return alive;
+  Result<std::unique_ptr<WritableFile>> base = base_.OpenAppend(path);
+  if (!base.ok()) return base.status();
+  return std::unique_ptr<WritableFile>(
+      new FaultInjectedFile(this, std::move(base.value())));
+}
+
+Result<std::unique_ptr<WritableFile>> FaultInjectingVfs::OpenTrunc(
+    const std::string& path) {
+  Status alive = CheckAlive();
+  if (!alive.ok()) return alive;
+  Result<std::unique_ptr<WritableFile>> base = base_.OpenTrunc(path);
+  if (!base.ok()) return base.status();
+  return std::unique_ptr<WritableFile>(
+      new FaultInjectedFile(this, std::move(base.value())));
+}
+
+Result<std::vector<std::uint8_t>> FaultInjectingVfs::ReadAll(
+    const std::string& path, std::uint64_t max_bytes) {
+  Status alive = CheckAlive();
+  if (!alive.ok()) return alive;
+  return base_.ReadAll(path, max_bytes);
+}
+
+Result<std::uint64_t> FaultInjectingVfs::FileSize(const std::string& path) {
+  Status alive = CheckAlive();
+  if (!alive.ok()) return alive;
+  return base_.FileSize(path);
+}
+
+Status FaultInjectingVfs::Truncate(const std::string& path,
+                                   std::uint64_t length) {
+  Status verdict = NextWriteOp(/*is_sync=*/false, 0, nullptr);
+  if (!verdict.ok()) return verdict;
+  return base_.Truncate(path, length);
+}
+
+Status FaultInjectingVfs::Rename(const std::string& from,
+                                 const std::string& to) {
+  Status verdict = NextWriteOp(/*is_sync=*/false, 0, nullptr);
+  if (!verdict.ok()) return verdict;
+  return base_.Rename(from, to);
+}
+
+Status FaultInjectingVfs::Unlink(const std::string& path) {
+  Status verdict = NextWriteOp(/*is_sync=*/false, 0, nullptr);
+  if (!verdict.ok()) return verdict;
+  return base_.Unlink(path);
+}
+
+Result<std::vector<std::string>> FaultInjectingVfs::List(
+    const std::string& dir) {
+  Status alive = CheckAlive();
+  if (!alive.ok()) return alive;
+  return base_.List(dir);
+}
+
+bool FaultInjectingVfs::Exists(const std::string& path) {
+  if (!CheckAlive().ok()) return false;
+  return base_.Exists(path);
+}
+
+Status FaultInjectingVfs::CreateDirs(const std::string& path) {
+  Status alive = CheckAlive();
+  if (!alive.ok()) return alive;
+  return base_.CreateDirs(path);
+}
+
+}  // namespace primelabel

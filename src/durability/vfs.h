@@ -1,0 +1,158 @@
+#ifndef PRIMELABEL_DURABILITY_VFS_H_
+#define PRIMELABEL_DURABILITY_VFS_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace primelabel {
+
+/// An open file handle for appending. Append pushes the bytes to the OS
+/// before returning (no hidden userspace buffer: the WAL batches in its own
+/// commit buffer, so every Append here is one write the fault layer can
+/// target). A failed Append rolls the file back to its pre-call length when
+/// it can, so a short write never leaves half a record as "success".
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  virtual Status Append(std::span<const std::uint8_t> data) = 0;
+  /// fsync/_commit — the durability barrier.
+  virtual Status Sync() = 0;
+  /// Bytes in the file as tracked by this handle (open size + appends).
+  virtual std::uint64_t size() const = 0;
+};
+
+/// Virtual filesystem seam. Everything the durability subsystem does to
+/// disk — journal appends, snapshot/delta writes, MANIFEST swings, epoch
+/// retirement — goes through one of these, which is what makes the fault
+/// matrix possible: a PosixVfs for production and a FaultInjectingVfs that
+/// can fail any single syscall deterministically.
+///
+/// Error taxonomy (see util/status.h): ENOSPC/EDQUOT map to
+/// kResourceExhausted (retrying cannot help), EIO and short writes map to
+/// kIoError (possibly transient — eligible for RetryPolicy), a missing
+/// file is kNotFound.
+class Vfs {
+ public:
+  virtual ~Vfs() = default;
+
+  /// Opens (creating if missing) for appending at the current end.
+  virtual Result<std::unique_ptr<WritableFile>> OpenAppend(
+      const std::string& path) = 0;
+  /// Opens truncating to empty.
+  virtual Result<std::unique_ptr<WritableFile>> OpenTrunc(
+      const std::string& path) = 0;
+  /// Reads the whole file (or its first `max_bytes` bytes).
+  virtual Result<std::vector<std::uint8_t>> ReadAll(
+      const std::string& path,
+      std::uint64_t max_bytes = ~std::uint64_t{0}) = 0;
+  virtual Result<std::uint64_t> FileSize(const std::string& path) = 0;
+  virtual Status Truncate(const std::string& path, std::uint64_t length) = 0;
+  /// Atomic replace (POSIX rename semantics).
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+  virtual Status Unlink(const std::string& path) = 0;
+  /// Entry names (not paths) in `dir`, excluding "." and "..".
+  virtual Result<std::vector<std::string>> List(const std::string& dir) = 0;
+  virtual bool Exists(const std::string& path) = 0;
+  virtual Status CreateDirs(const std::string& path) = 0;
+
+  /// Convenience: OpenTrunc + one Append + Sync. Not atomic — callers that
+  /// need atomicity write to a temp name and Rename.
+  Status WriteWhole(const std::string& path,
+                    std::span<const std::uint8_t> bytes, bool sync = true);
+};
+
+/// Process-wide PosixVfs singleton: the default for every durability entry
+/// point that is not handed an explicit Vfs.
+Vfs& DefaultVfs();
+
+/// Bounded exponential backoff for transient I/O: attempt k (0-based)
+/// sleeps base_backoff << k before retrying, up to max_attempts total
+/// attempts. The default policy never retries.
+struct RetryPolicy {
+  int max_attempts = 1;
+  std::chrono::microseconds base_backoff{100};
+};
+
+/// True for fault classes where an immediate retry can plausibly succeed
+/// (kIoError: EIO, short writes). ENOSPC and quarantine are not transient.
+inline bool IsTransientIo(const Status& s) {
+  return s.code() == StatusCode::kIoError;
+}
+
+/// Deterministic fault injector wrapped around a real Vfs.
+///
+/// Write-class operations (WritableFile::Append and ::Sync, Truncate,
+/// Rename, Unlink) are counted in program order; an armed Fault fires when
+/// the counter reaches its ordinal. Kinds:
+///  - kShortWrite  Append writes exactly half its bytes, then kIoError.
+///  - kEio         the op fails with kIoError, no bytes touched.
+///  - kEnospc      the op fails with kResourceExhausted.
+///  - kFsyncFail   Sync calls fail with kIoError; other ops pass through.
+///  - kCrash       Append writes half its bytes (a torn write), then every
+///                 subsequent operation — reads included — returns
+///                 kUnavailable, simulating process death at syscall N.
+/// A `transient` fault disarms after firing once (so one retry succeeds);
+/// a persistent fault keeps firing for every eligible op at or after its
+/// ordinal. The injector must outlive any WritableFile it handed out.
+class FaultInjectingVfs : public Vfs {
+ public:
+  enum class FaultKind { kShortWrite, kEio, kEnospc, kFsyncFail, kCrash };
+  struct Fault {
+    std::uint64_t at = 1;  ///< 1-based write-op ordinal the fault fires at
+    FaultKind kind = FaultKind::kEio;
+    bool transient = false;
+  };
+
+  explicit FaultInjectingVfs(Vfs& base) : base_(base) {}
+
+  void Arm(const Fault& fault);
+  /// Clears armed faults, the crash flag, and the op counters.
+  void Reset();
+
+  std::uint64_t write_ops() const;
+  std::uint64_t sync_calls() const;
+  bool crashed() const;
+
+  Result<std::unique_ptr<WritableFile>> OpenAppend(
+      const std::string& path) override;
+  Result<std::unique_ptr<WritableFile>> OpenTrunc(
+      const std::string& path) override;
+  Result<std::vector<std::uint8_t>> ReadAll(
+      const std::string& path,
+      std::uint64_t max_bytes = ~std::uint64_t{0}) override;
+  Result<std::uint64_t> FileSize(const std::string& path) override;
+  Status Truncate(const std::string& path, std::uint64_t length) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status Unlink(const std::string& path) override;
+  Result<std::vector<std::string>> List(const std::string& dir) override;
+  bool Exists(const std::string& path) override;
+  Status CreateDirs(const std::string& path) override;
+
+ private:
+  friend class FaultInjectedFile;
+
+  /// Decides the fate of the next write-class op. Returns kOk to proceed;
+  /// `is_sync` selects kFsyncFail eligibility, `half` (when non-null and
+  /// the fault is a short write/crash) receives how many bytes of `total`
+  /// to write before failing.
+  Status NextWriteOp(bool is_sync, std::size_t total, std::size_t* half);
+  Status CheckAlive() const;
+
+  Vfs& base_;
+  mutable std::mutex mu_;
+  std::vector<Fault> faults_;
+  std::uint64_t ops_ = 0;
+  std::uint64_t syncs_ = 0;
+  bool crashed_ = false;
+};
+
+}  // namespace primelabel
+
+#endif  // PRIMELABEL_DURABILITY_VFS_H_

@@ -1,13 +1,8 @@
 #include "durability/wal.h"
 
 #include <cstring>
+#include <thread>
 #include <utility>
-
-#ifdef _WIN32
-#include <io.h>
-#else
-#include <unistd.h>
-#endif
 
 namespace primelabel {
 
@@ -15,110 +10,52 @@ namespace {
 
 constexpr char kWalMagic[8] = {'P', 'L', 'W', 'A', 'L', 'O', 'G', '1'};
 
-Status TruncateFile(const std::string& path, std::uint64_t length) {
-#ifdef _WIN32
-  std::FILE* f = std::fopen(path.c_str(), "r+b");
-  if (f == nullptr) {
-    return Status::Internal("cannot open '" + path + "' to truncate");
-  }
-  int rc = _chsize_s(_fileno(f), static_cast<long long>(length));
-  std::fclose(f);
-  if (rc != 0) return Status::Internal("truncate failed on '" + path + "'");
-#else
-  if (::truncate(path.c_str(), static_cast<off_t>(length)) != 0) {
-    return Status::Internal("truncate failed on '" + path + "'");
-  }
-#endif
-  return Status::Ok();
-}
-
-Status FsyncFile(std::FILE* file, const std::string& path) {
-#ifdef _WIN32
-  if (_commit(_fileno(file)) != 0) {
-    return Status::Internal("fsync failed on '" + path + "'");
-  }
-#else
-  if (::fsync(fileno(file)) != 0) {
-    return Status::Internal("fsync failed on '" + path + "'");
-  }
-#endif
-  return Status::Ok();
+std::span<const std::uint8_t> MagicSpan() {
+  return std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(kWalMagic), sizeof(kWalMagic));
 }
 
 }  // namespace
 
-Result<WriteAheadLog> WriteAheadLog::Open(const std::string& path,
+Result<WriteAheadLog> WriteAheadLog::Open(Vfs& vfs, const std::string& path,
                                           const WalOptions& options,
                                           std::uint64_t resume_at) {
   // Peek at the current size to decide between "fresh header" and
   // "resume after the intact prefix".
   std::uint64_t existing = 0;
-  if (std::FILE* probe = std::fopen(path.c_str(), "rb")) {
-    std::fseek(probe, 0, SEEK_END);
-    existing = static_cast<std::uint64_t>(std::ftell(probe));
-    std::fclose(probe);
+  if (Result<std::uint64_t> size = vfs.FileSize(path); size.ok()) {
+    existing = *size;
   }
   const bool fresh = existing < sizeof(kWalMagic);
-  if (!fresh && resume_at >= sizeof(kWalMagic) && resume_at < existing) {
+  const bool truncating =
+      !fresh && resume_at >= sizeof(kWalMagic) && resume_at < existing;
+  if (truncating) {
     // Drop the torn/corrupt tail so appended frames extend the intact
     // prefix (truncate-at-first-bad-checksum made durable).
-    Status truncated = TruncateFile(path, resume_at);
+    Status truncated = vfs.Truncate(path, resume_at);
     if (!truncated.ok()) return truncated;
   }
-  std::FILE* file = std::fopen(path.c_str(), fresh ? "wb" : "ab");
-  if (file == nullptr) {
-    return Status::InvalidArgument("cannot open journal '" + path + "'");
-  }
+  Result<std::unique_ptr<WritableFile>> file =
+      fresh ? vfs.OpenTrunc(path) : vfs.OpenAppend(path);
+  if (!file.ok()) return file.status();
   WriteAheadLog wal;
   wal.path_ = path;
-  wal.file_ = file;
+  wal.vfs_ = &vfs;
+  wal.file_ = std::move(file.value());
   wal.options_ = options;
   if (fresh) {
-    if (std::fwrite(kWalMagic, 1, sizeof(kWalMagic), file) !=
-            sizeof(kWalMagic) ||
-        std::fflush(file) != 0) {
-      std::fclose(file);
-      wal.file_ = nullptr;
-      return Status::Internal("cannot write journal header to '" + path +
-                              "'");
-    }
+    Status header = wal.file_->Append(MagicSpan());
+    if (!header.ok()) return header;
+    wal.durable_bytes_ = sizeof(kWalMagic);
+  } else {
+    wal.durable_bytes_ = truncating ? resume_at : existing;
   }
   return wal;
-}
-
-WriteAheadLog::WriteAheadLog(WriteAheadLog&& other) noexcept
-    : path_(std::move(other.path_)),
-      file_(other.file_),
-      options_(other.options_),
-      buffer_(std::move(other.buffer_)),
-      pending_records_(other.pending_records_),
-      committed_frames_(other.committed_frames_),
-      commits_since_sync_(other.commits_since_sync_) {
-  other.file_ = nullptr;
-}
-
-WriteAheadLog& WriteAheadLog::operator=(WriteAheadLog&& other) noexcept {
-  if (this != &other) {
-    if (file_ != nullptr) {
-      Commit();
-      std::fclose(file_);
-    }
-    path_ = std::move(other.path_);
-    file_ = other.file_;
-    options_ = other.options_;
-    buffer_ = std::move(other.buffer_);
-    pending_records_ = other.pending_records_;
-    committed_frames_ = other.committed_frames_;
-    commits_since_sync_ = other.commits_since_sync_;
-    other.file_ = nullptr;
-  }
-  return *this;
 }
 
 WriteAheadLog::~WriteAheadLog() {
   if (file_ != nullptr) {
     Commit();  // best effort; a crash before this point loses the buffer
-    std::fclose(file_);
   }
 }
 
@@ -134,11 +71,29 @@ Status WriteAheadLog::Append(const WalRecord& record) {
 Status WriteAheadLog::Commit() {
   if (buffer_.empty()) return Status::Ok();
   PL_CHECK(file_ != nullptr);
-  if (std::fwrite(buffer_.data(), 1, buffer_.size(), file_) !=
-          buffer_.size() ||
-      std::fflush(file_) != 0) {
-    return Status::Internal("journal write failed on '" + path_ + "'");
+  Status wrote;
+  for (int attempt = 0;; ++attempt) {
+    wrote = file_->Append(buffer_);
+    if (wrote.ok()) break;
+    if (!IsTransientIo(wrote) || attempt + 1 >= options_.retry.max_attempts) {
+      return wrote;
+    }
+    // Transient I/O error (EIO, short write): truncate back to the
+    // committed prefix — a short write may have left part of this group
+    // on disk — reopen, back off exponentially, retry.
+    if (options_.retry.base_backoff.count() > 0) {
+      const int shift = attempt < 20 ? attempt : 20;
+      std::this_thread::sleep_for(options_.retry.base_backoff *
+                                  (std::int64_t{1} << shift));
+    }
+    file_.reset();
+    Status truncated = vfs_->Truncate(path_, durable_bytes_);
+    if (!truncated.ok()) return wrote;
+    Result<std::unique_ptr<WritableFile>> reopened = vfs_->OpenAppend(path_);
+    if (!reopened.ok()) return reopened.status();
+    file_ = std::move(reopened.value());
   }
+  durable_bytes_ += buffer_.size();
   committed_frames_ += static_cast<std::uint64_t>(pending_records_);
   buffer_.clear();
   pending_records_ = 0;
@@ -150,7 +105,10 @@ Status WriteAheadLog::Commit() {
            static_cast<std::uint64_t>(options_.sync_interval));
   if (want_sync) {
     commits_since_sync_ = 0;
-    return FsyncFile(file_, path_);
+    // fsync failures are final: the kernel may have dropped the dirty
+    // pages, so "retry until it works" would report durability we cannot
+    // prove. The store reacts by quarantining.
+    return file_->Sync();
   }
   return Status::Ok();
 }
@@ -159,21 +117,19 @@ Status WriteAheadLog::Sync() {
   Status committed = Commit();
   if (!committed.ok()) return committed;
   commits_since_sync_ = 0;
-  return FsyncFile(file_, path_);
+  return file_->Sync();
 }
 
-Result<WalReadResult> ReadWal(const std::string& path) {
-  std::FILE* file = std::fopen(path.c_str(), "rb");
-  if (file == nullptr) {
-    return Status::NotFound("cannot open journal '" + path + "'");
+Result<WalReadResult> ReadWal(Vfs& vfs, const std::string& path,
+                              std::uint64_t max_bytes) {
+  Result<std::vector<std::uint8_t>> read = vfs.ReadAll(path, max_bytes);
+  if (!read.ok()) {
+    if (read.status().code() == StatusCode::kNotFound) {
+      return Status::NotFound("cannot open journal '" + path + "'");
+    }
+    return read.status();
   }
-  std::vector<std::uint8_t> bytes;
-  std::uint8_t chunk[1 << 16];
-  std::size_t got = 0;
-  while ((got = std::fread(chunk, 1, sizeof(chunk), file)) > 0) {
-    bytes.insert(bytes.end(), chunk, chunk + got);
-  }
-  std::fclose(file);
+  const std::vector<std::uint8_t>& bytes = *read;
 
   WalReadResult result;
   if (bytes.size() < sizeof(kWalMagic) ||

@@ -2,11 +2,12 @@
 #define PRIMELABEL_DURABILITY_WAL_H_
 
 #include <cstdint>
-#include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "durability/frame.h"
+#include "durability/vfs.h"
 #include "util/status.h"
 
 namespace primelabel {
@@ -21,7 +22,8 @@ enum class WalSyncPolicy {
   /// committed group.
   kEveryCommit,
   /// fsync every `sync_interval` commits — the classic group-commit
-  /// durability/throughput dial.
+  /// durability/throughput dial. N=1 is identical to kEveryCommit; after
+  /// a crash the un-fsynced tail is at most N-1 commit groups.
   kEveryNCommits,
 };
 
@@ -33,58 +35,88 @@ struct WalOptions {
   /// its own commit; larger values batch frames into one write (group
   /// commit), trading a larger crash-loss window for fewer syscalls.
   int group_commit_records = 1;
+  /// Retry budget for transient commit-write failures (kIoError). Between
+  /// attempts the journal is truncated back to its committed prefix and
+  /// reopened, so a short write never leaves garbage under a retried
+  /// frame. fsync failures are never retried (a failed fsync poisons the
+  /// page cache state — the store quarantines instead).
+  RetryPolicy retry;
 };
 
 /// Append-only write-ahead journal of checksummed frames.
 ///
 /// File layout: an 8-byte magic ("PLWALOG1") followed by frames
 /// (durability/frame.h). Appends are buffered in memory and written as
-/// one contiguous fwrite per commit; a crash loses at most the uncommitted
+/// one contiguous write per commit; a crash loses at most the uncommitted
 /// buffer plus whatever the sync policy left in OS caches, and always
 /// leaves a prefix of whole frames plus at most one torn tail — exactly
 /// the shapes recovery truncates.
+///
+/// All file traffic goes through a Vfs, so the fault matrix can fail any
+/// single write/sync/truncate this log issues.
 class WriteAheadLog {
  public:
-  /// Opens `path` for appending, creating it (with a fresh header) when
-  /// missing or empty. `resume_at` is the intact-prefix length reported by
-  /// ReadWal: when the existing file is longer (a torn tail from a crash)
-  /// it is truncated back to that length first, so new frames never land
-  /// after garbage.
-  static Result<WriteAheadLog> Open(const std::string& path,
+  /// Opens `path` for appending through `vfs`, creating it (with a fresh
+  /// header) when missing or empty. `resume_at` is the intact-prefix
+  /// length reported by ReadWal: when the existing file is longer (a torn
+  /// tail from a crash) it is truncated back to that length first, so new
+  /// frames never land after garbage.
+  static Result<WriteAheadLog> Open(Vfs& vfs, const std::string& path,
                                     const WalOptions& options = {},
                                     std::uint64_t resume_at = 0);
+  /// Convenience overload against the process-wide PosixVfs.
+  static Result<WriteAheadLog> Open(const std::string& path,
+                                    const WalOptions& options = {},
+                                    std::uint64_t resume_at = 0) {
+    return Open(DefaultVfs(), path, options, resume_at);
+  }
 
-  WriteAheadLog(WriteAheadLog&& other) noexcept;
-  WriteAheadLog& operator=(WriteAheadLog&& other) noexcept;
+  WriteAheadLog(WriteAheadLog&&) = default;
+  WriteAheadLog& operator=(WriteAheadLog&&) = default;
   ~WriteAheadLog();
 
   /// Buffers one record; auto-commits when the group is full. The record
   /// is NOT crash-durable until the commit that includes it returns.
   Status Append(const WalRecord& record);
 
-  /// Writes every buffered frame in one contiguous write, flushes, and
-  /// applies the sync policy. No-op on an empty buffer.
+  /// Writes every buffered frame in one contiguous write and applies the
+  /// sync policy. No-op on an empty buffer. Transient write failures are
+  /// retried under options().retry with the file truncated back to its
+  /// committed prefix between attempts.
   Status Commit();
 
   /// Unconditional fsync (checkpoint barrier).
   Status Sync();
 
+  /// Drops buffered-but-uncommitted records (quarantine entry: the store
+  /// rolled the ops back in memory, so the frames must never land).
+  void DiscardPending() {
+    buffer_.clear();
+    pending_records_ = 0;
+  }
+
   /// Records buffered but not yet committed.
   int pending_records() const { return pending_records_; }
   /// Frames committed to the file since Open.
   std::uint64_t committed_frames() const { return committed_frames_; }
+  /// File length in bytes (header included) covered by successful commits
+  /// — the prefix a reader may trust even while this writer keeps
+  /// appending. Epoch pins capture this value.
+  std::uint64_t committed_bytes() const { return durable_bytes_; }
   const std::string& path() const { return path_; }
 
  private:
   WriteAheadLog() = default;
 
   std::string path_;
-  std::FILE* file_ = nullptr;
+  Vfs* vfs_ = nullptr;
+  std::unique_ptr<WritableFile> file_;
   WalOptions options_;
   std::vector<std::uint8_t> buffer_;
   int pending_records_ = 0;
   std::uint64_t committed_frames_ = 0;
   std::uint64_t commits_since_sync_ = 0;
+  std::uint64_t durable_bytes_ = 0;
 };
 
 /// Journal read-back: the record sequence of the intact frame prefix plus
@@ -102,7 +134,14 @@ struct WalReadResult {
 /// (truncate-at-first-bad-checksum: everything from the first bad byte on
 /// is reported dropped). A missing file is kNotFound; a file whose header
 /// is damaged yields zero records with the whole body dropped.
-Result<WalReadResult> ReadWal(const std::string& path);
+/// `max_bytes` bounds the read to a prefix — epoch-pinned readers pass the
+/// committed length they captured, so frames the writer appended later are
+/// invisible to them.
+Result<WalReadResult> ReadWal(Vfs& vfs, const std::string& path,
+                              std::uint64_t max_bytes = ~std::uint64_t{0});
+inline Result<WalReadResult> ReadWal(const std::string& path) {
+  return ReadWal(DefaultVfs(), path);
+}
 
 }  // namespace primelabel
 

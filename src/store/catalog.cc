@@ -1,6 +1,5 @@
 #include "store/catalog.h"
 
-#include <cstdio>
 #include <cstring>
 
 #include "util/thread_pool.h"
@@ -11,99 +10,6 @@ namespace {
 
 /// Shared 7-byte magic prefix; the eighth byte is the ASCII format digit.
 constexpr char kMagicPrefix[7] = {'P', 'L', 'C', 'A', 'T', 'L', 'G'};
-
-/// Minimal little-endian binary writer over stdio (no iostream locale
-/// overhead; databases write pages, not text).
-class Writer {
- public:
-  explicit Writer(std::FILE* file) : file_(file) {}
-  bool ok() const { return ok_; }
-
-  void Bytes(const void* data, std::size_t size) {
-    if (ok_ && std::fwrite(data, 1, size, file_) != size) ok_ = false;
-  }
-  void U8(std::uint8_t v) { Bytes(&v, 1); }
-  void U32(std::uint32_t v) {
-    std::uint8_t buffer[4];
-    for (int i = 0; i < 4; ++i) buffer[i] = static_cast<std::uint8_t>(v >> (8 * i));
-    Bytes(buffer, 4);
-  }
-  void U64(std::uint64_t v) {
-    std::uint8_t buffer[8];
-    for (int i = 0; i < 8; ++i) buffer[i] = static_cast<std::uint8_t>(v >> (8 * i));
-    Bytes(buffer, 8);
-  }
-  void I64(std::int64_t v) { U64(static_cast<std::uint64_t>(v)); }
-  void String(const std::string& s) {
-    U32(static_cast<std::uint32_t>(s.size()));
-    Bytes(s.data(), s.size());
-  }
-  void Big(const BigInt& v) {
-    std::vector<std::uint8_t> bytes = v.ToMagnitudeBytes();
-    U32(static_cast<std::uint32_t>(bytes.size()));
-    Bytes(bytes.data(), bytes.size());
-  }
-
- private:
-  std::FILE* file_;
-  bool ok_ = true;
-};
-
-/// Matching reader; every accessor reports truncation through ok().
-class Reader {
- public:
-  explicit Reader(std::FILE* file) : file_(file) {}
-  bool ok() const { return ok_; }
-
-  bool Bytes(void* data, std::size_t size) {
-    if (ok_ && std::fread(data, 1, size, file_) != size) ok_ = false;
-    return ok_;
-  }
-  std::uint8_t U8() {
-    std::uint8_t v = 0;
-    Bytes(&v, 1);
-    return v;
-  }
-  std::uint32_t U32() {
-    std::uint8_t buffer[4] = {};
-    Bytes(buffer, 4);
-    std::uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(buffer[i]) << (8 * i);
-    return v;
-  }
-  std::uint64_t U64() {
-    std::uint8_t buffer[8] = {};
-    Bytes(buffer, 8);
-    std::uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(buffer[i]) << (8 * i);
-    return v;
-  }
-  std::int64_t I64() { return static_cast<std::int64_t>(U64()); }
-  std::string String() {
-    std::uint32_t size = U32();
-    if (!ok_ || size > (1u << 28)) {
-      ok_ = false;
-      return {};
-    }
-    std::string s(size, '\0');
-    Bytes(s.data(), size);
-    return s;
-  }
-  BigInt Big() {
-    std::uint32_t size = U32();
-    if (!ok_ || size > (1u << 24)) {
-      ok_ = false;
-      return {};
-    }
-    std::vector<std::uint8_t> bytes(size);
-    Bytes(bytes.data(), size);
-    return BigInt::FromMagnitudeBytes(bytes);
-  }
-
- private:
-  std::FILE* file_;
-  bool ok_ = true;
-};
 
 /// Packed on-disk image of a LabelFingerprint: 7 residues, the prime
 /// mask, bit length and trailing zeros, all little-endian. Encoded and
@@ -290,7 +196,78 @@ void LoadedCatalog::SelectAncestors(NodeId descendant,
   }
 }
 
-Status WriteCatalog(const std::string& path,
+void EncodeCatalogRow(const CatalogRow& row, bool with_fingerprint,
+                      ByteWriter* out) {
+  out->String(row.tag);
+  out->U8(row.is_element ? 1 : 0);
+  out->I64(row.parent);
+  out->U32(static_cast<std::uint32_t>(row.attributes.size()));
+  for (const auto& [key, value] : row.attributes) {
+    out->String(key);
+    out->String(value);
+  }
+  out->Big(row.label);
+  out->U64(row.self);
+  if (with_fingerprint) {
+    std::uint8_t image[kFingerprintImageBytes];
+    PackFingerprint(row.fingerprint, image);
+    out->Bytes(image, sizeof(image));
+  }
+}
+
+Status DecodeCatalogRow(ByteReader* in, bool with_fingerprint,
+                        CatalogRow* row) {
+  row->tag = in->String();
+  row->is_element = in->U8() != 0;
+  row->parent = in->I64();
+  std::uint32_t attribute_count = in->U32();
+  if (in->ok() && attribute_count > (1u << 20)) {
+    return Status::ParseError("implausible attribute count");
+  }
+  row->attributes.clear();
+  for (std::uint32_t a = 0; a < attribute_count && in->ok(); ++a) {
+    std::string key = in->String();
+    std::string value = in->String();
+    row->attributes.emplace_back(std::move(key), std::move(value));
+  }
+  row->label = in->Big();
+  row->self = in->U64();
+  if (with_fingerprint) {
+    std::uint8_t image[kFingerprintImageBytes];
+    if (in->Bytes(image, sizeof(image))) {
+      UnpackFingerprint(image, &row->fingerprint);
+    }
+  }
+  if (!in->ok()) return Status::ParseError("truncated catalog row");
+  return Status::Ok();
+}
+
+void EncodeScRecord(const ScRecord& record, ByteWriter* out) {
+  out->U32(static_cast<std::uint32_t>(record.moduli.size()));
+  for (std::size_t i = 0; i < record.moduli.size(); ++i) {
+    out->U64(record.moduli[i]);
+    out->U64(record.orders[i]);
+  }
+  out->Big(record.sc);
+}
+
+Status DecodeScRecord(ByteReader* in, ScRecord* record) {
+  std::uint32_t entries = in->U32();
+  if (in->ok() && entries > (1u << 24)) {
+    return Status::ParseError("implausible SC record size");
+  }
+  record->moduli.clear();
+  record->orders.clear();
+  for (std::uint32_t i = 0; i < entries && in->ok(); ++i) {
+    record->moduli.push_back(in->U64());
+    record->orders.push_back(in->U64());
+  }
+  record->sc = in->Big();
+  if (!in->ok()) return Status::ParseError("truncated SC record");
+  return Status::Ok();
+}
+
+Status WriteCatalog(Vfs& vfs, const std::string& path,
                     const std::vector<CatalogRow>& rows,
                     const ScTable& sc_table,
                     const CatalogWriteOptions& options) {
@@ -303,11 +280,7 @@ Status WriteCatalog(const std::string& path,
         std::to_string(kCatalogFormatVersion) + ")");
   }
   const bool v3 = options.format_version >= 3;
-  std::FILE* file = std::fopen(path.c_str(), "wb");
-  if (file == nullptr) {
-    return Status::InvalidArgument("cannot open '" + path + "' for writing");
-  }
-  Writer writer(file);
+  ByteWriter writer;
   writer.Bytes(kMagicPrefix, sizeof(kMagicPrefix));
   writer.U8(static_cast<std::uint8_t>('0' + options.format_version));
   // v3: fingerprints are only as good as the configuration they were
@@ -315,52 +288,30 @@ Status WriteCatalog(const std::string& path,
   if (v3) writer.U64(FingerprintConfigHash());
 
   writer.U64(rows.size());
-  for (const CatalogRow& row : rows) {
-    writer.String(row.tag);
-    writer.U8(row.is_element ? 1 : 0);
-    writer.I64(row.parent);
-    writer.U32(static_cast<std::uint32_t>(row.attributes.size()));
-    for (const auto& [key, value] : row.attributes) {
-      writer.String(key);
-      writer.String(value);
-    }
-    writer.Big(row.label);
-    writer.U64(row.self);
-    if (v3) {
-      std::uint8_t image[kFingerprintImageBytes];
-      PackFingerprint(row.fingerprint, image);
-      writer.Bytes(image, sizeof(image));
-    }
-  }
+  for (const CatalogRow& row : rows) EncodeCatalogRow(row, v3, &writer);
 
   // SC table: group size + records.
   writer.U32(static_cast<std::uint32_t>(sc_table.group_size()));
   writer.U64(sc_table.records().size());
   for (const ScRecord& record : sc_table.records()) {
-    writer.U32(static_cast<std::uint32_t>(record.moduli.size()));
-    for (std::size_t i = 0; i < record.moduli.size(); ++i) {
-      writer.U64(record.moduli[i]);
-      writer.U64(record.orders[i]);
-    }
-    writer.Big(record.sc);
+    EncodeScRecord(record, &writer);
   }
-  bool ok = writer.ok();
-  ok = std::fclose(file) == 0 && ok;
-  if (!ok) return Status::Internal("short write to '" + path + "'");
-  return Status::Ok();
+  return vfs.WriteWhole(path, writer.buffer());
 }
 
-Result<LoadedCatalog> LoadCatalog(const std::string& path) {
-  std::FILE* file = std::fopen(path.c_str(), "rb");
-  if (file == nullptr) {
-    return Status::NotFound("cannot open '" + path + "'");
+Result<LoadedCatalog> LoadCatalog(Vfs& vfs, const std::string& path) {
+  Result<std::vector<std::uint8_t>> read = vfs.ReadAll(path);
+  if (!read.ok()) {
+    if (read.status().code() == StatusCode::kNotFound) {
+      return Status::NotFound("cannot open '" + path + "'");
+    }
+    return read.status();
   }
-  Reader reader(file);
+  ByteReader reader(*read);
   char magic[8] = {};
   reader.Bytes(magic, sizeof(magic));
   if (!reader.ok() ||
       std::memcmp(magic, kMagicPrefix, sizeof(kMagicPrefix)) != 0) {
-    std::fclose(file);
     return Status::ParseError("'" + path + "' is not a primelabel catalog");
   }
   // Explicit version gate: name what was found and what this binary
@@ -369,7 +320,6 @@ Result<LoadedCatalog> LoadCatalog(const std::string& path) {
   const int version = magic[7] - '0';
   if (version < kCatalogMinSupportedVersion ||
       version > kCatalogFormatVersion) {
-    std::fclose(file);
     const bool is_digit = magic[7] >= '0' && magic[7] <= '9';
     return Status::ParseError(
         "catalog '" + path + "' has format version " +
@@ -391,33 +341,18 @@ Result<LoadedCatalog> LoadCatalog(const std::string& path) {
 
   std::uint64_t row_count = reader.U64();
   if (row_count > (1ull << 32)) {
-    std::fclose(file);
     return Status::ParseError("implausible row count");
   }
   std::vector<CatalogRow> rows;
   rows.reserve(row_count);
   for (std::uint64_t i = 0; i < row_count && reader.ok(); ++i) {
     CatalogRow row;
-    row.tag = reader.String();
-    row.is_element = reader.U8() != 0;
-    row.parent = reader.I64();
-    std::uint32_t attribute_count = reader.U32();
-    if (attribute_count > (1u << 20)) {
-      std::fclose(file);
-      return Status::ParseError("implausible attribute count");
-    }
-    for (std::uint32_t a = 0; a < attribute_count && reader.ok(); ++a) {
-      std::string key = reader.String();
-      std::string value = reader.String();
-      row.attributes.emplace_back(std::move(key), std::move(value));
-    }
-    row.label = reader.Big();
-    row.self = reader.U64();
-    if (v3) {
-      std::uint8_t image[kFingerprintImageBytes];
-      if (reader.Bytes(image, sizeof(image))) {
-        UnpackFingerprint(image, &row.fingerprint);
-      }
+    Status decoded = DecodeCatalogRow(&reader, v3, &row);
+    if (!decoded.ok()) {
+      // Truncation falls through to the generic corrupt-catalog error;
+      // a tripped plausibility gate reports its specific message.
+      if (!reader.ok()) break;
+      return decoded;
     }
     rows.push_back(std::move(row));
   }
@@ -427,17 +362,14 @@ Result<LoadedCatalog> LoadCatalog(const std::string& path) {
   std::vector<ScRecord> records;
   for (std::uint64_t r = 0; r < record_count && reader.ok(); ++r) {
     ScRecord record;
-    std::uint32_t entries = reader.U32();
-    for (std::uint32_t i = 0; i < entries && reader.ok(); ++i) {
-      record.moduli.push_back(reader.U64());
-      record.orders.push_back(reader.U64());
+    Status decoded = DecodeScRecord(&reader, &record);
+    if (!decoded.ok()) {
+      if (!reader.ok()) break;
+      return decoded;
     }
-    record.sc = reader.Big();
     records.push_back(std::move(record));
   }
-  bool ok = reader.ok();
-  std::fclose(file);
-  if (!ok || group_size < 1) {
+  if (!reader.ok() || group_size < 1) {
     return Status::ParseError("truncated or corrupt catalog '" + path + "'");
   }
   ScTable sc_table = ScTable::FromRecords(group_size, std::move(records));

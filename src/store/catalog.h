@@ -10,6 +10,8 @@
 #include "bigint/reduction.h"
 #include "core/sc_table.h"
 #include "core/structure_oracle.h"
+#include "durability/vfs.h"
+#include "util/binio.h"
 #include "util/status.h"
 
 namespace primelabel {
@@ -87,6 +89,12 @@ class LoadedCatalog : public StructureOracle {
   /// pass too. The catalog must not be queried afterwards.
   std::vector<LabelFingerprint> TakeFingerprints() { return std::move(fps_); }
 
+  /// Moves the rows out (delta-snapshot recovery rebuilds documents from
+  /// raw rows without paying for a queryable catalog). The catalog must
+  /// not be queried afterwards.
+  std::vector<CatalogRow> TakeRows() { return std::move(rows_); }
+  ScTable TakeScTable() { return std::move(sc_table_); }
+
   /// Divisibility ancestor test over stored labels.
   bool IsAncestor(NodeId x, NodeId y) const override;
   /// Parent test: label(y) == label(x) * self(y).
@@ -117,8 +125,18 @@ class LoadedCatalog : public StructureOracle {
   int format_version_ = kCatalogFormatVersion;
   bool fingerprints_persisted_ = false;
 
-  friend Result<LoadedCatalog> LoadCatalog(const std::string& path);
+  friend Result<LoadedCatalog> LoadCatalog(Vfs& vfs, const std::string& path);
 };
+
+/// Row/record codecs, shared by the full catalog format and the delta
+/// snapshot format (durability/delta.h) so a row image is byte-identical
+/// wherever it is persisted. `with_fingerprint` selects the v3 row shape.
+void EncodeCatalogRow(const CatalogRow& row, bool with_fingerprint,
+                      ByteWriter* out);
+Status DecodeCatalogRow(ByteReader* in, bool with_fingerprint,
+                        CatalogRow* row);
+void EncodeScRecord(const ScRecord& record, ByteWriter* out);
+Status DecodeScRecord(ByteReader* in, ScRecord* record);
 
 /// Knobs for WriteCatalog. The version knob exists for compatibility
 /// testing and the v2-vs-v3 load benchmarks; production callers take the
@@ -131,16 +149,26 @@ struct CatalogWriteOptions {
 /// referenced by row index (v3 additionally persists each row's
 /// fingerprint, which the caller must have filled in). Document-level
 /// callers go through SaveCatalog(path, LabeledDocument) in corpus/, which
-/// assembles the rows.
-Status WriteCatalog(const std::string& path,
+/// assembles the rows. The file is assembled in memory and handed to the
+/// Vfs as one write + fsync.
+Status WriteCatalog(Vfs& vfs, const std::string& path,
                     const std::vector<CatalogRow>& rows,
                     const ScTable& sc_table,
                     const CatalogWriteOptions& options = {});
+inline Status WriteCatalog(const std::string& path,
+                           const std::vector<CatalogRow>& rows,
+                           const ScTable& sc_table,
+                           const CatalogWriteOptions& options = {}) {
+  return WriteCatalog(DefaultVfs(), path, rows, sc_table, options);
+}
 
 /// Reads a catalog written by WriteCatalog. Fails with kParseError on a bad
 /// magic, an unsupported version (the message names found vs. supported
 /// versions) or a truncated file.
-Result<LoadedCatalog> LoadCatalog(const std::string& path);
+Result<LoadedCatalog> LoadCatalog(Vfs& vfs, const std::string& path);
+inline Result<LoadedCatalog> LoadCatalog(const std::string& path) {
+  return LoadCatalog(DefaultVfs(), path);
+}
 
 }  // namespace primelabel
 

@@ -17,6 +17,14 @@ enum class StatusCode {
   kNotFound,
   kParseError,
   kInternal,
+  /// The store is quarantined / the resource refuses service; the caller
+  /// may retry after the condition clears (e.g. after reopening).
+  kUnavailable,
+  /// Out of disk/quota (ENOSPC/EDQUOT). Not transient: retrying without
+  /// freeing space cannot help.
+  kResourceExhausted,
+  /// Device-level I/O failure (EIO, short write). Possibly transient.
+  kIoError,
 };
 
 /// Returns a short human-readable name for a StatusCode.
@@ -34,6 +42,12 @@ inline const char* StatusCodeName(StatusCode code) {
       return "ParseError";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kIoError:
+      return "IoError";
   }
   return "Unknown";
 }
@@ -64,6 +78,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
