@@ -451,15 +451,15 @@ void BM_CatalogLoadV2VsV3(benchmark::State& state, int version) {
     f->v2_path = base + "-v2.plc";
     CatalogWriteOptions v2;
     v2.format_version = 2;
-    if (!WriteCatalog(f->v3_path, rows, b.scheme.sc_table()).ok() ||
-        !WriteCatalog(f->v2_path, rows, b.scheme.sc_table(), v2).ok()) {
+    if (!WriteCatalog(DefaultVfs(), f->v3_path, rows, b.scheme.sc_table()).ok() ||
+        !WriteCatalog(DefaultVfs(), f->v2_path, rows, b.scheme.sc_table(), v2).ok()) {
       std::abort();
     }
     return f;
   }();
   const std::string& path = version == 2 ? fixture->v2_path : fixture->v3_path;
   for (auto _ : state) {
-    Result<LoadedCatalog> loaded = LoadCatalog(path);
+    Result<LoadedCatalog> loaded = LoadCatalog(DefaultVfs(), path);
     benchmark::DoNotOptimize(loaded.ok());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *

@@ -1,0 +1,189 @@
+// Query-service throughput/latency bench: N concurrent sessions issuing
+// XPath requests against shared epoch snapshots of one in-process
+// QueryService, with and without a concurrent writer. Reports throughput
+// and p50/p99 per-request latency at 1/4/16 sessions, plus the view-cache
+// hit rate — the number that justifies the materialized-view cache over
+// ReadPinned-per-call.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <random>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench/report.h"
+#include "service/query_service.h"
+#include "xml/serializer.h"
+#include "xml/shakespeare.h"
+
+using namespace primelabel;
+using namespace primelabel::bench;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string BenchPlayXml() {
+  PlayOptions options;
+  options.acts = 4;
+  options.scenes_per_act = 4;
+  options.min_speeches_per_scene = 4;
+  options.max_speeches_per_scene = 8;
+  options.seed = 5;
+  return SerializeXml(GeneratePlay("bench", options));
+}
+
+struct RunResult {
+  double throughput_qps = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t materializations = 0;
+  std::uint64_t snapshot_opens = 0;
+};
+
+double Percentile(std::vector<double>& sorted_us, double p) {
+  if (sorted_us.empty()) return 0;
+  const std::size_t idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted_us.size() - 1));
+  return sorted_us[idx];
+}
+
+/// Runs `num_sessions` reader threads for `requests_per_session` requests
+/// each (SNAP every 16th request, XPath otherwise); with `with_writer`, a
+/// writer thread mutates and checkpoints throughout.
+RunResult RunLoad(const std::string& dir, int num_sessions,
+                  int requests_per_session, bool with_writer) {
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  Result<DurableDocumentStore> store =
+      DurableDocumentStore::Create(dir, BenchPlayXml());
+  if (!store.ok()) {
+    std::fprintf(stderr, "create failed: %s\n",
+                 store.status().ToString().c_str());
+    return {};
+  }
+  QueryService::Options options;
+  options.max_sessions = static_cast<std::size_t>(num_sessions);
+  QueryService service(std::move(store.value()), options);
+
+  const char* queries[] = {"//speech", "/play/act//speaker",
+                           "//scene/speech/line", "//act"};
+
+  std::atomic<bool> stop_writer{false};
+  std::thread writer;
+  if (with_writer) {
+    writer = std::thread([&] {
+      std::mt19937 rng(77);
+      DurableDocumentStore& target = service.store();
+      int i = 0;
+      while (!stop_writer.load()) {
+        std::vector<NodeId> elements;
+        target.document().tree().Preorder([&](NodeId id, int) {
+          if (id != target.document().tree().root() &&
+              target.document().tree().IsElement(id)) {
+            elements.push_back(id);
+          }
+        });
+        if (!target.AppendChild(elements[rng() % elements.size()], "w")
+                 .ok()) {
+          break;
+        }
+        if (++i % 32 == 0 && !target.Checkpoint().ok()) break;
+        std::this_thread::sleep_for(std::chrono::microseconds(500));
+      }
+    });
+  }
+
+  std::vector<std::vector<double>> latencies(
+      static_cast<std::size_t>(num_sessions));
+  std::vector<std::thread> threads;
+  const auto start = Clock::now();
+  for (int s = 0; s < num_sessions; ++s) {
+    threads.emplace_back([&, s] {
+      Result<Session> session = service.OpenSession();
+      if (!session.ok()) return;
+      Result<Snapshot> snap = session->OpenSnapshot();
+      if (!snap.ok()) return;
+      std::mt19937 rng(static_cast<unsigned>(1000 + s));
+      latencies[static_cast<std::size_t>(s)].reserve(
+          static_cast<std::size_t>(requests_per_session));
+      for (int i = 0; i < requests_per_session; ++i) {
+        const auto t0 = Clock::now();
+        if (i % 16 == 15) {
+          Result<Snapshot> fresh = session->OpenSnapshot();
+          if (fresh.ok()) snap = std::move(fresh);
+        } else {
+          Result<std::vector<NodeId>> ids =
+              session->Query(*snap, queries[rng() % 4]);
+          if (!ids.ok()) return;
+        }
+        const auto t1 = Clock::now();
+        latencies[static_cast<std::size_t>(s)].push_back(
+            std::chrono::duration<double, std::micro>(t1 - t0).count());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double elapsed_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  stop_writer.store(true);
+  if (writer.joinable()) writer.join();
+
+  std::vector<double> all;
+  for (const auto& per_session : latencies) {
+    all.insert(all.end(), per_session.begin(), per_session.end());
+  }
+  std::sort(all.begin(), all.end());
+
+  RunResult result;
+  result.requests = all.size();
+  result.throughput_qps =
+      elapsed_s > 0 ? static_cast<double>(all.size()) / elapsed_s : 0;
+  result.p50_us = Percentile(all, 0.50);
+  result.p99_us = Percentile(all, 0.99);
+  const EpochViewCache::Stats stats = service.view_cache().stats();
+  result.materializations = stats.misses;
+  result.snapshot_opens = stats.hits + stats.misses;
+  std::filesystem::remove_all(dir, ec);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "bench-query-service")
+          .string();
+  const int kRequests = 400;
+
+  std::vector<Report> reports;
+  reports.reserve(2);
+  for (bool with_writer : {false, true}) {
+    Report report(
+        with_writer
+            ? "Query service under load (writer committing + checkpointing)"
+            : "Query service under load (read-only)",
+        {"sessions", "requests", "throughput qps", "p50 us", "p99 us",
+         "materializations", "snapshot opens"});
+    for (int sessions : {1, 4, 16}) {
+      RunResult r = RunLoad(dir, sessions, kRequests, with_writer);
+      report.AddRow(sessions, r.requests, r.throughput_qps, r.p50_us,
+                    r.p99_us, r.materializations, r.snapshot_opens);
+    }
+    report.Print();
+    reports.push_back(std::move(report));
+  }
+
+  std::vector<const Report*> pointers;
+  for (const Report& report : reports) pointers.push_back(&report);
+  const std::string path = WriteBenchJson("query_service", pointers);
+  if (!path.empty()) std::printf("wrote %s\n", path.c_str());
+  return 0;
+}

@@ -235,6 +235,22 @@ int Verify(const std::string& dir) {
     ok = false;
   }
 
+  // Invariant 5: a pinned snapshot of the recovered state materializes
+  // from disk and answers the same query identically — the read path the
+  // query service serves.
+  Result<Snapshot> snap = store->OpenSnapshot();
+  if (!snap.ok()) {
+    std::fprintf(stderr, "snapshot failed: %s\n",
+                 snap.status().ToString().c_str());
+    ok = false;
+  } else {
+    Result<std::vector<NodeId>> pinned = snap->Query("//speech");
+    if (!pinned.ok() || !speeches.ok() || *pinned != *speeches) {
+      std::fprintf(stderr, "snapshot query diverged from live query\n");
+      ok = false;
+    }
+  }
+
   std::printf(
       "recovered %llu inserts + %llu deletes (%llu sc checks), "
       "%s%llu nodes, %zu speeches: %s\n",

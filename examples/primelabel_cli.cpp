@@ -163,7 +163,7 @@ int RunSave(const std::string& file, const std::string& catalog) {
 }
 
 int RunInspect(const std::string& catalog) {
-  Result<LoadedCatalog> loaded = LoadCatalog(catalog);
+  Result<LoadedCatalog> loaded = LoadCatalog(DefaultVfs(), catalog);
   if (!loaded.ok()) {
     std::cerr << loaded.status().ToString() << "\n";
     return 1;

@@ -1,0 +1,104 @@
+// Command-line client for query_server: sends protocol lines over the
+// Unix-domain socket and prints replies.
+//
+// Usage:
+//   query_client <socket> <request line...>
+//       One request, reply on stdout, exit 0 iff the reply is OK.
+//   query_client <socket> --smoke
+//       The standing smoke battery used by scripts/check.sh: PING, SNAP,
+//       a handful of XPATH/ISANC/DESC/ANC requests, STATS, QUIT — exit 0
+//       only if every reply is OK.
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "service/socket_server.h"
+
+using namespace primelabel;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: query_client <socket> <request line...>\n"
+               "       query_client <socket> --smoke\n");
+  return 2;
+}
+
+bool RunOne(SocketClient& client, const std::string& line, bool print) {
+  Result<std::string> reply = client.Request(line);
+  if (!reply.ok()) {
+    std::fprintf(stderr, "%s\n", reply.status().ToString().c_str());
+    return false;
+  }
+  if (print) std::printf("%s\n", reply->c_str());
+  return reply->rfind("OK", 0) == 0;
+}
+
+/// Parses "OK <k> <id...>" into ids; empty on ERR.
+std::vector<long> ParseIds(const std::string& reply) {
+  std::istringstream in(reply);
+  std::string ok;
+  std::size_t k = 0;
+  std::vector<long> ids;
+  if (!(in >> ok >> k) || ok != "OK") return ids;
+  long id;
+  while (in >> id) ids.push_back(id);
+  return ids;
+}
+
+int Smoke(SocketClient& client) {
+  if (!RunOne(client, "PING", true)) return 1;
+  if (!RunOne(client, "SNAP", true)) return 1;
+
+  // Gather real node ids to feed the batch verbs.
+  Result<std::string> speeches = client.Request("XPATH //speech");
+  Result<std::string> acts = client.Request("XPATH /play/act");
+  if (!speeches.ok() || !acts.ok()) return 1;
+  std::printf("%.60s\n%.60s\n", speeches->c_str(), acts->c_str());
+  const std::vector<long> speech_ids = ParseIds(*speeches);
+  const std::vector<long> act_ids = ParseIds(*acts);
+  if (speech_ids.empty() || act_ids.empty()) return 1;
+
+  std::ostringstream isanc;
+  isanc << "ISANC 2 " << act_ids[0] << ' ' << speech_ids[0] << ' '
+        << speech_ids[0] << ' ' << act_ids[0];
+  if (!RunOne(client, isanc.str(), true)) return 1;
+
+  std::ostringstream desc;
+  desc << "DESC " << act_ids[0] << ' ' << speech_ids.size();
+  for (long id : speech_ids) desc << ' ' << id;
+  if (!RunOne(client, desc.str(), true)) return 1;
+
+  std::ostringstream anc;
+  anc << "ANC " << speech_ids[0] << ' ' << act_ids.size();
+  for (long id : act_ids) anc << ' ' << id;
+  if (!RunOne(client, anc.str(), true)) return 1;
+
+  if (!RunOne(client, "XPATH //line[1]", true)) return 1;
+  if (!RunOne(client, "STATS", true)) return 1;
+  if (!RunOne(client, "QUIT", true)) return 1;
+  std::printf("smoke OK\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  SocketClient client;
+  Status connected = client.Connect(argv[1]);
+  if (!connected.ok()) {
+    std::fprintf(stderr, "%s\n", connected.ToString().c_str());
+    return 1;
+  }
+  if (std::string(argv[2]) == "--smoke") return Smoke(client);
+  std::string line;
+  for (int i = 2; i < argc; ++i) {
+    if (i > 2) line += ' ';
+    line += argv[i];
+  }
+  return RunOne(client, line, true) ? 0 : 1;
+}

@@ -1,0 +1,209 @@
+// Structural query server over a DurableDocumentStore: binds a
+// Unix-domain socket, serves the line protocol of service/wire.h through
+// a QueryService (epoch-pinned snapshots, shared materialized views,
+// admission control), and optionally keeps a background writer mutating
+// and checkpointing the store while clients read — the MVCC story
+// end-to-end in one process.
+//
+// Usage:
+//   query_server init <dir>
+//       Create a store from a generated play.
+//   query_server serve <dir> <socket> [writer_ops] [writer_period_ms]
+//       Open the store and serve until SIGINT/SIGTERM. With writer_ops
+//       > 0, a background thread applies that many random mutations
+//       (checkpointing every 8th) at the given period, then quiesces.
+//   query_server selftest
+//       In-process server + client round trip (the ctest smoke entry).
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/socket_server.h"
+#include "service/wire.h"
+#include "xml/serializer.h"
+#include "xml/shakespeare.h"
+
+using namespace primelabel;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void HandleStop(int) { g_stop = 1; }
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: query_server init <dir>\n"
+               "       query_server serve <dir> <socket> [writer_ops] "
+               "[writer_period_ms]\n"
+               "       query_server selftest\n");
+  return 2;
+}
+
+int Init(const std::string& dir) {
+  PlayOptions play;
+  play.acts = 3;
+  play.scenes_per_act = 3;
+  play.min_speeches_per_scene = 3;
+  play.max_speeches_per_scene = 6;
+  play.seed = 23;
+  Result<DurableDocumentStore> store = DurableDocumentStore::Create(
+      dir, SerializeXml(GeneratePlay("served", play)));
+  if (!store.ok()) {
+    std::fprintf(stderr, "init failed: %s\n",
+                 store.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("initialized store at %s (%zu nodes)\n", dir.c_str(),
+              store->document().tree().node_count());
+  return 0;
+}
+
+std::vector<NodeId> MutableElements(const LabeledDocument& doc) {
+  std::vector<NodeId> out;
+  doc.tree().Preorder([&](NodeId id, int) {
+    if (id != doc.tree().root() && doc.tree().IsElement(id)) {
+      out.push_back(id);
+    }
+  });
+  return out;
+}
+
+/// Applies `ops` random mutations through the service's writer handle,
+/// checkpointing every 8th, pausing `period_ms` between ops; returns early
+/// when `stop` trips.
+void WriterLoop(QueryService* service, int ops, int period_ms,
+                const volatile std::sig_atomic_t* stop) {
+  std::mt19937 rng(4242);
+  DurableDocumentStore& store = service->store();
+  for (int i = 0; i < ops && !*stop; ++i) {
+    std::vector<NodeId> elements = MutableElements(store.document());
+    NodeId anchor = elements[rng() % elements.size()];
+    Status applied = Status::Ok();
+    switch (rng() % 3) {
+      case 0: applied = store.InsertAfter(anchor, "ia").status(); break;
+      case 1: applied = store.AppendChild(anchor, "ac").status(); break;
+      case 2: applied = store.Wrap(anchor, "wr").status(); break;
+    }
+    if (!applied.ok()) {
+      std::fprintf(stderr, "writer op %d failed: %s\n", i,
+                   applied.ToString().c_str());
+      return;
+    }
+    if (i % 8 == 7 && !store.Checkpoint().ok()) {
+      std::fprintf(stderr, "writer checkpoint failed\n");
+      return;
+    }
+    if (period_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(period_ms));
+    }
+  }
+  if (store.Flush().ok()) {
+    std::printf("writer quiesced after %d ops (epoch %llu)\n", ops,
+                static_cast<unsigned long long>(store.epoch()));
+    std::fflush(stdout);
+  }
+}
+
+int Serve(const std::string& dir, const std::string& socket_path,
+          int writer_ops, int writer_period_ms) {
+  Result<DurableDocumentStore> store = DurableDocumentStore::Open(dir);
+  if (!store.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 store.status().ToString().c_str());
+    return 1;
+  }
+  QueryService::Options options;
+  options.query_workers = 2;
+  QueryService service(std::move(store.value()), options);
+
+  SocketServer server(&service);
+  Status started = server.Start(socket_path);
+  if (!started.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("serving %s on %s\n", dir.c_str(), socket_path.c_str());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleStop);
+  std::signal(SIGTERM, HandleStop);
+
+  std::thread writer;
+  if (writer_ops > 0) {
+    writer = std::thread(WriterLoop, &service, writer_ops, writer_period_ms,
+                         &g_stop);
+  }
+  while (!g_stop) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  if (writer.joinable()) writer.join();
+  server.Stop();
+  const QueryService::Counters counters = service.counters();
+  std::printf("served %llu requests (%llu rejected), %llu snapshots\n",
+              static_cast<unsigned long long>(counters.requests_served),
+              static_cast<unsigned long long>(counters.requests_rejected),
+              static_cast<unsigned long long>(counters.snapshots_opened));
+  return 0;
+}
+
+int SelfTest() {
+  namespace fs = std::filesystem;
+  const std::string dir =
+      (fs::temp_directory_path() / "query-server-selftest").string();
+  const std::string socket_path =
+      (fs::temp_directory_path() / "query-server-selftest.sock").string();
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  if (Init(dir) != 0) return 1;
+
+  Result<DurableDocumentStore> store = DurableDocumentStore::Open(dir);
+  if (!store.ok()) return 1;
+  QueryService service(std::move(store.value()), {});
+  SocketServer server(&service);
+  if (!server.Start(socket_path).ok()) return 1;
+
+  SocketClient client;
+  if (!client.Connect(socket_path).ok()) return 1;
+  const char* battery[] = {"PING", "SNAP", "XPATH //speech",
+                           "XPATH /play/act//speaker", "STATS", "QUIT"};
+  for (const char* request : battery) {
+    Result<std::string> reply = client.Request(request);
+    if (!reply.ok() || reply->rfind("OK", 0) != 0) {
+      std::fprintf(stderr, "request '%s' failed: %s\n", request,
+                   reply.ok() ? reply->c_str()
+                              : reply.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s -> %.60s\n", request, reply->c_str());
+  }
+  server.Stop();
+  fs::remove_all(dir, ec);
+  std::printf("selftest OK\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string mode = argv[1];
+  if (mode == "selftest") return SelfTest();
+  if (argc < 3) return Usage();
+  const std::string dir = argv[2];
+  if (mode == "init") return Init(dir);
+  if (mode == "serve") {
+    if (argc < 4) return Usage();
+    const int writer_ops = argc > 4 ? std::atoi(argv[4]) : 0;
+    const int writer_period_ms = argc > 5 ? std::atoi(argv[5]) : 5;
+    return Serve(dir, argv[3], writer_ops, writer_period_ms);
+  }
+  return Usage();
+}

@@ -4,25 +4,32 @@
 # suite, a ThreadSanitizer build running the parallel/concurrency
 # suites (the parallel labeler, SC-table build, the batch-query kernels
 # issued from concurrent threads, the worker-thread join executor, and
-# the epoch reader/writer protocol), and a durability leg (the
-# fault-injection suite, a crash-recovery soak with real mid-stream
-# process kills, and a fault-matrix sweep over several workload seeds).
+# the epoch reader/writer protocol, and the snapshot/service layer), a
+# durability leg (the fault-injection suite, a crash-recovery soak with
+# real mid-stream process kills, and a fault-matrix sweep over several
+# workload seeds), and a service leg (query_server over a Unix socket
+# with a live background writer: client smoke battery, SIGKILL
+# mid-request, clean writer recovery, and the bench_service numbers).
 #
 # Usage: scripts/check.sh [--no-tsan] [--no-scalar] [--no-durability]
+#                          [--no-service]
 #   --no-tsan        skip the sanitizer tree (e.g. toolchains without TSan)
 #   --no-scalar      skip the -DPRIMELABEL_DISABLE_SIMD=ON tree
 #   --no-durability  skip the durability suite + crash loop
+#   --no-service     skip the query-server smoke + kill + bench leg
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 run_tsan=1
 run_scalar=1
 run_durability=1
+run_service=1
 for arg in "$@"; do
   case "$arg" in
     --no-tsan) run_tsan=0 ;;
     --no-scalar) run_scalar=0 ;;
     --no-durability) run_durability=0 ;;
+    --no-service) run_service=0 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -47,6 +54,35 @@ if [[ "$run_durability" == "1" ]]; then
   done
 fi
 
+if [[ "$run_service" == "1" ]]; then
+  echo "== service: query_server smoke battery + mid-request kill + bench =="
+  svc_dir=$(mktemp -d)
+  svc_store="$svc_dir/store"
+  svc_sock="$svc_dir/query.sock"
+  build/examples/query_server init "$svc_store"
+  # Serve with a background writer committing and checkpointing while
+  # clients read pinned snapshots.
+  build/examples/query_server serve "$svc_store" "$svc_sock" 200 2 &
+  svc_pid=$!
+  for _ in $(seq 1 100); do [[ -S "$svc_sock" ]] && break; sleep 0.1; done
+  [[ -S "$svc_sock" ]] || { echo "query_server never bound $svc_sock" >&2; exit 1; }
+  build/examples/query_client "$svc_sock" --smoke
+  # Kill the server mid-request storm (SIGKILL: no destructors, no flush),
+  # then prove the writer's store recovers cleanly.
+  ( while true; do
+      build/examples/query_client "$svc_sock" XPATH //speech >/dev/null 2>&1 || break
+    done ) &
+  storm_pid=$!
+  sleep 1
+  kill -9 "$svc_pid" 2>/dev/null || true
+  wait "$svc_pid" 2>/dev/null || true
+  wait "$storm_pid" 2>/dev/null || true
+  build/examples/durable_store_demo verify "$svc_store"
+  rm -rf "$svc_dir"
+  echo "== service: bench_service -> BENCH_query_service.json =="
+  (cd build/bench && ./bench_service)
+fi
+
 if [[ "$run_scalar" == "1" ]]; then
   echo "== scalar: full suite with vector kernels compiled out (build-scalar/) =="
   cmake -B build-scalar -S . -DPRIMELABEL_DISABLE_SIMD=ON >/dev/null
@@ -59,7 +95,7 @@ if [[ "$run_tsan" == "1" ]]; then
   cmake -B build-tsan -S . -DPRIMELABEL_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "$jobs"
   ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
-    -R 'Parallel|Epoch|Concurrent'
+    -R 'Parallel|Epoch|Concurrent|Service|Snapshot'
 fi
 
 echo "All checks passed."

@@ -6,6 +6,7 @@
 
 #include "store/catalog.h"
 #include "util/binio.h"
+#include "xpath/evaluator.h"
 
 namespace primelabel {
 
@@ -457,7 +458,7 @@ Status DurableDocumentStore::Checkpoint() {
   return Status::Ok();
 }
 
-Result<LabeledDocument> DurableDocumentStore::ReadPinned(
+Result<LabeledDocument> DurableDocumentStore::MaterializePinned(
     const EpochPin& pin) const {
   if (!pin.valid()) {
     return Status::InvalidArgument("cannot read a released epoch pin");
@@ -481,6 +482,38 @@ Result<LabeledDocument> DurableDocumentStore::ReadPinned(
     return journal.status();
   }
   return doc;
+}
+
+Result<Snapshot> DurableDocumentStore::OpenSnapshot() const {
+  EpochPin pin = PinEpoch();
+  // The materializer force-builds the label table before the view is
+  // shared: after this, everything reachable from the Snapshot is
+  // immutable, which is what makes concurrent Query race-free.
+  auto materialize =
+      [this, &pin]() -> Result<std::shared_ptr<const LabeledDocument>> {
+    Result<LabeledDocument> doc = MaterializePinned(pin);
+    if (!doc.ok()) return doc.status();
+    auto view =
+        std::make_shared<LabeledDocument>(std::move(doc.value()));
+    view->label_table();
+    return std::shared_ptr<const LabeledDocument>(std::move(view));
+  };
+  Result<std::shared_ptr<const LabeledDocument>> view =
+      view_cache_ != nullptr
+          ? view_cache_->GetOrMaterialize(pin.epoch(), pin.journal_bytes(),
+                                          materialize)
+          : materialize();
+  if (!view.ok()) return view.status();
+  return Snapshot(std::move(pin), std::move(view.value()));
+}
+
+Result<std::vector<NodeId>> Snapshot::Query(std::string_view xpath,
+                                            int num_workers) const {
+  if (!valid()) {
+    return Status::InvalidArgument("cannot query an invalid snapshot");
+  }
+  return EvaluateSnapshot(view_->label_table(), view_->scheme(), xpath,
+                          num_workers);
 }
 
 }  // namespace primelabel

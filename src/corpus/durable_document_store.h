@@ -2,6 +2,7 @@
 #define PRIMELABEL_CORPUS_DURABLE_DOCUMENT_STORE_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -16,6 +17,85 @@
 #include "util/status.h"
 
 namespace primelabel {
+
+/// A frozen, shareable read view of a durable store: the RAII EpochPin
+/// that keeps the pinned epoch's files alive, a materialized
+/// `LabeledDocument` view of exactly the pinned (epoch, committed journal
+/// bytes) point, and the label-only StructureOracle over it — the read
+/// surface the service layer exposes.
+///
+/// The view is held by shared_ptr<const ...>: when several sessions pin
+/// the same point through a view cache they share ONE materialization
+/// instead of re-running recovery per reader. The materializer pre-builds
+/// the view's label table, so everything reachable from a Snapshot is
+/// immutable and every member here — document(), oracle(), Query() — is
+/// safe to call concurrently from any number of threads.
+///
+/// Move-only; destroying (or moving from) the snapshot drops its pin,
+/// which lets the registry retire whatever files the pin alone kept.
+class Snapshot {
+ public:
+  Snapshot() = default;
+  Snapshot(Snapshot&&) = default;
+  Snapshot& operator=(Snapshot&&) = default;
+
+  bool valid() const { return view_ != nullptr; }
+  std::uint64_t epoch() const { return pin_.epoch(); }
+  /// Committed journal length the view replays to; frames the writer
+  /// appended after the pin are invisible.
+  std::uint64_t journal_bytes() const { return pin_.journal_bytes(); }
+  /// The pin backing this snapshot (tests re-materialize through it to
+  /// prove cached views are bit-identical to a fresh rebuild).
+  const EpochPin& pin() const { return pin_; }
+
+  /// The frozen document. Valid exactly as long as some snapshot (or the
+  /// view cache) shares it — callers may keep the shared_ptr from view()
+  /// beyond the snapshot's lifetime, though the pin's file-retention
+  /// guarantee ends with the snapshot.
+  const LabeledDocument& document() const { return *view_; }
+  std::shared_ptr<const LabeledDocument> view() const { return view_; }
+
+  /// The label-only structural oracle of the frozen view — ancestry,
+  /// order, and the batched entry points, decidable with no tree locks.
+  const StructureOracle& oracle() const { return view_->scheme(); }
+
+  /// Evaluates an XPath against the frozen view. Concurrency-safe across
+  /// sessions sharing the view (per-call QueryContext; the label table
+  /// was force-built at materialization). `num_workers` fans the batched
+  /// join executor without mutating shared state.
+  Result<std::vector<NodeId>> Query(std::string_view xpath,
+                                    int num_workers = 1) const;
+
+ private:
+  friend class DurableDocumentStore;
+  Snapshot(EpochPin pin, std::shared_ptr<const LabeledDocument> view)
+      : pin_(std::move(pin)), view_(std::move(view)) {}
+
+  EpochPin pin_;
+  std::shared_ptr<const LabeledDocument> view_;
+};
+
+/// Materialized-view cache seam for OpenSnapshot. The store stays cache
+/// -agnostic: when a cache is attached (service layer), snapshot opens
+/// route through it so concurrent sessions pinning the same (epoch,
+/// journal_bytes) point share one materialization; without one, every
+/// open materializes privately. Implementations must be thread-safe and
+/// must run `materialize` outside any lock that a concurrent lookup of a
+/// different key would need.
+class SnapshotViewCache {
+ public:
+  virtual ~SnapshotViewCache() = default;
+
+  using Materializer =
+      std::function<Result<std::shared_ptr<const LabeledDocument>>()>;
+
+  /// Returns the cached view for (epoch, journal_bytes), or runs
+  /// `materialize` (once, even under concurrent misses of the same key)
+  /// and caches the result. Failures are not cached.
+  virtual Result<std::shared_ptr<const LabeledDocument>> GetOrMaterialize(
+      std::uint64_t epoch, std::uint64_t journal_bytes,
+      const Materializer& materialize) = 0;
+};
 
 /// Crash-safe facade over a LabeledDocument: every mutation is journaled
 /// to a write-ahead log before the caller gets its result back, restarts
@@ -45,10 +125,11 @@ namespace primelabel {
 /// typed errors (the old epoch stays authoritative and the store stays
 /// live); stray files from such attempts are swept on the next Open.
 ///
-/// Concurrent readers pin epochs (PinEpoch/ReadPinned): a pin captures
-/// (epoch, committed journal bytes) and can reconstruct that exact view
-/// from disk while the single writer keeps mutating and checkpointing —
-/// the registry retires an epoch's files only once no pin needs them.
+/// Concurrent readers open snapshots (OpenSnapshot): the backing pin
+/// captures (epoch, committed journal bytes) and the snapshot materializes
+/// that exact view while the single writer keeps mutating and
+/// checkpointing — the registry retires an epoch's files only once no pin
+/// needs them.
 ///
 /// The facade exposes the same mutation vocabulary as LabeledDocument and
 /// the document's oracle/query surface read-only; anything that changes
@@ -151,12 +232,38 @@ class DurableDocumentStore {
   /// needed to reconstruct this exact view is retained.
   EpochPin PinEpoch() const { return registry_->Pin(registry_); }
 
-  /// Reconstructs the pinned view from disk: loads the epoch's
-  /// snapshot/delta chain and replays its journal up to the pinned byte
-  /// count. Independent of the live document — bit-identical to what the
-  /// store held when the pin was taken, no matter what the writer has
-  /// done since.
-  Result<LabeledDocument> ReadPinned(const EpochPin& pin) const;
+  /// Pins the current epoch and materializes a frozen, shareable view of
+  /// it — the read entry point. Safe from any thread while the single
+  /// writer keeps mutating and checkpointing. When a view cache is
+  /// attached (set_view_cache), concurrent opens of the same (epoch,
+  /// journal bytes) point share one materialization; otherwise each open
+  /// rebuilds from disk (snapshot/delta chain + committed journal
+  /// prefix). The returned view's label table is pre-built, so every read
+  /// on the Snapshot is concurrency-safe.
+  Result<Snapshot> OpenSnapshot() const;
+
+  /// Deprecated: reconstructs the pinned view from disk by value, paying
+  /// a full recovery per call and returning a document whose lazy query
+  /// state is not safe to share across threads. Kept one release as a
+  /// shim for pre-Snapshot callers; use OpenSnapshot() (or, to
+  /// re-materialize an existing snapshot's point, pass snapshot.pin()).
+  [[deprecated("use OpenSnapshot(); ReadPinned will be removed")]]
+  Result<LabeledDocument> ReadPinned(const EpochPin& pin) const {
+    return MaterializePinned(pin);
+  }
+
+  /// Attaches (or clears, with nullptr) the materialized-view cache that
+  /// OpenSnapshot routes through. Not synchronized: attach before reader
+  /// threads start, detach after they stop. The cache must outlive every
+  /// OpenSnapshot call made while attached.
+  void set_view_cache(SnapshotViewCache* cache) { view_cache_ = cache; }
+
+  /// The epoch registry backing PinEpoch — the service layer hooks its
+  /// view cache into retirement notifications here, and tests observe
+  /// pin counts / file reachability.
+  const std::shared_ptr<EpochRegistry>& epoch_registry() const {
+    return registry_;
+  }
 
   /// Committed journal length of the current epoch (what a pin taken now
   /// would capture).
@@ -203,6 +310,11 @@ class DurableDocumentStore {
                        std::uint64_t cursor_before, NodeId fresh,
                        std::string_view tag);
 
+  /// Rebuilds the exact document state a pin captured: the epoch's
+  /// snapshot/delta chain plus the committed journal prefix — the shared
+  /// body of OpenSnapshot and the deprecated ReadPinned shim.
+  Result<LabeledDocument> MaterializePinned(const EpochPin& pin) const;
+
   /// Rebuilds the base diff index from the rows/SC state the current
   /// epoch's files hold (pre-replay at Open, post-checkpoint state at
   /// Checkpoint).
@@ -227,6 +339,8 @@ class DurableDocumentStore {
   Vfs* vfs_ = nullptr;
   RecoveryStats recovery_stats_;
   std::shared_ptr<EpochRegistry> registry_;
+  /// Optional materialized-view cache OpenSnapshot routes through.
+  SnapshotViewCache* view_cache_ = nullptr;
   /// Ok while healthy; kUnavailable (with cause) once quarantined.
   Status quarantine_;
   /// Diff base for delta checkpoints: the current epoch's on-disk state.

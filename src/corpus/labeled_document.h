@@ -53,6 +53,14 @@ class LabeledDocument {
   const XmlTree& tree() const { return *tree_; }
   const OrderedPrimeScheme& scheme() const { return *scheme_; }
 
+  /// The query-ready tag-index table over the current tree. Built lazily:
+  /// the first call after a mutation (or construction) rebuilds it and is
+  /// NOT thread-safe; afterwards concurrent reads are safe. Snapshot
+  /// materialization (durable store / query service) forces this build
+  /// before a frozen view is shared across sessions, which is what makes
+  /// concurrent Snapshot::Query race-free.
+  const LabelTable& label_table() const { return table(); }
+
   /// Evaluates an XPath (Table 2 subset + attribute predicates + reverse
   /// axes) against the current labels. Results in document order.
   Result<std::vector<NodeId>> Query(std::string_view xpath) const;

@@ -51,10 +51,26 @@ void EpochRegistry::Register(std::uint64_t epoch, bool is_delta,
 }
 
 void EpochRegistry::SetCurrent(std::uint64_t epoch) {
-  std::lock_guard<std::mutex> lock(mu_);
-  current_ = epoch;
-  durable_bytes_ = 0;
-  CollectLocked();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    current_ = epoch;
+    durable_bytes_ = 0;
+    CollectLocked();
+  }
+  // Notify outside mu_: the listener may release pins, which re-enters
+  // the registry through Unpin.
+  std::function<void(std::uint64_t)> listener;
+  {
+    std::lock_guard<std::mutex> lock(listener_mu_);
+    listener = retirement_listener_;
+  }
+  if (listener) listener(epoch);
+}
+
+void EpochRegistry::SetRetirementListener(
+    std::function<void(std::uint64_t)> listener) {
+  std::lock_guard<std::mutex> lock(listener_mu_);
+  retirement_listener_ = std::move(listener);
 }
 
 void EpochRegistry::SetDurableBytes(std::uint64_t bytes) {

@@ -2,6 +2,7 @@
 #define PRIMELABEL_DURABILITY_EPOCH_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -78,6 +79,17 @@ class EpochRegistry {
   /// whatever became unreachable.
   void SetCurrent(std::uint64_t epoch);
 
+  /// Installs (or clears, with nullptr) the retirement listener: invoked
+  /// with the new current epoch after every SetCurrent publish, outside
+  /// the registry lock, on the publishing (writer) thread. The service
+  /// layer's view cache hooks in here to drop materialized views of
+  /// epochs no new pin can reach — pins always capture the current epoch,
+  /// so a stale cached view can only ever be re-read through snapshots
+  /// that already share it, never hit again. The listener may call back
+  /// into the registry (releasing pins triggers retirement of the files
+  /// those views alone kept alive).
+  void SetRetirementListener(std::function<void(std::uint64_t)> listener);
+
   /// Publishes the current epoch's committed journal length; new pins
   /// capture this value.
   void SetDurableBytes(std::uint64_t bytes);
@@ -110,6 +122,11 @@ class EpochRegistry {
   Vfs* vfs_;
   const std::string dir_;
   mutable std::mutex mu_;
+  /// Guarded by listener_mu_, not mu_: the listener runs outside mu_ (it
+  /// may re-enter the registry), but installing/clearing it must still be
+  /// safe against a concurrent SetCurrent.
+  mutable std::mutex listener_mu_;
+  std::function<void(std::uint64_t)> retirement_listener_;
   std::map<std::uint64_t, EpochInfo> epochs_;
   std::map<std::uint64_t, std::uint64_t> pins_;  ///< pin id -> epoch
   std::uint64_t next_pin_id_ = 1;

@@ -54,11 +54,6 @@ Result<LabeledDocument> RecoverDocument(
     Vfs& vfs, const std::string& snapshot_path, const std::string& wal_path,
     RecoveryStats* stats = nullptr,
     std::uint64_t journal_limit = ~std::uint64_t{0});
-inline Result<LabeledDocument> RecoverDocument(
-    const std::string& snapshot_path, const std::string& wal_path,
-    RecoveryStats* stats = nullptr) {
-  return RecoverDocument(DefaultVfs(), snapshot_path, wal_path, stats);
-}
 
 }  // namespace primelabel
 

@@ -64,12 +64,6 @@ class WriteAheadLog {
   static Result<WriteAheadLog> Open(Vfs& vfs, const std::string& path,
                                     const WalOptions& options = {},
                                     std::uint64_t resume_at = 0);
-  /// Convenience overload against the process-wide PosixVfs.
-  static Result<WriteAheadLog> Open(const std::string& path,
-                                    const WalOptions& options = {},
-                                    std::uint64_t resume_at = 0) {
-    return Open(DefaultVfs(), path, options, resume_at);
-  }
 
   WriteAheadLog(WriteAheadLog&&) = default;
   WriteAheadLog& operator=(WriteAheadLog&&) = default;
@@ -139,9 +133,6 @@ struct WalReadResult {
 /// invisible to them.
 Result<WalReadResult> ReadWal(Vfs& vfs, const std::string& path,
                               std::uint64_t max_bytes = ~std::uint64_t{0});
-inline Result<WalReadResult> ReadWal(const std::string& path) {
-  return ReadWal(DefaultVfs(), path);
-}
 
 }  // namespace primelabel
 

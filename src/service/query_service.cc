@@ -1,0 +1,218 @@
+#include "service/query_service.h"
+
+#include <utility>
+
+#include "util/status.h"
+
+namespace primelabel {
+
+QueryService::QueryService(DurableDocumentStore store, Options options)
+    : store_(std::move(store)),
+      options_(options),
+      cache_(options.view_cache_capacity) {
+  store_.set_view_cache(&cache_);
+  if (store_.epoch_registry() != nullptr) {
+    store_.epoch_registry()->SetRetirementListener(
+        [this](std::uint64_t current_epoch) {
+          cache_.EvictStale(current_epoch);
+        });
+  }
+}
+
+QueryService::~QueryService() {
+  if (store_.epoch_registry() != nullptr) {
+    store_.epoch_registry()->SetRetirementListener(nullptr);
+  }
+  store_.set_view_cache(nullptr);
+}
+
+Result<Session> QueryService::OpenSession() {
+  if (options_.max_sessions > 0) {
+    // Optimistic admit-then-check: overshoot is corrected before return,
+    // so the gauge may transiently exceed the cap but never settles there.
+    if (open_sessions_.fetch_add(1, std::memory_order_acq_rel) >=
+        options_.max_sessions) {
+      open_sessions_.fetch_sub(1, std::memory_order_acq_rel);
+      sessions_rejected_.fetch_add(1, std::memory_order_relaxed);
+      return Status::ResourceExhausted("session limit reached");
+    }
+  } else {
+    open_sessions_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  sessions_opened_.fetch_add(1, std::memory_order_relaxed);
+  return Session(this, std::make_shared<SessionState>());
+}
+
+void QueryService::CloseSession(SessionState* state) {
+  (void)state;
+  open_sessions_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+QueryService::Counters QueryService::counters() const {
+  Counters c;
+  c.sessions_opened = sessions_opened_.load(std::memory_order_relaxed);
+  c.sessions_rejected = sessions_rejected_.load(std::memory_order_relaxed);
+  c.requests_served = requests_served_.load(std::memory_order_relaxed);
+  c.requests_rejected = requests_rejected_.load(std::memory_order_relaxed);
+  c.snapshots_opened = snapshots_opened_.load(std::memory_order_relaxed);
+  return c;
+}
+
+Status QueryService::Ticket::Admit() {
+  const Options& opts = service_->options_;
+  // Per-session lifetime quota: charge first so concurrent requests cannot
+  // both sneak under the last slot.
+  if (opts.session_request_quota > 0) {
+    if (session_->admitted.fetch_add(1, std::memory_order_acq_rel) >=
+        opts.session_request_quota) {
+      session_->admitted.fetch_sub(1, std::memory_order_acq_rel);
+      session_->rejected.fetch_add(1, std::memory_order_relaxed);
+      service_->requests_rejected_.fetch_add(1, std::memory_order_relaxed);
+      return Status::ResourceExhausted("session request quota exhausted");
+    }
+  }
+  if (opts.session_max_inflight > 0) {
+    if (session_->inflight.fetch_add(1, std::memory_order_acq_rel) >=
+        opts.session_max_inflight) {
+      session_->inflight.fetch_sub(1, std::memory_order_acq_rel);
+      session_->rejected.fetch_add(1, std::memory_order_relaxed);
+      service_->requests_rejected_.fetch_add(1, std::memory_order_relaxed);
+      return Status::ResourceExhausted("session in-flight limit reached");
+    }
+  } else {
+    session_->inflight.fetch_add(1, std::memory_order_acq_rel);
+  }
+  if (opts.max_inflight_requests > 0) {
+    if (service_->inflight_requests_.fetch_add(1, std::memory_order_acq_rel) >=
+        opts.max_inflight_requests) {
+      service_->inflight_requests_.fetch_sub(1, std::memory_order_acq_rel);
+      session_->inflight.fetch_sub(1, std::memory_order_acq_rel);
+      session_->rejected.fetch_add(1, std::memory_order_relaxed);
+      service_->requests_rejected_.fetch_add(1, std::memory_order_relaxed);
+      return Status::ResourceExhausted("service in-flight limit reached");
+    }
+  } else {
+    service_->inflight_requests_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  admitted_ = true;
+  return Status::Ok();
+}
+
+QueryService::Ticket::~Ticket() {
+  if (!admitted_) return;
+  service_->inflight_requests_.fetch_sub(1, std::memory_order_acq_rel);
+  session_->inflight.fetch_sub(1, std::memory_order_acq_rel);
+  session_->served.fetch_add(1, std::memory_order_relaxed);
+  service_->requests_served_.fetch_add(1, std::memory_order_relaxed);
+}
+
+Session& Session::operator=(Session&& other) noexcept {
+  if (this != &other) {
+    Close();
+    service_ = other.service_;
+    state_ = std::move(other.state_);
+    other.service_ = nullptr;
+    other.state_.reset();
+  }
+  return *this;
+}
+
+void Session::Close() {
+  if (service_ != nullptr) {
+    service_->CloseSession(state_.get());
+    service_ = nullptr;
+    state_.reset();
+  }
+}
+
+Result<Snapshot> Session::OpenSnapshot() {
+  if (!valid()) return Status::InvalidArgument("session is closed");
+  QueryService::Ticket ticket(service_, state_.get());
+  Status admitted = ticket.Admit();
+  if (!admitted.ok()) return admitted;
+  Result<Snapshot> snapshot = service_->store_.OpenSnapshot();
+  if (snapshot.ok()) {
+    service_->snapshots_opened_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return snapshot;
+}
+
+Result<std::vector<NodeId>> Session::Query(const Snapshot& snapshot,
+                                           std::string_view xpath) {
+  if (!valid()) return Status::InvalidArgument("session is closed");
+  if (!snapshot.valid()) {
+    return Status::InvalidArgument("snapshot is not open");
+  }
+  QueryService::Ticket ticket(service_, state_.get());
+  Status admitted = ticket.Admit();
+  if (!admitted.ok()) return admitted;
+  return snapshot.Query(xpath, service_->options_.query_workers);
+}
+
+Result<std::vector<bool>> Session::IsAncestorBatch(
+    const Snapshot& snapshot, const std::vector<NodeId>& ancestors,
+    const std::vector<NodeId>& descendants) {
+  if (!valid()) return Status::InvalidArgument("session is closed");
+  if (!snapshot.valid()) {
+    return Status::InvalidArgument("snapshot is not open");
+  }
+  if (ancestors.size() != descendants.size()) {
+    return Status::InvalidArgument(
+        "IsAncestorBatch requires equally sized ancestor/descendant lists");
+  }
+  QueryService::Ticket ticket(service_, state_.get());
+  Status admitted = ticket.Admit();
+  if (!admitted.ok()) return admitted;
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  pairs.reserve(ancestors.size());
+  for (std::size_t i = 0; i < ancestors.size(); ++i) {
+    pairs.emplace_back(ancestors[i], descendants[i]);
+  }
+  std::vector<std::uint8_t> raw;
+  snapshot.oracle().IsAncestorBatch(pairs, &raw);
+  std::vector<bool> results(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) results[i] = raw[i] != 0;
+  return results;
+}
+
+Result<std::vector<NodeId>> Session::SelectDescendants(
+    const Snapshot& snapshot, NodeId anchor,
+    const std::vector<NodeId>& candidates) {
+  if (!valid()) return Status::InvalidArgument("session is closed");
+  if (!snapshot.valid()) {
+    return Status::InvalidArgument("snapshot is not open");
+  }
+  QueryService::Ticket ticket(service_, state_.get());
+  Status admitted = ticket.Admit();
+  if (!admitted.ok()) return admitted;
+  std::vector<NodeId> out;
+  snapshot.oracle().SelectDescendants(anchor, candidates, &out);
+  return out;
+}
+
+Result<std::vector<NodeId>> Session::SelectAncestors(
+    const Snapshot& snapshot, NodeId descendant,
+    const std::vector<NodeId>& candidates) {
+  if (!valid()) return Status::InvalidArgument("session is closed");
+  if (!snapshot.valid()) {
+    return Status::InvalidArgument("snapshot is not open");
+  }
+  QueryService::Ticket ticket(service_, state_.get());
+  Status admitted = ticket.Admit();
+  if (!admitted.ok()) return admitted;
+  std::vector<NodeId> out;
+  snapshot.oracle().SelectAncestors(descendant, candidates, &out);
+  return out;
+}
+
+std::uint64_t Session::served() const {
+  return state_ != nullptr ? state_->served.load(std::memory_order_relaxed)
+                           : 0;
+}
+
+std::uint64_t Session::rejected() const {
+  return state_ != nullptr ? state_->rejected.load(std::memory_order_relaxed)
+                           : 0;
+}
+
+}  // namespace primelabel

@@ -1,0 +1,218 @@
+#include "service/socket_server.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <optional>
+
+#include "service/wire.h"
+
+namespace primelabel {
+namespace {
+
+/// Writes all of `data` (+ newline) to `fd`; false on any error.
+bool WriteLine(int fd, const std::string& data) {
+  std::string framed = data;
+  framed += '\n';
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n = ::write(fd, framed.data() + sent, framed.size() - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Reads up to the next '\n' into `line` using `buffer` as carry-over
+/// between calls; false on EOF/error with nothing buffered.
+bool ReadLine(int fd, std::string* buffer, std::string* line) {
+  for (;;) {
+    const std::size_t newline = buffer->find('\n');
+    if (newline != std::string::npos) {
+      *line = buffer->substr(0, newline);
+      buffer->erase(0, newline + 1);
+      if (!line->empty() && line->back() == '\r') line->pop_back();
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    buffer->append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+Status MakeUnixAddress(const std::string& path, sockaddr_un* addr) {
+  std::memset(addr, 0, sizeof *addr);
+  addr->sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr->sun_path) {
+    return Status::InvalidArgument("socket path too long: " + path);
+  }
+  std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status SocketServer::Start(const std::string& socket_path) {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::InvalidArgument("server already running");
+  }
+  sockaddr_un addr;
+  Status made = MakeUnixAddress(socket_path, &addr);
+  if (!made.ok()) return made;
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  ::unlink(socket_path.c_str());
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IoError("bind " + socket_path + ": " + std::strerror(err));
+  }
+  if (::listen(fd, 64) != 0) {
+    const int err = errno;
+    ::close(fd);
+    ::unlink(socket_path.c_str());
+    return Status::IoError("listen: " + std::string(std::strerror(err)));
+  }
+  listen_fd_.store(fd, std::memory_order_release);
+  socket_path_ = socket_path;
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void SocketServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  // Closing the listener wakes accept(); shutdown wakes blocked reads on
+  // live connections so their threads notice running_ dropped.
+  const int fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::unique_ptr<Connection>> connections;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    connections.swap(connections_);
+  }
+  for (auto& conn : connections) {
+    if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
+  }
+  for (auto& conn : connections) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+  if (!socket_path_.empty()) ::unlink(socket_path_.c_str());
+}
+
+void SocketServer::AcceptLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    const int listen_fd = listen_fd_.load(std::memory_order_acquire);
+    if (listen_fd < 0) break;
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // Listener closed by Stop (or fatal accept error).
+    }
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    ReapFinishedLocked();
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    Connection* raw = conn.get();
+    connections_.push_back(std::move(conn));
+    raw->thread = std::thread([this, raw] { ServeConnection(raw->fd);
+      std::lock_guard<std::mutex> done_lock(conn_mu_);
+      raw->finished = true;
+    });
+  }
+}
+
+void SocketServer::ReapFinishedLocked() {
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if ((*it)->finished) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void SocketServer::ServeConnection(int fd) {
+  Result<Session> session = service_->OpenSession();
+  if (!session.ok()) {
+    WriteLine(fd, "ERR " +
+                      std::string(StatusCodeName(session.status().code())) +
+                      " " + session.status().message());
+    ::close(fd);
+    return;
+  }
+  std::optional<Snapshot> snapshot;
+  std::string buffer, line;
+  bool done = false;
+  while (!done && running_.load(std::memory_order_acquire) &&
+         ReadLine(fd, &buffer, &line)) {
+    const std::string reply =
+        ExecuteRequestLine(*service_, session.value(), &snapshot, line, &done);
+    if (!WriteLine(fd, reply)) break;
+  }
+  ::close(fd);
+}
+
+Status SocketClient::Connect(const std::string& socket_path) {
+  Close();
+  sockaddr_un addr;
+  Status made = MakeUnixAddress(socket_path, &addr);
+  if (!made.ok()) return made;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IoError("connect " + socket_path + ": " +
+                           std::strerror(err));
+  }
+  fd_ = fd;
+  buffer_.clear();
+  return Status::Ok();
+}
+
+Result<std::string> SocketClient::Request(const std::string& line) {
+  if (fd_ < 0) return Status::InvalidArgument("client is not connected");
+  if (!WriteLine(fd_, line)) {
+    Close();
+    return Status::IoError("write failed (server gone?)");
+  }
+  std::string reply;
+  if (!ReadLine(fd_, &buffer_, &reply)) {
+    Close();
+    return Status::IoError("connection closed before reply");
+  }
+  return reply;
+}
+
+void SocketClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+}  // namespace primelabel

@@ -1,0 +1,87 @@
+#ifndef PRIMELABEL_SERVICE_SOCKET_SERVER_H_
+#define PRIMELABEL_SERVICE_SOCKET_SERVER_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/query_service.h"
+#include "util/status.h"
+
+namespace primelabel {
+
+/// Unix-domain-socket front end for a QueryService: one accept thread, one
+/// thread + one Session per connection, speaking the line protocol of
+/// service/wire.h. Admission control is the service's: when OpenSession is
+/// rejected the connection gets one `ERR ResourceExhausted ...` line and
+/// is closed; per-request rejections are ordinary replies on a live
+/// connection.
+///
+/// Lifecycle: Start binds and listens (unlinking any stale socket file at
+/// the path first), Stop() — also run by the destructor — closes the
+/// listener, shuts down live connections, and joins every thread. The
+/// service must outlive the server.
+class SocketServer {
+ public:
+  explicit SocketServer(QueryService* service) : service_(service) {}
+  ~SocketServer() { Stop(); }
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  Status Start(const std::string& socket_path);
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  const std::string& socket_path() const { return socket_path_; }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+  /// Reaps finished connection threads; under conn_mu_.
+  void ReapFinishedLocked();
+
+  QueryService* service_;
+  std::string socket_path_;
+  /// Atomic: Stop() closes and clears it while AcceptLoop blocks on it.
+  std::atomic<int> listen_fd_{-1};
+  std::atomic<bool> running_{false};
+  std::thread accept_thread_;
+
+  std::mutex conn_mu_;
+  struct Connection {
+    std::thread thread;
+    int fd = -1;
+    bool finished = false;
+  };
+  std::vector<std::unique_ptr<Connection>> connections_;
+};
+
+/// Blocking client for the same protocol: connects, sends one line per
+/// Request, returns the single reply line. Used by examples/query_client
+/// and the check.sh smoke battery.
+class SocketClient {
+ public:
+  SocketClient() = default;
+  ~SocketClient() { Close(); }
+
+  SocketClient(const SocketClient&) = delete;
+  SocketClient& operator=(const SocketClient&) = delete;
+
+  Status Connect(const std::string& socket_path);
+  /// Sends `line` (newline appended) and reads the reply line.
+  Result<std::string> Request(const std::string& line);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace primelabel
+
+#endif  // PRIMELABEL_SERVICE_SOCKET_SERVER_H_

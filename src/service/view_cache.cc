@@ -1,0 +1,110 @@
+#include "service/view_cache.h"
+
+namespace primelabel {
+
+Result<std::shared_ptr<const LabeledDocument>>
+EpochViewCache::GetOrMaterialize(std::uint64_t epoch,
+                                 std::uint64_t journal_bytes,
+                                 const Materializer& materialize) {
+  const Key key{epoch, journal_bytes};
+  bool builder = false;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      auto it = entries_.find(key);
+      if (it == entries_.end()) {
+        // Claim the build: insert an in-flight marker so later arrivals
+        // wait instead of materializing the same point again.
+        Entry entry;
+        entry.ready = false;
+        entries_.emplace(key, std::move(entry));
+        ++stats_.misses;
+        builder = true;
+        break;
+      }
+      if (it->second.ready) {
+        ++stats_.hits;
+        lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+        return it->second.view;
+      }
+      // Someone else is building this key; wait for the outcome. On
+      // failure the marker is erased and the loop re-runs, promoting one
+      // waiter to builder.
+      build_done_.wait(lock);
+    }
+  }
+
+  // Builder path: recovery runs outside the lock so hits on other keys
+  // (and other builds) proceed concurrently.
+  Result<std::shared_ptr<const LabeledDocument>> built = materialize();
+
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (!built.ok()) {
+    ++stats_.failures;
+    if (it != entries_.end() && !it->second.ready) entries_.erase(it);
+    build_done_.notify_all();
+    return built.status();
+  }
+  if (it == entries_.end()) {
+    // The marker was cleared (Clear/EvictStale raced us — markers survive
+    // those, but be defensive): hand the view out uncached.
+    (void)builder;
+    build_done_.notify_all();
+    return built;
+  }
+  it->second.view = built.value();
+  it->second.ready = true;
+  lru_.push_front(key);
+  it->second.lru_pos = lru_.begin();
+  while (lru_.size() > capacity_) {
+    auto victim = entries_.find(lru_.back());
+    if (victim == it) {
+      // Never evict the entry we just published before its waiters read
+      // it; rotate it to the front instead.
+      lru_.splice(lru_.begin(), lru_, victim->second.lru_pos);
+      continue;
+    }
+    EvictLocked(victim);
+  }
+  build_done_.notify_all();
+  return built;
+}
+
+void EpochViewCache::EvictStale(std::uint64_t current_epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    auto next = std::next(it);
+    if (it->second.ready && it->first.first != current_epoch) {
+      EvictLocked(it);
+    }
+    it = next;
+  }
+}
+
+void EpochViewCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    auto next = std::next(it);
+    if (it->second.ready) EvictLocked(it);
+    it = next;
+  }
+}
+
+std::size_t EpochViewCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+EpochViewCache::Stats EpochViewCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void EpochViewCache::EvictLocked(std::map<Key, Entry>::iterator it) {
+  lru_.erase(it->second.lru_pos);
+  entries_.erase(it);
+  ++stats_.evictions;
+}
+
+}  // namespace primelabel

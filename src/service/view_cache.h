@@ -1,0 +1,96 @@
+#ifndef PRIMELABEL_SERVICE_VIEW_CACHE_H_
+#define PRIMELABEL_SERVICE_VIEW_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "corpus/durable_document_store.h"
+
+namespace primelabel {
+
+/// LRU cache of materialized epoch views, keyed by (epoch, committed
+/// journal bytes) — the point an EpochPin captures. This is what turns
+/// ReadPinned-per-call (a full recovery per read) into one shared
+/// materialization per pinned point: concurrent sessions opening
+/// snapshots at the same point get the same shared_ptr<const
+/// LabeledDocument>.
+///
+/// Concurrency: a miss marks the key in-flight and runs the materializer
+/// OUTSIDE the cache lock; other sessions missing the same key block on a
+/// condition variable until the build lands (so recovery runs once), while
+/// lookups of other keys proceed. A failed build is not cached — the next
+/// waiter becomes the builder and retries.
+///
+/// Lifecycle / GC interaction: cache entries hold no pins. Once a view is
+/// materialized it needs nothing from disk, so the registry is free to
+/// retire the epoch's files as soon as no *pin* needs them; the in-memory
+/// view stays valid for whoever shares it. The flip side: a view of a
+/// non-current epoch can never be handed out again (new pins always
+/// capture the current epoch), so it is dead weight the moment the writer
+/// publishes a new epoch. EvictStale — wired to
+/// EpochRegistry::SetRetirementListener by the query service — drops those
+/// entries on every epoch swing; the capacity bound handles intra-epoch
+/// churn (each commit advances journal_bytes and mints a new key).
+class EpochViewCache : public SnapshotViewCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    /// Misses == materializations attempted by this cache (the acceptance
+    /// counter: with sharing, materializations < snapshot opens).
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    /// Builds that failed (not cached, not counted as evictions).
+    std::uint64_t failures = 0;
+  };
+
+  explicit EpochViewCache(std::size_t capacity)
+      : capacity_(capacity < 1 ? 1 : capacity) {}
+
+  Result<std::shared_ptr<const LabeledDocument>> GetOrMaterialize(
+      std::uint64_t epoch, std::uint64_t journal_bytes,
+      const Materializer& materialize) override;
+
+  /// Drops every ready entry whose epoch differs from `current_epoch`.
+  /// Invoked by the epoch registry's retirement listener after each
+  /// checkpoint publish. In-flight builds are left alone (their builder
+  /// caches them; they will be swept on the next swing).
+  void EvictStale(std::uint64_t current_epoch);
+
+  /// Empties the cache (ready entries only).
+  void Clear();
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  Stats stats() const;
+
+ private:
+  using Key = std::pair<std::uint64_t, std::uint64_t>;
+
+  struct Entry {
+    /// nullptr while the builder is off-lock materializing.
+    std::shared_ptr<const LabeledDocument> view;
+    /// Position in lru_ once ready.
+    std::list<Key>::iterator lru_pos;
+    bool ready = false;
+  };
+
+  /// Removes `it`'s entry (must be ready). Caller holds mu_.
+  void EvictLocked(std::map<Key, Entry>::iterator it);
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable build_done_;
+  std::map<Key, Entry> entries_;
+  /// Ready keys, most recently used at the front.
+  std::list<Key> lru_;
+  Stats stats_;
+};
+
+}  // namespace primelabel
+
+#endif  // PRIMELABEL_SERVICE_VIEW_CACHE_H_

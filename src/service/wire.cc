@@ -1,0 +1,136 @@
+#include "service/wire.h"
+
+#include <cstdint>
+#include <sstream>
+#include <vector>
+
+namespace primelabel {
+namespace {
+
+std::string ErrorReply(const Status& status) {
+  std::string reply = "ERR ";
+  reply += StatusCodeName(status.code());
+  if (!status.message().empty()) {
+    reply += ' ';
+    // Keep the protocol line-oriented even if a message embeds newlines.
+    for (char c : status.message()) reply += c == '\n' ? ' ' : c;
+  }
+  return reply;
+}
+
+std::string IdListReply(const std::vector<NodeId>& ids) {
+  std::ostringstream out;
+  out << "OK " << ids.size();
+  for (NodeId id : ids) out << ' ' << id;
+  return out.str();
+}
+
+/// Parses `k` then exactly `k * per_item` node ids from `in`.
+bool ParseIdBlock(std::istringstream& in, std::size_t per_item,
+                  std::vector<NodeId>* out) {
+  std::size_t k = 0;
+  if (!(in >> k)) return false;
+  out->clear();
+  out->reserve(k * per_item);
+  for (std::size_t i = 0; i < k * per_item; ++i) {
+    NodeId id;
+    if (!(in >> id)) return false;
+    out->push_back(id);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string ExecuteRequestLine(QueryService& service, Session& session,
+                               std::optional<Snapshot>* snapshot,
+                               const std::string& line, bool* done) {
+  *done = false;
+  std::istringstream in(line);
+  std::string verb;
+  if (!(in >> verb)) return "ERR InvalidArgument empty request";
+
+  if (verb == "PING") return "OK PONG";
+
+  if (verb == "QUIT") {
+    *done = true;
+    return "OK BYE";
+  }
+
+  if (verb == "SNAP") {
+    Result<Snapshot> snap = session.OpenSnapshot();
+    if (!snap.ok()) return ErrorReply(snap.status());
+    *snapshot = std::move(snap.value());
+    std::ostringstream out;
+    out << "OK " << (*snapshot)->epoch() << ' ' << (*snapshot)->journal_bytes()
+        << ' ' << (*snapshot)->document().tree().node_count();
+    return out.str();
+  }
+
+  if (verb == "STATS") {
+    const EpochViewCache::Stats cache = service.view_cache().stats();
+    std::ostringstream out;
+    out << "OK SERVED " << session.served() << " REJECTED "
+        << session.rejected() << " HITS " << cache.hits << " MISSES "
+        << cache.misses << " EVICTIONS " << cache.evictions;
+    return out.str();
+  }
+
+  // Everything below needs an open snapshot.
+  if (!snapshot->has_value()) {
+    return "ERR InvalidArgument no snapshot open (send SNAP first)";
+  }
+
+  if (verb == "XPATH") {
+    std::string query;
+    std::getline(in, query);
+    const std::size_t start = query.find_first_not_of(' ');
+    if (start == std::string::npos) {
+      return "ERR InvalidArgument XPATH needs a query";
+    }
+    query = query.substr(start);
+    Result<std::vector<NodeId>> ids = session.Query(**snapshot, query);
+    if (!ids.ok()) return ErrorReply(ids.status());
+    return IdListReply(ids.value());
+  }
+
+  if (verb == "ISANC") {
+    std::vector<NodeId> flat;
+    if (!ParseIdBlock(in, 2, &flat)) {
+      return "ERR InvalidArgument ISANC needs <k> then k id pairs";
+    }
+    std::vector<NodeId> ancestors, descendants;
+    for (std::size_t i = 0; i < flat.size(); i += 2) {
+      ancestors.push_back(flat[i]);
+      descendants.push_back(flat[i + 1]);
+    }
+    Result<std::vector<bool>> bits =
+        session.IsAncestorBatch(**snapshot, ancestors, descendants);
+    if (!bits.ok()) return ErrorReply(bits.status());
+    std::ostringstream out;
+    out << "OK " << bits.value().size();
+    for (bool b : bits.value()) out << ' ' << (b ? 1 : 0);
+    return out.str();
+  }
+
+  if (verb == "DESC" || verb == "ANC") {
+    NodeId anchor;
+    if (!(in >> anchor)) {
+      return "ERR InvalidArgument " + verb + " needs an anchor id";
+    }
+    std::vector<NodeId> candidates;
+    if (!ParseIdBlock(in, 1, &candidates)) {
+      return "ERR InvalidArgument " + verb + " needs <k> then k ids";
+    }
+    Result<std::vector<NodeId>> ids =
+        verb == "DESC"
+            ? session.SelectDescendants(**snapshot, anchor, candidates)
+            : session.SelectAncestors(**snapshot, anchor, candidates);
+    if (!ids.ok()) return ErrorReply(ids.status());
+    return IdListReply(ids.value());
+  }
+
+  return "ERR InvalidArgument unknown verb " + verb;
+}
+
+}  // namespace primelabel

@@ -1,0 +1,42 @@
+#ifndef PRIMELABEL_SERVICE_WIRE_H_
+#define PRIMELABEL_SERVICE_WIRE_H_
+
+#include <optional>
+#include <string>
+
+#include "service/query_service.h"
+
+namespace primelabel {
+
+/// Line-oriented request protocol for the query server. One request per
+/// line, one response line back; every connection runs one Session and
+/// holds at most one open Snapshot at a time (re-SNAP to advance to the
+/// writer's latest committed state).
+///
+/// Requests (tokens are space-separated; node ids are decimal):
+///   PING                         -> OK PONG
+///   SNAP                         -> OK <epoch> <journal_bytes> <node_count>
+///   XPATH <query...>             -> OK <k> <id_1> ... <id_k>
+///   ISANC <k> <a_1> <d_1> ... <a_k> <d_k>
+///                                -> OK <k> <0|1> x k
+///   DESC <anchor> <k> <c_1> ... <c_k>
+///                                -> OK <m> <matching ids...>
+///   ANC <descendant> <k> <c_1> ... <c_k>
+///                                -> OK <m> <matching ids...>
+///   STATS                        -> OK SERVED <n> REJECTED <n> HITS <n>
+///                                   MISSES <n> EVICTIONS <n>
+///   QUIT                         -> OK BYE (and the connection closes)
+///
+/// Failures answer `ERR <StatusCodeName> <message...>` — notably
+/// `ERR ResourceExhausted ...` when admission control rejects the request;
+/// the connection and its session stay usable.
+///
+/// ExecuteRequestLine is the transport-independent core: the socket server
+/// feeds it lines, tests call it directly.
+std::string ExecuteRequestLine(QueryService& service, Session& session,
+                               std::optional<Snapshot>* snapshot,
+                               const std::string& line, bool* done);
+
+}  // namespace primelabel
+
+#endif  // PRIMELABEL_SERVICE_WIRE_H_

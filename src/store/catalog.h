@@ -155,20 +155,11 @@ Status WriteCatalog(Vfs& vfs, const std::string& path,
                     const std::vector<CatalogRow>& rows,
                     const ScTable& sc_table,
                     const CatalogWriteOptions& options = {});
-inline Status WriteCatalog(const std::string& path,
-                           const std::vector<CatalogRow>& rows,
-                           const ScTable& sc_table,
-                           const CatalogWriteOptions& options = {}) {
-  return WriteCatalog(DefaultVfs(), path, rows, sc_table, options);
-}
 
 /// Reads a catalog written by WriteCatalog. Fails with kParseError on a bad
 /// magic, an unsupported version (the message names found vs. supported
 /// versions) or a truncated file.
 Result<LoadedCatalog> LoadCatalog(Vfs& vfs, const std::string& path);
-inline Result<LoadedCatalog> LoadCatalog(const std::string& path) {
-  return LoadCatalog(DefaultVfs(), path);
-}
 
 }  // namespace primelabel
 

@@ -38,6 +38,20 @@ class XPathEvaluator {
   const QueryContext* ctx_;
 };
 
+/// One-shot evaluation against a frozen snapshot's (table, oracle) pair —
+/// the service layer's entry point. Unlike LabeledDocument::Query it never
+/// touches lazily-built document state: the caller hands in an
+/// already-built LabelTable, a private QueryContext is assembled per call
+/// (so EvalStats never race across sessions sharing one view), and
+/// `num_workers` feeds the batched join executor's fan-out without
+/// mutating the shared oracle. Safe to call concurrently from any number
+/// of sessions over the same table/oracle.
+Result<std::vector<NodeId>> EvaluateSnapshot(const LabelTable& table,
+                                             const StructureOracle& oracle,
+                                             std::string_view xpath,
+                                             int num_workers = 1,
+                                             EvalStats* stats = nullptr);
+
 }  // namespace primelabel
 
 #endif  // PRIMELABEL_XPATH_EVALUATOR_H_

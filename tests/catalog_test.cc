@@ -41,7 +41,7 @@ class CatalogTest : public ::testing::Test {
 TEST_F(CatalogTest, SaveLoadRoundTripsRows) {
   std::string path = TempPath("roundtrip.plc");
   ASSERT_TRUE(SaveCatalog(path, *doc_).ok());
-  Result<LoadedCatalog> loaded = LoadCatalog(path);
+  Result<LoadedCatalog> loaded = LoadCatalog(DefaultVfs(), path);
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
 
   std::vector<NodeId> preorder = tree().PreorderNodes();
@@ -60,7 +60,7 @@ TEST_F(CatalogTest, SaveLoadRoundTripsRows) {
 TEST_F(CatalogTest, LoadedCatalogAnswersStructureQueries) {
   std::string path = TempPath("structure.plc");
   ASSERT_TRUE(SaveCatalog(path, *doc_).ok());
-  Result<LoadedCatalog> loaded = LoadCatalog(path);
+  Result<LoadedCatalog> loaded = LoadCatalog(DefaultVfs(), path);
   ASSERT_TRUE(loaded.ok());
 
   std::vector<NodeId> preorder = tree().PreorderNodes();
@@ -82,7 +82,7 @@ TEST_F(CatalogTest, LoadedCatalogAnswersStructureQueries) {
 TEST_F(CatalogTest, LoadedCatalogAnswersOrderQueries) {
   std::string path = TempPath("order.plc");
   ASSERT_TRUE(SaveCatalog(path, *doc_).ok());
-  Result<LoadedCatalog> loaded = LoadCatalog(path);
+  Result<LoadedCatalog> loaded = LoadCatalog(DefaultVfs(), path);
   ASSERT_TRUE(loaded.ok());
   // Row index == preorder rank == order number.
   for (std::size_t i = 0; i < loaded->rows().size(); i += 3) {
@@ -97,7 +97,7 @@ TEST_F(CatalogTest, SurvivesOrderSensitiveUpdateBeforeSave) {
   doc_->InsertBefore(acts[1], "act");
   std::string path = TempPath("updated.plc");
   ASSERT_TRUE(doc_->Save(path).ok());
-  Result<LoadedCatalog> loaded = LoadCatalog(path);
+  Result<LoadedCatalog> loaded = LoadCatalog(DefaultVfs(), path);
   ASSERT_TRUE(loaded.ok());
   std::vector<NodeId> preorder = tree().PreorderNodes();
   for (std::size_t i = 0; i < preorder.size(); ++i) {
@@ -201,7 +201,7 @@ TEST_F(CatalogTest, V3PersistsFingerprintsAndSkipsRecompute) {
   // the stored fingerprints wholesale: zero FingerprintOf calls on the
   // load path (counter-instrumented in bigint/reduction.cc).
   std::uint64_t before = FingerprintComputeCount();
-  Result<LoadedCatalog> loaded = LoadCatalog(path);
+  Result<LoadedCatalog> loaded = LoadCatalog(DefaultVfs(), path);
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
   EXPECT_EQ(loaded->format_version(), 3);
   EXPECT_TRUE(loaded->fingerprints_persisted());
@@ -222,7 +222,7 @@ TEST_F(CatalogTest, V3PersistsFingerprintsAndSkipsRecompute) {
 TEST_F(CatalogTest, V2FilesStayLoadableWithRecompute) {
   std::string v3_path = TempPath("compat.plc");
   ASSERT_TRUE(doc_->Save(v3_path).ok());
-  Result<LoadedCatalog> v3 = LoadCatalog(v3_path);
+  Result<LoadedCatalog> v3 = LoadCatalog(DefaultVfs(), v3_path);
   ASSERT_TRUE(v3.ok());
 
   // Re-emit the same rows as format v2 (the compatibility knob).
@@ -230,10 +230,10 @@ TEST_F(CatalogTest, V2FilesStayLoadableWithRecompute) {
   CatalogWriteOptions options;
   options.format_version = 2;
   ASSERT_TRUE(
-      WriteCatalog(v2_path, v3->rows(), v3->sc_table(), options).ok());
+      WriteCatalog(DefaultVfs(), v2_path, v3->rows(), v3->sc_table(), options).ok());
 
   std::uint64_t before = FingerprintComputeCount();
-  Result<LoadedCatalog> v2 = LoadCatalog(v2_path);
+  Result<LoadedCatalog> v2 = LoadCatalog(DefaultVfs(), v2_path);
   ASSERT_TRUE(v2.ok()) << v2.status().ToString();
   EXPECT_EQ(v2->format_version(), 2);
   EXPECT_FALSE(v2->fingerprints_persisted());
@@ -267,7 +267,7 @@ TEST_F(CatalogTest, V3StaleConfigHashFallsBackToRecompute) {
   std::fclose(f);
 
   std::uint64_t before = FingerprintComputeCount();
-  Result<LoadedCatalog> loaded = LoadCatalog(path);
+  Result<LoadedCatalog> loaded = LoadCatalog(DefaultVfs(), path);
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
   EXPECT_EQ(loaded->format_version(), 3);
   EXPECT_FALSE(loaded->fingerprints_persisted());
@@ -291,7 +291,7 @@ TEST(CatalogErrors, UnsupportedVersionNamesFoundAndSupported) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
   std::fputs("PLCATLG7", f);
   std::fclose(f);
-  Result<LoadedCatalog> loaded = LoadCatalog(path);
+  Result<LoadedCatalog> loaded = LoadCatalog(DefaultVfs(), path);
   ASSERT_FALSE(loaded.ok());
   EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
   std::string message = loaded.status().ToString();
@@ -301,7 +301,7 @@ TEST(CatalogErrors, UnsupportedVersionNamesFoundAndSupported) {
 }
 
 TEST(CatalogErrors, MissingFile) {
-  Result<LoadedCatalog> loaded = LoadCatalog(TempPath("does-not-exist.plc"));
+  Result<LoadedCatalog> loaded = LoadCatalog(DefaultVfs(), TempPath("does-not-exist.plc"));
   EXPECT_FALSE(loaded.ok());
   EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
 }
@@ -311,7 +311,7 @@ TEST(CatalogErrors, BadMagic) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
   std::fputs("not a catalog at all", f);
   std::fclose(f);
-  Result<LoadedCatalog> loaded = LoadCatalog(path);
+  Result<LoadedCatalog> loaded = LoadCatalog(DefaultVfs(), path);
   EXPECT_FALSE(loaded.ok());
   EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
   std::remove(path.c_str());
@@ -324,7 +324,7 @@ TEST(CatalogErrors, RejectsV1Files) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
   std::fputs("PLCATLG1", f);
   std::fclose(f);
-  Result<LoadedCatalog> loaded = LoadCatalog(path);
+  Result<LoadedCatalog> loaded = LoadCatalog(DefaultVfs(), path);
   EXPECT_FALSE(loaded.ok());
   EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
   std::remove(path.c_str());
@@ -350,7 +350,7 @@ TEST(CatalogErrors, TruncatedFile) {
   f = std::fopen(path.c_str(), "wb");
   std::fwrite(data.data(), 1, data.size() * 6 / 10, f);
   std::fclose(f);
-  Result<LoadedCatalog> loaded = LoadCatalog(path);
+  Result<LoadedCatalog> loaded = LoadCatalog(DefaultVfs(), path);
   EXPECT_FALSE(loaded.ok());
   EXPECT_FALSE(LabeledDocument::Load(path).ok());
   std::remove(path.c_str());

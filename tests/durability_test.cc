@@ -176,7 +176,7 @@ TEST(DurabilityWal, GroupCommitBuffersUntilFull) {
   WalOptions options;
   options.group_commit_records = 4;
   {
-    Result<WriteAheadLog> wal = WriteAheadLog::Open(path, options);
+    Result<WriteAheadLog> wal = WriteAheadLog::Open(DefaultVfs(), path, options);
     ASSERT_TRUE(wal.ok());
     for (int i = 0; i < 3; ++i) {
       ASSERT_TRUE(wal->Append(SampleInsert()).ok());
@@ -184,14 +184,14 @@ TEST(DurabilityWal, GroupCommitBuffersUntilFull) {
     EXPECT_EQ(wal->pending_records(), 3);
     EXPECT_EQ(wal->committed_frames(), 0u);
     // Nothing on disk yet: the group is still open.
-    Result<WalReadResult> read = ReadWal(path);
+    Result<WalReadResult> read = ReadWal(DefaultVfs(), path);
     ASSERT_TRUE(read.ok());
     EXPECT_TRUE(read->records.empty());
 
     ASSERT_TRUE(wal->Append(SampleInsert()).ok());  // fourth → auto-commit
     EXPECT_EQ(wal->pending_records(), 0);
     EXPECT_EQ(wal->committed_frames(), 4u);
-    read = ReadWal(path);
+    read = ReadWal(DefaultVfs(), path);
     ASSERT_TRUE(read.ok());
     EXPECT_EQ(read->records.size(), 4u);
   }
@@ -204,12 +204,12 @@ TEST(DurabilityWal, DestructorCommitsPartialGroup) {
   WalOptions options;
   options.group_commit_records = 100;
   {
-    Result<WriteAheadLog> wal = WriteAheadLog::Open(path, options);
+    Result<WriteAheadLog> wal = WriteAheadLog::Open(DefaultVfs(), path, options);
     ASSERT_TRUE(wal.ok());
     ASSERT_TRUE(wal->Append(SampleInsert()).ok());
     ASSERT_TRUE(wal->Append(SampleInsert()).ok());
   }  // clean shutdown: the destructor commits the open group
-  Result<WalReadResult> read = ReadWal(path);
+  Result<WalReadResult> read = ReadWal(DefaultVfs(), path);
   ASSERT_TRUE(read.ok());
   EXPECT_EQ(read->records.size(), 2u);
   EXPECT_FALSE(read->tail_truncated);
@@ -220,7 +220,7 @@ TEST(DurabilityWal, ReopenResumesAfterIntactPrefix) {
   std::string path = TempDirPath("resume.wal");
   std::remove(path.c_str());
   {
-    Result<WriteAheadLog> wal = WriteAheadLog::Open(path);
+    Result<WriteAheadLog> wal = WriteAheadLog::Open(DefaultVfs(), path);
     ASSERT_TRUE(wal.ok());
     ASSERT_TRUE(wal->Append(SampleInsert()).ok());
     ASSERT_TRUE(wal->Append(SampleInsert()).ok());
@@ -231,18 +231,18 @@ TEST(DurabilityWal, ReopenResumesAfterIntactPrefix) {
   bytes.insert(bytes.end(), {0x11, 0x22, 0x33});
   WriteFileBytes(path, bytes);
 
-  Result<WalReadResult> read = ReadWal(path);
+  Result<WalReadResult> read = ReadWal(DefaultVfs(), path);
   ASSERT_TRUE(read.ok());
   EXPECT_EQ(read->valid_bytes, intact);
   EXPECT_TRUE(read->tail_truncated);
 
   {
     Result<WriteAheadLog> wal =
-        WriteAheadLog::Open(path, WalOptions{}, read->valid_bytes);
+        WriteAheadLog::Open(DefaultVfs(), path, WalOptions{}, read->valid_bytes);
     ASSERT_TRUE(wal.ok());
     ASSERT_TRUE(wal->Append(SampleInsert()).ok());
   }
-  read = ReadWal(path);
+  read = ReadWal(DefaultVfs(), path);
   ASSERT_TRUE(read.ok());
   EXPECT_EQ(read->records.size(), 3u);
   EXPECT_FALSE(read->tail_truncated);
@@ -250,7 +250,7 @@ TEST(DurabilityWal, ReopenResumesAfterIntactPrefix) {
 }
 
 TEST(DurabilityWal, MissingFileIsNotFound) {
-  Result<WalReadResult> read = ReadWal(TempDirPath("absent.wal"));
+  Result<WalReadResult> read = ReadWal(DefaultVfs(), TempDirPath("absent.wal"));
   EXPECT_FALSE(read.ok());
   EXPECT_EQ(read.status().code(), StatusCode::kNotFound);
 }
@@ -545,7 +545,7 @@ TEST(DurabilityRecovery, ChecksummedButWrongJournalFailsLoudly) {
   // "valid journal, wrong content" case and must fail, not silently
   // produce a different document.
   std::string wal_path = DurableDocumentStore::JournalPath(dir, 0);
-  Result<WalReadResult> read = ReadWal(wal_path);
+  Result<WalReadResult> read = ReadWal(DefaultVfs(), wal_path);
   ASSERT_TRUE(read.ok());
   ASSERT_FALSE(read->records.empty());
   WalRecord tampered = read->records[0];
@@ -572,6 +572,7 @@ void ExpectReplayEquivalence(DurableDocumentStore& store) {
   ASSERT_TRUE(store.Flush().ok());
   RecoveryStats stats;
   Result<LabeledDocument> recovered = RecoverDocument(
+      DefaultVfs(),
       DurableDocumentStore::SnapshotPath(store.dir(), store.epoch()),
       DurableDocumentStore::JournalPath(store.dir(), store.epoch()), &stats);
   ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
@@ -1284,10 +1285,11 @@ TEST(EpochPinning, PinnedReaderSeesFrozenViewWhileWriterAdvances) {
   ASSERT_TRUE(store->AppendChild(scenes[0], "pinned").ok());
   const std::string pin_digest = StateDigest(store->document());
 
-  EpochPin pin = store->PinEpoch();
-  ASSERT_TRUE(pin.valid());
-  EXPECT_EQ(pin.epoch(), 0u);
-  EXPECT_EQ(pin.journal_bytes(), store->durable_journal_bytes());
+  Result<Snapshot> snap = store->OpenSnapshot();
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  EXPECT_TRUE(snap->valid());
+  EXPECT_EQ(snap->epoch(), 0u);
+  EXPECT_EQ(snap->journal_bytes(), store->durable_journal_bytes());
 
   // The writer moves on: more mutations and a checkpoint.
   ASSERT_TRUE(store->AppendChild(scenes[0], "later").ok());
@@ -1296,14 +1298,18 @@ TEST(EpochPinning, PinnedReaderSeesFrozenViewWhileWriterAdvances) {
   ASSERT_TRUE(store->Flush().ok());
   EXPECT_NE(StateDigest(store->document()), pin_digest);
 
-  // The pinned view replays exactly the committed prefix at pin time.
-  Result<LabeledDocument> view = store->ReadPinned(pin);
-  ASSERT_TRUE(view.ok()) << view.status().ToString();
-  EXPECT_EQ(StateDigest(*view), pin_digest);
+  // The snapshot stays frozen at the committed prefix captured at open,
+  // and queries evaluate against that frozen view.
+  EXPECT_EQ(StateDigest(snap->document()), pin_digest);
+  Result<std::vector<NodeId>> pinned = snap->Query("//pinned");
+  ASSERT_TRUE(pinned.ok()) << pinned.status().ToString();
+  EXPECT_EQ(pinned->size(), 1u);
+  EXPECT_TRUE(snap->Query("//later")->empty());
 
-  pin.Release();
-  EXPECT_FALSE(pin.valid());
-  EXPECT_EQ(store->ReadPinned(pin).status().code(),
+  // A default (never-opened) snapshot refuses queries with a typed error.
+  Snapshot closed;
+  EXPECT_FALSE(closed.valid());
+  EXPECT_EQ(closed.Query("//scene").status().code(),
             StatusCode::kInvalidArgument);
   RemoveTree(dir);
 }
@@ -1317,22 +1323,21 @@ TEST(EpochPinning, PinKeepsRetiredEpochFilesUntilRelease) {
       DurableDocumentStore::Create(dir, SmallPlayXml(), options);
   ASSERT_TRUE(store.ok());
   const std::string pin_digest = StateDigest(store->document());
-  EpochPin pin = store->PinEpoch();
+  Result<Snapshot> snap = store->OpenSnapshot();
+  ASSERT_TRUE(snap.ok());
 
   std::vector<NodeId> scenes = store->Query("//scene").value();
   ASSERT_TRUE(store->AppendChild(scenes[0], "next").ok());
   ASSERT_TRUE(store->Checkpoint().ok());
   EXPECT_EQ(store->epoch(), 1u);
 
-  // The pin is the only thing keeping epoch 0 alive.
+  // The snapshot's pin is the only thing keeping epoch 0 alive.
   EXPECT_TRUE(fs::exists(DurableDocumentStore::SnapshotPath(dir, 0)));
   EXPECT_TRUE(fs::exists(DurableDocumentStore::JournalPath(dir, 0)));
-  Result<LabeledDocument> view = store->ReadPinned(pin);
-  ASSERT_TRUE(view.ok());
-  EXPECT_EQ(StateDigest(*view), pin_digest);
+  EXPECT_EQ(StateDigest(snap->document()), pin_digest);
 
-  // Release retires them.
-  pin.Release();
+  // Dropping the snapshot retires them.
+  snap.value() = Snapshot();
   EXPECT_FALSE(fs::exists(DurableDocumentStore::SnapshotPath(dir, 0)));
   EXPECT_FALSE(fs::exists(DurableDocumentStore::JournalPath(dir, 0)));
   RemoveTree(dir);
@@ -1351,14 +1356,23 @@ TEST(EpochPinning, PinOnDeltaEpochReadsThroughChain) {
   ASSERT_TRUE(store->Flush().ok());
   const std::string pin_digest = StateDigest(store->document());
 
-  EpochPin pin = store->PinEpoch();
-  EXPECT_EQ(pin.epoch(), 1u);
+  Result<Snapshot> snap = store->OpenSnapshot();
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  EXPECT_EQ(snap->epoch(), 1u);
   ASSERT_TRUE(store->AppendChild(scenes[0], "three").ok());
   ASSERT_TRUE(store->Checkpoint().ok());  // epoch 2
+  EXPECT_EQ(StateDigest(snap->document()), pin_digest);
 
-  Result<LabeledDocument> view = store->ReadPinned(pin);
-  ASSERT_TRUE(view.ok()) << view.status().ToString();
-  EXPECT_EQ(StateDigest(*view), pin_digest);
+  // The deprecated compat shim still re-materializes the snapshot's point
+  // from disk — through the (now superseded) delta chain the pin retains —
+  // bit-identically to the cached view. Kept one release for pre-Snapshot
+  // callers.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  Result<LabeledDocument> rebuilt = store->ReadPinned(snap->pin());
+#pragma GCC diagnostic pop
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+  EXPECT_EQ(StateDigest(*rebuilt), pin_digest);
   RemoveTree(dir);
 }
 

@@ -4,8 +4,8 @@
 // scripts/check.sh (the tsan leg matches 'Epoch|Concurrent').
 //
 // The protocol's promise: a pin captures an (epoch, committed-journal-
-// bytes) point atomically, ReadPinned replays exactly that point, and
-// epoch retirement never yanks files out from under a live pin.
+// bytes) point atomically, OpenSnapshot materializes exactly that point,
+// and epoch retirement never yanks files out from under a live pin.
 
 #include <atomic>
 #include <cstdint>
@@ -124,14 +124,12 @@ TEST(EpochConcurrency, PinnedReadersSeeCommittedStatesBitIdentically) {
       int post_done = 0;
       while (post_done < 2) {
         if (done.load()) ++post_done;
-        EpochPin pin = store->PinEpoch();
-        ASSERT_TRUE(pin.valid());
+        Result<Snapshot> snap = store->OpenSnapshot();
+        ASSERT_TRUE(snap.ok())
+            << "reader " << r << ": " << snap.status().ToString();
         const std::pair<std::uint64_t, std::uint64_t> key{
-            pin.epoch(), pin.journal_bytes()};
-        Result<LabeledDocument> view = store->ReadPinned(pin);
-        ASSERT_TRUE(view.ok())
-            << "reader " << r << ": " << view.status().ToString();
-        const std::string digest = StateDigest(*view);
+            snap->epoch(), snap->journal_bytes()};
+        const std::string digest = StateDigest(snap->document());
         std::lock_guard<std::mutex> lock(mu);
         auto it = committed.find(key);
         // A pin can land between a commit and the writer publishing its
@@ -193,15 +191,13 @@ TEST(EpochConcurrency, PinChurnDuringCheckpointsNeverBreaksRetirement) {
       int spins = 0;
       while (!done.load() || spins < 4) {
         ++spins;
-        // Hold several overlapping pins, read through one, drop them all.
-        EpochPin a = store->PinEpoch();
+        // Hold an overlapping raw pin and a snapshot, then drop them all.
         EpochPin b = store->PinEpoch();
-        ASSERT_TRUE(a.valid());
         ASSERT_TRUE(b.valid());
-        Result<LabeledDocument> view = store->ReadPinned(a);
-        ASSERT_TRUE(view.ok()) << view.status().ToString();
-        a.Release();
-        // b released by its destructor at scope exit.
+        Result<Snapshot> snap = store->OpenSnapshot();
+        ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+        ASSERT_TRUE(snap->document().tree().node_count() > 0);
+        // snap's pin and b both released by destructors at scope exit.
       }
     });
   }

@@ -6,6 +6,8 @@
 
 #include "core/structure_oracle.h"
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <memory>
 #include <optional>
@@ -40,10 +42,13 @@ class OracleTest : public ::testing::TestWithParam<std::string> {
     preorder_ = doc_->tree().PreorderNodes();
 
     if (GetParam() == "catalog") {
-      std::string path =
-          std::string(::testing::TempDir()) + "/oracle_suite.plc";
+      // Unique per process: ctest runs each case in its own process, and
+      // concurrent Save/Load/remove on one shared path race under -j.
+      std::string path = std::string(::testing::TempDir()) +
+                         "/oracle_suite_" + std::to_string(::getpid()) +
+                         ".plc";
       ASSERT_TRUE(doc_->Save(path).ok());
-      Result<LoadedCatalog> loaded = LoadCatalog(path);
+      Result<LoadedCatalog> loaded = LoadCatalog(DefaultVfs(), path);
       std::remove(path.c_str());
       ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
       catalog_ = std::make_unique<LoadedCatalog>(std::move(loaded.value()));
@@ -133,6 +138,92 @@ TEST_P(OracleTest, SelectDescendantsAgreesWithPairwise) {
       if (oracle_->IsAncestor(anchor, candidate)) pairwise.push_back(candidate);
     }
     EXPECT_EQ(batched, pairwise) << "anchor " << anchor;
+  }
+}
+
+TEST_P(OracleTest, SelectAncestorsAgreesWithPairwise) {
+  Rng rng(31);
+  std::vector<NodeId> candidates;
+  for (std::size_t i = 0; i < node_count(); ++i) candidates.push_back(handle(i));
+  for (int trial = 0; trial < 20; ++trial) {
+    NodeId descendant = handle(rng.Below(node_count()));
+    std::vector<NodeId> batched;
+    oracle_->SelectAncestors(descendant, candidates, &batched);
+    std::vector<NodeId> pairwise;
+    for (NodeId candidate : candidates) {
+      if (oracle_->IsAncestor(candidate, descendant)) {
+        pairwise.push_back(candidate);
+      }
+    }
+    EXPECT_EQ(batched, pairwise) << "descendant " << descendant;
+  }
+}
+
+/// Forwards only the three pure-virtual scalar queries to a wrapped
+/// oracle, hiding every batch/axis override — so running the contract
+/// through it exercises the StructureOracle BASE-CLASS defaults
+/// (IsAncestorBatch/SelectDescendants/SelectAncestors loops and the
+/// order-and-ancestry Precedes/Follows) against both backends.
+class ScalarOnlyOracle : public StructureOracle {
+ public:
+  explicit ScalarOnlyOracle(const StructureOracle* inner) : inner_(inner) {}
+  bool IsAncestor(NodeId x, NodeId y) const override {
+    return inner_->IsAncestor(x, y);
+  }
+  bool IsParent(NodeId x, NodeId y) const override {
+    return inner_->IsParent(x, y);
+  }
+  std::uint64_t OrderOf(NodeId id) const override {
+    return inner_->OrderOf(id);
+  }
+
+ private:
+  const StructureOracle* inner_;
+};
+
+TEST_P(OracleTest, DefaultBatchPathsAgreeWithOverrides) {
+  ScalarOnlyOracle defaults(oracle_);
+
+  Rng rng(37);
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  for (int i = 0; i < 500; ++i) {
+    pairs.emplace_back(handle(rng.Below(node_count())),
+                       handle(rng.Below(node_count())));
+  }
+  std::vector<std::uint8_t> from_default, from_override;
+  defaults.IsAncestorBatch(pairs, &from_default);
+  oracle_->IsAncestorBatch(pairs, &from_override);
+  ASSERT_EQ(from_default.size(), from_override.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ(from_default[i] != 0, from_override[i] != 0) << "pair " << i;
+  }
+
+  std::vector<NodeId> candidates;
+  for (std::size_t i = 0; i < node_count(); ++i) candidates.push_back(handle(i));
+  for (int trial = 0; trial < 10; ++trial) {
+    NodeId anchor = handle(rng.Below(node_count()));
+    std::vector<NodeId> down_default, down_override;
+    defaults.SelectDescendants(anchor, candidates, &down_default);
+    oracle_->SelectDescendants(anchor, candidates, &down_override);
+    EXPECT_EQ(down_default, down_override) << "anchor " << anchor;
+
+    std::vector<NodeId> up_default, up_override;
+    defaults.SelectAncestors(anchor, candidates, &up_default);
+    oracle_->SelectAncestors(anchor, candidates, &up_override);
+    EXPECT_EQ(up_default, up_override) << "anchor " << anchor;
+  }
+}
+
+TEST_P(OracleTest, DefaultPrecedesFollowsAgreeWithOverrides) {
+  ScalarOnlyOracle defaults(oracle_);
+  Rng rng(41);
+  for (int trial = 0; trial < 500; ++trial) {
+    NodeId x = handle(rng.Below(node_count()));
+    NodeId y = handle(rng.Below(node_count()));
+    EXPECT_EQ(defaults.Precedes(x, y), oracle_->Precedes(x, y))
+        << x << " " << y;
+    EXPECT_EQ(defaults.Follows(x, y), oracle_->Follows(x, y))
+        << x << " " << y;
   }
 }
 

@@ -147,7 +147,7 @@ TEST(ParallelJoin, CatalogJoinWorkersBitIdentical) {
   const std::string path =
       std::string(::testing::TempDir()) + "/parallel_join_suite.plc";
   ASSERT_TRUE(doc.Save(path).ok());
-  Result<LoadedCatalog> loaded = LoadCatalog(path);
+  Result<LoadedCatalog> loaded = LoadCatalog(DefaultVfs(), path);
   std::remove(path.c_str());
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
   LoadedCatalog catalog = std::move(loaded.value());
