@@ -3,7 +3,7 @@
 // QueryService, with and without a concurrent writer. Reports throughput
 // and p50/p99 per-request latency at 1/4/16 sessions, plus the view-cache
 // hit rate — the number that justifies the materialized-view cache over
-// ReadPinned-per-call.
+// materializing a fresh view per call.
 
 #include <algorithm>
 #include <atomic>

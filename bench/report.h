@@ -39,6 +39,10 @@ inline std::string DispatchMetadataJson() {
      << "\", \"vector_kernels_compiled_in\": "
      << (simd::VectorKernelsCompiledIn() ? "true" : "false")
      << ", \"barrett_min_limbs\": " << ReciprocalDivisor::BarrettMinLimbs()
+     << ", \"vector_min_limbs_full\": " << simd::VectorMinLimbsFull()
+     << ", \"vector_min_limbs_partial\": " << simd::VectorMinLimbsPartial()
+     << ", \"vector_min_limbs_64\": " << simd::VectorMinLimbs64()
+     << ", \"redc_batch_min_limbs\": " << simd::RedcBatchMinLimbs()
      << ", \"hardware_threads\": " << std::thread::hardware_concurrency()
      << ", \"catalog_format_version\": " << kCatalogFormatVersion
      << ", \"git_sha\": \"" << BuildGitSha() << "\"}";

@@ -12,11 +12,12 @@
 # mid-request, clean writer recovery, and the bench_service numbers).
 #
 # Usage: scripts/check.sh [--no-tsan] [--no-scalar] [--no-durability]
-#                          [--no-service]
+#                          [--no-service] [--no-bench]
 #   --no-tsan        skip the sanitizer tree (e.g. toolchains without TSan)
 #   --no-scalar      skip the -DPRIMELABEL_DISABLE_SIMD=ON tree
 #   --no-durability  skip the durability suite + crash loop
 #   --no-service     skip the query-server smoke + kill + bench leg
+#   --no-bench       skip the bench-smoke leg (quick run + JSON checks)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,12 +25,14 @@ run_tsan=1
 run_scalar=1
 run_durability=1
 run_service=1
+run_bench=1
 for arg in "$@"; do
   case "$arg" in
     --no-tsan) run_tsan=0 ;;
     --no-scalar) run_scalar=0 ;;
     --no-durability) run_durability=0 ;;
     --no-service) run_service=0 ;;
+    --no-bench) run_bench=0 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -81,6 +84,22 @@ if [[ "$run_service" == "1" ]]; then
   rm -rf "$svc_dir"
   echo "== service: bench_service -> BENCH_query_service.json =="
   (cd build/bench && ./bench_service)
+fi
+
+if [[ "$run_bench" == "1" ]]; then
+  echo "== bench smoke: bench_micro_ops --quick + JSON schema/regression check =="
+  # The quick run covers the BM_IsAncestorBatch family only — enough to
+  # validate the emitted JSON end to end and to catch a gross headline
+  # regression without paying for the full suite.
+  (cd build/bench && ./bench_micro_ops --quick >/dev/null)
+  python3 scripts/check_bench_json.py --schema build/bench/BENCH_*.json
+  # BENCH_micro_ops.json at the repo root is the committed baseline; the
+  # headline batch-ancestry benchmark's median over the --quick
+  # repetitions must stay within 10% of it (the median-of-7 at 0.1s
+  # reproduces the full-run number within ~3% on an idle machine;
+  # sub-0.1s repetitions are 30% noisy and must not be used here).
+  python3 scripts/check_bench_json.py --regress \
+    build/bench/BENCH_micro_ops.json BENCH_micro_ops.json
 fi
 
 if [[ "$run_scalar" == "1" ]]; then

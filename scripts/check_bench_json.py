@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Schema and regression checks for the BENCH_*.json result files.
+
+Two file shapes exist in this repo:
+
+  * google-benchmark output (bench_micro_ops): {"context": {...},
+    "benchmarks": [{"name": ..., "real_time": ..., ...}, ...]} — the
+    context block must carry the dispatch metadata keys that make two
+    files comparable (ISA, measured crossovers, thread budget).
+  * report.h output (bench_service and the figure benches):
+    {"benchmark": ..., "dispatch": {...}, "reports": [{"title": ...,
+    "headers": [...], "rows": [...]}, ...]}.
+
+Usage:
+  check_bench_json.py --schema FILE...
+      Validate every FILE against whichever shape it declares. Fails on
+      missing dispatch/context keys or empty result sections.
+  check_bench_json.py --regress CURRENT BASELINE [--benchmark NAME]
+                      [--tolerance PCT]
+      Compare one benchmark (default BM_IsAncestorBatch) between two
+      google-benchmark files; fail when CURRENT's items_per_second falls
+      more than PCT (default 10) below BASELINE's.
+"""
+
+import argparse
+import json
+import sys
+
+# The metadata every emitter embeds (report.h DispatchMetadataJson and the
+# AddCustomContext calls in bench_micro_ops main); a file missing any of
+# these can't be compared against another run, which is the whole point of
+# keeping the JSONs.
+DISPATCH_KEYS = [
+    "detected_isa",
+    "active_isa",
+    "vector_kernels_compiled_in",
+    "barrett_min_limbs",
+    "vector_min_limbs_full",
+    "vector_min_limbs_partial",
+    "vector_min_limbs_64",
+    "redc_batch_min_limbs",
+    "hardware_threads",
+]
+
+
+def fail(msg):
+    print(f"check_bench_json: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+
+
+def check_schema(path):
+    data = load(path)
+    if "benchmarks" in data:  # google-benchmark shape
+        context = data.get("context", {})
+        missing = [k for k in DISPATCH_KEYS if k not in context]
+        if missing:
+            fail(f"{path}: context is missing dispatch keys {missing}")
+        runs = data["benchmarks"]
+        if not runs:
+            fail(f"{path}: empty benchmarks array")
+        for run in runs:
+            if "name" not in run or "real_time" not in run:
+                fail(f"{path}: benchmark entry without name/real_time: {run}")
+    elif "reports" in data:  # report.h shape
+        dispatch = data.get("dispatch", {})
+        missing = [k for k in DISPATCH_KEYS if k not in dispatch]
+        if missing:
+            fail(f"{path}: dispatch is missing keys {missing}")
+        reports = data["reports"]
+        if not reports:
+            fail(f"{path}: empty reports array")
+        for report in reports:
+            if not report.get("headers") or not report.get("rows"):
+                fail(f"{path}: report {report.get('title')!r} has no rows")
+    else:
+        fail(f"{path}: neither a google-benchmark nor a report.h JSON")
+    print(f"check_bench_json: {path}: ok")
+
+
+def rate_of(path, name):
+    """items_per_second for NAME, preferring the median aggregate.
+
+    Repetition runs (the --quick leg) emit per-repetition entries plus
+    aggregates; a single short repetition in a fresh process measures up
+    to ~30% slow, so the median is the comparable number. Single-run
+    files (the committed full-run baseline) just have the one entry.
+    """
+    data = load(path)
+    single = None
+    for run in data.get("benchmarks", []):
+        if run.get("name") == f"{name}_median":
+            rate = run.get("items_per_second")
+            if rate is None:
+                fail(f"{path}: {name}_median has no items_per_second")
+            return float(rate)
+        if run.get("name") == name and single is None:
+            rate = run.get("items_per_second")
+            if rate is None:
+                fail(f"{path}: {name} has no items_per_second counter")
+            single = float(rate)
+    if single is not None:
+        return single
+    fail(f"{path}: no benchmark named {name}")
+
+
+def check_regress(current, baseline, name, tolerance):
+    cur = rate_of(current, name)
+    base = rate_of(baseline, name)
+    floor = base * (1.0 - tolerance / 100.0)
+    verdict = "ok" if cur >= floor else "REGRESSION"
+    print(
+        f"check_bench_json: {name}: current {cur:.3e} items/s vs baseline "
+        f"{base:.3e} (floor {floor:.3e}, tolerance {tolerance:.0f}%): "
+        f"{verdict}"
+    )
+    if cur < floor:
+        fail(
+            f"{current}: {name} regressed {100.0 * (1.0 - cur / base):.1f}% "
+            f"vs {baseline} (>{tolerance:.0f}% allowed)"
+        )
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--schema", action="store_true")
+    mode.add_argument("--regress", action="store_true")
+    parser.add_argument("files", nargs="+")
+    parser.add_argument("--benchmark", default="BM_IsAncestorBatch")
+    parser.add_argument("--tolerance", type=float, default=10.0)
+    args = parser.parse_args()
+    if args.schema:
+        for path in args.files:
+            check_schema(path)
+    else:
+        if len(args.files) != 2:
+            fail("--regress takes exactly CURRENT and BASELINE")
+        check_regress(args.files[0], args.files[1], args.benchmark,
+                      args.tolerance)
+
+
+if __name__ == "__main__":
+    main()

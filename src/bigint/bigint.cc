@@ -1,23 +1,21 @@
 #include "bigint/bigint.h"
 
 #include <algorithm>
+#include <bit>
 #include <cctype>
 
+#include "bigint/recip.h"
 #include "bigint/simd.h"
 
 namespace primelabel {
 
 namespace {
 
-// Bit width of a nonzero 32-bit value.
-int BitWidth32(std::uint32_t v) {
-  int w = 0;
-  while (v != 0) {
-    ++w;
-    v >>= 1;
-  }
-  return w;
-}
+using recip::Div2by1;
+using recip::Div3by2;
+using recip::Reciprocal2by1;
+using recip::Reciprocal3by2;
+using U128 = unsigned __int128;
 
 }  // namespace
 
@@ -27,15 +25,13 @@ BigInt::BigInt(std::int64_t value) {
   std::uint64_t magnitude =
       negative_ ? ~static_cast<std::uint64_t>(value) + 1
                 : static_cast<std::uint64_t>(value);
-  if (magnitude != 0) limbs_.push_back(static_cast<Limb>(magnitude));
-  if (magnitude >> 32) limbs_.push_back(static_cast<Limb>(magnitude >> 32));
+  if (magnitude != 0) limbs_.push_back(magnitude);
   Canonicalize();
 }
 
 BigInt BigInt::FromUint64(std::uint64_t value) {
   BigInt result;
-  if (value != 0) result.limbs_.push_back(static_cast<Limb>(value));
-  if (value >> 32) result.limbs_.push_back(static_cast<Limb>(value >> 32));
+  if (value != 0) result.limbs_.push_back(value);
   return result;
 }
 
@@ -72,49 +68,41 @@ int BigInt::Sign() const {
 int BigInt::BitLength() const {
   if (limbs_.empty()) return 0;
   return static_cast<int>(limbs_.size() - 1) * kLimbBits +
-         BitWidth32(limbs_.back());
+         std::bit_width(limbs_.back());
 }
 
 int BigInt::TrailingZeroBits() const {
   for (std::size_t i = 0; i < limbs_.size(); ++i) {
     if (limbs_[i] != 0) {
-      int bit = 0;
-      Limb v = limbs_[i];
-      while ((v & 1u) == 0) {
-        ++bit;
-        v >>= 1;
-      }
-      return static_cast<int>(i) * kLimbBits + bit;
+      return static_cast<int>(i) * kLimbBits + std::countr_zero(limbs_[i]);
     }
   }
   return 0;
 }
 
 std::uint64_t BigInt::ToUint64() const {
-  std::uint64_t value = 0;
-  if (!limbs_.empty()) value = limbs_[0];
-  if (limbs_.size() > 1) value |= static_cast<std::uint64_t>(limbs_[1]) << 32;
-  return value;
+  return limbs_.empty() ? 0 : limbs_[0];
 }
 
 std::vector<std::uint8_t> BigInt::ToMagnitudeBytes() const {
   std::vector<std::uint8_t> bytes;
-  bytes.reserve(limbs_.size() * 4);
+  bytes.reserve(limbs_.size() * 8);
   for (Limb limb : limbs_) {
-    bytes.push_back(static_cast<std::uint8_t>(limb));
-    bytes.push_back(static_cast<std::uint8_t>(limb >> 8));
-    bytes.push_back(static_cast<std::uint8_t>(limb >> 16));
-    bytes.push_back(static_cast<std::uint8_t>(limb >> 24));
+    for (int shift = 0; shift < kLimbBits; shift += 8) {
+      bytes.push_back(static_cast<std::uint8_t>(limb >> shift));
+    }
   }
+  // Minimal encoding: the byte string is limb-width independent, which is
+  // what keeps catalog/WAL images from the 32-bit-limb era readable.
   while (!bytes.empty() && bytes.back() == 0) bytes.pop_back();
   return bytes;
 }
 
 BigInt BigInt::FromMagnitudeBytes(const std::vector<std::uint8_t>& bytes) {
   BigInt out;
-  out.limbs_.assign((bytes.size() + 3) / 4, 0);
+  out.limbs_.assign((bytes.size() + 7) / 8, 0);
   for (std::size_t i = 0; i < bytes.size(); ++i) {
-    out.limbs_[i / 4] |= static_cast<Limb>(bytes[i]) << (8 * (i % 4));
+    out.limbs_[i / 8] |= static_cast<Limb>(bytes[i]) << (8 * (i % 8));
   }
   out.Canonicalize();
   return out;
@@ -122,19 +110,23 @@ BigInt BigInt::FromMagnitudeBytes(const std::vector<std::uint8_t>& bytes) {
 
 std::string BigInt::ToDecimalString() const {
   if (limbs_.empty()) return "0";
-  // Repeatedly divide the magnitude by 10^9 and emit 9 digits per step.
+  // Repeatedly divide the magnitude by 10^19 (the largest power of ten
+  // below 2^64 — already normalized, so the 2-by-1 reciprocal steps need
+  // no shift) and emit 19 digits per pass.
   std::vector<Limb> work = limbs_;
-  constexpr Limb kChunk = 1000000000u;
+  constexpr Limb kChunk = 10000000000000000000ull;
+  static_assert(kChunk >> 63 == 1, "chunk divisor must be pre-normalized");
+  const std::uint64_t v = Reciprocal2by1(kChunk);
   std::string digits;
   while (!work.empty()) {
-    Wide remainder = 0;
+    std::uint64_t remainder = 0;
     for (std::size_t i = work.size(); i-- > 0;) {
-      Wide cur = (remainder << kLimbBits) | work[i];
-      work[i] = static_cast<Limb>(cur / kChunk);
-      remainder = cur % kChunk;
+      auto [q, r] = Div2by1(remainder, work[i], kChunk, v);
+      work[i] = q;
+      remainder = r;
     }
     Normalize(&work);
-    for (int d = 0; d < 9; ++d) {
+    for (int d = 0; d < 19; ++d) {
       digits.push_back(static_cast<char>('0' + remainder % 10));
       remainder /= 10;
     }
@@ -186,13 +178,14 @@ std::vector<BigInt::Limb> BigInt::AddMagnitude(const std::vector<Limb>& a,
   const std::vector<Limb>& shorter = a.size() >= b.size() ? b : a;
   std::vector<Limb> out;
   out.reserve(longer.size() + 1);
-  Wide carry = 0;
+  Limb carry = 0;
   for (std::size_t i = 0; i < longer.size(); ++i) {
-    Wide sum = carry + longer[i] + (i < shorter.size() ? shorter[i] : 0);
+    Wide sum = static_cast<Wide>(carry) + longer[i] +
+               (i < shorter.size() ? shorter[i] : 0);
     out.push_back(static_cast<Limb>(sum));
-    carry = sum >> kLimbBits;
+    carry = static_cast<Limb>(sum >> kLimbBits);
   }
-  if (carry != 0) out.push_back(static_cast<Limb>(carry));
+  if (carry != 0) out.push_back(carry);
   return out;
 }
 
@@ -201,17 +194,15 @@ std::vector<BigInt::Limb> BigInt::SubMagnitude(const std::vector<Limb>& a,
   PL_CHECK(CompareMagnitude(a, b) >= 0);
   std::vector<Limb> out;
   out.reserve(a.size());
-  std::int64_t borrow = 0;
+  Limb borrow = 0;
   for (std::size_t i = 0; i < a.size(); ++i) {
-    std::int64_t diff = static_cast<std::int64_t>(a[i]) - borrow -
-                        (i < b.size() ? static_cast<std::int64_t>(b[i]) : 0);
-    if (diff < 0) {
-      diff += (std::int64_t{1} << kLimbBits);
-      borrow = 1;
-    } else {
-      borrow = 0;
-    }
-    out.push_back(static_cast<Limb>(diff));
+    const Limb bi = i < b.size() ? b[i] : 0;
+    const Limb d1 = a[i] - bi;
+    const Limb borrow1 = a[i] < bi;
+    const Limb d2 = d1 - borrow;
+    const Limb borrow2 = d1 < borrow;
+    out.push_back(d2);
+    borrow = borrow1 | borrow2;
   }
   Normalize(&out);
   return out;
@@ -252,7 +243,7 @@ std::vector<BigInt::Limb> BigInt::MulKaratsuba(const std::vector<Limb>& a,
   z1 = SubMagnitude(z1, z0);
   z1 = SubMagnitude(z1, z2);
 
-  // result = z0 + (z1 << half*32) + (z2 << 2*half*32)
+  // result = z0 + (z1 << half*64) + (z2 << 2*half*64)
   auto shifted = [](const std::vector<Limb>& v, std::size_t limbs) {
     if (v.empty()) return v;
     std::vector<Limb> out(limbs, 0);
@@ -279,29 +270,36 @@ BigInt::DivModMagnitude(const std::vector<Limb>& a,
   PL_CHECK(!b.empty());
   if (CompareMagnitude(a, b) < 0) return {{}, a};
 
-  // Fast path: single-limb divisor.
+  // Fast path: single-limb divisor via streamed 2-by-1 reciprocal steps.
   if (b.size() == 1) {
+    const int shift = kLimbBits - std::bit_width(b[0]);
+    const Limb d = b[0] << shift;
+    const std::uint64_t v = Reciprocal2by1(d);
     std::vector<Limb> quotient(a.size(), 0);
-    Wide remainder = 0;
+    Limb remainder = shift == 0 ? 0 : a.back() >> (kLimbBits - shift);
     for (std::size_t i = a.size(); i-- > 0;) {
-      Wide cur = (remainder << kLimbBits) | a[i];
-      quotient[i] = static_cast<Limb>(cur / b[0]);
-      remainder = cur % b[0];
+      const Limb low =
+          (shift != 0 && i > 0) ? a[i - 1] >> (kLimbBits - shift) : 0;
+      auto [q, r] = Div2by1(remainder, (a[i] << shift) | low, d, v);
+      quotient[i] = q;
+      remainder = r;
     }
     Normalize(&quotient);
     std::vector<Limb> rem;
-    if (remainder != 0) rem.push_back(static_cast<Limb>(remainder));
+    if ((remainder >> shift) != 0) rem.push_back(remainder >> shift);
     return {std::move(quotient), std::move(rem)};
   }
 
-  // Knuth Algorithm D. Normalize so the top limb of the divisor has its high
-  // bit set, which bounds the trial-quotient error to 2.
-  const int shift = kLimbBits - BitWidth32(b.back());
+  // Knuth Algorithm D with Möller–Granlund 3-by-2 trial quotients: one
+  // reciprocal of the normalized top two divisor limbs, then each digit
+  // comes from an exact 3-limb-by-2-limb division (error vs the full
+  // quotient digit at most 1, fixed by the add-back).
+  const int shift = kLimbBits - std::bit_width(b.back());
   auto shift_left = [](const std::vector<Limb>& v, int s) {
     std::vector<Limb> out(v.size() + 1, 0);
     for (std::size_t i = 0; i < v.size(); ++i) {
-      out[i] |= static_cast<Limb>(static_cast<Wide>(v[i]) << s);
-      if (s != 0) out[i + 1] = static_cast<Limb>(v[i] >> (kLimbBits - s));
+      out[i] |= v[i] << s;
+      if (s != 0) out[i + 1] = v[i] >> (kLimbBits - s);
     }
     return out;
   };
@@ -309,54 +307,82 @@ BigInt::DivModMagnitude(const std::vector<Limb>& a,
   std::vector<Limb> v = shift_left(b, shift);
   Normalize(&v);
   const std::size_t n = v.size();
-  const std::size_t m = u.size() - n;  // quotient has at most m limbs
+  const std::size_t m = u.size() - n;  // quotient has at most m+1 limbs
 
-  std::vector<Limb> quotient(m, 0);
-  const Wide kBase = Wide{1} << kLimbBits;
+  const Limb d1 = v[n - 1];
+  const Limb d0 = v[n - 2];
+  const std::uint64_t vrecip = Reciprocal3by2(d1, d0);
+
+  std::vector<Limb> quotient(m + 1, 0);
+  // Establish the loop invariant "top n limbs of u < v" (the 3-by-2 step's
+  // precondition): if they are not, subtract v once and record a leading
+  // quotient limb of 1.
+  {
+    bool top_ge = true;
+    for (std::size_t i = n; i-- > 0;) {
+      if (u[m + i] != v[i]) {
+        top_ge = u[m + i] > v[i];
+        break;
+      }
+    }
+    if (top_ge) {
+      Limb borrow = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const Limb s1 = u[m + i] - v[i];
+        const Limb borrow1 = u[m + i] < v[i];
+        const Limb s2 = s1 - borrow;
+        const Limb borrow2 = s1 < borrow;
+        u[m + i] = s2;
+        borrow = borrow1 | borrow2;
+      }
+      quotient[m] = 1;
+    }
+  }
+
   for (std::size_t j = m; j-- > 0;) {
-    Wide numerator = (static_cast<Wide>(u[j + n]) << kLimbBits) | u[j + n - 1];
-    Wide qhat = numerator / v[n - 1];
-    Wide rhat = numerator % v[n - 1];
-    while (qhat >= kBase ||
-           qhat * v[n - 2] > ((rhat << kLimbBits) | u[j + n - 2])) {
-      --qhat;
-      rhat += v[n - 1];
-      if (rhat >= kBase) break;
+    const Limb u2 = u[j + n];
+    const Limb u1 = u[j + n - 1];
+    const Limb u0 = u[j + n - 2];
+    Limb qhat;
+    if (u2 == d1 && u1 == d0) {
+      // Saturated prefix: the 3-by-2 precondition (u2:u1) < (d1:d0) fails
+      // only here, and the true digit is then B-1 or B-2 — start at B-1
+      // and let the add-back settle it.
+      qhat = ~Limb{0};
+    } else {
+      qhat = Div3by2(u2, u1, u0, d1, d0, vrecip).q;
     }
     // Multiply-and-subtract u[j..j+n] -= qhat * v.
-    std::int64_t borrow = 0;
-    Wide carry = 0;
+    Limb borrow = 0;
+    Limb carry = 0;
     for (std::size_t i = 0; i < n; ++i) {
-      Wide product = qhat * v[i] + carry;
-      carry = product >> kLimbBits;
-      std::int64_t diff = static_cast<std::int64_t>(u[i + j]) -
-                          static_cast<std::int64_t>(product & 0xFFFFFFFFu) -
-                          borrow;
-      if (diff < 0) {
-        diff += static_cast<std::int64_t>(kBase);
-        borrow = 1;
-      } else {
-        borrow = 0;
-      }
-      u[i + j] = static_cast<Limb>(diff);
+      const Wide product = static_cast<Wide>(qhat) * v[i] + carry;
+      carry = static_cast<Limb>(product >> kLimbBits);
+      const Limb plo = static_cast<Limb>(product);
+      const Limb s1 = u[i + j] - plo;
+      const Limb borrow1 = u[i + j] < plo;
+      const Limb s2 = s1 - borrow;
+      const Limb borrow2 = s1 < borrow;
+      u[i + j] = s2;
+      borrow = borrow1 | borrow2;
     }
-    std::int64_t top = static_cast<std::int64_t>(u[j + n]) -
-                       static_cast<std::int64_t>(carry) - borrow;
-    if (top < 0) {
+    const Limb t1 = u[j + n] - carry;
+    const Limb tb1 = u[j + n] < carry;
+    const Limb t2 = t1 - borrow;
+    const Limb tb2 = t1 < borrow;
+    u[j + n] = t2;
+    if (tb1 | tb2) {
       // qhat was one too large: add back.
-      top += static_cast<std::int64_t>(kBase);
       --qhat;
-      Wide add_carry = 0;
+      Limb add_carry = 0;
       for (std::size_t i = 0; i < n; ++i) {
-        Wide sum = static_cast<Wide>(u[i + j]) + v[i] + add_carry;
+        const Wide sum = static_cast<Wide>(u[i + j]) + v[i] + add_carry;
         u[i + j] = static_cast<Limb>(sum);
-        add_carry = sum >> kLimbBits;
+        add_carry = static_cast<Limb>(sum >> kLimbBits);
       }
-      top += static_cast<std::int64_t>(add_carry);
-      top &= static_cast<std::int64_t>(kBase - 1);
+      u[j + n] += add_carry;  // wraps the borrowed top limb back to zero
     }
-    u[j + n] = static_cast<Limb>(top);
-    quotient[j] = static_cast<Limb>(qhat);
+    quotient[j] = qhat;
   }
   Normalize(&quotient);
 
@@ -364,9 +390,8 @@ BigInt::DivModMagnitude(const std::vector<Limb>& a,
   std::vector<Limb> remainder(u.begin(), u.begin() + n);
   if (shift != 0) {
     for (std::size_t i = 0; i + 1 < remainder.size(); ++i) {
-      remainder[i] = static_cast<Limb>(
-          (remainder[i] >> shift) |
-          (static_cast<Wide>(remainder[i + 1]) << (kLimbBits - shift)));
+      remainder[i] = (remainder[i] >> shift) |
+                     (remainder[i + 1] << (kLimbBits - shift));
     }
     remainder.back() >>= shift;
   }
@@ -432,12 +457,35 @@ BigInt BigInt::operator/(const BigInt& other) const {
 
 namespace {
 
-unsigned __int128 MagnitudeToU128(const std::vector<std::uint32_t>& limbs) {
-  unsigned __int128 value = 0;
-  for (std::size_t i = limbs.size(); i-- > 0;) {
-    value = (value << 32) | limbs[i];
-  }
+U128 MagnitudeToU128(const std::vector<std::uint64_t>& limbs) {
+  U128 value = 0;
+  if (limbs.size() > 1) value = static_cast<U128>(limbs[1]) << 64;
+  if (!limbs.empty()) value |= limbs[0];
   return value;
+}
+
+/// Remainder of a limb span modulo a two-limb divisor d1:d0 (d1 != 0):
+/// normalizes once, then streams 3-by-2 reciprocal steps most-significant
+/// first — the allocation-free analogue of Mod2by1Spans one limb up.
+U128 Mod3by2Spans(std::span<const std::uint64_t> limbs, std::uint64_t d1,
+                  std::uint64_t d0) {
+  const int s = 63 - (std::bit_width(d1) - 1);
+  if (s != 0) {
+    d1 = (d1 << s) | (d0 >> (64 - s));
+    d0 <<= s;
+  }
+  const std::uint64_t v = Reciprocal3by2(d1, d0);
+  std::uint64_t r1 = 0;
+  std::uint64_t r0 =
+      (s != 0 && !limbs.empty()) ? limbs.back() >> (64 - s) : 0;
+  for (std::size_t i = limbs.size(); i-- > 0;) {
+    const std::uint64_t low = (s != 0 && i > 0) ? limbs[i - 1] >> (64 - s) : 0;
+    const std::uint64_t w = (limbs[i] << s) | low;
+    const auto step = Div3by2(r1, r0, w, d1, d0, v);
+    r1 = step.r1;
+    r0 = step.r0;
+  }
+  return ((static_cast<U128>(r1) << 64) | r0) >> s;
 }
 
 }  // namespace
@@ -447,25 +495,20 @@ BigInt BigInt::operator%(const BigInt& other) const {
   // Non-allocating fast paths. Node labels are typically at most a few
   // limbs (depth * ~20 bits), and the ancestor test of the prime scheme is
   // one mod per candidate row, so these paths carry the query benchmarks.
-  if (other.limbs_.size() <= 2) {
-    const std::uint64_t divisor = other.ToUint64();
-    std::uint64_t remainder = 0;
-    for (std::size_t i = limbs_.size(); i-- > 0;) {
-      unsigned __int128 cur =
-          (static_cast<unsigned __int128>(remainder) << 32) | limbs_[i];
-      remainder = static_cast<std::uint64_t>(cur % divisor);
-    }
-    BigInt out = FromUint64(remainder);
+  if (other.limbs_.size() == 1) {
+    BigInt out = FromUint64(ModU64(other.limbs_[0]));
     out.negative_ = negative_;
     out.Canonicalize();
     return out;
   }
-  if (limbs_.size() <= 4 && other.limbs_.size() <= 4) {
-    unsigned __int128 remainder =
-        MagnitudeToU128(limbs_) % MagnitudeToU128(other.limbs_);
+  if (other.limbs_.size() == 2) {
+    const U128 remainder =
+        limbs_.size() <= 2
+            ? MagnitudeToU128(limbs_) % MagnitudeToU128(other.limbs_)
+            : Mod3by2Spans(limbs_, other.limbs_[1], other.limbs_[0]);
     BigInt out = FromUint64(static_cast<std::uint64_t>(remainder));
     if (remainder >> 64) {
-      out += FromUint64(static_cast<std::uint64_t>(remainder >> 64)) << 64;
+      out.limbs_.push_back(static_cast<std::uint64_t>(remainder >> 64));
     }
     out.negative_ = negative_;
     out.Canonicalize();
@@ -484,10 +527,8 @@ BigInt BigInt::operator<<(int bits) const {
   out.limbs_.assign(limb_shift, 0);
   Limb carry = 0;
   for (Limb limb : limbs_) {
-    out.limbs_.push_back(
-        static_cast<Limb>((static_cast<Wide>(limb) << bit_shift) | carry));
-    carry = bit_shift == 0 ? 0
-                           : static_cast<Limb>(limb >> (kLimbBits - bit_shift));
+    out.limbs_.push_back((limb << bit_shift) | carry);
+    carry = bit_shift == 0 ? 0 : limb >> (kLimbBits - bit_shift);
   }
   if (carry != 0) out.limbs_.push_back(carry);
   out.Canonicalize();
@@ -505,9 +546,8 @@ BigInt BigInt::operator>>(int bits) const {
   out.limbs_.assign(limbs_.begin() + limb_shift, limbs_.end());
   if (bit_shift != 0) {
     for (std::size_t i = 0; i + 1 < out.limbs_.size(); ++i) {
-      out.limbs_[i] = static_cast<Limb>(
-          (out.limbs_[i] >> bit_shift) |
-          (static_cast<Wide>(out.limbs_[i + 1]) << (kLimbBits - bit_shift)));
+      out.limbs_[i] = (out.limbs_[i] >> bit_shift) |
+                      (out.limbs_[i + 1] << (kLimbBits - bit_shift));
     }
     out.limbs_.back() >>= bit_shift;
   }
@@ -517,51 +557,52 @@ BigInt BigInt::operator>>(int bits) const {
 
 std::uint64_t BigInt::ModU64(std::uint64_t divisor) const {
   PL_CHECK(divisor != 0);
-  std::uint64_t remainder = 0;
-  for (std::size_t i = limbs_.size(); i-- > 0;) {
-    unsigned __int128 cur =
-        (static_cast<unsigned __int128>(remainder) << 32) | limbs_[i];
-    remainder = static_cast<std::uint64_t>(cur % divisor);
-  }
-  return remainder;
+  return recip::Mod2by1Spans(limbs_, divisor);
 }
 
 bool BigInt::IsDivisibleBy(const BigInt& divisor) const {
   PL_CHECK(!divisor.IsZero());
-  if (divisor.limbs_.size() <= 2) {
-    return ModU64(divisor.ToUint64()) == 0;
+  if (divisor.limbs_.size() == 1) {
+    return ModU64(divisor.limbs_[0]) == 0;
   }
-  if (limbs_.size() <= 4 && divisor.limbs_.size() <= 4) {
-    return MagnitudeToU128(limbs_) % MagnitudeToU128(divisor.limbs_) == 0;
+  if (divisor.limbs_.size() == 2) {
+    if (limbs_.size() <= 2) {
+      return MagnitudeToU128(limbs_) % MagnitudeToU128(divisor.limbs_) == 0;
+    }
+    return Mod3by2Spans(limbs_, divisor.limbs_[1], divisor.limbs_[0]) == 0;
   }
   return (*this % divisor).IsZero();
 }
 
 bool BigInt::IsDivisibleBy(const BigInt& divisor, DivScratch* scratch) const {
   PL_CHECK(!divisor.IsZero());
-  if (divisor.limbs_.size() <= 2) {
-    return ModU64(divisor.ToUint64()) == 0;
+  if (divisor.limbs_.size() == 1) {
+    return ModU64(divisor.limbs_[0]) == 0;
   }
-  if (limbs_.size() <= 4 && divisor.limbs_.size() <= 4) {
-    return MagnitudeToU128(limbs_) % MagnitudeToU128(divisor.limbs_) == 0;
+  if (divisor.limbs_.size() == 2) {
+    if (limbs_.size() <= 2) {
+      return MagnitudeToU128(limbs_) % MagnitudeToU128(divisor.limbs_) == 0;
+    }
+    return Mod3by2Spans(limbs_, divisor.limbs_[1], divisor.limbs_[0]) == 0;
   }
   if (CompareMagnitude(limbs_, divisor.limbs_) < 0) return false;
 
-  // Remainder-only Knuth Algorithm D, run inside the caller's scratch
-  // buffers: `u` holds the normalized dividend and is updated in place,
-  // `v` the normalized divisor; quotient digits are computed (the
-  // multiply-subtract needs them) but never stored. After the loop the
-  // remainder is u[0 .. n), and divisibility is just "is it all zero" —
-  // the denormalizing right-shift of the full DivMod is skipped.
+  // Remainder-only Knuth Algorithm D (3-by-2 trial quotients), run inside
+  // the caller's scratch buffers: `u` holds the normalized dividend and is
+  // updated in place, `v` the normalized divisor; quotient digits are
+  // computed (the multiply-subtract needs them) but never stored. After
+  // the loop the remainder is u[0 .. n), and divisibility is just "is it
+  // all zero" — the denormalizing right-shift of the full DivMod is
+  // skipped.
   std::vector<Limb>& u = scratch->u;
   std::vector<Limb>& v = scratch->v;
-  const int shift = kLimbBits - BitWidth32(divisor.limbs_.back());
+  const int shift = kLimbBits - std::bit_width(divisor.limbs_.back());
   auto shift_into = [shift](const std::vector<Limb>& src,
                             std::vector<Limb>* dst) {
     dst->assign(src.size() + 1, 0);
     for (std::size_t i = 0; i < src.size(); ++i) {
-      (*dst)[i] |= static_cast<Limb>(static_cast<Wide>(src[i]) << shift);
-      if (shift != 0) (*dst)[i + 1] = static_cast<Limb>(src[i] >> (kLimbBits - shift));
+      (*dst)[i] |= src[i] << shift;
+      if (shift != 0) (*dst)[i + 1] = src[i] >> (kLimbBits - shift);
     }
   };
   shift_into(limbs_, &u);
@@ -570,47 +611,68 @@ bool BigInt::IsDivisibleBy(const BigInt& divisor, DivScratch* scratch) const {
   const std::size_t n = v.size();
   const std::size_t m = u.size() - n;
 
-  const Wide kBase = Wide{1} << kLimbBits;
-  for (std::size_t j = m; j-- > 0;) {
-    Wide numerator = (static_cast<Wide>(u[j + n]) << kLimbBits) | u[j + n - 1];
-    Wide qhat = numerator / v[n - 1];
-    Wide rhat = numerator % v[n - 1];
-    while (qhat >= kBase ||
-           qhat * v[n - 2] > ((rhat << kLimbBits) | u[j + n - 2])) {
-      --qhat;
-      rhat += v[n - 1];
-      if (rhat >= kBase) break;
-    }
-    std::int64_t borrow = 0;
-    Wide carry = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-      Wide product = qhat * v[i] + carry;
-      carry = product >> kLimbBits;
-      std::int64_t diff = static_cast<std::int64_t>(u[i + j]) -
-                          static_cast<std::int64_t>(product & 0xFFFFFFFFu) -
-                          borrow;
-      if (diff < 0) {
-        diff += static_cast<std::int64_t>(kBase);
-        borrow = 1;
-      } else {
-        borrow = 0;
+  const Limb d1 = v[n - 1];
+  const Limb d0 = v[n - 2];
+  const std::uint64_t vrecip = Reciprocal3by2(d1, d0);
+
+  {
+    bool top_ge = true;
+    for (std::size_t i = n; i-- > 0;) {
+      if (u[m + i] != v[i]) {
+        top_ge = u[m + i] > v[i];
+        break;
       }
-      u[i + j] = static_cast<Limb>(diff);
     }
-    std::int64_t top = static_cast<std::int64_t>(u[j + n]) -
-                       static_cast<std::int64_t>(carry) - borrow;
-    if (top < 0) {
-      top += static_cast<std::int64_t>(kBase);
-      Wide add_carry = 0;
+    if (top_ge) {
+      Limb borrow = 0;
       for (std::size_t i = 0; i < n; ++i) {
-        Wide sum = static_cast<Wide>(u[i + j]) + v[i] + add_carry;
-        u[i + j] = static_cast<Limb>(sum);
-        add_carry = sum >> kLimbBits;
+        const Limb s1 = u[m + i] - v[i];
+        const Limb borrow1 = u[m + i] < v[i];
+        const Limb s2 = s1 - borrow;
+        const Limb borrow2 = s1 < borrow;
+        u[m + i] = s2;
+        borrow = borrow1 | borrow2;
       }
-      top += static_cast<std::int64_t>(add_carry);
-      top &= static_cast<std::int64_t>(kBase - 1);
     }
-    u[j + n] = static_cast<Limb>(top);
+  }
+
+  for (std::size_t j = m; j-- > 0;) {
+    const Limb u2 = u[j + n];
+    const Limb u1 = u[j + n - 1];
+    const Limb u0 = u[j + n - 2];
+    Limb qhat;
+    if (u2 == d1 && u1 == d0) {
+      qhat = ~Limb{0};
+    } else {
+      qhat = Div3by2(u2, u1, u0, d1, d0, vrecip).q;
+    }
+    Limb borrow = 0;
+    Limb carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Wide product = static_cast<Wide>(qhat) * v[i] + carry;
+      carry = static_cast<Limb>(product >> kLimbBits);
+      const Limb plo = static_cast<Limb>(product);
+      const Limb s1 = u[i + j] - plo;
+      const Limb borrow1 = u[i + j] < plo;
+      const Limb s2 = s1 - borrow;
+      const Limb borrow2 = s1 < borrow;
+      u[i + j] = s2;
+      borrow = borrow1 | borrow2;
+    }
+    const Limb t1 = u[j + n] - carry;
+    const Limb tb1 = u[j + n] < carry;
+    const Limb t2 = t1 - borrow;
+    const Limb tb2 = t1 < borrow;
+    u[j + n] = t2;
+    if (tb1 | tb2) {
+      Limb add_carry = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const Wide sum = static_cast<Wide>(u[i + j]) + v[i] + add_carry;
+        u[i + j] = static_cast<Limb>(sum);
+        add_carry = static_cast<Limb>(sum >> kLimbBits);
+      }
+      u[j + n] += add_carry;
+    }
   }
   for (std::size_t i = 0; i < n; ++i) {
     if (u[i] != 0) return false;

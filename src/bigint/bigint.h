@@ -23,9 +23,18 @@ namespace primelabel {
 /// gcd / extended gcd, modular inverse, modular exponentiation and bit-length
 /// accounting (label sizes are reported in bits throughout the paper).
 ///
-/// Representation: sign-magnitude with 32-bit little-endian limbs and 64-bit
-/// intermediate arithmetic. The zero value has an empty limb vector and
-/// positive sign. Multiplication switches to Karatsuba above a threshold.
+/// Representation: sign-magnitude with 64-bit little-endian limbs and
+/// 128-bit intermediate arithmetic (unsigned __int128). The zero value has
+/// an empty limb vector and positive sign. Multiplication switches to
+/// Karatsuba above a threshold. Division runs Knuth's Algorithm D with
+/// Möller–Granlund 3-by-2 reciprocal trial quotients (one precomputed
+/// reciprocal per divisor, no per-digit hardware divide).
+///
+/// Serialization note: ToMagnitudeBytes/FromMagnitudeBytes emit and consume
+/// *minimal little-endian byte strings*, which are limb-width independent —
+/// every catalog row, WAL frame and fingerprint image written by the
+/// earlier 32-bit-limb engine parses bit-identically (pinned by
+/// catalog_compat_test against committed 32-bit-era fixtures).
 ///
 /// The class is a regular value type: copyable, movable, equality- and
 /// totally-ordered.
@@ -65,14 +74,14 @@ class BigInt {
   /// TrailingZeroBits(x) > TrailingZeroBits(y) then x cannot divide y.
   int TrailingZeroBits() const;
 
-  /// Read-only view of the magnitude limbs (32-bit, little-endian; empty
+  /// Read-only view of the magnitude limbs (64-bit, little-endian; empty
   /// for zero). The divisibility fast-path engine (bigint/reduction.h)
   /// iterates limbs directly instead of going through full-width
   /// arithmetic; everything else should use the arithmetic operators.
-  std::span<const std::uint32_t> Magnitude() const { return limbs_; }
+  std::span<const std::uint64_t> Magnitude() const { return limbs_; }
 
   /// True iff the magnitude fits in an unsigned 64-bit integer.
-  bool FitsUint64() const { return limbs_.size() <= 2; }
+  bool FitsUint64() const { return limbs_.size() <= 1; }
   /// Returns the low 64 bits of the magnitude (caller checks FitsUint64 when
   /// an exact value is required).
   std::uint64_t ToUint64() const;
@@ -130,8 +139,8 @@ class BigInt {
   class DivScratch {
    private:
     friend class BigInt;
-    std::vector<std::uint32_t> u;  // normalized dividend, reused
-    std::vector<std::uint32_t> v;  // normalized divisor, reused
+    std::vector<std::uint64_t> u;  // normalized dividend, reused
+    std::vector<std::uint64_t> v;  // normalized divisor, reused
   };
 
   /// IsDivisibleBy with caller-provided scratch space — the batch-query
@@ -179,11 +188,12 @@ class BigInt {
   }
 
  private:
-  using Limb = std::uint32_t;
-  using Wide = std::uint64_t;
-  static constexpr int kLimbBits = 32;
-  /// Limb count above which multiplication uses Karatsuba.
-  static constexpr std::size_t kKaratsubaThreshold = 32;
+  using Limb = std::uint64_t;
+  using Wide = unsigned __int128;
+  static constexpr int kLimbBits = 64;
+  /// Limb count above which multiplication uses Karatsuba (same ~1024-bit
+  /// crossover point as the 32-bit engine's threshold of 32).
+  static constexpr std::size_t kKaratsubaThreshold = 16;
 
   static int CompareMagnitude(const std::vector<Limb>& a,
                               const std::vector<Limb>& b);

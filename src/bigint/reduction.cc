@@ -9,69 +9,101 @@
 #include <cstdlib>
 #include <utility>
 
+#include "bigint/recip.h"
 #include "bigint/simd.h"
 
 namespace primelabel {
 namespace {
 
+/// The Barrett path's digit granularity: its short-product kernels
+/// multiply 32x32->64, so divisor/mu/accumulator stay 32-bit vectors and
+/// dividends are split at entry. Everything else in this file works in
+/// the BigInt representation's native 64-bit limbs.
 using Limb = std::uint32_t;
 using U128 = unsigned __int128;
 constexpr int kLimbBits = 32;
 
-/// Möller–Granlund 2-by-1 reciprocal: low 64 bits of
-/// floor((2^128 - 1) / d_norm) for a normalized (top-bit-set) divisor.
-std::uint64_t Reciprocal2by1(std::uint64_t d_norm) {
-  return static_cast<std::uint64_t>(~U128{0} / d_norm);
-}
-
-/// One remainder step of Möller–Granlund division (Algorithm 4, remainder
-/// only): (r : u) mod d for r < d, d normalized, v = Reciprocal2by1(d).
-inline std::uint64_t ModStep2by1(std::uint64_t r, std::uint64_t u,
-                                 std::uint64_t d, std::uint64_t v) {
-  U128 q = static_cast<U128>(v) * r + ((static_cast<U128>(r) << 64) | u);
-  std::uint64_t q1 = static_cast<std::uint64_t>(q >> 64) + 1;
-  std::uint64_t q0 = static_cast<std::uint64_t>(q);
-  std::uint64_t rem = u - q1 * d;
-  if (rem > q0) rem += d;
-  if (rem >= d) rem -= d;
-  return rem;
-}
-
-/// Magnitude (little-endian 32-bit limbs) mod a cached normalized divisor:
-/// the dividend is consumed as 64-bit super-limbs top-down, normalized on
-/// the fly by `s` so no shifted copy is ever materialized.
-std::uint64_t ModMagnitude2by1(std::span<const Limb> mag, std::uint64_t d_norm,
-                               std::uint64_t v, int s) {
+/// Magnitude (little-endian 64-bit limbs) mod a cached normalized
+/// divisor: streamed Möller–Granlund 2-by-1 steps, normalized on the fly
+/// by `s` so no shifted copy is ever materialized.
+std::uint64_t ModSpans2by1(std::span<const std::uint64_t> mag,
+                           std::uint64_t d_norm, std::uint64_t v, int s) {
   if (mag.empty()) return 0;
-  const std::size_t words = (mag.size() + 1) / 2;
-  auto word = [&mag](std::size_t j) -> std::uint64_t {
-    std::uint64_t lo = mag[2 * j];
-    std::uint64_t hi = (2 * j + 1 < mag.size()) ? mag[2 * j + 1] : 0;
-    return lo | (hi << 32);
-  };
-  std::uint64_t r = 0;
-  if (s == 0) {
-    for (std::size_t j = words; j-- > 0;) {
-      r = ModStep2by1(r, word(j), d_norm, v);
-    }
-    return r;
-  }
-  // value << s, streamed: an extra top word of the spilled high bits, then
-  // each word picks up its lower neighbor's high bits.
-  r = word(words - 1) >> (64 - s);  // < 2^s <= d_norm
-  for (std::size_t j = words; j-- > 0;) {
-    std::uint64_t u = (word(j) << s) | (j > 0 ? word(j - 1) >> (64 - s) : 0);
-    r = ModStep2by1(r, u, d_norm, v);
+  std::uint64_t r = s == 0 ? 0 : mag.back() >> (64 - s);  // < 2^s <= d_norm
+  for (std::size_t i = mag.size(); i-- > 0;) {
+    const std::uint64_t low =
+        (s != 0 && i > 0) ? mag[i - 1] >> (64 - s) : 0;
+    r = recip::Div2by1(r, (mag[i] << s) | low, d_norm, v).r;
   }
   return r >> s;
 }
 
-// --- Raw-limb helpers for the Barrett path ---------------------------------
+/// -d0^-1 mod 2^64 for odd d0, by Newton iteration: an odd d satisfies
+/// d * d == 1 (mod 8), and each step doubles the valid bits.
+std::uint64_t NegInverse64(std::uint64_t d0) {
+  std::uint64_t inv = d0;                  // 3 bits
+  inv *= 2 - d0 * inv;                     // 6
+  inv *= 2 - d0 * inv;                     // 12
+  inv *= 2 - d0 * inv;                     // 24
+  inv *= 2 - d0 * inv;                     // 48
+  inv *= 2 - d0 * inv;                     // 96 >= 64
+  assert(d0 * inv == 1 && "Newton inverse failed");
+  return std::uint64_t{0} - inv;
+}
+
+/// The scalar REDC divisibility sweep over t, prefilled with the
+/// dividend in its low m limbs and zero above (size >= m + d.size() + 1):
+/// each step zeroes t[i] by adding the multiple u * d * B^i with
+/// u = t[i] * neg_inv mod B. Afterwards t = C * B^m with
+/// C * B^m ≡ x (mod d) and C <= d (t < x + B^m * d and x < B^m), so
+/// d | x iff C is 0 or d itself. gcd(B, d) = 1 makes the test exact.
+bool RedcSweepDivides(std::uint64_t* t, std::size_t tsize, std::size_t m,
+                      std::span<const std::uint64_t> d,
+                      std::uint64_t neg_inv) {
+  const std::size_t nd = d.size();
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::uint64_t u = t[i] * neg_inv;
+    U128 carry = 0;
+    for (std::size_t j = 0; j < nd; ++j) {
+      const U128 cur = t[i + j] + static_cast<U128>(u) * d[j] + carry;
+      t[i + j] = static_cast<std::uint64_t>(cur);
+      carry = cur >> 64;
+    }
+    for (std::size_t p = i + nd; carry != 0; ++p) {
+      assert(p < tsize && "REDC accumulator exceeded its bound");
+      const U128 cur = t[p] + carry;
+      t[p] = static_cast<std::uint64_t>(cur);
+      carry = cur >> 64;
+    }
+  }
+  std::size_t top = tsize;
+  while (top > m && t[top - 1] == 0) --top;
+  const std::size_t nc = top - m;
+  if (nc == 0) return true;
+  if (nc != nd) return false;
+  for (std::size_t i = nd; i-- > 0;) {
+    if (t[m + i] != d[i]) return false;
+  }
+  return true;
+}
+
+// --- Raw-digit helpers for the Barrett path ---------------------------------
 // All vectors are little-endian and "normalized" = no high zero limbs,
 // except where a fixed width is stated.
 
 void StripHighZeros(std::vector<Limb>* v) {
   while (!v->empty() && v->back() == 0) v->pop_back();
+}
+
+/// Splits a 64-bit limb magnitude into normalized 32-bit digits.
+void SplitToDigits(std::span<const std::uint64_t> limbs,
+                   std::vector<Limb>* out) {
+  out->resize(limbs.size() * 2);
+  for (std::size_t i = 0; i < limbs.size(); ++i) {
+    (*out)[2 * i] = static_cast<Limb>(limbs[i]);
+    (*out)[2 * i + 1] = static_cast<Limb>(limbs[i] >> 32);
+  }
+  StripHighZeros(out);
 }
 
 int CompareLimbSpans(std::span<const Limb> a, std::span<const Limb> b) {
@@ -128,6 +160,17 @@ BigInt BigIntFromLimbs(std::span<const Limb> limbs) {
     bytes.push_back(static_cast<std::uint8_t>(limb >> 8));
     bytes.push_back(static_cast<std::uint8_t>(limb >> 16));
     bytes.push_back(static_cast<std::uint8_t>(limb >> 24));
+  }
+  return BigInt::FromMagnitudeBytes(bytes);
+}
+
+BigInt BigIntFromLimbs(std::span<const std::uint64_t> limbs) {
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(limbs.size() * 8);
+  for (std::uint64_t limb : limbs) {
+    for (int b = 0; b < 8; ++b) {
+      bytes.push_back(static_cast<std::uint8_t>(limb >> (8 * b)));
+    }
   }
   return BigInt::FromMagnitudeBytes(bytes);
 }
@@ -290,26 +333,26 @@ LabelFingerprint ExtendFingerprintByPrime(const LabelFingerprint& parent,
 Reciprocal64::Reciprocal64(std::uint64_t divisor)
     : divisor_(divisor),
       normalized_(divisor << std::countl_zero(divisor)),
-      reciprocal_(Reciprocal2by1(normalized_)),
+      reciprocal_(recip::Reciprocal2by1(normalized_)),
       shift_(std::countl_zero(divisor)) {
   assert(divisor != 0);
 }
 
-std::uint64_t Reciprocal64::Mod(std::span<const std::uint32_t> magnitude)
+std::uint64_t Reciprocal64::Mod(std::span<const std::uint64_t> magnitude)
     const {
-  return ModMagnitude2by1(magnitude, normalized_, reciprocal_, shift_);
+  return ModSpans2by1(magnitude, normalized_, reciprocal_, shift_);
 }
 
 std::uint64_t Reciprocal64::Mod128(std::uint64_t hi, std::uint64_t lo) const {
   std::uint64_t r;
   if (shift_ == 0) {
-    r = ModStep2by1(0, hi, normalized_, reciprocal_);
-    return ModStep2by1(r, lo, normalized_, reciprocal_);
+    r = recip::Div2by1(0, hi, normalized_, reciprocal_).r;
+    return recip::Div2by1(r, lo, normalized_, reciprocal_).r;
   }
   r = hi >> (64 - shift_);  // < 2^shift_ <= normalized_
   std::uint64_t mid = (hi << shift_) | (lo >> (64 - shift_));
-  r = ModStep2by1(r, mid, normalized_, reciprocal_);
-  r = ModStep2by1(r, lo << shift_, normalized_, reciprocal_);
+  r = recip::Div2by1(r, mid, normalized_, reciprocal_).r;
+  r = recip::Div2by1(r, lo << shift_, normalized_, reciprocal_).r;
   return r >> shift_;
 }
 
@@ -317,7 +360,7 @@ void ReciprocalDivisor::Assign(const BigInt& divisor) {
   auto mag = divisor.Magnitude();
   assert(!mag.empty() && "ReciprocalDivisor requires a nonzero divisor");
   Strategy strategy = Strategy::kWord;
-  if (mag.size() > 2) {
+  if (mag.size() > 1) {
     strategy = mag.size() < BarrettMinLimbs() ? Strategy::kKnuth
                                               : Strategy::kBarrett;
   }
@@ -330,131 +373,75 @@ void ReciprocalDivisor::AssignWithStrategy(const BigInt& divisor,
   assert(!mag.empty() && "ReciprocalDivisor requires a nonzero divisor");
   limbs_ = mag.size();
   strategy_ = strategy;
-  switch (strategy) {
-    case Strategy::kWord:
-      assert(limbs_ <= 2);
-      divisor_word_ = mag[0] | (limbs_ == 2
-                                    ? static_cast<std::uint64_t>(mag[1]) << 32
-                                    : 0);
-      word_shift_ = std::countl_zero(divisor_word_);
-      word_normalized_ = divisor_word_ << word_shift_;
-      word_reciprocal_ = Reciprocal2by1(word_normalized_);
-      divisor_.clear();
-      mu_.clear();
-      return;
-    case Strategy::kKnuth:
-      // Mid-size divisor: Knuth with retained scratch beats Barrett here,
-      // so skip the mu division entirely.
-      divisor_.assign(mag.begin(), mag.end());
-      divisor_big_ = BigIntFromLimbs(divisor_);
-      mu_.clear();
-      PrepareMontgomery();
-      return;
-    case Strategy::kBarrett:
-      break;
+  if (strategy == Strategy::kWord) {
+    assert(limbs_ == 1);
+    divisor_word_ = mag[0];
+    word_shift_ = std::countl_zero(divisor_word_);
+    word_normalized_ = divisor_word_ << word_shift_;
+    word_reciprocal_ = recip::Reciprocal2by1(word_normalized_);
+    divisor_.clear();
+    mu_.clear();
+    return;
   }
-  divisor_.assign(mag.begin(), mag.end());
-  // mu = floor(B^(2n) / x), the Barrett constant (HAC 14.42). Computed once
-  // per Assign with a full division; every Divides afterwards multiplies.
-  BigInt mu = (BigInt(1) << (2 * static_cast<int>(limbs_) * kLimbBits)) /
-              BigIntFromLimbs(divisor_);
-  auto mu_mag = mu.Magnitude();
-  mu_.assign(mu_mag.begin(), mu_mag.end());
+  // kKnuth and kBarrett cache the same state here: divisor_big_ feeds
+  // both the Knuth path and the Montgomery sweep. The digit-space
+  // Barrett constants (divisor digits and mu = floor(B^(2n) / x), HAC
+  // 14.42, digit base B = 2^32) are built lazily by ReduceLarge instead:
+  // the batched ancestry path only ever calls Divides — which runs the
+  // Montgomery sweep and never reduces — so eagerly computing mu charged
+  // a full division to every anchor run for a constant it never read.
+  divisor_big_ = divisor;
+  divisor_.clear();
+  mu_.clear();
   PrepareMontgomery();
 }
 
 void ReciprocalDivisor::PrepareMontgomery() {
   // divisor = 2^e * odd; an exact division test splits along that
   // factorization (the factors are coprime).
+  auto mag = divisor_big_.Magnitude();
   std::size_t zero_limbs = 0;
-  while (divisor_[zero_limbs] == 0) ++zero_limbs;  // divisor > 0 terminates
-  const int bit_shift = std::countr_zero(divisor_[zero_limbs]);
-  divisor_trailing_zeros_ =
-      static_cast<int>(zero_limbs) * kLimbBits + bit_shift;
-  // Shift the odd part out and repack it into native 64-bit limbs in one
-  // pass: limb i of the odd part is divisor >> (e + 32 i), window-read
-  // from the 32-bit magnitude.
-  const std::size_t odd32 = divisor_.size() - zero_limbs;  // <= this many
+  while (mag[zero_limbs] == 0) ++zero_limbs;  // divisor > 0 terminates
+  const int bit_shift = std::countr_zero(mag[zero_limbs]);
+  divisor_trailing_zeros_ = static_cast<int>(zero_limbs) * 64 + bit_shift;
+  // odd = divisor >> e, read limb by limb with a window shift.
   odd_divisor64_.clear();
-  auto limb32_of_odd = [&](std::size_t i) -> std::uint64_t {
-    const std::size_t lo = zero_limbs + i;
-    if (lo >= divisor_.size()) return 0;
-    std::uint64_t w = divisor_[lo];
-    if (lo + 1 < divisor_.size()) {
-      w |= static_cast<std::uint64_t>(divisor_[lo + 1]) << kLimbBits;
+  for (std::size_t i = zero_limbs; i < mag.size(); ++i) {
+    std::uint64_t w = mag[i] >> bit_shift;
+    if (bit_shift != 0 && i + 1 < mag.size()) {
+      w |= mag[i + 1] << (64 - bit_shift);
     }
-    return static_cast<std::uint32_t>(w >> bit_shift);
-  };
-  for (std::size_t i = 0; i < odd32; i += 2) {
-    odd_divisor64_.push_back(limb32_of_odd(i) | (limb32_of_odd(i + 1) << 32));
+    odd_divisor64_.push_back(w);
   }
   while (odd_divisor64_.size() > 1 && odd_divisor64_.back() == 0) {
     odd_divisor64_.pop_back();
   }
-  // Newton iteration for odd_divisor64_[0]^-1 mod 2^64: an odd d
-  // satisfies d * d == 1 (mod 8), and each step doubles the valid bits.
-  const std::uint64_t d0 = odd_divisor64_[0];
-  std::uint64_t inv = d0;                  // 3 bits
-  inv *= 2 - d0 * inv;                     // 6
-  inv *= 2 - d0 * inv;                     // 12
-  inv *= 2 - d0 * inv;                     // 24
-  inv *= 2 - d0 * inv;                     // 48
-  inv *= 2 - d0 * inv;                     // 96 >= 64
-  assert(d0 * inv == 1 && "Newton inverse failed");
-  mont_inv64_ = std::uint64_t{0} - inv;    // the REDC step wants -d^-1
+  mont_inv64_ = NegInverse64(odd_divisor64_[0]);
 }
 
-bool ReciprocalDivisor::MontgomeryDivides(std::span<const Limb> x) {
-  // 2^e | x: e whole zero limbs plus e % 32 low bits of the next.
+bool ReciprocalDivisor::PowerOfTwoPartDivides(
+    std::span<const std::uint64_t> x) const {
+  // 2^e | x: e whole zero limbs plus e % 64 low bits of the next.
   const std::size_t e_limbs =
-      static_cast<std::size_t>(divisor_trailing_zeros_) / kLimbBits;
-  const int e_bits = divisor_trailing_zeros_ % kLimbBits;
+      static_cast<std::size_t>(divisor_trailing_zeros_) / 64;
+  const int e_bits = divisor_trailing_zeros_ % 64;
   for (std::size_t i = 0; i < e_limbs; ++i) {
     if (x[i] != 0) return false;  // x.size() >= limbs_ > e_limbs
   }
-  if (e_bits != 0 && (x[e_limbs] & ((Limb{1} << e_bits) - 1)) != 0) {
-    return false;
-  }
+  return e_bits == 0 ||
+         (x[e_limbs] & ((std::uint64_t{1} << e_bits) - 1)) == 0;
+}
+
+bool ReciprocalDivisor::MontgomeryDivides(
+    std::span<const std::uint64_t> x) {
+  if (!PowerOfTwoPartDivides(x)) return false;
   const std::vector<std::uint64_t>& d = odd_divisor64_;
-  const std::size_t nd = d.size();
-  if (nd == 1 && d[0] == 1) return true;  // divisor was a power of two
-  // One REDC sweep over t = x (repacked into 64-bit limbs, B = 2^64):
-  // each step zeroes t[i] by adding the multiple u * d * B^i with
-  // u = t[i] * (-d^-1) mod B. Afterwards t = C * B^m with
-  // C * B^m ≡ x (mod d) and C <= d (t < x + B^m * d and x < B^m), so
-  // d | x iff C is 0 or d itself. gcd(B, d) = 1 makes the test exact.
-  const std::size_t m = (x.size() + 1) / 2;
-  mont_acc64_.assign(m + nd + 1, 0);
-  std::uint64_t* t = mont_acc64_.data();
-  for (std::size_t i = 0; i < x.size(); i += 2) {
-    t[i / 2] = x[i] | (i + 1 < x.size()
-                           ? static_cast<std::uint64_t>(x[i + 1]) << 32
-                           : 0);
-  }
-  for (std::size_t i = 0; i < m; ++i) {
-    const std::uint64_t u = t[i] * mont_inv64_;
-    U128 carry = 0;
-    for (std::size_t j = 0; j < nd; ++j) {
-      const U128 cur = t[i + j] + static_cast<U128>(u) * d[j] + carry;
-      t[i + j] = static_cast<std::uint64_t>(cur);
-      carry = cur >> 64;
-    }
-    for (std::size_t p = i + nd; carry != 0; ++p) {
-      assert(p < mont_acc64_.size() && "REDC accumulator exceeded its bound");
-      const U128 cur = t[p] + carry;
-      t[p] = static_cast<std::uint64_t>(cur);
-      carry = cur >> 64;
-    }
-  }
-  std::size_t top = mont_acc64_.size();
-  while (top > m && t[top - 1] == 0) --top;
-  const std::size_t nc = top - m;
-  if (nc == 0) return true;
-  if (nc != nd) return false;
-  for (std::size_t i = nd; i-- > 0;) {
-    if (t[m + i] != d[i]) return false;
-  }
-  return true;
+  if (d.size() == 1 && d[0] == 1) return true;  // divisor was a power of two
+  const std::size_t m = x.size();
+  mont_acc64_.assign(m + d.size() + 1, 0);
+  std::copy(x.begin(), x.end(), mont_acc64_.begin());
+  return RedcSweepDivides(mont_acc64_.data(), mont_acc64_.size(), m, d,
+                          mont_inv64_);
 }
 
 bool ReciprocalDivisor::Divides(const BigInt& dividend) {
@@ -462,15 +449,80 @@ bool ReciprocalDivisor::Divides(const BigInt& dividend) {
   if (dividend.IsZero()) return true;
   auto mag = dividend.Magnitude();
   if (strategy_ == Strategy::kWord) {
-    return ModMagnitude2by1(mag, word_normalized_, word_reciprocal_,
-                            word_shift_) == 0;
+    return ModSpans2by1(mag, word_normalized_, word_reciprocal_,
+                        word_shift_) == 0;
   }
   if (mag.size() < limbs_) return false;  // 0 < |dividend| < divisor
-  if (!reference_engine_for_test_) return MontgomeryDivides(mag);
+  switch (engine_for_test_) {
+    case Engine::kCurrent:
+      return MontgomeryDivides(mag);
+    case Engine::kV1:
+      // The 32-bit-limb era (through PR 3) had no Montgomery sweep:
+      // every fingerprint survivor paid a digit-granular reduction
+      // against the anchor's cached constants — truncated Barrett for
+      // large divisors, Knuth over 32-bit limbs (the same digit width
+      // and product count) for mid-size ones. The digit Barrett
+      // machinery is the surviving equivalent of that arithmetic, so
+      // this reference leg routes every multi-limb divisor through it,
+      // splitting the dividend per call exactly as that engine stored
+      // its operands.
+      return ReduceLarge(mag);
+    case Engine::kPr2:
+      break;
+  }
   if (strategy_ == Strategy::kKnuth) {
     return dividend.IsDivisibleBy(divisor_big_, &div_scratch_);
   }
   return ReduceLarge(mag);
+}
+
+void ReciprocalDivisor::DividesBatch(
+    std::span<const BigInt* const> dividends, bool* out) {
+  assert(assigned());
+  assert(dividends.size() <= simd::kRedcLanes);
+  if (strategy_ == Strategy::kWord ||
+      engine_for_test_ != Engine::kCurrent) {
+    // Word divisors stream a 2-by-1 remainder per dividend (cheaper than
+    // a REDC lane); the historical engines had no batch path at all.
+    for (std::size_t i = 0; i < dividends.size(); ++i) {
+      out[i] = Divides(*dividends[i]);
+    }
+    return;
+  }
+  simd::RedcLane lanes[simd::kRedcLanes];
+  std::size_t origin[simd::kRedcLanes];
+  std::size_t count = 0;
+  const bool pow2_divisor =
+      odd_divisor64_.size() == 1 && odd_divisor64_[0] == 1;
+  for (std::size_t i = 0; i < dividends.size(); ++i) {
+    const BigInt& y = *dividends[i];
+    if (y.IsZero()) {
+      out[i] = true;
+      continue;
+    }
+    auto mag = y.Magnitude();
+    if (mag.size() < limbs_) {
+      out[i] = false;
+      continue;
+    }
+    if (!PowerOfTwoPartDivides(mag)) {
+      out[i] = false;
+      continue;
+    }
+    if (pow2_divisor) {
+      out[i] = true;
+      continue;
+    }
+    lanes[count] = {mag, odd_divisor64_, mont_inv64_};
+    origin[count] = i;
+    ++count;
+  }
+  if (count == 0) return;
+  const unsigned verdict = simd::RedcDividesBatch(
+      std::span<const simd::RedcLane>(lanes, count));
+  for (std::size_t k = 0; k < count; ++k) {
+    out[origin[k]] = ((verdict >> k) & 1u) != 0;
+  }
 }
 
 BigInt ReciprocalDivisor::Mod(const BigInt& dividend) {
@@ -479,9 +531,8 @@ BigInt ReciprocalDivisor::Mod(const BigInt& dividend) {
   auto mag = dividend.Magnitude();
   switch (strategy_) {
     case Strategy::kWord:
-      return BigInt::FromUint64(
-          ModMagnitude2by1(mag, word_normalized_, word_reciprocal_,
-                           word_shift_));
+      return BigInt::FromUint64(ModSpans2by1(mag, word_normalized_,
+                                             word_reciprocal_, word_shift_));
     case Strategy::kKnuth:
       if (mag.size() < limbs_) return BigIntFromLimbs(mag);
       return BigIntFromLimbs(mag) % divisor_big_;
@@ -490,7 +541,60 @@ BigInt ReciprocalDivisor::Mod(const BigInt& dividend) {
   }
   if (mag.size() < limbs_) return BigIntFromLimbs(mag);
   ReduceLarge(mag);
-  return BigIntFromLimbs(acc_);
+  return BigIntFromLimbs(std::span<const Limb>(acc_));
+}
+
+void DividesIntoBatch(const BigInt& dividend,
+                      std::span<const BigInt* const> divisors, bool* out) {
+  assert(divisors.size() <= simd::kRedcLanes);
+  if (dividend.IsZero()) {
+    for (std::size_t i = 0; i < divisors.size(); ++i) out[i] = true;
+    return;
+  }
+  auto y = dividend.Magnitude();
+  const int ytz = dividend.TrailingZeroBits();
+  simd::RedcLane lanes[simd::kRedcLanes];
+  std::size_t origin[simd::kRedcLanes];
+  // Shifted odd parts must outlive the batched sweep; xtz == 0 divisors
+  // (the common case — labels are mostly odd prime products) borrow the
+  // divisor's own magnitude instead.
+  std::array<BigInt, simd::kRedcLanes> odd_storage;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < divisors.size(); ++i) {
+    const BigInt& x = *divisors[i];
+    assert(!x.IsZero() && "DividesIntoBatch requires nonzero divisors");
+    auto xmag = x.Magnitude();
+    if (xmag.size() > y.size()) {
+      out[i] = false;  // 0 < |dividend| < |divisor|
+      continue;
+    }
+    const int xtz = x.TrailingZeroBits();
+    if (xtz > ytz) {
+      out[i] = false;  // the divisor's power-of-two factor is a witness
+      continue;
+    }
+    std::span<const std::uint64_t> odd = xmag;
+    if (xtz != 0) {
+      odd_storage[i] = x >> xtz;
+      odd = odd_storage[i].Magnitude();
+    }
+    if (odd.size() == 1) {
+      // Word-sized odd part: one streamed 2-by-1 remainder beats a REDC
+      // lane (odd[0] == 1 is the pure-power-of-two divisor, already
+      // decided by the trailing-zeros screen above).
+      out[i] = recip::Mod2by1Spans(y, odd[0]) == 0;
+      continue;
+    }
+    lanes[count] = {y, odd, NegInverse64(odd[0])};
+    origin[count] = i;
+    ++count;
+  }
+  if (count == 0) return;
+  const unsigned verdict = simd::RedcDividesBatch(
+      std::span<const simd::RedcLane>(lanes, count));
+  for (std::size_t k = 0; k < count; ++k) {
+    out[origin[k]] = ((verdict >> k) & 1u) != 0;
+  }
 }
 
 std::size_t ReciprocalDivisor::BarrettMinLimbs() {
@@ -502,7 +606,7 @@ std::size_t ReciprocalDivisor::MeasureBarrettMinLimbs() {
   if (const char* env = std::getenv("PRIMELABEL_BARRETT_MIN_LIMBS")) {
     if (*env != '\0') {
       const long v = std::strtol(env, nullptr, 10);
-      return static_cast<std::size_t>(std::clamp(v, 3L, 64L));
+      return static_cast<std::size_t>(std::clamp(v, 2L, 32L));
     }
   }
   // Race the two strategies on this machine's actual kernels over a
@@ -511,21 +615,22 @@ std::size_t ReciprocalDivisor::MeasureBarrettMinLimbs() {
   // Divides, because the strategy only steers the remainder path (Divides
   // takes the Montgomery sweep at every multi-limb size). The crossover is
   // the smallest measured size where Barrett wins; sizes are sampled
-  // sparsely because the curves cross once and flatten.
+  // sparsely because the curves cross once and flatten. Sizes are 64-bit
+  // limbs (half the digit counts the 32-bit engine raced).
   constexpr int kReps = 48;
-  constexpr std::size_t kSizes[] = {4, 5, 6, 7, 8, 10, 12};
+  constexpr std::size_t kSizes[] = {2, 3, 4, 5, 6, 8};
   std::uint64_t state = 0x9e3779b97f4a7c15ull;
-  auto next_limb = [&state]() -> Limb {
+  auto next_limb = [&state]() -> std::uint64_t {
     state ^= state << 13;
     state ^= state >> 7;
     state ^= state << 17;
-    return static_cast<Limb>(state);
+    return state;
   };
   auto make_value = [&next_limb](std::size_t limbs) {
-    std::vector<Limb> v(limbs);
-    for (Limb& limb : v) limb = next_limb();
-    v.back() |= Limb{1} << 31;  // keep the intended width
-    return BigIntFromLimbs(v);
+    std::vector<std::uint64_t> v(limbs);
+    for (std::uint64_t& limb : v) limb = next_limb();
+    v.back() |= std::uint64_t{1} << 63;  // keep the intended width
+    return BigIntFromLimbs(std::span<const std::uint64_t>(v));
   };
   auto time_strategy = [](ReciprocalDivisor* rd, const BigInt& divisor,
                           Strategy strategy, const BigInt& dividend) {
@@ -550,33 +655,50 @@ std::size_t ReciprocalDivisor::MeasureBarrettMinLimbs() {
       break;
     }
   }
-  return std::clamp<std::size_t>(crossover, 3, 16);
+  return std::clamp<std::size_t>(crossover, 2, 8);
 }
 
-bool ReciprocalDivisor::ReduceLarge(std::span<const std::uint32_t> dividend) {
-  const std::size_t n = limbs_;
-  const std::size_t chunks = (dividend.size() + n - 1) / n;
-  // Horner over n-limb chunks, most significant first; the accumulator
+bool ReciprocalDivisor::ReduceLarge(std::span<const std::uint64_t> dividend) {
+  if (mu_.empty()) {
+    // First reduction against this divisor: build the deferred Barrett
+    // constants (see AssignWithStrategy).
+    SplitToDigits(divisor_big_.Magnitude(), &divisor_);
+    BigInt mu =
+        (BigInt(1) << (2 * static_cast<int>(divisor_.size()) * kLimbBits)) /
+        divisor_big_;
+    SplitToDigits(mu.Magnitude(), &mu_);
+  }
+  // Barrett state is digit-granular; convert the 64-bit dividend at the
+  // boundary once, then run the digit-space Horner loop unchanged.
+  SplitToDigits(dividend, &dividend32_);
+  const std::size_t n = divisor_.size();
+  const std::size_t chunks = (dividend32_.size() + n - 1) / n;
+  // Horner over n-digit chunks, most significant first; the accumulator
   // stays < x * B^n <= B^(2n), the precondition of HAC 14.42.
-  acc_.assign(dividend.begin() + (chunks - 1) * n, dividend.end());
+  acc_.assign(dividend32_.begin() + (chunks - 1) * n, dividend32_.end());
   StripHighZeros(&acc_);
   BarrettReduce();
   for (std::size_t c = chunks - 1; c-- > 0;) {
-    acc_.insert(acc_.begin(), dividend.begin() + c * n,
-                dividend.begin() + (c + 1) * n);
+    acc_.insert(acc_.begin(), dividend32_.begin() + c * n,
+                dividend32_.begin() + (c + 1) * n);
     BarrettReduce();
   }
   return acc_.empty();
 }
 
-bool ReciprocalDivisor::reference_engine_for_test_ = false;
+ReciprocalDivisor::Engine ReciprocalDivisor::engine_for_test_ =
+    ReciprocalDivisor::Engine::kCurrent;
+
+void ReciprocalDivisor::SetEngineForTest(Engine engine) {
+  engine_for_test_ = engine;
+}
 
 void ReciprocalDivisor::SetReferenceEngineForTest(bool on) {
-  reference_engine_for_test_ = on;
+  SetEngineForTest(on ? Engine::kPr2 : Engine::kCurrent);
 }
 
 void ReciprocalDivisor::BarrettReduce() {
-  const std::size_t n = limbs_;
+  const std::size_t n = divisor_.size();
   if (CompareLimbSpans(acc_, divisor_) < 0) return;
   // q3 = floor(floor(acc / B^(n-1)) * mu / B^(n+1)) — the quotient
   // estimate; off by at most 2 (HAC 14.42), corrected below. Short-product
@@ -588,7 +710,8 @@ void ReciprocalDivisor::BarrettReduce() {
   // O(1) subtractions and the remainder is bit-identical to the
   // full-product path (the cut of 0 below IS the full product).
   std::span<const Limb> q1(acc_.data() + (n - 1), acc_.size() - (n - 1));
-  const std::size_t cut = reference_engine_for_test_ ? 0 : n - 2;
+  const bool full_products = engine_for_test_ == Engine::kPr2;
+  const std::size_t cut = full_products ? 0 : n - 2;
   simd::MulLimbSpansHigh(q1, mu_, cut, &t1_);
   std::span<const Limb> q3;
   const std::size_t shift = n + 1 - cut;
@@ -596,7 +719,7 @@ void ReciprocalDivisor::BarrettReduce() {
   // acc = (acc - q3 * x) mod B^(n+1); the true remainder is < B^(n+1), so
   // fixed-width wraparound arithmetic recovers it exactly.
   const std::size_t width = n + 1;
-  if (reference_engine_for_test_) {
+  if (full_products) {
     simd::MulLimbSpans(q3, divisor_, &t2_);  // SubLimbsModWidth truncates
   } else {
     simd::MulLimbSpansLow(q3, divisor_, width, &t2_);

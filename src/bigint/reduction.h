@@ -185,7 +185,7 @@ class Reciprocal64 {
   std::uint64_t Mod(const BigInt& value) const {
     return Mod(value.Magnitude());
   }
-  std::uint64_t Mod(std::span<const std::uint32_t> magnitude) const;
+  std::uint64_t Mod(std::span<const std::uint64_t> magnitude) const;
 
   /// (hi:lo) mod divisor — one reduction step, for u128-sized values.
   std::uint64_t Mod128(std::uint64_t hi, std::uint64_t lo) const;
@@ -198,11 +198,11 @@ class Reciprocal64 {
 };
 
 /// A divisor cached for repeated exact-divisibility tests. Assign picks
-/// the reduction strategy by divisor size and precomputes its constants
-/// once, so each Divides call avoids the per-call setup of a cold
-/// division:
-///   <= 2 limbs             — Möller–Granlund word reciprocal;
-///   3 .. crossover-1 limbs — Knuth division with a retained scratch
+/// the reduction strategy by divisor size (64-bit limbs) and precomputes
+/// its constants once, so each Divides call avoids the per-call setup of
+/// a cold division:
+///   1 limb                 — Möller–Granlund word reciprocal;
+///   2 .. crossover-1 limbs — Knuth division with a retained scratch
 ///                            buffer (at these sizes Barrett's two n x n
 ///                            products cost more than the division they
 ///                            replace);
@@ -211,15 +211,16 @@ class Reciprocal64 {
 /// non-thread-safe by design (same contract as BigInt::DivScratch).
 class ReciprocalDivisor {
  public:
-  /// Limb count at which Assign switches from Knuth to Barrett — the
-  /// strategy behind Mod (and reference-engine Divides; optimized Divides
-  /// goes through the Montgomery sweep at every multi-limb size). Taken
-  /// from the PRIMELABEL_BARRETT_MIN_LIMBS environment variable when set
-  /// (clamped to [3, 64]); otherwise measured once per process by a tiny
-  /// startup microbenchmark (sub-millisecond, run lazily on the first
-  /// multi-limb Assign) racing both strategies on this machine's actual
-  /// kernels. Replaces the old compile-time 8, which had only been
-  /// validated on x86-64. The strategy choice affects speed only — every
+  /// Limb count (64-bit limbs) at which Assign switches from Knuth to
+  /// Barrett — the strategy behind Mod (and kPr2-engine Divides;
+  /// optimized Divides goes through the Montgomery sweep at every
+  /// multi-limb size). Taken from the PRIMELABEL_BARRETT_MIN_LIMBS
+  /// environment variable when set (clamped to [2, 32]); otherwise
+  /// measured once per process by a tiny startup microbenchmark
+  /// (sub-millisecond, cached in a function-local static so every
+  /// use site shares the one measurement) racing both strategies on this
+  /// machine's actual kernels. Benches log the chosen value into their
+  /// JSON context block. The strategy choice affects speed only — every
   /// strategy returns bit-identical results.
   static std::size_t BarrettMinLimbs();
 
@@ -240,20 +241,48 @@ class ReciprocalDivisor {
   /// no quotient estimates, chunking, or correction steps.
   bool Divides(const BigInt& dividend);
 
+  /// Batched Divides: out[k] = Divides(*dividends[k]) for up to
+  /// simd::kRedcLanes dividends against the one cached divisor — the
+  /// anchor-run surface of IsAncestorBatch/SelectDescendants, where a run
+  /// of fingerprint-filter survivors shares its anchor. Dividends that
+  /// fail a cheap screen (smaller than the divisor, missing the divisor's
+  /// power-of-two factor) are answered inline; the survivors run one
+  /// multi-dividend REDC sweep (simd::RedcDividesBatch), which on AVX2
+  /// interleaves 4 dividends across vector lanes. Bit-identical to
+  /// looping Divides.
+  void DividesBatch(std::span<const BigInt* const> dividends, bool* out);
+
   /// |dividend| mod divisor, as a BigInt — the equivalence-test surface
   /// (and the remainder consumers of the CRT layer). Always takes the
   /// Knuth/Barrett strategy path (Montgomery yields divisibility, not the
   /// plain remainder).
   BigInt Mod(const BigInt& dividend);
 
-  /// Test/bench hook: run the engine exactly as it stood before the
-  /// short-product and Montgomery optimizations — full-width Barrett
-  /// products in Reduce, and Divides answered through the Knuth/Barrett
-  /// remainder instead of the Montgomery sweep. Results are bit-identical
-  /// either way (the optimizations change cost, never outcomes), so this
-  /// exists purely as the baseline leg of A/B benches and the
-  /// equivalence suites. Not thread-safe; set only from single-threaded
-  /// setup code.
+  /// Historical engine generations, selectable for A/B benches and the
+  /// equivalence suites. Every generation returns bit-identical results
+  /// (the optimizations change cost, never outcomes).
+  enum class Engine {
+    /// The optimized engine: native 64-bit Montgomery sweeps, batched
+    /// REDC lanes, short-product Barrett.
+    kCurrent,
+    /// The PR 3-era (32-bit-limb) engine: no Montgomery sweep — Divides
+    /// answers through the digit-granular truncated-Barrett remainder,
+    /// splitting the dividend into 32-bit digits per call (the storage
+    /// format of that generation), single-lane only (DividesBatch
+    /// degrades to a scalar loop).
+    kV1,
+    /// The PR 2-era engine: the same digit-granular remainder but with
+    /// full-width Barrett products (no short-product truncation), and
+    /// Knuth trial division for mid-size divisors.
+    kPr2,
+  };
+
+  /// Test/bench hook: pin the engine generation process-wide. Not
+  /// thread-safe; set only from single-threaded setup code.
+  static void SetEngineForTest(Engine engine);
+
+  /// Back-compat alias for the oldest baseline: `on` pins Engine::kPr2,
+  /// `off` restores Engine::kCurrent.
   static void SetReferenceEngineForTest(bool on);
 
  private:
@@ -270,53 +299,70 @@ class ReciprocalDivisor {
   static std::size_t MeasureBarrettMinLimbs();
 
   /// Precomputes the Montgomery divisibility constants (odd part of the
-  /// divisor, its trailing-zero count, and -odd^-1 mod 2^64) from
-  /// divisor_; called by AssignWithStrategy for multi-limb divisors.
+  /// divisor, its trailing-zero count, and -odd^-1 mod 2^64) from the
+  /// divisor magnitude; called by AssignWithStrategy for multi-limb
+  /// divisors.
   void PrepareMontgomery();
+  /// True iff the divisor's power-of-two factor 2^e divides the dividend
+  /// (an e-bit tail check — the cheap half of the d = 2^e * odd split).
+  bool PowerOfTwoPartDivides(std::span<const std::uint64_t> dividend) const;
   /// The streaming REDC divisibility sweep (see Divides). Requires
   /// dividend.size() >= limbs_ and a nonzero dividend.
-  bool MontgomeryDivides(std::span<const std::uint32_t> dividend);
-
+  bool MontgomeryDivides(std::span<const std::uint64_t> dividend);
   /// Reduces |dividend| into scratch `acc_`; returns true when the result
-  /// is exactly zero (the only bit Divides needs).
-  bool ReduceLarge(std::span<const std::uint32_t> dividend);
+  /// is exactly zero (the only bit Divides needs). Splits the dividend
+  /// into 32-bit digits at entry — the Barrett state stays
+  /// digit-granular, matching the 32x32 short-product kernels it drives.
+  bool ReduceLarge(std::span<const std::uint64_t> dividend);
   /// One Barrett step: acc_ (< B^(2n)) becomes acc_ mod divisor, in place.
   void BarrettReduce();
 
-  /// See SetReferenceEngineForTest.
-  static bool reference_engine_for_test_;
+  /// See SetEngineForTest.
+  static Engine engine_for_test_;
 
   Strategy strategy_ = Strategy::kWord;
   std::size_t limbs_ = 0;            ///< divisor magnitude limb count
-  std::uint64_t divisor_word_ = 0;   ///< divisor when limbs_ <= 2
+  std::uint64_t divisor_word_ = 0;   ///< divisor when limbs_ == 1
   std::uint64_t word_reciprocal_ = 0;
   std::uint64_t word_normalized_ = 0;
   int word_shift_ = 0;
 
-  // Mid-size (Knuth) state: the divisor as a BigInt plus the reused
+  // Multi-limb state: the divisor as a BigInt (the Knuth strategy's
+  // operand and the source of every derived constant) plus the reused
   // division scratch.
   BigInt divisor_big_;
   BigInt::DivScratch div_scratch_;
 
-  // Multi-limb (Barrett) state: divisor magnitude and
-  // mu = floor(B^(2n) / divisor) with B = 2^32, n = limbs_.
+  // Barrett state, digit-granular (B = 2^32): divisor digits and
+  // mu = floor(B^(2n) / divisor) with n = divisor_.size() digits.
   std::vector<std::uint32_t> divisor_;
   std::vector<std::uint32_t> mu_;
   // Montgomery divisibility state (multi-limb divisors): the divisor's
-  // odd part repacked into native 64-bit limbs (each REDC step then
-  // clears 64 dividend bits with quarter the 32x32 multiply count), how
-  // many factors of two were shifted out, and the word inverse
-  // -odd_divisor64_[0]^-1 mod 2^64 driving each step. mont_acc64_ is the
-  // reusable sweep accumulator (holds the repacked dividend).
+  // odd part in native 64-bit limbs, how many factors of two were shifted
+  // out, and the word inverse -odd_divisor64_[0]^-1 mod 2^64 driving each
+  // REDC step. mont_acc64_ is the reusable single-lane sweep accumulator.
   std::vector<std::uint64_t> odd_divisor64_;
   std::vector<std::uint64_t> mont_acc64_;
   int divisor_trailing_zeros_ = 0;
   std::uint64_t mont_inv64_ = 0;
-  // Scratch (reused across Divides calls): accumulator and two products.
+  // Scratch (reused across calls): the Barrett accumulator, two products,
+  // and the dividend's digit split.
   std::vector<std::uint32_t> acc_;
   std::vector<std::uint32_t> t1_;
   std::vector<std::uint32_t> t2_;
+  std::vector<std::uint32_t> dividend32_;
 };
+
+/// One dividend against up to simd::kRedcLanes candidate divisors — the
+/// SelectAncestors shape, where the context node's label is tested
+/// against a batch of candidate ancestors. Computes each divisor's odd
+/// part and Newton inverse on the fly (O(divisor limbs) setup, cheap next
+/// to the O(dividend x divisor) sweep it feeds) and runs one batched REDC
+/// sweep. out[k] = divisors[k]->IsDivisibleBy... semantics: true iff
+/// *divisors[k] divides |dividend|; divisors must be nonzero.
+/// Bit-identical to a loop of exact scalar tests.
+void DividesIntoBatch(const BigInt& dividend,
+                      std::span<const BigInt* const> divisors, bool* out);
 
 // --- Layer 3: subproduct / remainder trees ---------------------------------
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <bit>
 #include <cassert>
 #include <cstdlib>
 
@@ -27,15 +28,73 @@ constexpr int kLimbBits = 32;
 /// Below these operand sizes the vector walks' fixed costs (accumulator
 /// zeroing, recombination, short vector tails) outweigh the multiply
 /// savings and the row-wise scalar loop wins. Measured on AVX2: full
-/// products cross over near 20 limbs, while the clipped Barrett short
-/// products (whose scalar loop does proportionally more range clipping
-/// per useful multiply) cross lower, near 12. Both apply to the smaller
-/// operand.
-constexpr std::size_t kVectorMinLimbs = 20;
-constexpr std::size_t kVectorMinLimbsPartial = 12;
+/// digit products cross over near 20 digits, while the clipped Barrett
+/// short products (whose scalar loop does proportionally more range
+/// clipping per useful multiply) cross lower, near 12. Both apply to the
+/// smaller operand. The 64-bit entry points compare against a native
+/// scalar loop that does 4x fewer multiplies per limb product, so their
+/// digit-view vector path only pays off once the digit count clears the
+/// digit gate — limbs64 defaults to full/2. redc_min gates the padded
+/// vector REDC sweeps, whose lane transpose never amortizes on tiny
+/// dividends.
+struct DispatchGates {
+  std::size_t full = 20;     ///< digit kernels, full products
+  std::size_t partial = 12;  ///< digit kernels, Barrett short products
+  std::size_t limbs64 = 10;  ///< 64-bit MulLimbSpans digit-view path
+  std::size_t redc_min = 4;  ///< min dividend limbs for vector REDC
+};
 
-void StripHighZeros(std::vector<Limb>* v) {
+const DispatchGates& Gates() {
+  static const DispatchGates gates = [] {
+    DispatchGates g;
+#if defined(PRIMELABEL_HAVE_NEON_KERNELS)
+    // The compiled-in defaults were measured on AVX2 hardware; aarch64
+    // deployments can re-tune the digit gates without rebuilding:
+    // PRIMELABEL_NEON_MIN_LIMBS="<full>[,<partial>]".
+    if (const char* env = std::getenv("PRIMELABEL_NEON_MIN_LIMBS")) {
+      char* end = nullptr;
+      const unsigned long full = std::strtoul(env, &end, 10);
+      if (end != env && full != 0) {
+        g.full = std::clamp<std::size_t>(full, 2, 256);
+        g.limbs64 = std::max<std::size_t>(2, (g.full + 1) / 2);
+        if (*end == ',') {
+          const char* rest = end + 1;
+          const unsigned long partial = std::strtoul(rest, &end, 10);
+          if (end != rest && partial != 0) {
+            g.partial = std::clamp<std::size_t>(partial, 2, 256);
+          }
+        }
+      }
+    }
+#endif
+    return g;
+  }();
+  return gates;
+}
+
+template <typename LimbT>
+void StripHighZeros(std::vector<LimbT>* v) {
   while (!v->empty() && v->back() == 0) v->pop_back();
+}
+
+#if defined(PRIMELABEL_HAVE_AVX2_KERNELS) || defined(PRIMELABEL_HAVE_NEON_KERNELS)
+/// Views little-endian uint64 limbs as twice as many uint32 digits. The
+/// vector kernels are only compiled for little-endian targets, where the
+/// two layouts coincide byte for byte.
+std::span<const std::uint32_t> DigitView(std::span<const std::uint64_t> limbs) {
+  static_assert(std::endian::native == std::endian::little,
+                "vector kernels assume little-endian limb layout");
+  return {reinterpret_cast<const std::uint32_t*>(limbs.data()),
+          limbs.size() * 2};
+}
+#endif
+
+/// Per-thread digit buffer for the 64-bit entry points: the digit-kernel
+/// product before pair packing, or the explicit digit split of the
+/// portable ChunkResidues.
+std::vector<std::uint32_t>& DigitScratch() {
+  thread_local std::vector<std::uint32_t> scratch;
+  return scratch;
 }
 
 /// Per-thread storage for the reversed second operand of the NEON column
@@ -171,6 +230,11 @@ void SetActiveIsa(Isa isa) {
 void ResetActiveIsa() {
   g_isa_override.store(-1, std::memory_order_relaxed);
 }
+
+std::size_t VectorMinLimbsFull() { return Gates().full; }
+std::size_t VectorMinLimbsPartial() { return Gates().partial; }
+std::size_t VectorMinLimbs64() { return Gates().limbs64; }
+std::size_t RedcBatchMinLimbs() { return Gates().redc_min; }
 
 // --- MulLimbSpans: portable -------------------------------------------------
 
@@ -448,7 +512,7 @@ void MulLimbSpans(std::span<const Limb> a, std::span<const Limb> b,
     out->clear();
     return;
   }
-  if (std::min(a.size(), b.size()) < kVectorMinLimbs) {
+  if (std::min(a.size(), b.size()) < Gates().full) {
     MulLimbSpansPortable(a, b, out);
     return;
   }
@@ -476,7 +540,7 @@ namespace {
 void ColumnWalkDispatch(std::span<const Limb> a, std::span<const Limb> b,
                         std::size_t kbegin, std::size_t kend, bool tail,
                         std::vector<Limb>* out) {
-  if (std::min(a.size(), b.size()) >= kVectorMinLimbsPartial) {
+  if (std::min(a.size(), b.size()) >= Gates().partial) {
     switch (ActiveIsa()) {
 #if defined(PRIMELABEL_HAVE_AVX2_KERNELS)
       case Isa::kAvx2:
@@ -711,6 +775,381 @@ void ChunkResidues(std::span<const Limb> magnitude,
       break;
   }
   ChunkResiduesPortable(magnitude, out);
+}
+
+// --- 64-bit limb entry points -----------------------------------------------
+
+void MulLimbSpansPortable(std::span<const std::uint64_t> a,
+                          std::span<const std::uint64_t> b,
+                          std::vector<std::uint64_t>* out) {
+  if (a.empty() || b.empty()) {
+    out->clear();
+    return;
+  }
+  out->assign(a.size() + b.size(), 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    U128 carry = 0;
+    const std::uint64_t ai = a[i];
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      const U128 cur = (*out)[i + j] + static_cast<U128>(ai) * b[j] + carry;
+      (*out)[i + j] = static_cast<std::uint64_t>(cur);
+      carry = cur >> 64;
+    }
+    (*out)[i + b.size()] = static_cast<std::uint64_t>(carry);
+  }
+  StripHighZeros(out);
+}
+
+void MulLimbSpans(std::span<const std::uint64_t> a,
+                  std::span<const std::uint64_t> b,
+                  std::vector<std::uint64_t>* out) {
+  if (a.empty() || b.empty()) {
+    out->clear();
+    return;
+  }
+#if defined(PRIMELABEL_HAVE_AVX2_KERNELS) || defined(PRIMELABEL_HAVE_NEON_KERNELS)
+  if (std::min(a.size(), b.size()) >= Gates().limbs64 &&
+      ActiveIsa() != Isa::kScalar) {
+    // Run the dispatched digit kernel on zero-copy digit views, then pack
+    // digit pairs back into 64-bit limbs. Same exact value as the native
+    // loop, so the stripped limbs are bit-identical.
+    std::vector<std::uint32_t>& digits = DigitScratch();
+    MulLimbSpans(DigitView(a), DigitView(b), &digits);
+    out->assign((digits.size() + 1) / 2, 0);
+    for (std::size_t k = 0; k < digits.size(); ++k) {
+      (*out)[k / 2] |= static_cast<std::uint64_t>(digits[k])
+                       << (32 * (k % 2));
+    }
+    return;
+  }
+#endif
+  MulLimbSpansPortable(a, b, out);
+}
+
+void ChunkResiduesPortable(std::span<const std::uint64_t> magnitude,
+                           std::span<std::uint64_t> out) {
+  // Explicit digit split (no layout punning): correct on any endianness,
+  // and the anchor the digit-view dispatch below is tested against.
+  std::vector<std::uint32_t>& digits = DigitScratch();
+  digits.resize(magnitude.size() * 2);
+  for (std::size_t i = 0; i < magnitude.size(); ++i) {
+    digits[2 * i] = static_cast<std::uint32_t>(magnitude[i]);
+    digits[2 * i + 1] = static_cast<std::uint32_t>(magnitude[i] >> 32);
+  }
+  ChunkResiduesPortable(std::span<const std::uint32_t>(digits), out);
+}
+
+void ChunkResidues(std::span<const std::uint64_t> magnitude,
+                   std::span<std::uint64_t> out) {
+#if defined(PRIMELABEL_HAVE_AVX2_KERNELS) || defined(PRIMELABEL_HAVE_NEON_KERNELS)
+  ChunkResidues(DigitView(magnitude), out);
+#else
+  ChunkResiduesPortable(magnitude, out);
+#endif
+}
+
+// --- Batched REDC divisibility: portable ------------------------------------
+
+unsigned RedcDividesBatchPortable(std::span<const RedcLane> lanes) {
+  assert(!lanes.empty() && lanes.size() <= kRedcLanes);
+  thread_local std::vector<std::uint64_t> buf;
+  std::size_t offset[kRedcLanes + 1] = {};
+  std::size_t mmax = 0;
+  for (std::size_t k = 0; k < lanes.size(); ++k) {
+    const std::size_t m = lanes[k].dividend.size();
+    offset[k + 1] = offset[k] + m + lanes[k].odd_divisor.size() + 1;
+    mmax = std::max(mmax, m);
+  }
+  buf.assign(offset[lanes.size()], 0);
+  for (std::size_t k = 0; k < lanes.size(); ++k) {
+    std::copy(lanes[k].dividend.begin(), lanes[k].dividend.end(),
+              buf.begin() + static_cast<std::ptrdiff_t>(offset[k]));
+  }
+  // Step loop outside, lane loop inside: each lane's REDC sweep is one
+  // serial carry chain, but the lanes' chains are independent, so
+  // interleaving them per step keeps the out-of-order core fed.
+  for (std::size_t i = 0; i < mmax; ++i) {
+    for (std::size_t k = 0; k < lanes.size(); ++k) {
+      const RedcLane& lane = lanes[k];
+      if (i >= lane.dividend.size()) continue;
+      std::uint64_t* t = buf.data() + offset[k];
+      const std::size_t nd = lane.odd_divisor.size();
+      // u makes t[i] + u * d ≡ 0 (mod 2^64): the step clears one limb
+      // and divides the residue class by B.
+      const std::uint64_t u = t[i] * lane.neg_inv;
+      U128 carry = 0;
+      for (std::size_t j = 0; j < nd; ++j) {
+        const U128 s = static_cast<U128>(t[i + j]) +
+                       static_cast<U128>(u) * lane.odd_divisor[j] + carry;
+        t[i + j] = static_cast<std::uint64_t>(s);
+        carry = s >> 64;
+      }
+      std::uint64_t c = static_cast<std::uint64_t>(carry);
+      for (std::size_t pos = i + nd; c != 0; ++pos) {
+        assert(pos < lane.dividend.size() + nd + 1);
+        t[pos] += c;
+        c = t[pos] < c ? 1u : 0u;
+      }
+    }
+  }
+  // After m steps t = (x + q * d) / B^m ≤ d sits at t[m .. m + nd], and
+  // d | x iff that residue is 0 or d exactly.
+  unsigned verdict = 0;
+  for (std::size_t k = 0; k < lanes.size(); ++k) {
+    const RedcLane& lane = lanes[k];
+    const std::uint64_t* t =
+        buf.data() + offset[k] + lane.dividend.size();
+    bool zero = true;
+    bool eq = true;
+    for (std::size_t j = 0; j < lane.odd_divisor.size(); ++j) {
+      zero = zero && t[j] == 0;
+      eq = eq && t[j] == lane.odd_divisor[j];
+    }
+    const std::uint64_t top = t[lane.odd_divisor.size()];
+    zero = zero && top == 0;
+    eq = eq && top == 0;
+    if (zero || eq) verdict |= 1u << k;
+  }
+  return verdict;
+}
+
+// --- Batched REDC divisibility: AVX2 ----------------------------------------
+
+#if defined(PRIMELABEL_HAVE_AVX2_KERNELS)
+
+namespace {
+
+/// Interleaved digit buffers of the 4-lane REDC sweep: T and D hold one
+/// digit per uint64 entry, position-major (entry = pos * 4 + lane).
+std::vector<std::uint64_t>& RedcScratchAvx2() {
+  thread_local std::vector<std::uint64_t> scratch;
+  return scratch;
+}
+
+/// Four REDC divisibility sweeps in base 2^32, one per AVX2 lane, with
+/// one shared step loop padded to the longest dividend. Padding is sound:
+/// every extra step still clears the step's low digit (u is derived per
+/// lane from its own digit and inverse) and only multiplies the residue
+/// class by another B^-1, which gcd(B, odd d) = 1 makes harmless — after
+/// any i steps t = (x + q * d) / B^i ≤ d + x / B^i, so after mmax ≥ m
+/// steps every lane's residue is ≤ d and sits at T[mmax ..].
+__attribute__((target("avx2"))) unsigned RedcDividesBatchAvx2(
+    std::span<const RedcLane> lanes) {
+  std::size_t mmax = 0;
+  std::size_t ndmax = 0;
+  for (const RedcLane& lane : lanes) {
+    mmax = std::max(mmax, lane.dividend.size() * 2);
+    ndmax = std::max(ndmax, lane.odd_divisor.size() * 2);
+  }
+  const std::size_t rows = mmax + ndmax + 2;
+  std::vector<std::uint64_t>& buf = RedcScratchAvx2();
+  buf.assign((rows + ndmax) * 4, 0);
+  std::uint64_t* T = buf.data();
+  std::uint64_t* D = buf.data() + rows * 4;
+  alignas(32) std::uint64_t inv[4] = {};
+  for (std::size_t k = 0; k < 4; ++k) {
+    const RedcLane& lane = lanes[k];
+    for (std::size_t i = 0; i < lane.dividend.size(); ++i) {
+      T[(2 * i) * 4 + k] = static_cast<std::uint32_t>(lane.dividend[i]);
+      T[(2 * i + 1) * 4 + k] =
+          static_cast<std::uint32_t>(lane.dividend[i] >> 32);
+    }
+    // Shorter divisors are zero-padded: their padded rows add u * 0 and
+    // just ripple the carry, which the scalar sweep does implicitly.
+    for (std::size_t j = 0; j < lane.odd_divisor.size(); ++j) {
+      D[(2 * j) * 4 + k] = static_cast<std::uint32_t>(lane.odd_divisor[j]);
+      D[(2 * j + 1) * 4 + k] =
+          static_cast<std::uint32_t>(lane.odd_divisor[j] >> 32);
+    }
+    // -d^-1 mod 2^64 reduces mod 2^32 to -d^-1 mod 2^32.
+    inv[k] = static_cast<std::uint32_t>(lane.neg_inv);
+  }
+
+  const __m256i mask32 = _mm256_set1_epi64x(0xffffffff);
+  const __m256i invv =
+      _mm256_load_si256(reinterpret_cast<const __m256i*>(inv));
+  for (std::size_t i = 0; i < mmax; ++i) {
+    std::uint64_t* base = T + i * 4;
+    __m256i u = _mm256_and_si256(
+        _mm256_mul_epu32(
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(base)), invv),
+        mask32);
+    __m256i carry = _mm256_setzero_si256();
+    for (std::size_t j = 0; j < ndmax; ++j) {
+      // s = t[i+j] + u * d[j] + carry <= (2^32 - 1) + (2^32 - 1)^2 +
+      // (2^32 - 1) = 2^64 - 1: the lane sums cannot wrap, provided every
+      // T entry stays < 2^32 (the masked stores' invariant).
+      const __m256i dv =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(D + j * 4));
+      const __m256i tv =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(base + j * 4));
+      const __m256i s = _mm256_add_epi64(_mm256_add_epi64(tv, carry),
+                                         _mm256_mul_epu32(u, dv));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(base + j * 4),
+                          _mm256_and_si256(s, mask32));
+      carry = _mm256_srli_epi64(s, 32);
+    }
+    // Propagate the step's top carries until all four lanes are clear —
+    // required to keep the < 2^32 invariant for later steps. Each pass
+    // sums two values < 2^32 and < 2^32, so it converges fast, and the
+    // value bound above keeps it inside the buffer.
+    std::size_t pos = i + ndmax;
+    while (!_mm256_testz_si256(carry, carry)) {
+      assert(pos < rows);
+      const __m256i tv =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(T + pos * 4));
+      const __m256i s = _mm256_add_epi64(tv, carry);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(T + pos * 4),
+                          _mm256_and_si256(s, mask32));
+      carry = _mm256_srli_epi64(s, 32);
+      ++pos;
+    }
+  }
+
+  unsigned verdict = 0;
+  for (std::size_t k = 0; k < 4; ++k) {
+    bool zero = true;
+    bool eq = true;
+    for (std::size_t j = 0; j < ndmax; ++j) {
+      const std::uint64_t digit = T[(mmax + j) * 4 + k];
+      zero = zero && digit == 0;
+      eq = eq && digit == D[j * 4 + k];
+    }
+    if (zero || eq) verdict |= 1u << k;
+  }
+  return verdict;
+}
+
+}  // namespace
+
+#endif  // PRIMELABEL_HAVE_AVX2_KERNELS
+
+// --- Batched REDC divisibility: NEON ----------------------------------------
+
+#if defined(PRIMELABEL_HAVE_NEON_KERNELS)
+
+namespace {
+
+std::vector<std::uint64_t>& RedcScratchNeon() {
+  thread_local std::vector<std::uint64_t> scratch;
+  return scratch;
+}
+
+/// Two REDC divisibility sweeps in base 2^32, one per 64-bit NEON lane —
+/// the same padded-uniform scheme as the AVX2 kernel (see its comment for
+/// the invariants); a 4-lane batch runs as two pair calls.
+unsigned RedcDividesBatchNeon2(std::span<const RedcLane> lanes) {
+  std::size_t mmax = 0;
+  std::size_t ndmax = 0;
+  for (const RedcLane& lane : lanes) {
+    mmax = std::max(mmax, lane.dividend.size() * 2);
+    ndmax = std::max(ndmax, lane.odd_divisor.size() * 2);
+  }
+  const std::size_t rows = mmax + ndmax + 2;
+  std::vector<std::uint64_t>& buf = RedcScratchNeon();
+  buf.assign((rows + ndmax) * 2, 0);
+  std::uint64_t* T = buf.data();
+  std::uint64_t* D = buf.data() + rows * 2;
+  std::uint32_t inv[2] = {};
+  for (std::size_t k = 0; k < 2; ++k) {
+    const RedcLane& lane = lanes[k];
+    for (std::size_t i = 0; i < lane.dividend.size(); ++i) {
+      T[(2 * i) * 2 + k] = static_cast<std::uint32_t>(lane.dividend[i]);
+      T[(2 * i + 1) * 2 + k] =
+          static_cast<std::uint32_t>(lane.dividend[i] >> 32);
+    }
+    for (std::size_t j = 0; j < lane.odd_divisor.size(); ++j) {
+      D[(2 * j) * 2 + k] = static_cast<std::uint32_t>(lane.odd_divisor[j]);
+      D[(2 * j + 1) * 2 + k] =
+          static_cast<std::uint32_t>(lane.odd_divisor[j] >> 32);
+    }
+    inv[k] = static_cast<std::uint32_t>(lane.neg_inv);
+  }
+
+  const uint64x2_t mask32 = vdupq_n_u64(0xffffffff);
+  const uint32x2_t invv = vld1_u32(inv);
+  for (std::size_t i = 0; i < mmax; ++i) {
+    std::uint64_t* base = T + i * 2;
+    const uint32x2_t u =
+        vmovn_u64(vandq_u64(vmull_u32(vmovn_u64(vld1q_u64(base)), invv),
+                            mask32));
+    uint64x2_t carry = vdupq_n_u64(0);
+    for (std::size_t j = 0; j < ndmax; ++j) {
+      const uint32x2_t dv = vmovn_u64(vld1q_u64(D + j * 2));
+      const uint64x2_t tv = vld1q_u64(base + j * 2);
+      const uint64x2_t s =
+          vaddq_u64(vaddq_u64(tv, carry), vmull_u32(u, dv));
+      vst1q_u64(base + j * 2, vandq_u64(s, mask32));
+      carry = vshrq_n_u64(s, 32);
+    }
+    std::size_t pos = i + ndmax;
+    while ((vgetq_lane_u64(carry, 0) | vgetq_lane_u64(carry, 1)) != 0) {
+      assert(pos < rows);
+      const uint64x2_t s = vaddq_u64(vld1q_u64(T + pos * 2), carry);
+      vst1q_u64(T + pos * 2, vandq_u64(s, mask32));
+      carry = vshrq_n_u64(s, 32);
+      ++pos;
+    }
+  }
+
+  unsigned verdict = 0;
+  for (std::size_t k = 0; k < 2; ++k) {
+    bool zero = true;
+    bool eq = true;
+    for (std::size_t j = 0; j < ndmax; ++j) {
+      const std::uint64_t digit = T[(mmax + j) * 2 + k];
+      zero = zero && digit == 0;
+      eq = eq && digit == D[j * 2 + k];
+    }
+    if (zero || eq) verdict |= 1u << k;
+  }
+  return verdict;
+}
+
+}  // namespace
+
+#endif  // PRIMELABEL_HAVE_NEON_KERNELS
+
+unsigned RedcDividesBatch(std::span<const RedcLane> lanes) {
+  assert(!lanes.empty() && lanes.size() <= kRedcLanes);
+#if defined(PRIMELABEL_HAVE_AVX2_KERNELS) || defined(PRIMELABEL_HAVE_NEON_KERNELS)
+  std::size_t mmin = lanes[0].dividend.size();
+  std::size_t mmax = mmin;
+  for (const RedcLane& lane : lanes.subspan(1)) {
+    mmin = std::min(mmin, lane.dividend.size());
+    mmax = std::max(mmax, lane.dividend.size());
+  }
+  // The vector paths pad every lane to the longest dividend, while the
+  // portable interleave runs each lane its exact step count — so any
+  // width spread hands the vector path extra padded steps it has to win
+  // back at digit granularity. Measured on AVX2 (which has no 64x64
+  // multiply, so 4 digit lanes only match one scalar 64-bit product per
+  // cycle to begin with): equal-width batches run ~0.9-1.1x the
+  // portable time, a 1.25x spread already loses 26%, a 2x spread 57%.
+  // Hence the gate: vector REDC only for batches of equal-size
+  // dividends, where the transpose is the only overhead.
+  if (mmin >= Gates().redc_min && mmax == mmin) {
+    switch (ActiveIsa()) {
+#if defined(PRIMELABEL_HAVE_AVX2_KERNELS)
+      case Isa::kAvx2:
+        if (lanes.size() == 4) return RedcDividesBatchAvx2(lanes);
+        break;
+#endif
+#if defined(PRIMELABEL_HAVE_NEON_KERNELS)
+      case Isa::kNeon:
+        if (lanes.size() == 4) {
+          return RedcDividesBatchNeon2(lanes.subspan(0, 2)) |
+                 (RedcDividesBatchNeon2(lanes.subspan(2, 2)) << 2);
+        }
+        if (lanes.size() == 2) return RedcDividesBatchNeon2(lanes);
+        break;
+#endif
+      default:
+        break;
+    }
+  }
+#endif
+  return RedcDividesBatchPortable(lanes);
 }
 
 }  // namespace primelabel::simd

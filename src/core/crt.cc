@@ -66,7 +66,7 @@ U128 ToUint128(const BigInt& value) {
   U128 result = 0;
   auto limbs = value.Magnitude();
   for (std::size_t i = limbs.size(); i-- > 0;) {
-    result = (result << 32) | limbs[i];
+    result = (result << 64) | limbs[i];
   }
   return result;
 }

@@ -242,16 +242,6 @@ class DurableDocumentStore {
   /// on the Snapshot is concurrency-safe.
   Result<Snapshot> OpenSnapshot() const;
 
-  /// Deprecated: reconstructs the pinned view from disk by value, paying
-  /// a full recovery per call and returning a document whose lazy query
-  /// state is not safe to share across threads. Kept one release as a
-  /// shim for pre-Snapshot callers; use OpenSnapshot() (or, to
-  /// re-materialize an existing snapshot's point, pass snapshot.pin()).
-  [[deprecated("use OpenSnapshot(); ReadPinned will be removed")]]
-  Result<LabeledDocument> ReadPinned(const EpochPin& pin) const {
-    return MaterializePinned(pin);
-  }
-
   /// Attaches (or clears, with nullptr) the materialized-view cache that
   /// OpenSnapshot routes through. Not synchronized: attach before reader
   /// threads start, detach after they stop. The cache must outlive every
@@ -311,8 +301,8 @@ class DurableDocumentStore {
                        std::string_view tag);
 
   /// Rebuilds the exact document state a pin captured: the epoch's
-  /// snapshot/delta chain plus the committed journal prefix — the shared
-  /// body of OpenSnapshot and the deprecated ReadPinned shim.
+  /// snapshot/delta chain plus the committed journal prefix — the
+  /// materialization body of OpenSnapshot.
   Result<LabeledDocument> MaterializePinned(const EpochPin& pin) const;
 
   /// Rebuilds the base diff index from the rows/SC state the current

@@ -14,12 +14,16 @@ namespace primelabel {
 namespace {
 
 /// Writes all of `data` (+ newline) to `fd`; false on any error.
+/// MSG_NOSIGNAL: the peer may close first (e.g. a client hanging up
+/// after the session-cap rejection line) — that must surface as EPIPE
+/// here, not as a process-killing SIGPIPE.
 bool WriteLine(int fd, const std::string& data) {
   std::string framed = data;
   framed += '\n';
   std::size_t sent = 0;
   while (sent < framed.size()) {
-    const ssize_t n = ::write(fd, framed.data() + sent, framed.size() - sent);
+    const ssize_t n = ::send(fd, framed.data() + sent, framed.size() - sent,
+                             MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;

@@ -15,7 +15,7 @@ namespace primelabel {
 
 /// LRU cache of materialized epoch views, keyed by (epoch, committed
 /// journal bytes) — the point an EpochPin captures. This is what turns
-/// ReadPinned-per-call (a full recovery per read) into one shared
+/// materialize-per-call (a full recovery per read) into one shared
 /// materialization per pinned point: concurrent sessions opening
 /// snapshots at the same point get the same shared_ptr<const
 /// LabeledDocument>.

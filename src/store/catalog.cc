@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "bigint/simd.h"
 #include "util/thread_pool.h"
 
 namespace primelabel {
@@ -90,13 +91,28 @@ void LoadedCatalog::IsAncestorBatch(
     std::span<const std::pair<NodeId, NodeId>> pairs,
     std::vector<std::uint8_t>* results) const {
   // Same fast path as OrderedPrimeScheme: fingerprint rejection first,
-  // then an exact test against the reciprocal cached for the current
-  // anchor run. All state is per-range and ranges write disjoint result
-  // slots, so a sharded run is bit-identical to the sequential one.
+  // then exact tests against the reciprocal cached for the current anchor
+  // run, with survivors buffered into lanes of one multi-dividend REDC
+  // sweep. All state is per-range and ranges write disjoint result slots,
+  // so a sharded run is bit-identical to the sequential one.
   results->assign(pairs.size(), 0);
   auto run = [this, pairs, results](std::size_t begin, std::size_t end) {
     ReciprocalDivisor cached;
     NodeId cached_anchor = kInvalidNodeId;
+    const BigInt* lane_labels[simd::kRedcLanes];
+    std::size_t lane_slots[simd::kRedcLanes];
+    bool lane_verdicts[simd::kRedcLanes];
+    std::size_t pending = 0;
+    auto flush = [&] {
+      if (pending == 0) return;
+      cached.DividesBatch(
+          std::span<const BigInt* const>(lane_labels, pending),
+          lane_verdicts);
+      for (std::size_t k = 0; k < pending; ++k) {
+        (*results)[lane_slots[k]] = lane_verdicts[k] ? 1 : 0;
+      }
+      pending = 0;
+    };
     for (std::size_t i = begin; i < end; ++i) {
       const auto& [x, y] = pairs[i];
       if (x == y || row(y).label == row(x).label ||
@@ -104,11 +120,15 @@ void LoadedCatalog::IsAncestorBatch(
         continue;  // slot already 0
       }
       if (x != cached_anchor) {
+        flush();  // pending lanes belong to the previous divisor
         cached.Assign(row(x).label);
         cached_anchor = x;
       }
-      (*results)[i] = cached.Divides(row(y).label) ? 1 : 0;
+      lane_labels[pending] = &row(y).label;
+      lane_slots[pending] = i;
+      if (++pending == simd::kRedcLanes) flush();
     }
+    flush();
   };
   const auto shards = BatchShards(pairs.size());
   if (shards.empty()) {
@@ -131,14 +151,31 @@ void LoadedCatalog::SelectDescendants(NodeId ancestor,
                  std::size_t begin, std::size_t end, std::vector<NodeId>* dst) {
     ReciprocalDivisor cached;
     cached.Assign(ancestor_label);
+    const BigInt* lane_labels[simd::kRedcLanes];
+    NodeId lane_nodes[simd::kRedcLanes];
+    bool lane_verdicts[simd::kRedcLanes];
+    std::size_t pending = 0;
+    auto flush = [&] {
+      if (pending == 0) return;
+      cached.DividesBatch(
+          std::span<const BigInt* const>(lane_labels, pending),
+          lane_verdicts);
+      for (std::size_t k = 0; k < pending; ++k) {
+        if (lane_verdicts[k]) dst->push_back(lane_nodes[k]);
+      }
+      pending = 0;
+    };
     for (std::size_t i = begin; i < end; ++i) {
       const NodeId candidate = candidates[i];
       if (candidate == ancestor || row(candidate).label == ancestor_label ||
           !FingerprintMayProperlyDivide(ancestor_fp, fingerprint(candidate))) {
         continue;
       }
-      if (cached.Divides(row(candidate).label)) dst->push_back(candidate);
+      lane_labels[pending] = &row(candidate).label;
+      lane_nodes[pending] = candidate;
+      if (++pending == simd::kRedcLanes) flush();
     }
+    flush();
   };
   const auto shards = BatchShards(candidates.size());
   if (shards.empty()) {
@@ -165,7 +202,20 @@ void LoadedCatalog::SelectAncestors(NodeId descendant,
   auto run = [this, descendant, candidates, &descendant_label,
               &descendant_fp](std::size_t begin, std::size_t end,
                               std::vector<NodeId>* dst) {
-    BigInt::DivScratch scratch;
+    const BigInt* lane_labels[simd::kRedcLanes];
+    NodeId lane_nodes[simd::kRedcLanes];
+    bool lane_verdicts[simd::kRedcLanes];
+    std::size_t pending = 0;
+    auto flush = [&] {
+      if (pending == 0) return;
+      DividesIntoBatch(descendant_label,
+                       std::span<const BigInt* const>(lane_labels, pending),
+                       lane_verdicts);
+      for (std::size_t k = 0; k < pending; ++k) {
+        if (lane_verdicts[k]) dst->push_back(lane_nodes[k]);
+      }
+      pending = 0;
+    };
     for (std::size_t i = begin; i < end; ++i) {
       const NodeId candidate = candidates[i];
       if (candidate == descendant ||
@@ -174,10 +224,11 @@ void LoadedCatalog::SelectAncestors(NodeId descendant,
                                         descendant_fp)) {
         continue;
       }
-      if (descendant_label.IsDivisibleBy(row(candidate).label, &scratch)) {
-        dst->push_back(candidate);
-      }
+      lane_labels[pending] = &row(candidate).label;
+      lane_nodes[pending] = candidate;
+      if (++pending == simd::kRedcLanes) flush();
     }
+    flush();
   };
   const auto shards = BatchShards(candidates.size());
   if (shards.empty()) {

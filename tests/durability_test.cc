@@ -1363,16 +1363,21 @@ TEST(EpochPinning, PinOnDeltaEpochReadsThroughChain) {
   ASSERT_TRUE(store->Checkpoint().ok());  // epoch 2
   EXPECT_EQ(StateDigest(snap->document()), pin_digest);
 
-  // The deprecated compat shim still re-materializes the snapshot's point
-  // from disk — through the (now superseded) delta chain the pin retains —
-  // bit-identically to the cached view. Kept one release for pre-Snapshot
-  // callers.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  Result<LabeledDocument> rebuilt = store->ReadPinned(snap->pin());
-#pragma GCC diagnostic pop
-  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
-  EXPECT_EQ(StateDigest(*rebuilt), pin_digest);
+  // The snapshot materialized through the (now superseded) delta chain —
+  // epoch 1's delta over epoch 0's full snapshot plus the committed
+  // journal prefix — and the pin keeps that whole chain on disk while the
+  // view lives.
+  EXPECT_TRUE(fs::exists(DurableDocumentStore::SnapshotPath(dir, 0)));
+  EXPECT_TRUE(fs::exists(DurableDocumentStore::DeltaPath(dir, 1)));
+  EXPECT_TRUE(fs::exists(DurableDocumentStore::JournalPath(dir, 1)));
+
+  // Dropping the snapshot retires what only the pin kept alive: epoch 1's
+  // journal. The epoch-1 delta (and epoch-0 base) stay — epoch 2's delta
+  // chains through them, so they are reachable from the live epoch.
+  snap.value() = Snapshot();
+  EXPECT_FALSE(fs::exists(DurableDocumentStore::JournalPath(dir, 1)));
+  EXPECT_TRUE(fs::exists(DurableDocumentStore::DeltaPath(dir, 1)));
+  EXPECT_TRUE(fs::exists(DurableDocumentStore::SnapshotPath(dir, 0)));
   RemoveTree(dir);
 }
 

@@ -40,7 +40,7 @@ using Limb = std::uint32_t;
 // Declared first in the file so it runs before anything can trigger the
 // lazy crossover measurement when the whole binary runs in one process
 // (under ctest each test is its own process anyway). The env override is
-// clamped to [3, 64].
+// clamped to [2, 32] (64-bit limbs).
 TEST(SimdKernels, BarrettMinLimbsHonorsEnvOverride) {
   setenv("PRIMELABEL_BARRETT_MIN_LIMBS", "5", /*overwrite=*/1);
   EXPECT_EQ(ReciprocalDivisor::BarrettMinLimbs(), 5u);
@@ -268,6 +268,78 @@ TEST(SimdKernels, ReferenceEngineMatchesOptimizedEngine) {
     ASSERT_EQ(opt_divides, ref_divides) << divisor << " | " << dividend;
     ASSERT_EQ(opt_mod, ref_mod) << dividend << " mod " << divisor;
     ASSERT_EQ(opt_divides, dividend.IsDivisibleBy(divisor));
+  }
+}
+
+TEST(SimdKernels, DividesBatchMatchesScalarDivides) {
+  // Batches of 1..4 dividends against one cached divisor, under vector
+  // and pinned-scalar dispatch, vs per-dividend Divides: all four answers
+  // must agree bit-for-bit. EnginePairs supplies mixed widths, so batches
+  // mix REDC-lane survivors with fingerprint-free screen outs (shorter
+  // dividends, trailing-zero mismatches, zero).
+  const auto pairs = EnginePairs();
+  ReciprocalDivisor rd;
+  for (std::size_t start = 0; start + simd::kRedcLanes <= pairs.size();
+       start += simd::kRedcLanes) {
+    const BigInt& divisor = pairs[start].first;
+    rd.Assign(divisor);
+    for (std::size_t count = 1; count <= simd::kRedcLanes; ++count) {
+      const BigInt* batch[simd::kRedcLanes];
+      bool expected[simd::kRedcLanes];
+      for (std::size_t k = 0; k < count; ++k) {
+        batch[k] = &pairs[start + k].second;
+        expected[k] = rd.Divides(*batch[k]);
+      }
+      bool vec_out[simd::kRedcLanes];
+      rd.DividesBatch(std::span<const BigInt* const>(batch, count), vec_out);
+      bool scalar_out[simd::kRedcLanes];
+      simd::SetActiveIsa(simd::Isa::kScalar);
+      rd.DividesBatch(std::span<const BigInt* const>(batch, count),
+                      scalar_out);
+      simd::ResetActiveIsa();
+      for (std::size_t k = 0; k < count; ++k) {
+        ASSERT_EQ(vec_out[k], expected[k])
+            << "lane " << k << "/" << count << " divisor " << divisor;
+        ASSERT_EQ(scalar_out[k], expected[k])
+            << "lane " << k << "/" << count << " divisor " << divisor;
+        ASSERT_EQ(expected[k], batch[k]->IsDivisibleBy(divisor));
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, DividesIntoBatchMatchesIsDivisibleBy) {
+  // The SelectAncestors shape: one dividend, batches of 1..4 candidate
+  // divisors, vector vs pinned-scalar vs BigInt ground truth.
+  const auto pairs = EnginePairs();
+  for (std::size_t start = 0; start + simd::kRedcLanes <= pairs.size();
+       start += 7) {
+    // A dividend wide enough to make several candidates plausible: the
+    // product of two pool divisors.
+    const BigInt dividend = pairs[start].first * pairs[start + 1].first;
+    for (std::size_t count = 1; count <= simd::kRedcLanes; ++count) {
+      const BigInt* divisors[simd::kRedcLanes];
+      for (std::size_t k = 0; k < count; ++k) {
+        divisors[k] = &pairs[start + k].first;
+      }
+      bool vec_out[simd::kRedcLanes];
+      DividesIntoBatch(dividend,
+                       std::span<const BigInt* const>(divisors, count),
+                       vec_out);
+      bool scalar_out[simd::kRedcLanes];
+      simd::SetActiveIsa(simd::Isa::kScalar);
+      DividesIntoBatch(dividend,
+                       std::span<const BigInt* const>(divisors, count),
+                       scalar_out);
+      simd::ResetActiveIsa();
+      for (std::size_t k = 0; k < count; ++k) {
+        const bool truth = dividend.IsDivisibleBy(*divisors[k]);
+        ASSERT_EQ(vec_out[k], truth)
+            << *divisors[k] << " into " << dividend;
+        ASSERT_EQ(scalar_out[k], truth)
+            << *divisors[k] << " into " << dividend;
+      }
+    }
   }
 }
 
