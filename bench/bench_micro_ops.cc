@@ -5,7 +5,9 @@
 #include <cstdint>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
+#include <iterator>
 #include <memory>
 #include <random>
 #include <string>
@@ -434,26 +436,27 @@ BENCHMARK_CAPTURE(BM_ChunkResidues, dispatched, true)
 BENCHMARK_CAPTURE(BM_ChunkResidues, portable, false)
     ->Arg(4)->Arg(64)->Arg(1024);
 
-/// Catalog load, v2 file vs v3 file, same rows. v2 recomputes every row's
-/// divisibility fingerprint on load; v3 reads them off disk (after one
-/// config-hash check), so the ratio is the measured win of the format
-/// bump. Both files are written once from a mid-sized generated play.
-void BM_CatalogLoadV2VsV3(benchmark::State& state, int version) {
-  struct Fixture {
-    std::string v2_path;
-    std::string v3_path;
-    std::size_t rows = 0;
-  };
-  static const Fixture* fixture = [] {
-    // Rows come from the shared deep-chain Shakespeare fixture: its chain
-    // labels reach ~130 limbs, which is where the v2 per-row fingerprint
-    // recompute actually costs something.
-    auto* f = new Fixture;
+/// Catalog files in every on-disk format, written once from the shared
+/// deep-chain Shakespeare fixture: its chain labels reach ~130 limbs,
+/// which is where per-row fingerprint recompute (v2), CRT re-derivation
+/// (v2/v3) and per-label heap materialization actually cost something.
+/// `row_of` maps the fixture's tree NodeIds to preorder row indices — the
+/// id vocabulary a LoadedCatalog answers in.
+struct CatalogBenchFiles {
+  std::string path[5];  ///< indexed by format version (2, 3, 4)
+  std::size_t rows = 0;
+  std::unordered_map<NodeId, NodeId> row_of;
+};
+
+const CatalogBenchFiles& CatalogFiles() {
+  static const CatalogBenchFiles* fixture = [] {
+    auto* f = new CatalogBenchFiles;
     const BatchFixture& b = ShakespeareBatch();
     std::vector<NodeId> preorder = b.tree.PreorderNodes();
     std::unordered_map<NodeId, std::int64_t> row_of;
     for (std::size_t i = 0; i < preorder.size(); ++i) {
       row_of[preorder[i]] = static_cast<std::int64_t>(i);
+      f->row_of[preorder[i]] = static_cast<NodeId>(i);
     }
     std::vector<CatalogRow> rows(preorder.size());
     for (std::size_t i = 0; i < preorder.size(); ++i) {
@@ -471,26 +474,99 @@ void BM_CatalogLoadV2VsV3(benchmark::State& state, int version) {
     f->rows = rows.size();
     std::string base =
         (std::filesystem::temp_directory_path() / "plbench-catalog").string();
-    f->v3_path = base + "-v3.plc";
-    f->v2_path = base + "-v2.plc";
-    CatalogWriteOptions v2;
-    v2.format_version = 2;
-    if (!WriteCatalog(DefaultVfs(), f->v3_path, rows, b.scheme.sc_table()).ok() ||
-        !WriteCatalog(DefaultVfs(), f->v2_path, rows, b.scheme.sc_table(), v2).ok()) {
-      std::abort();
+    for (int version : {2, 3, 4}) {
+      f->path[version] = base + "-v" + std::to_string(version) + ".plc";
+      CatalogWriteOptions options;
+      options.format_version = version;
+      if (!WriteCatalog(DefaultVfs(), f->path[version], rows,
+                        b.scheme.sc_table(), options)
+               .ok()) {
+        std::abort();
+      }
     }
     return f;
   }();
-  const std::string& path = version == 2 ? fixture->v2_path : fixture->v3_path;
+  return *fixture;
+}
+
+/// Catalog load, v2 file vs v3 file, same rows. v2 recomputes every row's
+/// divisibility fingerprint on load; v3 reads them off disk (after one
+/// config-hash check), so the ratio is the measured win of that format
+/// bump.
+void BM_CatalogLoadV2VsV3(benchmark::State& state, int version) {
+  const CatalogBenchFiles& fixture = CatalogFiles();
   for (auto _ : state) {
-    Result<LoadedCatalog> loaded = LoadCatalog(DefaultVfs(), path);
+    Result<LoadedCatalog> loaded =
+        LoadCatalog(DefaultVfs(), fixture.path[version]);
     benchmark::DoNotOptimize(loaded.ok());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(fixture->rows));
+                          static_cast<std::int64_t>(fixture.rows));
 }
 BENCHMARK_CAPTURE(BM_CatalogLoadV2VsV3, v2_recompute, 2);
 BENCHMARK_CAPTURE(BM_CatalogLoadV2VsV3, v3_persisted, 3);
+
+/// Catalog open, v3 heap load vs v4 — both the heap load (decode every
+/// row into BigInts, rebuild the SC table through its per-record CRT
+/// solve) and the arena open (digest-verify the image, pun the columns in
+/// place, zero BigInts). The v3→v4_arena ratio is the headline load-time
+/// win of the format; the label_store_bytes counter next to it is the
+/// resident-memory side of the same story (arena bytes are the shared
+/// image columns; heap bytes are per-view BigInt allocations).
+void BM_CatalogLoadV3VsV4(benchmark::State& state, int version, bool arena) {
+  const CatalogBenchFiles& fixture = CatalogFiles();
+  std::size_t label_bytes = 0;
+  for (auto _ : state) {
+    Result<LoadedCatalog> loaded =
+        arena ? OpenCatalogMapped(DefaultVfs(), fixture.path[version])
+              : LoadCatalog(DefaultVfs(), fixture.path[version]);
+    if (!loaded.ok()) {
+      state.SkipWithError(loaded.status().ToString().c_str());
+      break;
+    }
+    label_bytes = loaded->label_store_bytes();
+    benchmark::DoNotOptimize(label_bytes);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(fixture.rows));
+  state.counters["label_store_bytes"] =
+      static_cast<double>(label_bytes);
+}
+BENCHMARK_CAPTURE(BM_CatalogLoadV3VsV4, v3_heap, 3, false);
+BENCHMARK_CAPTURE(BM_CatalogLoadV3VsV4, v4_heap, 4, false);
+BENCHMARK_CAPTURE(BM_CatalogLoadV3VsV4, v4_arena, 4, true);
+
+/// The batched-ancestry engine running over an arena-backed catalog: the
+/// same pair workload as BM_IsAncestorBatch (tree ids mapped to preorder
+/// rows), but every label read is a span into the mmapped v4 image —
+/// packed contiguous limbs, no BigInt indirection. The ratio to
+/// BM_IsAncestorBatch is the locality win (or cost) of the columnar
+/// layout on the hot read path; results are bit-identical.
+void BM_IsAncestorBatchArena(benchmark::State& state) {
+  static const LoadedCatalog* catalog = [] {
+    Result<LoadedCatalog> opened =
+        OpenCatalogMapped(DefaultVfs(), CatalogFiles().path[4]);
+    if (!opened.ok() || !opened->arena_backed()) std::abort();
+    return new LoadedCatalog(std::move(opened.value()));
+  }();
+  static const std::vector<std::pair<NodeId, NodeId>>* pairs = [] {
+    const CatalogBenchFiles& f = CatalogFiles();
+    auto* mapped = new std::vector<std::pair<NodeId, NodeId>>;
+    for (const auto& [a, d] : ShakespeareBatch().pairs) {
+      mapped->emplace_back(f.row_of.at(a), f.row_of.at(d));
+    }
+    return mapped;
+  }();
+  std::vector<std::uint8_t> results;
+  for (auto _ : state) {
+    results.clear();
+    catalog->IsAncestorBatch(*pairs, &results);
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(pairs->size()));
+}
+BENCHMARK(BM_IsAncestorBatchArena);
 
 void BM_BigIntDivisibility(benchmark::State& state) {
   // The exact shape of the scheme's hot path: ~100-bit label mod ~40-bit
@@ -602,6 +678,32 @@ BENCHMARK_CAPTURE(BM_CheckpointFullVsDelta, full, false)
     ->Iterations(20);
 
 }  // namespace
+
+namespace bench_main {
+
+/// Splices "peak_rss_kb" into the context block of an already-written
+/// google-benchmark JSON. The framework streams the context at run START,
+/// but the high-water mark worth tracking is the one AFTER the fixtures
+/// and benchmarks ran — so the emitter can't provide it and we patch it
+/// in post-hoc. Best-effort: a file we can't parse is left untouched.
+void PatchPeakRssContext(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return;
+  std::string json((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  const std::string anchor = "\"context\": {";
+  const std::size_t at = json.find(anchor);
+  if (at == std::string::npos) return;
+  const std::string insert = "\n    \"peak_rss_kb\": " +
+                             std::to_string(primelabel::bench::PeakRssKb()) +
+                             ",";
+  json.insert(at + anchor.size(), insert);
+  std::ofstream out(path, std::ios::trunc);
+  out << json;
+}
+
+}  // namespace bench_main
 }  // namespace primelabel
 
 // Custom main instead of BENCHMARK_MAIN(): every run also writes the full
@@ -675,6 +777,16 @@ int main(int argc, char** argv) {
   benchmark::AddCustomContext("git_sha", primelabel::bench::BuildGitSha());
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  // The context block is streamed at run start; the peak-RSS high-water
+  // mark is only meaningful after the run, so patch it into the file now.
+  std::string out_path = "BENCH_micro_ops.json";
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (arg.starts_with("--benchmark_out=")) {
+      out_path = std::string(arg.substr(std::string_view("--benchmark_out=").size()));
+    }
+  }
+  primelabel::bench_main::PatchPeakRssContext(out_path);
   if (!has_out) {
     std::cout << "Machine-readable results: BENCH_micro_ops.json\n";
   }

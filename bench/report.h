@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
@@ -26,6 +27,23 @@ namespace primelabel::bench {
 /// The short git SHA this binary was built from.
 inline const char* BuildGitSha() { return PRIMELABEL_GIT_SHA; }
 
+/// Peak resident set size of this process in kilobytes (VmHWM from
+/// /proc/self/status), or 0 where that file does not exist. Read at
+/// JSON-emission time — i.e. after the benchmarks ran — so it is the true
+/// high-water mark of the run, which is what makes memory wins (arena
+/// views vs per-view BigInt heaps) trackable next to the throughput
+/// numbers.
+inline long PeakRssKb() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      return std::strtol(line.c_str() + 6, nullptr, 10);
+    }
+  }
+  return 0;
+}
+
 /// Dispatch metadata as a JSON object: which limb-kernel ISA the binary
 /// detected and is using, whether the vector kernels were compiled in, the
 /// Barrett crossover this machine measured, its thread budget, plus build
@@ -44,6 +62,7 @@ inline std::string DispatchMetadataJson() {
      << ", \"vector_min_limbs_64\": " << simd::VectorMinLimbs64()
      << ", \"redc_batch_min_limbs\": " << simd::RedcBatchMinLimbs()
      << ", \"hardware_threads\": " << std::thread::hardware_concurrency()
+     << ", \"peak_rss_kb\": " << PeakRssKb()
      << ", \"catalog_format_version\": " << kCatalogFormatVersion
      << ", \"git_sha\": \"" << BuildGitSha() << "\"}";
   return os.str();

@@ -51,7 +51,21 @@ std::vector<long> ParseIds(const std::string& reply) {
 
 int Smoke(SocketClient& client) {
   if (!RunOne(client, "PING", true)) return 1;
-  if (!RunOne(client, "SNAP", true)) return 1;
+
+  // SNAP replies "OK <epoch> <journal_bytes> <node_count>". A journal at
+  // exactly the 8-byte WAL header holds zero frames: the epoch is sealed
+  // and the server must serve it arena-backed (zero-copy mmap of the v4
+  // snapshot); any journal tail forces the materialized heap path.
+  Result<std::string> snap = client.Request("SNAP");
+  if (!snap.ok() || snap->rfind("OK", 0) != 0) return 1;
+  std::printf("%s\n", snap->c_str());
+  long epoch = 0, journal_bytes = -1;
+  {
+    std::istringstream in(*snap);
+    std::string ok;
+    in >> ok >> epoch >> journal_bytes;
+  }
+  const bool sealed = journal_bytes >= 0 && journal_bytes <= 8;
 
   // Gather real node ids to feed the batch verbs.
   Result<std::string> speeches = client.Request("XPATH //speech");
@@ -78,7 +92,34 @@ int Smoke(SocketClient& client) {
   if (!RunOne(client, anc.str(), true)) return 1;
 
   if (!RunOne(client, "XPATH //line[1]", true)) return 1;
-  if (!RunOne(client, "STATS", true)) return 1;
+
+  // STATS must report the open view's label-store residency: non-zero
+  // LABELBYTES and a storage mode consistent with what SNAP showed — a
+  // sealed epoch must come back "arena" (a "heap" answer there means the
+  // zero-copy path silently regressed), an unsealed one "heap".
+  Result<std::string> stats = client.Request("STATS");
+  if (!stats.ok()) return 1;
+  std::printf("%s\n", stats->c_str());
+  std::istringstream in(*stats);
+  std::string token, mode;
+  long label_bytes = -1;
+  while (in >> token) {
+    if (token == "LABELBYTES") in >> label_bytes;
+    if (token == "MODE") in >> mode;
+  }
+  if (label_bytes <= 0) {
+    std::fprintf(stderr, "smoke: STATS LABELBYTES missing or zero\n");
+    return 1;
+  }
+  const std::string expected_mode = sealed ? "arena" : "heap";
+  if (mode != expected_mode) {
+    std::fprintf(stderr,
+                 "smoke: STATS MODE is '%s', expected %s (epoch %ld, "
+                 "journal %ld bytes)\n",
+                 mode.c_str(), expected_mode.c_str(), epoch, journal_bytes);
+    return 1;
+  }
+
   if (!RunOne(client, "QUIT", true)) return 1;
   std::printf("smoke OK\n");
   return 0;

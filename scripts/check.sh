@@ -44,6 +44,11 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure -j "$jobs"
 
+echo "== catalog compat: v3 -> v4 oracle diff (build/) =="
+# Save as v3, convert to v4, open heap and mmap-arena, and diff-verify
+# that every oracle answer is bit-identical across formats and modes.
+build/examples/catalog_compat
+
 if [[ "$run_durability" == "1" ]]; then
   echo "== durability: fault-injection suite + crash-recovery soak =="
   ctest --test-dir build --output-on-failure -R Durability
@@ -63,8 +68,20 @@ if [[ "$run_service" == "1" ]]; then
   svc_store="$svc_dir/store"
   svc_sock="$svc_dir/query.sock"
   build/examples/query_server init "$svc_store"
-  # Serve with a background writer committing and checkpointing while
-  # clients read pinned snapshots.
+  # First: a quiescent server (no writer). Epoch 0 of a fresh store is
+  # sealed — full v4 snapshot, empty journal — so the smoke battery's
+  # STATS check must see the arena-backed (zero-copy mmap) view here.
+  build/examples/query_server serve "$svc_store" "$svc_sock" 0 &
+  svc_pid=$!
+  for _ in $(seq 1 100); do [[ -S "$svc_sock" ]] && break; sleep 0.1; done
+  [[ -S "$svc_sock" ]] || { echo "query_server never bound $svc_sock" >&2; exit 1; }
+  build/examples/query_client "$svc_sock" --smoke
+  kill "$svc_pid" 2>/dev/null || true
+  wait "$svc_pid" 2>/dev/null || true
+  rm -f "$svc_sock"
+  # Then: a background writer committing and checkpointing while clients
+  # read pinned snapshots (the smoke's STATS check now expects the heap
+  # view, since snapshots pin a journal tail).
   build/examples/query_server serve "$svc_store" "$svc_sock" 200 2 &
   svc_pid=$!
   for _ in $(seq 1 100); do [[ -S "$svc_sock" ]] && break; sleep 0.1; done
@@ -84,6 +101,16 @@ if [[ "$run_service" == "1" ]]; then
   rm -rf "$svc_dir"
   echo "== service: bench_service -> BENCH_query_service.json =="
   (cd build/bench && ./bench_service)
+  python3 scripts/check_bench_json.py --schema build/bench/BENCH_query_service.json
+  # Throughput gate against the committed baseline, per report row. The
+  # tolerance is deliberately loose: a few hundred requests through a
+  # Unix socket on a shared machine jitter far more than the pinned
+  # microbenchmark medians, and this gate exists to catch collapses
+  # (a lost cache, an accidental materialization per request), not
+  # single-digit noise.
+  python3 scripts/check_bench_json.py --regress \
+    build/bench/BENCH_query_service.json BENCH_query_service.json \
+    --tolerance 40
 fi
 
 if [[ "$run_bench" == "1" ]]; then
@@ -107,6 +134,8 @@ if [[ "$run_scalar" == "1" ]]; then
   cmake -B build-scalar -S . -DPRIMELABEL_DISABLE_SIMD=ON >/dev/null
   cmake --build build-scalar -j "$jobs"
   ctest --test-dir build-scalar --output-on-failure -j "$jobs"
+  echo "== catalog compat: v3 -> v4 oracle diff (build-scalar/) =="
+  build-scalar/examples/catalog_compat
 fi
 
 if [[ "$run_tsan" == "1" ]]; then

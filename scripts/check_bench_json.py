@@ -16,10 +16,16 @@ Usage:
       Validate every FILE against whichever shape it declares. Fails on
       missing dispatch/context keys or empty result sections.
   check_bench_json.py --regress CURRENT BASELINE [--benchmark NAME]
-                      [--tolerance PCT]
-      Compare one benchmark (default BM_IsAncestorBatch) between two
-      google-benchmark files; fail when CURRENT's items_per_second falls
-      more than PCT (default 10) below BASELINE's.
+                      [--tolerance PCT] [--metric NAME]
+      Compare CURRENT against BASELINE. For google-benchmark files, one
+      benchmark (default BM_IsAncestorBatch) is compared and CURRENT's
+      items_per_second must not fall more than PCT (default 10) below
+      BASELINE's. For report.h files (e.g. BENCH_query_service.json),
+      every row of every report is matched by (title, first column) and
+      the --metric column (default "throughput qps") must not fall more
+      than PCT below the baseline — use a generous tolerance there:
+      end-to-end service throughput on a shared machine is far noisier
+      than the pinned microbenchmark medians.
 """
 
 import argparse
@@ -40,6 +46,10 @@ DISPATCH_KEYS = [
     "vector_min_limbs_64",
     "redc_batch_min_limbs",
     "hardware_threads",
+    # Peak resident set size (VmHWM, kB) of the emitting run: report.h
+    # reads it at JSON-write time, bench_micro_ops patches it in after the
+    # run. The memory counterpart of the throughput numbers.
+    "peak_rss_kb",
 ]
 
 
@@ -128,6 +138,55 @@ def check_regress(current, baseline, name, tolerance):
         )
 
 
+def report_rows(path, metric):
+    """{(report title, first cell): metric value} for a report.h file."""
+    data = load(path)
+    rows = {}
+    for report in data.get("reports", []):
+        headers = report.get("headers", [])
+        if metric not in headers:
+            fail(f"{path}: report {report.get('title')!r} has no "
+                 f"{metric!r} column (headers: {headers})")
+        col = headers.index(metric)
+        for row in report.get("rows", []):
+            try:
+                rows[(report.get("title"), row[0])] = float(row[col])
+            except (ValueError, IndexError):
+                fail(f"{path}: non-numeric {metric!r} cell in row {row}")
+    if not rows:
+        fail(f"{path}: no report rows to compare")
+    return rows
+
+
+def check_regress_reports(current, baseline, metric, tolerance):
+    """Row-by-row comparison of two report.h-shaped files."""
+    cur = report_rows(current, metric)
+    base = report_rows(baseline, metric)
+    worst = None
+    for key, base_value in sorted(base.items()):
+        if key not in cur:
+            fail(f"{current}: missing row {key} present in {baseline}")
+        cur_value = cur[key]
+        floor = base_value * (1.0 - tolerance / 100.0)
+        verdict = "ok" if cur_value >= floor else "REGRESSION"
+        title, first = key
+        print(
+            f"check_bench_json: {title!r} [{first}]: {metric} current "
+            f"{cur_value:.4g} vs baseline {base_value:.4g} "
+            f"(floor {floor:.4g}): {verdict}"
+        )
+        if cur_value < floor and (worst is None or cur_value / base_value <
+                                  worst[1] / worst[2]):
+            worst = (key, cur_value, base_value)
+    if worst is not None:
+        key, cur_value, base_value = worst
+        fail(
+            f"{current}: {metric} of {key} regressed "
+            f"{100.0 * (1.0 - cur_value / base_value):.1f}% vs {baseline} "
+            f"(>{tolerance:.0f}% allowed)"
+        )
+
+
 def main():
     parser = argparse.ArgumentParser()
     mode = parser.add_mutually_exclusive_group(required=True)
@@ -135,6 +194,7 @@ def main():
     mode.add_argument("--regress", action="store_true")
     parser.add_argument("files", nargs="+")
     parser.add_argument("--benchmark", default="BM_IsAncestorBatch")
+    parser.add_argument("--metric", default="throughput qps")
     parser.add_argument("--tolerance", type=float, default=10.0)
     args = parser.parse_args()
     if args.schema:
@@ -143,8 +203,12 @@ def main():
     else:
         if len(args.files) != 2:
             fail("--regress takes exactly CURRENT and BASELINE")
-        check_regress(args.files[0], args.files[1], args.benchmark,
-                      args.tolerance)
+        current, baseline = args.files
+        if "reports" in load(current):
+            check_regress_reports(current, baseline, args.metric,
+                                  args.tolerance)
+        else:
+            check_regress(current, baseline, args.benchmark, args.tolerance)
 
 
 if __name__ == "__main__":

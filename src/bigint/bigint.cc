@@ -35,6 +35,15 @@ BigInt BigInt::FromUint64(std::uint64_t value) {
   return result;
 }
 
+BigInt BigInt::FromLimbs(std::span<const std::uint64_t> limbs) {
+  while (!limbs.empty() && limbs.back() == 0) {
+    limbs = limbs.subspan(0, limbs.size() - 1);
+  }
+  BigInt result;
+  result.limbs_.assign(limbs.begin(), limbs.end());
+  return result;
+}
+
 Result<BigInt> BigInt::FromDecimalString(std::string_view text) {
   if (text.empty()) {
     return Status::ParseError("empty string is not a number");

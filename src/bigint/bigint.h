@@ -49,6 +49,12 @@ class BigInt {
   /// Constructs from an unsigned 64-bit magnitude.
   static BigInt FromUint64(std::uint64_t value);
 
+  /// Constructs a nonnegative value from little-endian 64-bit limbs
+  /// (trailing zero limbs are stripped; an all-zero span is zero). The
+  /// mutation-edge bridge from zero-copy arena label views
+  /// (store/label_arena.h) back into owned BigInt arithmetic.
+  static BigInt FromLimbs(std::span<const std::uint64_t> limbs);
+
   /// Parses a base-10 string with optional leading '-'. Rejects empty input,
   /// stray characters and "-0" is normalized to 0.
   static Result<BigInt> FromDecimalString(std::string_view text);

@@ -356,6 +356,15 @@ std::uint64_t Reciprocal64::Mod128(std::uint64_t hi, std::uint64_t lo) const {
   return r >> shift_;
 }
 
+int TrailingZeroBitsOf(LimbSpan magnitude) {
+  for (std::size_t i = 0; i < magnitude.size(); ++i) {
+    if (magnitude[i] != 0) {
+      return static_cast<int>(i) * 64 + std::countr_zero(magnitude[i]);
+    }
+  }
+  return 0;
+}
+
 void ReciprocalDivisor::Assign(const BigInt& divisor) {
   auto mag = divisor.Magnitude();
   assert(!mag.empty() && "ReciprocalDivisor requires a nonzero divisor");
@@ -365,6 +374,28 @@ void ReciprocalDivisor::Assign(const BigInt& divisor) {
                                               : Strategy::kBarrett;
   }
   AssignWithStrategy(divisor, strategy);
+}
+
+void ReciprocalDivisor::Assign(LimbSpan divisor_magnitude) {
+  while (!divisor_magnitude.empty() && divisor_magnitude.back() == 0) {
+    divisor_magnitude = divisor_magnitude.first(divisor_magnitude.size() - 1);
+  }
+  assert(!divisor_magnitude.empty() &&
+         "ReciprocalDivisor requires a nonzero divisor");
+  if (divisor_magnitude.size() == 1) {
+    // Word divisors never touch divisor_big_: cache straight from the
+    // span, zero owned state.
+    limbs_ = 1;
+    strategy_ = Strategy::kWord;
+    divisor_word_ = divisor_magnitude[0];
+    word_shift_ = std::countl_zero(divisor_word_);
+    word_normalized_ = divisor_word_ << word_shift_;
+    word_reciprocal_ = recip::Reciprocal2by1(word_normalized_);
+    divisor_.clear();
+    mu_.clear();
+    return;
+  }
+  Assign(BigIntFromLimbs(divisor_magnitude));
 }
 
 void ReciprocalDivisor::AssignWithStrategy(const BigInt& divisor,
@@ -476,6 +507,77 @@ bool ReciprocalDivisor::Divides(const BigInt& dividend) {
   return ReduceLarge(mag);
 }
 
+bool ReciprocalDivisor::Divides(LimbSpan mag) {
+  assert(assigned());
+  if (mag.empty()) return true;  // zero dividend
+  if (strategy_ == Strategy::kWord) {
+    return ModSpans2by1(mag, word_normalized_, word_reciprocal_,
+                        word_shift_) == 0;
+  }
+  if (mag.size() < limbs_) return false;  // 0 < |dividend| < divisor
+  switch (engine_for_test_) {
+    case Engine::kCurrent:
+      return MontgomeryDivides(mag);
+    case Engine::kV1:
+      return ReduceLarge(mag);
+    case Engine::kPr2:
+      break;
+  }
+  if (strategy_ == Strategy::kKnuth) {
+    // The pinned predecessor engine's mid-size path wants BigInt
+    // operands; materializing here is fine — the legacy legs exist for
+    // A/B equivalence, not speed.
+    return BigIntFromLimbs(mag).IsDivisibleBy(divisor_big_, &div_scratch_);
+  }
+  return ReduceLarge(mag);
+}
+
+void ReciprocalDivisor::DividesBatch(std::span<const LimbSpan> dividends,
+                                     bool* out) {
+  assert(assigned());
+  assert(dividends.size() <= simd::kRedcLanes);
+  if (strategy_ == Strategy::kWord ||
+      engine_for_test_ != Engine::kCurrent) {
+    for (std::size_t i = 0; i < dividends.size(); ++i) {
+      out[i] = Divides(dividends[i]);
+    }
+    return;
+  }
+  simd::RedcLane lanes[simd::kRedcLanes];
+  std::size_t origin[simd::kRedcLanes];
+  std::size_t count = 0;
+  const bool pow2_divisor =
+      odd_divisor64_.size() == 1 && odd_divisor64_[0] == 1;
+  for (std::size_t i = 0; i < dividends.size(); ++i) {
+    const LimbSpan mag = dividends[i];
+    if (mag.empty()) {
+      out[i] = true;
+      continue;
+    }
+    if (mag.size() < limbs_) {
+      out[i] = false;
+      continue;
+    }
+    if (!PowerOfTwoPartDivides(mag)) {
+      out[i] = false;
+      continue;
+    }
+    if (pow2_divisor) {
+      out[i] = true;
+      continue;
+    }
+    lanes[count] = {mag, odd_divisor64_, mont_inv64_};
+    origin[count] = i;
+    ++count;
+  }
+  if (count == 0) return;
+  const unsigned verdict = simd::RedcDividesBatch(
+      std::span<const simd::RedcLane>(lanes, count));
+  for (std::size_t k = 0; k < count; ++k) {
+    out[origin[k]] = ((verdict >> k) & 1u) != 0;
+  }
+}
+
 void ReciprocalDivisor::DividesBatch(
     std::span<const BigInt* const> dividends, bool* out) {
   assert(assigned());
@@ -582,6 +684,66 @@ void DividesIntoBatch(const BigInt& dividend,
       // Word-sized odd part: one streamed 2-by-1 remainder beats a REDC
       // lane (odd[0] == 1 is the pure-power-of-two divisor, already
       // decided by the trailing-zeros screen above).
+      out[i] = recip::Mod2by1Spans(y, odd[0]) == 0;
+      continue;
+    }
+    lanes[count] = {y, odd, NegInverse64(odd[0])};
+    origin[count] = i;
+    ++count;
+  }
+  if (count == 0) return;
+  const unsigned verdict = simd::RedcDividesBatch(
+      std::span<const simd::RedcLane>(lanes, count));
+  for (std::size_t k = 0; k < count; ++k) {
+    out[origin[k]] = ((verdict >> k) & 1u) != 0;
+  }
+}
+
+void DividesIntoBatch(LimbSpan y, std::span<const LimbSpan> divisors,
+                      bool* out) {
+  assert(divisors.size() <= simd::kRedcLanes);
+  if (y.empty()) {
+    for (std::size_t i = 0; i < divisors.size(); ++i) out[i] = true;
+    return;
+  }
+  const int ytz = TrailingZeroBitsOf(y);
+  simd::RedcLane lanes[simd::kRedcLanes];
+  std::size_t origin[simd::kRedcLanes];
+  // Shifted odd parts must outlive the batched sweep; odd divisors (the
+  // common case — labels are mostly odd prime products) borrow the
+  // divisor's own span instead and never allocate.
+  std::array<std::vector<std::uint64_t>, simd::kRedcLanes> odd_storage;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < divisors.size(); ++i) {
+    LimbSpan xmag = divisors[i];
+    assert(!xmag.empty() && "DividesIntoBatch requires nonzero divisors");
+    if (xmag.size() > y.size()) {
+      out[i] = false;  // 0 < |dividend| < |divisor|
+      continue;
+    }
+    const int xtz = TrailingZeroBitsOf(xmag);
+    if (xtz > ytz) {
+      out[i] = false;  // the divisor's power-of-two factor is a witness
+      continue;
+    }
+    std::span<const std::uint64_t> odd = xmag;
+    if (xtz != 0) {
+      // odd = x >> xtz, limb by limb with a window shift.
+      const std::size_t zero_limbs = static_cast<std::size_t>(xtz) / 64;
+      const int bit_shift = xtz % 64;
+      std::vector<std::uint64_t>& store = odd_storage[i];
+      store.clear();
+      for (std::size_t j = zero_limbs; j < xmag.size(); ++j) {
+        std::uint64_t w = xmag[j] >> bit_shift;
+        if (bit_shift != 0 && j + 1 < xmag.size()) {
+          w |= xmag[j + 1] << (64 - bit_shift);
+        }
+        store.push_back(w);
+      }
+      while (store.size() > 1 && store.back() == 0) store.pop_back();
+      odd = store;
+    }
+    if (odd.size() == 1) {
       out[i] = recip::Mod2by1Spans(y, odd[0]) == 0;
       continue;
     }

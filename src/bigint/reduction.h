@@ -169,6 +169,17 @@ inline bool FingerprintMayProperlyDivide(const LabelFingerprint& divisor,
 
 // --- Layer 2: reciprocal-cached reduction ----------------------------------
 
+/// Non-owning magnitude: little-endian 64-bit limbs, minimal (no trailing
+/// zero limbs), empty for zero — exactly BigInt::Magnitude()'s shape. The
+/// zero-copy currency between the arena label store (store/label_arena.h)
+/// and the reduction kernels: arena-backed catalogs hand these straight
+/// from the mapped file, never materializing a BigInt on the query path.
+using LimbSpan = std::span<const std::uint64_t>;
+
+/// Trailing zero bits of a magnitude span (0 for the empty/zero span) —
+/// the span twin of BigInt::TrailingZeroBits.
+int TrailingZeroBitsOf(LimbSpan magnitude);
+
 /// Word-sized divisor with a cached Möller–Granlund reciprocal: after
 /// construction, reducing an n-limb BigInt costs n/2 multiply-high steps
 /// instead of n hardware 128/64 divisions. Used wherever one 64-bit
@@ -230,6 +241,12 @@ class ReciprocalDivisor {
   /// cache at a new divisor (the anchor-run pattern of IsAncestorBatch).
   void Assign(const BigInt& divisor);
 
+  /// Span twin of Assign, for arena-backed anchors: word-sized divisors
+  /// cache straight from the span; multi-limb divisors still materialize
+  /// one owned copy (divisor_big_ feeds the Knuth fallback and the lazy
+  /// Barrett constants) — a per-anchor cost amortized over the run.
+  void Assign(LimbSpan divisor_magnitude);
+
   bool assigned() const { return limbs_ != 0; }
 
   /// True iff the cached divisor divides |dividend| exactly. Bit-identical
@@ -241,6 +258,10 @@ class ReciprocalDivisor {
   /// no quotient estimates, chunking, or correction steps.
   bool Divides(const BigInt& dividend);
 
+  /// Span twin of Divides — the arena query path. Bit-identical to
+  /// Divides(BigInt::FromLimbs(dividend_magnitude)).
+  bool Divides(LimbSpan dividend_magnitude);
+
   /// Batched Divides: out[k] = Divides(*dividends[k]) for up to
   /// simd::kRedcLanes dividends against the one cached divisor — the
   /// anchor-run surface of IsAncestorBatch/SelectDescendants, where a run
@@ -251,6 +272,11 @@ class ReciprocalDivisor {
   /// interleaves 4 dividends across vector lanes. Bit-identical to
   /// looping Divides.
   void DividesBatch(std::span<const BigInt* const> dividends, bool* out);
+
+  /// Span twin of DividesBatch: dividends arrive as magnitude spans (the
+  /// arena hands them out without materializing BigInts). Bit-identical
+  /// to the pointer overload on the same values.
+  void DividesBatch(std::span<const LimbSpan> dividends, bool* out);
 
   /// |dividend| mod divisor, as a BigInt — the equivalence-test surface
   /// (and the remainder consumers of the CRT layer). Always takes the
@@ -363,6 +389,13 @@ class ReciprocalDivisor {
 /// Bit-identical to a loop of exact scalar tests.
 void DividesIntoBatch(const BigInt& dividend,
                       std::span<const BigInt* const> divisors, bool* out);
+
+/// Span twin of DividesIntoBatch: one dividend magnitude against up to
+/// simd::kRedcLanes divisor magnitudes, all non-owning (the
+/// SelectAncestors shape on an arena-backed catalog). Divisors must be
+/// nonzero. Bit-identical to the pointer overload on the same values.
+void DividesIntoBatch(LimbSpan dividend, std::span<const LimbSpan> divisors,
+                      bool* out);
 
 // --- Layer 3: subproduct / remainder trees ---------------------------------
 

@@ -6,7 +6,6 @@
 
 #include "store/catalog.h"
 #include "util/binio.h"
-#include "xpath/evaluator.h"
 
 namespace primelabel {
 
@@ -484,21 +483,38 @@ Result<LabeledDocument> DurableDocumentStore::MaterializePinned(
   return doc;
 }
 
+Result<std::shared_ptr<const EpochView>> DurableDocumentStore::MaterializeView(
+    const EpochPin& pin) const {
+  // Sealed-epoch fast path: a full snapshot with zero journal frames is
+  // exactly the catalog image — serve it arena-backed, no materialization.
+  // Eligibility is structural (journal empty, a full .plc file exists);
+  // OpenCatalogMapped handles the format gate itself, falling back to a
+  // heap load for pre-v4 or stale-hash images, which the document path
+  // below covers anyway. A digest failure is NOT a fallback: the file is
+  // the current epoch's authoritative state, so corruption propagates.
+  if (options_.arena_sealed_views && pin.journal_bytes() <= kWalHeaderBytes &&
+      vfs_->Exists(EpochSnapshotPath(dir_, pin.epoch()))) {
+    Result<LoadedCatalog> catalog =
+        OpenCatalogMapped(*vfs_, EpochSnapshotPath(dir_, pin.epoch()));
+    if (!catalog.ok()) return catalog.status();
+    if (catalog->arena_backed()) {
+      return std::shared_ptr<const EpochView>(
+          std::make_shared<EpochView>(std::move(catalog.value())));
+    }
+  }
+  Result<LabeledDocument> doc = MaterializePinned(pin);
+  if (!doc.ok()) return doc.status();
+  return std::shared_ptr<const EpochView>(
+      std::make_shared<EpochView>(std::move(doc.value())));
+}
+
 Result<Snapshot> DurableDocumentStore::OpenSnapshot() const {
   EpochPin pin = PinEpoch();
-  // The materializer force-builds the label table before the view is
-  // shared: after this, everything reachable from the Snapshot is
+  // The materializer freezes all lazy state (label table) before the view
+  // is shared: after this, everything reachable from the Snapshot is
   // immutable, which is what makes concurrent Query race-free.
-  auto materialize =
-      [this, &pin]() -> Result<std::shared_ptr<const LabeledDocument>> {
-    Result<LabeledDocument> doc = MaterializePinned(pin);
-    if (!doc.ok()) return doc.status();
-    auto view =
-        std::make_shared<LabeledDocument>(std::move(doc.value()));
-    view->label_table();
-    return std::shared_ptr<const LabeledDocument>(std::move(view));
-  };
-  Result<std::shared_ptr<const LabeledDocument>> view =
+  auto materialize = [this, &pin]() { return MaterializeView(pin); };
+  Result<std::shared_ptr<const EpochView>> view =
       view_cache_ != nullptr
           ? view_cache_->GetOrMaterialize(pin.epoch(), pin.journal_bytes(),
                                           materialize)
@@ -512,8 +528,7 @@ Result<std::vector<NodeId>> Snapshot::Query(std::string_view xpath,
   if (!valid()) {
     return Status::InvalidArgument("cannot query an invalid snapshot");
   }
-  return EvaluateSnapshot(view_->label_table(), view_->scheme(), xpath,
-                          num_workers);
+  return view_->Query(xpath, num_workers);
 }
 
 }  // namespace primelabel

@@ -8,6 +8,7 @@
 #include <string_view>
 #include <vector>
 
+#include "corpus/epoch_view.h"
 #include "corpus/labeled_document.h"
 #include "durability/delta.h"
 #include "durability/epoch.h"
@@ -19,10 +20,16 @@
 namespace primelabel {
 
 /// A frozen, shareable read view of a durable store: the RAII EpochPin
-/// that keeps the pinned epoch's files alive, a materialized
-/// `LabeledDocument` view of exactly the pinned (epoch, committed journal
-/// bytes) point, and the label-only StructureOracle over it — the read
-/// surface the service layer exposes.
+/// that keeps the pinned epoch's files alive, an EpochView of exactly the
+/// pinned (epoch, committed journal bytes) point, and the label-only
+/// StructureOracle over it — the read surface the service layer exposes.
+///
+/// Sealed epochs — full v4 snapshot, no journal frames — are served
+/// arena-backed (corpus/epoch_view.h): the labels stay in the catalog
+/// image the store just wrote, mmapped and shared, with no per-view
+/// BigInt materialization. Epochs with journal frames on top (or older
+/// snapshot formats) materialize a LabeledDocument the classic way. Both
+/// shapes answer every query identically.
 ///
 /// The view is held by shared_ptr<const ...>: when several sessions pin
 /// the same point through a view cache they share ONE materialization
@@ -48,16 +55,28 @@ class Snapshot {
   /// prove cached views are bit-identical to a fresh rebuild).
   const EpochPin& pin() const { return pin_; }
 
-  /// The frozen document. Valid exactly as long as some snapshot (or the
-  /// view cache) shares it — callers may keep the shared_ptr from view()
-  /// beyond the snapshot's lifetime, though the pin's file-retention
-  /// guarantee ends with the snapshot.
-  const LabeledDocument& document() const { return *view_; }
-  std::shared_ptr<const LabeledDocument> view() const { return view_; }
+  /// The frozen document. Arena-backed views materialize it lazily on
+  /// first call (thread-safe, at most once); query paths never need it.
+  /// Valid exactly as long as some snapshot (or the view cache) shares
+  /// the view — callers may keep the shared_ptr from view() beyond the
+  /// snapshot's lifetime, though the pin's file-retention guarantee ends
+  /// with the snapshot.
+  const LabeledDocument& document() const { return view_->document(); }
+  std::shared_ptr<const EpochView> view() const { return view_; }
+
+  /// Rows in the frozen view (== the document's attached node count),
+  /// available without materializing anything.
+  std::size_t node_count() const { return view_->node_count(); }
+  /// True when this snapshot serves straight out of the catalog image.
+  bool arena_backed() const { return view_->arena_backed(); }
+  /// Resident label-store bytes behind this view (see EpochView).
+  std::size_t label_store_bytes() const {
+    return view_->label_store_bytes();
+  }
 
   /// The label-only structural oracle of the frozen view — ancestry,
   /// order, and the batched entry points, decidable with no tree locks.
-  const StructureOracle& oracle() const { return view_->scheme(); }
+  const StructureOracle& oracle() const { return view_->oracle(); }
 
   /// Evaluates an XPath against the frozen view. Concurrency-safe across
   /// sessions sharing the view (per-call QueryContext; the label table
@@ -68,11 +87,11 @@ class Snapshot {
 
  private:
   friend class DurableDocumentStore;
-  Snapshot(EpochPin pin, std::shared_ptr<const LabeledDocument> view)
+  Snapshot(EpochPin pin, std::shared_ptr<const EpochView> view)
       : pin_(std::move(pin)), view_(std::move(view)) {}
 
   EpochPin pin_;
-  std::shared_ptr<const LabeledDocument> view_;
+  std::shared_ptr<const EpochView> view_;
 };
 
 /// Materialized-view cache seam for OpenSnapshot. The store stays cache
@@ -87,12 +106,12 @@ class SnapshotViewCache {
   virtual ~SnapshotViewCache() = default;
 
   using Materializer =
-      std::function<Result<std::shared_ptr<const LabeledDocument>>()>;
+      std::function<Result<std::shared_ptr<const EpochView>>()>;
 
   /// Returns the cached view for (epoch, journal_bytes), or runs
   /// `materialize` (once, even under concurrent misses of the same key)
   /// and caches the result. Failures are not cached.
-  virtual Result<std::shared_ptr<const LabeledDocument>> GetOrMaterialize(
+  virtual Result<std::shared_ptr<const EpochView>> GetOrMaterialize(
       std::uint64_t epoch, std::uint64_t journal_bytes,
       const Materializer& materialize) = 0;
 };
@@ -107,7 +126,7 @@ class SnapshotViewCache {
 /// an atomic rename, so a crash at any instant leaves a consistent state):
 ///
 ///   MANIFEST              "PLMANIF1" + u64 epoch (little-endian)
-///   snapshot-<epoch>.plc  catalog format v3 (store/catalog.h), OR
+///   snapshot-<epoch>.plc  catalog snapshot (store/catalog.h), OR
 ///   delta-<epoch>.pld     delta against a base epoch (durability/delta.h)
 ///   journal-<epoch>.wal   write-ahead journal (durability/wal.h)
 ///
@@ -155,6 +174,13 @@ class DurableDocumentStore {
     /// A delta is only worth it while (patches + tombstones) / final rows
     /// stays at or below this fraction; above it, write a full snapshot.
     double delta_max_changed_fraction = 0.5;
+    /// When true, OpenSnapshot serves *sealed* epochs — full v4 snapshot
+    /// on disk, zero journal frames — as arena-backed views straight out
+    /// of the mmapped catalog image instead of materializing a document.
+    /// Purely a storage-mode switch: query answers are bit-identical.
+    /// Epochs with journal frames, delta epochs, and pre-v4 snapshots
+    /// always materialize. Corrupt images fail the open either way.
+    bool arena_sealed_views = true;
   };
 
   /// Initializes a new store at `dir` (created if missing) from parsed
@@ -220,7 +246,7 @@ class DurableDocumentStore {
 
   /// Compacts: writes the current state under the next epoch — as a delta
   /// against this epoch when enabled and the change set is small, else as
-  /// a full catalog-v3 snapshot — starts an empty journal, atomically
+  /// a full catalog snapshot — starts an empty journal, atomically
   /// swings the MANIFEST, and retires whatever no pin still needs. After
   /// a checkpoint, recovery replays nothing.
   Status Checkpoint();
@@ -302,8 +328,14 @@ class DurableDocumentStore {
 
   /// Rebuilds the exact document state a pin captured: the epoch's
   /// snapshot/delta chain plus the committed journal prefix — the
-  /// materialization body of OpenSnapshot.
+  /// heap-mode materialization body of OpenSnapshot.
   Result<LabeledDocument> MaterializePinned(const EpochPin& pin) const;
+
+  /// Builds the shared view for a pinned point: an arena-backed view over
+  /// the epoch's catalog image when the epoch is sealed and eligible
+  /// (see Options::arena_sealed_views), else a materialized document.
+  Result<std::shared_ptr<const EpochView>> MaterializeView(
+      const EpochPin& pin) const;
 
   /// Rebuilds the base diff index from the rows/SC state the current
   /// epoch's files hold (pre-replay at Open, post-checkpoint state at

@@ -1,26 +1,8 @@
 #include "durability/frame.h"
 
-#include <array>
-
 namespace primelabel {
 
 namespace {
-
-/// CRC-32 lookup table, built once (reflected 0xEDB88320 polynomial).
-const std::array<std::uint32_t, 256>& Crc32Table() {
-  static const std::array<std::uint32_t, 256> table = [] {
-    std::array<std::uint32_t, 256> t{};
-    for (std::uint32_t i = 0; i < 256; ++i) {
-      std::uint32_t c = i;
-      for (int k = 0; k < 8; ++k) {
-        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-      }
-      t[i] = c;
-    }
-    return t;
-  }();
-  return table;
-}
 
 /// Byte-buffer serializer matching the catalog's little-endian idiom.
 void PutU8(std::uint8_t v, std::vector<std::uint8_t>* out) {
@@ -103,15 +85,6 @@ class ByteReader {
 constexpr std::uint32_t kMaxPayloadBytes = 1u << 20;
 
 }  // namespace
-
-std::uint32_t Crc32(std::span<const std::uint8_t> bytes) {
-  const auto& table = Crc32Table();
-  std::uint32_t crc = 0xFFFFFFFFu;
-  for (std::uint8_t b : bytes) {
-    crc = table[(crc ^ b) & 0xFF] ^ (crc >> 8);
-  }
-  return crc ^ 0xFFFFFFFFu;
-}
 
 std::vector<std::uint8_t> EncodeRecord(const WalRecord& record) {
   std::vector<std::uint8_t> out;

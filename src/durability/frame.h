@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "durability/crc32.h"
 #include "labeling/scheme.h"
 #include "util/status.h"
 
@@ -30,9 +31,6 @@ namespace primelabel {
 // including the replacement self-labels an SC rewrite hands out, which
 // keeps frames small: a handful of words instead of multi-limb label
 // images.
-
-/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of `bytes`.
-std::uint32_t Crc32(std::span<const std::uint8_t> bytes);
 
 /// One journal record.
 struct WalRecord {

@@ -9,6 +9,9 @@
 #ifdef _WIN32
 #include <io.h>
 #else
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
 #include <unistd.h>
 #endif
 
@@ -103,6 +106,38 @@ class PosixWritableFile : public WritableFile {
   std::uint64_t size_;
 };
 
+/// A heap copy pretending to be a mapping: the Vfs base-class fallback.
+class HeapMappedRegion : public MappedRegion {
+ public:
+  explicit HeapMappedRegion(std::vector<std::uint8_t> bytes)
+      : bytes_(std::move(bytes)) {}
+  std::span<const std::uint8_t> bytes() const override { return bytes_; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+#ifndef _WIN32
+/// A real mmap(2) region. Holds no file descriptor — the mapping keeps the
+/// underlying inode alive on its own, so the file may be unlinked (epoch
+/// retirement) while the region is in use.
+class PosixMappedRegion : public MappedRegion {
+ public:
+  PosixMappedRegion(void* addr, std::size_t length)
+      : addr_(addr), length_(length) {}
+  ~PosixMappedRegion() override {
+    if (addr_ != nullptr && length_ > 0) ::munmap(addr_, length_);
+  }
+  std::span<const std::uint8_t> bytes() const override {
+    return {static_cast<const std::uint8_t*>(addr_), length_};
+  }
+
+ private:
+  void* addr_;
+  std::size_t length_;
+};
+#endif
+
 class PosixVfs : public Vfs {
  public:
   Result<std::unique_ptr<WritableFile>> OpenAppend(
@@ -140,6 +175,30 @@ class PosixVfs : public Vfs {
     if (ec) return ErrnoStatus(ec.value(), "stat", path);
     return static_cast<std::uint64_t>(size);
   }
+
+#ifndef _WIN32
+  Result<std::unique_ptr<MappedRegion>> MapReadOnly(
+      const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return ErrnoStatus(errno, "map-open", path);
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+      const int err = errno;
+      ::close(fd);
+      return ErrnoStatus(err, "map-stat", path);
+    }
+    const std::size_t length = static_cast<std::size_t>(st.st_size);
+    if (length == 0) {
+      ::close(fd);
+      return std::unique_ptr<MappedRegion>(new HeapMappedRegion({}));
+    }
+    void* addr = ::mmap(nullptr, length, PROT_READ, MAP_PRIVATE, fd, 0);
+    // The mapping pins the inode; the descriptor is no longer needed.
+    ::close(fd);
+    if (addr == MAP_FAILED) return ErrnoStatus(errno, "mmap", path);
+    return std::unique_ptr<MappedRegion>(new PosixMappedRegion(addr, length));
+  }
+#endif
 
   Status Truncate(const std::string& path, std::uint64_t length) override {
     return TruncateAt(path, length);
@@ -199,6 +258,14 @@ class PosixVfs : public Vfs {
 };
 
 }  // namespace
+
+Result<std::unique_ptr<MappedRegion>> Vfs::MapReadOnly(
+    const std::string& path) {
+  Result<std::vector<std::uint8_t>> bytes = ReadAll(path);
+  if (!bytes.ok()) return bytes.status();
+  return std::unique_ptr<MappedRegion>(
+      new HeapMappedRegion(std::move(bytes.value())));
+}
 
 Status Vfs::WriteWhole(const std::string& path,
                        std::span<const std::uint8_t> bytes, bool sync) {

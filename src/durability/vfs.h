@@ -28,6 +28,19 @@ class WritableFile {
   virtual std::uint64_t size() const = 0;
 };
 
+/// A read-only byte range backed by an open file mapping (or a heap copy
+/// on Vfs implementations without real mmap). The bytes stay valid and
+/// immutable for the region's lifetime — on POSIX a mapping survives
+/// unlink of its file, so epoch retirement cannot invalidate a live
+/// region; snapshot files are written once via temp+rename and never
+/// truncated in place, so the mapping can never shrink under a reader
+/// (which would turn loads into SIGBUS).
+class MappedRegion {
+ public:
+  virtual ~MappedRegion() = default;
+  virtual std::span<const std::uint8_t> bytes() const = 0;
+};
+
 /// Virtual filesystem seam. Everything the durability subsystem does to
 /// disk — journal appends, snapshot/delta writes, MANIFEST swings, epoch
 /// retirement — goes through one of these, which is what makes the fault
@@ -61,6 +74,13 @@ class Vfs {
   virtual Result<std::vector<std::string>> List(const std::string& dir) = 0;
   virtual bool Exists(const std::string& path) = 0;
   virtual Status CreateDirs(const std::string& path) = 0;
+
+  /// Maps the whole file read-only. The base implementation is a heap
+  /// copy via ReadAll — correct everywhere, zero-copy nowhere — which is
+  /// also what FaultInjectingVfs inherits, so mapping honors injected
+  /// faults and the crash flag. PosixVfs overrides with real mmap.
+  virtual Result<std::unique_ptr<MappedRegion>> MapReadOnly(
+      const std::string& path);
 
   /// Convenience: OpenTrunc + one Append + Sync. Not atomic — callers that
   /// need atomicity write to a temp name and Rename.

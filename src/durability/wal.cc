@@ -9,6 +9,7 @@ namespace primelabel {
 namespace {
 
 constexpr char kWalMagic[8] = {'P', 'L', 'W', 'A', 'L', 'O', 'G', '1'};
+static_assert(sizeof(kWalMagic) == kWalHeaderBytes);
 
 std::span<const std::uint8_t> MagicSpan() {
   return std::span<const std::uint8_t>(

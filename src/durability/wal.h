@@ -43,6 +43,11 @@ struct WalOptions {
   RetryPolicy retry;
 };
 
+/// Length of the journal file header (the magic alone). A journal whose
+/// committed length equals this holds zero frames — what the durable
+/// store checks to decide a pinned epoch is sealed.
+inline constexpr std::uint64_t kWalHeaderBytes = 8;
+
 /// Append-only write-ahead journal of checksummed frames.
 ///
 /// File layout: an 8-byte magic ("PLWALOG1") followed by frames

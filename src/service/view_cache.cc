@@ -2,7 +2,7 @@
 
 namespace primelabel {
 
-Result<std::shared_ptr<const LabeledDocument>>
+Result<std::shared_ptr<const EpochView>>
 EpochViewCache::GetOrMaterialize(std::uint64_t epoch,
                                  std::uint64_t journal_bytes,
                                  const Materializer& materialize) {
@@ -36,7 +36,7 @@ EpochViewCache::GetOrMaterialize(std::uint64_t epoch,
 
   // Builder path: recovery runs outside the lock so hits on other keys
   // (and other builds) proceed concurrently.
-  Result<std::shared_ptr<const LabeledDocument>> built = materialize();
+  Result<std::shared_ptr<const EpochView>> built = materialize();
 
   std::unique_lock<std::mutex> lock(mu_);
   auto it = entries_.find(key);

@@ -17,8 +17,8 @@ namespace primelabel {
 /// journal bytes) — the point an EpochPin captures. This is what turns
 /// materialize-per-call (a full recovery per read) into one shared
 /// materialization per pinned point: concurrent sessions opening
-/// snapshots at the same point get the same shared_ptr<const
-/// LabeledDocument>.
+/// snapshots at the same point get the same shared_ptr<const EpochView>
+/// — one arena mapping or one materialized document, never N.
 ///
 /// Concurrency: a miss marks the key in-flight and runs the materializer
 /// OUTSIDE the cache lock; other sessions missing the same key block on a
@@ -51,7 +51,7 @@ class EpochViewCache : public SnapshotViewCache {
   explicit EpochViewCache(std::size_t capacity)
       : capacity_(capacity < 1 ? 1 : capacity) {}
 
-  Result<std::shared_ptr<const LabeledDocument>> GetOrMaterialize(
+  Result<std::shared_ptr<const EpochView>> GetOrMaterialize(
       std::uint64_t epoch, std::uint64_t journal_bytes,
       const Materializer& materialize) override;
 
@@ -73,7 +73,7 @@ class EpochViewCache : public SnapshotViewCache {
 
   struct Entry {
     /// nullptr while the builder is off-lock materializing.
-    std::shared_ptr<const LabeledDocument> view;
+    std::shared_ptr<const EpochView> view;
     /// Position in lru_ once ready.
     std::list<Key>::iterator lru_pos;
     bool ready = false;

@@ -63,7 +63,7 @@ std::string ExecuteRequestLine(QueryService& service, Session& session,
     *snapshot = std::move(snap.value());
     std::ostringstream out;
     out << "OK " << (*snapshot)->epoch() << ' ' << (*snapshot)->journal_bytes()
-        << ' ' << (*snapshot)->document().tree().node_count();
+        << ' ' << (*snapshot)->node_count();
     return out.str();
   }
 
@@ -73,6 +73,15 @@ std::string ExecuteRequestLine(QueryService& service, Session& session,
     out << "OK SERVED " << session.served() << " REJECTED "
         << session.rejected() << " HITS " << cache.hits << " MISSES "
         << cache.misses << " EVICTIONS " << cache.evictions;
+    // Label-store residency of this session's open view: how many bytes
+    // back its labels, and whether they live in the shared catalog image
+    // (arena) or in per-view heap BigInts.
+    if (snapshot->has_value()) {
+      out << " LABELBYTES " << (*snapshot)->label_store_bytes() << " MODE "
+          << ((*snapshot)->arena_backed() ? "arena" : "heap");
+    } else {
+      out << " LABELBYTES 0 MODE none";
+    }
     return out.str();
   }
 

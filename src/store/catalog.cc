@@ -1,8 +1,11 @@
 #include "store/catalog.h"
 
+#include <algorithm>
+#include <bit>
 #include <cstring>
 
 #include "bigint/simd.h"
+#include "durability/crc32.h"
 #include "util/thread_pool.h"
 
 namespace primelabel {
@@ -11,6 +14,14 @@ namespace {
 
 /// Shared 7-byte magic prefix; the eighth byte is the ASCII format digit.
 constexpr char kMagicPrefix[7] = {'P', 'L', 'C', 'A', 'T', 'L', 'G'};
+
+/// The v4 columns are read in place (reinterpret_cast over the image), so
+/// the stored little-endian bytes must BE the in-memory representation —
+/// the same punning contract the vector kernels rely on (bigint/simd.h).
+/// A big-endian port would need a decode pass here; fail loudly at
+/// compile time instead of corrupting quietly.
+static_assert(std::endian::native == std::endian::little,
+              "catalog v4 in-place columns require a little-endian host");
 
 /// Packed on-disk image of a LabelFingerprint: 7 residues, the prime
 /// mask, bit length and trailing zeros, all little-endian. Encoded and
@@ -54,12 +65,154 @@ void UnpackFingerprint(const std::uint8_t in[kFingerprintImageBytes],
   fp->trailing_zeros = static_cast<std::int32_t>(get32());
 }
 
+/// The v4 FPS column is the packed image reinterpreted in place, which is
+/// only sound because the packed layout (little-endian fields, in
+/// declaration order, no gaps) is exactly the struct's memory layout.
+static_assert(sizeof(LabelFingerprint) == kFingerprintImageBytes,
+              "packed fingerprint image must match the struct layout");
+static_assert(alignof(LabelFingerprint) <= 8,
+              "FPS column entries are 8-byte aligned (72 = 9 * 8)");
+static_assert(kFingerprintImageBytes % 8 == 0,
+              "FPS entries must preserve 8-byte alignment down the column");
+
+// --- Format v4: sectioned columnar image ----------------------------------
+//
+//   [0..8)    magic "PLCATLG4"
+//   [8..12)   u32 crc32 of bytes [12 .. header_end)
+//   [12..20)  u64 fingerprint config hash
+//   [20..28)  u64 row count
+//   [28..32)  u32 SC group size
+//   [32..36)  u32 section count (exactly the six below, in id order)
+//   [36..header_end)  per section: u32 id, u32 crc32, u64 offset, u64 len
+//   sections, each starting at an 8-byte-aligned offset
+//
+// The directory is bounds-checked against the actual byte count before
+// any section is touched — a truncated file (or mapping) fails the
+// size-vs-directory gate up front instead of faulting mid-read.
+
+enum V4SectionId : std::uint32_t {
+  kSecRowMeta = 1,  ///< tag / element flag / parent / attributes stream
+  kSecSelf = 2,     ///< u64 self-label column
+  kSecLabels = 3,   ///< LabelArena image of label magnitudes
+  kSecFps = 4,      ///< packed 72-byte fingerprint images
+  kSecScMeta = 5,   ///< SC records' (modulus, order) pairs
+  kSecScVals = 6,   ///< LabelArena image of SC magnitudes
+};
+
+constexpr std::uint32_t kV4SectionCount = 6;
+constexpr std::size_t kV4FixedHeaderBytes = 36;
+constexpr std::size_t kV4DirectoryEntryBytes = 24;
+
+std::size_t Align8(std::size_t n) { return (n + 7) & ~std::size_t{7}; }
+
+/// Parsed v4 header: section byte ranges plus the header scalars.
+struct V4Image {
+  std::span<const std::uint8_t> sections[kV4SectionCount + 1];  // by id
+  std::uint64_t config_hash = 0;
+  std::uint64_t row_count = 0;
+  int group_size = 0;
+};
+
+/// Validates the v4 header, directory and every section digest.
+/// `bytes` is the whole file (or mapping); `origin` names it in errors.
+Status ParseV4Header(std::span<const std::uint8_t> bytes,
+                     const std::string& origin, V4Image* out) {
+  if (bytes.size() < kV4FixedHeaderBytes) {
+    return Status::Corruption(origin + ": truncated v4 header");
+  }
+  ByteReader header(bytes.first(kV4FixedHeaderBytes));
+  char magic[8];
+  header.Bytes(magic, sizeof(magic));
+  const std::uint32_t header_crc = header.U32();
+  out->config_hash = header.U64();
+  out->row_count = header.U64();
+  const std::uint32_t group_size = header.U32();
+  const std::uint32_t section_count = header.U32();
+  if (section_count != kV4SectionCount) {
+    return Status::Corruption(origin + ": v4 directory lists " +
+                              std::to_string(section_count) +
+                              " sections, expected " +
+                              std::to_string(kV4SectionCount));
+  }
+  const std::size_t header_end =
+      kV4FixedHeaderBytes + kV4SectionCount * kV4DirectoryEntryBytes;
+  if (bytes.size() < header_end) {
+    return Status::Corruption(origin + ": truncated v4 section directory");
+  }
+  if (Crc32(bytes.subspan(12, header_end - 12)) != header_crc) {
+    return Status::Corruption(origin + ": v4 header digest mismatch");
+  }
+  if (out->row_count > (std::uint64_t{1} << 32)) {
+    return Status::Corruption(origin + ": implausible row count");
+  }
+  if (group_size < 1 || group_size > (1u << 20)) {
+    return Status::Corruption(origin + ": implausible SC group size");
+  }
+  out->group_size = static_cast<int>(group_size);
+  ByteReader directory(
+      bytes.subspan(kV4FixedHeaderBytes, header_end - kV4FixedHeaderBytes));
+  for (std::uint32_t s = 0; s < kV4SectionCount; ++s) {
+    const std::uint32_t id = directory.U32();
+    const std::uint32_t crc = directory.U32();
+    const std::uint64_t offset = directory.U64();
+    const std::uint64_t length = directory.U64();
+    if (id != s + 1) {
+      return Status::Corruption(origin + ": v4 directory out of order (got id " +
+                                std::to_string(id) + " at slot " +
+                                std::to_string(s) + ")");
+    }
+    // Size-vs-directory gate: both bounds checked against the real byte
+    // count before the section is ever dereferenced.
+    if (offset % 8 != 0 || offset > bytes.size() ||
+        length > bytes.size() - offset) {
+      return Status::Corruption(origin + ": v4 section " + std::to_string(id) +
+                                " extends past the file end");
+    }
+    const auto section = bytes.subspan(offset, length);
+    if (Crc32(section) != crc) {
+      return Status::Corruption(origin + ": v4 section " + std::to_string(id) +
+                                " digest mismatch");
+    }
+    out->sections[id] = section;
+  }
+  // Column-shape cross-checks against the header's row count.
+  if (out->sections[kSecSelf].size() != out->row_count * 8) {
+    return Status::Corruption(origin + ": SELF column holds " +
+                              std::to_string(out->sections[kSecSelf].size()) +
+                              " bytes for " + std::to_string(out->row_count) +
+                              " rows");
+  }
+  if (out->sections[kSecFps].size() !=
+      out->row_count * kFingerprintImageBytes) {
+    return Status::Corruption(origin + ": FPS column holds " +
+                              std::to_string(out->sections[kSecFps].size()) +
+                              " bytes for " + std::to_string(out->row_count) +
+                              " rows");
+  }
+  return Status::Ok();
+}
+
+/// order = SC mod self over the arena's limb view — the same recovery
+/// arithmetic as BigInt::ModU64, without materializing the BigInt.
+std::uint64_t ModU64Span(LabelView magnitude, std::uint64_t m) {
+  unsigned __int128 r = 0;
+  for (std::size_t i = magnitude.size(); i-- > 0;) {
+    r = ((r << 64) | magnitude[i]) % m;
+  }
+  return static_cast<std::uint64_t>(r);
+}
+
+bool SameMagnitude(LabelView a, LabelView b) {
+  return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+}
+
 }  // namespace
 
 LoadedCatalog::LoadedCatalog(std::vector<CatalogRow> rows, ScTable sc_table)
     : rows_(std::move(rows)), sc_table_(std::move(sc_table)) {
   fps_.reserve(rows_.size());
   for (const CatalogRow& r : rows_) fps_.push_back(FingerprintOf(r.label));
+  fps_view_ = fps_.data();
 }
 
 LoadedCatalog::LoadedCatalog(std::vector<CatalogRow> rows, ScTable sc_table,
@@ -69,22 +222,41 @@ LoadedCatalog::LoadedCatalog(std::vector<CatalogRow> rows, ScTable sc_table,
       fingerprints_persisted_(true) {
   fps_.reserve(rows_.size());
   for (const CatalogRow& r : rows_) fps_.push_back(r.fingerprint);
+  fps_view_ = fps_.data();
 }
 
 bool LoadedCatalog::IsAncestor(NodeId x, NodeId y) const {
   if (x == y) return false;
-  return row(y).label.IsDivisibleBy(row(x).label) &&
-         row(y).label != row(x).label;
+  // Divisibility over the limb views; bit-identical to the BigInt test
+  // (reduction_test pins ReciprocalDivisor against IsDivisibleBy) but
+  // mode-neutral — heap rows and arena images take the same path.
+  const LabelView lx = label_view(x);
+  const LabelView ly = label_view(y);
+  if (SameMagnitude(lx, ly)) return false;
+  ReciprocalDivisor divisor;
+  divisor.Assign(lx);
+  return divisor.Divides(ly);
 }
 
 bool LoadedCatalog::IsParent(NodeId x, NodeId y) const {
   if (x == y) return false;
-  return row(x).label * BigInt::FromUint64(row(y).self) == row(y).label;
+  // label(y) == label(x) * self(y), computed span-to-span: MulLimbSpans
+  // yields the minimal magnitude, so equality is a plain limb compare.
+  const std::uint64_t self = self_of(y);
+  std::vector<std::uint64_t> product;
+  simd::MulLimbSpans(label_view(x), LabelView(&self, 1), &product);
+  return SameMagnitude(product, label_view(y));
 }
 
 std::uint64_t LoadedCatalog::OrderOf(NodeId id) const {
   if (id == 0) return 0;  // rows are in document order; row 0 is the root
-  return sc_table_.OrderOf(row(id).self);
+  if (!arena_backed_) return sc_table_.OrderOf(row(id).self);
+  // The paper's recovery, order = SC mod self, straight off the SCVALS
+  // arena — no ScTable (and no CRT re-solve) on the sealed read path.
+  const std::uint64_t self = selfs_[id];
+  auto it = sc_index_.find(self);
+  PL_CHECK(it != sc_index_.end());
+  return ModU64Span(sc_values_[it->second], self);
 }
 
 void LoadedCatalog::IsAncestorBatch(
@@ -99,15 +271,14 @@ void LoadedCatalog::IsAncestorBatch(
   auto run = [this, pairs, results](std::size_t begin, std::size_t end) {
     ReciprocalDivisor cached;
     NodeId cached_anchor = kInvalidNodeId;
-    const BigInt* lane_labels[simd::kRedcLanes];
+    LimbSpan lane_views[simd::kRedcLanes];
     std::size_t lane_slots[simd::kRedcLanes];
     bool lane_verdicts[simd::kRedcLanes];
     std::size_t pending = 0;
     auto flush = [&] {
       if (pending == 0) return;
-      cached.DividesBatch(
-          std::span<const BigInt* const>(lane_labels, pending),
-          lane_verdicts);
+      cached.DividesBatch(std::span<const LimbSpan>(lane_views, pending),
+                          lane_verdicts);
       for (std::size_t k = 0; k < pending; ++k) {
         (*results)[lane_slots[k]] = lane_verdicts[k] ? 1 : 0;
       }
@@ -115,16 +286,17 @@ void LoadedCatalog::IsAncestorBatch(
     };
     for (std::size_t i = begin; i < end; ++i) {
       const auto& [x, y] = pairs[i];
-      if (x == y || row(y).label == row(x).label ||
+      const LabelView candidate = label_view(y);
+      if (x == y || SameMagnitude(candidate, label_view(x)) ||
           !FingerprintMayProperlyDivide(fingerprint(x), fingerprint(y))) {
         continue;  // slot already 0
       }
       if (x != cached_anchor) {
         flush();  // pending lanes belong to the previous divisor
-        cached.Assign(row(x).label);
+        cached.Assign(label_view(x));
         cached_anchor = x;
       }
-      lane_labels[pending] = &row(y).label;
+      lane_views[pending] = candidate;
       lane_slots[pending] = i;
       if (++pending == simd::kRedcLanes) flush();
     }
@@ -145,21 +317,20 @@ void LoadedCatalog::IsAncestorBatch(
 void LoadedCatalog::SelectDescendants(NodeId ancestor,
                                       std::span<const NodeId> candidates,
                                       std::vector<NodeId>* out) const {
-  const BigInt& ancestor_label = row(ancestor).label;
+  const LabelView ancestor_label = label_view(ancestor);
   const LabelFingerprint& ancestor_fp = fingerprint(ancestor);
-  auto run = [this, ancestor, candidates, &ancestor_label, &ancestor_fp](
+  auto run = [this, ancestor, candidates, ancestor_label, &ancestor_fp](
                  std::size_t begin, std::size_t end, std::vector<NodeId>* dst) {
     ReciprocalDivisor cached;
     cached.Assign(ancestor_label);
-    const BigInt* lane_labels[simd::kRedcLanes];
+    LimbSpan lane_views[simd::kRedcLanes];
     NodeId lane_nodes[simd::kRedcLanes];
     bool lane_verdicts[simd::kRedcLanes];
     std::size_t pending = 0;
     auto flush = [&] {
       if (pending == 0) return;
-      cached.DividesBatch(
-          std::span<const BigInt* const>(lane_labels, pending),
-          lane_verdicts);
+      cached.DividesBatch(std::span<const LimbSpan>(lane_views, pending),
+                          lane_verdicts);
       for (std::size_t k = 0; k < pending; ++k) {
         if (lane_verdicts[k]) dst->push_back(lane_nodes[k]);
       }
@@ -167,11 +338,13 @@ void LoadedCatalog::SelectDescendants(NodeId ancestor,
     };
     for (std::size_t i = begin; i < end; ++i) {
       const NodeId candidate = candidates[i];
-      if (candidate == ancestor || row(candidate).label == ancestor_label ||
+      const LabelView candidate_label = label_view(candidate);
+      if (candidate == ancestor ||
+          SameMagnitude(candidate_label, ancestor_label) ||
           !FingerprintMayProperlyDivide(ancestor_fp, fingerprint(candidate))) {
         continue;
       }
-      lane_labels[pending] = &row(candidate).label;
+      lane_views[pending] = candidate_label;
       lane_nodes[pending] = candidate;
       if (++pending == simd::kRedcLanes) flush();
     }
@@ -197,19 +370,19 @@ void LoadedCatalog::SelectDescendants(NodeId ancestor,
 void LoadedCatalog::SelectAncestors(NodeId descendant,
                                     std::span<const NodeId> candidates,
                                     std::vector<NodeId>* out) const {
-  const BigInt& descendant_label = row(descendant).label;
+  const LabelView descendant_label = label_view(descendant);
   const LabelFingerprint& descendant_fp = fingerprint(descendant);
-  auto run = [this, descendant, candidates, &descendant_label,
+  auto run = [this, descendant, candidates, descendant_label,
               &descendant_fp](std::size_t begin, std::size_t end,
                               std::vector<NodeId>* dst) {
-    const BigInt* lane_labels[simd::kRedcLanes];
+    LimbSpan lane_views[simd::kRedcLanes];
     NodeId lane_nodes[simd::kRedcLanes];
     bool lane_verdicts[simd::kRedcLanes];
     std::size_t pending = 0;
     auto flush = [&] {
       if (pending == 0) return;
       DividesIntoBatch(descendant_label,
-                       std::span<const BigInt* const>(lane_labels, pending),
+                       std::span<const LimbSpan>(lane_views, pending),
                        lane_verdicts);
       for (std::size_t k = 0; k < pending; ++k) {
         if (lane_verdicts[k]) dst->push_back(lane_nodes[k]);
@@ -218,13 +391,14 @@ void LoadedCatalog::SelectAncestors(NodeId descendant,
     };
     for (std::size_t i = begin; i < end; ++i) {
       const NodeId candidate = candidates[i];
+      const LabelView candidate_label = label_view(candidate);
       if (candidate == descendant ||
-          row(candidate).label == descendant_label ||
+          SameMagnitude(candidate_label, descendant_label) ||
           !FingerprintMayProperlyDivide(fingerprint(candidate),
                                         descendant_fp)) {
         continue;
       }
-      lane_labels[pending] = &row(candidate).label;
+      lane_views[pending] = candidate_label;
       lane_nodes[pending] = candidate;
       if (++pending == simd::kRedcLanes) flush();
     }
@@ -245,6 +419,202 @@ void LoadedCatalog::SelectAncestors(NodeId descendant,
   for (const auto& part : parts) {
     out->insert(out->end(), part.begin(), part.end());
   }
+}
+
+std::vector<LabelFingerprint> LoadedCatalog::TakeFingerprints() {
+  if (!arena_backed_) return std::move(fps_);
+  return std::vector<LabelFingerprint>(fps_view_, fps_view_ + meta_.size());
+}
+
+std::vector<CatalogRow> LoadedCatalog::TakeRows() {
+  if (!arena_backed_) return std::move(rows_);
+  return MaterializeRows();
+}
+
+ScTable LoadedCatalog::TakeScTable() {
+  if (!arena_backed_) return std::move(sc_table_);
+  return MaterializeScTable();
+}
+
+std::vector<CatalogRow> LoadedCatalog::MaterializeRows() const {
+  if (!arena_backed_) return rows_;
+  std::vector<CatalogRow> rows(meta_.size());
+  for (std::size_t i = 0; i < meta_.size(); ++i) {
+    CatalogRow& row = rows[i];
+    row.tag = meta_[i].tag;
+    row.is_element = meta_[i].is_element;
+    row.parent = meta_[i].parent;
+    row.attributes = meta_[i].attributes;
+    row.label = BigInt::FromLimbs(labels_[i]);
+    row.self = selfs_[i];
+    row.fingerprint = fps_view_[i];
+  }
+  return rows;
+}
+
+ScTable LoadedCatalog::MaterializeScTable() const {
+  if (!arena_backed_) return sc_table_;
+  std::vector<ScRecord> records = sc_meta_;
+  for (std::size_t r = 0; r < records.size(); ++r) {
+    records[r].sc = BigInt::FromLimbs(sc_values_[r]);
+  }
+  return ScTable::FromRecords(sc_group_size_, std::move(records));
+}
+
+std::size_t LoadedCatalog::label_store_bytes() const {
+  // Per-entry cost of an unordered_map's nodes: key + mapped value + the
+  // chaining pointer. Deliberately excludes the bucket array and allocator
+  // headers, so both modes are undercounted the same way.
+  constexpr std::size_t kMapNodeOverhead = sizeof(void*);
+  if (arena_backed_) {
+    // The image columns themselves — shared, under mmap, with every other
+    // view of the same file — plus the one private structure the arena
+    // open builds for order lookups, the modulus -> record index.
+    return labels_.byte_size() + sc_values_.byte_size() +
+           meta_.size() * sizeof(LabelFingerprint) +
+           sc_index_.size() * (sizeof(std::uint64_t) + sizeof(std::uint32_t) +
+                               kMapNodeOverhead);
+  }
+  // Heap mode: one BigInt control block plus a limb buffer per label, the
+  // fingerprint stored twice (embedded in every CatalogRow and again in
+  // the contiguous fps_ column the batch kernels scan), and the SC table's
+  // working form — per record the struct with its moduli/orders buffers
+  // and SC BigInt, plus the per-node order index.
+  std::size_t bytes = fps_.size() * sizeof(LabelFingerprint);
+  for (const CatalogRow& r : rows_) {
+    bytes += sizeof(BigInt) +
+             r.label.Magnitude().size() * sizeof(std::uint64_t) +
+             sizeof(LabelFingerprint);
+  }
+  std::size_t tracked = 0;
+  for (const ScRecord& record : sc_table_.records()) {
+    bytes += sizeof(ScRecord) +
+             record.sc.Magnitude().size() * sizeof(std::uint64_t) +
+             (record.moduli.size() + record.orders.size()) *
+                 sizeof(std::uint64_t);
+    tracked += record.moduli.size();
+  }
+  // ScTable::index_: self-label -> (record, slot) for every tracked node.
+  bytes += tracked * (sizeof(std::uint64_t) +
+                      sizeof(std::pair<std::size_t, std::size_t>) +
+                      kMapNodeOverhead);
+  return bytes;
+}
+
+Status LoadedCatalog::ParseV4Image(std::span<const std::uint8_t> bytes,
+                                   const std::string& origin,
+                                   LoadedCatalog* out) {
+  V4Image image;
+  Status parsed = ParseV4Header(bytes, origin, &image);
+  if (!parsed.ok()) return parsed;
+  out->arena_backed_ = true;
+  out->format_version_ = 4;
+  out->sc_group_size_ = image.group_size;
+  out->fingerprints_persisted_ = image.config_hash == FingerprintConfigHash();
+
+  Result<LabelArena> labels =
+      LabelArena::FromBytes(image.sections[kSecLabels], origin + " LABELS");
+  if (!labels.ok()) return labels.status();
+  out->labels_ = *labels;
+  if (out->labels_.size() != image.row_count) {
+    return Status::Corruption(origin + ": LABELS arena holds " +
+                              std::to_string(out->labels_.size()) +
+                              " rows, header says " +
+                              std::to_string(image.row_count));
+  }
+  Result<LabelArena> sc_values =
+      LabelArena::FromBytes(image.sections[kSecScVals], origin + " SCVALS");
+  if (!sc_values.ok()) return sc_values.status();
+  out->sc_values_ = *sc_values;
+
+  // In-place column views. Section offsets are 8-aligned within the file
+  // and the backing starts page- (mmap) or allocator- (ReadAll) aligned,
+  // but a hostile/garbled directory could still slip an unaligned base
+  // past us — re-check before punning.
+  const std::uint8_t* self_base = image.sections[kSecSelf].data();
+  const std::uint8_t* fps_base = image.sections[kSecFps].data();
+  if (reinterpret_cast<std::uintptr_t>(self_base) % 8 != 0 ||
+      reinterpret_cast<std::uintptr_t>(fps_base) % 8 != 0) {
+    return Status::Corruption(origin + ": v4 column section misaligned");
+  }
+  out->selfs_ = reinterpret_cast<const std::uint64_t*>(self_base);
+  out->fps_view_ = reinterpret_cast<const LabelFingerprint*>(fps_base);
+
+  // ROWMETA: the only per-row decode the arena open pays — tags and
+  // attributes are variable-length strings the query layer needs as
+  // std::string anyway.
+  ByteReader rowmeta(image.sections[kSecRowMeta]);
+  out->meta_.clear();
+  out->meta_.reserve(static_cast<std::size_t>(image.row_count));
+  for (std::uint64_t i = 0; i < image.row_count && rowmeta.ok(); ++i) {
+    RowMeta meta;
+    meta.tag = rowmeta.String();
+    meta.is_element = rowmeta.U8() != 0;
+    meta.parent = rowmeta.I64();
+    const std::uint32_t attribute_count = rowmeta.U32();
+    if (rowmeta.ok() && attribute_count > (1u << 20)) {
+      return Status::Corruption(origin + ": implausible attribute count");
+    }
+    for (std::uint32_t a = 0; a < attribute_count && rowmeta.ok(); ++a) {
+      std::string key = rowmeta.String();
+      std::string value = rowmeta.String();
+      meta.attributes.emplace_back(std::move(key), std::move(value));
+    }
+    out->meta_.push_back(std::move(meta));
+  }
+  if (!rowmeta.ok() || rowmeta.remaining() != 0 ||
+      out->meta_.size() != image.row_count) {
+    return Status::Corruption(origin + ": ROWMETA section does not decode to " +
+                              std::to_string(image.row_count) + " rows");
+  }
+
+  // SCMETA: record shapes plus the modulus -> record index OrderOf needs.
+  ByteReader scmeta(image.sections[kSecScMeta]);
+  const std::uint64_t record_count = scmeta.U64();
+  if (record_count > image.row_count) {
+    return Status::Corruption(origin + ": implausible SC record count");
+  }
+  out->sc_meta_.clear();
+  out->sc_meta_.reserve(static_cast<std::size_t>(record_count));
+  out->sc_index_.clear();
+  for (std::uint64_t r = 0; r < record_count && scmeta.ok(); ++r) {
+    const std::uint32_t entries = scmeta.U32();
+    if (scmeta.ok() && entries > (1u << 24)) {
+      return Status::Corruption(origin + ": implausible SC record size");
+    }
+    ScRecord record;
+    record.moduli.reserve(entries);
+    record.orders.reserve(entries);
+    for (std::uint32_t i = 0; i < entries && scmeta.ok(); ++i) {
+      record.moduli.push_back(scmeta.U64());
+      record.orders.push_back(scmeta.U64());
+    }
+    if (!scmeta.ok()) break;
+    for (std::uint64_t modulus : record.moduli) {
+      if (!out->sc_index_.emplace(modulus, static_cast<std::uint32_t>(r))
+               .second) {
+        return Status::Corruption(origin + ": duplicate SC modulus " +
+                                  std::to_string(modulus));
+      }
+    }
+    if (!record.moduli.empty()) {
+      record.max_modulus =
+          *std::max_element(record.moduli.begin(), record.moduli.end());
+    }
+    out->sc_meta_.push_back(std::move(record));
+  }
+  if (!scmeta.ok() || scmeta.remaining() != 0 ||
+      out->sc_meta_.size() != record_count) {
+    return Status::Corruption(origin + ": SCMETA section does not decode to " +
+                              std::to_string(record_count) + " records");
+  }
+  if (out->sc_values_.size() != record_count) {
+    return Status::Corruption(origin + ": SCVALS arena holds " +
+                              std::to_string(out->sc_values_.size()) +
+                              " records, SCMETA says " +
+                              std::to_string(record_count));
+  }
+  return Status::Ok();
 }
 
 void EncodeCatalogRow(const CatalogRow& row, bool with_fingerprint,
@@ -318,6 +688,85 @@ Status DecodeScRecord(ByteReader* in, ScRecord* record) {
   return Status::Ok();
 }
 
+namespace {
+
+/// Assembles and writes a v4 sectioned image (layout documented at the
+/// top of this file and in catalog.h / DESIGN.md §15).
+Status WriteCatalogV4(Vfs& vfs, const std::string& path,
+                      const std::vector<CatalogRow>& rows,
+                      const ScTable& sc_table) {
+  ByteWriter rowmeta;
+  ByteWriter self_col;
+  LabelArenaBuilder labels;
+  std::vector<std::uint8_t> fps;
+  fps.reserve(rows.size() * kFingerprintImageBytes);
+  for (const CatalogRow& row : rows) {
+    rowmeta.String(row.tag);
+    rowmeta.U8(row.is_element ? 1 : 0);
+    rowmeta.I64(row.parent);
+    rowmeta.U32(static_cast<std::uint32_t>(row.attributes.size()));
+    for (const auto& [key, value] : row.attributes) {
+      rowmeta.String(key);
+      rowmeta.String(value);
+    }
+    self_col.U64(row.self);
+    labels.Append(row.label.Magnitude());
+    std::uint8_t image[kFingerprintImageBytes];
+    PackFingerprint(row.fingerprint, image);
+    fps.insert(fps.end(), image, image + sizeof(image));
+  }
+  ByteWriter scmeta;
+  LabelArenaBuilder sc_values;
+  scmeta.U64(sc_table.records().size());
+  for (const ScRecord& record : sc_table.records()) {
+    scmeta.U32(static_cast<std::uint32_t>(record.moduli.size()));
+    for (std::size_t i = 0; i < record.moduli.size(); ++i) {
+      scmeta.U64(record.moduli[i]);
+      scmeta.U64(record.orders[i]);
+    }
+    sc_values.Append(record.sc.Magnitude());
+  }
+
+  const std::vector<std::uint8_t> section_bytes[kV4SectionCount] = {
+      rowmeta.Take(),  self_col.Take(), labels.Encode(),
+      std::move(fps),  scmeta.Take(),   sc_values.Encode()};
+
+  const std::size_t header_end =
+      kV4FixedHeaderBytes + kV4SectionCount * kV4DirectoryEntryBytes;
+  // Header tail: every byte after the CRC field, so one digest covers the
+  // scalars and the whole directory.
+  ByteWriter tail;
+  tail.U64(FingerprintConfigHash());
+  tail.U64(rows.size());
+  tail.U32(static_cast<std::uint32_t>(sc_table.group_size()));
+  tail.U32(kV4SectionCount);
+  std::size_t offsets[kV4SectionCount];
+  std::size_t offset = Align8(header_end);
+  for (std::uint32_t s = 0; s < kV4SectionCount; ++s) {
+    offsets[s] = offset;
+    tail.U32(s + 1);
+    tail.U32(Crc32(section_bytes[s]));
+    tail.U64(offset);
+    tail.U64(section_bytes[s].size());
+    offset = Align8(offset + section_bytes[s].size());
+  }
+
+  ByteWriter out;
+  out.Bytes(kMagicPrefix, sizeof(kMagicPrefix));
+  out.U8(static_cast<std::uint8_t>('4'));
+  out.U32(Crc32(tail.buffer()));
+  out.Bytes(tail.buffer().data(), tail.buffer().size());
+  for (std::uint32_t s = 0; s < kV4SectionCount; ++s) {
+    while (out.buffer().size() < offsets[s]) out.U8(0);
+    if (!section_bytes[s].empty()) {
+      out.Bytes(section_bytes[s].data(), section_bytes[s].size());
+    }
+  }
+  return vfs.WriteWhole(path, out.buffer());
+}
+
+}  // namespace
+
 Status WriteCatalog(Vfs& vfs, const std::string& path,
                     const std::vector<CatalogRow>& rows,
                     const ScTable& sc_table,
@@ -329,6 +778,9 @@ Status WriteCatalog(Vfs& vfs, const std::string& path,
         std::to_string(options.format_version) + " (supported: " +
         std::to_string(kCatalogMinSupportedVersion) + " .. " +
         std::to_string(kCatalogFormatVersion) + ")");
+  }
+  if (options.format_version == 4) {
+    return WriteCatalogV4(vfs, path, rows, sc_table);
   }
   const bool v3 = options.format_version >= 3;
   ByteWriter writer;
@@ -380,6 +832,24 @@ Result<LoadedCatalog> LoadCatalog(Vfs& vfs, const std::string& path) {
         std::to_string(kCatalogMinSupportedVersion) + " .. " +
         std::to_string(kCatalogFormatVersion));
   }
+  if (version == 4) {
+    // v4 decodes through the arena parser (one validation path for both
+    // the heap and mmap opens), then materializes heap rows — this loader
+    // feeds the delta/recovery paths, which mutate.
+    const std::string origin = "catalog '" + path + "'";
+    LoadedCatalog arena;
+    Status parsed = LoadedCatalog::ParseV4Image(*read, origin, &arena);
+    if (!parsed.ok()) return parsed;
+    const bool adopt = arena.fingerprints_persisted_;
+    std::vector<CatalogRow> v4_rows = arena.MaterializeRows();
+    ScTable v4_sc = arena.MaterializeScTable();
+    LoadedCatalog catalog =
+        adopt ? LoadedCatalog(std::move(v4_rows), std::move(v4_sc),
+                              LoadedCatalog::AdoptFingerprints{})
+              : LoadedCatalog(std::move(v4_rows), std::move(v4_sc));
+    catalog.format_version_ = 4;
+    return catalog;
+  }
   const bool v3 = version >= 3;
   // A v3 file computed its fingerprints against a specific chunk-table
   // configuration; a mismatch means the persisted fingerprints describe a
@@ -430,6 +900,36 @@ Result<LoadedCatalog> LoadCatalog(Vfs& vfs, const std::string& path) {
                           LoadedCatalog::AdoptFingerprints{})
           : LoadedCatalog(std::move(rows), std::move(sc_table));
   catalog.format_version_ = version;
+  return catalog;
+}
+
+Result<LoadedCatalog> OpenCatalogMapped(Vfs& vfs, const std::string& path) {
+  Result<std::unique_ptr<MappedRegion>> mapped = vfs.MapReadOnly(path);
+  if (!mapped.ok()) {
+    if (mapped.status().code() == StatusCode::kNotFound) {
+      return Status::NotFound("cannot open '" + path + "'");
+    }
+    return mapped.status();
+  }
+  const std::span<const std::uint8_t> bytes = (*mapped)->bytes();
+  if (bytes.size() < 8 ||
+      std::memcmp(bytes.data(), kMagicPrefix, sizeof(kMagicPrefix)) != 0 ||
+      bytes[7] != '4') {
+    // Not a v4 image: defer to the heap loader, which either reads the
+    // older format or reports the precise magic/version error.
+    return LoadCatalog(vfs, path);
+  }
+  const std::string origin = "catalog '" + path + "'";
+  LoadedCatalog catalog;
+  Status parsed = LoadedCatalog::ParseV4Image(bytes, origin, &catalog);
+  if (!parsed.ok()) return parsed;  // corruption never falls back
+  if (!catalog.fingerprints_persisted_) {
+    // Stale fingerprint config: the FPS column describes another residue
+    // system, so the zero-copy view would screen with wrong fingerprints.
+    // Recompute on the heap instead of serving the image.
+    return LoadCatalog(vfs, path);
+  }
+  catalog.mapped_ = std::move(*mapped);
   return catalog;
 }
 

@@ -1,5 +1,7 @@
 #include "store/label_table.h"
 
+#include "store/catalog.h"
+
 namespace primelabel {
 
 namespace {
@@ -26,6 +28,30 @@ LabelTable::LabelTable(const XmlTree& tree) {
     }
     if (!text.empty()) text_[id] = std::move(text);
   });
+}
+
+LabelTable::LabelTable(const LoadedCatalog& catalog) {
+  const std::size_t rows = catalog.row_count();
+  parents_.assign(rows, kInvalidNodeId);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const NodeId id = static_cast<NodeId>(i);
+    const std::int64_t parent = catalog.parent_of(id);
+    if (!catalog.is_element_of(id)) {
+      // Preorder keeps siblings in document order, so appending text rows
+      // as they come reproduces the tree walk's concatenation.
+      if (parent >= 0 && !catalog.tag_of(id).empty()) {
+        text_[static_cast<NodeId>(parent)] += catalog.tag_of(id);
+      }
+      continue;
+    }
+    by_tag_[catalog.tag_of(id)].push_back(id);
+    all_rows_.push_back(id);
+    parents_[i] =
+        parent < 0 ? kInvalidNodeId : static_cast<NodeId>(parent);
+    for (const auto& [key, value] : catalog.attributes_of(id)) {
+      attributes_[AttributeKey(id, key)] = value;
+    }
+  }
 }
 
 const std::string* LabelTable::AttributeOf(NodeId id,

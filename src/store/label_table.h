@@ -10,6 +10,8 @@
 
 namespace primelabel {
 
+class LoadedCatalog;
+
 /// In-memory stand-in for the relational label table of Section 5.2.
 ///
 /// The paper stores (element tag, label) rows in an RDBMS and translates
@@ -24,6 +26,15 @@ class LabelTable {
  public:
   /// Builds one row per attached element node of `tree`, in document order.
   explicit LabelTable(const XmlTree& tree);
+
+  /// Builds the same table from a loaded catalog's row metadata — no
+  /// XmlTree needed. Rows are stored in preorder with parents by row
+  /// index, so NodeIds here coincide with the ids a tree rebuilt from the
+  /// same catalog would hand out; text rows fold into their parent's text
+  /// column exactly as the tree walk concatenates direct text children.
+  /// This is what lets an arena-backed epoch view answer XPath without
+  /// materializing the document.
+  explicit LabelTable(const LoadedCatalog& catalog);
 
   /// Rows (node ids) whose tag equals `tag`, in document order. Returns an
   /// empty list for unknown tags.

@@ -25,6 +25,11 @@ enum class StatusCode {
   kResourceExhausted,
   /// Device-level I/O failure (EIO, short write). Possibly transient.
   kIoError,
+  /// Stored bytes fail their integrity check (section digest mismatch,
+  /// impossible directory entry): the file is damaged, not merely absent
+  /// or from a future format. Retrying cannot help; restore from a good
+  /// copy.
+  kCorruption,
 };
 
 /// Returns a short human-readable name for a StatusCode.
@@ -48,6 +53,8 @@ inline const char* StatusCodeName(StatusCode code) {
       return "ResourceExhausted";
     case StatusCode::kIoError:
       return "IoError";
+    case StatusCode::kCorruption:
+      return "Corruption";
   }
   return "Unknown";
 }
@@ -87,6 +94,9 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -27,6 +27,7 @@
 
 #include "bigint/bigint.h"
 #include "corpus/durable_document_store.h"
+#include "store/catalog.h"
 #include "xml/serializer.h"
 #include "xml/shakespeare.h"
 
@@ -222,6 +223,129 @@ TEST(CatalogCompat, RecoveredLabelBytesRoundTrip) {
   EXPECT_GT(checked, 0);
   fs::remove_all(work, ec);
 }
+
+// ---------------------------------------------------------------------------
+// Cross-format catalog compatibility: the fixture under
+// tests/data/catalog_formats holds one document saved as format v2 and as
+// format v3, with its observable state recorded in DIGEST.txt at write
+// time. The current build must load both, and re-saving either as format
+// v4 — heap-loaded or arena-mapped — must answer every oracle query with
+// the exact recorded state. Regenerating (any checkout; the formats are
+// limb-width independent):
+//   PRIMELABEL_WRITE_COMPAT_FIXTURE=1 ./catalog_compat_test \
+//     --gtest_also_run_disabled_tests --gtest_filter='*FormatsFixture*'
+
+std::string FormatsDir() {
+  return std::string(PRIMELABEL_TEST_DATA_DIR) + "/catalog_formats";
+}
+
+std::string FormatsXml() {
+  PlayOptions options;
+  options.acts = 2;
+  options.scenes_per_act = 3;
+  options.min_speeches_per_scene = 2;
+  options.max_speeches_per_scene = 3;
+  options.seed = 2004;  // deterministic: same XML from every checkout
+  return SerializeXml(GeneratePlay("formats", options));
+}
+
+/// Observable state of a loaded catalog through the mode-neutral
+/// accessors: identical digests mean identical answers to every tag,
+/// structure, attribute, and order query, in either storage mode.
+std::string CatalogDigest(const LoadedCatalog& catalog) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < catalog.row_count(); ++i) {
+    const NodeId id = static_cast<NodeId>(i);
+    out << catalog.tag_of(id) << '|' << catalog.is_element_of(id) << '|'
+        << catalog.parent_of(id) << '|' << catalog.self_of(id) << '|'
+        << BigInt::FromLimbs(catalog.label_view(id)).ToHexString() << '|'
+        << catalog.OrderOf(id);
+    for (const auto& [key, value] : catalog.attributes_of(id)) {
+      out << '|' << key << '=' << value;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+// Disabled by default: fixture generator, overwrites
+// tests/data/catalog_formats in the SOURCE tree.
+TEST(CatalogCompat, DISABLED_WriteFormatsFixture) {
+  if (std::getenv("PRIMELABEL_WRITE_COMPAT_FIXTURE") == nullptr) {
+    GTEST_SKIP() << "set PRIMELABEL_WRITE_COMPAT_FIXTURE=1 to regenerate";
+  }
+  const std::string dir = FormatsDir();
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  fs::create_directories(dir);
+
+  Result<LabeledDocument> doc =
+      LabeledDocument::FromXml(FormatsXml(), /*group=*/5);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const std::vector<CatalogRow> rows = doc->ToCatalogRows();
+  for (int version : {2, 3}) {
+    CatalogWriteOptions options;
+    options.format_version = version;
+    ASSERT_TRUE(WriteCatalog(DefaultVfs(),
+                             dir + "/v" + std::to_string(version) + ".plc",
+                             rows, doc->scheme().sc_table(), options)
+                    .ok());
+  }
+  Result<LoadedCatalog> loaded = LoadCatalog(DefaultVfs(), dir + "/v2.plc");
+  ASSERT_TRUE(loaded.ok());
+  std::ofstream digest(dir + "/DIGEST.txt", std::ios::binary);
+  digest << CatalogDigest(*loaded);
+  ASSERT_TRUE(digest.good());
+}
+
+class CatalogFormatUpgrade : public ::testing::TestWithParam<int> {};
+
+/// v2/v3 file -> heap load -> digest check -> v4 re-save -> digest check
+/// through both the heap and the arena open. One parameterized walk pins
+/// the whole upgrade path bit-identically against the recorded state.
+TEST_P(CatalogFormatUpgrade, RoundTripsToV4BitIdentically) {
+  const int version = GetParam();
+  const std::string source =
+      FormatsDir() + "/v" + std::to_string(version) + ".plc";
+  ASSERT_TRUE(fs::exists(source))
+      << "missing fixture; run the DISABLED_WriteFormatsFixture generator";
+  const std::string expected = ReadWholeFile(FormatsDir() + "/DIGEST.txt");
+  ASSERT_FALSE(expected.empty());
+
+  Result<LoadedCatalog> loaded = LoadCatalog(DefaultVfs(), source);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->format_version(), version);
+  EXPECT_FALSE(loaded->arena_backed());
+  EXPECT_EQ(CatalogDigest(*loaded), expected);
+
+  // OpenCatalogMapped on a pre-v4 file falls back to heap mode (that is
+  // the documented contract — only corruption refuses to fall back).
+  Result<LoadedCatalog> fallback = OpenCatalogMapped(DefaultVfs(), source);
+  ASSERT_TRUE(fallback.ok());
+  EXPECT_FALSE(fallback->arena_backed());
+  EXPECT_EQ(CatalogDigest(*fallback), expected);
+
+  // Upgrade: re-save as v4, then verify both open modes.
+  const std::string upgraded =
+      TempDirPath(("formats_v" + std::to_string(version) + "_to_v4.plc")
+                      .c_str());
+  ASSERT_TRUE(WriteCatalog(DefaultVfs(), upgraded, loaded->rows(),
+                           loaded->sc_table())
+                  .ok());
+  Result<LoadedCatalog> v4_heap = LoadCatalog(DefaultVfs(), upgraded);
+  ASSERT_TRUE(v4_heap.ok()) << v4_heap.status().ToString();
+  EXPECT_EQ(v4_heap->format_version(), 4);
+  EXPECT_EQ(CatalogDigest(*v4_heap), expected);
+
+  Result<LoadedCatalog> v4_arena = OpenCatalogMapped(DefaultVfs(), upgraded);
+  ASSERT_TRUE(v4_arena.ok()) << v4_arena.status().ToString();
+  EXPECT_TRUE(v4_arena->arena_backed());
+  EXPECT_EQ(CatalogDigest(*v4_arena), expected);
+  std::remove(upgraded.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(V2AndV3, CatalogFormatUpgrade,
+                         ::testing::Values(2, 3));
 
 }  // namespace
 }  // namespace primelabel

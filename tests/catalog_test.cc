@@ -194,8 +194,19 @@ TEST(CatalogAttributes, RoundTripThroughSaveAndLoad) {
 }
 
 TEST_F(CatalogTest, V3PersistsFingerprintsAndSkipsRecompute) {
+  // Emit the document's rows as format v3 explicitly (Save now writes the
+  // newest format, v4 — its adoption path is covered separately).
+  std::string v4_path = TempPath("v3-fps-src.plc");
+  ASSERT_TRUE(doc_->Save(v4_path).ok());
+  Result<LoadedCatalog> src = LoadCatalog(DefaultVfs(), v4_path);
+  ASSERT_TRUE(src.ok());
   std::string path = TempPath("v3-fps.plc");
-  ASSERT_TRUE(doc_->Save(path).ok());
+  CatalogWriteOptions v3_options;
+  v3_options.format_version = 3;
+  ASSERT_TRUE(WriteCatalog(DefaultVfs(), path, src->rows(), src->sc_table(),
+                           v3_options)
+                  .ok());
+  std::remove(v4_path.c_str());
 
   // Loading a v3 catalog whose config hash matches this binary must adopt
   // the stored fingerprints wholesale: zero FingerprintOf calls on the
@@ -252,8 +263,20 @@ TEST_F(CatalogTest, V2FilesStayLoadableWithRecompute) {
 }
 
 TEST_F(CatalogTest, V3StaleConfigHashFallsBackToRecompute) {
+  // Write a v3 file explicitly; in v4 the config hash sits inside the
+  // digested header, so flipping it is (correctly) corruption, not a
+  // stale-config fallback.
+  std::string v4_path = TempPath("stale-hash-src.plc");
+  ASSERT_TRUE(doc_->Save(v4_path).ok());
+  Result<LoadedCatalog> src = LoadCatalog(DefaultVfs(), v4_path);
+  ASSERT_TRUE(src.ok());
   std::string path = TempPath("stale-hash.plc");
-  ASSERT_TRUE(doc_->Save(path).ok());
+  CatalogWriteOptions v3_options;
+  v3_options.format_version = 3;
+  ASSERT_TRUE(WriteCatalog(DefaultVfs(), path, src->rows(), src->sc_table(),
+                           v3_options)
+                  .ok());
+  std::remove(v4_path.c_str());
 
   // Flip a byte of the stored FingerprintConfigHash (the 8 bytes right
   // after the magic): the stored fingerprints were built by a "different"
@@ -296,7 +319,7 @@ TEST(CatalogErrors, UnsupportedVersionNamesFoundAndSupported) {
   EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
   std::string message = loaded.status().ToString();
   EXPECT_NE(message.find("format version 7"), std::string::npos) << message;
-  EXPECT_NE(message.find("2 .. 3"), std::string::npos) << message;
+  EXPECT_NE(message.find("2 .. 4"), std::string::npos) << message;
   std::remove(path.c_str());
 }
 
