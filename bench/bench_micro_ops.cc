@@ -32,10 +32,13 @@
 #include "labeling/prefix.h"
 #include "labeling/prime_optimized.h"
 #include "labeling/prime_top_down.h"
+#include "planner/compiler.h"
+#include "planner/executor.h"
 #include "primes/prime_source.h"
 #include "report.h"
 #include "store/catalog.h"
 #include "store/plan.h"
+#include "xpath/evaluator.h"
 #include "util/rng.h"
 #include "xml/datasets.h"
 #include "xml/serializer.h"
@@ -568,6 +571,80 @@ void BM_IsAncestorBatchArena(benchmark::State& state) {
 }
 BENCHMARK(BM_IsAncestorBatchArena);
 
+// --- Planned vs walked XPath execution -----------------------------------
+//
+// The paper's Fig. 15 query battery over a 3-replica Shakespeare corpus,
+// run through both execution paths: the step-at-a-time tree-walking
+// evaluator (which reparses every query and resorts the context after
+// every step) and the plan executor fed precompiled plans — the shape the
+// service's plan cache serves on a hit, where parsing is amortized away
+// and OrderSort survives only after position predicates. Both paths drive
+// the same oracle batch kernels and return bit-identical node vectors
+// (planner_test asserts it); the ratio is what the planner buys. The
+// check.sh bench-smoke leg regression-gates the planned row.
+
+const char* const kFig15Queries[] = {
+    "/play//act[4]",
+    "/play//act[3]//Following::act",
+    "/play//act//speaker",
+    "/act[5]//Following::speech",
+    "/speech[4]//Preceding::line",
+    "/play//act[3]//line",
+    "/play//speech[1]//Following-sibling::speech[3]",
+    "/play//speech",
+    "/play//line",
+};
+
+const LabeledDocument& XPathBenchDoc() {
+  static const LabeledDocument* doc = [] {
+    return new LabeledDocument(
+        LabeledDocument::FromTree(GenerateShakespeareCorpus(3),
+                                  /*sc_group_size=*/5));
+  }();
+  return *doc;
+}
+
+void BM_XPathPlannedVsWalked(benchmark::State& state, bool planned) {
+  const LabeledDocument& doc = XPathBenchDoc();
+  QueryContext ctx;
+  ctx.table = &doc.label_table();
+  ctx.oracle = &doc.scheme();
+  std::vector<PhysicalPlan> plans;
+  if (planned) {
+    for (const char* query : kFig15Queries) {
+      Result<PhysicalPlan> plan = PlanCompiler::Compile(query);
+      if (!plan.ok()) {
+        state.SkipWithError(plan.status().ToString().c_str());
+        return;
+      }
+      plans.push_back(std::move(plan.value()));
+    }
+  }
+  XPathEvaluator evaluator(&ctx);
+  for (auto _ : state) {
+    std::size_t total = 0;
+    if (planned) {
+      for (const PhysicalPlan& plan : plans) {
+        total += ExecutePlan(plan, ctx).size();
+      }
+    } else {
+      for (const char* query : kFig15Queries) {
+        Result<std::vector<NodeId>> ids = evaluator.Evaluate(query);
+        if (!ids.ok()) {
+          state.SkipWithError(ids.status().ToString().c_str());
+          return;
+        }
+        total += ids->size();
+      }
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(std::size(kFig15Queries)));
+}
+BENCHMARK_CAPTURE(BM_XPathPlannedVsWalked, planned, true);
+BENCHMARK_CAPTURE(BM_XPathPlannedVsWalked, walked, false);
+
 void BM_BigIntDivisibility(benchmark::State& state) {
   // The exact shape of the scheme's hot path: ~100-bit label mod ~40-bit
   // ancestor label.
@@ -710,8 +787,9 @@ void PatchPeakRssContext(const std::string& path) {
 // google-benchmark JSON to BENCH_micro_ops.json in the working directory,
 // so speedup ratios (fast path vs naive) can be checked by scripts. The
 // --quick flag (used by the scripts/check.sh bench-smoke leg) restricts
-// the run to the IsAncestorBatch family at a short min-time with 7
-// repetitions, and the regression check reads the median aggregate:
+// the run to the IsAncestorBatch family and the planned/walked XPath pair
+// at a short min-time with 7 repetitions, and the regression check reads
+// the median aggregate:
 // sub-0.1s repetitions measure up to ~30% slow and noisy (frequency
 // ramp, steal bursts), while median-of-7 at 0.1s reproduces the full
 // run's number within a few percent. Enough to validate the JSON schema
@@ -721,7 +799,8 @@ int main(int argc, char** argv) {
   std::vector<char*> args(argv, argv + argc);
   std::string out_flag = "--benchmark_out=BENCH_micro_ops.json";
   std::string format_flag = "--benchmark_out_format=json";
-  std::string quick_filter = "--benchmark_filter=BM_IsAncestorBatch";
+  std::string quick_filter =
+      "--benchmark_filter=BM_IsAncestorBatch|BM_XPathPlannedVsWalked";
   std::string quick_min_time = "--benchmark_min_time=0.1";
   std::string quick_reps = "--benchmark_repetitions=7";
   bool has_out = false;

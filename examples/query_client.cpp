@@ -6,12 +6,21 @@
 //       One request, reply on stdout, exit 0 iff the reply is OK.
 //   query_client <socket> --smoke
 //       The standing smoke battery used by scripts/check.sh: PING, SNAP,
-//       a handful of XPATH/ISANC/DESC/ANC requests, STATS, QUIT — exit 0
-//       only if every reply is OK.
+//       a handful of XPATH/ISANC/DESC/ANC requests, EXPLAIN, repeated
+//       queries asserting the plan/result-cache counters in STATS, QUIT —
+//       exit 0 only if every reply is OK and every assertion holds.
+//   query_client <socket> --explain <xpath>
+//       SNAP, then EXPLAIN the query and print the operator tree.
+//   query_client <socket> --plansmoke
+//       Against a live-writer server: SNAP, run a query (seeding the
+//       result cache at the pinned point), then poll STATS until a
+//       checkpoint publish invalidates it (RESINVALIDATIONS > 0).
 
+#include <chrono>
 #include <cstdio>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "service/socket_server.h"
@@ -23,7 +32,9 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: query_client <socket> <request line...>\n"
-               "       query_client <socket> --smoke\n");
+               "       query_client <socket> --smoke\n"
+               "       query_client <socket> --explain <xpath>\n"
+               "       query_client <socket> --plansmoke\n");
   return 2;
 }
 
@@ -93,19 +104,35 @@ int Smoke(SocketClient& client) {
 
   if (!RunOne(client, "XPATH //line[1]", true)) return 1;
 
+  // EXPLAIN renders the compiled operator tree with per-operator
+  // cardinalities (the check.sh planner leg greps it for operator names).
+  if (!RunOne(client, "EXPLAIN /play//act", true)) return 1;
+
+  // Repeat a query already served on this snapshot: the plan cache must
+  // hit (plans are view-independent and never invalidated), and on a
+  // quiescent sealed server the result cache must hit too — nothing can
+  // have swung the epoch between the two runs.
+  if (!RunOne(client, "XPATH //speech", false)) return 1;
+
   // STATS must report the open view's label-store residency: non-zero
   // LABELBYTES and a storage mode consistent with what SNAP showed — a
   // sealed epoch must come back "arena" (a "heap" answer there means the
-  // zero-copy path silently regressed), an unsealed one "heap".
+  // zero-copy path silently regressed), an unsealed one "heap". It must
+  // also carry the planner counters wired in with the plan/result caches.
   Result<std::string> stats = client.Request("STATS");
   if (!stats.ok()) return 1;
   std::printf("%s\n", stats->c_str());
   std::istringstream in(*stats);
   std::string token, mode;
   long label_bytes = -1;
+  long plan_hits = -1, plan_misses = -1, res_hits = -1, res_misses = -1;
   while (in >> token) {
     if (token == "LABELBYTES") in >> label_bytes;
     if (token == "MODE") in >> mode;
+    if (token == "PLANHITS") in >> plan_hits;
+    if (token == "PLANMISSES") in >> plan_misses;
+    if (token == "RESHITS") in >> res_hits;
+    if (token == "RESMISSES") in >> res_misses;
   }
   if (label_bytes <= 0) {
     std::fprintf(stderr, "smoke: STATS LABELBYTES missing or zero\n");
@@ -119,10 +146,69 @@ int Smoke(SocketClient& client) {
                  mode.c_str(), expected_mode.c_str(), epoch, journal_bytes);
     return 1;
   }
+  if (plan_hits < 0 || plan_misses < 0 || res_hits < 0 || res_misses < 0) {
+    std::fprintf(stderr, "smoke: STATS is missing planner counters\n");
+    return 1;
+  }
+  // Each distinct query compiled once (misses); the repeated //speech
+  // found its plan (hits).
+  if (plan_misses < 1 || plan_hits < 1) {
+    std::fprintf(stderr,
+                 "smoke: expected plan-cache traffic, got PLANHITS %ld "
+                 "PLANMISSES %ld\n",
+                 plan_hits, plan_misses);
+    return 1;
+  }
+  if (sealed && res_hits < 1) {
+    std::fprintf(stderr,
+                 "smoke: repeated query on a sealed server missed the "
+                 "result cache (RESHITS %ld RESMISSES %ld)\n",
+                 res_hits, res_misses);
+    return 1;
+  }
 
   if (!RunOne(client, "QUIT", true)) return 1;
   std::printf("smoke OK\n");
   return 0;
+}
+
+/// SNAP + EXPLAIN: prints the operator tree for one query.
+int Explain(SocketClient& client, const std::string& xpath) {
+  if (!RunOne(client, "SNAP", false)) return 1;
+  if (!RunOne(client, "EXPLAIN " + xpath, true)) return 1;
+  return RunOne(client, "QUIT", false) ? 0 : 1;
+}
+
+/// Cache-invalidation-on-checkpoint check, run against a server whose
+/// writer is actively committing and checkpointing: seed the result cache
+/// at the pinned snapshot point, then poll STATS until the retirement
+/// listener sweeps it (RESINVALIDATIONS rises when a checkpoint publishes
+/// a new epoch and the old epoch's cached results are dropped).
+int PlanSmoke(SocketClient& client) {
+  if (!RunOne(client, "SNAP", true)) return 1;
+  if (!RunOne(client, "XPATH //speech", false)) return 1;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  long invalidations = -1;
+  while (std::chrono::steady_clock::now() < deadline) {
+    Result<std::string> stats = client.Request("STATS");
+    if (!stats.ok()) return 1;
+    std::istringstream in(*stats);
+    std::string token;
+    while (in >> token) {
+      if (token == "RESINVALIDATIONS") in >> invalidations;
+    }
+    if (invalidations > 0) {
+      std::printf("%s\nplansmoke OK\n", stats->c_str());
+      return RunOne(client, "QUIT", false) ? 0 : 1;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  std::fprintf(stderr,
+               "plansmoke: no result-cache invalidation observed "
+               "(RESINVALIDATIONS %ld)\n",
+               invalidations);
+  return 1;
 }
 
 }  // namespace
@@ -136,6 +222,16 @@ int main(int argc, char** argv) {
     return 1;
   }
   if (std::string(argv[2]) == "--smoke") return Smoke(client);
+  if (std::string(argv[2]) == "--plansmoke") return PlanSmoke(client);
+  if (std::string(argv[2]) == "--explain") {
+    if (argc < 4) return Usage();
+    std::string xpath;
+    for (int i = 3; i < argc; ++i) {
+      if (i > 3) xpath += ' ';
+      xpath += argv[i];
+    }
+    return Explain(client, xpath);
+  }
   std::string line;
   for (int i = 2; i < argc; ++i) {
     if (i > 2) line += ' ';

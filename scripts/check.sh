@@ -8,7 +8,8 @@
 # durability leg (the fault-injection suite, a crash-recovery soak with
 # real mid-stream process kills, and a fault-matrix sweep over several
 # workload seeds), and a service leg (query_server over a Unix socket
-# with a live background writer: client smoke battery, SIGKILL
+# with a live background writer: client smoke battery, an EXPLAIN smoke
+# of the plan compiler, result-cache invalidation-on-checkpoint, SIGKILL
 # mid-request, clean writer recovery, and the bench_service numbers).
 #
 # Usage: scripts/check.sh [--no-tsan] [--no-scalar] [--no-durability]
@@ -76,6 +77,15 @@ if [[ "$run_service" == "1" ]]; then
   for _ in $(seq 1 100); do [[ -S "$svc_sock" ]] && break; sleep 0.1; done
   [[ -S "$svc_sock" ]] || { echo "query_server never bound $svc_sock" >&2; exit 1; }
   build/examples/query_client "$svc_sock" --smoke
+  # Planner EXPLAIN smoke: the compiled operator tree for a position
+  # query must surface the scan, the join, the position filter and the
+  # order restore, each with cardinalities.
+  explain_out=$(build/examples/query_client "$svc_sock" --explain "/play//act[2]")
+  echo "$explain_out"
+  for op in TagScan DescendantJoin PositionSelect OrderSort out=; do
+    grep -q "$op" <<<"$explain_out" \
+      || { echo "EXPLAIN output missing $op" >&2; exit 1; }
+  done
   kill "$svc_pid" 2>/dev/null || true
   wait "$svc_pid" 2>/dev/null || true
   rm -f "$svc_sock"
@@ -87,6 +97,10 @@ if [[ "$run_service" == "1" ]]; then
   for _ in $(seq 1 100); do [[ -S "$svc_sock" ]] && break; sleep 0.1; done
   [[ -S "$svc_sock" ]] || { echo "query_server never bound $svc_sock" >&2; exit 1; }
   build/examples/query_client "$svc_sock" --smoke
+  # Planner cache-invalidation check: seed the result cache, then wait
+  # for the live writer's next checkpoint publish to sweep it
+  # (RESINVALIDATIONS in STATS must rise).
+  build/examples/query_client "$svc_sock" --plansmoke
   # Kill the server mid-request storm (SIGKILL: no destructors, no flush),
   # then prove the writer's store recovers cleanly.
   ( while true; do
@@ -115,9 +129,10 @@ fi
 
 if [[ "$run_bench" == "1" ]]; then
   echo "== bench smoke: bench_micro_ops --quick + JSON schema/regression check =="
-  # The quick run covers the BM_IsAncestorBatch family only — enough to
-  # validate the emitted JSON end to end and to catch a gross headline
-  # regression without paying for the full suite.
+  # The quick run covers the BM_IsAncestorBatch family and the
+  # planned/walked XPath pair — enough to validate the emitted JSON end
+  # to end and to catch a gross headline regression without paying for
+  # the full suite.
   (cd build/bench && ./bench_micro_ops --quick >/dev/null)
   python3 scripts/check_bench_json.py --schema build/bench/BENCH_*.json
   # BENCH_micro_ops.json at the repo root is the committed baseline; the
@@ -127,6 +142,13 @@ if [[ "$run_bench" == "1" ]]; then
   # sub-0.1s repetitions are 30% noisy and must not be used here).
   python3 scripts/check_bench_json.py --regress \
     build/bench/BENCH_micro_ops.json BENCH_micro_ops.json
+  # The planned-execution row is the planner's acceptance number (it must
+  # also stay ahead of BM_XPathPlannedVsWalked/walked in the committed
+  # baseline). Full-query latencies jitter more than the batch kernel
+  # medians, so the gate is a little looser.
+  python3 scripts/check_bench_json.py --regress \
+    build/bench/BENCH_micro_ops.json BENCH_micro_ops.json \
+    --benchmark BM_XPathPlannedVsWalked/planned --tolerance 15
 fi
 
 if [[ "$run_scalar" == "1" ]]; then
@@ -143,7 +165,7 @@ if [[ "$run_tsan" == "1" ]]; then
   cmake -B build-tsan -S . -DPRIMELABEL_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "$jobs"
   ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
-    -R 'Parallel|Epoch|Concurrent|Service|Snapshot'
+    -R 'Parallel|Epoch|Concurrent|Service|Snapshot|Planner'
 fi
 
 echo "All checks passed."

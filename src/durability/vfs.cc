@@ -132,6 +132,24 @@ class PosixMappedRegion : public MappedRegion {
     return {static_cast<const std::uint8_t*>(addr_), length_};
   }
 
+  void Advise(AccessHint hint) const override {
+    int advice = MADV_NORMAL;
+    switch (hint) {
+      case AccessHint::kNormal:
+        advice = MADV_NORMAL;
+        break;
+      case AccessHint::kSequential:
+        advice = MADV_SEQUENTIAL;
+        break;
+      case AccessHint::kRandom:
+        advice = MADV_RANDOM;
+        break;
+    }
+    // Advisory only: a kernel that rejects the hint changes nothing
+    // about correctness, so the return value is deliberately ignored.
+    (void)::madvise(addr_, length_, advice);
+  }
+
  private:
   void* addr_;
   std::size_t length_;

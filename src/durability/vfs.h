@@ -28,6 +28,18 @@ class WritableFile {
   virtual std::uint64_t size() const = 0;
 };
 
+/// Expected access pattern for a mapped range — the madvise(2) hints the
+/// catalog layer issues around its sweeps: kSequential ahead of a
+/// front-to-back pass (digest verification, row materialization) so the
+/// kernel reads ahead aggressively and drops pages behind the cursor,
+/// kRandom for point-lookup serving (arena label probes) so it doesn't
+/// waste memory on read-around, kNormal to return to the default.
+enum class AccessHint {
+  kNormal,
+  kSequential,
+  kRandom,
+};
+
 /// A read-only byte range backed by an open file mapping (or a heap copy
 /// on Vfs implementations without real mmap). The bytes stay valid and
 /// immutable for the region's lifetime — on POSIX a mapping survives
@@ -39,6 +51,11 @@ class MappedRegion {
  public:
   virtual ~MappedRegion() = default;
   virtual std::span<const std::uint8_t> bytes() const = 0;
+
+  /// Declares the expected access pattern. Purely advisory — a no-op on
+  /// heap-backed regions and on platforms without madvise — so callers
+  /// hint unconditionally and never branch on backing.
+  virtual void Advise(AccessHint hint) const { (void)hint; }
 };
 
 /// Virtual filesystem seam. Everything the durability subsystem does to

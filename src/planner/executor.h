@@ -1,0 +1,29 @@
+#ifndef PRIMELABEL_PLANNER_EXECUTOR_H_
+#define PRIMELABEL_PLANNER_EXECUTOR_H_
+
+#include <vector>
+
+#include "planner/physical_plan.h"
+#include "store/plan.h"
+
+namespace primelabel {
+
+/// Runs a compiled plan against a snapshot. Joins and sorts execute
+/// through the store/plan.h kernels (and so through the oracle's batch
+/// entry points — IsAncestorBatch / SelectDescendants / SelectAncestors,
+/// sharded per ctx.num_workers); tag scans borrow the tag index in place
+/// (no copies); predicate filters are row-local string compares.
+///
+/// The returned node set is bit-identical to XPathEvaluator on the same
+/// context — the differential suite in tests/planner_test.cc holds this
+/// across scheme/catalog and heap/arena backends. Execution counters
+/// accumulate into ctx.stats as usual; when `profile` is non-null it is
+/// filled with per-operator cardinalities and counter deltas (one
+/// OpProfile per plan op) for EXPLAIN.
+std::vector<NodeId> ExecutePlan(const PhysicalPlan& plan,
+                                const QueryContext& ctx,
+                                PlanProfile* profile = nullptr);
+
+}  // namespace primelabel
+
+#endif  // PRIMELABEL_PLANNER_EXECUTOR_H_

@@ -1,0 +1,115 @@
+#include "planner/physical_plan.h"
+
+#include <sstream>
+
+namespace primelabel {
+
+const char* PlanOpKindName(PlanOpKind kind) {
+  switch (kind) {
+    case PlanOpKind::kTagScan:
+      return "TagScan";
+    case PlanOpKind::kDescendantJoin:
+      return "DescendantJoin";
+    case PlanOpKind::kChildJoin:
+      return "ChildJoin";
+    case PlanOpKind::kAncestorJoin:
+      return "AncestorJoin";
+    case PlanOpKind::kParentJoin:
+      return "ParentJoin";
+    case PlanOpKind::kFollowingFilter:
+      return "FollowingFilter";
+    case PlanOpKind::kPrecedingFilter:
+      return "PrecedingFilter";
+    case PlanOpKind::kFollowingSiblingFilter:
+      return "FollowingSiblingFilter";
+    case PlanOpKind::kPrecedingSiblingFilter:
+      return "PrecedingSiblingFilter";
+    case PlanOpKind::kAttributeFilter:
+      return "AttributeFilter";
+    case PlanOpKind::kTextFilter:
+      return "TextFilter";
+    case PlanOpKind::kPositionSelect:
+      return "PositionSelect";
+    case PlanOpKind::kOrderSort:
+      return "OrderSort";
+  }
+  return "?";
+}
+
+namespace {
+
+/// "TagScan(act)" / "AttributeFilter(@name='X',#0)" / "DescendantJoin(#0,#1)"
+/// — the structural half of one operator's EXPLAIN cell.
+void RenderOp(const PlanOp& op, std::ostream& out) {
+  out << PlanOpKindName(op.kind) << '(';
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out << ',';
+    first = false;
+  };
+  switch (op.kind) {
+    case PlanOpKind::kTagScan:
+      sep();
+      out << op.arg;
+      break;
+    case PlanOpKind::kAttributeFilter:
+      sep();
+      out << '@' << op.arg << "='" << op.arg2 << '\'';
+      break;
+    case PlanOpKind::kTextFilter:
+      sep();
+      out << "text()='" << op.arg << '\'';
+      break;
+    case PlanOpKind::kPositionSelect:
+      sep();
+      out << '[' << op.position << ']';
+      break;
+    default:
+      break;
+  }
+  if (op.input >= 0) {
+    sep();
+    out << '#' << op.input;
+  } else if (op.candidates >= 0) {
+    // A join with no context input: make the empty anchor side visible.
+    sep();
+    out << "empty";
+  }
+  if (op.candidates >= 0) {
+    sep();
+    out << '#' << op.candidates;
+  }
+  out << ')';
+}
+
+}  // namespace
+
+std::string PhysicalPlan::ToString() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (i > 0) out << " | ";
+    out << '#' << i << ' ';
+    RenderOp(ops[i], out);
+  }
+  return out.str();
+}
+
+std::string ExplainPlan(const PhysicalPlan& plan, const PlanProfile* profile) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < plan.ops.size(); ++i) {
+    if (i > 0) out << " | ";
+    out << '#' << i << ' ';
+    RenderOp(plan.ops[i], out);
+    if (profile != nullptr && i < profile->ops.size()) {
+      const OpProfile& p = profile->ops[i];
+      if (plan.ops[i].input >= 0) out << " in=" << p.rows_in;
+      if (plan.ops[i].candidates >= 0) out << " cand=" << p.candidates_in;
+      out << " out=" << p.rows_out;
+      if (p.label_tests > 0) out << " tests=" << p.label_tests;
+      if (p.order_lookups > 0) out << " ord=" << p.order_lookups;
+    }
+  }
+  return out.str();
+}
+
+}  // namespace primelabel

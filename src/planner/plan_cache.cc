@@ -1,0 +1,134 @@
+#include "planner/plan_cache.h"
+
+#include <utility>
+
+namespace primelabel {
+
+std::shared_ptr<const PhysicalPlan> PlanCache::Lookup(
+    const std::string& normalized) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(normalized);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  return it->second.plan;
+}
+
+std::shared_ptr<const PhysicalPlan> PlanCache::Insert(
+    const std::string& normalized, std::shared_ptr<const PhysicalPlan> plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(normalized);
+  if (it != entries_.end()) {
+    // A racing compile landed first; keep it.
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return it->second.plan;
+  }
+  while (entries_.size() >= capacity_) {
+    auto victim = entries_.find(lru_.back());
+    lru_.pop_back();
+    entries_.erase(victim);
+    ++stats_.evictions;
+  }
+  lru_.push_front(normalized);
+  Entry entry;
+  entry.plan = std::move(plan);
+  entry.lru_pos = lru_.begin();
+  auto cached = entry.plan;
+  entries_.emplace(normalized, std::move(entry));
+  return cached;
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  lru_.clear();
+}
+
+std::size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+ResultCache::NodeSet ResultCache::Lookup(const std::string& normalized,
+                                         std::uint64_t epoch,
+                                         std::uint64_t journal_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(Key(normalized, epoch, journal_bytes));
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  return it->second.result;
+}
+
+ResultCache::NodeSet ResultCache::Insert(const std::string& normalized,
+                                         std::uint64_t epoch,
+                                         std::uint64_t journal_bytes,
+                                         NodeSet result) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Key key(normalized, epoch, journal_bytes);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    // A racing execution landed first; both answers are the same
+    // snapshot's, so keep the cached one.
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return it->second.result;
+  }
+  while (entries_.size() >= capacity_) {
+    auto victim = entries_.find(lru_.back());
+    EvictLocked(victim);
+    ++stats_.evictions;
+  }
+  lru_.push_front(key);
+  Entry entry;
+  entry.result = std::move(result);
+  entry.lru_pos = lru_.begin();
+  auto cached = entry.result;
+  entries_.emplace(std::move(key), std::move(entry));
+  return cached;
+}
+
+void ResultCache::EvictStale(std::uint64_t current_epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    auto next = std::next(it);
+    if (std::get<1>(it->first) != current_epoch) {
+      EvictLocked(it);
+      ++stats_.invalidations;
+    }
+    it = next;
+  }
+}
+
+void ResultCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  lru_.clear();
+}
+
+std::size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void ResultCache::EvictLocked(std::map<Key, Entry>::iterator it) {
+  lru_.erase(it->second.lru_pos);
+  entries_.erase(it);
+}
+
+}  // namespace primelabel

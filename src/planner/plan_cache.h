@@ -1,0 +1,129 @@
+#ifndef PRIMELABEL_PLANNER_PLAN_CACHE_H_
+#define PRIMELABEL_PLANNER_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "planner/physical_plan.h"
+#include "xml/tree.h"
+
+namespace primelabel {
+
+/// LRU cache of compiled plans, keyed by the canonical query text
+/// (PlanCompiler::Normalize). Plans reference the snapshot only by tag
+/// name and are immutable once built, so one entry serves every view and
+/// epoch — plan entries are never invalidated, only LRU-evicted.
+///
+/// Compilation is cheap (a parse), so unlike EpochViewCache there is no
+/// in-flight protocol: two sessions racing the same miss both compile and
+/// the first insert wins.
+class PlanCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  explicit PlanCache(std::size_t capacity)
+      : capacity_(capacity < 1 ? 1 : capacity) {}
+
+  /// Returns the cached plan for `normalized` (counting a hit), or
+  /// nullptr (counting a miss).
+  std::shared_ptr<const PhysicalPlan> Lookup(const std::string& normalized);
+
+  /// Caches `plan` under `normalized` and returns the cached copy. A
+  /// racing insert keeps the existing entry.
+  std::shared_ptr<const PhysicalPlan> Insert(
+      const std::string& normalized, std::shared_ptr<const PhysicalPlan> plan);
+
+  void Clear();
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const PhysicalPlan> plan;
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+  /// Most recently used at the front.
+  std::list<std::string> lru_;
+  Stats stats_;
+};
+
+/// Bounded LRU cache of query results, keyed by (canonical query, epoch,
+/// committed journal bytes) — the same point an EpochPin captures, so a
+/// key can never alias two different document states. Results are shared
+/// immutable vectors: a hit costs one shared_ptr copy, no re-execution.
+///
+/// Invalidation rides the retirement-listener path that sweeps
+/// EpochViewCache: every checkpoint publish calls EvictStale, dropping
+/// results for superseded epochs (new snapshots always capture the
+/// current epoch, so those entries can never be handed out again).
+/// Intra-epoch journal growth mints new keys; the capacity bound ages the
+/// dead ones out.
+class ResultCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    /// Entries dropped by EvictStale (not counted as evictions).
+    std::uint64_t invalidations = 0;
+  };
+
+  using NodeSet = std::shared_ptr<const std::vector<NodeId>>;
+
+  explicit ResultCache(std::size_t capacity)
+      : capacity_(capacity < 1 ? 1 : capacity) {}
+
+  NodeSet Lookup(const std::string& normalized, std::uint64_t epoch,
+                 std::uint64_t journal_bytes);
+
+  /// Caches `result` and returns the cached copy (the existing entry if a
+  /// racing execution inserted first — both computed the same snapshot's
+  /// answer, so either is correct).
+  NodeSet Insert(const std::string& normalized, std::uint64_t epoch,
+                 std::uint64_t journal_bytes, NodeSet result);
+
+  /// Drops every entry whose epoch differs from `current_epoch`. Invoked
+  /// by the epoch registry's retirement listener after each checkpoint
+  /// publish, alongside EpochViewCache::EvictStale.
+  void EvictStale(std::uint64_t current_epoch);
+
+  void Clear();
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  Stats stats() const;
+
+ private:
+  using Key = std::tuple<std::string, std::uint64_t, std::uint64_t>;
+
+  struct Entry {
+    NodeSet result;
+    std::list<Key>::iterator lru_pos;
+  };
+
+  void EvictLocked(std::map<Key, Entry>::iterator it);
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::map<Key, Entry> entries_;
+  std::list<Key> lru_;
+  Stats stats_;
+};
+
+}  // namespace primelabel
+
+#endif  // PRIMELABEL_PLANNER_PLAN_CACHE_H_

@@ -6,15 +6,30 @@
 
 namespace primelabel {
 
+namespace {
+
+QueryPlanner::Options PlannerOptions(const QueryService::Options& options) {
+  QueryPlanner::Options planner;
+  planner.plan_cache_capacity = options.plan_cache_capacity;
+  planner.result_cache_capacity = options.result_cache_capacity;
+  return planner;
+}
+
+}  // namespace
+
 QueryService::QueryService(DurableDocumentStore store, Options options)
     : store_(std::move(store)),
       options_(options),
-      cache_(options.view_cache_capacity) {
+      cache_(options.view_cache_capacity),
+      planner_(PlannerOptions(options)) {
   store_.set_view_cache(&cache_);
   if (store_.epoch_registry() != nullptr) {
+    // One listener sweeps both caches: a checkpoint publish retires the
+    // old epoch's views and the results computed against them.
     store_.epoch_registry()->SetRetirementListener(
         [this](std::uint64_t current_epoch) {
           cache_.EvictStale(current_epoch);
+          planner_.EvictStale(current_epoch);
         });
   }
 }
@@ -146,7 +161,29 @@ Result<std::vector<NodeId>> Session::Query(const Snapshot& snapshot,
   QueryService::Ticket ticket(service_, state_.get());
   Status admitted = ticket.Admit();
   if (!admitted.ok()) return admitted;
-  return snapshot.Query(xpath, service_->options_.query_workers);
+  if (!service_->options_.use_planner) {
+    return snapshot.Query(xpath, service_->options_.query_workers);
+  }
+  const EpochView& view = *snapshot.view();
+  Result<QueryPlanner::NodeSet> result = service_->planner_.Query(
+      view.label_table(), view.oracle(), snapshot.epoch(),
+      snapshot.journal_bytes(), xpath, service_->options_.query_workers);
+  if (!result.ok()) return result.status();
+  return std::vector<NodeId>(*result.value());
+}
+
+Result<std::string> Session::Explain(const Snapshot& snapshot,
+                                     std::string_view xpath) {
+  if (!valid()) return Status::InvalidArgument("session is closed");
+  if (!snapshot.valid()) {
+    return Status::InvalidArgument("snapshot is not open");
+  }
+  QueryService::Ticket ticket(service_, state_.get());
+  Status admitted = ticket.Admit();
+  if (!admitted.ok()) return admitted;
+  const EpochView& view = *snapshot.view();
+  return service_->planner_.Explain(view.label_table(), view.oracle(), xpath,
+                                    service_->options_.query_workers);
 }
 
 Result<std::vector<bool>> Session::IsAncestorBatch(

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "corpus/durable_document_store.h"
+#include "planner/query_planner.h"
 #include "service/view_cache.h"
 
 namespace primelabel {
@@ -45,6 +46,16 @@ class QueryService {
     std::uint64_t session_request_quota = 0;
     /// Worker fan-out for batched joins inside each query.
     int query_workers = 1;
+    /// Serve XPATH through the compiled-plan path (shared plan cache +
+    /// per-snapshot-point result cache). Off falls back to the
+    /// tree-walking evaluator — kept as the differential reference.
+    bool use_planner = true;
+    /// Compiled plans kept hot (keyed by canonical query text; plans are
+    /// view-independent, so entries survive epoch swings).
+    std::size_t plan_cache_capacity = 64;
+    /// Cached query results, keyed by (canonical query, epoch, journal
+    /// bytes); swept by the same retirement listener as the view cache.
+    std::size_t result_cache_capacity = 128;
   };
 
   struct Counters {
@@ -71,6 +82,7 @@ class QueryService {
   const DurableDocumentStore& store() const { return store_; }
 
   EpochViewCache& view_cache() { return cache_; }
+  QueryPlanner& planner() { return planner_; }
   const Options& options() const { return options_; }
   Counters counters() const;
 
@@ -107,6 +119,7 @@ class QueryService {
   DurableDocumentStore store_;
   const Options options_;
   EpochViewCache cache_;
+  QueryPlanner planner_;
   std::atomic<std::uint64_t> open_sessions_{0};
   std::atomic<std::uint64_t> inflight_requests_{0};
   std::atomic<std::uint64_t> sessions_opened_{0};
@@ -133,9 +146,17 @@ class Session {
   /// Counts as one request for admission purposes.
   Result<Snapshot> OpenSnapshot();
 
-  /// Evaluates an XPath query against an open snapshot.
+  /// Evaluates an XPath query against an open snapshot — through the
+  /// compiled-plan path (plan + result caches) by default, or the
+  /// tree-walking evaluator when Options::use_planner is off.
   Result<std::vector<NodeId>> Query(const Snapshot& snapshot,
                                     std::string_view xpath);
+
+  /// Compiles and executes `xpath` against the snapshot, returning the
+  /// one-line operator tree with per-operator cardinalities (the EXPLAIN
+  /// wire verb). Counts as one request; bypasses the result cache.
+  Result<std::string> Explain(const Snapshot& snapshot,
+                              std::string_view xpath);
 
   /// Batched ancestry test over the snapshot's frozen oracle.
   Result<std::vector<bool>> IsAncestorBatch(const Snapshot& snapshot,

@@ -69,10 +69,15 @@ std::string ExecuteRequestLine(QueryService& service, Session& session,
 
   if (verb == "STATS") {
     const EpochViewCache::Stats cache = service.view_cache().stats();
+    const QueryPlanner::Stats planner = service.planner().stats();
     std::ostringstream out;
     out << "OK SERVED " << session.served() << " REJECTED "
         << session.rejected() << " HITS " << cache.hits << " MISSES "
-        << cache.misses << " EVICTIONS " << cache.evictions;
+        << cache.misses << " EVICTIONS " << cache.evictions << " PLANHITS "
+        << planner.plan.hits << " PLANMISSES " << planner.plan.misses
+        << " RESHITS " << planner.result.hits << " RESMISSES "
+        << planner.result.misses << " RESINVALIDATIONS "
+        << planner.result.invalidations;
     // Label-store residency of this session's open view: how many bytes
     // back its labels, and whether they live in the shared catalog image
     // (arena) or in per-view heap BigInts.
@@ -90,14 +95,19 @@ std::string ExecuteRequestLine(QueryService& service, Session& session,
     return "ERR InvalidArgument no snapshot open (send SNAP first)";
   }
 
-  if (verb == "XPATH") {
+  if (verb == "XPATH" || verb == "EXPLAIN") {
     std::string query;
     std::getline(in, query);
     const std::size_t start = query.find_first_not_of(' ');
     if (start == std::string::npos) {
-      return "ERR InvalidArgument XPATH needs a query";
+      return "ERR InvalidArgument " + verb + " needs a query";
     }
     query = query.substr(start);
+    if (verb == "EXPLAIN") {
+      Result<std::string> explained = session.Explain(**snapshot, query);
+      if (!explained.ok()) return ErrorReply(explained.status());
+      return "OK " + explained.value();
+    }
     Result<std::vector<NodeId>> ids = session.Query(**snapshot, query);
     if (!ids.ok()) return ErrorReply(ids.status());
     return IdListReply(ids.value());

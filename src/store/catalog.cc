@@ -438,6 +438,9 @@ ScTable LoadedCatalog::TakeScTable() {
 
 std::vector<CatalogRow> LoadedCatalog::MaterializeRows() const {
   if (!arena_backed_) return rows_;
+  // One front-to-back pass over the label/self/fps columns; restore the
+  // point-lookup hint when done.
+  AdviseAccess(AccessHint::kSequential);
   std::vector<CatalogRow> rows(meta_.size());
   for (std::size_t i = 0; i < meta_.size(); ++i) {
     CatalogRow& row = rows[i];
@@ -449,6 +452,7 @@ std::vector<CatalogRow> LoadedCatalog::MaterializeRows() const {
     row.self = selfs_[i];
     row.fingerprint = fps_view_[i];
   }
+  AdviseAccess(AccessHint::kRandom);
   return rows;
 }
 
@@ -920,6 +924,10 @@ Result<LoadedCatalog> OpenCatalogMapped(Vfs& vfs, const std::string& path) {
     return LoadCatalog(vfs, path);
   }
   const std::string origin = "catalog '" + path + "'";
+  // ParseV4Image sweeps the whole image front to back (section digests,
+  // ROWMETA decode): tell the kernel to read ahead and not keep pages
+  // behind the cursor.
+  (*mapped)->Advise(AccessHint::kSequential);
   LoadedCatalog catalog;
   Status parsed = LoadedCatalog::ParseV4Image(bytes, origin, &catalog);
   if (!parsed.ok()) return parsed;  // corruption never falls back
@@ -929,6 +937,9 @@ Result<LoadedCatalog> OpenCatalogMapped(Vfs& vfs, const std::string& path) {
     // Recompute on the heap instead of serving the image.
     return LoadCatalog(vfs, path);
   }
+  // Serving flips to point lookups: arena label probes land wherever the
+  // query takes them, so read-around would only evict useful pages.
+  (*mapped)->Advise(AccessHint::kRandom);
   catalog.mapped_ = std::move(*mapped);
   return catalog;
 }

@@ -189,6 +189,14 @@ class LoadedCatalog : public StructureOracle {
   std::vector<CatalogRow> MaterializeRows() const;
   ScTable MaterializeScTable() const;
 
+  /// Declares the expected access pattern on the backing image
+  /// (madvise): kSequential ahead of a front-to-back sweep, kRandom for
+  /// point-lookup serving. No-op in heap mode or on an owned-bytes
+  /// backing, so callers hint unconditionally.
+  void AdviseAccess(AccessHint hint) const {
+    if (mapped_ != nullptr) mapped_->Advise(hint);
+  }
+
   /// Divisibility ancestor test over stored labels.
   bool IsAncestor(NodeId x, NodeId y) const override;
   /// Parent test: label(y) == label(x) * self(y).

@@ -1,0 +1,499 @@
+// Planner suite: plan-compiler lowering shapes, planned-vs-walked
+// differential equivalence across scheme/catalog (heap and arena)
+// backends, plan/result cache units, service wiring (result-cache hits,
+// checkpoint invalidation, the EXPLAIN wire verb and STATS counters),
+// and concurrent cached execution (PlannerConcurrent runs under
+// ThreadSanitizer via the check.sh tsan leg).
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "corpus/labeled_document.h"
+#include "durability/vfs.h"
+#include "planner/query_planner.h"
+#include "service/query_service.h"
+#include "service/wire.h"
+#include "store/catalog.h"
+#include "xml/serializer.h"
+#include "xml/shakespeare.h"
+#include "xpath/evaluator.h"
+
+namespace primelabel {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+XmlTree DiffPlay() {
+  PlayOptions options;
+  options.acts = 3;
+  options.scenes_per_act = 2;
+  options.min_speeches_per_scene = 2;
+  options.max_speeches_per_scene = 4;
+  options.seed = 29;
+  return GeneratePlay("diff", options);
+}
+
+// --- Compiler lowering shapes --------------------------------------------
+
+std::vector<PlanOpKind> Kinds(const PhysicalPlan& plan) {
+  std::vector<PlanOpKind> kinds;
+  for (const PlanOp& op : plan.ops) kinds.push_back(op.kind);
+  return kinds;
+}
+
+TEST(PlannerCompile, RootedDescendantFirstStepIsPureScan) {
+  Result<PhysicalPlan> plan = PlanCompiler::Compile("/play//act");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(Kinds(plan.value()),
+            (std::vector<PlanOpKind>{PlanOpKind::kTagScan, PlanOpKind::kTagScan,
+                                     PlanOpKind::kDescendantJoin}));
+  EXPECT_EQ(plan->ops[2].input, 0);
+  EXPECT_EQ(plan->ops[2].candidates, 1);
+  EXPECT_EQ(plan->query, "//play//act");
+  EXPECT_NE(plan->ToString().find("TagScan(play)"), std::string::npos);
+  EXPECT_NE(plan->ToString().find("DescendantJoin(#0,#1)"), std::string::npos);
+}
+
+TEST(PlannerCompile, SortEmittedOnlyAfterPositionSelect) {
+  // Joins preserve candidate (document) order, so a chain of joins needs
+  // no sort at all...
+  Result<PhysicalPlan> joins = PlanCompiler::Compile("/play//act//speaker");
+  ASSERT_TRUE(joins.ok());
+  for (const PlanOp& op : joins->ops) {
+    EXPECT_NE(op.kind, PlanOpKind::kOrderSort);
+  }
+  // ...while a position predicate (group-major output) is resorted
+  // immediately, and only there.
+  Result<PhysicalPlan> position = PlanCompiler::Compile("/play//act[2]//line");
+  ASSERT_TRUE(position.ok());
+  int sorts = 0;
+  for (std::size_t i = 0; i < position->ops.size(); ++i) {
+    if (position->ops[i].kind != PlanOpKind::kOrderSort) continue;
+    ++sorts;
+    ASSERT_GT(i, 0u);
+    EXPECT_EQ(position->ops[i - 1].kind, PlanOpKind::kPositionSelect);
+  }
+  EXPECT_EQ(sorts, 1);
+}
+
+TEST(PlannerCompile, PredicatesPushBelowTheJoin) {
+  Result<PhysicalPlan> plan =
+      PlanCompiler::Compile("/play//speaker[@name='HAMLET']");
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->ops.size(), 4u);
+  EXPECT_EQ(plan->ops[2].kind, PlanOpKind::kAttributeFilter);
+  EXPECT_EQ(plan->ops[2].input, 1);  // filters the speaker scan...
+  EXPECT_EQ(plan->ops[3].kind, PlanOpKind::kDescendantJoin);
+  EXPECT_EQ(plan->ops[3].candidates, 2);  // ...and the join consumes the filter
+}
+
+TEST(PlannerCompile, ExplicitAxisFirstStepJoinsEmptyContext) {
+  Result<PhysicalPlan> plan = PlanCompiler::Compile("//Following::act");
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->ops.size(), 2u);
+  EXPECT_EQ(plan->ops[1].kind, PlanOpKind::kFollowingFilter);
+  EXPECT_EQ(plan->ops[1].input, -1);
+  EXPECT_NE(plan->ToString().find("empty"), std::string::npos);
+}
+
+TEST(PlannerCompile, NormalizeCanonicalizesSpellings) {
+  Result<std::string> a = PlanCompiler::Normalize("/play/act");
+  Result<std::string> b = PlanCompiler::Normalize("//play/act");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.value(), b.value());
+  EXPECT_EQ(a.value(), "//play/act");
+}
+
+TEST(PlannerCompile, ParseErrorsPropagate) {
+  EXPECT_FALSE(PlanCompiler::Compile("act[").ok());
+  EXPECT_FALSE(PlanCompiler::Normalize("").ok());
+}
+
+// --- Planned-vs-walked differential equivalence --------------------------
+
+/// One (table, oracle) backend the differential battery runs on: the live
+/// prime scheme, a heap-loaded catalog, or a zero-copy mmap arena catalog
+/// — the planner and evaluator must agree bit-for-bit on all of them.
+class PlannerDifferentialTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override {
+    doc_.emplace(LabeledDocument::FromTree(DiffPlay(), /*group=*/5));
+    const std::string which = GetParam();
+    if (which == "scheme") {
+      // OrderedPrimeScheme implements StructureOracle itself: divisibility
+      // ancestry plus SC-table order, the paper's native pipeline.
+      ctx_.table = &doc_->label_table();
+      ctx_.oracle = &doc_->scheme();
+      return;
+    }
+    path_ = TempPath(which == "catalog-heap" ? "planner-heap.plc"
+                                             : "planner-arena.plc");
+    ASSERT_TRUE(SaveCatalog(path_, *doc_).ok());
+    Result<LoadedCatalog> loaded =
+        which == "catalog-heap" ? LoadCatalog(DefaultVfs(), path_)
+                                : OpenCatalogMapped(DefaultVfs(), path_);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    catalog_ = std::make_unique<LoadedCatalog>(std::move(loaded.value()));
+    EXPECT_EQ(catalog_->arena_backed(), which == "catalog-arena");
+    table_ = std::make_unique<LabelTable>(*catalog_);
+    ctx_.table = table_.get();
+    ctx_.oracle = catalog_.get();
+  }
+
+  void TearDown() override {
+    if (!path_.empty()) std::remove(path_.c_str());
+  }
+
+  /// Runs `query` through both engines and requires identical node sets
+  /// in identical document order.
+  void ExpectSame(const std::string& query) {
+    XPathEvaluator evaluator(&ctx_);
+    Result<std::vector<NodeId>> walked = evaluator.Evaluate(query);
+    ASSERT_TRUE(walked.ok()) << query << ": " << walked.status().ToString();
+    Result<PhysicalPlan> plan = PlanCompiler::Compile(query);
+    ASSERT_TRUE(plan.ok()) << query << ": " << plan.status().ToString();
+    std::vector<NodeId> planned = ExecutePlan(plan.value(), ctx_);
+    EXPECT_EQ(planned, walked.value()) << query;
+  }
+
+  std::optional<LabeledDocument> doc_;
+  std::unique_ptr<LoadedCatalog> catalog_;
+  std::unique_ptr<LabelTable> table_;
+  std::string path_;
+  QueryContext ctx_;
+};
+
+TEST_P(PlannerDifferentialTest, Figure15Battery) {
+  // The paper's Fig. 15 query set, as benched in bench_fig15_queries.
+  for (const char* query :
+       {"/play//act[4]", "/play//act[3]//Following::act", "/play//act//speaker",
+        "/act[5]//Following::speech", "/speech[4]//Preceding::line",
+        "/play//act[3]//line", "/play//speech[1]//Following-sibling::speech[3]",
+        "/play//speech", "/play//line"}) {
+    ExpectSame(query);
+  }
+}
+
+TEST_P(PlannerDifferentialTest, AxisAndPredicateCoverage) {
+  for (const char* query :
+       {"/play/act/scene", "/play//line//Parent::speech",
+        "//speaker//Ancestor::act", "//speech//Preceding-sibling::speaker",
+        "//speaker[@name='HAMLET']", "/play//speech[@nonexistent='x']",
+        "/play//*[3]", "//act//*", "//Following::act", "/play//title[1]",
+        "/play//scene[2]//speech[1]"}) {
+    ExpectSame(query);
+  }
+  // A text() predicate against real character data (lines carry text).
+  const std::vector<NodeId>& lines = ctx_.table->Rows("line");
+  ASSERT_FALSE(lines.empty());
+  const std::string* text = ctx_.table->TextOf(lines[0]);
+  if (text != nullptr && text->find('\'') == std::string::npos) {
+    ExpectSame("/play//line[text()='" + *text + "']");
+  }
+}
+
+TEST_P(PlannerDifferentialTest, RandomizedStepCombinations) {
+  const char* tags[] = {"play", "act",     "scene", "speech",
+                        "speaker", "line", "title", "*"};
+  const char* axes[] = {"Following",         "Preceding", "Following-sibling",
+                        "Preceding-sibling", "Parent",    "Ancestor"};
+  const char* names[] = {"HAMLET", "OPHELIA", "NOBODY"};
+  std::mt19937 rng(811);
+  for (int i = 0; i < 60; ++i) {
+    const int steps = 1 + static_cast<int>(rng() % 3);
+    std::string query;
+    for (int s = 0; s < steps; ++s) {
+      if (rng() % 3 == 0) {
+        query += "//";
+        query += axes[rng() % 6];
+        query += "::";
+      } else {
+        query += rng() % 2 == 0 ? "//" : "/";
+      }
+      query += tags[rng() % 8];
+      if (rng() % 4 == 0) {
+        query += "[@name='";
+        query += names[rng() % 3];
+        query += "']";
+      }
+      if (rng() % 3 == 0) {
+        query += '[';
+        query += std::to_string(1 + rng() % 4);
+        query += ']';
+      }
+    }
+    ExpectSame(query);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, PlannerDifferentialTest,
+                         ::testing::Values("scheme", "catalog-heap",
+                                           "catalog-arena"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+// --- Cache units ----------------------------------------------------------
+
+std::shared_ptr<const PhysicalPlan> MakePlan(const std::string& query) {
+  Result<PhysicalPlan> plan = PlanCompiler::Compile(query);
+  EXPECT_TRUE(plan.ok());
+  return std::make_shared<const PhysicalPlan>(std::move(plan.value()));
+}
+
+TEST(PlannerCache, PlanCacheCountsHitsAndEvictsLru) {
+  PlanCache cache(2);
+  EXPECT_EQ(cache.Lookup("//a"), nullptr);
+  cache.Insert("//a", MakePlan("//a"));
+  cache.Insert("//b", MakePlan("//b"));
+  EXPECT_NE(cache.Lookup("//a"), nullptr);  // touches //a: //b becomes LRU
+  cache.Insert("//c", MakePlan("//c"));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.Lookup("//b"), nullptr);
+  EXPECT_NE(cache.Lookup("//a"), nullptr);
+  const PlanCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.evictions, 1u);
+}
+
+TEST(PlannerCache, PlanCacheRacingInsertKeepsExisting) {
+  PlanCache cache(4);
+  auto first = cache.Insert("//a", MakePlan("//a"));
+  auto second = cache.Insert("//a", MakePlan("//a"));
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+ResultCache::NodeSet MakeResult(std::vector<NodeId> ids) {
+  return std::make_shared<const std::vector<NodeId>>(std::move(ids));
+}
+
+TEST(PlannerCache, ResultCacheKeysOnSnapshotPoint) {
+  ResultCache cache(8);
+  cache.Insert("//a", /*epoch=*/1, /*journal_bytes=*/8, MakeResult({1, 2}));
+  cache.Insert("//a", /*epoch=*/1, /*journal_bytes=*/40, MakeResult({1, 2, 3}));
+  cache.Insert("//a", /*epoch=*/2, /*journal_bytes=*/8, MakeResult({7}));
+  EXPECT_EQ(cache.size(), 3u);
+  ASSERT_NE(cache.Lookup("//a", 1, 8), nullptr);
+  EXPECT_EQ(cache.Lookup("//a", 1, 8)->size(), 2u);
+  EXPECT_EQ(cache.Lookup("//a", 1, 40)->size(), 3u);
+  EXPECT_EQ(cache.Lookup("//a", 2, 8)->size(), 1u);
+  EXPECT_EQ(cache.Lookup("//b", 1, 8), nullptr);
+}
+
+TEST(PlannerCache, ResultCacheEvictStaleDropsSupersededEpochs) {
+  ResultCache cache(8);
+  cache.Insert("//a", 1, 8, MakeResult({1}));
+  cache.Insert("//b", 1, 24, MakeResult({2}));
+  cache.Insert("//a", 2, 8, MakeResult({3}));
+  cache.EvictStale(/*current_epoch=*/2);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().invalidations, 2u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  EXPECT_NE(cache.Lookup("//a", 2, 8), nullptr);
+}
+
+TEST(PlannerCache, ResultCacheLruBoundsCapacity) {
+  ResultCache cache(2);
+  cache.Insert("//a", 1, 8, MakeResult({1}));
+  cache.Insert("//b", 1, 8, MakeResult({2}));
+  cache.Insert("//c", 1, 8, MakeResult({3}));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.Lookup("//a", 1, 8), nullptr);
+}
+
+// --- Service wiring -------------------------------------------------------
+
+std::string ServicePlayXml() {
+  PlayOptions options;
+  options.acts = 2;
+  options.scenes_per_act = 2;
+  options.min_speeches_per_scene = 2;
+  options.max_speeches_per_scene = 3;
+  options.seed = 17;
+  return SerializeXml(GeneratePlay("served", options));
+}
+
+QueryService MakePlannerService(const std::string& dir,
+                                QueryService::Options options = {}) {
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  Result<DurableDocumentStore> store =
+      DurableDocumentStore::Create(dir, ServicePlayXml());
+  EXPECT_TRUE(store.ok()) << store.status().ToString();
+  return QueryService(std::move(store.value()), options);
+}
+
+TEST(PlannerService, RepeatedQueryHitsResultCache) {
+  QueryService service = MakePlannerService(TempPath("planner-svc-hit"));
+  Result<Session> session = service.OpenSession();
+  ASSERT_TRUE(session.ok());
+  Result<Snapshot> snap = session->OpenSnapshot();
+  ASSERT_TRUE(snap.ok());
+  Result<std::vector<NodeId>> first = session->Query(*snap, "//speech");
+  Result<std::vector<NodeId>> second = session->Query(*snap, "//speech");
+  ASSERT_TRUE(first.ok() && second.ok());
+  EXPECT_EQ(first.value(), second.value());
+  const QueryPlanner::Stats stats = service.planner().stats();
+  EXPECT_EQ(stats.result.misses, 1u);
+  EXPECT_EQ(stats.result.hits, 1u);
+  EXPECT_EQ(stats.plan.misses, 1u);
+  EXPECT_EQ(stats.plan.hits, 1u);
+}
+
+TEST(PlannerService, CheckpointInvalidatesCachedResults) {
+  QueryService service = MakePlannerService(TempPath("planner-svc-inval"));
+  DurableDocumentStore& store = service.store();
+  Result<Session> session = service.OpenSession();
+  ASSERT_TRUE(session.ok());
+  Result<Snapshot> snap = session->OpenSnapshot();
+  ASSERT_TRUE(snap.ok());
+  const std::size_t speeches =
+      session->Query(*snap, "//speech").value().size();
+
+  // Append a fresh speech and checkpoint: the retirement listener must
+  // sweep the epoch-0 results alongside the epoch-0 views.
+  std::vector<NodeId> scenes = store.Query("//scene").value();
+  ASSERT_FALSE(scenes.empty());
+  ASSERT_TRUE(store.AppendChild(scenes[0], "speech").ok());
+  ASSERT_TRUE(store.Checkpoint().ok());
+  EXPECT_GE(service.planner().stats().result.invalidations, 1u);
+
+  // A fresh snapshot pins the new epoch and must see the new speech, not
+  // a stale cached answer.
+  Result<Snapshot> fresh = session->OpenSnapshot();
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_GT(fresh->epoch(), snap->epoch());
+  EXPECT_EQ(session->Query(*fresh, "//speech").value().size(), speeches + 1);
+}
+
+TEST(PlannerService, PlannerPathMatchesEvaluatorFallback) {
+  QueryService planned = MakePlannerService(TempPath("planner-svc-on"));
+  QueryService::Options off;
+  off.use_planner = false;
+  QueryService walked = MakePlannerService(TempPath("planner-svc-off"), off);
+  Result<Session> planned_session = planned.OpenSession();
+  Result<Session> walked_session = walked.OpenSession();
+  ASSERT_TRUE(planned_session.ok() && walked_session.ok());
+  Result<Snapshot> planned_snap = planned_session->OpenSnapshot();
+  Result<Snapshot> walked_snap = walked_session->OpenSnapshot();
+  ASSERT_TRUE(planned_snap.ok() && walked_snap.ok());
+  for (const char* query : {"//speech", "/play//act[2]//line",
+                            "/play//speech[1]//Following-sibling::speech[3]"}) {
+    Result<std::vector<NodeId>> a = planned_session->Query(*planned_snap, query);
+    Result<std::vector<NodeId>> b = walked_session->Query(*walked_snap, query);
+    ASSERT_TRUE(a.ok() && b.ok()) << query;
+    EXPECT_EQ(a.value(), b.value()) << query;
+  }
+  // The evaluator path must not touch the planner caches.
+  EXPECT_EQ(walked.planner().stats().result.misses, 0u);
+}
+
+TEST(PlannerService, ExplainWireVerbAndStatsCounters) {
+  QueryService service = MakePlannerService(TempPath("planner-svc-wire"));
+  Result<Session> session = service.OpenSession();
+  ASSERT_TRUE(session.ok());
+  std::optional<Snapshot> snapshot;
+  bool done = false;
+
+  // EXPLAIN before SNAP is the usual typed error.
+  EXPECT_EQ(ExecuteRequestLine(service, *session, &snapshot,
+                               "EXPLAIN //speech", &done)
+                .rfind("ERR InvalidArgument", 0),
+            0u);
+  ASSERT_EQ(ExecuteRequestLine(service, *session, &snapshot, "SNAP", &done)
+                .rfind("OK ", 0),
+            0u);
+  const std::string explained = ExecuteRequestLine(
+      service, *session, &snapshot, "EXPLAIN /play//act[2]", &done);
+  EXPECT_EQ(explained.rfind("OK #0 ", 0), 0u) << explained;
+  EXPECT_NE(explained.find("TagScan(act)"), std::string::npos);
+  EXPECT_NE(explained.find("PositionSelect"), std::string::npos);
+  EXPECT_NE(explained.find("OrderSort"), std::string::npos);
+  EXPECT_NE(explained.find("out="), std::string::npos);
+
+  ExecuteRequestLine(service, *session, &snapshot, "XPATH //speech", &done);
+  ExecuteRequestLine(service, *session, &snapshot, "XPATH //speech", &done);
+  const std::string stats =
+      ExecuteRequestLine(service, *session, &snapshot, "STATS", &done);
+  EXPECT_NE(stats.find("PLANHITS "), std::string::npos) << stats;
+  EXPECT_NE(stats.find("PLANMISSES "), std::string::npos);
+  EXPECT_NE(stats.find("RESHITS 1"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("RESINVALIDATIONS 0"), std::string::npos);
+}
+
+// --- Concurrent cached execution (ThreadSanitizer leg) --------------------
+
+TEST(PlannerConcurrent, CachedExecutionIsRaceFreeUnderWriterChurn) {
+  QueryService service = MakePlannerService(TempPath("planner-svc-tsan"));
+  DurableDocumentStore& store = service.store();
+  std::atomic<bool> done{false};
+
+  std::thread writer([&] {
+    std::mt19937 rng(53);
+    for (int i = 0; i < 32; ++i) {
+      std::vector<NodeId> scenes = store.Query("//scene").value();
+      ASSERT_TRUE(store.AppendChild(scenes[rng() % scenes.size()], "w").ok());
+      if (i % 8 == 7) {
+        ASSERT_TRUE(store.Checkpoint().ok());
+      }
+    }
+    ASSERT_TRUE(store.Flush().ok());
+    done.store(true);
+  });
+
+  // Readers hammer a small query set so plan/result cache entries are
+  // shared, re-inserted, and invalidated concurrently; EXPLAIN executes
+  // uncached alongside.
+  const char* queries[] = {"//speech", "/play//act[1]//line", "//speaker",
+                           "/play//scene[2]"};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&, r] {
+      Result<Session> session = service.OpenSession();
+      ASSERT_TRUE(session.ok());
+      int spin = 0;
+      while (!done.load() || spin < 8) {
+        ++spin;
+        Result<Snapshot> snap = session->OpenSnapshot();
+        ASSERT_TRUE(snap.ok());
+        Result<std::vector<NodeId>> ids =
+            session->Query(*snap, queries[(r + spin) % 4]);
+        ASSERT_TRUE(ids.ok());
+        if (spin % 5 == 0) {
+          ASSERT_TRUE(session->Explain(*snap, queries[r % 4]).ok());
+        }
+      }
+    });
+  }
+  writer.join();
+  for (std::thread& t : readers) t.join();
+
+  const QueryPlanner::Stats stats = service.planner().stats();
+  EXPECT_GT(stats.plan.hits, 0u);
+  // Racing first lookups may each count a miss before one insert wins, so
+  // misses is at least (not exactly) the distinct-query count.
+  EXPECT_GE(stats.plan.misses, 4u);
+}
+
+}  // namespace
+}  // namespace primelabel
