@@ -33,24 +33,32 @@ bool WriteLine(int fd, const std::string& data) {
   return true;
 }
 
+enum class ReadOutcome { kLine, kClosed, kOversize };
+
 /// Reads up to the next '\n' into `line` using `buffer` as carry-over
-/// between calls; false on EOF/error with nothing buffered.
-bool ReadLine(int fd, std::string* buffer, std::string* line) {
+/// between calls. kOversize when the unterminated carry-over exceeds
+/// `max_line_bytes` (0 = unbounded) — the caller must reject and close,
+/// never buffer at the sender's pace.
+ReadOutcome ReadLine(int fd, std::string* buffer, std::string* line,
+                     std::size_t max_line_bytes) {
   for (;;) {
     const std::size_t newline = buffer->find('\n');
     if (newline != std::string::npos) {
       *line = buffer->substr(0, newline);
       buffer->erase(0, newline + 1);
       if (!line->empty() && line->back() == '\r') line->pop_back();
-      return true;
+      return ReadOutcome::kLine;
+    }
+    if (max_line_bytes > 0 && buffer->size() > max_line_bytes) {
+      return ReadOutcome::kOversize;
     }
     char chunk[4096];
     const ssize_t n = ::read(fd, chunk, sizeof chunk);
     if (n < 0) {
       if (errno == EINTR) continue;
-      return false;
+      return ReadOutcome::kClosed;
     }
-    if (n == 0) return false;
+    if (n == 0) return ReadOutcome::kClosed;
     buffer->append(chunk, static_cast<std::size_t>(n));
   }
 }
@@ -167,8 +175,16 @@ void SocketServer::ServeConnection(int fd) {
   std::optional<Snapshot> snapshot;
   std::string buffer, line;
   bool done = false;
-  while (!done && running_.load(std::memory_order_acquire) &&
-         ReadLine(fd, &buffer, &line)) {
+  while (!done && running_.load(std::memory_order_acquire)) {
+    const ReadOutcome read =
+        ReadLine(fd, &buffer, &line, options_.max_line_bytes);
+    if (read == ReadOutcome::kOversize) {
+      WriteLine(fd, "ERR InvalidArgument request line exceeds " +
+                        std::to_string(options_.max_line_bytes) +
+                        " bytes (connection closed)");
+      break;
+    }
+    if (read != ReadOutcome::kLine) break;
     const std::string reply =
         ExecuteRequestLine(*service_, session.value(), &snapshot, line, &done);
     if (!WriteLine(fd, reply)) break;
@@ -204,7 +220,10 @@ Result<std::string> SocketClient::Request(const std::string& line) {
     return Status::IoError("write failed (server gone?)");
   }
   std::string reply;
-  if (!ReadLine(fd_, &buffer_, &reply)) {
+  // Replies (e.g. large XPATH id lists) are legitimately long; the client
+  // side reads unbounded — it trusts its own server far more than the
+  // server trusts an arbitrary client.
+  if (ReadLine(fd_, &buffer_, &reply, 0) != ReadOutcome::kLine) {
     Close();
     return Status::IoError("connection closed before reply");
   }

@@ -26,7 +26,19 @@ namespace primelabel {
 /// service must outlive the server.
 class SocketServer {
  public:
-  explicit SocketServer(QueryService* service) : service_(service) {}
+  struct Options {
+    /// Non-aggregate on purpose: a user-provided default constructor lets
+    /// `= {}` default arguments compile on GCC (bug 88165).
+    Options() {}
+    /// Longest request line (and per-connection carry-over buffer) the
+    /// server will hold. A connection whose unterminated input exceeds
+    /// this gets one `ERR InvalidArgument` line and is closed — bounded
+    /// memory per connection instead of growth at the client's pace.
+    std::size_t max_line_bytes = 64 * 1024;
+  };
+
+  explicit SocketServer(QueryService* service, Options options = {})
+      : service_(service), options_(options) {}
   ~SocketServer() { Stop(); }
 
   SocketServer(const SocketServer&) = delete;
@@ -45,6 +57,7 @@ class SocketServer {
   void ReapFinishedLocked();
 
   QueryService* service_;
+  const Options options_;
   std::string socket_path_;
   /// Atomic: Stop() closes and clears it while AcceptLoop blocks on it.
   std::atomic<int> listen_fd_{-1};
