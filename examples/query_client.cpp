@@ -63,6 +63,19 @@ std::vector<long> ParseIds(const std::string& reply) {
 int Smoke(SocketClient& client) {
   if (!RunOne(client, "PING", true)) return 1;
 
+  // The DEADLINE prefix: a generous budget changes nothing, a spent one
+  // comes back as a typed error on a still-usable connection (and bumps
+  // the DEADLINEEXCEEDED gauge asserted in STATS below).
+  if (!RunOne(client, "DEADLINE 30000 PING", true)) return 1;
+  Result<std::string> spent = client.Request("DEADLINE 0 SNAP");
+  if (!spent.ok() || spent->rfind("ERR DeadlineExceeded", 0) != 0) {
+    std::fprintf(stderr, "smoke: DEADLINE 0 did not cancel: %s\n",
+                 spent.ok() ? spent->c_str()
+                            : spent.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", spent->c_str());
+
   // SNAP replies "OK <epoch> <journal_bytes> <node_count>". A journal at
   // exactly the 8-byte WAL header holds zero frames: the epoch is sealed
   // and the server must serve it arena-backed (zero-copy mmap of the v4
@@ -126,6 +139,7 @@ int Smoke(SocketClient& client) {
   std::string token, mode;
   long label_bytes = -1;
   long plan_hits = -1, plan_misses = -1, res_hits = -1, res_misses = -1;
+  long shed = -1, deadline_exceeded = -1, idle_reaped = -1, draining = -1;
   while (in >> token) {
     if (token == "LABELBYTES") in >> label_bytes;
     if (token == "MODE") in >> mode;
@@ -133,6 +147,10 @@ int Smoke(SocketClient& client) {
     if (token == "PLANMISSES") in >> plan_misses;
     if (token == "RESHITS") in >> res_hits;
     if (token == "RESMISSES") in >> res_misses;
+    if (token == "SHED") in >> shed;
+    if (token == "DEADLINEEXCEEDED") in >> deadline_exceeded;
+    if (token == "IDLEREAPED") in >> idle_reaped;
+    if (token == "DRAINING") in >> draining;
   }
   if (label_bytes <= 0) {
     std::fprintf(stderr, "smoke: STATS LABELBYTES missing or zero\n");
@@ -164,6 +182,24 @@ int Smoke(SocketClient& client) {
                  "smoke: repeated query on a sealed server missed the "
                  "result cache (RESHITS %ld RESMISSES %ld)\n",
                  res_hits, res_misses);
+    return 1;
+  }
+  // Robustness gauges: present (shed/idle counters at least zero), the
+  // DEADLINE 0 probe above counted, and the server is not draining.
+  if (shed < 0 || idle_reaped < 0) {
+    std::fprintf(stderr, "smoke: STATS is missing SHED/IDLEREAPED\n");
+    return 1;
+  }
+  if (deadline_exceeded < 1) {
+    std::fprintf(stderr,
+                 "smoke: DEADLINEEXCEEDED %ld, expected >= 1 after the "
+                 "DEADLINE 0 probe\n",
+                 deadline_exceeded);
+    return 1;
+  }
+  if (draining != 0) {
+    std::fprintf(stderr, "smoke: DRAINING %ld on a serving server\n",
+                 draining);
     return 1;
   }
 

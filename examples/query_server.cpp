@@ -9,9 +9,11 @@
 //   query_server init <dir>
 //       Create a store from a generated play.
 //   query_server serve <dir> <socket> [writer_ops] [writer_period_ms]
-//       Open the store and serve until SIGINT/SIGTERM. With writer_ops
-//       > 0, a background thread applies that many random mutations
-//       (checkpointing every 8th) at the given period, then quiesces.
+//       Open the store and serve until SIGINT (fast stop) or SIGTERM
+//       (graceful drain: stop accepting, let requests in flight finish,
+//       then force-close stragglers). With writer_ops > 0, a background
+//       thread applies that many random mutations (checkpointing every
+//       8th) at the given period, then quiesces.
 //   query_server selftest
 //       In-process server + client round trip (the ctest smoke entry).
 
@@ -35,8 +37,9 @@ using namespace primelabel;
 
 namespace {
 
+/// 0 = keep serving, 1 = fast stop (SIGINT), 2 = graceful drain (SIGTERM).
 volatile std::sig_atomic_t g_stop = 0;
-void HandleStop(int) { g_stop = 1; }
+void HandleStop(int sig) { g_stop = sig == SIGTERM ? 2 : 1; }
 
 int Usage() {
   std::fprintf(stderr,
@@ -124,7 +127,12 @@ int Serve(const std::string& dir, const std::string& socket_path,
   options.query_workers = 2;
   QueryService service(std::move(store.value()), options);
 
-  SocketServer server(&service);
+  // The robustness envelope for a long-lived server: per-request budget,
+  // idle reaping, and the (default) connection cap and line-length bound.
+  SocketServer::Options server_options;
+  server_options.default_deadline_ms = 30000;
+  server_options.idle_timeout_ms = 120000;
+  SocketServer server(&service, server_options);
   Status started = server.Start(socket_path);
   if (!started.ok()) {
     std::fprintf(stderr, "start failed: %s\n", started.ToString().c_str());
@@ -145,7 +153,17 @@ int Serve(const std::string& dir, const std::string& socket_path,
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
   if (writer.joinable()) writer.join();
-  server.Stop();
+  if (g_stop == 2) {
+    Status drained = server.Drain(std::chrono::milliseconds(5000));
+    if (drained.ok()) {
+      std::printf("drained cleanly\n");
+    } else {
+      std::printf("drained with forced closes: %s\n",
+                  drained.ToString().c_str());
+    }
+  } else {
+    server.Stop();
+  }
   const QueryService::Counters counters = service.counters();
   std::printf("served %llu requests (%llu rejected), %llu snapshots\n",
               static_cast<unsigned long long>(counters.requests_served),

@@ -10,15 +10,20 @@
 # workload seeds), and a service leg (query_server over a Unix socket
 # with a live background writer: client smoke battery, an EXPLAIN smoke
 # of the plan compiler, result-cache invalidation-on-checkpoint, SIGKILL
-# mid-request, clean writer recovery, and the bench_service numbers).
+# mid-request, clean writer recovery, and the bench_service numbers), and
+# a chaos leg (the socket fault-injection sweep across several seeds, the
+# malformed-wire fuzz battery, and a SIGTERM-graceful-drain vs SIGKILL
+# comparison under a client storm — both must leave a recoverable store,
+# only SIGTERM gets to answer everything in flight first).
 #
 # Usage: scripts/check.sh [--no-tsan] [--no-scalar] [--no-durability]
-#                          [--no-service] [--no-bench]
+#                          [--no-service] [--no-bench] [--no-chaos]
 #   --no-tsan        skip the sanitizer tree (e.g. toolchains without TSan)
 #   --no-scalar      skip the -DPRIMELABEL_DISABLE_SIMD=ON tree
 #   --no-durability  skip the durability suite + crash loop
 #   --no-service     skip the query-server smoke + kill + bench leg
 #   --no-bench       skip the bench-smoke leg (quick run + JSON checks)
+#   --no-chaos       skip the socket chaos sweep + drain comparison
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,6 +32,7 @@ run_scalar=1
 run_durability=1
 run_service=1
 run_bench=1
+run_chaos=1
 for arg in "$@"; do
   case "$arg" in
     --no-tsan) run_tsan=0 ;;
@@ -34,6 +40,7 @@ for arg in "$@"; do
     --no-durability) run_durability=0 ;;
     --no-service) run_service=0 ;;
     --no-bench) run_bench=0 ;;
+    --no-chaos) run_chaos=0 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -127,6 +134,54 @@ if [[ "$run_service" == "1" ]]; then
     --tolerance 40
 fi
 
+if [[ "$run_chaos" == "1" ]]; then
+  echo "== chaos: seeded socket fault sweep + malformed-wire fuzz =="
+  # The sweep arms one FaultInjectingTransport fault per round (every
+  # kind x 10 ordinals derived from the seed) inside a live server and
+  # requires a typed outcome plus a clean follow-up request; different
+  # seeds land the faults on different I/O ordinals.
+  for seed in 1 5 9; do
+    PRIMELABEL_FAULT_SEED="$seed" \
+      ctest --test-dir build --output-on-failure -R 'ServiceChaosSweep'
+  done
+  ctest --test-dir build --output-on-failure -R 'ServiceChaosFuzz'
+
+  echo "== chaos: SIGTERM graceful drain vs SIGKILL under client storm =="
+  chaos_dir=$(mktemp -d)
+  chaos_store="$chaos_dir/store"
+  chaos_sock="$chaos_dir/query.sock"
+  chaos_log="$chaos_dir/server.log"
+  build/examples/query_server init "$chaos_store" >/dev/null
+  for sig in TERM KILL; do
+    build/examples/query_server serve "$chaos_store" "$chaos_sock" 200 2 \
+      >"$chaos_log" 2>&1 &
+    chaos_pid=$!
+    for _ in $(seq 1 100); do [[ -S "$chaos_sock" ]] && break; sleep 0.1; done
+    [[ -S "$chaos_sock" ]] || { echo "query_server never bound $chaos_sock" >&2; exit 1; }
+    ( while true; do
+        build/examples/query_client "$chaos_sock" XPATH //speech >/dev/null 2>&1 || break
+      done ) &
+    chaos_storm=$!
+    sleep 1
+    kill -s "$sig" "$chaos_pid" 2>/dev/null || true
+    chaos_exit=0
+    wait "$chaos_pid" 2>/dev/null || chaos_exit=$?
+    wait "$chaos_storm" 2>/dev/null || true
+    if [[ "$sig" == "TERM" ]]; then
+      # Graceful: the server drains (in-flight requests answered), exits
+      # zero, and says so.
+      [[ "$chaos_exit" == "0" ]] \
+        || { echo "SIGTERM drain exited $chaos_exit" >&2; cat "$chaos_log" >&2; exit 1; }
+      grep -q "drained" "$chaos_log" \
+        || { echo "SIGTERM path never drained" >&2; cat "$chaos_log" >&2; exit 1; }
+    fi
+    # Both paths — graceful and abrupt — must leave a recoverable store.
+    rm -f "$chaos_sock"
+    build/examples/durable_store_demo verify "$chaos_store"
+  done
+  rm -rf "$chaos_dir"
+fi
+
 if [[ "$run_bench" == "1" ]]; then
   echo "== bench smoke: bench_micro_ops --quick + JSON schema/regression check =="
   # The quick run covers the BM_IsAncestorBatch family and the
@@ -165,7 +220,7 @@ if [[ "$run_tsan" == "1" ]]; then
   cmake -B build-tsan -S . -DPRIMELABEL_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "$jobs"
   ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
-    -R 'Parallel|Epoch|Concurrent|Service|Snapshot|Planner'
+    -R 'Parallel|Epoch|Concurrent|Service|Snapshot|Planner|Chaos|Drain|Deadline'
 fi
 
 echo "All checks passed."

@@ -1,5 +1,7 @@
 #include "service/query_service.h"
 
+#include <algorithm>
+#include <span>
 #include <utility>
 
 #include "util/status.h"
@@ -13,6 +15,21 @@ QueryPlanner::Options PlannerOptions(const QueryService::Options& options) {
   planner.plan_cache_capacity = options.plan_cache_capacity;
   planner.result_cache_capacity = options.result_cache_capacity;
   return planner;
+}
+
+/// Items per batch-verb chunk between deadline checks. Small enough that
+/// a chunk completes in well under a millisecond on any corpus label
+/// width; large enough that the per-chunk check cost vanishes. Deadlined
+/// batches run chunk-by-chunk; unlimited ones take the single-shot path
+/// (zero overhead, and per-chunk output is a prefix of the single-shot
+/// output, so the two paths agree bit-for-bit).
+constexpr std::size_t kDeadlineCheckChunk = 1024;
+
+Status BatchDeadlineExceeded(const char* verb, std::size_t done,
+                             std::size_t total) {
+  return Status::DeadlineExceeded(std::string(verb) + " cancelled after " +
+                                  std::to_string(done) + " of " +
+                                  std::to_string(total) + " items");
 }
 
 }  // namespace
@@ -140,11 +157,14 @@ void Session::Close() {
   }
 }
 
-Result<Snapshot> Session::OpenSnapshot() {
+Result<Snapshot> Session::OpenSnapshot(const Deadline& deadline) {
   if (!valid()) return Status::InvalidArgument("session is closed");
   QueryService::Ticket ticket(service_, state_.get());
   Status admitted = ticket.Admit();
   if (!admitted.ok()) return admitted;
+  if (deadline.expired()) {
+    return Status::DeadlineExceeded("deadline expired before snapshot open");
+  }
   Result<Snapshot> snapshot = service_->store_.OpenSnapshot();
   if (snapshot.ok()) {
     service_->snapshots_opened_.fetch_add(1, std::memory_order_relaxed);
@@ -153,7 +173,8 @@ Result<Snapshot> Session::OpenSnapshot() {
 }
 
 Result<std::vector<NodeId>> Session::Query(const Snapshot& snapshot,
-                                           std::string_view xpath) {
+                                           std::string_view xpath,
+                                           const Deadline& deadline) {
   if (!valid()) return Status::InvalidArgument("session is closed");
   if (!snapshot.valid()) {
     return Status::InvalidArgument("snapshot is not open");
@@ -161,6 +182,9 @@ Result<std::vector<NodeId>> Session::Query(const Snapshot& snapshot,
   QueryService::Ticket ticket(service_, state_.get());
   Status admitted = ticket.Admit();
   if (!admitted.ok()) return admitted;
+  if (deadline.expired()) {
+    return Status::DeadlineExceeded("deadline expired before query ran");
+  }
   if (!service_->options_.use_planner) {
     return snapshot.Query(xpath, service_->options_.query_workers);
   }
@@ -173,7 +197,8 @@ Result<std::vector<NodeId>> Session::Query(const Snapshot& snapshot,
 }
 
 Result<std::string> Session::Explain(const Snapshot& snapshot,
-                                     std::string_view xpath) {
+                                     std::string_view xpath,
+                                     const Deadline& deadline) {
   if (!valid()) return Status::InvalidArgument("session is closed");
   if (!snapshot.valid()) {
     return Status::InvalidArgument("snapshot is not open");
@@ -181,6 +206,9 @@ Result<std::string> Session::Explain(const Snapshot& snapshot,
   QueryService::Ticket ticket(service_, state_.get());
   Status admitted = ticket.Admit();
   if (!admitted.ok()) return admitted;
+  if (deadline.expired()) {
+    return Status::DeadlineExceeded("deadline expired before explain ran");
+  }
   const EpochView& view = *snapshot.view();
   return service_->planner_.Explain(view.label_table(), view.oracle(), xpath,
                                     service_->options_.query_workers);
@@ -188,7 +216,7 @@ Result<std::string> Session::Explain(const Snapshot& snapshot,
 
 Result<std::vector<bool>> Session::IsAncestorBatch(
     const Snapshot& snapshot, const std::vector<NodeId>& ancestors,
-    const std::vector<NodeId>& descendants) {
+    const std::vector<NodeId>& descendants, const Deadline& deadline) {
   if (!valid()) return Status::InvalidArgument("session is closed");
   if (!snapshot.valid()) {
     return Status::InvalidArgument("snapshot is not open");
@@ -200,21 +228,32 @@ Result<std::vector<bool>> Session::IsAncestorBatch(
   QueryService::Ticket ticket(service_, state_.get());
   Status admitted = ticket.Admit();
   if (!admitted.ok()) return admitted;
+  const std::size_t total = ancestors.size();
+  const std::size_t chunk =
+      deadline.unlimited() || total == 0 ? total : kDeadlineCheckChunk;
+  std::vector<bool> results;
+  results.reserve(total);
   std::vector<std::pair<NodeId, NodeId>> pairs;
-  pairs.reserve(ancestors.size());
-  for (std::size_t i = 0; i < ancestors.size(); ++i) {
-    pairs.emplace_back(ancestors[i], descendants[i]);
-  }
   std::vector<std::uint8_t> raw;
-  snapshot.oracle().IsAncestorBatch(pairs, &raw);
-  std::vector<bool> results(raw.size());
-  for (std::size_t i = 0; i < raw.size(); ++i) results[i] = raw[i] != 0;
+  for (std::size_t off = 0; off < total; off += chunk) {
+    if (deadline.expired()) {
+      return BatchDeadlineExceeded("ISANC", off, total);
+    }
+    const std::size_t end = std::min(off + chunk, total);
+    pairs.clear();
+    pairs.reserve(end - off);
+    for (std::size_t i = off; i < end; ++i) {
+      pairs.emplace_back(ancestors[i], descendants[i]);
+    }
+    snapshot.oracle().IsAncestorBatch(pairs, &raw);
+    for (std::uint8_t bit : raw) results.push_back(bit != 0);
+  }
   return results;
 }
 
 Result<std::vector<NodeId>> Session::SelectDescendants(
     const Snapshot& snapshot, NodeId anchor,
-    const std::vector<NodeId>& candidates) {
+    const std::vector<NodeId>& candidates, const Deadline& deadline) {
   if (!valid()) return Status::InvalidArgument("session is closed");
   if (!snapshot.valid()) {
     return Status::InvalidArgument("snapshot is not open");
@@ -222,14 +261,25 @@ Result<std::vector<NodeId>> Session::SelectDescendants(
   QueryService::Ticket ticket(service_, state_.get());
   Status admitted = ticket.Admit();
   if (!admitted.ok()) return admitted;
+  // The oracle appends matches in candidate order, so chunked execution
+  // concatenates to exactly the single-shot answer.
+  const std::span<const NodeId> all(candidates);
+  const std::size_t chunk =
+      deadline.unlimited() ? all.size() : kDeadlineCheckChunk;
   std::vector<NodeId> out;
-  snapshot.oracle().SelectDescendants(anchor, candidates, &out);
+  for (std::size_t off = 0; off < all.size(); off += chunk) {
+    if (deadline.expired()) {
+      return BatchDeadlineExceeded("DESC", off, all.size());
+    }
+    snapshot.oracle().SelectDescendants(
+        anchor, all.subspan(off, std::min(chunk, all.size() - off)), &out);
+  }
   return out;
 }
 
 Result<std::vector<NodeId>> Session::SelectAncestors(
     const Snapshot& snapshot, NodeId descendant,
-    const std::vector<NodeId>& candidates) {
+    const std::vector<NodeId>& candidates, const Deadline& deadline) {
   if (!valid()) return Status::InvalidArgument("session is closed");
   if (!snapshot.valid()) {
     return Status::InvalidArgument("snapshot is not open");
@@ -237,8 +287,18 @@ Result<std::vector<NodeId>> Session::SelectAncestors(
   QueryService::Ticket ticket(service_, state_.get());
   Status admitted = ticket.Admit();
   if (!admitted.ok()) return admitted;
+  const std::span<const NodeId> all(candidates);
+  const std::size_t chunk =
+      deadline.unlimited() ? all.size() : kDeadlineCheckChunk;
   std::vector<NodeId> out;
-  snapshot.oracle().SelectAncestors(descendant, candidates, &out);
+  for (std::size_t off = 0; off < all.size(); off += chunk) {
+    if (deadline.expired()) {
+      return BatchDeadlineExceeded("ANC", off, all.size());
+    }
+    snapshot.oracle().SelectAncestors(
+        descendant, all.subspan(off, std::min(chunk, all.size() - off)),
+        &out);
+  }
   return out;
 }
 

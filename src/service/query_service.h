@@ -10,6 +10,7 @@
 #include "corpus/durable_document_store.h"
 #include "planner/query_planner.h"
 #include "service/view_cache.h"
+#include "util/deadline.h"
 
 namespace primelabel {
 
@@ -133,6 +134,12 @@ class QueryService {
 /// structural requests through them under admission control. Move-only;
 /// closing (destruction) releases the session slot. All methods are safe
 /// to call concurrently from multiple threads of the same client.
+///
+/// Every request-shaped method takes an optional Deadline (default:
+/// unlimited). The batch verbs execute in chunks and check the deadline
+/// between chunks, so an oversized batch under a tight budget returns
+/// kDeadlineExceeded in bounded time instead of running to completion —
+/// partial results are discarded, and the session stays usable.
 class Session {
  public:
   Session() = default;
@@ -144,34 +151,39 @@ class Session {
 
   /// Pins the current epoch and resolves the (shared) materialized view.
   /// Counts as one request for admission purposes.
-  Result<Snapshot> OpenSnapshot();
+  Result<Snapshot> OpenSnapshot(const Deadline& deadline = {});
 
   /// Evaluates an XPath query against an open snapshot — through the
   /// compiled-plan path (plan + result caches) by default, or the
-  /// tree-walking evaluator when Options::use_planner is off.
+  /// tree-walking evaluator when Options::use_planner is off. The
+  /// deadline is checked before planning and before execution (plan
+  /// execution itself is not chunked).
   Result<std::vector<NodeId>> Query(const Snapshot& snapshot,
-                                    std::string_view xpath);
+                                    std::string_view xpath,
+                                    const Deadline& deadline = {});
 
   /// Compiles and executes `xpath` against the snapshot, returning the
   /// one-line operator tree with per-operator cardinalities (the EXPLAIN
   /// wire verb). Counts as one request; bypasses the result cache.
   Result<std::string> Explain(const Snapshot& snapshot,
-                              std::string_view xpath);
+                              std::string_view xpath,
+                              const Deadline& deadline = {});
 
   /// Batched ancestry test over the snapshot's frozen oracle.
   Result<std::vector<bool>> IsAncestorBatch(const Snapshot& snapshot,
                                             const std::vector<NodeId>& ancestors,
-                                            const std::vector<NodeId>& descendants);
+                                            const std::vector<NodeId>& descendants,
+                                            const Deadline& deadline = {});
 
   /// All ids in `candidates` that are descendants of `anchor`.
   Result<std::vector<NodeId>> SelectDescendants(
       const Snapshot& snapshot, NodeId anchor,
-      const std::vector<NodeId>& candidates);
+      const std::vector<NodeId>& candidates, const Deadline& deadline = {});
 
   /// All ids in `candidates` that are ancestors of `descendant`.
   Result<std::vector<NodeId>> SelectAncestors(
       const Snapshot& snapshot, NodeId descendant,
-      const std::vector<NodeId>& candidates);
+      const std::vector<NodeId>& candidates, const Deadline& deadline = {});
 
   /// Lifetime requests served / rejected on this session.
   std::uint64_t served() const;

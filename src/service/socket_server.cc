@@ -1,67 +1,24 @@
 #include "service/socket_server.h"
 
+#include <fcntl.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <optional>
-
-#include "service/wire.h"
+#include <thread>
 
 namespace primelabel {
 namespace {
 
-/// Writes all of `data` (+ newline) to `fd`; false on any error.
-/// MSG_NOSIGNAL: the peer may close first (e.g. a client hanging up
-/// after the session-cap rejection line) — that must surface as EPIPE
-/// here, not as a process-killing SIGPIPE.
-bool WriteLine(int fd, const std::string& data) {
-  std::string framed = data;
-  framed += '\n';
-  std::size_t sent = 0;
-  while (sent < framed.size()) {
-    const ssize_t n = ::send(fd, framed.data() + sent, framed.size() - sent,
-                             MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    sent += static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
-enum class ReadOutcome { kLine, kClosed, kOversize };
-
-/// Reads up to the next '\n' into `line` using `buffer` as carry-over
-/// between calls. kOversize when the unterminated carry-over exceeds
-/// `max_line_bytes` (0 = unbounded) — the caller must reject and close,
-/// never buffer at the sender's pace.
-ReadOutcome ReadLine(int fd, std::string* buffer, std::string* line,
-                     std::size_t max_line_bytes) {
-  for (;;) {
-    const std::size_t newline = buffer->find('\n');
-    if (newline != std::string::npos) {
-      *line = buffer->substr(0, newline);
-      buffer->erase(0, newline + 1);
-      if (!line->empty() && line->back() == '\r') line->pop_back();
-      return ReadOutcome::kLine;
-    }
-    if (max_line_bytes > 0 && buffer->size() > max_line_bytes) {
-      return ReadOutcome::kOversize;
-    }
-    char chunk[4096];
-    const ssize_t n = ::read(fd, chunk, sizeof chunk);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return ReadOutcome::kClosed;
-    }
-    if (n == 0) return ReadOutcome::kClosed;
-    buffer->append(chunk, static_cast<std::size_t>(n));
-  }
-}
+/// Poll slice for reads between shutdown-flag checks: long enough that a
+/// quiet connection costs ~10 wakeups/s, short enough that Stop/Drain are
+/// honored promptly.
+constexpr int kReadSliceMs = 100;
 
 Status MakeUnixAddress(const std::string& path, sockaddr_un* addr) {
   std::memset(addr, 0, sizeof *addr);
@@ -71,6 +28,23 @@ Status MakeUnixAddress(const std::string& path, sockaddr_un* addr) {
   }
   std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
   return Status::Ok();
+}
+
+/// Writes all of `data` (+ newline) through the transport, bounded by
+/// `deadline`; false on any transport failure or timeout.
+bool WriteFramed(Transport& transport, int fd, const std::string& data,
+                 const Deadline& deadline) {
+  std::string framed = data;
+  framed += '\n';
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const IoResult r =
+        transport.Write(fd, framed.data() + sent, framed.size() - sent,
+                        deadline.remaining_ms(-1));
+    if (r.event != IoEvent::kOk) return false;
+    sent += r.bytes;
+  }
+  return true;
 }
 
 }  // namespace
@@ -101,9 +75,65 @@ Status SocketServer::Start(const std::string& socket_path) {
   }
   listen_fd_.store(fd, std::memory_order_release);
   socket_path_ = socket_path;
+  gauges_.draining.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   return Status::Ok();
+}
+
+Status SocketServer::Drain(std::chrono::milliseconds timeout) {
+  if (!running_.load(std::memory_order_acquire)) return Status::Ok();
+  gauges_.draining.store(true, std::memory_order_release);
+  // Stop accepting: close the listener and retire the accept thread. New
+  // connect attempts fail at the socket layer from here on.
+  const int fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // Let requests in flight finish: connection threads exit at their next
+  // between-requests check (poll slices make that prompt for idle ones).
+  const auto give_up = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      ReapFinishedLocked();
+      if (connections_.empty()) break;
+    }
+    if (std::chrono::steady_clock::now() >= give_up) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  // Force-close stragglers (requests still executing or clients wedged in
+  // a write): shutdown wakes their threads' blocking I/O; the threads
+  // still own the close.
+  bool forced = false;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (auto& conn : connections_) {
+      if (!conn->finished) {
+        forced = true;
+        gauges_.forced_closes.fetch_add(1, std::memory_order_relaxed);
+        if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
+      }
+    }
+  }
+  std::vector<std::unique_ptr<Connection>> connections;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    connections.swap(connections_);
+  }
+  for (auto& conn : connections) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+  running_.store(false, std::memory_order_release);
+  if (!socket_path_.empty()) ::unlink(socket_path_.c_str());
+  return forced ? Status::DeadlineExceeded(
+                      "drain window elapsed with connections in flight "
+                      "(force-closed)")
+                : Status::Ok();
 }
 
 void SocketServer::Stop() {
@@ -130,6 +160,26 @@ void SocketServer::Stop() {
   if (!socket_path_.empty()) ::unlink(socket_path_.c_str());
 }
 
+SocketServer::Stats SocketServer::stats() const {
+  Stats s;
+  s.accepted = gauges_.accepted.load(std::memory_order_relaxed);
+  s.shed = gauges_.shed.load(std::memory_order_relaxed);
+  s.idle_reaped = gauges_.idle_reaped.load(std::memory_order_relaxed);
+  s.oversize_rejected =
+      gauges_.oversize_rejected.load(std::memory_order_relaxed);
+  s.deadline_exceeded =
+      gauges_.deadline_exceeded.load(std::memory_order_relaxed);
+  s.forced_closes = gauges_.forced_closes.load(std::memory_order_relaxed);
+  s.draining = gauges_.draining.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::size_t SocketServer::live_connections() {
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  ReapFinishedLocked();
+  return connections_.size();
+}
+
 void SocketServer::AcceptLoop() {
   while (running_.load(std::memory_order_acquire)) {
     const int listen_fd = listen_fd_.load(std::memory_order_acquire);
@@ -137,15 +187,27 @@ void SocketServer::AcceptLoop() {
     const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
-      break;  // Listener closed by Stop (or fatal accept error).
+      break;  // Listener closed by Stop/Drain (or fatal accept error).
     }
     std::lock_guard<std::mutex> lock(conn_mu_);
     ReapFinishedLocked();
+    if (options_.max_connections > 0 &&
+        connections_.size() >= options_.max_connections) {
+      // Shed: one typed rejection line, best-effort with a short budget
+      // so a non-reading client cannot wedge the accept thread.
+      gauges_.shed.fetch_add(1, std::memory_order_relaxed);
+      WriteFramed(transport(), fd,
+                  "ERR ResourceExhausted connection limit reached (shed)",
+                  Deadline::AfterMs(250));
+      ::close(fd);
+      continue;
+    }
+    gauges_.accepted.fetch_add(1, std::memory_order_relaxed);
     auto conn = std::make_unique<Connection>();
     conn->fd = fd;
     Connection* raw = conn.get();
     connections_.push_back(std::move(conn));
-    raw->thread = std::thread([this, raw] { ServeConnection(raw->fd);
+    raw->thread = std::thread([this, raw] { ServeConnection(raw);
       std::lock_guard<std::mutex> done_lock(conn_mu_);
       raw->finished = true;
     });
@@ -163,71 +225,260 @@ void SocketServer::ReapFinishedLocked() {
   }
 }
 
-void SocketServer::ServeConnection(int fd) {
+SocketServer::ReadOutcome SocketServer::ReadRequestLine(int fd,
+                                                        std::string* buffer,
+                                                        std::string* line) {
+  const auto idle_start = std::chrono::steady_clock::now();
+  for (;;) {
+    const std::size_t newline = buffer->find('\n');
+    if (newline != std::string::npos) {
+      *line = buffer->substr(0, newline);
+      buffer->erase(0, newline + 1);
+      if (!line->empty() && line->back() == '\r') line->pop_back();
+      return ReadOutcome::kLine;
+    }
+    if (options_.max_line_bytes > 0 &&
+        buffer->size() > options_.max_line_bytes) {
+      return ReadOutcome::kOversize;
+    }
+    if (!running_.load(std::memory_order_acquire) ||
+        gauges_.draining.load(std::memory_order_acquire)) {
+      return ReadOutcome::kStopped;
+    }
+    int slice = kReadSliceMs;
+    if (options_.idle_timeout_ms > 0) {
+      const auto idle =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now() - idle_start)
+              .count();
+      if (idle >= options_.idle_timeout_ms) return ReadOutcome::kIdle;
+      slice = std::min<int>(
+          slice, options_.idle_timeout_ms - static_cast<int>(idle));
+    }
+    char chunk[4096];
+    const IoResult r = transport().Read(fd, chunk, sizeof chunk, slice);
+    switch (r.event) {
+      case IoEvent::kOk:
+        buffer->append(chunk, r.bytes);
+        break;
+      case IoEvent::kTimeout:
+        break;  // Re-check flags and idle budget, then poll again.
+      case IoEvent::kEof:
+      case IoEvent::kReset:
+      case IoEvent::kError:
+        return ReadOutcome::kClosed;
+    }
+  }
+}
+
+bool SocketServer::WriteReply(int fd, const std::string& data) {
+  const Deadline budget = options_.write_timeout_ms > 0
+                              ? Deadline::AfterMs(options_.write_timeout_ms)
+                              : Deadline::None();
+  return WriteFramed(transport(), fd, data, budget);
+}
+
+void SocketServer::ServeConnection(Connection* conn) {
+  const int fd = conn->fd;
   Result<Session> session = service_->OpenSession();
   if (!session.ok()) {
-    WriteLine(fd, "ERR " +
-                      std::string(StatusCodeName(session.status().code())) +
-                      " " + session.status().message());
+    WriteReply(fd, "ERR " +
+                       std::string(StatusCodeName(session.status().code())) +
+                       " " + session.status().message());
     ::close(fd);
     return;
   }
+  WireContext context;
+  context.default_deadline_ms = options_.default_deadline_ms;
+  context.gauges = &gauges_;
   std::optional<Snapshot> snapshot;
   std::string buffer, line;
   bool done = false;
-  while (!done && running_.load(std::memory_order_acquire)) {
-    const ReadOutcome read =
-        ReadLine(fd, &buffer, &line, options_.max_line_bytes);
+  while (!done && running_.load(std::memory_order_acquire) &&
+         !gauges_.draining.load(std::memory_order_acquire)) {
+    const ReadOutcome read = ReadRequestLine(fd, &buffer, &line);
     if (read == ReadOutcome::kOversize) {
-      WriteLine(fd, "ERR InvalidArgument request line exceeds " +
-                        std::to_string(options_.max_line_bytes) +
-                        " bytes (connection closed)");
+      gauges_.oversize_rejected.fetch_add(1, std::memory_order_relaxed);
+      WriteReply(fd, "ERR InvalidArgument request line exceeds " +
+                         std::to_string(options_.max_line_bytes) +
+                         " bytes (connection closed)");
       break;
     }
-    if (read != ReadOutcome::kLine) break;
-    const std::string reply =
-        ExecuteRequestLine(*service_, session.value(), &snapshot, line, &done);
-    if (!WriteLine(fd, reply)) break;
+    if (read == ReadOutcome::kIdle) {
+      gauges_.idle_reaped.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    if (read != ReadOutcome::kLine) break;  // kClosed / kStopped.
+    const std::string reply = ExecuteRequestLine(
+        *service_, session.value(), &snapshot, line, &done, &context);
+    if (!WriteReply(fd, reply)) break;  // Slow client hit write_timeout.
   }
   ::close(fd);
 }
 
 Status SocketClient::Connect(const std::string& socket_path) {
   Close();
+  socket_path_ = socket_path;
+  return ConnectOnce();
+}
+
+Status SocketClient::ConnectOnce() {
   sockaddr_un addr;
-  Status made = MakeUnixAddress(socket_path, &addr);
+  Status made = MakeUnixAddress(socket_path_, &addr);
   if (!made.ok()) return made;
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd < 0) {
     return Status::IoError(std::string("socket: ") + std::strerror(errno));
   }
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
-      0) {
+  // Non-blocking connect bounded by poll: a wedged listener backlog (or a
+  // transport stall) cannot hang the client past connect_timeout_ms.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (options_.connect_timeout_ms > 0 && flags >= 0) {
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  }
+  int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof addr);
+  if (rc != 0 && errno == EINPROGRESS) {
+    pollfd p{};
+    p.fd = fd;
+    p.events = POLLOUT;
+    const int ready = ::poll(&p, 1, options_.connect_timeout_ms);
+    if (ready <= 0) {
+      ::close(fd);
+      return Status::DeadlineExceeded("connect " + socket_path_ +
+                                      ": timed out");
+    }
+    int soerr = 0;
+    socklen_t len = sizeof soerr;
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len);
+    rc = soerr == 0 ? 0 : -1;
+    errno = soerr;
+  }
+  if (rc != 0) {
     const int err = errno;
     ::close(fd);
-    return Status::IoError("connect " + socket_path + ": " +
+    // Refused/missing means the server is down — retryable by policy.
+    if (err == ECONNREFUSED || err == ENOENT || err == ECONNRESET) {
+      return Status::Unavailable("connect " + socket_path_ + ": " +
+                                 std::strerror(err));
+    }
+    return Status::IoError("connect " + socket_path_ + ": " +
                            std::strerror(err));
+  }
+  if (options_.connect_timeout_ms > 0 && flags >= 0) {
+    ::fcntl(fd, F_SETFL, flags);  // Back to blocking; I/O uses poll anyway.
   }
   fd_ = fd;
   buffer_.clear();
   return Status::Ok();
 }
 
+std::uint64_t SocketClient::NextJitter() {
+  // Deterministic 64-bit LCG (Knuth MMIX) — reproducible backoff traces
+  // under test, no global RNG state.
+  jitter_state_ = jitter_state_ * 6364136223846793005ULL +
+                  1442695040888963407ULL;
+  return jitter_state_ >> 33;
+}
+
 Result<std::string> SocketClient::Request(const std::string& line) {
-  if (fd_ < 0) return Status::InvalidArgument("client is not connected");
-  if (!WriteLine(fd_, line)) {
-    Close();
-    return Status::IoError("write failed (server gone?)");
+  return Request(line, Deadline::None());
+}
+
+Result<std::string> SocketClient::Request(const std::string& line,
+                                          const Deadline& deadline) {
+  if (fd_ < 0 && socket_path_.empty()) {
+    return Status::InvalidArgument("client is not connected");
   }
-  std::string reply;
-  // Replies (e.g. large XPATH id lists) are legitimately long; the client
-  // side reads unbounded — it trusts its own server far more than the
-  // server trusts an arbitrary client.
-  if (ReadLine(fd_, &buffer_, &reply, 0) != ReadOutcome::kLine) {
-    Close();
-    return Status::IoError("connection closed before reply");
+  Status last = Status::Ok();
+  const int attempts = options_.max_attempts < 1 ? 1 : options_.max_attempts;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      Close();
+      // Bounded exponential backoff with deterministic jitter before the
+      // reconnect; every verb is read-only, so a resend is safe.
+      const std::int64_t base = options_.base_backoff_ms > 0
+                                    ? options_.base_backoff_ms
+                                    : 1;
+      std::int64_t backoff = base << (attempt - 1);
+      backoff += static_cast<std::int64_t>(NextJitter() %
+                                           static_cast<std::uint64_t>(base));
+      if (!deadline.unlimited()) {
+        backoff = std::min<std::int64_t>(backoff, deadline.remaining_ms(0));
+      }
+      if (backoff > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+      }
+    }
+    if (deadline.expired()) {
+      return Status::DeadlineExceeded("request deadline expired after " +
+                                      std::to_string(attempt) + " attempts");
+    }
+    Result<std::string> reply = RequestOnce(line, deadline);
+    if (reply.ok()) return reply;
+    last = reply.status();
+    const bool retryable = last.code() == StatusCode::kUnavailable ||
+                           last.code() == StatusCode::kIoError;
+    if (!retryable) return last;
   }
-  return reply;
+  return last;
+}
+
+Result<std::string> SocketClient::RequestOnce(const std::string& line,
+                                              const Deadline& deadline) {
+  if (fd_ < 0) {
+    Status connected = ConnectOnce();
+    if (!connected.ok()) return connected;
+  }
+  const Deadline io_budget = Deadline::Sooner(
+      deadline, options_.io_timeout_ms > 0
+                    ? Deadline::AfterMs(options_.io_timeout_ms)
+                    : Deadline::None());
+  std::string framed = line;
+  framed += '\n';
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const IoResult r =
+        transport().Write(fd_, framed.data() + sent, framed.size() - sent,
+                          io_budget.remaining_ms(-1));
+    if (r.event == IoEvent::kTimeout) {
+      Close();
+      return Status::DeadlineExceeded("request write timed out");
+    }
+    if (r.event != IoEvent::kOk) {
+      Close();
+      return Status::Unavailable("connection lost while writing request");
+    }
+    sent += r.bytes;
+  }
+  for (;;) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string reply = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      if (!reply.empty() && reply.back() == '\r') reply.pop_back();
+      return reply;
+    }
+    char chunk[4096];
+    const IoResult r =
+        transport().Read(fd_, chunk, sizeof chunk, io_budget.remaining_ms(-1));
+    switch (r.event) {
+      case IoEvent::kOk:
+        buffer_.append(chunk, r.bytes);
+        break;
+      case IoEvent::kTimeout:
+        Close();
+        return Status::DeadlineExceeded("reply read timed out");
+      case IoEvent::kEof:
+      case IoEvent::kReset:
+        Close();
+        return Status::Unavailable("connection closed before reply");
+      case IoEvent::kError:
+        Close();
+        return Status::IoError("read failed: " +
+                               std::string(std::strerror(r.error)));
+    }
+  }
 }
 
 void SocketClient::Close() {

@@ -2,6 +2,8 @@
 #define PRIMELABEL_SERVICE_SOCKET_SERVER_H_
 
 #include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -9,16 +11,30 @@
 #include <vector>
 
 #include "service/query_service.h"
+#include "service/transport.h"
+#include "service/wire.h"
+#include "util/deadline.h"
 #include "util/status.h"
 
 namespace primelabel {
 
 /// Unix-domain-socket front end for a QueryService: one accept thread, one
 /// thread + one Session per connection, speaking the line protocol of
-/// service/wire.h. Admission control is the service's: when OpenSession is
-/// rejected the connection gets one `ERR ResourceExhausted ...` line and
-/// is closed; per-request rejections are ordinary replies on a live
-/// connection.
+/// service/wire.h over a Transport (service/transport.h — the seam the
+/// chaos harness injects faults through). Admission control is the
+/// service's; the server adds the socket-level robustness envelope:
+///
+///  - Backpressure: beyond Options::max_connections new connections are
+///    shed at accept with one typed `ERR ResourceExhausted` line; a
+///    request line larger than max_line_bytes gets `ERR InvalidArgument`
+///    and the connection is closed (bounded buffering per connection);
+///    connections idle past idle_timeout_ms are reaped; a client that
+///    cannot drain its reply within write_timeout_ms is dropped.
+///  - Deadlines: every request runs under default_deadline_ms (client
+///    `DEADLINE <ms>` prefixes can only tighten it); out-of-time requests
+///    answer `ERR DeadlineExceeded` on a still-usable connection.
+///  - Graceful drain: Drain(timeout) stops accepting, lets requests in
+///    flight finish, then force-closes stragglers — the SIGTERM path.
 ///
 /// Lifecycle: Start binds and listens (unlinking any stale socket file at
 /// the path first), Stop() — also run by the destructor — closes the
@@ -30,11 +46,37 @@ class SocketServer {
     /// Non-aggregate on purpose: a user-provided default constructor lets
     /// `= {}` default arguments compile on GCC (bug 88165).
     Options() {}
+    /// Concurrently served connections; beyond this, accepts are shed
+    /// with a typed rejection line. 0 = unlimited.
+    std::size_t max_connections = 64;
     /// Longest request line (and per-connection carry-over buffer) the
     /// server will hold. A connection whose unterminated input exceeds
     /// this gets one `ERR InvalidArgument` line and is closed — bounded
     /// memory per connection instead of growth at the client's pace.
     std::size_t max_line_bytes = 64 * 1024;
+    /// Server-side time budget per request; 0 = none. Clients tighten it
+    /// per request with the `DEADLINE <ms>` wire prefix.
+    int default_deadline_ms = 0;
+    /// Connections with no complete request line for this long are
+    /// reaped; 0 = never.
+    int idle_timeout_ms = 0;
+    /// Budget for writing one reply to a slow client before the
+    /// connection is dropped; 0 = block indefinitely.
+    int write_timeout_ms = 5000;
+    /// I/O seam; nullptr = the process-wide PosixTransport. Tests wrap a
+    /// FaultInjectingTransport here.
+    Transport* transport = nullptr;
+  };
+
+  /// Point-in-time copy of the front-end gauges (see wire.h).
+  struct Stats {
+    std::uint64_t accepted = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t idle_reaped = 0;
+    std::uint64_t oversize_rejected = 0;
+    std::uint64_t deadline_exceeded = 0;
+    std::uint64_t forced_closes = 0;
+    bool draining = false;
   };
 
   explicit SocketServer(QueryService* service, Options options = {})
@@ -45,16 +87,39 @@ class SocketServer {
   SocketServer& operator=(const SocketServer&) = delete;
 
   Status Start(const std::string& socket_path);
+
+  /// Graceful shutdown: stops accepting (the listener closes), flags
+  /// draining so idle connections close at their next poll slice, waits
+  /// up to `timeout` for requests in flight to finish, then force-closes
+  /// stragglers. Ok when everything wound down inside the window;
+  /// kDeadlineExceeded when stragglers had to be forced. Always leaves
+  /// the server fully stopped (Stop() afterwards is a no-op).
+  Status Drain(std::chrono::milliseconds timeout);
+
   void Stop();
 
   bool running() const { return running_.load(std::memory_order_acquire); }
   const std::string& socket_path() const { return socket_path_; }
+  Stats stats() const;
+  /// Live (unreaped) connections — drain/backpressure test observability.
+  std::size_t live_connections();
 
  private:
+  enum class ReadOutcome { kLine, kClosed, kIdle, kOversize, kStopped };
+
   void AcceptLoop();
-  void ServeConnection(int fd);
+  struct Connection;
+  void ServeConnection(Connection* conn);
+  /// Reads one request line on `fd`, slicing polls so Stop/Drain are
+  /// noticed within ~100ms and idle time is accounted between lines.
+  ReadOutcome ReadRequestLine(int fd, std::string* buffer, std::string* line);
+  bool WriteReply(int fd, const std::string& data);
   /// Reaps finished connection threads; under conn_mu_.
   void ReapFinishedLocked();
+  Transport& transport() const {
+    return options_.transport != nullptr ? *options_.transport
+                                         : DefaultTransport();
+  }
 
   QueryService* service_;
   const Options options_;
@@ -63,6 +128,7 @@ class SocketServer {
   std::atomic<int> listen_fd_{-1};
   std::atomic<bool> running_{false};
   std::thread accept_thread_;
+  ServerGauges gauges_;
 
   std::mutex conn_mu_;
   struct Connection {
@@ -76,23 +142,70 @@ class SocketServer {
 /// Blocking client for the same protocol: connects, sends one line per
 /// Request, returns the single reply line. Used by examples/query_client
 /// and the check.sh smoke battery.
+///
+/// Resilience: connects and per-request reads/writes are bounded by poll
+/// timeouts (a stalled or dead server yields kDeadlineExceeded instead of
+/// a hang), and a request that fails with a retryable transport error
+/// (connection reset/refused, kUnavailable) transparently reconnects and
+/// resends under bounded exponential backoff with deterministic jitter —
+/// safe because every wire verb is read-only. Note a reconnect starts a
+/// fresh server session: snapshot state is gone, so a retried
+/// snapshot-dependent verb may answer `ERR InvalidArgument no snapshot
+/// open` (a reply, not an error) — callers that SNAP first simply re-SNAP.
 class SocketClient {
  public:
+  struct Options {
+    Options() {}  ///< Non-aggregate for GCC default-argument quirks.
+    /// Budget for establishing a connection; 0 = block indefinitely.
+    int connect_timeout_ms = 2000;
+    /// Per-request I/O budget (write + reply read); 0 = block.
+    int io_timeout_ms = 10000;
+    /// Total tries per Request (1 = no retry).
+    int max_attempts = 3;
+    /// Backoff before retry k (1-based) is base << (k-1), plus jitter in
+    /// [0, base), from a deterministic LCG seeded below.
+    int base_backoff_ms = 20;
+    std::uint64_t jitter_seed = 1;
+    /// I/O seam; nullptr = the process-wide PosixTransport.
+    Transport* transport = nullptr;
+  };
+
   SocketClient() = default;
+  explicit SocketClient(Options options)
+      : options_(options), jitter_state_(options.jitter_seed | 1) {}
   ~SocketClient() { Close(); }
 
   SocketClient(const SocketClient&) = delete;
   SocketClient& operator=(const SocketClient&) = delete;
 
+  /// Connects (bounded by connect_timeout_ms) and remembers the path for
+  /// transparent reconnects.
   Status Connect(const std::string& socket_path);
-  /// Sends `line` (newline appended) and reads the reply line.
+  /// Sends `line` (newline appended) and reads the reply line, retrying
+  /// per Options on retryable transport failures.
   Result<std::string> Request(const std::string& line);
+  /// Same, additionally bounded by an explicit deadline covering all
+  /// attempts and backoff sleeps.
+  Result<std::string> Request(const std::string& line,
+                              const Deadline& deadline);
   void Close();
   bool connected() const { return fd_ >= 0; }
 
  private:
+  Status ConnectOnce();
+  Result<std::string> RequestOnce(const std::string& line,
+                                  const Deadline& deadline);
+  Transport& transport() const {
+    return options_.transport != nullptr ? *options_.transport
+                                         : DefaultTransport();
+  }
+  std::uint64_t NextJitter();
+
+  Options options_;
+  std::string socket_path_;
   int fd_ = -1;
   std::string buffer_;
+  std::uint64_t jitter_state_ = 1;
 };
 
 }  // namespace primelabel

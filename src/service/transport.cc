@@ -1,0 +1,198 @@
+#include "service/transport.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <thread>
+
+namespace primelabel {
+namespace {
+
+/// Waits for `events` on `fd`, re-arming across EINTR with the remaining
+/// time. Returns kOk when ready, kTimeout, or kError.
+IoEvent WaitReady(int fd, short events, int timeout_ms, int* error) {
+  const auto start = std::chrono::steady_clock::now();
+  int remaining = timeout_ms;
+  for (;;) {
+    pollfd p{};
+    p.fd = fd;
+    p.events = events;
+    const int r = ::poll(&p, 1, remaining);
+    if (r > 0) return IoEvent::kOk;  // Ready (possibly POLLERR/POLLHUP —
+                                     // let the read/write report it).
+    if (r == 0) return IoEvent::kTimeout;
+    if (errno != EINTR) {
+      *error = errno;
+      return IoEvent::kError;
+    }
+    if (timeout_ms >= 0) {
+      const auto elapsed =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count();
+      remaining = timeout_ms - static_cast<int>(elapsed);
+      if (remaining <= 0) return IoEvent::kTimeout;
+    }
+  }
+}
+
+class PosixTransport : public Transport {
+ public:
+  IoResult Read(int fd, void* buf, std::size_t len,
+                int timeout_ms) override {
+    IoResult result;
+    const IoEvent ready = WaitReady(fd, POLLIN, timeout_ms, &result.error);
+    if (ready != IoEvent::kOk) {
+      result.event = ready;
+      return result;
+    }
+    for (;;) {
+      const ssize_t n = ::read(fd, buf, len);
+      if (n > 0) {
+        result.event = IoEvent::kOk;
+        result.bytes = static_cast<std::size_t>(n);
+        return result;
+      }
+      if (n == 0) {
+        result.event = IoEvent::kEof;
+        return result;
+      }
+      if (errno == EINTR) continue;
+      result.error = errno;
+      result.event = (errno == ECONNRESET || errno == EPIPE)
+                         ? IoEvent::kReset
+                         : IoEvent::kError;
+      return result;
+    }
+  }
+
+  IoResult Write(int fd, const void* buf, std::size_t len,
+                 int timeout_ms) override {
+    IoResult result;
+    const IoEvent ready = WaitReady(fd, POLLOUT, timeout_ms, &result.error);
+    if (ready != IoEvent::kOk) {
+      result.event = ready;
+      return result;
+    }
+    for (;;) {
+      // MSG_NOSIGNAL: the peer may close first (e.g. a client hanging up
+      // after a rejection line) — that must surface as EPIPE, not as a
+      // process-killing SIGPIPE.
+      const ssize_t n = ::send(fd, buf, len, MSG_NOSIGNAL);
+      if (n >= 0) {
+        result.event = IoEvent::kOk;
+        result.bytes = static_cast<std::size_t>(n);
+        return result;
+      }
+      if (errno == EINTR) continue;
+      result.error = errno;
+      result.event = (errno == ECONNRESET || errno == EPIPE)
+                         ? IoEvent::kReset
+                         : IoEvent::kError;
+      return result;
+    }
+  }
+};
+
+}  // namespace
+
+Transport& DefaultTransport() {
+  static PosixTransport* transport = new PosixTransport();
+  return *transport;
+}
+
+void FaultInjectingTransport::Arm(const Fault& fault) {
+  std::lock_guard<std::mutex> lock(mu_);
+  faults_.push_back(fault);
+}
+
+void FaultInjectingTransport::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  faults_.clear();
+  ops_ = 0;
+  fired_ = 0;
+}
+
+std::uint64_t FaultInjectingTransport::ops() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ops_;
+}
+
+std::uint64_t FaultInjectingTransport::faults_fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fired_;
+}
+
+bool FaultInjectingTransport::NextOp(bool is_read, FaultKind* kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t ordinal = ++ops_;
+  for (auto it = faults_.begin(); it != faults_.end(); ++it) {
+    if (ordinal < it->at) continue;
+    const bool eligible = it->kind == FaultKind::kStall ||
+                          it->kind == FaultKind::kReset ||
+                          (it->kind == FaultKind::kShortRead && is_read) ||
+                          (it->kind == FaultKind::kShortWrite && !is_read);
+    if (!eligible) continue;
+    *kind = it->kind;
+    ++fired_;
+    if (it->transient) faults_.erase(it);
+    return true;
+  }
+  return false;
+}
+
+IoResult FaultInjectingTransport::Read(int fd, void* buf, std::size_t len,
+                                       int timeout_ms) {
+  FaultKind kind;
+  if (!NextOp(/*is_read=*/true, &kind)) {
+    return base_.Read(fd, buf, len, timeout_ms);
+  }
+  switch (kind) {
+    case FaultKind::kShortRead:
+      return base_.Read(fd, buf, len == 0 ? 0 : 1, timeout_ms);
+    case FaultKind::kStall:
+      if (timeout_ms >= 0) return {IoEvent::kTimeout, 0, 0};
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      return base_.Read(fd, buf, len, timeout_ms);
+    case FaultKind::kReset:
+      ::shutdown(fd, SHUT_RDWR);
+      return {IoEvent::kReset, 0, ECONNRESET};
+    case FaultKind::kShortWrite:
+      break;  // Not eligible on reads (NextOp filtered); fall through.
+  }
+  return base_.Read(fd, buf, len, timeout_ms);
+}
+
+IoResult FaultInjectingTransport::Write(int fd, const void* buf,
+                                        std::size_t len, int timeout_ms) {
+  FaultKind kind;
+  if (!NextOp(/*is_read=*/false, &kind)) {
+    return base_.Write(fd, buf, len, timeout_ms);
+  }
+  switch (kind) {
+    case FaultKind::kShortWrite: {
+      // Torn reply: half the bytes reach the wire, then the connection
+      // dies under the writer.
+      const std::size_t half = len <= 1 ? len : len / 2;
+      IoResult sent = base_.Write(fd, buf, half, timeout_ms);
+      ::shutdown(fd, SHUT_RDWR);
+      return {IoEvent::kReset, sent.event == IoEvent::kOk ? sent.bytes : 0,
+              ECONNRESET};
+    }
+    case FaultKind::kStall:
+      if (timeout_ms >= 0) return {IoEvent::kTimeout, 0, 0};
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      return base_.Write(fd, buf, len, timeout_ms);
+    case FaultKind::kReset:
+      ::shutdown(fd, SHUT_RDWR);
+      return {IoEvent::kReset, 0, ECONNRESET};
+    case FaultKind::kShortRead:
+      break;  // Not eligible on writes.
+  }
+  return base_.Write(fd, buf, len, timeout_ms);
+}
+
+}  // namespace primelabel

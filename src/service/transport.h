@@ -1,0 +1,117 @@
+#ifndef PRIMELABEL_SERVICE_TRANSPORT_H_
+#define PRIMELABEL_SERVICE_TRANSPORT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "util/status.h"
+
+namespace primelabel {
+
+/// What a single transport operation observed. Socket I/O has more fates
+/// than a return code: data moved, the peer hung up cleanly, the wait
+/// timed out, the connection was torn down, or the syscall failed — and
+/// the serving layer reacts differently to each (reply, close, reap,
+/// retry, give up), so the taxonomy is explicit instead of re-derived
+/// from errno at every call site.
+enum class IoEvent {
+  kOk,       ///< >= 1 byte moved (`bytes` says how many; may be short).
+  kEof,      ///< Orderly shutdown by the peer (read side only).
+  kTimeout,  ///< The poll window elapsed with the fd not ready.
+  kReset,    ///< Connection torn down (ECONNRESET/EPIPE) — peer is gone.
+  kError,    ///< Any other syscall failure (`error` carries errno).
+};
+
+struct IoResult {
+  IoEvent event = IoEvent::kError;
+  std::size_t bytes = 0;  ///< Valid for kOk (and kReset after a torn write).
+  int error = 0;          ///< errno for kReset/kError; 0 otherwise.
+};
+
+/// Socket I/O seam for the service layer — the network-path analogue of
+/// durability's Vfs. Every byte SocketServer and SocketClient move goes
+/// through one of these, which is what makes the socket chaos harness
+/// possible: PosixTransport (via DefaultTransport()) for production, and
+/// a FaultInjectingTransport that can disrupt any single read/write
+/// deterministically.
+///
+/// Both calls take a poll(2) timeout in milliseconds: < 0 blocks
+/// indefinitely, 0 probes, > 0 waits at most that long for readiness and
+/// reports kTimeout. Implementations must be safe to call concurrently
+/// from many connection threads (on distinct fds).
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Reads up to `len` bytes into `buf` once the fd is readable. kOk
+  /// implies bytes >= 1; a short read is normal stream behavior and the
+  /// caller loops.
+  virtual IoResult Read(int fd, void* buf, std::size_t len,
+                        int timeout_ms) = 0;
+
+  /// Writes up to `len` bytes from `buf` once the fd is writable. kOk may
+  /// be short (kernel buffer full mid-copy); the caller loops. Must not
+  /// raise SIGPIPE — a vanished peer is kReset, not process death.
+  virtual IoResult Write(int fd, const void* buf, std::size_t len,
+                         int timeout_ms) = 0;
+};
+
+/// Process-wide PosixTransport singleton: the default wherever a
+/// SocketServer/SocketClient is not handed an explicit transport.
+Transport& DefaultTransport();
+
+/// Deterministic fault injector wrapped around a real transport,
+/// mirroring durability's FaultInjectingVfs: operations are counted in
+/// program order across all connections, and an armed Fault fires when
+/// the counter reaches its ordinal. Kinds:
+///  - kShortRead   the read is capped at 1 byte — fragmentation torture
+///                 (never an error; exercises carry-over reassembly).
+///  - kShortWrite  half the bytes (at least 1) are written, then the op
+///                 reports kReset: a torn reply on a dying connection.
+///  - kStall       the peer goes silent: with a poll timeout armed the op
+///                 reports kTimeout immediately (deterministic — no real
+///                 sleeping); without one it delays 50ms, then proceeds.
+///  - kReset       the fd is shut down and the op reports kReset.
+/// A `transient` fault (the default) disarms after firing once; a
+/// persistent one keeps firing for every eligible op at or after its
+/// ordinal. Kind eligibility is by op class (kShortRead only fires on
+/// reads, kShortWrite only on writes; kStall/kReset on either) — an
+/// armed fault waits at its ordinal until an eligible op arrives.
+class FaultInjectingTransport : public Transport {
+ public:
+  enum class FaultKind { kShortRead, kShortWrite, kStall, kReset };
+  struct Fault {
+    std::uint64_t at = 1;  ///< 1-based I/O-op ordinal the fault fires at.
+    FaultKind kind = FaultKind::kReset;
+    bool transient = true;
+  };
+
+  explicit FaultInjectingTransport(Transport& base) : base_(base) {}
+
+  void Arm(const Fault& fault);
+  /// Clears armed faults and the op/fired counters.
+  void Reset();
+
+  std::uint64_t ops() const;
+  std::uint64_t faults_fired() const;
+
+  IoResult Read(int fd, void* buf, std::size_t len, int timeout_ms) override;
+  IoResult Write(int fd, const void* buf, std::size_t len,
+                 int timeout_ms) override;
+
+ private:
+  /// Counts the op and returns the armed kind that fires on it, if any.
+  bool NextOp(bool is_read, FaultKind* kind);
+
+  Transport& base_;
+  mutable std::mutex mu_;
+  std::vector<Fault> faults_;
+  std::uint64_t ops_ = 0;
+  std::uint64_t fired_ = 0;
+};
+
+}  // namespace primelabel
+
+#endif  // PRIMELABEL_SERVICE_TRANSPORT_H_

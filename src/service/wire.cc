@@ -7,7 +7,12 @@
 namespace primelabel {
 namespace {
 
-std::string ErrorReply(const Status& status) {
+std::string ErrorReply(const Status& status, const WireContext* context) {
+  if (status.code() == StatusCode::kDeadlineExceeded && context != nullptr &&
+      context->gauges != nullptr) {
+    context->gauges->deadline_exceeded.fetch_add(1,
+                                                 std::memory_order_relaxed);
+  }
   std::string reply = "ERR ";
   reply += StatusCodeName(status.code());
   if (!status.message().empty()) {
@@ -44,22 +49,49 @@ bool ParseIdBlock(std::istringstream& in, std::size_t per_item,
 
 std::string ExecuteRequestLine(QueryService& service, Session& session,
                                std::optional<Snapshot>* snapshot,
-                               const std::string& line, bool* done) {
+                               const std::string& line, bool* done,
+                               const WireContext* context) {
   *done = false;
   std::istringstream in(line);
   std::string verb;
   if (!(in >> verb)) return "ERR InvalidArgument empty request";
 
-  if (verb == "PING") return "OK PONG";
+  // Per-request time budget: the server default, tightened (never
+  // loosened) by an optional DEADLINE prefix.
+  Deadline deadline =
+      context != nullptr && context->default_deadline_ms > 0
+          ? Deadline::AfterMs(context->default_deadline_ms)
+          : Deadline::None();
+  if (verb == "DEADLINE") {
+    std::int64_t ms = -1;
+    if (!(in >> ms) || ms < 0) {
+      return "ERR InvalidArgument DEADLINE needs a non-negative "
+             "millisecond budget";
+    }
+    deadline = Deadline::Sooner(deadline, Deadline::AfterMs(ms));
+    if (!(in >> verb)) {
+      return "ERR InvalidArgument DEADLINE needs a request to bound";
+    }
+  }
 
   if (verb == "QUIT") {
     *done = true;
     return "OK BYE";
   }
 
+  // Everything else honors the budget — a request that arrives already
+  // expired (e.g. DEADLINE 0) is the cheapest possible cancellation.
+  if (deadline.expired()) {
+    return ErrorReply(
+        Status::DeadlineExceeded("deadline expired before " + verb + " ran"),
+        context);
+  }
+
+  if (verb == "PING") return "OK PONG";
+
   if (verb == "SNAP") {
-    Result<Snapshot> snap = session.OpenSnapshot();
-    if (!snap.ok()) return ErrorReply(snap.status());
+    Result<Snapshot> snap = session.OpenSnapshot(deadline);
+    if (!snap.ok()) return ErrorReply(snap.status(), context);
     *snapshot = std::move(snap.value());
     std::ostringstream out;
     out << "OK " << (*snapshot)->epoch() << ' ' << (*snapshot)->journal_bytes()
@@ -78,6 +110,28 @@ std::string ExecuteRequestLine(QueryService& service, Session& session,
         << " RESHITS " << planner.result.hits << " RESMISSES "
         << planner.result.misses << " RESINVALIDATIONS "
         << planner.result.invalidations;
+    // Front-end robustness gauges (zero outside a socket server): load
+    // shed at accept, requests out of time, idle connections reaped, and
+    // whether the server is draining.
+    const ServerGauges* gauges =
+        context != nullptr ? context->gauges : nullptr;
+    out << " SHED "
+        << (gauges != nullptr
+                ? gauges->shed.load(std::memory_order_relaxed)
+                : 0)
+        << " DEADLINEEXCEEDED "
+        << (gauges != nullptr
+                ? gauges->deadline_exceeded.load(std::memory_order_relaxed)
+                : 0)
+        << " IDLEREAPED "
+        << (gauges != nullptr
+                ? gauges->idle_reaped.load(std::memory_order_relaxed)
+                : 0)
+        << " DRAINING "
+        << (gauges != nullptr &&
+                    gauges->draining.load(std::memory_order_relaxed)
+                ? 1
+                : 0);
     // Label-store residency of this session's open view: how many bytes
     // back its labels, and whether they live in the shared catalog image
     // (arena) or in per-view heap BigInts.
@@ -104,12 +158,14 @@ std::string ExecuteRequestLine(QueryService& service, Session& session,
     }
     query = query.substr(start);
     if (verb == "EXPLAIN") {
-      Result<std::string> explained = session.Explain(**snapshot, query);
-      if (!explained.ok()) return ErrorReply(explained.status());
+      Result<std::string> explained =
+          session.Explain(**snapshot, query, deadline);
+      if (!explained.ok()) return ErrorReply(explained.status(), context);
       return "OK " + explained.value();
     }
-    Result<std::vector<NodeId>> ids = session.Query(**snapshot, query);
-    if (!ids.ok()) return ErrorReply(ids.status());
+    Result<std::vector<NodeId>> ids =
+        session.Query(**snapshot, query, deadline);
+    if (!ids.ok()) return ErrorReply(ids.status(), context);
     return IdListReply(ids.value());
   }
 
@@ -124,8 +180,8 @@ std::string ExecuteRequestLine(QueryService& service, Session& session,
       descendants.push_back(flat[i + 1]);
     }
     Result<std::vector<bool>> bits =
-        session.IsAncestorBatch(**snapshot, ancestors, descendants);
-    if (!bits.ok()) return ErrorReply(bits.status());
+        session.IsAncestorBatch(**snapshot, ancestors, descendants, deadline);
+    if (!bits.ok()) return ErrorReply(bits.status(), context);
     std::ostringstream out;
     out << "OK " << bits.value().size();
     for (bool b : bits.value()) out << ' ' << (b ? 1 : 0);
@@ -143,9 +199,11 @@ std::string ExecuteRequestLine(QueryService& service, Session& session,
     }
     Result<std::vector<NodeId>> ids =
         verb == "DESC"
-            ? session.SelectDescendants(**snapshot, anchor, candidates)
-            : session.SelectAncestors(**snapshot, anchor, candidates);
-    if (!ids.ok()) return ErrorReply(ids.status());
+            ? session.SelectDescendants(**snapshot, anchor, candidates,
+                                        deadline)
+            : session.SelectAncestors(**snapshot, anchor, candidates,
+                                      deadline);
+    if (!ids.ok()) return ErrorReply(ids.status(), context);
     return IdListReply(ids.value());
   }
 

@@ -1,0 +1,64 @@
+#ifndef PRIMELABEL_UTIL_DEADLINE_H_
+#define PRIMELABEL_UTIL_DEADLINE_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace primelabel {
+
+/// A steady-clock cut-off carried with a request. Default-constructed is
+/// unlimited (never expires), so every deadline-aware entry point can take
+/// `const Deadline& deadline = {}` and keep deadline-free callers
+/// unchanged. Deadlines compose by taking the sooner of two (server
+/// default vs. the client's `DEADLINE <ms>` wire prefix).
+///
+/// A deadline is a cancellation point marker, not a scheduler: work checks
+/// `expired()` at its own safe boundaries (between batch chunks, before a
+/// poll) and returns kDeadlineExceeded, discarding partial results.
+class Deadline {
+ public:
+  Deadline() = default;
+
+  static Deadline None() { return Deadline(); }
+  static Deadline After(std::chrono::milliseconds budget) {
+    Deadline d;
+    d.has_ = true;
+    d.at_ = std::chrono::steady_clock::now() + budget;
+    return d;
+  }
+  static Deadline AfterMs(std::int64_t ms) {
+    return After(std::chrono::milliseconds(ms));
+  }
+
+  /// The tighter of the two (an unlimited side never wins).
+  static Deadline Sooner(const Deadline& a, const Deadline& b) {
+    if (a.unlimited()) return b;
+    if (b.unlimited()) return a;
+    return a.at_ <= b.at_ ? a : b;
+  }
+
+  bool unlimited() const { return !has_; }
+  bool expired() const {
+    return has_ && std::chrono::steady_clock::now() >= at_;
+  }
+
+  /// Milliseconds until expiry, clamped to >= 0; `fallback` when
+  /// unlimited. Shaped for poll(2) timeouts: pass fallback = -1 to block.
+  int remaining_ms(int fallback = -1) const {
+    if (!has_) return fallback;
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        at_ - std::chrono::steady_clock::now());
+    return left.count() <= 0
+               ? 0
+               : static_cast<int>(
+                     left.count() > 3600 * 1000 ? 3600 * 1000 : left.count());
+  }
+
+ private:
+  bool has_ = false;
+  std::chrono::steady_clock::time_point at_{};
+};
+
+}  // namespace primelabel
+
+#endif  // PRIMELABEL_UTIL_DEADLINE_H_

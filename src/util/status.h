@@ -30,6 +30,10 @@ enum class StatusCode {
   /// or from a future format. Retrying cannot help; restore from a good
   /// copy.
   kCorruption,
+  /// The request's time budget ran out before the work completed. The
+  /// partial work was discarded; the caller may retry with a larger
+  /// budget (the system itself is healthy, unlike kUnavailable).
+  kDeadlineExceeded,
 };
 
 /// Returns a short human-readable name for a StatusCode.
@@ -55,6 +59,8 @@ inline const char* StatusCodeName(StatusCode code) {
       return "IoError";
     case StatusCode::kCorruption:
       return "Corruption";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }
@@ -97,6 +103,9 @@ class Status {
   }
   static Status Corruption(std::string msg) {
     return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

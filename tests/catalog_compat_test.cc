@@ -15,6 +15,8 @@
 //   PRIMELABEL_WRITE_COMPAT_FIXTURE=1 ./catalog_compat_test \
 //     --gtest_also_run_disabled_tests --gtest_filter='*WriteFixture*'
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -44,8 +46,11 @@ std::string FixtureDir() {
   return std::string(PRIMELABEL_TEST_DATA_DIR) + "/limb32_store";
 }
 
+/// Unique per test process: ctest runs tests from one binary
+/// concurrently, and a shared literal name races SetUp/TearDown.
 std::string TempDirPath(const char* name) {
-  return std::string(::testing::TempDir()) + "/" + name;
+  return std::string(::testing::TempDir()) + "/p" +
+         std::to_string(::getpid()) + "-" + name;
 }
 
 /// Full observable state of a document (same digest scheme as

@@ -1,5 +1,7 @@
 #include "store/catalog.h"
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <optional>
 #include <set>
@@ -15,8 +17,11 @@
 namespace primelabel {
 namespace {
 
+/// Unique per test process: ctest runs tests from one binary
+/// concurrently, and a shared literal name races SetUp/TearDown.
 std::string TempPath(const char* name) {
-  return std::string(::testing::TempDir()) + "/" + name;
+  return std::string(::testing::TempDir()) + "/p" +
+         std::to_string(::getpid()) + "-" + name;
 }
 
 class CatalogTest : public ::testing::Test {

@@ -7,6 +7,8 @@
 // bytes) point atomically, OpenSnapshot materializes exactly that point,
 // and epoch retirement never yanks files out from under a live pin.
 
+#include <unistd.h>
+
 #include <atomic>
 #include <cstdint>
 #include <filesystem>
@@ -30,8 +32,11 @@ namespace {
 
 namespace fs = std::filesystem;
 
+/// Unique per test process: ctest runs tests from one binary
+/// concurrently, and a shared literal name races SetUp/TearDown.
 std::string TempDirPath(const char* name) {
-  return std::string(::testing::TempDir()) + "/" + name;
+  return std::string(::testing::TempDir()) + "/p" +
+         std::to_string(::getpid()) + "-" + name;
 }
 
 void RemoveTree(const std::string& dir) {

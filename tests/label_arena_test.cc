@@ -13,6 +13,8 @@
 //      to the heap catalog loaded from the same file — scalar tests,
 //      batch kernels, order lookups, and full XPath evaluation.
 
+#include <unistd.h>
+
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
@@ -35,8 +37,11 @@
 namespace primelabel {
 namespace {
 
+/// Unique per test process: ctest runs tests from one binary
+/// concurrently, and a shared literal name races SetUp/TearDown.
 std::string TempPath(const char* name) {
-  return std::string(::testing::TempDir()) + "/" + name;
+  return std::string(::testing::TempDir()) + "/p" +
+         std::to_string(::getpid()) + "-" + name;
 }
 
 std::vector<std::uint8_t> ReadFileBytes(const std::string& path) {

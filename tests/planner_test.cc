@@ -5,6 +5,8 @@
 // and concurrent cached execution (PlannerConcurrent runs under
 // ThreadSanitizer via the check.sh tsan leg).
 
+#include <unistd.h>
+
 #include <atomic>
 #include <cstdio>
 #include <filesystem>
@@ -32,8 +34,11 @@ namespace {
 
 namespace fs = std::filesystem;
 
+/// Unique per test process: ctest runs tests from one binary
+/// concurrently, and a shared literal name races SetUp/TearDown.
 std::string TempPath(const char* name) {
-  return std::string(::testing::TempDir()) + "/" + name;
+  return std::string(::testing::TempDir()) + "/p" +
+         std::to_string(::getpid()) + "-" + name;
 }
 
 XmlTree DiffPlay() {

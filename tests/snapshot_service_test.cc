@@ -4,6 +4,8 @@
 // ThreadSanitizer via scripts/check.sh (tsan leg matches
 // 'Parallel|Epoch|Concurrent|Service|Snapshot').
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
@@ -32,8 +34,11 @@ namespace {
 
 namespace fs = std::filesystem;
 
+/// Unique per test process: ctest runs tests from one binary
+/// concurrently, and a shared literal name races SetUp/TearDown.
 std::string TempDirPath(const char* name) {
-  return std::string(::testing::TempDir()) + "/" + name;
+  return std::string(::testing::TempDir()) + "/p" +
+         std::to_string(::getpid()) + "-" + name;
 }
 
 void RemoveTree(const std::string& dir) {
